@@ -1,0 +1,50 @@
+//! Ablation: sample budget K and convergence.
+//!
+//! §4.3 notes that CFR "finds the best code variant in tens or several
+//! hundreds of evaluations" — the tuning overhead can be cut well below
+//! the nominal K = 1000. This ablation sweeps the budget and reports
+//! the convergence point of the search.
+
+use bench::{bench_ctx, log_series};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_core::{cfr, collect};
+use ft_machine::Architecture;
+
+fn ablation_k(c: &mut Criterion) {
+    let arch = Architecture::broadwell();
+    let ctx = bench_ctx("CloverLeaf", &arch);
+
+    let budgets = [25usize, 50, 100, 200, 400];
+    let points: Vec<(String, f64)> = budgets
+        .iter()
+        .map(|&k| {
+            let data = collect(&ctx, k, 13);
+            (k.to_string(), cfr(&ctx, &data, 12.min(k), k, 22).speedup())
+        })
+        .collect();
+    log_series("ablation-k", "CFR speedup vs budget K", &points);
+
+    // Convergence: where does the K=400 search reach within 1% of its
+    // final best?
+    let data = collect(&ctx, 400, 13);
+    let r = cfr(&ctx, &data, 16, 400, 22);
+    println!(
+        "[ablation-k] K=400 search converged within {} evaluations (paper: tens to hundreds)",
+        r.converged_at(0.01)
+    );
+
+    let mut group = c.benchmark_group("ablation_budget");
+    group.sample_size(10);
+    for k in [50usize, 200] {
+        group.bench_function(format!("collect_plus_cfr_k{k}"), |b| {
+            b.iter(|| {
+                let data = collect(&ctx, std::hint::black_box(k), 13);
+                cfr(&ctx, &data, 12, k, 22)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_k);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Ablation: the §4.3 overhead-reduction extensions vs plain CFR.
+//!
+//! Early-stopping CFR should deliver nearly the same speedup at a
+//! fraction of the evaluations; multi-round iterative CFR should match
+//! plain CFR within the same total budget.
+
+use bench::{bench_ctx, log_series, BENCH_K, BENCH_X};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_core::{cfr, cfr_adaptive, cfr_iterative, collect};
+use ft_machine::Architecture;
+
+fn ablation_extensions(c: &mut Criterion) {
+    let arch = Architecture::broadwell();
+    let ctx = bench_ctx("CloverLeaf", &arch);
+    let data = collect(&ctx, BENCH_K, 13);
+
+    let plain = cfr(&ctx, &data, BENCH_X, BENCH_K, 22);
+    let adaptive = cfr_adaptive(&ctx, &data, BENCH_X, BENCH_K, 25, 22);
+    let iterative = cfr_iterative(&ctx, &data, BENCH_X, BENCH_K, 3, 22);
+    log_series(
+        "ablation-ext",
+        "speedup",
+        &[
+            ("CFR".to_string(), plain.speedup()),
+            ("CFR-adaptive".to_string(), adaptive.speedup()),
+            ("CFR-iterative".to_string(), iterative.speedup()),
+        ],
+    );
+    log_series(
+        "ablation-ext",
+        "evaluations",
+        &[
+            ("CFR".to_string(), plain.evaluations as f64),
+            ("CFR-adaptive".to_string(), adaptive.evaluations as f64),
+            ("CFR-iterative".to_string(), iterative.evaluations as f64),
+        ],
+    );
+
+    let mut group = c.benchmark_group("ablation_extensions");
+    group.sample_size(10);
+    group.bench_function("cfr_plain", |b| {
+        b.iter(|| cfr(&ctx, &data, BENCH_X, std::hint::black_box(BENCH_K), 22))
+    });
+    group.bench_function("cfr_adaptive_p25", |b| {
+        b.iter(|| cfr_adaptive(&ctx, &data, BENCH_X, std::hint::black_box(BENCH_K), 25, 22))
+    });
+    group.bench_function("cfr_iterative_r3", |b| {
+        b.iter(|| cfr_iterative(&ctx, &data, BENCH_X, std::hint::black_box(BENCH_K), 3, 22))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation_extensions);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation: CFR's focus width X.
+//!
+//! §2.2.4 frames the algorithm family by X: G is top-1, FR is top-K,
+//! CFR sits between. This ablation sweeps X and shows the U-shape the
+//! framing predicts — too narrow inherits G's fragility, too wide
+//! degenerates to FR.
+
+use bench::{bench_ctx, log_series, BENCH_K};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_core::{cfr, collect};
+use ft_machine::Architecture;
+
+fn ablation_x(c: &mut Criterion) {
+    let arch = Architecture::broadwell();
+    let ctx = bench_ctx("CloverLeaf", &arch);
+    let data = collect(&ctx, BENCH_K, 13);
+
+    let widths = [1usize, 2, 4, 8, 16, 32, 64, BENCH_K];
+    let points: Vec<(String, f64)> = widths
+        .iter()
+        .map(|&x| (x.to_string(), cfr(&ctx, &data, x, BENCH_K, 22).speedup()))
+        .collect();
+    log_series("ablation-x", "CFR speedup vs focus width", &points);
+    let best = points
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("non-empty sweep");
+    println!(
+        "[ablation-x] best X = {} ({:.3}x); X=1 (greedy-like) {:.3}x; X=K (FR-like) {:.3}x",
+        best.0,
+        best.1,
+        points[0].1,
+        points.last().expect("non-empty").1
+    );
+
+    let mut group = c.benchmark_group("ablation_focus_width");
+    group.sample_size(10);
+    for x in [1usize, 16, BENCH_K] {
+        group.bench_function(format!("cfr_x{x}"), |b| {
+            b.iter(|| cfr(&ctx, &data, std::hint::black_box(x), BENCH_K, 22))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_x);
+criterion_main!(benches);

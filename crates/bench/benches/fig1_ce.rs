@@ -1,0 +1,49 @@
+//! Figure 1 bench: Combined Elimination vs `-O3` for both compiler
+//! personalities. Regenerates the CE speedups and measures the cost of
+//! one CE run per personality.
+
+use bench::{log_series, BENCH_STEPS};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_baselines::combined_elimination;
+use ft_core::EvalContext;
+use ft_machine::Architecture;
+use ft_compiler::Compiler;
+use ft_outline::outline_with_defaults;
+use ft_workloads::workload_by_name;
+
+fn ce_ctx(bench_name: &str, gcc: bool) -> EvalContext {
+    let arch = Architecture::broadwell();
+    let make = if gcc { Compiler::gcc } else { Compiler::icc };
+    let w = workload_by_name(bench_name).unwrap();
+    let ir = w.instantiate(w.tuning_input(arch.name));
+    let compiler = make(arch.target);
+    let (outlined, _) = outline_with_defaults(&ir, &compiler, &arch, BENCH_STEPS, 11);
+    EvalContext::new(outlined.ir, make(arch.target), arch, BENCH_STEPS, 31)
+}
+
+fn fig1(c: &mut Criterion) {
+    // Reproduction log: the Figure 1 series.
+    for (label, gcc) in [("GCC", true), ("ICC", false)] {
+        let points: Vec<(String, f64)> = ["LULESH", "CloverLeaf", "AMG"]
+            .iter()
+            .map(|b| {
+                let ctx = ce_ctx(b, gcc);
+                (b.to_string(), combined_elimination(&ctx, 3).speedup())
+            })
+            .collect();
+        log_series("fig1", label, &points);
+    }
+
+    let mut group = c.benchmark_group("fig1_ce");
+    group.sample_size(10);
+    for (label, gcc) in [("gcc", true), ("icc", false)] {
+        let ctx = ce_ctx("CloverLeaf", gcc);
+        group.bench_function(format!("ce_cloverleaf_{label}"), |b| {
+            b.iter(|| combined_elimination(&ctx, std::hint::black_box(3)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig1);
+criterion_main!(benches);

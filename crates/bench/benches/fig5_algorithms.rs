@@ -1,0 +1,67 @@
+//! Figure 5 bench: the four search algorithms on all three platforms.
+//! Regenerates the per-architecture speedup series (5a/5b/5c) for
+//! CloverLeaf and AMG, and measures each algorithm's search cost.
+
+use bench::{bench_ctx, log_series, BENCH_K, BENCH_X};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_core::{cfr, collect, fr_search, greedy, random_search};
+use ft_machine::Architecture;
+
+fn fig5(c: &mut Criterion) {
+    // Reproduction log: one series per algorithm per architecture.
+    for arch in Architecture::all() {
+        let fig = match arch.name {
+            "Opteron" => "fig5a",
+            "Sandy Bridge" => "fig5b",
+            _ => "fig5c",
+        };
+        let mut rows: Vec<Vec<(String, f64)>> = vec![Vec::new(); 5];
+        for bench_name in ["CloverLeaf", "AMG"] {
+            let ctx = bench_ctx(bench_name, &arch);
+            let data = collect(&ctx, BENCH_K, 13);
+            let baseline = ctx.baseline_time(10);
+            let g = greedy(&ctx, &data, baseline);
+            let values = [
+                random_search(&ctx, BENCH_K, 21).speedup(),
+                g.realized.speedup(),
+                fr_search(&ctx, BENCH_K, 23).speedup(),
+                cfr(&ctx, &data, BENCH_X, BENCH_K, 22).speedup(),
+                g.independent_speedup,
+            ];
+            for (row, v) in rows.iter_mut().zip(values) {
+                row.push((bench_name.to_string(), v));
+            }
+        }
+        for (label, row) in ["Random", "G.realized", "FR", "CFR", "G.Independent"]
+            .iter()
+            .zip(&rows)
+        {
+            log_series(fig, label, row);
+        }
+    }
+
+    // Timing: search cost per algorithm on CloverLeaf/Broadwell.
+    let arch = Architecture::broadwell();
+    let ctx = bench_ctx("CloverLeaf", &arch);
+    let data = collect(&ctx, BENCH_K, 13);
+    let baseline = ctx.baseline_time(10);
+    let mut group = c.benchmark_group("fig5_algorithms");
+    group.sample_size(10);
+    group.bench_function("collection_k100", |b| {
+        b.iter(|| collect(&ctx, std::hint::black_box(BENCH_K), 13))
+    });
+    group.bench_function("random_search", |b| {
+        b.iter(|| random_search(&ctx, std::hint::black_box(BENCH_K), 21))
+    });
+    group.bench_function("fr_search", |b| {
+        b.iter(|| fr_search(&ctx, std::hint::black_box(BENCH_K), 23))
+    });
+    group.bench_function("greedy", |b| b.iter(|| greedy(&ctx, &data, baseline)));
+    group.bench_function("cfr", |b| {
+        b.iter(|| cfr(&ctx, &data, BENCH_X, std::hint::black_box(BENCH_K), 22))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 6 bench: CFR vs the state of the art (COBAYN variants, PGO,
+//! OpenTuner) on Broadwell. Regenerates the comparison series and
+//! measures each baseline's cost.
+
+use bench::{bench_ctx, bench_run, log_series, BENCH_K};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_baselines::{opentuner_search, pgo_tune, Cobayn, FeatureMode};
+use ft_machine::Architecture;
+
+fn fig6(c: &mut Criterion) {
+    let arch = Architecture::broadwell();
+    let model = Cobayn::train(&arch, 8, 60, 8, 3);
+
+    // Reproduction log over two representative benchmarks.
+    for bench_name in ["CloverLeaf", "swim"] {
+        let run = bench_run(bench_name, &arch);
+        let ctx = &run.ctx;
+        let points = vec![
+            ("static".to_string(), model.tune(ctx, FeatureMode::Static, BENCH_K, 5).speedup()),
+            ("dynamic".to_string(), model.tune(ctx, FeatureMode::Dynamic, BENCH_K, 6).speedup()),
+            ("hybrid".to_string(), model.tune(ctx, FeatureMode::Hybrid, BENCH_K, 7).speedup()),
+            ("PGO".to_string(), pgo_tune(ctx, 8).result.speedup()),
+            ("OpenTuner".to_string(), opentuner_search(ctx, BENCH_K, 9).speedup()),
+            ("CFR".to_string(), run.cfr.speedup()),
+        ];
+        log_series("fig6", bench_name, &points);
+    }
+
+    let ctx = bench_ctx("CloverLeaf", &arch);
+    let mut group = c.benchmark_group("fig6_sota");
+    group.sample_size(10);
+    group.bench_function("cobayn_train_small", |b| {
+        b.iter(|| Cobayn::train(&arch, 6, 40, 6, std::hint::black_box(3)))
+    });
+    group.bench_function("cobayn_infer_static", |b| {
+        b.iter(|| model.tune(&ctx, FeatureMode::Static, 60, std::hint::black_box(5)))
+    });
+    group.bench_function("opentuner_100_iters", |b| {
+        b.iter(|| opentuner_search(&ctx, 100, std::hint::black_box(9)))
+    });
+    group.bench_function("pgo_pipeline", |b| b.iter(|| pgo_tune(&ctx, std::hint::black_box(8))));
+    group.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 7 bench: input-sensitivity — an executable tuned on the
+//! Table 2 input evaluated frozen on the §4.3 small and large inputs.
+
+use bench::{bench_run, bench_workload, log_series};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_machine::Architecture;
+
+fn fig7(c: &mut Criterion) {
+    let arch = Architecture::broadwell();
+    let w = bench_workload("CloverLeaf");
+    let run = bench_run("CloverLeaf", &arch);
+
+    // Reproduction log: CFR and G.realized generalization.
+    for (fig, input) in [("fig7a", &w.small), ("fig7b", &w.large)] {
+        let mut capped = input.clone();
+        capped.steps = capped.steps.min(bench::BENCH_STEPS);
+        let points = vec![
+            (
+                "CFR".to_string(),
+                run.speedup_on_input(&w, &capped, &run.cfr.assignment),
+            ),
+            (
+                "G.realized".to_string(),
+                run.speedup_on_input(&w, &capped, &run.greedy.realized.assignment),
+            ),
+            (
+                "Random".to_string(),
+                run.speedup_on_input(&w, &capped, &run.random.assignment),
+            ),
+        ];
+        log_series(fig, &capped.name, &points);
+    }
+
+    let mut small = w.small.clone();
+    small.steps = small.steps.min(bench::BENCH_STEPS);
+    let mut group = c.benchmark_group("fig7_inputs");
+    group.sample_size(10);
+    group.bench_function("frozen_eval_on_small_input", |b| {
+        b.iter(|| run.speedup_on_input(&w, &small, std::hint::black_box(&run.cfr.assignment)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 8 bench: CloverLeaf time-step scaling — the CFR benefit must
+//! hold as the (1:2:4:8) step ladder grows.
+
+use bench::{bench_run, bench_workload, log_series};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_machine::Architecture;
+
+fn fig8(c: &mut Criterion) {
+    let arch = Architecture::broadwell();
+    let w = bench_workload("CloverLeaf");
+    let run = bench_run("CloverLeaf", &arch);
+    let tune = w.tuning_input(arch.name);
+
+    let points: Vec<(String, f64)> = [5u32, 10, 20, 40]
+        .iter()
+        .map(|&steps| {
+            let input = tune.with_steps(steps);
+            (
+                steps.to_string(),
+                run.speedup_on_input(&w, &input, &run.cfr.assignment),
+            )
+        })
+        .collect();
+    log_series("fig8", "CFR", &points);
+    // Stability check mirrored from the paper: the spread across the
+    // ladder should be small.
+    let min = points.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
+    let max = points.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    println!("[fig8] CFR spread across time-step ladder: {:.1}%", (max / min - 1.0) * 100.0);
+
+    let long = tune.with_steps(40);
+    let mut group = c.benchmark_group("fig8_timesteps");
+    group.sample_size(10);
+    group.bench_function("frozen_eval_40_steps", |b| {
+        b.iter(|| run.speedup_on_input(&w, &long, std::hint::black_box(&run.cfr.assignment)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Figure 9 + Table 3 bench: per-loop speedups and codegen decisions
+//! for CloverLeaf's five case-study kernels on Broadwell.
+
+use bench::{bench_run, log_series};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_machine::{link, Architecture};
+
+const KERNELS: [&str; 5] = ["dt", "cell3", "cell7", "mom9", "acc"];
+
+fn fig9_table3(c: &mut Criterion) {
+    let arch = Architecture::broadwell();
+    let run = bench_run("CloverLeaf", &arch);
+    let ctx = &run.ctx;
+
+    // Figure 9: per-loop speedups.
+    let base = ctx.eval_uniform(&ctx.space().baseline(), 0xF19);
+    let cfr_run = ctx.eval_assignment(&run.cfr.assignment, 0xF19 ^ 3);
+    let greedy_run = ctx.eval_assignment(&run.greedy.realized.assignment, 0xF19 ^ 2);
+    let per_loop = |meas: &ft_machine::RunMeasurement| -> Vec<(String, f64)> {
+        KERNELS
+            .iter()
+            .map(|k| {
+                let j = ctx.ir.module_by_name(k).expect("kernel outlined").id;
+                (k.to_string(), base.per_module_s[j] / meas.per_module_s[j])
+            })
+            .collect()
+    };
+    log_series("fig9", "CFR", &per_loop(&cfr_run));
+    log_series("fig9", "G.realized", &per_loop(&greedy_run));
+
+    // Table 3: decision summaries (post-link).
+    let linked = link(
+        ctx.compiler.compile_mixed(&ctx.ir, &run.cfr.assignment),
+        &ctx.ir,
+        &ctx.arch,
+    );
+    for k in KERNELS {
+        let j = ctx.ir.module_by_name(k).expect("kernel outlined").id;
+        println!("[table3] CFR {k}: {}", linked.modules[j].decisions.summary());
+    }
+
+    let mut group = c.benchmark_group("fig9_table3");
+    group.sample_size(20);
+    group.bench_function("per_loop_measurement", |b| {
+        b.iter(|| ctx.eval_assignment(std::hint::black_box(&run.cfr.assignment), 0xF19))
+    });
+    group.bench_function("decision_extraction_link", |b| {
+        b.iter(|| {
+            link(
+                ctx.compiler.compile_mixed(&ctx.ir, &run.cfr.assignment),
+                &ctx.ir,
+                &ctx.arch,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig9_table3);
+criterion_main!(benches);

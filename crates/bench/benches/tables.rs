@@ -1,0 +1,29 @@
+//! Table 1 / Table 2 bench: the static inventory tables, plus the cost
+//! of the full experiment-registry path that generates them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_report::{render, run_experiment, ReproConfig};
+
+fn tables(c: &mut Criterion) {
+    let cfg = ReproConfig::quick();
+    // Reproduction log: print both tables once.
+    for id in ["table1", "table2"] {
+        println!("{}", render::render(&run_experiment(id, &cfg)));
+    }
+
+    let mut group = c.benchmark_group("tables");
+    group.bench_function("table1_generate", |b| {
+        b.iter(|| run_experiment(std::hint::black_box("table1"), &cfg))
+    });
+    group.bench_function("table2_generate", |b| {
+        b.iter(|| run_experiment(std::hint::black_box("table2"), &cfg))
+    });
+    group.bench_function("render_table2", |b| {
+        let t = run_experiment("table2", &cfg);
+        b.iter(|| render::render(std::hint::black_box(&t)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, tables);
+criterion_main!(benches);

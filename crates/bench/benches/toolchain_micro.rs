@@ -1,0 +1,70 @@
+//! Microbenchmarks of the simulated toolchain itself: compile, link,
+//! execute and profile throughput — the costs every search algorithm
+//! multiplies by K.
+
+use bench::bench_ctx;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ft_caliper::{Caliper, VirtualClock};
+use ft_flags::rng::rng_for;
+use ft_flags::FlagSpace;
+use ft_machine::{execute, execute_profiled, link, Architecture, ExecOptions};
+use std::sync::Arc;
+
+fn toolchain(c: &mut Criterion) {
+    let arch = Architecture::broadwell();
+    let ctx = bench_ctx("CloverLeaf", &arch);
+    let cv = ctx.space().sample(&mut rng_for(7, "micro"));
+    let objects = ctx.compiler.compile_program(&ctx.ir, &cv);
+    let linked = link(objects.clone(), &ctx.ir, &arch);
+    let modules = ctx.ir.len() as u64;
+
+    let mut group = c.benchmark_group("toolchain_micro");
+    group.throughput(Throughput::Elements(modules));
+    group.bench_function("compile_program", |b| {
+        b.iter(|| ctx.compiler.compile_program(&ctx.ir, std::hint::black_box(&cv)))
+    });
+    group.bench_function("link_program", |b| {
+        b.iter(|| link(std::hint::black_box(objects.clone()), &ctx.ir, &arch))
+    });
+    group.bench_function("execute_run", |b| {
+        b.iter(|| execute(&linked, &arch, &ExecOptions::new(4, std::hint::black_box(9))))
+    });
+    group.bench_function("execute_profiled_run", |b| {
+        let cali = Caliper::real_time();
+        b.iter(|| execute_profiled(&linked, &arch, &ExecOptions::instrumented(4, 9), &cali))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("flag_space");
+    group.bench_function("sample_cv", |b| {
+        let space = FlagSpace::icc();
+        let mut rng = rng_for(3, "s");
+        b.iter(|| space.sample(&mut rng))
+    });
+    group.bench_function("cv_digest", |b| {
+        b.iter(|| std::hint::black_box(&cv).digest())
+    });
+    group.bench_function("cv_render", |b| {
+        b.iter(|| std::hint::black_box(&cv).render(ctx.space()))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("caliper");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("scoped_region_virtual_clock", |b| {
+        let clock = Arc::new(VirtualClock::new());
+        let cali = Caliper::with_clock(clock.clone());
+        b.iter(|| {
+            let _g = cali.scoped("region");
+            clock.advance(1e-6);
+        })
+    });
+    group.bench_function("record_flat", |b| {
+        let cali = Caliper::real_time();
+        b.iter(|| cali.record_flat("p", 1e-6, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, toolchain);
+criterion_main!(benches);

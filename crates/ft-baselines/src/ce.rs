@@ -1,0 +1,147 @@
+//! Combined Elimination (Pan & Eigenmann, 2008) — the per-program flag
+//! selection algorithm whose weakness motivates the paper (Figure 1).
+//!
+//! CE starts from the full `-O3` configuration and measures the
+//! *relative improvement percentage* (RIP) of switching each flag to
+//! its alternative value. All flags with negative RIP (switching
+//! improves performance) form the elimination candidates; the best one
+//! is applied, the remaining candidates are re-measured against the new
+//! base, and any still-negative ones are applied too. The outer loop
+//! repeats until no flag improves. CE converges quickly but gets stuck
+//! in local minima (§1) — it only ever moves one flag at a time.
+
+use ft_core::result::{best_so_far, TuningResult};
+use ft_core::EvalContext;
+use ft_flags::rng::derive_seed_idx;
+use ft_flags::Cv;
+
+/// Runs Combined Elimination over uniform (whole-program) CVs.
+///
+/// Multi-valued flags are handled by considering every non-current
+/// value as an elimination alternative and keeping the best.
+pub fn combined_elimination(ctx: &EvalContext, seed: u64) -> TuningResult {
+    let space = ctx.space().clone();
+    let mut base = space.baseline();
+    let mut evals: u64 = 0;
+    let mut timeline = Vec::new();
+    let measure = |cv: &Cv, evals: &mut u64, timeline: &mut Vec<f64>| -> f64 {
+        *evals += 1;
+        let t = ctx.eval_uniform(cv, derive_seed_idx(seed, *evals)).total_s;
+        timeline.push(t);
+        t
+    };
+
+    let mut base_time = measure(&base, &mut evals, &mut timeline);
+    loop {
+        // Measure the RIP of every single-flag switch.
+        let mut candidates: Vec<(usize, u8, f64)> = Vec::new();
+        for id in 0..space.len() {
+            let current = base.get(id);
+            let mut best_alt: Option<(u8, f64)> = None;
+            for v in 0..space.flag(id).arity() as u8 {
+                if v == current {
+                    continue;
+                }
+                let t = measure(&base.with(&space, id, v), &mut evals, &mut timeline);
+                let rip = (t - base_time) / base_time;
+                if best_alt.is_none() || rip < best_alt.unwrap().1 {
+                    best_alt = Some((v, rip));
+                }
+            }
+            if let Some((v, rip)) = best_alt {
+                if rip < 0.0 {
+                    candidates.push((id, v, rip));
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        // Batched elimination: apply the best candidate, then re-check
+        // the remaining ones against the updated base.
+        candidates.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite RIP"));
+        let (first_id, first_v, _) = candidates[0];
+        base = base.with(&space, first_id, first_v);
+        base_time = measure(&base, &mut evals, &mut timeline);
+        for &(id, v, _) in &candidates[1..] {
+            let trial = base.with(&space, id, v);
+            let t = measure(&trial, &mut evals, &mut timeline);
+            if t < base_time {
+                base = trial;
+                base_time = t;
+            }
+        }
+    }
+
+    let baseline_time = ctx.baseline_time(10);
+    TuningResult {
+        algorithm: "CE".into(),
+        best_time: base_time,
+        baseline_time,
+        assignment: vec![base; ctx.modules()],
+        best_index: 0,
+        history: best_so_far(&timeline),
+        evaluations: evals as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_compiler::Compiler;
+    use ft_machine::Architecture;
+    use ft_outline::outline_with_defaults;
+    use ft_workloads::workload_by_name;
+
+    fn ctx(bench: &str) -> EvalContext {
+        let arch = Architecture::broadwell();
+        let compiler = Compiler::icc(arch.target);
+        let w = workload_by_name(bench).unwrap();
+        let input = w.tuning_input(arch.name).clone();
+        let ir = w.instantiate(&input);
+        let (outlined, _) = outline_with_defaults(&ir, &compiler, &arch, 5, 11);
+        EvalContext::new(outlined.ir, Compiler::icc(arch.target), arch, 5, 31)
+    }
+
+    #[test]
+    fn ce_never_degrades_much_and_rarely_excels() {
+        // The Figure 1 observation: CE ends close to the O3 baseline.
+        let c = ctx("swim");
+        let r = combined_elimination(&c, 3);
+        assert!(r.speedup() > 0.97, "CE should not tank: {}", r.speedup());
+        assert!(r.speedup() < 1.10, "CE should not match CFR: {}", r.speedup());
+    }
+
+    #[test]
+    fn ce_terminates_with_bounded_evaluations() {
+        let c = ctx("swim");
+        let r = combined_elimination(&c, 3);
+        // One full RIP sweep costs sum(arity-1) ≈ 48 evals; CE should
+        // converge within a handful of sweeps.
+        assert!(r.evaluations < 1200, "evals = {}", r.evaluations);
+        assert!(r.evaluations >= 48);
+    }
+
+    #[test]
+    fn ce_is_deterministic() {
+        let c = ctx("swim");
+        let a = combined_elimination(&c, 5);
+        let b = combined_elimination(&c, 5);
+        assert_eq!(a.best_time, b.best_time);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn ce_works_on_gcc_space_too() {
+        // Figure 1 runs CE for both GCC and ICC.
+        let arch = Architecture::broadwell();
+        let w = workload_by_name("CloverLeaf").unwrap();
+        let input = w.tuning_input(arch.name).clone();
+        let ir = w.instantiate(&input);
+        let compiler = Compiler::gcc(arch.target);
+        let (outlined, _) = outline_with_defaults(&ir, &compiler, &arch, 5, 11);
+        let c = EvalContext::new(outlined.ir, Compiler::gcc(arch.target), arch, 5, 31);
+        let r = combined_elimination(&c, 3);
+        assert!(r.speedup() > 0.95 && r.speedup() < 1.12, "{}", r.speedup());
+    }
+}

@@ -1,0 +1,30 @@
+//! Prior-work baselines FuncyTuner is compared against (§4.2).
+//!
+//! * [`ce`] — **Combined Elimination** (Pan & Eigenmann, PEAK): the
+//!   RIP-driven batched flag-elimination algorithm behind the Figure 1
+//!   motivation experiment.
+//! * [`opentuner`] — an **OpenTuner-like ensemble**: differential
+//!   evolution, a Torczon-style pattern hill-climber, Nelder–Mead on a
+//!   relaxed continuous embedding, greedy mutation and pure random,
+//!   coordinated by an AUC-bandit meta-technique, with a budget of 1000
+//!   test iterations over the same CV space.
+//! * [`cobayn`] — a **COBAYN-like Bayesian network**: trained on a
+//!   synthetic cBench-like suite, inferring binary flags for a new
+//!   program from static (Milepost-like) and/or dynamic (MICA-like,
+//!   serial-only) program features through a Chow–Liu tree model.
+//! * [`pgo`] — Intel-style **profile-guided optimization**: an
+//!   instrumented run feeding a second compilation; reproduces the
+//!   paper's instrumentation-run failures for LULESH and Optewe.
+//!
+//! All baselines evaluate through the same `ft_core::EvalContext` as
+//! FuncyTuner itself, so comparisons are apples-to-apples.
+
+pub mod ce;
+pub mod cobayn;
+pub mod opentuner;
+pub mod pgo;
+
+pub use ce::combined_elimination;
+pub use cobayn::{Cobayn, FeatureMode};
+pub use opentuner::opentuner_search;
+pub use pgo::pgo_tune;

@@ -1,0 +1,128 @@
+//! Intel-style profile-guided optimization as a tuning baseline
+//! (§4.2.1): `-prof-gen` instrumented build → profiling run on the
+//! tuning input → `-O3 -prof-use` recompilation.
+
+use ft_core::result::TuningResult;
+use ft_core::EvalContext;
+use ft_flags::rng::derive_seed_idx;
+use ft_compiler::{CompiledModule, PgoError, PgoProfile};
+use ft_machine::{execute, link, ExecOptions};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of the PGO pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PgoOutcome {
+    /// Tuning result when the pipeline succeeded; for failed
+    /// instrumentation (LULESH, Optewe) the program stays at `-O3`,
+    /// i.e. speedup 1.0 up to noise.
+    pub result: TuningResult,
+    /// The instrumentation failure, if any.
+    pub failure: Option<String>,
+    /// Cost of the instrumented profiling run, seconds.
+    pub profiling_run_s: f64,
+}
+
+/// Runs the full PGO pipeline against an evaluation context.
+pub fn pgo_tune(ctx: &EvalContext, seed: u64) -> PgoOutcome {
+    let baseline_time = ctx.baseline_time(10);
+    let base_cv = ctx.space().baseline();
+
+    match PgoProfile::collect(&ctx.ir) {
+        Err(PgoError::InstrumentationRunFailed { program }) => {
+            // The program ships at plain -O3.
+            let t = ctx.eval_uniform(&base_cv, derive_seed_idx(seed, 1)).total_s;
+            PgoOutcome {
+                result: TuningResult {
+                    algorithm: "PGO".into(),
+                    best_time: t,
+                    baseline_time,
+                    assignment: vec![base_cv; ctx.modules()],
+                    best_index: 0,
+                    history: vec![t],
+                    evaluations: 1,
+                },
+                failure: Some(format!("instrumentation run failed for {program}")),
+                profiling_run_s: 0.0,
+            }
+        }
+        Ok(profile) => {
+            // Instrumented profiling run on the tuning input.
+            let profiling_run_s = baseline_time * (1.0 + profile.instrumentation_overhead);
+            // -prof-use recompilation at -O3.
+            let objects: Vec<CompiledModule> = ctx
+                .ir
+                .modules
+                .iter()
+                .map(|m| ctx.compiler.compile_module_with_profile(m, &base_cv, &profile))
+                .collect();
+            let linked = link(objects, &ctx.ir, &ctx.arch);
+            let t = execute(
+                &linked,
+                &ctx.arch,
+                &ExecOptions::new(ctx.steps, derive_seed_idx(seed, 2)),
+            )
+            .total_s;
+            PgoOutcome {
+                result: TuningResult {
+                    algorithm: "PGO".into(),
+                    best_time: t,
+                    baseline_time,
+                    assignment: vec![base_cv; ctx.modules()],
+                    best_index: 0,
+                    history: vec![t],
+                    evaluations: 2,
+                },
+                failure: None,
+                profiling_run_s,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_compiler::Compiler;
+    use ft_machine::Architecture;
+    use ft_outline::outline_with_defaults;
+    use ft_workloads::workload_by_name;
+
+    fn ctx(bench: &str) -> EvalContext {
+        let arch = Architecture::broadwell();
+        let compiler = Compiler::icc(arch.target);
+        let w = workload_by_name(bench).unwrap();
+        let ir = w.instantiate(w.tuning_input(arch.name));
+        let (outlined, _) = outline_with_defaults(&ir, &compiler, &arch, 5, 11);
+        EvalContext::new(outlined.ir, Compiler::icc(arch.target), arch, 5, 61)
+    }
+
+    #[test]
+    fn pgo_gives_minor_gains_on_friendly_programs() {
+        // §4.2.2 observation 3: PGO is at best ~1.8% better than O3.
+        let c = ctx("AMG");
+        let o = pgo_tune(&c, 3);
+        assert!(o.failure.is_none());
+        let s = o.result.speedup();
+        assert!(s > 0.97 && s < 1.08, "PGO speedup = {s}");
+        assert!(o.profiling_run_s > 0.0);
+    }
+
+    #[test]
+    fn pgo_fails_for_lulesh_and_optewe() {
+        for bench in ["LULESH", "Optewe"] {
+            let c = ctx(bench);
+            let o = pgo_tune(&c, 3);
+            assert!(o.failure.is_some(), "{bench} should fail instrumentation");
+            let s = o.result.speedup();
+            assert!((s - 1.0).abs() < 0.02, "failed PGO ships -O3: {s}");
+        }
+    }
+
+    #[test]
+    fn pgo_is_deterministic() {
+        let c = ctx("swim");
+        let a = pgo_tune(&c, 9);
+        let b = pgo_tune(&c, 9);
+        assert_eq!(a.result.best_time, b.result.best_time);
+    }
+}

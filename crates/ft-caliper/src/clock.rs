@@ -1,0 +1,113 @@
+//! Time sources for the profiler.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic time source measured in seconds.
+///
+/// Implementations must be thread-safe; the profiler reads the clock
+/// from every instrumented thread.
+pub trait Clock: Send + Sync {
+    /// Current time in seconds since an arbitrary epoch.
+    fn now(&self) -> f64;
+}
+
+/// Wall-clock time via [`Instant`], for profiling real code.
+#[derive(Debug)]
+pub struct RealClock {
+    start: Instant,
+}
+
+impl RealClock {
+    /// Creates a clock whose epoch is "now".
+    pub fn new() -> Self {
+        RealClock { start: Instant::now() }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+/// A manually-advanced clock for simulated executions.
+///
+/// Time is stored in integer nanoseconds so concurrent `advance` calls
+/// from simulation threads compose without locks.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    nanos: AtomicU64,
+}
+
+impl VirtualClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        VirtualClock { nanos: AtomicU64::new(0) }
+    }
+
+    /// Advances the clock by `secs` seconds (must be non-negative).
+    pub fn advance(&self, secs: f64) {
+        assert!(secs >= 0.0, "virtual time cannot run backwards");
+        let add = (secs * 1e9).round() as u64;
+        self.nanos.fetch_add(add, Ordering::Relaxed);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> f64 {
+        self.nanos.load(Ordering::Relaxed) as f64 * 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_starts_at_zero_and_advances() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), 0.0);
+        c.advance(1.5);
+        c.advance(0.25);
+        assert!((c.now() - 1.75).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn virtual_clock_rejects_negative() {
+        VirtualClock::new().advance(-1.0);
+    }
+
+    #[test]
+    fn real_clock_is_monotonic() {
+        let c = RealClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn virtual_clock_concurrent_advance() {
+        let c = std::sync::Arc::new(VirtualClock::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.advance(0.001);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!((c.now() - 4.0).abs() < 1e-6);
+    }
+}

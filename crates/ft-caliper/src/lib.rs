@@ -1,0 +1,51 @@
+//! A Caliper-like lightweight region-annotation profiler.
+//!
+//! The paper uses LLNL's [Caliper](https://github.com/LLNL/Caliper) to
+//! collect per-loop runtimes with < 3 % overhead (§3.3). This crate is
+//! a from-scratch reimplementation of the subset FuncyTuner needs:
+//!
+//! * **Region annotations** — `begin`/`end` pairs or RAII
+//!   [`RegionGuard`]s around code regions, with hierarchical
+//!   aggregation by `outer/inner` path, exactly like Caliper's
+//!   `CALI_MARK_BEGIN`/`CALI_MARK_END`.
+//! * **Thread safety** — each thread keeps its own region stack and
+//!   statistics buffer (guarded by a `parking_lot` mutex that is only
+//!   contended at snapshot time); snapshots merge all threads.
+//! * **Two time sources** — [`clock::RealClock`] wraps
+//!   `std::time::Instant` for profiling real Rust code, and
+//!   [`clock::VirtualClock`] is advanced explicitly by the FuncyTuner
+//!   simulation so that simulated executions produce profiles through
+//!   the *same* code path as real ones.
+//! * **Overhead accounting** — every annotation charges a configurable
+//!   per-event cost to the virtual clock, modelling the paper's < 3 %
+//!   instrumentation overhead and letting tests assert it.
+//!
+//! # Example
+//!
+//! ```
+//! use ft_caliper::{Caliper, clock::VirtualClock};
+//! use std::sync::Arc;
+//!
+//! let clock = Arc::new(VirtualClock::new());
+//! let cali = Caliper::with_clock(clock.clone());
+//! {
+//!     let _outer = cali.scoped("timestep");
+//!     clock.advance(1.0);
+//!     {
+//!         let _inner = cali.scoped("lagrangian");
+//!         clock.advance(3.0);
+//!     }
+//! }
+//! let snap = cali.snapshot();
+//! assert_eq!(snap.inclusive("timestep"), 4.0);
+//! assert_eq!(snap.exclusive("timestep"), 1.0);
+//! assert_eq!(snap.inclusive("timestep/lagrangian"), 3.0);
+//! ```
+
+pub mod clock;
+pub mod report;
+pub mod session;
+
+pub use clock::{Clock, RealClock, VirtualClock};
+pub use report::{RegionRecord, Snapshot};
+pub use session::{Caliper, CaliperError, RegionGuard};

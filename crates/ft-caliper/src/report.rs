@@ -1,0 +1,341 @@
+//! Aggregated profiling snapshots and text reports.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// Accumulated statistics for one region path.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegionStat {
+    /// Number of completed executions.
+    pub count: u64,
+    /// Total inclusive time (seconds).
+    pub inclusive: f64,
+    /// Total exclusive time: inclusive minus time in child regions.
+    pub exclusive: f64,
+}
+
+/// One row of a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionRecord {
+    /// Hierarchical path, e.g. `timestep/advec_mom`.
+    pub path: String,
+    /// Statistics for the path.
+    pub stat: RegionStat,
+}
+
+/// An immutable merge of all threads' region statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    records: BTreeMap<String, RegionStat>,
+    /// Modelled instrumentation overhead (seconds).
+    pub overhead_s: f64,
+    /// Global attributes set on the session (run configuration, input
+    /// name, ...), in deterministic key order.
+    pub metadata: BTreeMap<String, String>,
+}
+
+impl Snapshot {
+    pub(crate) fn from_stats(stats: HashMap<String, RegionStat>, overhead_s: f64) -> Self {
+        Snapshot {
+            records: stats.into_iter().collect(),
+            overhead_s,
+            metadata: BTreeMap::new(),
+        }
+    }
+
+    /// Builds a snapshot directly from `(path, stat)` rows (useful for
+    /// tests and for replaying stored profiles).
+    pub fn from_records(rows: impl IntoIterator<Item = (String, RegionStat)>) -> Self {
+        Snapshot {
+            records: rows.into_iter().collect(),
+            overhead_s: 0.0,
+            metadata: BTreeMap::new(),
+        }
+    }
+
+    /// All rows in deterministic (path-sorted) order.
+    pub fn records(&self) -> impl Iterator<Item = RegionRecord> + '_ {
+        self.records.iter().map(|(path, stat)| RegionRecord {
+            path: path.clone(),
+            stat: *stat,
+        })
+    }
+
+    /// Number of distinct paths.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no regions were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Execution count of `path` (0 when absent).
+    pub fn count(&self, path: &str) -> u64 {
+        self.records.get(path).map_or(0, |s| s.count)
+    }
+
+    /// Total inclusive seconds of `path` (0 when absent).
+    pub fn inclusive(&self, path: &str) -> f64 {
+        self.records.get(path).map_or(0.0, |s| s.inclusive)
+    }
+
+    /// Total exclusive seconds of `path` (0 when absent).
+    pub fn exclusive(&self, path: &str) -> f64 {
+        self.records.get(path).map_or(0.0, |s| s.exclusive)
+    }
+
+    /// Sum of inclusive time over top-level (un-nested) regions — the
+    /// profiled end-to-end time when the whole program is wrapped in
+    /// top-level annotations.
+    pub fn total_top_level(&self) -> f64 {
+        self.records
+            .iter()
+            .filter(|(p, _)| !p.contains('/'))
+            .map(|(_, s)| s.inclusive)
+            .sum()
+    }
+
+    /// `exclusive(path) / end_to_end` — the per-loop runtime ratio used
+    /// by the ≥ 1 % hot-loop threshold (paper §3.3).
+    pub fn fraction(&self, path: &str, end_to_end: f64) -> f64 {
+        if end_to_end <= 0.0 {
+            return 0.0;
+        }
+        self.exclusive(path) / end_to_end
+    }
+
+    /// Paths whose exclusive time is at least `threshold` of
+    /// `end_to_end`, sorted by descending exclusive time.
+    pub fn hot_paths(&self, end_to_end: f64, threshold: f64) -> Vec<RegionRecord> {
+        let mut hot: Vec<RegionRecord> = self
+            .records()
+            .filter(|r| self.fraction(&r.path, end_to_end) >= threshold)
+            .collect();
+        hot.sort_by(|a, b| {
+            b.stat
+                .exclusive
+                .partial_cmp(&a.stat.exclusive)
+                .expect("finite times")
+        });
+        hot
+    }
+
+    /// Merges another snapshot into this one (summing counts and
+    /// times), e.g. to aggregate the paper's 10 repeated experiments.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (path, stat) in &other.records {
+            let e = self.records.entry(path.clone()).or_default();
+            e.count += stat.count;
+            e.inclusive += stat.inclusive;
+            e.exclusive += stat.exclusive;
+        }
+        self.overhead_s += other.overhead_s;
+    }
+
+    /// Returns a copy with all times (and the overhead) multiplied by
+    /// `factor` — `merge` + `scale(1/n)` averages n runs.
+    pub fn scaled(&self, factor: f64) -> Snapshot {
+        assert!(factor.is_finite() && factor >= 0.0, "bad scale factor");
+        let records = self
+            .records
+            .iter()
+            .map(|(p, s)| {
+                (
+                    p.clone(),
+                    RegionStat {
+                        count: s.count,
+                        inclusive: s.inclusive * factor,
+                        exclusive: s.exclusive * factor,
+                    },
+                )
+            })
+            .collect();
+        Snapshot {
+            records,
+            overhead_s: self.overhead_s * factor,
+            metadata: self.metadata.clone(),
+        }
+    }
+
+    /// Per-path inclusive-time difference `self − other` (paths absent
+    /// on one side count as zero), sorted by descending absolute
+    /// change. Useful for comparing two code variants' profiles.
+    pub fn diff(&self, other: &Snapshot) -> Vec<(String, f64)> {
+        let mut paths: Vec<&String> =
+            self.records.keys().chain(other.records.keys()).collect();
+        paths.sort_unstable();
+        paths.dedup();
+        let mut out: Vec<(String, f64)> = paths
+            .into_iter()
+            .map(|p| (p.clone(), self.inclusive(p) - other.inclusive(p)))
+            .collect();
+        out.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).expect("finite"));
+        out
+    }
+
+    /// Exports the snapshot as CSV (`path,count,inclusive_s,exclusive_s`),
+    /// rows in deterministic path order — the machine-readable profile
+    /// format downstream tooling ingests.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("path,count,inclusive_s,exclusive_s\n");
+        for (path, stat) in &self.records {
+            // Paths never contain commas (module names are identifiers),
+            // but quote defensively anyway.
+            let quoted = if path.contains(',') {
+                format!("\"{path}\"")
+            } else {
+                path.clone()
+            };
+            out.push_str(&format!(
+                "{quoted},{},{:.9},{:.9}\n",
+                stat.count, stat.inclusive, stat.exclusive
+            ));
+        }
+        out
+    }
+
+    /// Renders a Caliper-style text table sorted by exclusive time.
+    pub fn render(&self) -> String {
+        let total: f64 = self.records.values().map(|s| s.exclusive).sum();
+        let mut rows: Vec<(&String, &RegionStat)> = self.records.iter().collect();
+        rows.sort_by(|a, b| b.1.exclusive.partial_cmp(&a.1.exclusive).expect("finite"));
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<40} {:>8} {:>12} {:>12} {:>7}\n",
+            "path", "count", "incl (s)", "excl (s)", "excl %"
+        ));
+        for (path, stat) in rows {
+            let pct = if total > 0.0 { 100.0 * stat.exclusive / total } else { 0.0 };
+            out.push_str(&format!(
+                "{:<40} {:>8} {:>12.6} {:>12.6} {:>6.2}%\n",
+                path, stat.count, stat.inclusive, stat.exclusive, pct
+            ));
+        }
+        if self.overhead_s > 0.0 {
+            out.push_str(&format!("instrumentation overhead: {:.6} s\n", self.overhead_s));
+        }
+        for (k, v) in &self.metadata {
+            out.push_str(&format!("{k}: {v}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap() -> Snapshot {
+        Snapshot::from_records([
+            (
+                "main".to_string(),
+                RegionStat { count: 1, inclusive: 10.0, exclusive: 2.0 },
+            ),
+            (
+                "main/hot".to_string(),
+                RegionStat { count: 100, inclusive: 7.0, exclusive: 7.0 },
+            ),
+            (
+                "main/cold".to_string(),
+                RegionStat { count: 100, inclusive: 1.0, exclusive: 1.0 },
+            ),
+        ])
+    }
+
+    #[test]
+    fn totals_and_fractions() {
+        let s = snap();
+        assert_eq!(s.total_top_level(), 10.0);
+        assert!((s.fraction("main/hot", 10.0) - 0.7).abs() < 1e-12);
+        assert_eq!(s.fraction("missing", 10.0), 0.0);
+        assert_eq!(s.fraction("main/hot", 0.0), 0.0);
+    }
+
+    #[test]
+    fn hot_paths_thresholding() {
+        let s = snap();
+        let hot = s.hot_paths(10.0, 0.05);
+        let names: Vec<&str> = hot.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(names, vec!["main/hot", "main", "main/cold"]);
+        let hotter = s.hot_paths(10.0, 0.15);
+        assert_eq!(hotter.len(), 2);
+    }
+
+    #[test]
+    fn render_contains_rows_sorted() {
+        let s = snap();
+        let text = s.render();
+        let hot_pos = text.find("main/hot").unwrap();
+        let cold_pos = text.find("main/cold").unwrap();
+        assert!(hot_pos < cold_pos, "rows must sort by exclusive time:\n{text}");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = snap();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Snapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.count("main/hot"), 100);
+        assert_eq!(back.len(), s.len());
+    }
+
+    #[test]
+    fn merge_sums_and_scale_averages() {
+        let mut a = snap();
+        let b = snap();
+        a.merge(&b);
+        assert_eq!(a.count("main/hot"), 200);
+        assert!((a.inclusive("main/hot") - 14.0).abs() < 1e-12);
+        let avg = a.scaled(0.5);
+        assert!((avg.inclusive("main/hot") - 7.0).abs() < 1e-12);
+        assert_eq!(avg.count("main/hot"), 200, "scaling leaves counts intact");
+    }
+
+    #[test]
+    fn merge_introduces_missing_paths() {
+        let mut a = Snapshot::from_records([]);
+        a.merge(&snap());
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.count("main"), 1);
+    }
+
+    #[test]
+    fn diff_sorts_by_absolute_change() {
+        let a = snap();
+        let mut faster = snap();
+        faster.merge(&Snapshot::from_records([(
+            "main/hot".to_string(),
+            RegionStat { count: 0, inclusive: -3.0, exclusive: -3.0 },
+        )]));
+        let d = a.diff(&faster);
+        assert_eq!(d[0].0, "main/hot");
+        assert!((d[0].1 - 3.0).abs() < 1e-12);
+        // Unchanged paths diff to ~0 and sort last.
+        assert!(d.last().unwrap().1.abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad scale factor")]
+    fn scale_rejects_negative() {
+        let _ = snap().scaled(-1.0);
+    }
+
+    #[test]
+    fn csv_export_round_trips_by_eye() {
+        let csv = snap().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "path,count,inclusive_s,exclusive_s");
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().any(|l| l.starts_with("main/hot,100,7.0")));
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let s = Snapshot::from_records([]);
+        assert!(s.is_empty());
+        assert_eq!(s.total_top_level(), 0.0);
+        assert_eq!(s.hot_paths(1.0, 0.01).len(), 0);
+    }
+}

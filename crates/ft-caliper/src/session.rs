@@ -1,0 +1,408 @@
+//! Profiling sessions: region stacks and per-thread accumulation.
+
+use crate::clock::{Clock, RealClock};
+use crate::report::{RegionStat, Snapshot};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::ThreadId;
+
+/// Errors produced by mismatched annotations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaliperError {
+    /// `end` was called with no open region on this thread.
+    EndWithoutBegin { name: String },
+    /// `end(name)` did not match the innermost open region.
+    Mismatched { expected: String, got: String },
+}
+
+impl fmt::Display for CaliperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaliperError::EndWithoutBegin { name } => {
+                write!(f, "end(\"{name}\") with no open region")
+            }
+            CaliperError::Mismatched { expected, got } => {
+                write!(f, "end(\"{got}\") but innermost open region is \"{expected}\"")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CaliperError {}
+
+struct Frame {
+    name: String,
+    path: String,
+    start: f64,
+    /// Inclusive time already attributed to completed children.
+    child: f64,
+}
+
+#[derive(Default)]
+struct ThreadState {
+    stack: Vec<Frame>,
+    stats: HashMap<String, RegionStat>,
+}
+
+struct Inner {
+    clock: Arc<dyn Clock>,
+    threads: RwLock<HashMap<ThreadId, Arc<Mutex<ThreadState>>>>,
+    /// Estimated cost of one begin or end event, in seconds. Only used
+    /// for overhead *accounting* (the paper reports < 3 % overhead).
+    overhead_per_event: f64,
+    events: AtomicU64,
+    /// Global metadata attached to every snapshot (Caliper calls these
+    /// attributes): run configuration, input name, CV digest, ...
+    metadata: Mutex<std::collections::BTreeMap<String, String>>,
+}
+
+/// A profiling session.
+///
+/// Cheap to clone (`Arc` inside); clones share the same data, so a
+/// session can be handed to worker threads. See the crate-level docs
+/// for an example.
+#[derive(Clone)]
+pub struct Caliper {
+    inner: Arc<Inner>,
+}
+
+impl Caliper {
+    /// A session over wall-clock time.
+    pub fn real_time() -> Self {
+        Self::with_clock(Arc::new(RealClock::new()))
+    }
+
+    /// A session over an arbitrary [`Clock`] (typically a
+    /// [`crate::VirtualClock`] driven by the simulator).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        Caliper {
+            inner: Arc::new(Inner {
+                clock,
+                threads: RwLock::new(HashMap::new()),
+                overhead_per_event: 0.0,
+                events: AtomicU64::new(0),
+                metadata: Mutex::new(std::collections::BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// Sets the modelled per-event instrumentation cost (seconds).
+    pub fn with_overhead(self, overhead_per_event: f64) -> Self {
+        assert!(overhead_per_event >= 0.0);
+        let inner = Inner {
+            clock: self.inner.clock.clone(),
+            threads: RwLock::new(HashMap::new()),
+            overhead_per_event,
+            events: AtomicU64::new(0),
+            metadata: Mutex::new(std::collections::BTreeMap::new()),
+        };
+        Caliper { inner: Arc::new(inner) }
+    }
+
+    fn state(&self) -> Arc<Mutex<ThreadState>> {
+        let tid = std::thread::current().id();
+        if let Some(s) = self.inner.threads.read().get(&tid) {
+            return s.clone();
+        }
+        let mut w = self.inner.threads.write();
+        w.entry(tid)
+            .or_insert_with(|| Arc::new(Mutex::new(ThreadState::default())))
+            .clone()
+    }
+
+    /// Opens a region named `name`, nested inside the current thread's
+    /// innermost open region.
+    pub fn begin(&self, name: &str) {
+        self.inner.events.fetch_add(1, Ordering::Relaxed);
+        let now = self.inner.clock.now();
+        let state = self.state();
+        let mut st = state.lock();
+        let path = match st.stack.last() {
+            Some(parent) => format!("{}/{}", parent.path, name),
+            None => name.to_string(),
+        };
+        st.stack.push(Frame {
+            name: name.to_string(),
+            path,
+            start: now,
+            child: 0.0,
+        });
+    }
+
+    /// Closes the innermost open region, which must be named `name`.
+    pub fn end(&self, name: &str) -> Result<(), CaliperError> {
+        self.inner.events.fetch_add(1, Ordering::Relaxed);
+        let now = self.inner.clock.now();
+        let state = self.state();
+        let mut st = state.lock();
+        let frame = match st.stack.last() {
+            None => {
+                return Err(CaliperError::EndWithoutBegin { name: name.to_string() });
+            }
+            Some(f) if f.name != name => {
+                return Err(CaliperError::Mismatched {
+                    expected: f.name.clone(),
+                    got: name.to_string(),
+                });
+            }
+            Some(_) => st.stack.pop().expect("checked non-empty"),
+        };
+        let inclusive = (now - frame.start).max(0.0);
+        let exclusive = (inclusive - frame.child).max(0.0);
+        let stat = st.stats.entry(frame.path).or_default();
+        stat.count += 1;
+        stat.inclusive += inclusive;
+        stat.exclusive += exclusive;
+        if let Some(parent) = st.stack.last_mut() {
+            parent.child += inclusive;
+        }
+        Ok(())
+    }
+
+    /// RAII wrapper: the region ends when the guard drops.
+    pub fn scoped(&self, name: &str) -> RegionGuard<'_> {
+        self.begin(name);
+        RegionGuard { session: self, name: name.to_string() }
+    }
+
+    /// Directly records `count` executions of `path` totalling
+    /// `inclusive` seconds, without touching the region stack.
+    ///
+    /// The FuncyTuner simulation uses this to feed modelled per-loop
+    /// times through the same aggregation path as real measurements.
+    /// `exclusive` defaults to `inclusive` (flat regions).
+    pub fn record_flat(&self, path: &str, inclusive: f64, count: u64) {
+        self.inner.events.fetch_add(2 * count, Ordering::Relaxed);
+        let state = self.state();
+        let mut st = state.lock();
+        let stat = st.stats.entry(path.to_string()).or_default();
+        stat.count += count;
+        stat.inclusive += inclusive;
+        stat.exclusive += inclusive;
+    }
+
+    /// Attaches a global metadata attribute (Caliper-style), carried
+    /// into every subsequent snapshot.
+    pub fn set_attribute(&self, key: &str, value: &str) {
+        self.inner.metadata.lock().insert(key.to_string(), value.to_string());
+    }
+
+    /// Number of annotation events observed so far.
+    pub fn event_count(&self) -> u64 {
+        self.inner.events.load(Ordering::Relaxed)
+    }
+
+    /// Modelled total instrumentation overhead in seconds.
+    pub fn instrumentation_overhead(&self) -> f64 {
+        self.event_count() as f64 * self.inner.overhead_per_event
+    }
+
+    /// Merges all threads' completed-region statistics.
+    ///
+    /// Open regions are not included; end them (or drop their guards)
+    /// first.
+    pub fn snapshot(&self) -> Snapshot {
+        let threads = self.inner.threads.read();
+        let mut merged: HashMap<String, RegionStat> = HashMap::new();
+        for state in threads.values() {
+            let st = state.lock();
+            for (path, stat) in &st.stats {
+                let m = merged.entry(path.clone()).or_default();
+                m.count += stat.count;
+                m.inclusive += stat.inclusive;
+                m.exclusive += stat.exclusive;
+            }
+        }
+        let mut snap = Snapshot::from_stats(merged, self.instrumentation_overhead());
+        snap.metadata = self.inner.metadata.lock().clone();
+        snap
+    }
+
+    /// Clears all recorded statistics (open-region stacks are kept).
+    pub fn reset(&self) {
+        let threads = self.inner.threads.read();
+        for state in threads.values() {
+            state.lock().stats.clear();
+        }
+        self.inner.events.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Ends its region on drop. Created by [`Caliper::scoped`].
+#[must_use = "dropping the guard immediately ends the region"]
+pub struct RegionGuard<'a> {
+    session: &'a Caliper,
+    name: String,
+}
+
+impl Drop for RegionGuard<'_> {
+    fn drop(&mut self) {
+        // A guard can only mismatch if the user manually unbalanced the
+        // stack underneath it; in that case the error is already
+        // theirs, so we swallow it rather than panic in drop.
+        let _ = self.session.end(&self.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+
+    fn virt() -> (Arc<VirtualClock>, Caliper) {
+        let clock = Arc::new(VirtualClock::new());
+        let cali = Caliper::with_clock(clock.clone());
+        (clock, cali)
+    }
+
+    #[test]
+    fn flat_region_times() {
+        let (clock, cali) = virt();
+        cali.begin("a");
+        clock.advance(2.0);
+        cali.end("a").unwrap();
+        let snap = cali.snapshot();
+        assert_eq!(snap.count("a"), 1);
+        assert!((snap.inclusive("a") - 2.0).abs() < 1e-9);
+        assert!((snap.exclusive("a") - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nested_exclusive_subtracts_children() {
+        let (clock, cali) = virt();
+        cali.begin("outer");
+        clock.advance(1.0);
+        cali.begin("inner");
+        clock.advance(3.0);
+        cali.end("inner").unwrap();
+        clock.advance(0.5);
+        cali.end("outer").unwrap();
+        let snap = cali.snapshot();
+        assert!((snap.inclusive("outer") - 4.5).abs() < 1e-9);
+        assert!((snap.exclusive("outer") - 1.5).abs() < 1e-9);
+        assert!((snap.inclusive("outer/inner") - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sibling_regions_accumulate() {
+        let (clock, cali) = virt();
+        for _ in 0..3 {
+            cali.begin("loop");
+            clock.advance(1.0);
+            cali.end("loop").unwrap();
+        }
+        let snap = cali.snapshot();
+        assert_eq!(snap.count("loop"), 3);
+        assert!((snap.inclusive("loop") - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mismatched_end_is_error() {
+        let (_clock, cali) = virt();
+        cali.begin("a");
+        assert_eq!(
+            cali.end("b"),
+            Err(CaliperError::Mismatched { expected: "a".into(), got: "b".into() })
+        );
+        assert_eq!(
+            Caliper::real_time().end("x"),
+            Err(CaliperError::EndWithoutBegin { name: "x".into() })
+        );
+    }
+
+    #[test]
+    fn guard_ends_on_drop() {
+        let (clock, cali) = virt();
+        {
+            let _g = cali.scoped("r");
+            clock.advance(1.0);
+        }
+        assert_eq!(cali.snapshot().count("r"), 1);
+    }
+
+    #[test]
+    fn record_flat_feeds_snapshot() {
+        let (_clock, cali) = virt();
+        cali.record_flat("hydro/cell3", 2.5, 10);
+        let snap = cali.snapshot();
+        assert_eq!(snap.count("hydro/cell3"), 10);
+        assert!((snap.inclusive("hydro/cell3") - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_thread_merge() {
+        let (clock, cali) = virt();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cali = cali.clone();
+                let clock = clock.clone();
+                s.spawn(move || {
+                    let _g = cali.scoped("work");
+                    clock.advance(1.0);
+                });
+            }
+        });
+        let snap = cali.snapshot();
+        assert_eq!(snap.count("work"), 4);
+        // All four threads observed overlapping virtual-time windows;
+        // inclusive time sums per-thread durations.
+        assert!(snap.inclusive("work") >= 4.0 - 1e-9);
+    }
+
+    #[test]
+    fn overhead_accounting() {
+        let clock = Arc::new(VirtualClock::new());
+        let cali = Caliper::with_clock(clock.clone()).with_overhead(1e-6);
+        for _ in 0..500 {
+            let _g = cali.scoped("r");
+        }
+        // 500 regions × 2 events × 1 µs = 1 ms.
+        assert!((cali.instrumentation_overhead() - 1e-3).abs() < 1e-9);
+        assert!((cali.snapshot().overhead_s - 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attributes_ride_along_in_snapshots() {
+        let (clock, cali) = virt();
+        cali.set_attribute("input", "train");
+        cali.set_attribute("arch", "Broadwell");
+        let g = cali.scoped("r");
+        clock.advance(1.0);
+        drop(g);
+        let snap = cali.snapshot();
+        assert_eq!(snap.metadata.get("input").map(String::as_str), Some("train"));
+        assert!(snap.render().contains("arch: Broadwell"));
+        // Overwrite wins.
+        cali.set_attribute("input", "ref");
+        assert_eq!(cali.snapshot().metadata.get("input").map(String::as_str), Some("ref"));
+    }
+
+    #[test]
+    fn reset_clears_stats() {
+        let (clock, cali) = virt();
+        let g = cali.scoped("r");
+        clock.advance(1.0);
+        drop(g);
+        cali.reset();
+        assert_eq!(cali.snapshot().count("r"), 0);
+    }
+
+    #[test]
+    fn deep_nesting_paths() {
+        let (clock, cali) = virt();
+        let g1 = cali.scoped("a");
+        let g2 = cali.scoped("b");
+        let g3 = cali.scoped("c");
+        clock.advance(1.0);
+        drop(g3);
+        drop(g2);
+        drop(g1);
+        let snap = cali.snapshot();
+        assert_eq!(snap.count("a/b/c"), 1);
+        assert!((snap.exclusive("a") - 0.0).abs() < 1e-9);
+        assert!((snap.exclusive("a/b/c") - 1.0).abs() < 1e-9);
+    }
+}

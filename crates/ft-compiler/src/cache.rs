@@ -1,0 +1,186 @@
+//! Object cache: compile each `(module, CV)` pair once.
+//!
+//! The paper's framework drives a real build system (modified to use
+//! Intel's `xiar`/`xild`, §3.2); per-loop tuning naturally reuses
+//! object files — CFR's re-sampling phase recombines the same top-X
+//! per-module objects a thousand times and only the *link* step is
+//! new. This cache reproduces that build-system behaviour and
+//! accelerates the harness the same way object reuse accelerates the
+//! real prototype.
+//!
+//! Thread-safe: searches evaluate candidates from rayon worker threads.
+
+use crate::compiler::Compiler;
+use crate::decisions::CompiledModule;
+use crate::ir::Module;
+use ft_flags::Cv;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A concurrent compile cache keyed by `(module id, CV digest)`.
+///
+/// ```
+/// use ft_compiler::{Compiler, LoopFeatures, Module, ObjectCache, Target};
+/// let compiler = Compiler::icc(Target::avx2_256());
+/// let module = Module::hot_loop(0, "k", LoopFeatures::synthetic(1), &[]);
+/// let cache = ObjectCache::new();
+/// let cv = compiler.space().baseline();
+/// let a = cache.compile(&compiler, &module, &cv);
+/// let b = cache.compile(&compiler, &module, &cv);
+/// assert_eq!(a, b);
+/// assert_eq!(cache.stats(), (1, 1)); // one hit, one miss
+/// ```
+#[derive(Default)]
+pub struct ObjectCache {
+    map: RwLock<HashMap<(usize, u64), CompiledModule>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ObjectCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compiles `module` with `cv`, reusing a cached object when one
+    /// exists. The result is bit-identical to
+    /// [`Compiler::compile_module`] (compilation is deterministic).
+    pub fn compile(&self, compiler: &Compiler, module: &Module, cv: &Cv) -> CompiledModule {
+        let key = (module.id, cv.digest());
+        if let Some(obj) = self.map.read().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return obj.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let obj = compiler.compile_module(module, cv);
+        self.map.write().insert(key, obj.clone());
+        obj
+    }
+
+    /// Compiles a full per-module assignment through the cache.
+    pub fn compile_assignment(
+        &self,
+        compiler: &Compiler,
+        modules: &[Module],
+        assignment: &[Cv],
+    ) -> Vec<CompiledModule> {
+        assert_eq!(modules.len(), assignment.len(), "one CV per module");
+        modules
+            .iter()
+            .zip(assignment)
+            .map(|(m, cv)| self.compile(compiler, m, cv))
+            .collect()
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True when nothing has been compiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// Drops all cached objects (e.g. when switching programs).
+    pub fn clear(&self) {
+        self.map.write().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::Target;
+    use crate::ir::LoopFeatures;
+    use ft_flags::rng::rng_for;
+
+    fn setup() -> (Compiler, Module, Cv) {
+        let c = Compiler::icc(Target::avx2_256());
+        let m = Module::hot_loop(0, "k", LoopFeatures::synthetic(5), &[]);
+        let cv = c.space().sample(&mut rng_for(1, "cache"));
+        (c, m, cv)
+    }
+
+    #[test]
+    fn cache_returns_identical_objects() {
+        let (c, m, cv) = setup();
+        let cache = ObjectCache::new();
+        let direct = c.compile_module(&m, &cv);
+        let cached1 = cache.compile(&c, &m, &cv);
+        let cached2 = cache.compile(&c, &m, &cv);
+        assert_eq!(direct, cached1);
+        assert_eq!(direct, cached2);
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_cvs_are_different_entries() {
+        let (c, m, cv) = setup();
+        let cache = ObjectCache::new();
+        let cv2 = c.space().sample(&mut rng_for(2, "cache"));
+        cache.compile(&c, &m, &cv);
+        cache.compile(&c, &m, &cv2);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats(), (0, 2));
+    }
+
+    #[test]
+    fn different_modules_do_not_collide() {
+        let (c, m, cv) = setup();
+        let m2 = Module::hot_loop(1, "k2", LoopFeatures::synthetic(6), &[]);
+        let cache = ObjectCache::new();
+        let a = cache.compile(&c, &m, &cv);
+        let b = cache.compile(&c, &m2, &cv);
+        assert_ne!(a, b);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let (c, m, cv) = setup();
+        let cache = ObjectCache::new();
+        cache.compile(&c, &m, &cv);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), (0, 0));
+    }
+
+    #[test]
+    fn concurrent_compiles_are_consistent() {
+        let (c, m, cv) = setup();
+        let cache = ObjectCache::new();
+        let expected = c.compile_module(&m, &cv);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        assert_eq!(cache.compile(&c, &m, &cv), expected);
+                    }
+                });
+            }
+        });
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits + misses, 400);
+        assert!(misses >= 1, "at least one real compile");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one CV per module")]
+    fn assignment_length_checked() {
+        let (c, m, cv) = setup();
+        let cache = ObjectCache::new();
+        let _ = cache.compile_assignment(&c, &[m], &[cv.clone(), cv]);
+    }
+}

@@ -1,0 +1,161 @@
+//! ICC-style optimization reports (`-qopt-report` analogue).
+//!
+//! Real iterative-compilation work leans heavily on the compiler's
+//! optimization report to understand what a flag vector actually did.
+//! This module renders a per-module report from the compiled
+//! decisions: what was vectorized and at which width, what was
+//! unrolled, where registers spilled, which memory optimizations fired
+//! — the textual counterpart of Table 3.
+
+use crate::decisions::{CompiledModule, IselChoice, VecWidth};
+use crate::ir::ModuleKind;
+
+/// Renders the optimization report for one compiled module.
+pub fn report_module(obj: &CompiledModule) -> String {
+    let d = &obj.decisions;
+    let mut out = format!("Begin optimization report for: {}\n", obj.module.name);
+    out.push_str(&format!("  optimization level: O{}\n", d.opt_level));
+    match &obj.module.kind {
+        ModuleKind::NonLoop { .. } => {
+            out.push_str("  non-loop module: scalar code, inlining and IPO only\n");
+        }
+        ModuleKind::HotLoop(f) => {
+            // Vectorization remark.
+            match d.width {
+                VecWidth::Scalar => {
+                    let reason = if f.carried_dependence {
+                        "loop-carried dependence prevents vectorization"
+                    } else if f.divergence > 0.6 {
+                        "not profitable: heavy control-flow divergence (masking cost)"
+                    } else {
+                        "not profitable at the configured threshold"
+                    };
+                    out.push_str(&format!("  remark: LOOP WAS NOT VECTORIZED: {reason}\n"));
+                }
+                w => {
+                    out.push_str(&format!(
+                        "  remark: LOOP WAS VECTORIZED ({}-bit SIMD)\n",
+                        w.bits()
+                    ));
+                    if f.divergence > 0.3 {
+                        out.push_str(
+                            "  remark: masked operations emitted for divergent control flow\n",
+                        );
+                    }
+                }
+            }
+            if d.unroll > 1 {
+                out.push_str(&format!("  remark: loop unrolled by {}\n", d.unroll));
+            }
+            if d.unroll_jam {
+                out.push_str("  remark: outer loop unroll-and-jammed\n");
+            }
+            if d.sw_pipelined {
+                out.push_str("  remark: software pipelining applied\n");
+            }
+            if d.streaming_stores {
+                out.push_str("  remark: non-temporal (streaming) stores emitted\n");
+            }
+            out.push_str(&format!(
+                "  remark: software prefetch level {} ({} access pattern)\n",
+                d.prefetch,
+                match f.stride {
+                    crate::ir::MemStride::Unit => "unit-stride",
+                    crate::ir::MemStride::Strided(_) => "strided",
+                    crate::ir::MemStride::Indirect => "indirect",
+                }
+            ));
+            if d.register_spill > 0.08 {
+                out.push_str(&format!(
+                    "  remark: register pressure high, spill intensity {:.2}\n",
+                    d.register_spill
+                ));
+            }
+            if d.sched_aggressive {
+                out.push_str("  remark: aggressive instruction reordering (IO)\n");
+            }
+            if d.isel == IselChoice::Speed {
+                out.push_str("  remark: speed-biased instruction selection (IS)\n");
+            }
+            if !d.alias_optimistic {
+                out.push_str("  remark: strict aliasing disabled, conservative disambiguation\n");
+            }
+        }
+    }
+    if d.ipo {
+        out.push_str("  remark: compiled for inter-procedural optimization (-ipo)\n");
+    }
+    out.push_str(&format!("  estimated code size: {} bytes\n", d.code_bytes.round() as u64));
+    out.push_str(&format!("End optimization report for: {}\n", obj.module.name));
+    out
+}
+
+/// Renders the report for a whole compilation (all modules).
+pub fn report_program(objects: &[CompiledModule]) -> String {
+    objects.iter().map(report_module).collect::<Vec<_>>().join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{Compiler, Target};
+    use crate::ir::{LoopFeatures, Module};
+
+    fn icc() -> Compiler {
+        Compiler::icc(Target::avx2_256())
+    }
+
+    #[test]
+    fn vectorized_loop_reports_width() {
+        let c = icc();
+        let m = Module::hot_loop(0, "clean", LoopFeatures::synthetic(1), &[]);
+        let obj = c.compile_module(&m, &c.space().baseline());
+        let text = report_module(&obj);
+        if obj.decisions.width == crate::VecWidth::Scalar {
+            assert!(text.contains("NOT VECTORIZED"), "{text}");
+        } else {
+            assert!(text.contains("WAS VECTORIZED"), "{text}");
+        }
+        assert!(text.contains("Begin optimization report for: clean"));
+        assert!(text.contains("code size"));
+    }
+
+    #[test]
+    fn dependence_blocked_loop_names_the_reason() {
+        let c = icc();
+        let mut f = LoopFeatures::synthetic(2);
+        f.carried_dependence = true;
+        let m = Module::hot_loop(0, "dep", f, &[]);
+        let obj = c.compile_module(&m, &c.space().baseline());
+        let text = report_module(&obj);
+        assert!(text.contains("loop-carried dependence"), "{text}");
+    }
+
+    #[test]
+    fn forced_novec_reports_threshold_or_divergence() {
+        let c = icc();
+        let sp = c.space();
+        let cv = sp.baseline().with(sp, sp.index_of("vec").unwrap(), 1);
+        let mut f = LoopFeatures::synthetic(3);
+        f.divergence = 0.8;
+        let m = Module::hot_loop(0, "div", f, &[]);
+        let text = report_module(&c.compile_module(&m, &cv));
+        assert!(text.contains("divergence"), "{text}");
+    }
+
+    #[test]
+    fn program_report_covers_all_modules() {
+        let c = icc();
+        let ir = crate::ProgramIr::new(
+            "p",
+            vec![
+                Module::hot_loop(0, "a", LoopFeatures::synthetic(1), &[]),
+                Module::non_loop(1, 0.1, 1e4),
+            ],
+            vec![],
+        );
+        let text = report_program(&c.compile_program(&ir, &c.space().baseline()));
+        assert!(text.contains("for: a"));
+        assert!(text.contains("non-loop module"));
+    }
+}

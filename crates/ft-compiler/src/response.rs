@@ -1,0 +1,77 @@
+//! Loop-idiosyncratic response jitter.
+//!
+//! Real compilers make decisions from the full syntactic structure of a
+//! loop; our IR carries only coarse features. The missing structure is
+//! modelled as deterministic multiplicative jitter keyed by each loop's
+//! `response_seed` and a textual axis label: the same loop always
+//! responds the same way, but different loops respond differently to
+//! the same flag. This is what gives per-loop tuning genuine headroom
+//! and makes `-O3`'s one-size-fits-all heuristics misfire on specific
+//! loops (paper §4.4).
+
+use ft_flags::rng::{hash_label, mix};
+
+/// Uniform deterministic value in `[0, 1)` for `(seed, axis)`.
+pub fn unit(seed: u64, axis: &str) -> f64 {
+    let h = mix(seed ^ hash_label(axis));
+    // 53 high bits -> [0, 1).
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Uniform deterministic value in `[lo, hi)` for `(seed, axis)`.
+pub fn jitter(seed: u64, axis: &str, lo: f64, hi: f64) -> f64 {
+    debug_assert!(hi >= lo);
+    lo + unit(seed, axis) * (hi - lo)
+}
+
+/// Deterministic boolean with probability `p` for `(seed, axis)`.
+pub fn coin(seed: u64, axis: &str, p: f64) -> bool {
+    unit(seed, axis) < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_in_range_and_deterministic() {
+        for s in 0..100u64 {
+            let v = unit(s, "vec");
+            assert!((0.0..1.0).contains(&v));
+            assert_eq!(v, unit(s, "vec"));
+        }
+    }
+
+    #[test]
+    fn different_axes_decorrelate() {
+        let mut same = 0;
+        for s in 0..200u64 {
+            if (unit(s, "a") - unit(s, "b")).abs() < 0.01 {
+                same += 1;
+            }
+        }
+        assert!(same < 20, "axes look correlated: {same}");
+    }
+
+    #[test]
+    fn jitter_respects_bounds() {
+        for s in 0..100u64 {
+            let v = jitter(s, "x", 0.7, 1.4);
+            assert!((0.7..1.4).contains(&v));
+        }
+    }
+
+    #[test]
+    fn coin_matches_probability_roughly() {
+        let hits = (0..2000u64).filter(|s| coin(*s, "c", 0.25)).count();
+        let frac = hits as f64 / 2000.0;
+        assert!((frac - 0.25).abs() < 0.05, "frac = {frac}");
+    }
+
+    #[test]
+    fn unit_is_roughly_uniform() {
+        let n = 4000u64;
+        let mean: f64 = (0..n).map(|s| unit(s, "u")).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.03, "mean = {mean}");
+    }
+}

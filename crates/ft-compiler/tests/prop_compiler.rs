@@ -1,0 +1,129 @@
+//! Property-based tests: compiler invariants over arbitrary loop
+//! features and flag vectors.
+
+use ft_compiler::{Compiler, LoopFeatures, MemStride, Module, Target, VecWidth};
+use ft_flags::rng::rng_for;
+use proptest::prelude::*;
+
+/// Strategy: plausible loop features.
+fn arb_features() -> impl Strategy<Value = LoopFeatures> {
+    (
+        1.0e3f64..1.0e9,          // trip
+        1.0f64..50.0,             // invocations
+        5.0f64..500.0,            // ops
+        8.0f64..400.0,            // bytes
+        0.0f64..1.0,              // divergence
+        1.0f64..5.0,              // ilp
+        prop::bool::ANY,          // carried dep
+        prop::bool::ANY,          // reduction
+        0u8..3,                   // stride selector
+        any::<u64>(),             // response seed
+    )
+        .prop_map(
+            |(trip, inv, ops, bytes, div, ilp, dep, red, stride_sel, seed)| {
+                let mut f = LoopFeatures::synthetic(seed);
+                f.trip_count = trip;
+                f.invocations_per_step = inv;
+                f.ops_per_iter = ops;
+                f.bytes_per_iter = bytes;
+                f.divergence = div;
+                f.ilp = ilp;
+                f.carried_dependence = dep;
+                f.reduction = red;
+                f.stride = match stride_sel {
+                    0 => MemStride::Unit,
+                    1 => MemStride::Strided(4),
+                    _ => MemStride::Indirect,
+                };
+                f
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Decisions are always within their legal envelopes, for any
+    /// features on any target.
+    #[test]
+    fn decisions_are_well_formed(f in arb_features(), cv_seed in any::<u64>(), tgt in 0u8..3) {
+        let target = match tgt {
+            0 => Target::sse_128(),
+            1 => Target::avx_256(),
+            _ => Target::avx2_256(),
+        };
+        let c = Compiler::icc(target);
+        let cv = c.space().sample(&mut rng_for(cv_seed, "prop"));
+        let m = Module::hot_loop(0, "p", f.clone(), &[]);
+        let d = c.compile_module(&m, &cv).decisions;
+
+        prop_assert!(d.width.bits() <= target.max_vector_bits, "width beyond target");
+        prop_assert!(d.unroll >= 1 && d.unroll <= 16);
+        prop_assert!(d.prefetch <= 4);
+        prop_assert!(d.inline_depth <= 2);
+        prop_assert!(d.backend_quality > 0.2 && d.backend_quality < 3.0,
+            "quality {}", d.backend_quality);
+        prop_assert!(d.register_spill >= 0.0 && d.register_spill < 2.0);
+        prop_assert!(d.code_bytes > 0.0 && d.code_bytes.is_finite());
+        prop_assert!(d.layout_version < 8);
+        if f.carried_dependence {
+            prop_assert_eq!(d.width, VecWidth::Scalar, "dependence must block vectorization");
+        }
+    }
+
+    /// Compilation is a pure function: identical inputs, identical
+    /// outputs — the property the object cache relies on.
+    #[test]
+    fn compilation_is_pure(f in arb_features(), cv_seed in any::<u64>()) {
+        let c = Compiler::icc(Target::avx2_256());
+        let cv = c.space().sample(&mut rng_for(cv_seed, "pure"));
+        let m = Module::hot_loop(0, "p", f, &[]);
+        prop_assert_eq!(c.compile_module(&m, &cv), c.compile_module(&m, &cv));
+    }
+
+    /// The baseline CV always produces `-O3`-shaped decisions: opt
+    /// level 3, default prefetch, strict aliasing, no forced spills.
+    #[test]
+    fn baseline_decisions_are_o3_shaped(f in arb_features()) {
+        let c = Compiler::icc(Target::avx2_256());
+        let m = Module::hot_loop(0, "p", f, &[]);
+        let d = c.compile_module(&m, &c.space().baseline()).decisions;
+        prop_assert_eq!(d.opt_level, 3);
+        prop_assert_eq!(d.prefetch, 2);
+        prop_assert!(d.alias_optimistic);
+        prop_assert!(!d.ipo);
+    }
+
+    /// `vector_efficiency` is monotone non-increasing in divergence for
+    /// a fixed loop and width.
+    #[test]
+    fn divergence_never_helps_vectorization(seed in any::<u64>(), d1 in 0.0f64..1.0, d2 in 0.0f64..1.0) {
+        use ft_compiler::decisions::vector_efficiency;
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let mut fa = LoopFeatures::synthetic(seed);
+        fa.divergence = lo;
+        let mut fb = LoopFeatures::synthetic(seed);
+        fb.divergence = hi;
+        for w in [VecWidth::W128, VecWidth::W256] {
+            prop_assert!(
+                vector_efficiency(&fa, w) >= vector_efficiency(&fb, w) - 1e-12,
+                "divergence helped at {w:?}"
+            );
+        }
+    }
+
+    /// A PGO profile never breaks compilation and keeps decisions in
+    /// the same envelopes.
+    #[test]
+    fn pgo_compilation_is_well_formed(f in arb_features(), cv_seed in any::<u64>()) {
+        use ft_compiler::{PgoProfile, ProgramIr};
+        let c = Compiler::icc(Target::avx2_256());
+        let m = Module::hot_loop(0, "p", f, &[]);
+        let ir = ProgramIr::new("p", vec![m.clone(), Module::non_loop(1, 0.01, 1e4)], vec![]);
+        let profile = PgoProfile::collect(&ir).expect("not hostile");
+        let cv = c.space().sample(&mut rng_for(cv_seed, "pgo"));
+        let d = c.compile_module_with_profile(&m, &cv, &profile).decisions;
+        prop_assert!(d.unroll >= 1 && d.unroll <= 16);
+        prop_assert!(d.backend_quality > 0.2 && d.backend_quality < 3.0);
+    }
+}

@@ -1,0 +1,313 @@
+//! The four space-search algorithms of §2.2.
+
+use crate::collection::CollectionData;
+use crate::ctx::EvalContext;
+use crate::result::{best_so_far, TuningResult};
+use ft_flags::rng::{derive_seed_idx, rng_for};
+use ft_flags::Cv;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// §2.2.1 — per-program random search (`Random`): `k` uniform CVs
+/// applied to the whole (un-outlined) program; keep the fastest.
+pub fn random_search(ctx: &EvalContext, k: usize, seed: u64) -> TuningResult {
+    let cvs = ctx.space().sample_many(k, &mut rng_for(seed, "random-search"));
+    let times = ctx.eval_uniform_batch(&cvs);
+    finish_uniform("Random", ctx, cvs, times)
+}
+
+/// §2.2.2 — per-function random search (`FR`): every candidate draws
+/// one CV per module, with replacement, from `k` pre-sampled CVs; the
+/// selection-and-measurement step repeats `k` times.
+pub fn fr_search(ctx: &EvalContext, k: usize, seed: u64) -> TuningResult {
+    let pool = ctx.space().sample_many(k, &mut rng_for(seed, "fr-pool"));
+    let mut rng = rng_for(seed, "fr-assign");
+    let assignments: Vec<Vec<Cv>> = (0..k)
+        .map(|_| {
+            (0..ctx.modules())
+                .map(|_| pool[rng.gen_range(0..pool.len())].clone())
+                .collect()
+        })
+        .collect();
+    let times = ctx.eval_assignment_batch(&assignments);
+    finish_mixed("FR", ctx, assignments, times)
+}
+
+/// Both outcomes of §2.2.3's greedy combination (`G`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GreedyOutcome {
+    /// The measured, actually-linked greedy executable (`G.realized`).
+    pub realized: TuningResult,
+    /// The hypothetical sum of per-module minima (`G.Independent`,
+    /// §3.4) — never an executable, only an upper bound.
+    pub independent_time: f64,
+    /// `baseline / independent_time`.
+    pub independent_speedup: f64,
+}
+
+/// §2.2.3 — greedy combination: compile module `j` with
+/// `argmin_k T[j][k]` and link. Assumes module independence; the gap
+/// between realized and independent quantifies how wrong that is.
+pub fn greedy(ctx: &EvalContext, data: &CollectionData, baseline_time: f64) -> GreedyOutcome {
+    let assignment: Vec<Cv> = (0..ctx.modules())
+        .map(|j| data.cvs[data.argmin(j)].clone())
+        .collect();
+    let meas = ctx.eval_assignment(&assignment, derive_seed_idx(ctx.noise_root, 0x6EED));
+    let realized = TuningResult {
+        algorithm: "G.realized".into(),
+        best_time: meas.total_s,
+        baseline_time,
+        assignment,
+        best_index: 0,
+        history: vec![meas.total_s],
+        evaluations: 1,
+    };
+    let independent_time = data.independent_sum();
+    GreedyOutcome {
+        realized,
+        independent_time,
+        independent_speedup: baseline_time / independent_time,
+    }
+}
+
+/// §2.2.4, Algorithm 1 — Caliper-guided random search (`CFR`).
+///
+/// Prunes each module's candidate CVs to the top-`x` per-loop
+/// performers observed in the collection data, then draws `k` complete
+/// assignments from the pruned per-module spaces and keeps the best
+/// end-to-end measured executable. `G` is the `x = 1` corner of this
+/// family and `FR` the `x = k` corner.
+pub fn cfr(
+    ctx: &EvalContext,
+    data: &CollectionData,
+    x: usize,
+    k: usize,
+    seed: u64,
+) -> TuningResult {
+    assert!(x >= 1, "CFR needs a non-empty pruned space");
+    // Line 10-11: prune the pre-sampled CVs per module.
+    let pruned: Vec<Vec<usize>> = (0..ctx.modules()).map(|j| data.top_x(j, x)).collect();
+    // Lines 12-21: re-sample per-module CVs within the pruned spaces.
+    let mut rng = rng_for(seed, "cfr-resample");
+    let assignments: Vec<Vec<Cv>> = (0..k)
+        .map(|_| {
+            pruned
+                .iter()
+                .map(|cands| data.cvs[cands[rng.gen_range(0..cands.len())]].clone())
+                .collect()
+        })
+        .collect();
+    let times = ctx.eval_assignment_batch(&assignments);
+    finish_mixed("CFR", ctx, assignments, times)
+}
+
+fn finish_uniform(
+    name: &str,
+    ctx: &EvalContext,
+    cvs: Vec<Cv>,
+    times: Vec<f64>,
+) -> TuningResult {
+    let (best_index, best_time) = argmin(&times);
+    let baseline_time = ctx.baseline_time(10);
+    TuningResult {
+        algorithm: name.into(),
+        best_time,
+        baseline_time,
+        assignment: vec![cvs[best_index].clone(); ctx.modules()],
+        best_index,
+        history: best_so_far(&times),
+        evaluations: times.len(),
+    }
+}
+
+fn finish_mixed(
+    name: &str,
+    ctx: &EvalContext,
+    assignments: Vec<Vec<Cv>>,
+    times: Vec<f64>,
+) -> TuningResult {
+    let (best_index, best_time) = argmin(&times);
+    let baseline_time = ctx.baseline_time(10);
+    TuningResult {
+        algorithm: name.into(),
+        best_time,
+        baseline_time,
+        assignment: assignments[best_index].clone(),
+        best_index,
+        history: best_so_far(&times),
+        evaluations: times.len(),
+    }
+}
+
+fn argmin(times: &[f64]) -> (usize, f64) {
+    assert!(!times.is_empty(), "no candidates evaluated");
+    let mut bi = 0;
+    let mut bt = times[0];
+    for (i, t) in times.iter().enumerate() {
+        if *t < bt {
+            bi = i;
+            bt = *t;
+        }
+    }
+    (bi, bt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::collect;
+    use crate::ctx::testutil::ctx_for;
+
+    const K: usize = 120;
+
+    fn setup(bench: &str) -> (EvalContext, CollectionData, f64) {
+        let ctx = ctx_for(bench, Some(5));
+        let data = collect(&ctx, K, 13);
+        let baseline = ctx.baseline_time(10);
+        (ctx, data, baseline)
+    }
+
+    #[test]
+    fn random_improves_over_baseline() {
+        // swim is the friendliest target for per-program search; the
+        // paper's Random gains 3-5% GM, so >1.0 must hold here even at
+        // this reduced budget. CloverLeaf is the hardest: Random may
+        // land slightly below 1.0 there, but never far below.
+        let (ctx, _, _) = setup("swim");
+        let r = random_search(&ctx, K, 21);
+        assert!(r.speedup() > 1.0, "Random speedup = {}", r.speedup());
+        assert!(r.speedup() < 1.25, "Random too strong = {}", r.speedup());
+        assert_eq!(r.evaluations, K);
+        assert_eq!(r.assignment.len(), ctx.modules());
+        let (cl, _, _) = setup("CloverLeaf");
+        let rcl = random_search(&cl, K, 21);
+        assert!(rcl.speedup() > 0.95, "Random on CL = {}", rcl.speedup());
+    }
+
+    #[test]
+    fn cfr_beats_random_on_cloverleaf() {
+        let (ctx, data, _) = setup("CloverLeaf");
+        let r = random_search(&ctx, K, 21);
+        let c = cfr(&ctx, &data, 16, K, 22);
+        assert!(
+            c.speedup() > r.speedup(),
+            "CFR {} vs Random {}",
+            c.speedup(),
+            r.speedup()
+        );
+    }
+
+    #[test]
+    fn independent_bound_dominates_everything() {
+        let (ctx, data, baseline) = setup("CloverLeaf");
+        let g = greedy(&ctx, &data, baseline);
+        let c = cfr(&ctx, &data, 16, K, 22);
+        assert!(g.independent_speedup >= c.speedup() * 0.999);
+        assert!(g.independent_speedup > g.realized.speedup());
+    }
+
+    #[test]
+    fn greedy_realized_pays_interference() {
+        // Across benchmarks with strong coupling, G.realized must fall
+        // clearly below CFR (the paper's central negative result).
+        let mut g_below_cfr = 0;
+        for bench in ["CloverLeaf", "swim"] {
+            let (ctx, data, baseline) = setup(bench);
+            let g = greedy(&ctx, &data, baseline);
+            let c = cfr(&ctx, &data, 16, K, 22);
+            if g.realized.speedup() < c.speedup() {
+                g_below_cfr += 1;
+            }
+        }
+        assert!(g_below_cfr >= 1, "greedy should trail CFR somewhere");
+    }
+
+    #[test]
+    fn fr_has_less_guidance_than_cfr() {
+        let (ctx, data, _) = setup("CloverLeaf");
+        let f = fr_search(&ctx, K, 23);
+        let c = cfr(&ctx, &data, 16, K, 22);
+        assert!(
+            c.speedup() > f.speedup(),
+            "CFR {} vs FR {}",
+            c.speedup(),
+            f.speedup()
+        );
+    }
+
+    #[test]
+    fn cfr_history_is_monotone() {
+        let (ctx, data, _) = setup("swim");
+        let c = cfr(&ctx, &data, 8, 60, 5);
+        for w in c.history.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+        assert_eq!(*c.history.last().unwrap(), c.best_time);
+    }
+
+    #[test]
+    fn cfr_x1_degenerates_toward_greedy_assignment() {
+        let (ctx, data, _) = setup("swim");
+        let c = cfr(&ctx, &data, 1, 10, 9);
+        // With x = 1 every candidate is the greedy assignment.
+        let greedy_cvs: Vec<Cv> =
+            (0..ctx.modules()).map(|j| data.cvs[data.argmin(j)].clone()).collect();
+        assert_eq!(c.assignment, greedy_cvs);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (ctx, data, _) = setup("swim");
+        let a = cfr(&ctx, &data, 8, 40, 77);
+        let b = cfr(&ctx, &data, 8, 40, 77);
+        assert_eq!(a.best_time, b.best_time);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty pruned space")]
+    fn cfr_rejects_zero_x() {
+        let (ctx, data, _) = setup("swim");
+        let _ = cfr(&ctx, &data, 0, 10, 1);
+    }
+
+    #[test]
+    #[ignore = "calibration printout, run manually with --nocapture"]
+    fn print_algorithm_calibration() {
+        for bench in ["LULESH", "CloverLeaf", "AMG", "Optewe", "bwaves", "fma3d", "swim"] {
+            let ctx = ctx_for(bench, Some(5));
+            let k = 400;
+            let data = collect(&ctx, k, 13);
+            let baseline = ctx.baseline_time(10);
+            let r = random_search(&ctx, k, 21);
+            let f = fr_search(&ctx, k, 23);
+            let g = greedy(&ctx, &data, baseline);
+            let c = cfr(&ctx, &data, 16, k, 22);
+            println!(
+                "{bench:<11} Random {:5.3}  FR {:5.3}  G.real {:5.3}  CFR {:5.3}  G.indep {:5.3}",
+                r.speedup(),
+                f.speedup(),
+                g.realized.speedup(),
+                c.speedup(),
+                g.independent_speedup
+            );
+            // Per-loop diagnostics: collected headroom and what the CFR
+            // winner actually realizes per module.
+            if bench == "CloverLeaf" {
+                let base_run = ctx.eval_uniform(&ctx.space().baseline(), 0xB00);
+                let cfr_run = ctx.eval_assignment(&c.assignment, 0xB01);
+                let rnd_run = ctx.eval_assignment(&r.assignment, 0xB02);
+                for j in 0..ctx.modules() {
+                    let best = data.per_module[j][data.argmin(j)];
+                    println!(
+                        "    {:<16} headroom {:5.2}x   CFR {:5.2}x   Random {:5.2}x",
+                        ctx.ir.modules[j].name,
+                        base_run.per_module_s[j] / best,
+                        base_run.per_module_s[j] / cfr_run.per_module_s[j],
+                        base_run.per_module_s[j] / rnd_run.per_module_s[j],
+                    );
+                }
+            }
+        }
+    }
+}

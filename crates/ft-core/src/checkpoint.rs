@@ -1,0 +1,164 @@
+//! Collection checkpoints: persist the expensive per-loop data.
+//!
+//! The Figure 4 collection is the costly phase (K instrumented runs —
+//! days on the paper's testbeds). Once collected, the same data feeds
+//! G, CFR, every focus-width/budget ablation, and the importance
+//! analyses. A [`Checkpoint`] bundles the collection with enough
+//! context (program, architecture, input) to validate that a later
+//! session is re-using it against the same tuning problem.
+
+use crate::collection::CollectionData;
+use crate::ctx::EvalContext;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A persisted collection plus its provenance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Program name the data was collected on.
+    pub program: String,
+    /// Architecture name.
+    pub arch: String,
+    /// Time-steps per collection run.
+    pub steps: u32,
+    /// Number of modules (J + 1).
+    pub modules: usize,
+    /// Module names, in id order (guards against re-outlining drift).
+    pub module_names: Vec<String>,
+    /// The collection itself.
+    pub data: CollectionData,
+}
+
+/// Why a checkpoint cannot be used with a context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Program/architecture/input mismatch.
+    Mismatch(String),
+    /// (De)serialization failure.
+    Format(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+            CheckpointError::Format(m) => write!(f, "checkpoint format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl Checkpoint {
+    /// Captures a collection from the context it was produced in.
+    pub fn capture(ctx: &EvalContext, data: CollectionData) -> Checkpoint {
+        Checkpoint {
+            program: ctx.ir.name.clone(),
+            arch: ctx.arch.name.to_string(),
+            steps: ctx.steps,
+            modules: ctx.modules(),
+            module_names: ctx.ir.modules.iter().map(|m| m.name.clone()).collect(),
+            data,
+        }
+    }
+
+    /// Validates the checkpoint against a context and hands the
+    /// collection back for reuse.
+    pub fn restore(self, ctx: &EvalContext) -> Result<CollectionData, CheckpointError> {
+        if self.program != ctx.ir.name {
+            return Err(CheckpointError::Mismatch(format!(
+                "program {} vs {}",
+                self.program, ctx.ir.name
+            )));
+        }
+        if self.arch != ctx.arch.name {
+            return Err(CheckpointError::Mismatch(format!(
+                "architecture {} vs {}",
+                self.arch, ctx.arch.name
+            )));
+        }
+        if self.steps != ctx.steps {
+            return Err(CheckpointError::Mismatch(format!(
+                "steps {} vs {}",
+                self.steps, ctx.steps
+            )));
+        }
+        let names: Vec<String> = ctx.ir.modules.iter().map(|m| m.name.clone()).collect();
+        if self.module_names != names {
+            return Err(CheckpointError::Mismatch(
+                "outlined module set differs (re-profile and re-collect)".to_string(),
+            ));
+        }
+        Ok(self.data)
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> Result<String, CheckpointError> {
+        serde_json::to_string(self).map_err(|e| CheckpointError::Format(e.to_string()))
+    }
+
+    /// Deserializes from JSON.
+    pub fn from_json(json: &str) -> Result<Checkpoint, CheckpointError> {
+        serde_json::from_str(json).map_err(|e| CheckpointError::Format(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::collect;
+    use crate::ctx::testutil::ctx_for;
+
+    #[test]
+    fn round_trip_preserves_collection() {
+        let ctx = ctx_for("swim", Some(3));
+        let data = collect(&ctx, 20, 7);
+        let cp = Checkpoint::capture(&ctx, data.clone());
+        let json = cp.to_json().unwrap();
+        let restored = Checkpoint::from_json(&json).unwrap().restore(&ctx).unwrap();
+        assert_eq!(restored.cvs, data.cvs);
+        // JSON float text round-trips to within one ULP.
+        for (a, b) in restored.end_to_end.iter().zip(&data.end_to_end) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn restored_data_drives_cfr_identically() {
+        let ctx = ctx_for("swim", Some(3));
+        let data = collect(&ctx, 30, 7);
+        let direct = crate::algorithms::cfr(&ctx, &data, 6, 30, 5);
+        let cp = Checkpoint::capture(&ctx, data);
+        let restored = Checkpoint::from_json(&cp.to_json().unwrap())
+            .unwrap()
+            .restore(&ctx)
+            .unwrap();
+        let replayed = crate::algorithms::cfr(&ctx, &restored, 6, 30, 5);
+        assert_eq!(direct.best_time, replayed.best_time);
+        assert_eq!(direct.assignment, replayed.assignment);
+    }
+
+    #[test]
+    fn cross_program_restore_is_refused() {
+        let ctx_a = ctx_for("swim", Some(3));
+        let ctx_b = ctx_for("bwaves", Some(3));
+        let cp = Checkpoint::capture(&ctx_a, collect(&ctx_a, 10, 7));
+        let err = cp.restore(&ctx_b).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)));
+        assert!(err.to_string().contains("program"));
+    }
+
+    #[test]
+    fn step_mismatch_is_refused() {
+        let ctx_a = ctx_for("swim", Some(3));
+        let ctx_b = ctx_for("swim", Some(4));
+        let cp = Checkpoint::capture(&ctx_a, collect(&ctx_a, 10, 7));
+        assert!(cp.restore(&ctx_b).is_err());
+    }
+
+    #[test]
+    fn garbage_json_is_a_format_error() {
+        let err = Checkpoint::from_json("{not json").unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)));
+    }
+}

@@ -1,0 +1,194 @@
+//! FuncyTuner per-loop runtime collection (Figure 4).
+//!
+//! Step 1–2: the outlined program is instrumented with Caliper. Step 4:
+//! all modules are compiled with the *same* k-th pre-sampled CV. Step
+//! 5: each of the K code variants runs once, collecting per-loop times
+//! `T[j][k]`. The non-loop time is *derived* by subtracting the hot
+//! loops from the end-to-end time (§3.3) — it is never measured
+//! directly.
+
+use crate::ctx::EvalContext;
+use ft_caliper::Caliper;
+use ft_flags::rng::{derive_seed_idx, rng_for};
+use ft_flags::Cv;
+use ft_machine::{execute_profiled, link, ExecOptions};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Per-loop collection data: `K` CVs, the matrix of per-module times,
+/// and the end-to-end times.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CollectionData {
+    /// The K pre-sampled CVs.
+    pub cvs: Vec<Cv>,
+    /// `per_module[j][k]`: time of module `j` under uniform CV `k`.
+    /// The last row is the *derived* non-loop time.
+    pub per_module: Vec<Vec<f64>>,
+    /// `end_to_end[k]`: whole-run time under uniform CV `k`
+    /// (instrumented).
+    pub end_to_end: Vec<f64>,
+}
+
+impl CollectionData {
+    /// Number of sampled CVs (K).
+    pub fn k(&self) -> usize {
+        self.cvs.len()
+    }
+
+    /// Number of modules (J + 1).
+    pub fn modules(&self) -> usize {
+        self.per_module.len()
+    }
+
+    /// Index of the fastest CV for module `j`.
+    pub fn argmin(&self, j: usize) -> usize {
+        let row = &self.per_module[j];
+        row.iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+            .map(|(k, _)| k)
+            .expect("non-empty collection")
+    }
+
+    /// Indices of the top-`x` fastest CVs for module `j`, best first.
+    pub fn top_x(&self, j: usize, x: usize) -> Vec<usize> {
+        let row = &self.per_module[j];
+        let mut idx: Vec<usize> = (0..row.len()).collect();
+        idx.sort_by(|a, b| row[*a].partial_cmp(&row[*b]).expect("finite times"));
+        idx.truncate(x.max(1));
+        idx
+    }
+
+    /// Sum over modules of the per-module minimum — the hypothetical
+    /// `G.Independent` time of §3.4.
+    pub fn independent_sum(&self) -> f64 {
+        (0..self.modules()).map(|j| self.per_module[j][self.argmin(j)]).sum()
+    }
+}
+
+/// Runs the Figure 4 collection: samples `k` CVs and measures per-loop
+/// times for each, in parallel.
+pub fn collect(ctx: &EvalContext, k: usize, seed: u64) -> CollectionData {
+    let cvs = ctx.space().sample_many(k, &mut rng_for(seed, "collection-cvs"));
+    collect_with_cvs(ctx, cvs, seed)
+}
+
+/// Collection over caller-provided CVs (used when an experiment needs
+/// the same sample for several algorithms, as in Figure 5).
+pub fn collect_with_cvs(ctx: &EvalContext, cvs: Vec<Cv>, seed: u64) -> CollectionData {
+    let j_total = ctx.modules();
+    let hot: Vec<usize> = ctx.ir.hot_loop_ids();
+    let rows: Vec<(Vec<f64>, f64)> = cvs
+        .par_iter()
+        .enumerate()
+        .map(|(kk, cv)| {
+            let caliper = Caliper::real_time();
+            let objects = ctx.compile_uniform(cv);
+            let linked = link(objects, &ctx.ir, &ctx.arch);
+            let opts = ExecOptions::instrumented(
+                ctx.steps,
+                derive_seed_idx(seed ^ 0x0C01_1EC7, kk as u64),
+            );
+            let meas = execute_profiled(&linked, &ctx.arch, &opts, &caliper);
+            ctx.charge_run(meas.total_s);
+            let snap = caliper.snapshot();
+            // Measured hot-loop times; non-loop derived by subtraction.
+            let mut per_module = vec![0.0; j_total];
+            let mut hot_sum = 0.0;
+            for &j in &hot {
+                let t = snap.inclusive(&ctx.ir.modules[j].name);
+                per_module[j] = t;
+                hot_sum += t;
+            }
+            per_module[j_total - 1] = (meas.total_s - hot_sum).max(0.0);
+            (per_module, meas.total_s)
+        })
+        .collect();
+
+    let mut per_module = vec![vec![0.0; cvs.len()]; j_total];
+    let mut end_to_end = Vec::with_capacity(cvs.len());
+    for (kk, (row, total)) in rows.into_iter().enumerate() {
+        for (j, t) in row.into_iter().enumerate() {
+            per_module[j][kk] = t;
+        }
+        end_to_end.push(total);
+    }
+    CollectionData { cvs, per_module, end_to_end }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::testutil::ctx_for;
+
+    fn small_collection() -> (EvalContext, CollectionData) {
+        let ctx = ctx_for("swim", Some(5));
+        let data = collect(&ctx, 40, 7);
+        (ctx, data)
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        let (ctx, data) = small_collection();
+        assert_eq!(data.k(), 40);
+        assert_eq!(data.modules(), ctx.modules());
+        assert_eq!(data.end_to_end.len(), 40);
+        for row in &data.per_module {
+            assert_eq!(row.len(), 40);
+            assert!(row.iter().all(|t| t.is_finite() && *t >= 0.0));
+        }
+    }
+
+    #[test]
+    fn non_loop_is_derived_by_subtraction() {
+        let (ctx, data) = small_collection();
+        let j_nl = ctx.modules() - 1;
+        for k in 0..data.k() {
+            let hot_sum: f64 = (0..j_nl).map(|j| data.per_module[j][k]).sum();
+            assert!(
+                (hot_sum + data.per_module[j_nl][k] - data.end_to_end[k]).abs() < 1e-9,
+                "derivation broken at k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn argmin_is_the_row_minimum() {
+        let (_ctx, data) = small_collection();
+        for j in 0..data.modules() {
+            let k = data.argmin(j);
+            assert!(data.per_module[j].iter().all(|t| *t >= data.per_module[j][k]));
+        }
+    }
+
+    #[test]
+    fn top_x_is_sorted_prefix_and_monotone() {
+        let (_ctx, data) = small_collection();
+        for j in 0..data.modules() {
+            let t8 = data.top_x(j, 8);
+            assert_eq!(t8.len(), 8);
+            assert_eq!(t8[0], data.argmin(j));
+            for w in t8.windows(2) {
+                assert!(data.per_module[j][w[0]] <= data.per_module[j][w[1]]);
+            }
+            // Monotone: top-4 is a prefix of top-8.
+            assert_eq!(&t8[..4], data.top_x(j, 4).as_slice());
+        }
+    }
+
+    #[test]
+    fn independent_sum_lower_than_any_end_to_end() {
+        let (_ctx, data) = small_collection();
+        let best_e2e = data.end_to_end.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(data.independent_sum() <= best_e2e + 1e-12);
+    }
+
+    #[test]
+    fn collection_is_deterministic() {
+        let ctx = ctx_for("swim", Some(5));
+        let a = collect(&ctx, 10, 3);
+        let b = collect(&ctx, 10, 3);
+        assert_eq!(a.end_to_end, b.end_to_end);
+        assert_eq!(a.cvs, b.cvs);
+    }
+}

@@ -1,0 +1,116 @@
+//! Tuning-overhead accounting (§4.3).
+//!
+//! The paper quantifies the cost of each tuning approach in wall-clock
+//! days on the testbeds: ~1.5 days for Random/G, 2 days for OpenTuner,
+//! 3 days for CFR, and a week for COBAYN — amortized over repeated
+//! production runs. Every [`crate::EvalContext`] keeps a ledger of the
+//! work a search performed: object compilations (cache misses), object
+//! reuses (cache hits — the build-system reuse per-loop tuning
+//! enables), executable runs, and the *simulated machine time* those
+//! runs would have cost on the modelled testbed.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulated tuning work.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TuningCost {
+    /// Modules actually compiled (object-cache misses).
+    pub object_compiles: u64,
+    /// Modules reused from the object cache (hits).
+    pub object_reuses: u64,
+    /// Executable runs (each = link + execute + measure).
+    pub runs: u64,
+    /// Simulated machine time of all runs, seconds.
+    pub machine_seconds: f64,
+}
+
+impl TuningCost {
+    /// A zeroed ledger.
+    pub fn zero() -> Self {
+        TuningCost { object_compiles: 0, object_reuses: 0, runs: 0, machine_seconds: 0.0 }
+    }
+
+    /// Difference vs an earlier snapshot of the same ledger (cost of
+    /// the work in between).
+    pub fn since(&self, earlier: &TuningCost) -> TuningCost {
+        TuningCost {
+            object_compiles: self.object_compiles - earlier.object_compiles,
+            object_reuses: self.object_reuses - earlier.object_reuses,
+            runs: self.runs - earlier.runs,
+            machine_seconds: self.machine_seconds - earlier.machine_seconds,
+        }
+    }
+
+    /// Simulated machine time in hours.
+    pub fn machine_hours(&self) -> f64 {
+        self.machine_seconds / 3600.0
+    }
+
+    /// Fraction of module compilations avoided by object reuse.
+    pub fn reuse_rate(&self) -> f64 {
+        let total = self.object_compiles + self.object_reuses;
+        if total == 0 {
+            0.0
+        } else {
+            self.object_reuses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{cfr, random_search};
+    use crate::collection::collect;
+    use crate::ctx::testutil::ctx_for;
+
+    #[test]
+    fn ledger_arithmetic() {
+        let a = TuningCost { object_compiles: 10, object_reuses: 30, runs: 5, machine_seconds: 100.0 };
+        let b = TuningCost { object_compiles: 4, object_reuses: 10, runs: 2, machine_seconds: 40.0 };
+        let d = a.since(&b);
+        assert_eq!(d.object_compiles, 6);
+        assert_eq!(d.runs, 3);
+        assert!((d.machine_seconds - 60.0).abs() < 1e-12);
+        assert!((a.reuse_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(TuningCost::zero().reuse_rate(), 0.0);
+        assert!((a.machine_hours() - 100.0 / 3600.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn searches_are_charged_to_the_ledger() {
+        let ctx = ctx_for("swim", Some(3));
+        let before = ctx.cost();
+        let _ = random_search(&ctx, 30, 5);
+        let after_random = ctx.cost().since(&before);
+        assert!(after_random.runs >= 30, "runs = {}", after_random.runs);
+        assert!(after_random.machine_seconds > 0.0);
+
+        let snapshot = ctx.cost();
+        let data = collect(&ctx, 30, 5);
+        let _ = cfr(&ctx, &data, 8, 30, 6);
+        let cfr_cost = ctx.cost().since(&snapshot);
+        // CFR's re-sampling reuses the 30 pre-compiled objects heavily.
+        assert!(cfr_cost.object_reuses > cfr_cost.object_compiles, "{cfr_cost:?}");
+    }
+
+    #[test]
+    fn cfr_costs_more_runs_than_random_per_paper() {
+        // Paper §4.3: CFR's overhead (collection + re-sampling) is about
+        // twice Random's (3 days vs 1.5 days).
+        let ctx_r = ctx_for("swim", Some(3));
+        let _ = random_search(&ctx_r, 40, 5);
+        let random_cost = ctx_r.cost();
+
+        let ctx_c = ctx_for("swim", Some(3));
+        let data = collect(&ctx_c, 40, 5);
+        let _ = cfr(&ctx_c, &data, 8, 40, 6);
+        let cfr_cost = ctx_c.cost();
+
+        let ratio = cfr_cost.machine_seconds / random_cost.machine_seconds.max(1e-9);
+        assert!(
+            (1.5..3.5).contains(&ratio),
+            "CFR/Random machine-time ratio = {ratio} (paper: ~2x)"
+        );
+    }
+}

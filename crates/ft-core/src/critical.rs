@@ -1,0 +1,151 @@
+//! Critical-flag identification (§4.4 case-study tooling).
+//!
+//! To explain *why* a tuned executable is fast, the paper designs an
+//! iterative greedy elimination: repeatedly try to reset each flag of a
+//! focused module's CV back to its `-O3` default while keeping all
+//! other modules' CVs intact; a flag whose removal does not degrade
+//! end-to-end performance is eliminated. The flags that survive are the
+//! *critical* ones (e.g. `-no-vec` for dt and mom9 in Table 3).
+
+use crate::ctx::EvalContext;
+use ft_flags::rng::derive_seed_idx;
+use ft_flags::Cv;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of critical-flag elimination for one module.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CriticalFlags {
+    /// Module examined.
+    pub module: usize,
+    /// Flag ids (into the space) that survived elimination.
+    pub critical: Vec<usize>,
+    /// Rendered command-line fragments of the surviving flags.
+    pub rendered: Vec<String>,
+    /// The reduced CV (non-critical flags reset to baseline).
+    pub reduced_cv: Cv,
+    /// End-to-end time with the reduced CV.
+    pub reduced_time: f64,
+    /// Elimination rounds executed.
+    pub rounds: usize,
+}
+
+/// Runs iterative greedy elimination on `assignment[module]`.
+///
+/// `tolerance` is the relative slowdown treated as "no degradation"
+/// (measurement noise allowance).
+pub fn critical_flags(
+    ctx: &EvalContext,
+    assignment: &[Cv],
+    module: usize,
+    tolerance: f64,
+    seed: u64,
+) -> CriticalFlags {
+    assert!(module < assignment.len(), "module out of range");
+    let space = ctx.space().clone();
+    let mut current = assignment.to_vec();
+    let mut eval_count: u64 = 0;
+    // Average a few repeats per configuration so a neutral flag's
+    // removal is not masked by run-to-run noise (the paper's protocol
+    // measures repeatedly for the same reason).
+    let measure = |a: &[Cv], eval_count: &mut u64| -> f64 {
+        let mut total = 0.0;
+        for _ in 0..3 {
+            *eval_count += 1;
+            total += ctx.eval_assignment(a, derive_seed_idx(seed, *eval_count)).total_s;
+        }
+        total / 3.0
+    };
+    let mut best = measure(&current, &mut eval_count);
+
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let mut changed = false;
+        for id in 0..space.len() {
+            if current[module].get(id) == 0 {
+                continue; // already at the -O3 default
+            }
+            let mut trial = current.clone();
+            trial[module] = trial[module].with(&space, id, 0);
+            let t = measure(&trial, &mut eval_count);
+            if t <= best * (1.0 + tolerance) {
+                // Removal did not hurt: eliminate the flag.
+                current = trial;
+                best = best.min(t);
+                changed = true;
+            }
+        }
+        if !changed || rounds > 8 {
+            break;
+        }
+    }
+
+    let critical: Vec<usize> =
+        (0..space.len()).filter(|id| current[module].get(*id) != 0).collect();
+    let rendered = critical
+        .iter()
+        .filter_map(|id| space.flag(*id).render(current[module].get(*id) as usize))
+        .collect();
+    CriticalFlags {
+        module,
+        critical,
+        rendered,
+        reduced_cv: current[module].clone(),
+        reduced_time: best,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::cfr;
+    use crate::collection::collect;
+    use crate::ctx::testutil::ctx_for;
+
+    #[test]
+    fn elimination_reduces_active_flags() {
+        let ctx = ctx_for("swim", Some(5));
+        let data = collect(&ctx, 60, 13);
+        let tuned = cfr(&ctx, &data, 8, 60, 14);
+        let before = tuned.assignment[0].active_flags();
+        let cf = critical_flags(&ctx, &tuned.assignment, 0, 0.003, 5);
+        let after = cf.reduced_cv.active_flags();
+        assert!(after <= before, "elimination must not add flags");
+        assert_eq!(after, cf.critical.len());
+        assert!(cf.rounds >= 1);
+    }
+
+    #[test]
+    fn reduced_cv_keeps_performance() {
+        let ctx = ctx_for("swim", Some(5));
+        let data = collect(&ctx, 60, 13);
+        let tuned = cfr(&ctx, &data, 8, 60, 14);
+        let cf = critical_flags(&ctx, &tuned.assignment, 0, 0.003, 5);
+        // The reduced assignment must stay within a few noise widths of
+        // the tuned time.
+        assert!(
+            cf.reduced_time <= tuned.best_time * 1.03,
+            "{} vs {}",
+            cf.reduced_time,
+            tuned.best_time
+        );
+    }
+
+    #[test]
+    fn baseline_cv_has_no_critical_flags() {
+        let ctx = ctx_for("swim", Some(5));
+        let baseline = vec![ctx.space().baseline(); ctx.modules()];
+        let cf = critical_flags(&ctx, &baseline, 0, 0.003, 5);
+        assert!(cf.critical.is_empty());
+        assert!(cf.rendered.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "module out of range")]
+    fn out_of_range_module_rejected() {
+        let ctx = ctx_for("swim", Some(5));
+        let baseline = vec![ctx.space().baseline(); ctx.modules()];
+        let _ = critical_flags(&ctx, &baseline, 99, 0.003, 5);
+    }
+}

@@ -1,0 +1,234 @@
+//! Evaluation context: the compile → link → execute pipeline every
+//! search algorithm measures through.
+
+use ft_flags::rng::derive_seed_idx;
+use ft_flags::{Cv, FlagSpace};
+use ft_machine::{execute, link, Architecture, ExecOptions, RunMeasurement};
+use ft_compiler::{CompiledModule, Compiler, ObjectCache, ProgramIr};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Everything needed to evaluate a compilation choice on one program,
+/// one architecture, and one input.
+pub struct EvalContext {
+    /// The outlined program (J hot-loop modules + non-loop module).
+    pub ir: ProgramIr,
+    /// The compiler under tuning.
+    pub compiler: Compiler,
+    /// The platform.
+    pub arch: Architecture,
+    /// Time-steps per run (from the input config).
+    pub steps: u32,
+    /// Root seed for measurement noise; evaluation `k` uses
+    /// `derive_seed_idx(noise_root, k)`.
+    pub noise_root: u64,
+    /// Object cache: each `(module, CV)` pair is compiled once, like
+    /// the build-system object reuse of the paper's prototype.
+    cache: ObjectCache,
+    /// Number of executions performed through this context.
+    runs: AtomicU64,
+    /// Simulated machine time spent in those executions, nanoseconds.
+    machine_nanos: AtomicU64,
+}
+
+impl EvalContext {
+    /// Builds a context. The compiler's target must match the
+    /// architecture.
+    pub fn new(ir: ProgramIr, compiler: Compiler, arch: Architecture, steps: u32, noise_root: u64) -> Self {
+        assert_eq!(
+            compiler.target().max_vector_bits,
+            arch.target.max_vector_bits,
+            "compiler target does not match architecture"
+        );
+        EvalContext {
+            ir,
+            compiler,
+            arch,
+            steps,
+            noise_root,
+            cache: ObjectCache::new(),
+            runs: AtomicU64::new(0),
+            machine_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Compiles every module with one uniform CV, through the object
+    /// cache.
+    pub fn compile_uniform(&self, cv: &Cv) -> Vec<CompiledModule> {
+        self.ir
+            .modules
+            .iter()
+            .map(|m| self.cache.compile(&self.compiler, m, cv))
+            .collect()
+    }
+
+    /// Compiles a per-module assignment through the object cache.
+    pub fn compile_assignment_cached(&self, assignment: &[Cv]) -> Vec<CompiledModule> {
+        self.cache.compile_assignment(&self.compiler, &self.ir.modules, assignment)
+    }
+
+    /// `(hits, misses)` of the object cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// The flag space being searched.
+    pub fn space(&self) -> &FlagSpace {
+        self.compiler.space()
+    }
+
+    /// Number of modules (J + 1).
+    pub fn modules(&self) -> usize {
+        self.ir.len()
+    }
+
+    /// Evaluates one uniform CV (traditional compilation model).
+    pub fn eval_uniform(&self, cv: &Cv, noise_seed: u64) -> RunMeasurement {
+        let objects = self.compile_uniform(cv);
+        let linked = link(objects, &self.ir, &self.arch);
+        let meas = execute(&linked, &self.arch, &ExecOptions::new(self.steps, noise_seed));
+        self.charge(&meas);
+        meas
+    }
+
+    /// Evaluates a per-module assignment (one CV per module).
+    pub fn eval_assignment(&self, assignment: &[Cv], noise_seed: u64) -> RunMeasurement {
+        assert_eq!(assignment.len(), self.ir.len(), "one CV per module");
+        let objects = self.compile_assignment_cached(assignment);
+        let linked = link(objects, &self.ir, &self.arch);
+        let meas = execute(&linked, &self.arch, &ExecOptions::new(self.steps, noise_seed));
+        self.charge(&meas);
+        meas
+    }
+
+    /// Accounts an externally executed run (e.g. the instrumented
+    /// collection runs of Figure 4) against the ledger.
+    pub fn charge_run(&self, seconds: f64) {
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        self.machine_nanos.fetch_add((seconds * 1e9) as u64, Ordering::Relaxed);
+    }
+
+    /// Accounts one run against the tuning-overhead ledger (§4.3).
+    fn charge(&self, meas: &RunMeasurement) {
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        self.machine_nanos
+            .fetch_add((meas.total_s * 1e9) as u64, Ordering::Relaxed);
+    }
+
+    /// Tuning-overhead ledger so far (see [`crate::cost::TuningCost`]).
+    pub fn cost(&self) -> crate::cost::TuningCost {
+        let (reuses, compiles) = self.cache.stats();
+        crate::cost::TuningCost {
+            object_compiles: compiles,
+            object_reuses: reuses,
+            runs: self.runs.load(Ordering::Relaxed),
+            machine_seconds: self.machine_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+        }
+    }
+
+    /// The `-O3` baseline end-to-end time (mean of `repeats` runs, as
+    /// the paper averages 10 experiments).
+    pub fn baseline_time(&self, repeats: u32) -> f64 {
+        let base = self.space().baseline();
+        let total: f64 = (0..repeats)
+            .map(|r| {
+                self.eval_uniform(&base, derive_seed_idx(self.noise_root ^ 0xBA5E, u64::from(r)))
+                    .total_s
+            })
+            .sum();
+        total / f64::from(repeats.max(1))
+    }
+
+    /// Evaluates many uniform CVs in parallel; returns end-to-end
+    /// times aligned with `cvs`.
+    pub fn eval_uniform_batch(&self, cvs: &[Cv]) -> Vec<f64> {
+        cvs.par_iter()
+            .enumerate()
+            .map(|(k, cv)| {
+                self.eval_uniform(cv, derive_seed_idx(self.noise_root, k as u64)).total_s
+            })
+            .collect()
+    }
+
+    /// Evaluates many assignments in parallel; returns end-to-end
+    /// times aligned with `assignments`.
+    pub fn eval_assignment_batch(&self, assignments: &[Vec<Cv>]) -> Vec<f64> {
+        assignments
+            .par_iter()
+            .enumerate()
+            .map(|(k, a)| {
+                self.eval_assignment(a, derive_seed_idx(self.noise_root ^ 0xA551, k as u64))
+                    .total_s
+            })
+            .collect()
+    }
+}
+
+/// Test fixture shared by this crate's unit tests.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use ft_outline::outline_with_defaults;
+    use ft_workloads::workload_by_name;
+
+    /// Builds a Broadwell evaluation context for one benchmark,
+    /// optionally overriding the step count to keep tests fast.
+    pub(crate) fn ctx_for(bench: &str, steps_override: Option<u32>) -> EvalContext {
+        let arch = Architecture::broadwell();
+        let compiler = Compiler::icc(arch.target);
+        let w = workload_by_name(bench).unwrap();
+        let input = w.tuning_input(arch.name).clone();
+        let ir = w.instantiate(&input);
+        let steps = steps_override.unwrap_or(input.steps);
+        let (outlined, _) = outline_with_defaults(&ir, &compiler, &arch, steps, 11);
+        EvalContext::new(outlined.ir, Compiler::icc(arch.target), arch, steps, 99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::ctx_for;
+    use super::*;
+    use ft_flags::rng::rng_for;
+
+    #[test]
+    fn uniform_eval_is_deterministic() {
+        let ctx = ctx_for("swim", Some(5));
+        let cv = ctx.space().sample(&mut rng_for(1, "c"));
+        assert_eq!(ctx.eval_uniform(&cv, 5).total_s, ctx.eval_uniform(&cv, 5).total_s);
+    }
+
+    #[test]
+    fn batch_matches_individual() {
+        let ctx = ctx_for("swim", Some(5));
+        let cvs = ctx.space().sample_many(8, &mut rng_for(2, "b"));
+        let batch = ctx.eval_uniform_batch(&cvs);
+        for (k, cv) in cvs.iter().enumerate() {
+            let single = ctx.eval_uniform(cv, derive_seed_idx(ctx.noise_root, k as u64));
+            assert_eq!(batch[k], single.total_s);
+        }
+    }
+
+    #[test]
+    fn baseline_time_is_positive_and_stable() {
+        let ctx = ctx_for("swim", Some(5));
+        let t = ctx.baseline_time(5);
+        assert!(t > 0.1 && t < 100.0, "t = {t}");
+        // Averaging suppresses noise: two different averages are close.
+        let t2 = ctx.baseline_time(10);
+        assert!((t - t2).abs() / t < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match architecture")]
+    fn mismatched_target_rejected() {
+        let ctx = ctx_for("swim", Some(5));
+        let _ = EvalContext::new(
+            ctx.ir.clone(),
+            Compiler::icc(ft_compiler::Target::sse_128()),
+            Architecture::broadwell(),
+            5,
+            0,
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! Extensions beyond the paper's Algorithm 1.
+//!
+//! §4.3 observes that "the tuning overhead may be dramatically reduced
+//! ... by exploiting program-specific CFR convergence trends, i.e.,
+//! CFR finds the best code variant in tens or several hundreds of
+//! evaluations". These extensions implement that future work:
+//!
+//! * [`cfr_adaptive`] — early-stopping CFR: the re-sampling phase stops
+//!   once the best candidate has not improved for a patience window,
+//!   cutting evaluations without giving up the focused-space benefits.
+//! * [`cfr_iterative`] — multi-round space focusing: after a CFR round,
+//!   the per-loop spaces are re-focused around the winners (each
+//!   module's pruned set is re-ranked by the candidate times of the
+//!   assignments that used each CV) and re-sampled, compounding the
+//!   focusing effect with a fixed total budget.
+
+use crate::collection::CollectionData;
+use crate::ctx::EvalContext;
+use crate::result::{best_so_far, TuningResult};
+use ft_flags::rng::{derive_seed_idx, rng_for};
+use ft_flags::Cv;
+use rand::Rng;
+
+/// Early-stopping CFR: like [`crate::algorithms::cfr`] but evaluation
+/// stops after `patience` consecutive candidates without improvement.
+///
+/// Returns the same kind of [`TuningResult`]; `evaluations` records how
+/// many candidates were actually measured (≤ `k`).
+pub fn cfr_adaptive(
+    ctx: &EvalContext,
+    data: &CollectionData,
+    x: usize,
+    k: usize,
+    patience: usize,
+    seed: u64,
+) -> TuningResult {
+    assert!(x >= 1, "CFR needs a non-empty pruned space");
+    assert!(patience >= 1, "patience must be positive");
+    let pruned: Vec<Vec<usize>> = (0..ctx.modules()).map(|j| data.top_x(j, x)).collect();
+    let mut rng = rng_for(seed, "cfr-adaptive");
+    let mut times = Vec::new();
+    let mut best_time = f64::INFINITY;
+    let mut best_assignment: Option<Vec<Cv>> = None;
+    let mut best_index = 0;
+    let mut stale = 0;
+    for kk in 0..k {
+        let assignment: Vec<Cv> = pruned
+            .iter()
+            .map(|cands| data.cvs[cands[rng.gen_range(0..cands.len())]].clone())
+            .collect();
+        let t = ctx
+            .eval_assignment(&assignment, derive_seed_idx(ctx.noise_root ^ 0xADA, kk as u64))
+            .total_s;
+        times.push(t);
+        if t < best_time {
+            best_time = t;
+            best_assignment = Some(assignment);
+            best_index = kk;
+            stale = 0;
+        } else {
+            stale += 1;
+            if stale >= patience {
+                break;
+            }
+        }
+    }
+    TuningResult {
+        algorithm: "CFR-adaptive".into(),
+        best_time,
+        baseline_time: ctx.baseline_time(10),
+        assignment: best_assignment.expect("at least one candidate"),
+        best_index,
+        history: best_so_far(&times),
+        evaluations: times.len(),
+    }
+}
+
+/// Multi-round CFR: split the re-sampling budget over `rounds`; after
+/// each round, re-rank every module's pruned set by the average
+/// end-to-end time of the candidates that used each CV and halve the
+/// focus width.
+pub fn cfr_iterative(
+    ctx: &EvalContext,
+    data: &CollectionData,
+    x: usize,
+    k: usize,
+    rounds: usize,
+    seed: u64,
+) -> TuningResult {
+    assert!(x >= 1, "CFR needs a non-empty pruned space");
+    assert!(rounds >= 1, "at least one round");
+    let per_round = (k / rounds).max(1);
+    let mut pruned: Vec<Vec<usize>> = (0..ctx.modules()).map(|j| data.top_x(j, x)).collect();
+    let mut rng = rng_for(seed, "cfr-iterative");
+    let mut all_times = Vec::new();
+    let mut best_time = f64::INFINITY;
+    let mut best_assignment: Option<Vec<Cv>> = None;
+    let mut best_index = 0;
+
+    for round in 0..rounds {
+        // Sample this round's candidates from the current pruned sets,
+        // remembering which CV index each module used.
+        let picks: Vec<Vec<usize>> = (0..per_round)
+            .map(|_| {
+                pruned
+                    .iter()
+                    .map(|cands| cands[rng.gen_range(0..cands.len())])
+                    .collect()
+            })
+            .collect();
+        let assignments: Vec<Vec<Cv>> = picks
+            .iter()
+            .map(|row| row.iter().map(|&c| data.cvs[c].clone()).collect())
+            .collect();
+        let times = ctx.eval_assignment_batch(&assignments);
+        for (i, t) in times.iter().enumerate() {
+            if *t < best_time {
+                best_time = *t;
+                best_assignment = Some(assignments[i].clone());
+                best_index = all_times.len() + i;
+            }
+        }
+        all_times.extend_from_slice(&times);
+        if round + 1 == rounds {
+            break;
+        }
+        // Re-focus: rank each module's candidate CVs by the mean
+        // end-to-end time of the candidates that used them, keep the
+        // best half (at least 1).
+        let mut next = Vec::with_capacity(pruned.len());
+        for (j, cands) in pruned.iter().enumerate() {
+            let mut scored: Vec<(usize, f64)> = cands
+                .iter()
+                .map(|&cv_idx| {
+                    let (mut sum, mut n) = (0.0, 0u32);
+                    for (row, t) in picks.iter().zip(&times) {
+                        if row[j] == cv_idx {
+                            sum += t;
+                            n += 1;
+                        }
+                    }
+                    // Unused CVs keep a neutral (median-ish) score so
+                    // they are dropped before ones with evidence of
+                    // being good, but after proven-bad ones.
+                    let score = if n == 0 { f64::MAX / 2.0 } else { sum / f64::from(n) };
+                    (cv_idx, score)
+                })
+                .collect();
+            scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            scored.truncate((cands.len() / 2).max(1));
+            next.push(scored.into_iter().map(|(c, _)| c).collect());
+        }
+        pruned = next;
+    }
+
+    TuningResult {
+        algorithm: "CFR-iterative".into(),
+        best_time,
+        baseline_time: ctx.baseline_time(10),
+        assignment: best_assignment.expect("at least one candidate"),
+        best_index,
+        history: best_so_far(&all_times),
+        evaluations: all_times.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::cfr;
+    use crate::collection::collect;
+    use crate::ctx::testutil::ctx_for;
+
+    fn setup() -> (EvalContext, CollectionData) {
+        let ctx = ctx_for("swim", Some(5));
+        let data = collect(&ctx, 150, 13);
+        (ctx, data)
+    }
+
+    #[test]
+    fn adaptive_stops_early_and_stays_close() {
+        let (ctx, data) = setup();
+        let full = cfr(&ctx, &data, 12, 150, 22);
+        let adaptive = cfr_adaptive(&ctx, &data, 12, 150, 30, 22);
+        assert!(
+            adaptive.evaluations <= full.evaluations,
+            "{} > {}",
+            adaptive.evaluations,
+            full.evaluations
+        );
+        // Early stopping trades a little quality for a lot of budget;
+        // it must stay within a few percent of full CFR.
+        assert!(
+            adaptive.speedup() > full.speedup() - 0.04,
+            "adaptive {} vs full {}",
+            adaptive.speedup(),
+            full.speedup()
+        );
+    }
+
+    #[test]
+    fn adaptive_patience_one_is_greedy_stopping() {
+        let (ctx, data) = setup();
+        let r = cfr_adaptive(&ctx, &data, 12, 150, 1, 22);
+        // Stops at the first non-improving candidate: very few evals.
+        assert!(r.evaluations <= 20, "evals = {}", r.evaluations);
+        assert_eq!(r.history.len(), r.evaluations);
+    }
+
+    #[test]
+    fn iterative_single_round_matches_plain_cfr_family() {
+        let (ctx, data) = setup();
+        let r = cfr_iterative(&ctx, &data, 12, 100, 1, 22);
+        assert_eq!(r.evaluations, 100);
+        assert!(r.speedup() > 0.95);
+    }
+
+    #[test]
+    fn iterative_multiround_keeps_quality_with_same_budget() {
+        let (ctx, data) = setup();
+        let plain = cfr(&ctx, &data, 12, 120, 22);
+        let iter = cfr_iterative(&ctx, &data, 12, 120, 3, 22);
+        assert_eq!(iter.evaluations, 120);
+        assert!(
+            iter.speedup() > plain.speedup() - 0.04,
+            "iterative {} vs plain {}",
+            iter.speedup(),
+            plain.speedup()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (ctx, data) = setup();
+        let a = cfr_iterative(&ctx, &data, 8, 60, 2, 5);
+        let b = cfr_iterative(&ctx, &data, 8, 60, 2, 5);
+        assert_eq!(a.best_time, b.best_time);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    #[should_panic(expected = "patience must be positive")]
+    fn zero_patience_rejected() {
+        let (ctx, data) = setup();
+        let _ = cfr_adaptive(&ctx, &data, 8, 10, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_rounds_rejected() {
+        let (ctx, data) = setup();
+        let _ = cfr_iterative(&ctx, &data, 8, 10, 0, 1);
+    }
+}

@@ -1,0 +1,176 @@
+//! Per-flag importance analysis over collection data.
+//!
+//! The §4.4 case study asks *which flags matter* for each loop. The
+//! iterative elimination in [`crate::critical`] answers that for one
+//! winning CV; this module answers it for the whole collected
+//! population: for each flag, how much of the variance in a loop's
+//! measured per-loop times is explained by that flag's value?
+//! (A one-way ANOVA effect size, η² — the main-effect half of a
+//! functional-ANOVA decomposition.)
+
+use crate::collection::CollectionData;
+use ft_flags::{FlagId, FlagSpace};
+use serde::{Deserialize, Serialize};
+
+/// Importance of one flag for one module.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlagImportance {
+    /// Flag index.
+    pub flag: FlagId,
+    /// Flag name.
+    pub name: String,
+    /// Fraction of time variance explained by the flag's value, `0..1`.
+    pub eta_squared: f64,
+    /// Mean per-loop time at each flag value (seconds).
+    pub mean_by_value: Vec<f64>,
+}
+
+impl FlagImportance {
+    /// Index of the fastest value for this loop.
+    pub fn best_value(&self) -> u8 {
+        self.mean_by_value
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite mean"))
+            .map(|(i, _)| i as u8)
+            .expect("non-empty domain")
+    }
+}
+
+/// Computes per-flag importance for module `j` from collection data,
+/// sorted by descending η².
+pub fn flag_importance(
+    data: &CollectionData,
+    j: usize,
+    space: &FlagSpace,
+) -> Vec<FlagImportance> {
+    let times = &data.per_module[j];
+    let n = times.len();
+    assert!(n >= 2, "need at least two observations");
+    let grand_mean: f64 = times.iter().sum::<f64>() / n as f64;
+    let total_ss: f64 = times.iter().map(|t| (t - grand_mean).powi(2)).sum();
+
+    let mut out = Vec::with_capacity(space.len());
+    for id in 0..space.len() {
+        let arity = space.flag(id).arity();
+        let mut sums = vec![0.0f64; arity];
+        let mut counts = vec![0u32; arity];
+        for (k, cv) in data.cvs.iter().enumerate() {
+            let v = cv.get(id) as usize;
+            sums[v] += times[k];
+            counts[v] += 1;
+        }
+        let mean_by_value: Vec<f64> = sums
+            .iter()
+            .zip(&counts)
+            .map(|(s, c)| if *c == 0 { grand_mean } else { s / f64::from(*c) })
+            .collect();
+        let between_ss: f64 = mean_by_value
+            .iter()
+            .zip(&counts)
+            .map(|(m, c)| f64::from(*c) * (m - grand_mean).powi(2))
+            .sum();
+        let eta_squared = if total_ss <= 0.0 { 0.0 } else { (between_ss / total_ss).min(1.0) };
+        out.push(FlagImportance {
+            flag: id,
+            name: space.flag(id).name.to_string(),
+            eta_squared,
+            mean_by_value,
+        });
+    }
+    out.sort_by(|a, b| b.eta_squared.partial_cmp(&a.eta_squared).expect("finite eta"));
+    out
+}
+
+/// Renders the top-`n` most important flags for a module.
+pub fn render(rows: &[FlagImportance], n: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<24} {:>8} {:>12}\n", "flag", "eta^2", "best value"));
+    for r in rows.iter().take(n) {
+        out.push_str(&format!(
+            "{:<24} {:>8.3} {:>12}\n",
+            r.name,
+            r.eta_squared,
+            r.best_value()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::collect;
+    use crate::ctx::testutil::ctx_for;
+
+    #[test]
+    fn importances_are_valid_fractions_and_sorted() {
+        let ctx = ctx_for("swim", Some(5));
+        let data = collect(&ctx, 150, 13);
+        let rows = flag_importance(&data, 0, ctx.space());
+        assert_eq!(rows.len(), ctx.space().len());
+        for w in rows.windows(2) {
+            assert!(w[0].eta_squared >= w[1].eta_squared);
+        }
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.eta_squared), "{}: {}", r.name, r.eta_squared);
+            assert!(r.mean_by_value.iter().all(|m| m.is_finite() && *m > 0.0));
+        }
+    }
+
+    #[test]
+    fn vectorization_flags_matter_for_compute_loops() {
+        // CloverLeaf's dt kernel responds strongly to vectorization
+        // decisions (§4.4): the vec/simd-width/O-level group must rank
+        // above the median flag.
+        let ctx = ctx_for("CloverLeaf", Some(5));
+        let data = collect(&ctx, 200, 13);
+        let dt = ctx.ir.module_by_name("dt").unwrap().id;
+        let rows = flag_importance(&data, dt, ctx.space());
+        let rank_of = |name: &str| rows.iter().position(|r| r.name == name).unwrap();
+        let best_vec_rank = ["vec", "simd-width", "qopt-vec-threshold"]
+            .iter()
+            .map(|n| rank_of(n))
+            .min()
+            .unwrap();
+        assert!(
+            best_vec_rank < rows.len() / 2,
+            "no vectorization flag in the top half for dt (best rank {best_vec_rank})"
+        );
+    }
+
+    #[test]
+    fn non_loop_module_importance_names_its_real_levers() {
+        // The derived non-loop time responds only to the few semantics
+        // the non-loop decision procedure consumes (O level, inlining,
+        // isel, the scalar passes) plus derivation cross-talk; a loop
+        // restructuring flag like unroll-jam must rank lower than the
+        // O level.
+        let ctx = ctx_for("CloverLeaf", Some(5));
+        let data = collect(&ctx, 150, 13);
+        let nl = ctx.modules() - 1;
+        let rows = flag_importance(&data, nl, ctx.space());
+        let rank_of = |name: &str| rows.iter().position(|r| r.name == name).unwrap();
+        assert!(
+            rank_of("O") < rank_of("unroll-jam"),
+            "O-level must matter more than unroll-jam for non-loop code"
+        );
+    }
+
+    #[test]
+    fn render_shows_top_flags_only() {
+        let ctx = ctx_for("swim", Some(5));
+        let data = collect(&ctx, 60, 13);
+        let rows = flag_importance(&data, 0, ctx.space());
+        let text = render(&rows, 3);
+        assert_eq!(text.lines().count(), 4); // header + 3
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two observations")]
+    fn tiny_collection_rejected() {
+        let ctx = ctx_for("swim", Some(3));
+        let data = collect(&ctx, 1, 13);
+        let _ = flag_importance(&data, 0, ctx.space());
+    }
+}

@@ -1,0 +1,59 @@
+//! FuncyTuner: per-loop compiler-flag auto-tuning (the paper's core
+//! contribution).
+//!
+//! The crate implements the four search algorithms of §2.2 over the
+//! simulated toolchain:
+//!
+//! * **Random** — classical per-program random search: `K` uniform CVs
+//!   applied to the whole program, keep the fastest
+//!   ([`algorithms::random_search`]).
+//! * **FR** — per-function random search: each candidate assigns every
+//!   outlined module a CV drawn (with replacement) from the `K`
+//!   pre-sampled CVs ([`algorithms::fr_search`]).
+//! * **G** — greedy combination: pick each module's individually
+//!   fastest CV from the per-loop collection data and link them;
+//!   reported both as realized (actually measured) and as the
+//!   hypothetical independent sum of per-loop minima (§3.4)
+//!   ([`algorithms::greedy`]).
+//! * **CFR** — Caliper-guided random search, Algorithm 1: prune each
+//!   module's CV space to its top-X per-loop performers, then randomly
+//!   re-sample complete assignments from the pruned spaces and keep the
+//!   best *end-to-end measured* executable
+//!   ([`algorithms::cfr`]).
+//!
+//! Shared infrastructure: [`ctx::EvalContext`] (compile → link →
+//! execute of uniform and mixed assignments, rayon-parallel batch
+//! evaluation), [`collection`] (the Figure 4 per-loop data-collection
+//! pipeline over Caliper), [`stats`] (geometric means and speedups),
+//! [`critical`] (the §4.4 critical-flag elimination used for the
+//! CloverLeaf case study), and [`pipeline::Tuner`], a one-stop builder
+//! used by the examples and the experiment harness.
+
+pub mod algorithms;
+pub mod checkpoint;
+pub mod collection;
+pub mod convergence;
+pub mod cost;
+pub mod critical;
+pub mod ctx;
+pub mod extensions;
+pub mod importance;
+pub mod pipeline;
+pub mod result;
+pub mod stability;
+pub mod stats;
+pub mod variance;
+
+pub use algorithms::{cfr, fr_search, greedy, random_search, GreedyOutcome};
+pub use checkpoint::{Checkpoint, CheckpointError};
+pub use collection::{collect, CollectionData};
+pub use convergence::Convergence;
+pub use cost::TuningCost;
+pub use critical::critical_flags;
+pub use extensions::{cfr_adaptive, cfr_iterative};
+pub use importance::{flag_importance, FlagImportance};
+pub use ctx::EvalContext;
+pub use pipeline::{Tuner, TuningRun};
+pub use stability::{measure_repeated, speedup_with_stats, MeasurementStats};
+pub use result::TuningResult;
+pub use variance::{variance_study, SearchVariance};

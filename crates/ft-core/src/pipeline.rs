@@ -1,0 +1,249 @@
+//! The high-level tuning pipeline: outline → collect → search →
+//! evaluate, with cross-input evaluation for the §4.3 experiments.
+
+use crate::algorithms::{cfr, fr_search, greedy, random_search, GreedyOutcome};
+use crate::collection::{collect, CollectionData};
+use crate::ctx::EvalContext;
+use crate::result::TuningResult;
+use ft_flags::rng::{derive_seed, derive_seed_idx};
+use ft_flags::Cv;
+use ft_machine::Architecture;
+use ft_compiler::{Compiler, ProgramIr};
+use ft_outline::{outline_with_defaults, outline_with_hot_set, HotLoopReport, OutlinedProgram};
+
+/// Builder for a full FuncyTuner run.
+///
+/// ```no_run
+/// use ft_core::Tuner;
+/// use ft_machine::Architecture;
+/// use ft_workloads::workload_by_name;
+///
+/// let arch = Architecture::broadwell();
+/// let w = workload_by_name("CloverLeaf").unwrap();
+/// let run = Tuner::new(&w, &arch).budget(1000).focus(32).seed(42).run();
+/// println!("CFR speedup over -O3: {:.3}", run.cfr.speedup());
+/// ```
+pub struct Tuner<'a> {
+    workload: &'a ft_workloads::Workload,
+    arch: &'a Architecture,
+    budget: usize,
+    focus: usize,
+    seed: u64,
+    steps_cap: Option<u32>,
+}
+
+impl<'a> Tuner<'a> {
+    /// Starts a tuner for a workload on an architecture, using the
+    /// Table 2 tuning input.
+    pub fn new(workload: &'a ft_workloads::Workload, arch: &'a Architecture) -> Self {
+        Tuner { workload, arch, budget: 1000, focus: 32, seed: 42, steps_cap: None }
+    }
+
+    /// Caps the per-run time-step count (quick-reproduction mode; the
+    /// paper itself trims steps to keep runs under 40 s, §3.1).
+    pub fn cap_steps(mut self, cap: u32) -> Self {
+        self.steps_cap = Some(cap);
+        self
+    }
+
+    /// Sample budget K (paper: 1000).
+    pub fn budget(mut self, k: usize) -> Self {
+        assert!(k >= 2, "budget too small");
+        self.budget = k;
+        self
+    }
+
+    /// CFR focus width X (paper: 1 < X << 1000).
+    pub fn focus(mut self, x: usize) -> Self {
+        assert!(x >= 1);
+        self.focus = x;
+        self
+    }
+
+    /// Root seed; every derived stage gets an independent sub-seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs profiling, outlining, collection and all four algorithms.
+    pub fn run(self) -> TuningRun {
+        let mut input = self.workload.tuning_input(self.arch.name).clone();
+        if let Some(cap) = self.steps_cap {
+            input.steps = input.steps.min(cap);
+        }
+        let raw_ir = self.workload.instantiate(&input);
+        let compiler = Compiler::icc(self.arch.target);
+        let (outlined, report) = outline_with_defaults(
+            &raw_ir,
+            &compiler,
+            self.arch,
+            input.steps,
+            derive_seed(self.seed, "outline"),
+        );
+        let ctx = EvalContext::new(
+            outlined.ir.clone(),
+            compiler,
+            self.arch.clone(),
+            input.steps,
+            derive_seed(self.seed, "noise"),
+        );
+        let baseline_time = ctx.baseline_time(10);
+        let data = collect(&ctx, self.budget, derive_seed(self.seed, "collect"));
+        let random = random_search(&ctx, self.budget, derive_seed(self.seed, "random"));
+        let fr = fr_search(&ctx, self.budget, derive_seed(self.seed, "fr"));
+        let g = greedy(&ctx, &data, baseline_time);
+        let cfr_result = cfr(&ctx, &data, self.focus, self.budget, derive_seed(self.seed, "cfr"));
+        TuningRun {
+            workload: self.workload.meta.name,
+            arch: self.arch.name,
+            input_name: input.name.clone(),
+            outlined,
+            report,
+            ctx,
+            baseline_time,
+            data,
+            random,
+            fr,
+            greedy: g,
+            cfr: cfr_result,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Everything produced by one tuning run.
+pub struct TuningRun {
+    /// Benchmark name.
+    pub workload: &'static str,
+    /// Architecture name.
+    pub arch: &'static str,
+    /// Tuning input name.
+    pub input_name: String,
+    /// The outlined program.
+    pub outlined: OutlinedProgram,
+    /// Baseline profiling report.
+    pub report: HotLoopReport,
+    /// The evaluation context used for all searches.
+    pub ctx: EvalContext,
+    /// `-O3` baseline time on the tuning input.
+    pub baseline_time: f64,
+    /// Per-loop collection data (shared by G and CFR).
+    pub data: CollectionData,
+    /// Per-program random search result.
+    pub random: TuningResult,
+    /// Per-function random search result.
+    pub fr: TuningResult,
+    /// Greedy combination (realized + independent).
+    pub greedy: GreedyOutcome,
+    /// FuncyTuner CFR result.
+    pub cfr: TuningResult,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl TuningRun {
+    /// Evaluates a tuned assignment on a *different* input of the same
+    /// workload (§4.3): the executable is frozen (same outlining, same
+    /// CVs), only the input changes. Returns `(tuned, o3)` end-to-end
+    /// times, averaged over `repeats` runs.
+    pub fn evaluate_on_input(
+        &self,
+        workload: &ft_workloads::Workload,
+        input: &ft_workloads::InputConfig,
+        assignment: &[Cv],
+        repeats: u32,
+    ) -> (f64, f64) {
+        assert_eq!(workload.meta.name, self.workload, "different workload");
+        let raw_ir: ProgramIr = workload.instantiate(input);
+        let compiler = Compiler::icc(self.ctx.arch.target);
+        let hot_originals: Vec<usize> =
+            self.outlined.original_id[..self.outlined.j].to_vec();
+        let outlined = outline_with_hot_set(
+            &raw_ir,
+            &hot_originals,
+            &compiler,
+            &self.ctx.arch,
+            input.steps,
+            derive_seed(self.seed, "xinput"),
+        );
+        let ctx = EvalContext::new(
+            outlined.ir,
+            compiler,
+            self.ctx.arch.clone(),
+            input.steps,
+            derive_seed(self.seed, "xinput-noise"),
+        );
+        let base = ctx.space().baseline();
+        let mut tuned_sum = 0.0;
+        let mut o3_sum = 0.0;
+        for r in 0..repeats.max(1) {
+            tuned_sum += ctx
+                .eval_assignment(assignment, derive_seed_idx(ctx.noise_root, u64::from(r)))
+                .total_s;
+            o3_sum += ctx
+                .eval_uniform(&base, derive_seed_idx(ctx.noise_root ^ 0x03, u64::from(r)))
+                .total_s;
+        }
+        let n = f64::from(repeats.max(1));
+        (tuned_sum / n, o3_sum / n)
+    }
+
+    /// Speedup of a tuned assignment over `-O3` on an arbitrary input.
+    pub fn speedup_on_input(
+        &self,
+        workload: &ft_workloads::Workload,
+        input: &ft_workloads::InputConfig,
+        assignment: &[Cv],
+    ) -> f64 {
+        let (tuned, o3) = self.evaluate_on_input(workload, input, assignment, 3);
+        o3 / tuned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_workloads::workload_by_name;
+
+    fn quick_run(bench: &str) -> (ft_workloads::Workload, TuningRun) {
+        let arch = Architecture::broadwell();
+        let w = workload_by_name(bench).unwrap();
+        let run = Tuner::new(&w, &arch).budget(150).focus(12).seed(7).run();
+        (w, run)
+    }
+
+    #[test]
+    fn full_pipeline_produces_coherent_results() {
+        let (_w, run) = quick_run("swim");
+        assert!(run.cfr.speedup() > 1.0);
+        assert!(run.greedy.independent_speedup >= run.cfr.speedup() * 0.999);
+        assert_eq!(run.data.k(), 150);
+        assert_eq!(run.cfr.assignment.len(), run.outlined.j + 1);
+    }
+
+    #[test]
+    fn cross_input_evaluation_generalizes() {
+        let (w, run) = quick_run("CloverLeaf");
+        // Tuned-on-tune executable evaluated on the large input: the
+        // paper finds the benefit generalizes (§4.3).
+        let s = run.speedup_on_input(&w, &w.large, &run.cfr.assignment);
+        assert!(s > 1.0, "large-input speedup = {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "different workload")]
+    fn cross_workload_evaluation_rejected() {
+        let (_w, run) = quick_run("swim");
+        let other = workload_by_name("AMG").unwrap();
+        let _ = run.speedup_on_input(&other, &other.large, &run.cfr.assignment);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget too small")]
+    fn degenerate_budget_rejected() {
+        let arch = Architecture::broadwell();
+        let w = workload_by_name("swim").unwrap();
+        let _ = Tuner::new(&w, &arch).budget(1);
+    }
+}

@@ -1,0 +1,94 @@
+//! Tuning outcomes.
+
+use ft_flags::Cv;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one search algorithm on one (program, architecture,
+/// input) triple.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TuningResult {
+    /// Algorithm label (`Random`, `FR`, `CFR`, `G.realized`, ...).
+    pub algorithm: String,
+    /// Best end-to-end time found, seconds.
+    pub best_time: f64,
+    /// `-O3` baseline time, seconds.
+    pub baseline_time: f64,
+    /// Winning per-module CV assignment (a single repeated CV for
+    /// per-program algorithms).
+    pub assignment: Vec<Cv>,
+    /// Index of the winning candidate within the evaluation order.
+    pub best_index: usize,
+    /// Best-time-so-far after each candidate evaluation (convergence
+    /// curve; used by the budget ablation).
+    pub history: Vec<f64>,
+    /// Total candidate executions performed.
+    pub evaluations: usize,
+}
+
+impl TuningResult {
+    /// Speedup over the `-O3` baseline (the paper's reporting metric).
+    pub fn speedup(&self) -> f64 {
+        self.baseline_time / self.best_time
+    }
+
+    /// Number of evaluations after which the search was within
+    /// `tolerance` of its final best (convergence point, §4.3).
+    pub fn converged_at(&self, tolerance: f64) -> usize {
+        let target = self.best_time * (1.0 + tolerance);
+        self.history
+            .iter()
+            .position(|t| *t <= target)
+            .map_or(self.history.len(), |p| p + 1)
+    }
+}
+
+/// Builds the best-so-far curve from raw per-candidate times.
+pub fn best_so_far(times: &[f64]) -> Vec<f64> {
+    let mut best = f64::INFINITY;
+    times
+        .iter()
+        .map(|t| {
+            best = best.min(*t);
+            best
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(times: &[f64]) -> TuningResult {
+        let history = best_so_far(times);
+        let best_time = *history.last().unwrap();
+        TuningResult {
+            algorithm: "test".into(),
+            best_time,
+            baseline_time: 10.0,
+            assignment: vec![],
+            best_index: 0,
+            history,
+            evaluations: times.len(),
+        }
+    }
+
+    #[test]
+    fn best_so_far_is_monotone_nonincreasing() {
+        let curve = best_so_far(&[5.0, 7.0, 4.0, 6.0, 3.0]);
+        assert_eq!(curve, vec![5.0, 5.0, 4.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn speedup_is_baseline_over_best() {
+        let r = result(&[5.0, 4.0]);
+        assert!((r.speedup() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn converged_at_finds_first_near_best() {
+        let r = result(&[8.0, 5.0, 4.05, 4.0, 4.0]);
+        assert_eq!(r.converged_at(0.02), 3); // 4.05 <= 4.0*1.02
+        assert_eq!(r.converged_at(0.0), 4);
+        assert_eq!(r.converged_at(2.0), 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! Repeated-measurement statistics (§3.1 and §4.1 protocol).
+//!
+//! The paper measures every code variant over 10 experiments and
+//! reports 3–36 s runtimes with standard deviations of 0.04–0.2 s —
+//! "results are very uniform with high statistical significance". This
+//! module reproduces that protocol: repeat a measurement under fresh
+//! noise seeds and summarize.
+
+use crate::ctx::EvalContext;
+use ft_flags::rng::derive_seed_idx;
+use ft_flags::Cv;
+use serde::{Deserialize, Serialize};
+
+/// Summary of repeated runs of one executable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementStats {
+    /// Number of repetitions.
+    pub n: u32,
+    /// Mean end-to-end seconds.
+    pub mean: f64,
+    /// Sample standard deviation, seconds.
+    pub stddev: f64,
+    /// Minimum observed.
+    pub min: f64,
+    /// Maximum observed.
+    pub max: f64,
+}
+
+impl MeasurementStats {
+    /// Builds stats from raw samples.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "no samples");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        MeasurementStats {
+            n: n as u32,
+            mean,
+            stddev: var.sqrt(),
+            min: samples.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Relative standard deviation (coefficient of variation).
+    pub fn rel_stddev(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev / self.mean
+        }
+    }
+}
+
+/// Measures a per-module assignment `repeats` times under fresh noise
+/// seeds (the paper's 10-experiment protocol).
+pub fn measure_repeated(
+    ctx: &EvalContext,
+    assignment: &[Cv],
+    repeats: u32,
+    seed: u64,
+) -> MeasurementStats {
+    let samples: Vec<f64> = (0..repeats.max(1))
+        .map(|r| {
+            ctx.eval_assignment(assignment, derive_seed_idx(seed, u64::from(r))).total_s
+        })
+        .collect();
+    MeasurementStats::from_samples(&samples)
+}
+
+/// Speedup of `tuned` over `baseline` with both measured `repeats`
+/// times; returns `(speedup, tuned stats, baseline stats)`.
+pub fn speedup_with_stats(
+    ctx: &EvalContext,
+    tuned: &[Cv],
+    repeats: u32,
+    seed: u64,
+) -> (f64, MeasurementStats, MeasurementStats) {
+    let baseline = vec![ctx.space().baseline(); ctx.modules()];
+    let t = measure_repeated(ctx, tuned, repeats, seed);
+    let b = measure_repeated(ctx, &baseline, repeats, seed ^ 0xB);
+    (b.mean / t.mean, t, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::testutil::ctx_for;
+
+    #[test]
+    fn from_samples_basics() {
+        let s = MeasurementStats::from_samples(&[2.0, 4.0, 6.0]);
+        assert_eq!(s.n, 3);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert!((s.stddev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 6.0);
+        assert!((s.rel_stddev() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_has_zero_stddev() {
+        let s = MeasurementStats::from_samples(&[5.0]);
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_samples_rejected() {
+        let _ = MeasurementStats::from_samples(&[]);
+    }
+
+    #[test]
+    fn repeated_measurement_matches_paper_noise_band() {
+        // §4.1: runtimes 3-36 s with sd 0.04-0.2 s over 10 runs, i.e.
+        // relative sd well under 2%.
+        let ctx = ctx_for("swim", None); // full 50-step input: ~20 s
+        let baseline = vec![ctx.space().baseline(); ctx.modules()];
+        let stats = measure_repeated(&ctx, &baseline, 10, 42);
+        assert!(stats.mean > 3.0 && stats.mean < 40.0, "mean = {}", stats.mean);
+        assert!(stats.rel_stddev() < 0.02, "rel sd = {}", stats.rel_stddev());
+        assert!(stats.stddev > 0.0, "noise must exist");
+        assert!(stats.min <= stats.mean && stats.mean <= stats.max);
+    }
+
+    #[test]
+    fn speedup_with_stats_is_consistent() {
+        let ctx = ctx_for("swim", Some(5));
+        let baseline = vec![ctx.space().baseline(); ctx.modules()];
+        let (s, t, b) = speedup_with_stats(&ctx, &baseline, 5, 7);
+        // Baseline vs baseline: speedup ~ 1.0 within noise.
+        assert!((s - 1.0).abs() < 0.02, "s = {s}");
+        assert_eq!(t.n, 5);
+        assert_eq!(b.n, 5);
+    }
+}

@@ -1,0 +1,135 @@
+//! Search variance across tuning seeds.
+//!
+//! Figure 5's observation 3 says FR "has high variance": random
+//! per-loop draws without per-loop guidance sometimes land well and
+//! often do not. This module quantifies that by repeating a whole
+//! search under different root seeds and summarizing the spread of the
+//! resulting speedups — the search-variance counterpart of the
+//! measurement-variance tooling in [`crate::stability`].
+
+use crate::algorithms::{cfr, fr_search, greedy, random_search};
+use crate::collection::collect;
+use crate::ctx::EvalContext;
+use crate::stats::{mean, stddev};
+use serde::{Deserialize, Serialize};
+
+/// Spread of one algorithm's speedup across tuning seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchVariance {
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Speedups observed, one per seed.
+    pub speedups: Vec<f64>,
+    /// Mean speedup.
+    pub mean: f64,
+    /// Sample standard deviation of the speedups.
+    pub stddev: f64,
+}
+
+impl SearchVariance {
+    fn of(algorithm: &str, speedups: Vec<f64>) -> Self {
+        let m = mean(&speedups);
+        let sd = stddev(&speedups);
+        SearchVariance { algorithm: algorithm.to_string(), speedups, mean: m, stddev: sd }
+    }
+}
+
+/// Runs Random, FR, G.realized and CFR once per seed and summarizes the
+/// speedup spread of each.
+pub fn variance_study(
+    ctx: &EvalContext,
+    k: usize,
+    x: usize,
+    seeds: &[u64],
+) -> Vec<SearchVariance> {
+    assert!(seeds.len() >= 2, "variance needs at least two seeds");
+    let baseline = ctx.baseline_time(10);
+    let mut random_s = Vec::new();
+    let mut fr_s = Vec::new();
+    let mut greedy_s = Vec::new();
+    let mut cfr_s = Vec::new();
+    for &seed in seeds {
+        let data = collect(ctx, k, seed);
+        random_s.push(random_search(ctx, k, seed ^ 0x1).speedup());
+        fr_s.push(fr_search(ctx, k, seed ^ 0x2).speedup());
+        greedy_s.push(greedy(ctx, &data, baseline).realized.speedup());
+        cfr_s.push(cfr(ctx, &data, x, k, seed ^ 0x3).speedup());
+    }
+    vec![
+        SearchVariance::of("Random", random_s),
+        SearchVariance::of("FR", fr_s),
+        SearchVariance::of("G.realized", greedy_s),
+        SearchVariance::of("CFR", cfr_s),
+    ]
+}
+
+/// Renders the study as a table.
+pub fn render(rows: &[SearchVariance]) -> String {
+    let mut out = format!(
+        "{:<12} {:>6} {:>8} {:>8} {:>8} {:>8}\n",
+        "algorithm", "seeds", "mean", "stddev", "min", "max"
+    );
+    for r in rows {
+        let min = r.speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = r.speedups.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        out.push_str(&format!(
+            "{:<12} {:>6} {:>8.3} {:>8.4} {:>8.3} {:>8.3}\n",
+            r.algorithm,
+            r.speedups.len(),
+            r.mean,
+            r.stddev,
+            min,
+            max
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::testutil::ctx_for;
+
+    #[test]
+    fn unguided_and_greedy_searches_vary_more_than_cfr() {
+        // Figure 5 observation 3 (FR's high variance) plus the greedy
+        // fragility: the per-loop searches without end-to-end guidance
+        // (FR) or without any re-measurement (G.realized) must be less
+        // stable across seeds than CFR.
+        let ctx = ctx_for("CloverLeaf", Some(4));
+        let rows = variance_study(&ctx, 100, 12, &[1, 2, 3, 4, 5]);
+        let sd = |name: &str| rows.iter().find(|r| r.algorithm == name).unwrap().stddev;
+        let unstable = sd("FR").max(sd("G.realized"));
+        assert!(
+            unstable > sd("CFR"),
+            "FR {:.4} / G {:.4} vs CFR {:.4}",
+            sd("FR"),
+            sd("G.realized"),
+            sd("CFR")
+        );
+        // And CFR's mean clearly beats FR's.
+        let mean_of = |name: &str| rows.iter().find(|r| r.algorithm == name).unwrap().mean;
+        assert!(mean_of("CFR") > mean_of("FR"));
+    }
+
+    #[test]
+    fn study_covers_all_four_algorithms() {
+        let ctx = ctx_for("swim", Some(3));
+        let rows = variance_study(&ctx, 40, 6, &[7, 8]);
+        let names: Vec<&str> = rows.iter().map(|r| r.algorithm.as_str()).collect();
+        assert_eq!(names, vec!["Random", "FR", "G.realized", "CFR"]);
+        for r in &rows {
+            assert_eq!(r.speedups.len(), 2);
+            assert!(r.mean > 0.3 && r.mean < 3.0);
+        }
+        let text = render(&rows);
+        assert!(text.contains("stddev"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two seeds")]
+    fn single_seed_rejected() {
+        let ctx = ctx_for("swim", Some(3));
+        let _ = variance_study(&ctx, 20, 4, &[1]);
+    }
+}

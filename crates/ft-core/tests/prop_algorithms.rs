@@ -1,0 +1,78 @@
+//! Property-based tests over the search algorithms, using synthetic
+//! programs so the properties hold across arbitrary program shapes.
+
+use ft_core::{cfr, cfr_adaptive, collect, fr_search, greedy, random_search, EvalContext};
+use ft_machine::Architecture;
+use ft_compiler::Compiler;
+use ft_workloads::synthetic::{generate, SyntheticConfig};
+use proptest::prelude::*;
+
+fn ctx_for(seed: u64) -> EvalContext {
+    let arch = Architecture::broadwell();
+    let ir = generate((seed % 7) as usize, seed, &SyntheticConfig::hpc());
+    EvalContext::new(ir, Compiler::icc(arch.target), arch, 3, seed ^ 0xABCD)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Every algorithm's reported best time is the minimum of its own
+    /// history, and the history has exactly `evaluations` entries.
+    #[test]
+    fn reported_best_is_history_minimum(seed in 0u64..500) {
+        let ctx = ctx_for(seed);
+        let data = collect(&ctx, 25, seed);
+        let baseline = ctx.baseline_time(3);
+        for r in [
+            random_search(&ctx, 25, seed),
+            fr_search(&ctx, 25, seed ^ 1),
+            cfr(&ctx, &data, 6, 25, seed ^ 2),
+        ] {
+            prop_assert_eq!(r.history.len(), r.evaluations);
+            let min = r.history.iter().cloned().fold(f64::INFINITY, f64::min);
+            prop_assert!((r.best_time - min).abs() < 1e-12, "{}", r.algorithm);
+        }
+        let g = greedy(&ctx, &data, baseline);
+        prop_assert!(g.independent_time <= data.end_to_end.iter().cloned().fold(f64::INFINITY, f64::min) + 1e-9);
+    }
+
+    /// CFR's winning assignment re-evaluates (with the same per-index
+    /// noise seed) to exactly the reported best time.
+    #[test]
+    fn winner_is_reproducible(seed in 0u64..500) {
+        let ctx = ctx_for(seed);
+        let data = collect(&ctx, 20, seed);
+        let r = cfr(&ctx, &data, 5, 20, seed ^ 3);
+        let replay = ctx.eval_assignment(
+            &r.assignment,
+            ft_flags::rng::derive_seed_idx(ctx.noise_root ^ 0xA551, r.best_index as u64),
+        );
+        prop_assert!((replay.total_s - r.best_time).abs() < 1e-12);
+    }
+
+    /// Early stopping never evaluates more than plain CFR and always
+    /// returns a time at least as large (it sees a prefix of the same
+    /// candidate stream... with its own sampling, so only weak bounds
+    /// hold: positivity and budget).
+    #[test]
+    fn adaptive_respects_budget(seed in 0u64..500, patience in 1usize..10) {
+        let ctx = ctx_for(seed);
+        let data = collect(&ctx, 20, seed);
+        let r = cfr_adaptive(&ctx, &data, 5, 20, patience, seed ^ 4);
+        prop_assert!(r.evaluations <= 20);
+        prop_assert!(r.best_time > 0.0 && r.best_time.is_finite());
+        prop_assert!(r.speedup() > 0.3 && r.speedup() < 3.0);
+    }
+
+    /// Per-program algorithms return uniform assignments; per-loop
+    /// algorithms may not.
+    #[test]
+    fn assignment_uniformity_matches_granularity(seed in 0u64..500) {
+        let ctx = ctx_for(seed);
+        let r = random_search(&ctx, 15, seed);
+        prop_assert!(r.assignment.windows(2).all(|w| w[0] == w[1]));
+        let data = collect(&ctx, 15, seed);
+        let c = cfr(&ctx, &data, 4, 15, seed ^ 5);
+        prop_assert_eq!(c.assignment.len(), ctx.modules());
+    }
+}

@@ -1,0 +1,205 @@
+//! Descriptions of individual compiler flags.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a flag within its [`crate::FlagSpace`].
+pub type FlagId = usize;
+
+/// One admissible value of a flag.
+///
+/// Flags with a continuous range in the real compiler are discretized
+/// (paper §3.2), so every domain here is a finite list of values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FlagValue {
+    /// The flag is absent / the compiler default is used.
+    Default,
+    /// A binary switch turned on, rendered as the flag name itself.
+    On,
+    /// A binary switch explicitly turned off, rendered as a `-no-`
+    /// prefixed variant (ICC style).
+    Off,
+    /// An integer-valued parametric option (e.g. an unroll factor).
+    Int(i32),
+    /// A named enumeration value (e.g. `always` for streaming stores).
+    Named(&'static str),
+}
+
+impl fmt::Display for FlagValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlagValue::Default => write!(f, "<default>"),
+            FlagValue::On => write!(f, "on"),
+            FlagValue::Off => write!(f, "off"),
+            FlagValue::Int(v) => write!(f, "{v}"),
+            FlagValue::Named(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Broad semantic category of a flag.
+///
+/// The simulated compiler keys its decision functions off these
+/// categories; the category is also used by the COBAYN baseline when
+/// binarizing multi-valued flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlagDomain {
+    /// Overall optimization level (`-O2`/`-O3`).
+    OptLevel,
+    /// Auto-vectorization master switch and parameters.
+    Vectorization,
+    /// Loop unrolling.
+    Unrolling,
+    /// Inter-procedural optimization / link-time optimization.
+    Ipo,
+    /// Function inlining heuristics.
+    Inlining,
+    /// Non-temporal (streaming) stores.
+    StreamingStores,
+    /// Pointer aliasing assumptions.
+    Aliasing,
+    /// Software prefetching.
+    Prefetch,
+    /// Data / memory-layout transformations.
+    Layout,
+    /// Loop restructuring other than unrolling (fusion, distribution,
+    /// collapse, unroll-and-jam, multi-versioning, if-conversion...).
+    LoopRestructure,
+    /// Back-end code generation (scheduling, selection, register
+    /// allocation, alignment).
+    Codegen,
+    /// Scalar optimizations (GCSE, LICM, scalar replacement, hoisting).
+    Scalar,
+}
+
+/// Static description of one tunable compiler flag.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlagSpec {
+    /// Command-line name without the leading dash, e.g.
+    /// `qopt-streaming-stores`.
+    pub name: &'static str,
+    /// Semantic category used by the compiler model.
+    pub domain: FlagDomain,
+    /// Admissible values; index 0 is always the `-O3` baseline value.
+    pub values: Vec<FlagValue>,
+    /// One-line description of the modeled semantics.
+    pub help: &'static str,
+}
+
+impl FlagSpec {
+    /// Creates a binary on/off switch whose baseline (index 0) is the
+    /// given default.
+    pub fn binary(name: &'static str, domain: FlagDomain, default_on: bool) -> Self {
+        let values = if default_on {
+            vec![FlagValue::On, FlagValue::Off]
+        } else {
+            vec![FlagValue::Default, FlagValue::On]
+        };
+        FlagSpec { name, domain, values, help: "" }
+    }
+
+    /// Creates a multi-valued flag from a list of named values.
+    pub fn named(name: &'static str, domain: FlagDomain, values: &[&'static str]) -> Self {
+        assert!(values.len() >= 2, "multi-valued flag needs >= 2 values");
+        FlagSpec {
+            name,
+            domain,
+            values: values.iter().map(|v| FlagValue::Named(v)).collect(),
+            help: "",
+        }
+    }
+
+    /// Creates an integer-valued flag; the first entry is the baseline.
+    pub fn ints(name: &'static str, domain: FlagDomain, values: &[i32]) -> Self {
+        assert!(values.len() >= 2, "multi-valued flag needs >= 2 values");
+        FlagSpec {
+            name,
+            domain,
+            values: values.iter().map(|v| FlagValue::Int(*v)).collect(),
+            help: "",
+        }
+    }
+
+    /// Creates an integer-valued flag whose baseline is the compiler
+    /// default (rendered as no flag at all).
+    pub fn ints_with_default(name: &'static str, domain: FlagDomain, values: &[i32]) -> Self {
+        assert!(!values.is_empty());
+        let mut vals = vec![FlagValue::Default];
+        vals.extend(values.iter().map(|v| FlagValue::Int(*v)));
+        FlagSpec { name, domain, values: vals, help: "" }
+    }
+
+    /// Attaches a one-line description of the modeled semantics.
+    pub fn with_help(mut self, help: &'static str) -> Self {
+        self.help = help;
+        self
+    }
+
+    /// Number of admissible values.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Renders the command-line fragment for value index `idx`, or
+    /// `None` when the value is the implicit compiler default.
+    pub fn render(&self, idx: usize) -> Option<String> {
+        match &self.values[idx] {
+            FlagValue::Default => None,
+            FlagValue::On => Some(format!("-{}", self.name)),
+            FlagValue::Off => Some(format!("-no-{}", self.name)),
+            FlagValue::Int(v) => Some(format!("-{}={}", self.name, v)),
+            // The optimization level renders without an `=` separator
+            // (`-O3`, `-O2`), matching real compiler syntax.
+            FlagValue::Named(s) if self.name == "O" => Some(format!("-O{s}")),
+            FlagValue::Named(s) => Some(format!("-{}={}", self.name, s)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_default_on_renders_off_variant() {
+        let f = FlagSpec::binary("ansi-alias", FlagDomain::Aliasing, true);
+        assert_eq!(f.arity(), 2);
+        assert_eq!(f.render(0), Some("-ansi-alias".to_string()));
+        assert_eq!(f.render(1), Some("-no-ansi-alias".to_string()));
+    }
+
+    #[test]
+    fn binary_default_off_renders_nothing_for_baseline() {
+        let f = FlagSpec::binary("unroll-aggressive", FlagDomain::Unrolling, false);
+        assert_eq!(f.render(0), None);
+        assert_eq!(f.render(1), Some("-unroll-aggressive".to_string()));
+    }
+
+    #[test]
+    fn named_flag_renders_value() {
+        let f = FlagSpec::named(
+            "qopt-streaming-stores",
+            FlagDomain::StreamingStores,
+            &["auto", "always", "never"],
+        );
+        assert_eq!(f.arity(), 3);
+        assert_eq!(
+            f.render(1),
+            Some("-qopt-streaming-stores=always".to_string())
+        );
+    }
+
+    #[test]
+    fn int_flag_with_default_renders() {
+        let f = FlagSpec::ints_with_default("unroll", FlagDomain::Unrolling, &[0, 2, 4, 8]);
+        assert_eq!(f.arity(), 5);
+        assert_eq!(f.render(0), None);
+        assert_eq!(f.render(3), Some("-unroll=4".to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "multi-valued")]
+    fn named_flag_requires_two_values() {
+        let _ = FlagSpec::named("x", FlagDomain::Codegen, &["only"]);
+    }
+}

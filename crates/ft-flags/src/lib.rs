@@ -1,0 +1,34 @@
+//! Compiler optimization-flag space modelling for FuncyTuner.
+//!
+//! The paper tunes 33 optimization-related flags of the Intel C/C++
+//! compiler (release 17.0.4). Each flag is either a binary switch or a
+//! multi-valued parametric option; the Cartesian product of all flag
+//! values forms the *compiler optimization space* (COS, roughly
+//! `2.3e13` points in the paper). A point in the space — one concrete
+//! value per flag — is a *compilation vector* ([`Cv`]).
+//!
+//! This crate provides:
+//!
+//! * [`FlagSpec`] / [`FlagDomain`] — the description of one flag,
+//! * [`FlagSpace`] — an ordered collection of flags with uniform
+//!   sampling, the ICC-like 33-flag space of the paper
+//!   ([`FlagSpace::icc`]) and a GCC-like space for the Figure 1
+//!   combined-elimination experiment ([`FlagSpace::gcc`]),
+//! * [`Cv`] — a compact compilation vector (one `u8` value index per
+//!   flag) with rendering to a command-line string, Hamming distance,
+//!   digests for deterministic derived randomness, and (de)serialization.
+//!
+//! All randomness in the workspace flows through explicit seeds; the
+//! [`rng`] module provides the SplitMix64-based seed derivation used to
+//! keep every experiment independently deterministic.
+
+pub mod cv;
+pub mod flag;
+pub mod population;
+pub mod rng;
+pub mod space;
+
+pub use cv::Cv;
+pub use flag::{FlagDomain, FlagId, FlagSpec, FlagValue};
+pub use population::{FlagHistogram, Population};
+pub use space::FlagSpace;

@@ -1,0 +1,179 @@
+//! Population analysis of CV sets.
+//!
+//! The §4.4 case study inspects *which* flags the winning configurations
+//! share (e.g. Random, COBAYN and OpenTuner all retaining
+//! `-qopt-streaming-stores=always -no-ansi-alias -ipo`). This module
+//! provides that view over any CV population — per-flag value
+//! histograms, consensus flags (values chosen far more often than
+//! uniform sampling would explain), and a text rendering.
+
+use crate::cv::Cv;
+use crate::space::FlagSpace;
+use serde::{Deserialize, Serialize};
+
+/// Per-flag value histogram over a CV population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlagHistogram {
+    /// Flag index in the space.
+    pub flag: usize,
+    /// Flag name.
+    pub name: String,
+    /// `counts[v]` = how many CVs picked value index `v`.
+    pub counts: Vec<u32>,
+}
+
+impl FlagHistogram {
+    /// Most frequent value index and its population share.
+    pub fn mode(&self) -> (u8, f64) {
+        let total: u32 = self.counts.iter().sum();
+        let (idx, cnt) = self
+            .counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .expect("non-empty histogram");
+        (idx as u8, if total == 0 { 0.0 } else { f64::from(*cnt) / f64::from(total) })
+    }
+}
+
+/// Statistics of a CV population over one flag space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Population {
+    /// Number of CVs analyzed.
+    pub n: usize,
+    /// One histogram per flag, in space order.
+    pub histograms: Vec<FlagHistogram>,
+}
+
+impl Population {
+    /// Analyzes a population of CVs from `space`.
+    ///
+    /// ```
+    /// use ft_flags::{FlagSpace, Population};
+    /// let space = FlagSpace::icc();
+    /// let base = space.baseline();
+    /// let pop = Population::analyze(&space, &[&base, &base]);
+    /// assert_eq!(pop.n, 2);
+    /// // Every flag is unanimously at its default.
+    /// assert_eq!(pop.histograms[0].mode(), (0, 1.0));
+    /// ```
+    pub fn analyze(space: &FlagSpace, cvs: &[&Cv]) -> Population {
+        assert!(!cvs.is_empty(), "empty population");
+        let mut histograms: Vec<FlagHistogram> = (0..space.len())
+            .map(|i| FlagHistogram {
+                flag: i,
+                name: space.flag(i).name.to_string(),
+                counts: vec![0; space.flag(i).arity()],
+            })
+            .collect();
+        for cv in cvs {
+            assert_eq!(cv.len(), space.len(), "CV from a different space");
+            for (i, h) in histograms.iter_mut().enumerate() {
+                h.counts[cv.get(i) as usize] += 1;
+            }
+        }
+        Population { n: cvs.len(), histograms }
+    }
+
+    /// Flags whose modal value is over-represented relative to uniform
+    /// sampling by at least `lift` (e.g. 2.0 = chosen twice as often as
+    /// chance). Returns `(flag id, value index, share)` sorted by
+    /// descending share; these are the population's *consensus flags*.
+    pub fn consensus(&self, space: &FlagSpace, lift: f64) -> Vec<(usize, u8, f64)> {
+        let mut out = Vec::new();
+        for h in &self.histograms {
+            let (v, share) = h.mode();
+            let uniform = 1.0 / space.flag(h.flag).arity() as f64;
+            if share >= (uniform * lift).min(1.0) {
+                out.push((h.flag, v, share));
+            }
+        }
+        out.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite share"));
+        out
+    }
+
+    /// Renders the consensus flags as command-line fragments (flags at
+    /// their baseline value are reported as `default:<name>`).
+    pub fn render_consensus(&self, space: &FlagSpace, lift: f64) -> Vec<String> {
+        self.consensus(space, lift)
+            .into_iter()
+            .map(|(flag, v, share)| {
+                let rendered = space
+                    .flag(flag)
+                    .render(v as usize)
+                    .unwrap_or_else(|| format!("default:{}", space.flag(flag).name));
+                format!("{rendered} ({:.0}%)", share * 100.0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_for;
+
+    #[test]
+    fn uniform_population_has_no_strong_consensus() {
+        let sp = FlagSpace::icc();
+        let cvs: Vec<Cv> = sp.sample_many(400, &mut rng_for(1, "pop"));
+        let refs: Vec<&Cv> = cvs.iter().collect();
+        let pop = Population::analyze(&sp, &refs);
+        assert_eq!(pop.n, 400);
+        // With 400 uniform samples, no flag should be 2.5x over-chance.
+        assert!(
+            pop.consensus(&sp, 2.5).is_empty(),
+            "{:?}",
+            pop.render_consensus(&sp, 2.5)
+        );
+    }
+
+    #[test]
+    fn planted_consensus_is_detected() {
+        let sp = FlagSpace::icc();
+        let stream = sp.index_of("qopt-streaming-stores").unwrap();
+        let alias = sp.index_of("ansi-alias").unwrap();
+        let mut rng = rng_for(2, "plant");
+        let cvs: Vec<Cv> = (0..200)
+            .map(|_| {
+                let mut cv = sp.sample(&mut rng);
+                cv.set(stream, 1); // =always, every time
+                cv.set(alias, 1); // -no-ansi-alias, every time
+                cv
+            })
+            .collect();
+        let refs: Vec<&Cv> = cvs.iter().collect();
+        let pop = Population::analyze(&sp, &refs);
+        let consensus = pop.consensus(&sp, 2.0);
+        let ids: Vec<usize> = consensus.iter().map(|(f, _, _)| *f).collect();
+        assert!(ids.contains(&stream), "streaming-stores consensus missed");
+        assert!(ids.contains(&alias), "ansi-alias consensus missed");
+        let rendered = pop.render_consensus(&sp, 2.0);
+        assert!(
+            rendered.iter().any(|s| s.contains("-qopt-streaming-stores=always")),
+            "{rendered:?}"
+        );
+        assert!(rendered.iter().any(|s| s.contains("-no-ansi-alias")), "{rendered:?}");
+    }
+
+    #[test]
+    fn mode_and_counts_are_consistent() {
+        let sp = FlagSpace::icc();
+        let base = sp.baseline();
+        let refs = vec![&base, &base, &base];
+        let pop = Population::analyze(&sp, &refs);
+        for h in &pop.histograms {
+            let (v, share) = h.mode();
+            assert_eq!(v, 0);
+            assert_eq!(share, 1.0);
+            assert_eq!(h.counts.iter().sum::<u32>(), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn empty_population_rejected() {
+        let sp = FlagSpace::icc();
+        let _ = Population::analyze(&sp, &[]);
+    }
+}

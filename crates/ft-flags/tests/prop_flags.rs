@@ -1,0 +1,85 @@
+//! Property-based tests for the flag space and compilation vectors.
+
+use ft_flags::rng::rng_for;
+use ft_flags::{Cv, FlagSpace};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary valid CV for the ICC space, built from a seed
+/// so shrinking stays within the space.
+fn arb_cv() -> impl Strategy<Value = (FlagSpace, Cv)> {
+    any::<u64>().prop_map(|seed| {
+        let sp = FlagSpace::icc();
+        let cv = sp.sample(&mut rng_for(seed, "prop"));
+        (sp, cv)
+    })
+}
+
+proptest! {
+    #[test]
+    fn sampled_cvs_are_in_bounds((sp, cv) in arb_cv()) {
+        for id in 0..sp.len() {
+            prop_assert!((cv.get(id) as usize) < sp.flag(id).arity());
+        }
+    }
+
+    #[test]
+    fn hamming_is_a_metric(a in any::<u64>(), b in any::<u64>()) {
+        let sp = FlagSpace::icc();
+        let x = sp.sample(&mut rng_for(a, "m"));
+        let y = sp.sample(&mut rng_for(b, "m"));
+        // identity
+        prop_assert_eq!(x.hamming(&x), 0);
+        // symmetry
+        prop_assert_eq!(x.hamming(&y), y.hamming(&x));
+        // bounded
+        prop_assert!(x.hamming(&y) <= sp.len());
+    }
+
+    #[test]
+    fn hamming_triangle_inequality(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let sp = FlagSpace::icc();
+        let x = sp.sample(&mut rng_for(a, "t"));
+        let y = sp.sample(&mut rng_for(b, "t"));
+        let z = sp.sample(&mut rng_for(c, "t"));
+        prop_assert!(x.hamming(&z) <= x.hamming(&y) + y.hamming(&z));
+    }
+
+    #[test]
+    fn render_round_trip_via_serde((_sp, cv) in arb_cv()) {
+        let json = serde_json::to_string(&cv).unwrap();
+        let back: Cv = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(cv, back);
+    }
+
+    #[test]
+    fn digest_rarely_collides(a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        let sp = FlagSpace::icc();
+        let x = sp.sample(&mut rng_for(a, "d"));
+        let y = sp.sample(&mut rng_for(b, "d"));
+        if x != y {
+            prop_assert_ne!(x.digest(), y.digest());
+        }
+    }
+
+    #[test]
+    fn single_mutation_changes_render(seed in any::<u64>(), id_raw in 0usize..33, bump in 1u8..4) {
+        let sp = FlagSpace::icc();
+        let cv = sp.sample(&mut rng_for(seed, "r"));
+        let id = id_raw % sp.len();
+        let arity = sp.flag(id).arity() as u8;
+        let nv = (cv.get(id) + bump) % arity;
+        prop_assume!(nv != cv.get(id));
+        let cv2 = cv.with(&sp, id, nv);
+        prop_assert_ne!(cv.render(&sp), cv2.render(&sp));
+    }
+
+    #[test]
+    fn neighbors_are_all_distance_one(seed in any::<u64>()) {
+        let sp = FlagSpace::icc();
+        let cv = sp.sample(&mut rng_for(seed, "n"));
+        for n in sp.neighbors(&cv) {
+            prop_assert_eq!(n.hamming(&cv), 1);
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! The three evaluation platforms of Table 2.
+
+use ft_compiler::Target;
+use serde::{Deserialize, Serialize};
+
+/// An architecture model: the subset of Table 2 that the execution
+/// model prices, plus micro-architectural throughput parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Architecture {
+    /// Platform name as used in the paper's figures.
+    pub name: &'static str,
+    /// Processor model string (Table 2).
+    pub processor: &'static str,
+    /// Compilation target (processor-specific flag).
+    pub target: Target,
+    /// Socket count.
+    pub sockets: u32,
+    /// NUMA nodes.
+    pub numa_nodes: u32,
+    /// Physical cores per socket.
+    pub cores_per_socket: u32,
+    /// Hardware threads per core.
+    pub threads_per_core: u32,
+    /// Core frequency, GHz.
+    pub freq_ghz: f64,
+    /// Sustainable scalar instructions per cycle per core.
+    pub issue_width: f64,
+    /// Hardware efficiency of 128-bit SIMD relative to ideal.
+    pub simd_eff_128: f64,
+    /// Hardware efficiency of 256-bit SIMD relative to ideal (0 when
+    /// unsupported).
+    pub simd_eff_256: f64,
+    /// Hardware efficiency of 512-bit SIMD relative to ideal (0 when
+    /// unsupported; only the future-platform extension has it).
+    pub simd_eff_512: f64,
+    /// Core-frequency multiplier while executing 512-bit SIMD (the
+    /// AVX-512 "license" downclock; 1.0 when not applicable).
+    pub avx512_freq_factor: f64,
+    /// Per-core L1 instruction cache, KiB (hot-code budget).
+    pub icache_kb: f64,
+    /// Last-level cache, MiB.
+    pub llc_mb: f64,
+    /// Sustained system memory bandwidth, GB/s.
+    pub mem_bw_gbs: f64,
+    /// Memory size, GB (Table 2; informational).
+    pub memory_gb: f64,
+    /// OpenMP thread count used in all experiments.
+    pub omp_threads: u32,
+    /// Relative scalar speed vs the Broadwell reference core.
+    pub scalar_speed: f64,
+}
+
+impl Architecture {
+    /// AMD Opteron 6128: 2 sockets × 4 cores × 2 SMT, 4 NUMA nodes,
+    /// SSE-class SIMD only.
+    pub fn opteron() -> Self {
+        Architecture {
+            name: "Opteron",
+            processor: "Opteron 6128",
+            target: Target::sse_128(),
+            sockets: 2,
+            numa_nodes: 4,
+            cores_per_socket: 4,
+            threads_per_core: 2,
+            freq_ghz: 2.0,
+            issue_width: 2.2,
+            simd_eff_128: 0.82,
+            simd_eff_256: 0.0,
+            simd_eff_512: 0.0,
+            avx512_freq_factor: 1.0,
+            icache_kb: 64.0,
+            llc_mb: 12.0,
+            mem_bw_gbs: 24.0,
+            memory_gb: 32.0,
+            omp_threads: 16,
+            scalar_speed: 0.62,
+        }
+    }
+
+    /// Intel Xeon E5-2650 0 (Sandy Bridge): 2 × 8 cores, AVX.
+    pub fn sandy_bridge() -> Self {
+        Architecture {
+            name: "Sandy Bridge",
+            processor: "Xeon E5-2650 0",
+            target: Target::avx_256(),
+            sockets: 2,
+            numa_nodes: 2,
+            cores_per_socket: 8,
+            threads_per_core: 2,
+            freq_ghz: 2.0,
+            issue_width: 2.8,
+            simd_eff_128: 0.90,
+            // First-generation AVX: 256-bit loads split, stores are
+            // half-rate — wide SIMD pays off less than on Broadwell.
+            simd_eff_256: 0.62,
+            simd_eff_512: 0.0,
+            avx512_freq_factor: 1.0,
+            icache_kb: 32.0,
+            llc_mb: 20.0,
+            mem_bw_gbs: 42.0,
+            memory_gb: 16.0,
+            omp_threads: 16,
+            scalar_speed: 0.88,
+        }
+    }
+
+    /// Intel Xeon E5-2620 v4 (Broadwell): 2 × 8 cores, AVX2 + FMA.
+    ///
+    /// ```
+    /// use ft_machine::Architecture;
+    /// let bdw = Architecture::broadwell();
+    /// assert_eq!(bdw.total_cores(), 16);
+    /// assert_eq!(bdw.target.proc_flag, "-xCORE-AVX2");
+    /// assert_eq!(bdw.simd_efficiency(256), 0.80);
+    /// ```
+    pub fn broadwell() -> Self {
+        Architecture {
+            name: "Broadwell",
+            processor: "Xeon E5-2620 v4",
+            target: Target::avx2_256(),
+            sockets: 2,
+            numa_nodes: 2,
+            cores_per_socket: 8,
+            threads_per_core: 2,
+            freq_ghz: 2.1,
+            issue_width: 3.0,
+            simd_eff_128: 0.92,
+            simd_eff_256: 0.80,
+            simd_eff_512: 0.0,
+            avx512_freq_factor: 1.0,
+            icache_kb: 32.0,
+            llc_mb: 20.0,
+            mem_bw_gbs: 58.0,
+            memory_gb: 64.0,
+            omp_threads: 16,
+            scalar_speed: 1.0,
+        }
+    }
+
+    /// Intel Skylake-SP class with AVX-512 — the future-platform
+    /// extension beyond the paper's testbeds. 512-bit execution pays
+    /// the well-known license-based frequency throttle, so the widest
+    /// SIMD is *not* automatically the fastest: a fresh per-loop
+    /// tuning axis.
+    pub fn skylake_avx512() -> Self {
+        Architecture {
+            name: "Skylake-512",
+            processor: "Xeon Gold 6142 (extension)",
+            target: Target::avx512_512(),
+            sockets: 2,
+            numa_nodes: 2,
+            cores_per_socket: 8,
+            threads_per_core: 2,
+            freq_ghz: 2.6,
+            issue_width: 3.2,
+            simd_eff_128: 0.94,
+            simd_eff_256: 0.85,
+            simd_eff_512: 0.72,
+            avx512_freq_factor: 0.85,
+            icache_kb: 32.0,
+            llc_mb: 22.0,
+            mem_bw_gbs: 85.0,
+            memory_gb: 96.0,
+            omp_threads: 16,
+            scalar_speed: 1.15,
+        }
+    }
+
+    /// All three platforms in paper order.
+    pub fn all() -> Vec<Architecture> {
+        vec![Self::opteron(), Self::sandy_bridge(), Self::broadwell()]
+    }
+
+    /// The paper's three platforms plus the AVX-512 extension.
+    pub fn extended() -> Vec<Architecture> {
+        let mut v = Self::all();
+        v.push(Self::skylake_avx512());
+        v
+    }
+
+    /// Total physical cores.
+    pub fn total_cores(&self) -> u32 {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Effective parallel throughput of the 16-thread OpenMP
+    /// configuration, in "core equivalents": SMT threads beyond the
+    /// physical core count contribute ~30 %.
+    pub fn parallel_capacity(&self) -> f64 {
+        let cores = f64::from(self.total_cores());
+        let t = f64::from(self.omp_threads);
+        if t <= cores {
+            t
+        } else {
+            cores + 0.3 * (t - cores)
+        }
+    }
+
+    /// Hardware SIMD efficiency for a width (0 when unsupported).
+    pub fn simd_efficiency(&self, bits: u32) -> f64 {
+        match bits {
+            0 => 1.0,
+            128 => self.simd_eff_128,
+            256 => self.simd_eff_256,
+            512 => self.simd_eff_512,
+            other => panic!("unsupported SIMD width {other}"),
+        }
+    }
+
+    /// NUMA locality penalty on memory bandwidth for parallel loops
+    /// (more NUMA nodes, more remote traffic with a flat proclist).
+    pub fn numa_bw_factor(&self) -> f64 {
+        match self.numa_nodes {
+            0 | 1 => 1.0,
+            2 => 0.92,
+            _ => 0.82,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shapes() {
+        let o = Architecture::opteron();
+        assert_eq!(o.total_cores(), 8);
+        assert_eq!(o.numa_nodes, 4);
+        assert_eq!(o.target.max_vector_bits, 128);
+
+        let s = Architecture::sandy_bridge();
+        assert_eq!(s.total_cores(), 16);
+        assert_eq!(s.target.proc_flag, "-xAVX");
+
+        let b = Architecture::broadwell();
+        assert_eq!(b.total_cores(), 16);
+        assert!(b.target.fma);
+        assert_eq!(b.omp_threads, 16);
+    }
+
+    #[test]
+    fn parallel_capacity_orders() {
+        // Opteron oversubscribes 8 cores with 16 threads; the Intel
+        // parts have one thread per core.
+        assert!(Architecture::opteron().parallel_capacity() < 12.0);
+        assert_eq!(Architecture::sandy_bridge().parallel_capacity(), 16.0);
+        assert_eq!(Architecture::broadwell().parallel_capacity(), 16.0);
+    }
+
+    #[test]
+    fn simd_support_matches_generation() {
+        assert_eq!(Architecture::opteron().simd_efficiency(256), 0.0);
+        assert!(Architecture::sandy_bridge().simd_efficiency(256) > 0.0);
+        assert!(
+            Architecture::broadwell().simd_efficiency(256)
+                > Architecture::sandy_bridge().simd_efficiency(256)
+        );
+        assert_eq!(Architecture::broadwell().simd_efficiency(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn weird_width_panics() {
+        let _ = Architecture::broadwell().simd_efficiency(1024);
+    }
+
+    #[test]
+    fn all_returns_three_in_paper_order() {
+        let names: Vec<_> = Architecture::all().iter().map(|a| a.name).collect();
+        assert_eq!(names, vec!["Opteron", "Sandy Bridge", "Broadwell"]);
+    }
+}

@@ -1,0 +1,655 @@
+//! The roofline execution model.
+//!
+//! Prices one linked executable on one architecture: per-loop compute
+//! throughput (SIMD width and hardware efficiency, divergence masking,
+//! unroll overhead removal, ILP, spills, back-end quality, I-cache
+//! pressure), memory traffic (stride utilization, prefetch, streaming
+//! stores, LLC residency, NUMA), OpenMP thread scaling, cross-module
+//! call costs, and lognormal measurement noise. Per-loop times can be
+//! recorded through `ft-caliper` exactly like the paper's instrumented
+//! data-collection runs.
+
+use crate::arch::Architecture;
+use crate::link::LinkedProgram;
+use crate::noise;
+use ft_caliper::Caliper;
+use ft_compiler::decisions::{vector_efficiency, CompiledModule, VecWidth};
+use ft_compiler::ir::{MemStride, ModuleKind};
+use ft_compiler::response::jitter;
+use ft_flags::rng::derive_seed_idx;
+use serde::{Deserialize, Serialize};
+
+/// Execution parameters for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecOptions {
+    /// Simulation time-steps to run.
+    pub steps: u32,
+    /// Seed for measurement noise; vary it to model run-to-run
+    /// variation, fix it for exact reproducibility.
+    pub noise_seed: u64,
+    /// Relative noise level (lognormal sigma).
+    pub sigma: f64,
+    /// True when the binary carries Caliper instrumentation (adds the
+    /// paper's < 3 % overhead).
+    pub instrumented: bool,
+}
+
+impl ExecOptions {
+    /// `steps` time-steps with the default noise model, no
+    /// instrumentation.
+    pub fn new(steps: u32, noise_seed: u64) -> Self {
+        ExecOptions { steps, noise_seed, sigma: noise::DEFAULT_SIGMA, instrumented: false }
+    }
+
+    /// Same, with Caliper instrumentation enabled.
+    pub fn instrumented(steps: u32, noise_seed: u64) -> Self {
+        ExecOptions { instrumented: true, ..Self::new(steps, noise_seed) }
+    }
+
+    /// Noise-free variant (for model analysis and tests).
+    pub fn exact(steps: u32) -> Self {
+        ExecOptions { steps, noise_seed: 0, sigma: 0.0, instrumented: false }
+    }
+}
+
+/// The outcome of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMeasurement {
+    /// End-to-end wall time, seconds.
+    pub total_s: f64,
+    /// Per-module wall time, seconds (hot loops measured, non-loop
+    /// derived — same convention as §3.3).
+    pub per_module_s: Vec<f64>,
+    /// Steps executed.
+    pub steps: u32,
+}
+
+impl RunMeasurement {
+    /// Per-module time for the module with the given id.
+    pub fn module_s(&self, id: usize) -> f64 {
+        self.per_module_s[id]
+    }
+}
+
+/// Component costs of one loop's per-step time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoopCost {
+    /// Parallel compute time, seconds per step.
+    pub compute_s: f64,
+    /// Memory-traffic time, seconds per step.
+    pub memory_s: f64,
+    /// Barriers, calls, and interference overheads, seconds per step.
+    pub overhead_s: f64,
+    /// Total per-step time (roofline combination of the above).
+    pub total_s: f64,
+}
+
+impl LoopCost {
+    /// True when the memory roof limits this loop.
+    pub fn memory_bound(&self) -> bool {
+        self.memory_s > self.compute_s
+    }
+}
+
+/// True per-step cost breakdown of one hot loop, before noise.
+fn loop_cost_per_step(
+    m: &CompiledModule,
+    arch: &Architecture,
+    icache_factor: f64,
+    conflict: f64,
+    combo_seed: u64,
+) -> LoopCost {
+    let f = m.features().expect("loop module");
+    let d = &m.decisions;
+    let iters = f.trip_count * f.invocations_per_step;
+
+    // --- Compute side --------------------------------------------------
+    let hw = arch.simd_efficiency(d.width.bits());
+    assert!(
+        d.width == VecWidth::Scalar || hw > 0.0,
+        "width {:?} unsupported on {}",
+        d.width,
+        arch.name
+    );
+    let vec_gain = if d.width == VecWidth::Scalar {
+        1.0
+    } else {
+        (vector_efficiency(f, d.width) * hw).max(0.25)
+    };
+    let fma = if arch.target.fma && d.width != VecWidth::Scalar {
+        1.0 + 0.15 * f.fp_fraction
+    } else {
+        1.0
+    };
+    let unroll = f64::from(d.unroll.max(1));
+    let loop_overhead_ops = 4.0 / unroll;
+    let ilp_eff = f.ilp
+        * (1.0 + 0.14 * unroll.ln())
+        * (if d.sw_pipelined { 1.05 } else { 1.0 })
+        * (if d.unroll_jam { 1.08 } else { 1.0 });
+    let ipc = ilp_eff.min(arch.issue_width);
+    let mut cycles_per_iter =
+        (f.ops_per_iter / (vec_gain * fma) + loop_overhead_ops) / ipc / d.backend_quality;
+    cycles_per_iter *= 1.0 + d.register_spill;
+    // Remainder iterations wasted by wide unroll/vector chunks.
+    let chunk = unroll * d.width.lanes();
+    cycles_per_iter *= 1.0 + (chunk - 1.0) / (2.0 * f.trip_count.max(1.0));
+    // Front-end pressure from the whole executable's hot code.
+    cycles_per_iter *= icache_factor;
+    // AVX-512 license throttling: 512-bit execution lowers the clock.
+    let freq = arch.freq_ghz
+        * if d.width == VecWidth::W512 { arch.avx512_freq_factor } else { 1.0 };
+    let serial_compute_s = iters * cycles_per_iter / (freq * 1e9);
+    let par = 1.0 / ((1.0 - f.parallel_fraction) + f.parallel_fraction / arch.parallel_capacity());
+    let compute_s = serial_compute_s / par;
+
+    // --- Memory side -----------------------------------------------------
+    let mut bytes = f.bytes_per_step();
+    let mut util = match f.stride {
+        MemStride::Unit => 1.0,
+        MemStride::Strided(k) => (1.0 / f64::from(k.max(1))).max(0.125),
+        MemStride::Indirect => 0.30,
+    };
+    match f.stride {
+        MemStride::Indirect | MemStride::Strided(_) => {
+            // Software prefetch is the big lever for irregular access
+            // (sparse solvers); the useful distance is loop-specific.
+            let per_level = 0.05 + 0.08 * ft_compiler::response::unit(f.response_seed, "pf-gain");
+            util *= 1.0 + per_level * f64::from(d.prefetch);
+        }
+        MemStride::Unit => {
+            // Streams mostly ride the hardware prefetcher; the software
+            // distance still helps or hurts a little, loop-specifically.
+            let slope = 0.06 * jitter(f.response_seed, "pf-unit", -0.5, 1.2);
+            util *= 1.0 + slope * (f64::from(d.prefetch) - 2.0);
+        }
+    }
+    // Layout transformation: loop-specific, small.
+    util *= 1.0
+        + 0.11 * jitter(f.response_seed, &format!("layout-{}", d.layout_version), -1.0, 1.0);
+    let in_cache = f.working_set_mb < arch.llc_mb;
+    if d.streaming_stores {
+        // Suitability is graded: fully streaming write sets dodge the
+        // read-for-ownership traffic, cache-resident ones pay for the
+        // bypass.
+        let suit = ((f.streaming - 0.3) / 0.6).clamp(0.0, 1.0);
+        if in_cache {
+            bytes *= 1.0 + 0.35 * f.write_fraction;
+        } else {
+            bytes *= 1.0 - 0.42 * f.write_fraction * suit
+                + 0.25 * f.write_fraction * (1.0 - suit);
+        }
+    }
+    let bw = arch.mem_bw_gbs * 1e9 * arch.numa_bw_factor() * if in_cache { 3.0 } else { 1.0 };
+    let mem_s = bytes / (bw * util);
+
+    // --- Combine ----------------------------------------------------------
+    let roofline = compute_s.max(mem_s) + 0.25 * compute_s.min(mem_s);
+    let mut t = roofline * conflict;
+    // Codegen "luck": the chaotic sensitivity of real code generation
+    // (register allocation, code placement, µop-cache alignment) to the
+    // exact flag combination *and* to the surrounding link context.
+    // Keyed by the loop, its CV, its final decisions, and the
+    // whole-program combination seed — so a per-loop time measured
+    // under one link context does NOT transfer exactly to another.
+    // This is the paper's inter-module dependence in its purest form.
+    let luck_seed = ft_flags::rng::mix(
+        f.response_seed
+            ^ m.cv_digest.rotate_left(17)
+            ^ combo_seed
+            ^ (u64::from(d.width.bits()) << 32)
+            ^ u64::from(d.unroll),
+    );
+    t *= 1.0 + 0.03 * (ft_compiler::response::unit(luck_seed, "codegen-luck") - 0.5) * 2.0;
+    // OpenMP fork/join + barrier per invocation.
+    let barrier = 5e-6 * (f64::from(arch.omp_threads) / 16.0)
+        * if arch.numa_nodes > 2 { 1.5 } else { 1.0 };
+    t += f.invocations_per_step * barrier;
+    // Per-iteration out-calls, discounted by inlining.
+    t += iters * f.calls_out * 15e-9
+        * (1.0 - 0.3 * f64::from(d.inline_depth.min(2)) / 2.0 * d.inline_factor.min(2.0) / 2.0);
+    LoopCost {
+        compute_s,
+        memory_s: mem_s,
+        overhead_s: (t - roofline).max(0.0),
+        total_s: t,
+    }
+}
+
+/// True per-step time of the non-loop module, before noise.
+fn non_loop_time_per_step(m: &CompiledModule, arch: &Architecture, call_cost_s: f64) -> f64 {
+    let ModuleKind::NonLoop { seconds_per_step, .. } = m.module.kind else {
+        panic!("non-loop module expected");
+    };
+    seconds_per_step / arch.scalar_speed / m.decisions.backend_quality + call_cost_s
+}
+
+/// Runs a linked executable and measures end-to-end and per-module
+/// times.
+pub fn execute(linked: &LinkedProgram, arch: &Architecture, opts: &ExecOptions) -> RunMeasurement {
+    let steps = f64::from(opts.steps);
+    let mut per_module = Vec::with_capacity(linked.modules.len());
+    for (i, m) in linked.modules.iter().enumerate() {
+        let per_step = match m.module.kind {
+            ModuleKind::HotLoop(_) => {
+                loop_cost_per_step(
+                    m,
+                    arch,
+                    linked.icache_factor,
+                    linked.conflict_factor[i],
+                    linked.combo_seed,
+                )
+                .total_s
+            }
+            ModuleKind::NonLoop { .. } => non_loop_time_per_step(m, arch, linked.call_cost_s),
+        };
+        let mut t = per_step * steps;
+        if opts.instrumented {
+            // Caliper annotation overhead: < 3 %, loop-specific.
+            let seed = ft_flags::rng::hash_label(&m.module.name);
+            t *= 1.0 + 0.015 * jitter(seed, "caliper-ovh", 0.3, 1.8);
+        }
+        if opts.sigma > 0.0 {
+            let seed = derive_seed_idx(opts.noise_seed, i as u64);
+            t = noise::noisy(t, seed, &m.module.name, opts.sigma);
+        }
+        per_module.push(t);
+    }
+    let total_s: f64 = per_module.iter().sum();
+    RunMeasurement { total_s, per_module_s: per_module, steps: opts.steps }
+}
+
+/// Per-step cost breakdown for every hot loop of a linked executable
+/// (noise-free; the analysis companion to [`execute`]).
+pub fn breakdown(linked: &LinkedProgram, arch: &Architecture) -> Vec<(usize, LoopCost)> {
+    linked
+        .modules
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| m.module.features().is_some())
+        .map(|(i, m)| {
+            (
+                i,
+                loop_cost_per_step(
+                    m,
+                    arch,
+                    linked.icache_factor,
+                    linked.conflict_factor[i],
+                    linked.combo_seed,
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Like [`execute`], additionally recording per-module times into a
+/// Caliper session (path = module name), mirroring the paper's
+/// instrumented collection runs.
+pub fn execute_profiled(
+    linked: &LinkedProgram,
+    arch: &Architecture,
+    opts: &ExecOptions,
+    caliper: &Caliper,
+) -> RunMeasurement {
+    let meas = execute(linked, arch, opts);
+    for (m, t) in linked.modules.iter().zip(&meas.per_module_s) {
+        let count = match m.module.kind {
+            ModuleKind::HotLoop(ref f) => {
+                (f.invocations_per_step * f64::from(opts.steps)).round() as u64
+            }
+            ModuleKind::NonLoop { .. } => u64::from(opts.steps),
+        };
+        caliper.record_flat(&m.module.name, *t, count.max(1));
+    }
+    meas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::link;
+    use ft_compiler::{Compiler, LoopFeatures, Module, ProgramIr};
+    use ft_flags::rng::rng_for;
+
+    fn ir() -> ProgramIr {
+        let mut f0 = LoopFeatures::synthetic(11);
+        f0.ops_per_iter = 300.0;
+        let mut f1 = LoopFeatures::synthetic(23);
+        f1.stride = MemStride::Indirect;
+        f1.bytes_per_iter = 160.0;
+        f1.ops_per_iter = 25.0;
+        ProgramIr::new(
+            "t",
+            vec![
+                Module::hot_loop(0, "compute", f0, &[1]),
+                Module::hot_loop(1, "gather", f1, &[1]),
+                Module::non_loop(2, 0.05, 3e4),
+            ],
+            vec![],
+        )
+    }
+
+    fn run(arch: &Architecture, cv_seed: u64, opts: &ExecOptions) -> RunMeasurement {
+        let c = Compiler::icc(arch.target);
+        let cv = if cv_seed == 0 {
+            c.space().baseline()
+        } else {
+            c.space().sample(&mut rng_for(cv_seed, "exec"))
+        };
+        let linked = link(c.compile_program(&ir(), &cv), &ir(), arch);
+        execute(&linked, arch, opts)
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let arch = Architecture::broadwell();
+        let a = run(&arch, 3, &ExecOptions::new(10, 42));
+        let b = run(&arch, 3, &ExecOptions::new(10, 42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noise_seed_changes_measurement_slightly() {
+        let arch = Architecture::broadwell();
+        let a = run(&arch, 3, &ExecOptions::new(10, 1));
+        let b = run(&arch, 3, &ExecOptions::new(10, 2));
+        assert_ne!(a.total_s, b.total_s);
+        let rel = (a.total_s - b.total_s).abs() / a.total_s;
+        assert!(rel < 0.05, "noise too large: {rel}");
+    }
+
+    #[test]
+    fn total_is_sum_of_modules() {
+        let arch = Architecture::broadwell();
+        let m = run(&arch, 0, &ExecOptions::exact(10));
+        let sum: f64 = m.per_module_s.iter().sum();
+        assert!((m.total_s - sum).abs() < 1e-12);
+        assert_eq!(m.per_module_s.len(), 3);
+    }
+
+    #[test]
+    fn more_steps_take_proportionally_longer() {
+        let arch = Architecture::broadwell();
+        let a = run(&arch, 0, &ExecOptions::exact(10));
+        let b = run(&arch, 0, &ExecOptions::exact(20));
+        assert!((b.total_s / a.total_s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn broadwell_beats_opteron() {
+        let a = run(&Architecture::opteron(), 0, &ExecOptions::exact(10));
+        let b = run(&Architecture::broadwell(), 0, &ExecOptions::exact(10));
+        assert!(b.total_s < a.total_s, "{} vs {}", b.total_s, a.total_s);
+    }
+
+    #[test]
+    fn instrumentation_overhead_is_small_but_positive() {
+        let arch = Architecture::broadwell();
+        let plain = run(&arch, 0, &ExecOptions::exact(10));
+        let mut inst_opts = ExecOptions::exact(10);
+        inst_opts.instrumented = true;
+        let inst = run(&arch, 0, &inst_opts);
+        let ovh = inst.total_s / plain.total_s - 1.0;
+        assert!(ovh > 0.0 && ovh < 0.03, "overhead = {ovh}");
+    }
+
+    #[test]
+    fn profiled_run_feeds_caliper() {
+        let arch = Architecture::broadwell();
+        let c = Compiler::icc(arch.target);
+        let linked = link(c.compile_program(&ir(), &c.space().baseline()), &ir(), &arch);
+        let cali = Caliper::real_time();
+        let meas = execute_profiled(&linked, &arch, &ExecOptions::exact(5), &cali);
+        let snap = cali.snapshot();
+        assert!((snap.inclusive("compute") - meas.per_module_s[0]).abs() < 1e-12);
+        assert!(snap.count("compute") >= 1);
+        assert!(snap.inclusive("non-loop") > 0.0);
+    }
+
+    #[test]
+    fn flags_change_runtime() {
+        // Different CVs must produce different runtimes — the whole
+        // premise of iterative compilation.
+        let arch = Architecture::broadwell();
+        let base = run(&arch, 0, &ExecOptions::exact(10)).total_s;
+        let mut distinct = 0;
+        for s in 1..=20 {
+            let t = run(&arch, s, &ExecOptions::exact(10)).total_s;
+            if (t - base).abs() / base > 0.005 {
+                distinct += 1;
+            }
+        }
+        assert!(distinct >= 15, "only {distinct}/20 CVs changed runtime");
+    }
+
+    #[test]
+    fn streaming_stores_help_streaming_loops_and_hurt_cached_ones() {
+        let arch = Architecture::broadwell();
+        let c = Compiler::icc(arch.target);
+        let sp = c.space();
+        let id = sp.index_of("qopt-streaming-stores").unwrap();
+        let mk = |working_set: f64| {
+            let mut f = LoopFeatures::synthetic(7);
+            f.streaming = 0.9;
+            f.write_fraction = 0.6;
+            f.bytes_per_iter = 400.0;
+            f.ops_per_iter = 10.0;
+            f.working_set_mb = working_set;
+            ProgramIr::new(
+                "s",
+                vec![Module::hot_loop(0, "stream", f, &[]), Module::non_loop(1, 0.01, 1e4)],
+                vec![],
+            )
+        };
+        for (ws, expect_help) in [(512.0, true), (4.0, false)] {
+            let irp = mk(ws);
+            let never = sp.baseline().with(sp, id, 2);
+            let always = sp.baseline().with(sp, id, 1);
+            let t_never = execute(
+                &link(c.compile_program(&irp, &never), &irp, &arch),
+                &arch,
+                &ExecOptions::exact(10),
+            )
+            .total_s;
+            let t_always = execute(
+                &link(c.compile_program(&irp, &always), &irp, &arch),
+                &arch,
+                &ExecOptions::exact(10),
+            )
+            .total_s;
+            if expect_help {
+                assert!(t_always < t_never, "NT stores should help: {t_always} vs {t_never}");
+            } else {
+                assert!(t_always > t_never, "NT stores should hurt in-cache: {t_always} vs {t_never}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_helps_indirect_loops_monotonically() {
+        let arch = Architecture::broadwell();
+        let c = Compiler::icc(arch.target);
+        let sp = c.space();
+        let mut f = LoopFeatures::synthetic(41);
+        f.stride = MemStride::Indirect;
+        f.bytes_per_iter = 300.0;
+        f.ops_per_iter = 12.0;
+        let irp = ProgramIr::new(
+            "pf",
+            vec![Module::hot_loop(0, "gather", f, &[]), Module::non_loop(1, 0.01, 1e4)],
+            vec![],
+        );
+        let id = sp.index_of("qopt-prefetch").unwrap();
+        // Flag value order is [2, 0, 1, 3, 4]; map to levels.
+        let time_at = |value_idx: u8| {
+            let cv = sp.baseline().with(sp, id, value_idx);
+            execute(
+                &link(c.compile_program(&irp, &cv), &irp, &arch),
+                &arch,
+                &ExecOptions::exact(5),
+            )
+            .per_module_s[0]
+        };
+        let t0 = time_at(1); // level 0
+        let t2 = time_at(0); // level 2 (default)
+        let t4 = time_at(4); // level 4
+        assert!(t0 > t2, "no prefetch must be slower: {t0} vs {t2}");
+        assert!(t2 > t4, "deeper prefetch must help gathers: {t2} vs {t4}");
+    }
+
+    #[test]
+    fn unrolling_helps_small_body_loops() {
+        let arch = Architecture::broadwell();
+        let c = Compiler::icc(arch.target);
+        let sp = c.space();
+        let mut f = LoopFeatures::synthetic(43);
+        f.ops_per_iter = 8.0; // loop overhead dominates
+        f.bytes_per_iter = 8.0;
+        f.ilp = 2.0;
+        let irp = ProgramIr::new(
+            "u",
+            vec![Module::hot_loop(0, "small", f, &[]), Module::non_loop(1, 0.01, 1e4)],
+            vec![],
+        );
+        let id = sp.index_of("unroll").unwrap();
+        let t_at = |v: u8| {
+            let cv = sp.baseline().with(sp, id, v);
+            execute(
+                &link(c.compile_program(&irp, &cv), &irp, &arch),
+                &arch,
+                &ExecOptions::exact(5),
+            )
+            .per_module_s[0]
+        };
+        let none = t_at(1); // -unroll=0
+        let four = t_at(3); // -unroll=4
+        assert!(four < none, "unroll must amortize loop overhead: {four} vs {none}");
+    }
+
+    #[test]
+    fn fma_only_pays_on_broadwell() {
+        // The same vectorized FP loop gains more on the FMA-capable
+        // Broadwell than on Sandy Bridge beyond the bandwidth/frequency
+        // difference - checked via the compute-bound vector speedup.
+        let mk = |arch: &Architecture| {
+            let c = Compiler::icc(arch.target);
+            let sp = c.space();
+            let mut f = LoopFeatures::synthetic(44);
+            f.ops_per_iter = 500.0;
+            f.bytes_per_iter = 8.0;
+            f.fp_fraction = 1.0;
+            f.divergence = 0.0;
+            let irp = ProgramIr::new(
+                "fma",
+                vec![Module::hot_loop(0, "gemmish", f, &[]), Module::non_loop(1, 0.001, 1e4)],
+                vec![],
+            );
+            let wide = sp.baseline().with(sp, sp.index_of("simd-width").unwrap(), 2);
+            let scalar = sp.baseline().with(sp, sp.index_of("vec").unwrap(), 1);
+            let t = |cv: &ft_flags::Cv| {
+                execute(
+                    &link(c.compile_program(&irp, cv), &irp, arch),
+                    arch,
+                    &ExecOptions::exact(5),
+                )
+                .per_module_s[0]
+            };
+            t(&scalar) / t(&wide) // vector speedup on this arch
+        };
+        let snb = mk(&Architecture::sandy_bridge());
+        let bdw = mk(&Architecture::broadwell());
+        assert!(bdw > snb, "AVX2+FMA must out-speed AVX1: {bdw} vs {snb}");
+    }
+
+    #[test]
+    fn oversubscribed_opteron_scales_worse() {
+        // 16 threads on 8 Opteron cores vs 16 real cores on Broadwell:
+        // the parallel component must scale worse on Opteron.
+        let mk = |arch: &Architecture, pf: f64| {
+            let c = Compiler::icc(arch.target);
+            let mut f = LoopFeatures::synthetic(45);
+            f.parallel_fraction = pf;
+            f.bytes_per_iter = 4.0;
+            let irp = ProgramIr::new(
+                "par",
+                vec![Module::hot_loop(0, "l", f, &[]), Module::non_loop(1, 0.001, 1e4)],
+                vec![],
+            );
+            execute(
+                &link(c.compile_program(&irp, &c.space().baseline()), &irp, arch),
+                arch,
+                &ExecOptions::exact(5),
+            )
+            .per_module_s[0]
+        };
+        let opteron = Architecture::opteron();
+        let bdw = Architecture::broadwell();
+        let opt_scaling = mk(&opteron, 0.0) / mk(&opteron, 0.99);
+        let bdw_scaling = mk(&bdw, 0.0) / mk(&bdw, 0.99);
+        assert!(
+            bdw_scaling > opt_scaling,
+            "16 threads on 8 cores must scale worse: {opt_scaling} vs {bdw_scaling}"
+        );
+    }
+
+    #[test]
+    fn breakdown_components_are_consistent_with_execution() {
+        let arch = Architecture::broadwell();
+        let c = Compiler::icc(arch.target);
+        let linked = link(c.compile_program(&ir(), &c.space().baseline()), &ir(), &arch);
+        let rows = breakdown(&linked, &arch);
+        assert_eq!(rows.len(), 2, "two hot loops");
+        let exact = execute(&linked, &arch, &ExecOptions::exact(1));
+        for (i, cost) in &rows {
+            assert!(cost.compute_s > 0.0 && cost.memory_s > 0.0);
+            // The codegen-luck factor (±3%) may pull the realized total
+            // slightly below the ideal roofline max.
+            assert!(cost.total_s >= 0.9 * cost.compute_s.max(cost.memory_s));
+            // The exact (noise-free, instrumentation-free) run must match
+            // the breakdown total for one step.
+            assert!(
+                (exact.per_module_s[*i] - cost.total_s).abs() < 1e-12,
+                "module {i}: {} vs {}",
+                exact.per_module_s[*i],
+                cost.total_s
+            );
+        }
+        // The indirect gather loop is firmly memory-bound. (The compute
+        // loop's classification depends on whether O3 vectorized it, so
+        // it is not asserted.)
+        assert!(rows[1].1.memory_bound(), "{:?}", rows[1]);
+    }
+
+    #[test]
+    fn novec_beats_forced_wide_vec_on_divergent_loop() {
+        let arch = Architecture::broadwell();
+        let c = Compiler::icc(arch.target);
+        let sp = c.space();
+        let mut f = LoopFeatures::synthetic(99);
+        f.divergence = 0.92;
+        f.ops_per_iter = 150.0;
+        let irp = ProgramIr::new(
+            "d",
+            vec![Module::hot_loop(0, "dt", f, &[]), Module::non_loop(1, 0.01, 1e4)],
+            vec![],
+        );
+        let novec = sp.baseline().with(sp, sp.index_of("vec").unwrap(), 1);
+        let wide = sp.baseline().with(sp, sp.index_of("simd-width").unwrap(), 2);
+        let t_novec = execute(
+            &link(c.compile_program(&irp, &novec), &irp, &arch),
+            &arch,
+            &ExecOptions::exact(10),
+        )
+        .total_s;
+        let t_wide = execute(
+            &link(c.compile_program(&irp, &wide), &irp, &arch),
+            &arch,
+            &ExecOptions::exact(10),
+        )
+        .total_s;
+        assert!(
+            t_novec < t_wide,
+            "scalar should beat 256-bit on divergent loop: {t_novec} vs {t_wide}"
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Architecture models, the roofline execution model, and the
+//! link-time interference model.
+//!
+//! This crate is the "hardware + linker" half of the simulated
+//! toolchain. Given modules compiled by `ft-compiler`, it:
+//!
+//! 1. **links** them ([`link::link`]) — computing instruction-cache
+//!    pressure from the aggregate hot code size, layout/aliasing
+//!    conflicts between modules that share data structures, vector-ABI
+//!    transition costs on cross-module calls, and (crucially)
+//!    *link-time-optimization overrides*: when an executable mixes
+//!    heterogeneous compilation vectors, the IPO linker may re-derive
+//!    codegen decisions for a module, invalidating the per-module
+//!    choices. This is the inter-module dependence the paper
+//!    demonstrates (G.realized ≪ G.Independent, §4.4 observation 3);
+//! 2. **executes** the linked program ([`exec::execute`]) on one of
+//!    three architecture models ([`arch::Architecture`]) reproducing
+//!    Table 2's AMD Opteron, Intel Sandy Bridge, and Intel Broadwell
+//!    platforms — a roofline model with OpenMP thread scaling,
+//!    SIMD-width- and divergence-aware compute throughput, streaming
+//!    stores, prefetch, spill costs, and lognormal measurement noise;
+//! 3. optionally records per-loop times through `ft-caliper`, which is
+//!    how FuncyTuner's per-loop data collection observes the run.
+
+pub mod arch;
+pub mod exec;
+pub mod link;
+pub mod noise;
+pub mod roofline;
+
+pub use arch::Architecture;
+pub use exec::{breakdown, execute, execute_profiled, ExecOptions, LoopCost, RunMeasurement};
+pub use link::{link, LinkedProgram, LtoOverride};
+pub use roofline::{analyze as roofline_analyze, Bound, LoopRoofline};

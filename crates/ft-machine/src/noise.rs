@@ -1,0 +1,63 @@
+//! Measurement noise.
+//!
+//! The paper reports standard deviations of 0.04–0.2 s on 3–36 s runs
+//! over 10 repetitions — roughly 0.5–1 % relative noise. We model each
+//! measured duration as the true duration times a lognormal factor
+//! with a small sigma, deterministic per `(run seed, label)`.
+
+use ft_flags::rng::{derive_seed, mix};
+
+/// Default relative noise (sigma of the underlying normal).
+pub const DEFAULT_SIGMA: f64 = 0.006;
+
+/// Standard normal via Box–Muller over two deterministic uniforms.
+fn std_normal(seed: u64) -> f64 {
+    let u1 = ((mix(seed) >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
+    let u2 = (mix(seed ^ 0xDEAD_BEEF) >> 11) as f64 / (1u64 << 53) as f64;
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Multiplicative lognormal noise factor for `(seed, label)`.
+pub fn factor(seed: u64, label: &str, sigma: f64) -> f64 {
+    (std_normal(derive_seed(seed, label)) * sigma).exp()
+}
+
+/// Applies noise to a duration.
+pub fn noisy(value: f64, seed: u64, label: &str, sigma: f64) -> f64 {
+    value * factor(seed, label, sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_deterministic() {
+        assert_eq!(factor(5, "a", 0.01), factor(5, "a", 0.01));
+        assert_ne!(factor(5, "a", 0.01), factor(6, "a", 0.01));
+    }
+
+    #[test]
+    fn zero_sigma_is_exact() {
+        assert_eq!(noisy(3.0, 7, "x", 0.0), 3.0);
+    }
+
+    #[test]
+    fn relative_magnitude_matches_paper() {
+        // Empirical sigma of 2000 samples must be close to the target.
+        let n = 2000;
+        let vals: Vec<f64> = (0..n).map(|s| factor(s, "m", DEFAULT_SIGMA).ln()).collect();
+        let mean = vals.iter().sum::<f64>() / n as f64;
+        let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        let sd = var.sqrt();
+        assert!((sd - DEFAULT_SIGMA).abs() < 0.0015, "sd = {sd}");
+        assert!(mean.abs() < 0.001, "mean = {mean}");
+    }
+
+    #[test]
+    fn factors_are_positive() {
+        for s in 0..500 {
+            assert!(factor(s, "p", 0.05) > 0.0);
+        }
+    }
+}

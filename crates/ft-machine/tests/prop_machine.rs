@@ -1,0 +1,123 @@
+//! Property-based tests: link and execution model invariants.
+
+use ft_compiler::{Compiler, LoopFeatures, Module, ProgramIr};
+use ft_flags::rng::rng_for;
+use ft_flags::Cv;
+use ft_machine::{execute, link, Architecture, ExecOptions};
+use proptest::prelude::*;
+
+fn program(n_loops: usize, seed: u64) -> ProgramIr {
+    let mut modules = Vec::new();
+    for i in 0..n_loops {
+        modules.push(Module::hot_loop(
+            i,
+            &format!("k{i}"),
+            LoopFeatures::synthetic(seed.wrapping_add(i as u64 * 17)),
+            &[1],
+        ));
+    }
+    modules.push(Module::non_loop(n_loops, 0.05, 3e4));
+    ProgramIr::new("prop", modules, vec![])
+}
+
+fn arch_for(sel: u8) -> Architecture {
+    match sel % 3 {
+        0 => Architecture::opteron(),
+        1 => Architecture::sandy_bridge(),
+        _ => Architecture::broadwell(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Linking never loses modules, and every interference factor is a
+    /// slowdown (≥ 1), never a free speedup.
+    #[test]
+    fn link_invariants(seed in any::<u64>(), n in 2usize..12, arch_sel in any::<u8>(), mixed in any::<bool>()) {
+        let ir = program(n, seed);
+        let arch = arch_for(arch_sel);
+        let c = Compiler::icc(arch.target);
+        let mut rng = rng_for(seed, "link");
+        let objects = if mixed {
+            let assignment: Vec<Cv> = (0..ir.len()).map(|_| c.space().sample(&mut rng)).collect();
+            c.compile_mixed(&ir, &assignment)
+        } else {
+            c.compile_program(&ir, &c.space().sample(&mut rng))
+        };
+        let linked = link(objects, &ir, &arch);
+        prop_assert_eq!(linked.modules.len(), ir.len());
+        prop_assert!(linked.icache_factor >= 1.0);
+        prop_assert!(linked.conflict_factor.iter().all(|f| *f >= 1.0 && *f < 3.0));
+        prop_assert!(linked.call_cost_s >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&linked.heterogeneity));
+        if !mixed {
+            prop_assert_eq!(linked.heterogeneity, 0.0);
+            prop_assert!(linked.overrides.is_empty());
+        }
+        // Overridden decisions stay within the target's envelope.
+        for m in &linked.modules {
+            prop_assert!(m.decisions.width.bits() <= arch.target.max_vector_bits);
+            prop_assert!(m.decisions.unroll <= 16);
+        }
+    }
+
+    /// Execution times are positive, finite, and exactly linear in the
+    /// number of time-steps (no noise case).
+    #[test]
+    fn execution_scales_linearly_in_steps(seed in any::<u64>(), n in 1usize..8, arch_sel in any::<u8>()) {
+        let ir = program(n, seed);
+        let arch = arch_for(arch_sel);
+        let c = Compiler::icc(arch.target);
+        let cv = c.space().sample(&mut rng_for(seed, "exec"));
+        let linked = link(c.compile_program(&ir, &cv), &ir, &arch);
+        let t1 = execute(&linked, &arch, &ExecOptions::exact(3));
+        let t2 = execute(&linked, &arch, &ExecOptions::exact(6));
+        prop_assert!(t1.total_s.is_finite() && t1.total_s > 0.0);
+        prop_assert!((t2.total_s / t1.total_s - 2.0).abs() < 1e-9);
+        for (a, b) in t1.per_module_s.iter().zip(&t2.per_module_s) {
+            prop_assert!(*a >= 0.0 && (b / a.max(1e-30) - 2.0).abs() < 1e-6);
+        }
+    }
+
+    /// Per-module times always sum to the end-to-end time.
+    #[test]
+    fn total_is_module_sum(seed in any::<u64>(), noise in any::<u64>()) {
+        let ir = program(5, seed);
+        let arch = Architecture::broadwell();
+        let c = Compiler::icc(arch.target);
+        let cv = c.space().sample(&mut rng_for(seed, "sum"));
+        let linked = link(c.compile_program(&ir, &cv), &ir, &arch);
+        let m = execute(&linked, &arch, &ExecOptions::new(4, noise));
+        let sum: f64 = m.per_module_s.iter().sum();
+        prop_assert!((m.total_s - sum).abs() < 1e-9 * m.total_s.max(1.0));
+    }
+
+    /// Noise is multiplicative and bounded: across arbitrary seeds the
+    /// same executable never varies by more than a few percent.
+    #[test]
+    fn noise_is_bounded(seed in any::<u64>(), n1 in any::<u64>(), n2 in any::<u64>()) {
+        let ir = program(4, seed);
+        let arch = Architecture::broadwell();
+        let c = Compiler::icc(arch.target);
+        let linked = link(c.compile_program(&ir, &c.space().baseline()), &ir, &arch);
+        let a = execute(&linked, &arch, &ExecOptions::new(4, n1)).total_s;
+        let b = execute(&linked, &arch, &ExecOptions::new(4, n2)).total_s;
+        prop_assert!((a / b - 1.0).abs() < 0.08, "noise spread {} vs {}", a, b);
+    }
+
+    /// The link step is deterministic in the exact object combination:
+    /// permuting which CV goes to which module changes the outcome,
+    /// re-linking the same combination does not.
+    #[test]
+    fn link_is_deterministic(seed in any::<u64>()) {
+        let ir = program(6, seed);
+        let arch = Architecture::broadwell();
+        let c = Compiler::icc(arch.target);
+        let mut rng = rng_for(seed, "det");
+        let assignment: Vec<Cv> = (0..ir.len()).map(|_| c.space().sample(&mut rng)).collect();
+        let a = link(c.compile_mixed(&ir, &assignment), &ir, &arch);
+        let b = link(c.compile_mixed(&ir, &assignment), &ir, &arch);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,76 @@
+//! Reproduction presets.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters controlling the scale of a reproduction run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReproConfig {
+    /// Root seed; all experiments derive independent sub-seeds.
+    pub seed: u64,
+    /// Sample budget K (paper: 1000).
+    pub k: usize,
+    /// CFR focus width X (top-X per-loop pruning).
+    pub x: usize,
+    /// Optional cap on simulation time-steps (quick mode).
+    pub steps_cap: Option<u32>,
+    /// COBAYN training scale (1.0 = 24 kernels × 1000 samples).
+    pub cobayn_scale: f64,
+    /// OpenTuner test-iteration budget (paper: 1000).
+    pub opentuner_budget: usize,
+}
+
+impl ReproConfig {
+    /// Laptop-scale preset: same qualitative shapes in minutes.
+    pub fn quick() -> Self {
+        ReproConfig {
+            seed: 42,
+            k: 200,
+            x: 16,
+            steps_cap: Some(5),
+            cobayn_scale: 0.08,
+            opentuner_budget: 250,
+        }
+    }
+
+    /// The paper's protocol: K = 1000 samples, X = 32, full inputs.
+    pub fn full() -> Self {
+        ReproConfig {
+            seed: 42,
+            k: 1000,
+            x: 32,
+            steps_cap: None,
+            cobayn_scale: 1.0,
+            opentuner_budget: 1000,
+        }
+    }
+
+    /// Applies the step cap to an input's step count.
+    pub fn steps(&self, input_steps: u32) -> u32 {
+        match self.steps_cap {
+            Some(cap) => input_steps.min(cap),
+            None => input_steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_scale() {
+        let q = ReproConfig::quick();
+        let f = ReproConfig::full();
+        assert!(q.k < f.k);
+        assert_eq!(f.k, 1000);
+        assert_eq!(f.x, 32);
+        assert!(f.steps_cap.is_none());
+    }
+
+    #[test]
+    fn step_cap_applies_only_in_quick_mode() {
+        assert_eq!(ReproConfig::quick().steps(60), 5);
+        assert_eq!(ReproConfig::full().steps(60), 60);
+        assert_eq!(ReproConfig::quick().steps(3), 3);
+    }
+}

@@ -1,0 +1,136 @@
+//! Structured experiment outputs.
+
+use serde::{Deserialize, Serialize};
+
+/// One bar series of a figure (e.g. the `CFR` bars across benchmarks).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(category, value)` pairs, category order = x-axis order.
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    /// Builds a series from label + points.
+    pub fn new(label: &str, points: Vec<(String, f64)>) -> Self {
+        Series { label: label.to_string(), points }
+    }
+
+    /// Value for a category, if present.
+    pub fn get(&self, category: &str) -> Option<f64> {
+        self.points.iter().find(|(c, _)| c == category).map(|(_, v)| *v)
+    }
+}
+
+/// A reproduced figure: grouped bar data, paper-style.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureData {
+    /// Experiment id (`fig5c`, ...).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// X-axis categories in order.
+    pub categories: Vec<String>,
+    /// One series per algorithm.
+    pub series: Vec<Series>,
+    /// Free-form annotations (paper-reported values, failures, ...).
+    pub notes: Vec<String>,
+}
+
+impl FigureData {
+    /// The series with a given label.
+    pub fn series_by_label(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+}
+
+/// A reproduced table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableData {
+    /// Experiment id (`table3`, ...).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Row-major cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form annotations.
+    pub notes: Vec<String>,
+}
+
+/// A figure or a table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Artifact {
+    /// Bar-chart style figure.
+    Figure(FigureData),
+    /// Table.
+    Table(TableData),
+}
+
+impl Artifact {
+    /// Experiment id.
+    pub fn id(&self) -> &str {
+        match self {
+            Artifact::Figure(f) => &f.id,
+            Artifact::Table(t) => &t.id,
+        }
+    }
+
+    /// The figure payload, when this is a figure.
+    pub fn as_figure(&self) -> Option<&FigureData> {
+        match self {
+            Artifact::Figure(f) => Some(f),
+            Artifact::Table(_) => None,
+        }
+    }
+
+    /// The table payload, when this is a table.
+    pub fn as_table(&self) -> Option<&TableData> {
+        match self {
+            Artifact::Table(t) => Some(t),
+            Artifact::Figure(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_lookup() {
+        let s = Series::new("CFR", vec![("AMG".into(), 1.22), ("swim".into(), 1.1)]);
+        assert_eq!(s.get("AMG"), Some(1.22));
+        assert_eq!(s.get("nope"), None);
+    }
+
+    #[test]
+    fn artifact_accessors() {
+        let f = Artifact::Figure(FigureData {
+            id: "fig1".into(),
+            title: "t".into(),
+            categories: vec![],
+            series: vec![],
+            notes: vec![],
+        });
+        assert_eq!(f.id(), "fig1");
+        assert!(f.as_figure().is_some());
+        assert!(f.as_table().is_none());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Artifact::Table(TableData {
+            id: "table1".into(),
+            title: "benchmarks".into(),
+            header: vec!["Name".into()],
+            rows: vec![vec!["AMG".into()]],
+            notes: vec![],
+        });
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Artifact = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,882 @@
+//! One function per paper table/figure.
+
+use crate::config::ReproConfig;
+use crate::data::{Artifact, FigureData, Series, TableData};
+use crate::runner::{ctx_on_input, fmt_pct, pgo_speedup_in_ctx, speedup_in_ctx, tune_workload};
+use ft_baselines::{combined_elimination, opentuner_search, pgo_tune, Cobayn, FeatureMode};
+use ft_core::stats::geomean;
+use ft_core::EvalContext;
+use ft_flags::rng::derive_seed;
+use ft_machine::Architecture;
+use ft_compiler::Compiler;
+use ft_outline::outline_with_defaults;
+use ft_workloads::{suite, workload_by_name};
+
+/// All experiment ids, in paper order.
+pub fn all_ids() -> &'static [&'static str] {
+    &[
+        "table1", "table2", "fig1", "fig5a", "fig5b", "fig5c", "fig6", "fig7a", "fig7b",
+        "fig8", "fig9", "table3", "ablation-x", "ablation-k", "overhead", "convergence",
+        "variance",
+    ]
+}
+
+/// Runs one experiment by id.
+///
+/// # Panics
+/// On unknown ids; use [`all_ids`] for the valid set.
+pub fn run_experiment(id: &str, cfg: &ReproConfig) -> Artifact {
+    match id {
+        "table1" => table1(),
+        "table2" => table2(),
+        "fig1" => fig1(cfg),
+        "fig5a" => fig5(cfg, Architecture::opteron(), "fig5a"),
+        "fig5b" => fig5(cfg, Architecture::sandy_bridge(), "fig5b"),
+        "fig5c" => fig5(cfg, Architecture::broadwell(), "fig5c"),
+        "fig6" => fig6(cfg),
+        "fig7a" => fig7(cfg, true),
+        "fig7b" => fig7(cfg, false),
+        "fig8" => fig8(cfg),
+        "fig9" => fig9(cfg),
+        "table3" => table3(cfg),
+        "ablation-x" => ablation_x(cfg),
+        "ablation-k" => ablation_k(cfg),
+        "overhead" => overhead(cfg),
+        "convergence" => convergence(cfg),
+        "variance" => variance(cfg),
+        other => panic!("unknown experiment id {other:?}; see all_ids()"),
+    }
+}
+
+/// Table 1: the benchmark inventory.
+fn table1() -> Artifact {
+    let rows = suite()
+        .iter()
+        .map(|w| {
+            vec![
+                w.meta.name.to_string(),
+                w.meta.language.to_string(),
+                format!("{}k", w.meta.loc_k),
+                w.meta.domain.to_string(),
+            ]
+        })
+        .collect();
+    Artifact::Table(TableData {
+        id: "table1".into(),
+        title: "List of benchmarks".into(),
+        header: vec!["Name".into(), "Language".into(), "LOC".into(), "Domain".into()],
+        rows,
+        notes: vec!["LOC are the original applications' source sizes (Table 1)".into()],
+    })
+}
+
+/// Table 2: platforms, runtime configuration, benchmark inputs.
+fn table2() -> Artifact {
+    let arches = Architecture::all();
+    let mut rows = vec![
+        vec!["Processor".to_string()]
+            .into_iter()
+            .chain(arches.iter().map(|a| a.processor.to_string()))
+            .collect::<Vec<_>>(),
+        vec!["Sockets".to_string()]
+            .into_iter()
+            .chain(arches.iter().map(|a| a.sockets.to_string()))
+            .collect(),
+        vec!["NUMA nodes".to_string()]
+            .into_iter()
+            .chain(arches.iter().map(|a| a.numa_nodes.to_string()))
+            .collect(),
+        vec!["Cores/Socket".to_string()]
+            .into_iter()
+            .chain(arches.iter().map(|a| a.cores_per_socket.to_string()))
+            .collect(),
+        vec!["Threads/Core".to_string()]
+            .into_iter()
+            .chain(arches.iter().map(|a| a.threads_per_core.to_string()))
+            .collect(),
+        vec!["Core frequency [GHz]".to_string()]
+            .into_iter()
+            .chain(arches.iter().map(|a| format!("{:.1}", a.freq_ghz)))
+            .collect(),
+        vec!["Processor-specific flag".to_string()]
+            .into_iter()
+            .chain(arches.iter().map(|a| a.target.proc_flag.to_string()))
+            .collect(),
+        vec!["Memory size [GB]".to_string()]
+            .into_iter()
+            .chain(arches.iter().map(|a| format!("{:.0}", a.memory_gb)))
+            .collect(),
+        vec!["OpenMP thread count".to_string()]
+            .into_iter()
+            .chain(arches.iter().map(|a| a.omp_threads.to_string()))
+            .collect(),
+    ];
+    for w in suite() {
+        let mut row = vec![format!("{}: size, steps", w.meta.name)];
+        for a in &arches {
+            let i = w.tuning_input(a.name);
+            row.push(format!("{}, {}", i.label, i.steps));
+        }
+        rows.push(row);
+    }
+    Artifact::Table(TableData {
+        id: "table2".into(),
+        title: "Platform overview, runtime configurations, benchmark inputs".into(),
+        header: vec![
+            "Machine".into(),
+            "AMD Opteron".into(),
+            "Intel Sandy Bridge".into(),
+            "Intel Broadwell".into(),
+        ],
+        rows,
+        notes: vec![],
+    })
+}
+
+/// Figure 1: Combined Elimination barely improves on `-O3` for either
+/// compiler family.
+fn fig1(cfg: &ReproConfig) -> Artifact {
+    let arch = Architecture::broadwell();
+    let benches = ["LULESH", "CloverLeaf", "AMG"];
+    let mut series: Vec<Series> = benches
+        .iter()
+        .map(|b| Series::new(b, Vec::new()))
+        .collect();
+    for (ci, make) in [
+        ("GCC", Compiler::gcc as fn(ft_compiler::Target) -> Compiler),
+        ("ICC", Compiler::icc as fn(ft_compiler::Target) -> Compiler),
+    ] {
+        for (bi, bench) in benches.iter().enumerate() {
+            let w = workload_by_name(bench).expect("known benchmark");
+            let input = w.tuning_input(arch.name);
+            let steps = cfg.steps(input.steps);
+            let ir = w.instantiate(input);
+            let compiler = make(arch.target);
+            let (outlined, _) = outline_with_defaults(
+                &ir,
+                &compiler,
+                &arch,
+                steps,
+                derive_seed(cfg.seed, &format!("fig1-{ci}-{bench}")),
+            );
+            let ctx = EvalContext::new(
+                outlined.ir,
+                make(arch.target),
+                arch.clone(),
+                steps,
+                derive_seed(cfg.seed, &format!("fig1-noise-{ci}-{bench}")),
+            );
+            let r = combined_elimination(&ctx, derive_seed(cfg.seed, &format!("ce-{ci}-{bench}")));
+            series[bi].points.push((ci.to_string(), r.speedup()));
+        }
+    }
+    Artifact::Figure(FigureData {
+        id: "fig1".into(),
+        title: "Combined Elimination does not improve performance significantly".into(),
+        categories: vec!["GCC".into(), "ICC".into()],
+        series,
+        notes: vec![
+            "paper: CE shows minimal benefit vs -O3 for both GCC 5.4.0 and ICC 17.0.4".into(),
+        ],
+    })
+}
+
+/// Shared Figure 5 builder for one architecture.
+fn fig5(cfg: &ReproConfig, arch: Architecture, id: &str) -> Artifact {
+    let workloads = suite();
+    let mut categories: Vec<String> =
+        workloads.iter().map(|w| w.meta.name.to_string()).collect();
+    categories.push("GM".into());
+    let algos = ["Random", "G.realized", "FR", "CFR", "G.Independent"];
+    let mut series: Vec<Series> = algos.iter().map(|a| Series::new(a, Vec::new())).collect();
+    let mut per_algo: Vec<Vec<f64>> = vec![Vec::new(); algos.len()];
+    for w in &workloads {
+        let run = tune_workload(w, &arch, cfg);
+        let values = [
+            run.random.speedup(),
+            run.greedy.realized.speedup(),
+            run.fr.speedup(),
+            run.cfr.speedup(),
+            run.greedy.independent_speedup,
+        ];
+        for (i, v) in values.iter().enumerate() {
+            series[i].points.push((w.meta.name.to_string(), *v));
+            per_algo[i].push(*v);
+        }
+    }
+    for (i, vals) in per_algo.iter().enumerate() {
+        series[i].points.push(("GM".into(), geomean(vals)));
+    }
+    let paper_gm = match arch.name {
+        "Opteron" => "9.2%",
+        "Sandy Bridge" => "10.3%",
+        _ => "9.4%",
+    };
+    Artifact::Figure(FigureData {
+        id: id.into(),
+        title: format!("Normalized speedups on {}", arch.name),
+        categories,
+        series,
+        notes: vec![format!("paper CFR GM on {}: +{paper_gm} over -O3", arch.name)],
+    })
+}
+
+/// Figure 6: FuncyTuner CFR vs COBAYN variants, PGO, OpenTuner.
+fn fig6(cfg: &ReproConfig) -> Artifact {
+    let arch = Architecture::broadwell();
+    let workloads = suite();
+    let cobayn = Cobayn::train(
+        &arch,
+        ((24.0 * cfg.cobayn_scale.max(0.25)) as usize).max(6),
+        ((1000.0 * cfg.cobayn_scale) as usize).max(20),
+        ((100.0 * cfg.cobayn_scale) as usize).max(5),
+        derive_seed(cfg.seed, "cobayn-train"),
+    );
+    let algos = [
+        "static COBAYN",
+        "dynamic COBAYN",
+        "hybrid COBAYN",
+        "PGO",
+        "OpenTuner",
+        "CFR",
+    ];
+    let mut categories: Vec<String> =
+        workloads.iter().map(|w| w.meta.name.to_string()).collect();
+    categories.push("GM".into());
+    let mut series: Vec<Series> = algos.iter().map(|a| Series::new(a, Vec::new())).collect();
+    let mut per_algo: Vec<Vec<f64>> = vec![Vec::new(); algos.len()];
+    let mut notes = Vec::new();
+    for w in &workloads {
+        let run = tune_workload(w, &arch, cfg);
+        let ctx = &run.ctx;
+        let seed = derive_seed(cfg.seed, &format!("fig6-{}", w.meta.name));
+        let pgo = pgo_tune(ctx, seed);
+        if let Some(f) = &pgo.failure {
+            notes.push(format!("{}: {f} (paper reports the same)", w.meta.name));
+        }
+        let values = [
+            cobayn.tune(ctx, FeatureMode::Static, cfg.k, seed).speedup(),
+            cobayn.tune(ctx, FeatureMode::Dynamic, cfg.k, seed ^ 1).speedup(),
+            cobayn.tune(ctx, FeatureMode::Hybrid, cfg.k, seed ^ 2).speedup(),
+            pgo.result.speedup(),
+            opentuner_search(ctx, cfg.opentuner_budget, seed ^ 3).speedup(),
+            run.cfr.speedup(),
+        ];
+        for (i, v) in values.iter().enumerate() {
+            series[i].points.push((w.meta.name.to_string(), *v));
+            per_algo[i].push(*v);
+        }
+    }
+    for (i, vals) in per_algo.iter().enumerate() {
+        series[i].points.push(("GM".into(), geomean(vals)));
+    }
+    notes.push("paper GM: CFR +9.4%, OpenTuner +4.9%, static COBAYN +4.6%, hybrid +2.1%, dynamic < 1.0, PGO ~ 1.0".into());
+    Artifact::Figure(FigureData {
+        id: "fig6".into(),
+        title: "FuncyTuner vs COBAYN (static/dynamic/hybrid), PGO and OpenTuner".into(),
+        categories,
+        series,
+        notes,
+    })
+}
+
+/// Figure 7: input sensitivity (a = small inputs, b = large inputs).
+fn fig7(cfg: &ReproConfig, small: bool) -> Artifact {
+    let arch = Architecture::broadwell();
+    let workloads = suite();
+    let cobayn = Cobayn::train(
+        &arch,
+        ((24.0 * cfg.cobayn_scale.max(0.25)) as usize).max(6),
+        ((1000.0 * cfg.cobayn_scale) as usize).max(20),
+        ((100.0 * cfg.cobayn_scale) as usize).max(5),
+        derive_seed(cfg.seed, "cobayn-train"),
+    );
+    let algos = ["Random", "G.realized", "COBAYN", "PGO", "OpenTuner", "CFR"];
+    let mut categories: Vec<String> =
+        workloads.iter().map(|w| w.meta.name.to_string()).collect();
+    categories.push("GM".into());
+    let mut series: Vec<Series> = algos.iter().map(|a| Series::new(a, Vec::new())).collect();
+    let mut per_algo: Vec<Vec<f64>> = vec![Vec::new(); algos.len()];
+    for w in &workloads {
+        let run = tune_workload(w, &arch, cfg);
+        let seed = derive_seed(cfg.seed, &format!("fig7-{}", w.meta.name));
+        // Assignments tuned on the tuning input...
+        let cobayn_cv =
+            cobayn.tune(&run.ctx, FeatureMode::Static, cfg.k, seed).assignment;
+        let opentuner_cv = opentuner_search(&run.ctx, cfg.opentuner_budget, seed ^ 3).assignment;
+        // ...evaluated frozen on the other input (§4.3).
+        let input = if small { &w.small } else { &w.large };
+        let ctx = ctx_on_input(&run, w, input, cfg);
+        let values = [
+            speedup_in_ctx(&ctx, &run.random.assignment, 3),
+            speedup_in_ctx(&ctx, &run.greedy.realized.assignment, 3),
+            speedup_in_ctx(&ctx, &cobayn_cv, 3),
+            pgo_speedup_in_ctx(&ctx, 3),
+            speedup_in_ctx(&ctx, &opentuner_cv, 3),
+            speedup_in_ctx(&ctx, &run.cfr.assignment, 3),
+        ];
+        for (i, v) in values.iter().enumerate() {
+            series[i].points.push((w.meta.name.to_string(), *v));
+            per_algo[i].push(*v);
+        }
+    }
+    for (i, vals) in per_algo.iter().enumerate() {
+        series[i].points.push(("GM".into(), geomean(vals)));
+    }
+    let (id, which, paper) = if small {
+        ("fig7a", "small", "paper CFR GM on small inputs: +12.3%")
+    } else {
+        ("fig7b", "large", "paper CFR GM on large inputs: +10.7%")
+    };
+    Artifact::Figure(FigureData {
+        id: id.into(),
+        title: format!("Normalized speedups for {which} inputs (tuned on Table 2 inputs)"),
+        categories,
+        series,
+        notes: vec![paper.into()],
+    })
+}
+
+/// Figure 8: CloverLeaf time-step scaling on Broadwell.
+fn fig8(cfg: &ReproConfig) -> Artifact {
+    let arch = Architecture::broadwell();
+    let w = workload_by_name("CloverLeaf").expect("CloverLeaf in suite");
+    let run = tune_workload(&w, &arch, cfg);
+    let seed = derive_seed(cfg.seed, "fig8");
+    let cobayn = Cobayn::train(
+        &arch,
+        ((24.0 * cfg.cobayn_scale.max(0.25)) as usize).max(6),
+        ((1000.0 * cfg.cobayn_scale) as usize).max(20),
+        ((100.0 * cfg.cobayn_scale) as usize).max(5),
+        derive_seed(cfg.seed, "cobayn-train"),
+    );
+    let cobayn_cv = cobayn.tune(&run.ctx, FeatureMode::Static, cfg.k, seed).assignment;
+    let opentuner_cv = opentuner_search(&run.ctx, cfg.opentuner_budget, seed ^ 3).assignment;
+
+    // Quick mode scales the step ladder down 10x; the ratios between
+    // rungs (1:2:4:8) match the paper either way.
+    let steps: Vec<u32> = if cfg.steps_cap.is_some() {
+        vec![10, 20, 40, 80]
+    } else {
+        vec![100, 200, 400, 800]
+    };
+    let algos = ["Random", "G.realized", "COBAYN", "PGO", "OpenTuner", "CFR"];
+    let mut categories: Vec<String> = steps.iter().map(|s| s.to_string()).collect();
+    categories.push("GM".into());
+    let mut series: Vec<Series> = algos.iter().map(|a| Series::new(a, Vec::new())).collect();
+    let mut per_algo: Vec<Vec<f64>> = vec![Vec::new(); algos.len()];
+    for &n in &steps {
+        let input = w.tuning_input(arch.name).with_steps(n);
+        // fig8 varies steps explicitly: bypass the quick-mode cap.
+        let mut cfg_nocap = cfg.clone();
+        cfg_nocap.steps_cap = None;
+        let ctx = ctx_on_input(&run, &w, &input, &cfg_nocap);
+        let values = [
+            speedup_in_ctx(&ctx, &run.random.assignment, 3),
+            speedup_in_ctx(&ctx, &run.greedy.realized.assignment, 3),
+            speedup_in_ctx(&ctx, &cobayn_cv, 3),
+            pgo_speedup_in_ctx(&ctx, 3),
+            speedup_in_ctx(&ctx, &opentuner_cv, 3),
+            speedup_in_ctx(&ctx, &run.cfr.assignment, 3),
+        ];
+        for (i, v) in values.iter().enumerate() {
+            series[i].points.push((n.to_string(), *v));
+            per_algo[i].push(*v);
+        }
+    }
+    for (i, vals) in per_algo.iter().enumerate() {
+        series[i].points.push(("GM".into(), geomean(vals)));
+    }
+    Artifact::Figure(FigureData {
+        id: "fig8".into(),
+        title: "CloverLeaf on Broadwell: stable CFR benefit from 100 to 800 time-steps".into(),
+        categories,
+        series,
+        notes: vec!["paper: CFR provides a stable benefit while scaling time-steps".into()],
+    })
+}
+
+/// The five Table 3 / Figure 9 CloverLeaf kernels.
+const CL_KERNELS: [&str; 5] = ["dt", "cell3", "cell7", "mom9", "acc"];
+
+/// Figure 9: per-loop speedups for CloverLeaf's top-5 loops.
+fn fig9(cfg: &ReproConfig) -> Artifact {
+    let arch = Architecture::broadwell();
+    let w = workload_by_name("CloverLeaf").expect("CloverLeaf in suite");
+    let run = tune_workload(&w, &arch, cfg);
+    let ctx = &run.ctx;
+    let base_run = ctx.eval_uniform(&ctx.space().baseline(), 0xF19);
+    let random_run = ctx.eval_assignment(&run.random.assignment, 0xF19 ^ 1);
+    let greedy_run = ctx.eval_assignment(&run.greedy.realized.assignment, 0xF19 ^ 2);
+    let cfr_run = ctx.eval_assignment(&run.cfr.assignment, 0xF19 ^ 3);
+
+    let mut series = vec![
+        Series::new("Random", Vec::new()),
+        Series::new("G.realized", Vec::new()),
+        Series::new("CFR", Vec::new()),
+        Series::new("G.Independent", Vec::new()),
+    ];
+    for kernel in CL_KERNELS {
+        let j = ctx
+            .ir
+            .module_by_name(kernel)
+            .unwrap_or_else(|| panic!("{kernel} must be outlined"))
+            .id;
+        let base = base_run.per_module_s[j];
+        series[0].points.push((kernel.into(), base / random_run.per_module_s[j]));
+        series[1].points.push((kernel.into(), base / greedy_run.per_module_s[j]));
+        series[2].points.push((kernel.into(), base / cfr_run.per_module_s[j]));
+        let indep = run.data.per_module[j][run.data.argmin(j)];
+        series[3].points.push((kernel.into(), base / indep));
+    }
+    Artifact::Figure(FigureData {
+        id: "fig9".into(),
+        title: "Normalized speedups for the top-5 CloverLeaf loops on Broadwell".into(),
+        categories: CL_KERNELS.iter().map(|k| k.to_string()).collect(),
+        series,
+        notes: vec![
+            "paper: COBAYN (static), OpenTuner and Random generate the same code here".into(),
+        ],
+    })
+}
+
+/// Table 3: codegen decisions for the five CloverLeaf kernels.
+fn table3(cfg: &ReproConfig) -> Artifact {
+    let arch = Architecture::broadwell();
+    let w = workload_by_name("CloverLeaf").expect("CloverLeaf in suite");
+    let run = tune_workload(&w, &arch, cfg);
+    let ctx = &run.ctx;
+    let kernel_ids: Vec<usize> = CL_KERNELS
+        .iter()
+        .map(|k| ctx.ir.module_by_name(k).expect("kernel outlined").id)
+        .collect();
+
+    // O3 runtime ratios (header row context, like the paper).
+    let base_run = ctx.eval_uniform(&ctx.space().baseline(), 0x7AB);
+    let ratios: Vec<f64> = kernel_ids
+        .iter()
+        .map(|&j| 100.0 * base_run.per_module_s[j] / base_run.total_s)
+        .collect();
+
+    // Decisions per algorithm. Post-link for anything that actually
+    // builds an executable; pre-link for the hypothetical
+    // G.Independent.
+    let linked_for = |assignment: &[ft_flags::Cv]| {
+        ft_machine::link(ctx.compiler.compile_mixed(&ctx.ir, assignment), &ctx.ir, &ctx.arch)
+    };
+    let summaries = |linked: &ft_machine::LinkedProgram| -> Vec<String> {
+        kernel_ids
+            .iter()
+            .map(|&j| {
+                let mut s = linked.modules[j].decisions.summary();
+                if linked.was_overridden(j) {
+                    s.push_str(" (LTO)");
+                }
+                s
+            })
+            .collect()
+    };
+
+    let g_real = summaries(&linked_for(&run.greedy.realized.assignment));
+    let g_indep: Vec<String> = kernel_ids
+        .iter()
+        .map(|&j| {
+            let cv = &run.data.cvs[run.data.argmin(j)];
+            ctx.compiler.compile_module(&ctx.ir.modules[j], cv).decisions.summary()
+        })
+        .collect();
+    let o3 = summaries(&linked_for(&vec![ctx.space().baseline(); ctx.modules()]));
+    let random = summaries(&linked_for(&run.random.assignment));
+    let cfr = summaries(&linked_for(&run.cfr.assignment));
+
+    let mut rows = vec![{
+        let mut r = vec!["O3 runtime ratio %".to_string()];
+        r.extend(ratios.iter().map(|p| format!("{p:.1}")));
+        r
+    }];
+    for (name, cells) in [
+        ("G.realized", g_real),
+        ("G.Independent", g_indep),
+        ("O3 baseline", o3),
+        ("Random", random),
+        ("CFR", cfr),
+    ] {
+        let mut r = vec![name.to_string()];
+        r.extend(cells);
+        rows.push(r);
+    }
+    let mut header = vec!["Algorithm".to_string()];
+    header.extend(CL_KERNELS.iter().map(|k| k.to_string()));
+    Artifact::Table(TableData {
+        id: "table3".into(),
+        title: "Optimizations chosen for 5 CloverLeaf kernels on Broadwell".into(),
+        header,
+        rows,
+        notes: vec![
+            "S = scalar; 128/256 = SIMD width; unrollN; IS = instruction selection; IO = instruction reordering; RS = register spilling; NT = streaming stores; (LTO) = linker override".into(),
+            format!(
+                "paper O3 ratios: dt 6.3, cell3 2.9, cell7 3.5, mom9 3.5, acc 4.2 — ours: {}",
+                ratios.iter().map(|p| format!("{p:.1}")).collect::<Vec<_>>().join(", ")
+            ),
+            format!("CFR end-to-end: {}", fmt_pct(run.cfr.speedup())),
+        ],
+    })
+}
+
+/// Ablation (beyond the paper): CFR focus width X. §2.2.4 frames the
+/// algorithm family by X — G is top-1, FR is top-K, CFR in between —
+/// and this sweep shows the resulting U-shape.
+fn ablation_x(cfg: &ReproConfig) -> Artifact {
+    let arch = Architecture::broadwell();
+    let w = workload_by_name("CloverLeaf").expect("CloverLeaf in suite");
+    let run = tune_workload(&w, &arch, cfg);
+    let ctx = &run.ctx;
+    let mut widths = vec![1usize, 2, 4, 8, 16, 32, 64, 128];
+    widths.retain(|x| *x <= cfg.k);
+    widths.push(cfg.k);
+    let seed = derive_seed(cfg.seed, "ablation-x");
+    let points: Vec<(String, f64)> = widths
+        .iter()
+        .map(|&x| {
+            (
+                x.to_string(),
+                ft_core::cfr(ctx, &run.data, x, cfg.k, seed).speedup(),
+            )
+        })
+        .collect();
+    Artifact::Figure(FigureData {
+        id: "ablation-x".into(),
+        title: "CFR speedup vs focus width X (CloverLeaf, Broadwell)".into(),
+        categories: points.iter().map(|(c, _)| c.clone()).collect(),
+        series: vec![Series::new("CFR", points)],
+        notes: vec![
+            "X=1 degenerates toward greedy combination; X=K toward FR (§2.2.4)".into(),
+        ],
+    })
+}
+
+/// Ablation (beyond the paper's figures, motivated by §4.3): CFR
+/// speedup and convergence point vs the sample budget K.
+fn ablation_k(cfg: &ReproConfig) -> Artifact {
+    let arch = Architecture::broadwell();
+    let w = workload_by_name("CloverLeaf").expect("CloverLeaf in suite");
+    let run = tune_workload(&w, &arch, cfg);
+    let ctx = &run.ctx;
+    let budgets: Vec<usize> =
+        [25usize, 50, 100, 200, 400, 1000].iter().cloned().filter(|k| *k <= cfg.k).collect();
+    let seed = derive_seed(cfg.seed, "ablation-k");
+    let mut speedups = Vec::new();
+    let mut notes = Vec::new();
+    for &k in &budgets {
+        let data = ft_core::collect(ctx, k, seed);
+        let r = ft_core::cfr(ctx, &data, cfg.x.min(k), k, seed ^ 1);
+        speedups.push((k.to_string(), r.speedup()));
+        notes.push(format!(
+            "K={k}: converged within {} evaluations (paper §4.3: tens to hundreds)",
+            r.converged_at(0.01)
+        ));
+    }
+    Artifact::Figure(FigureData {
+        id: "ablation-k".into(),
+        title: "CFR speedup vs sample budget K (CloverLeaf, Broadwell)".into(),
+        categories: speedups.iter().map(|(c, _)| c.clone()).collect(),
+        series: vec![Series::new("CFR", speedups)],
+        notes,
+    })
+}
+
+/// §4.3 tuning-overhead comparison: the work each approach performs
+/// for one benchmark (the paper reports ~1.5 days Random/G, 2 days
+/// OpenTuner, 3 days CFR, 1 week COBAYN on the physical testbeds).
+fn overhead(cfg: &ReproConfig) -> Artifact {
+    use ft_core::{cfr, collect, fr_search, greedy, random_search};
+    let arch = Architecture::broadwell();
+    let w = workload_by_name("CloverLeaf").expect("CloverLeaf in suite");
+    let input = w.tuning_input(arch.name);
+    let steps = cfg.steps(input.steps);
+    let ir = w.instantiate(input);
+    let compiler_seed = derive_seed(cfg.seed, "overhead");
+    let fresh_ctx = || {
+        let compiler = Compiler::icc(arch.target);
+        let (outlined, _) =
+            outline_with_defaults(&ir, &compiler, &arch, steps, compiler_seed);
+        EvalContext::new(outlined.ir, Compiler::icc(arch.target), arch.clone(), steps, compiler_seed)
+    };
+    let row = |name: &str, cost: ft_core::TuningCost, speedup: f64| -> Vec<String> {
+        vec![
+            name.to_string(),
+            cost.runs.to_string(),
+            cost.object_compiles.to_string(),
+            cost.object_reuses.to_string(),
+            format!("{:.1}%", cost.reuse_rate() * 100.0),
+            format!("{:.2}", cost.machine_hours()),
+            format!("{speedup:.3}x"),
+        ]
+    };
+
+    let mut rows = Vec::new();
+    {
+        let ctx = fresh_ctx();
+        let r = random_search(&ctx, cfg.k, derive_seed(cfg.seed, "oh-random"));
+        rows.push(row("Random", ctx.cost(), r.speedup()));
+    }
+    {
+        let ctx = fresh_ctx();
+        let r = fr_search(&ctx, cfg.k, derive_seed(cfg.seed, "oh-fr"));
+        rows.push(row("FR", ctx.cost(), r.speedup()));
+    }
+    {
+        let ctx = fresh_ctx();
+        let baseline = ctx.baseline_time(10);
+        let data = collect(&ctx, cfg.k, derive_seed(cfg.seed, "oh-g"));
+        let g = greedy(&ctx, &data, baseline);
+        rows.push(row("G", ctx.cost(), g.realized.speedup()));
+    }
+    {
+        let ctx = fresh_ctx();
+        let data = collect(&ctx, cfg.k, derive_seed(cfg.seed, "oh-cfr"));
+        let r = cfr(&ctx, &data, cfg.x, cfg.k, derive_seed(cfg.seed, "oh-cfr2"));
+        rows.push(row("CFR", ctx.cost(), r.speedup()));
+    }
+    {
+        // Early-stopping extension: the §4.3 convergence observation
+        // turned into an algorithm.
+        let ctx = fresh_ctx();
+        let data = collect(&ctx, cfg.k, derive_seed(cfg.seed, "oh-ada"));
+        let r = ft_core::cfr_adaptive(
+            &ctx,
+            &data,
+            cfg.x,
+            cfg.k,
+            (cfg.k / 8).max(10),
+            derive_seed(cfg.seed, "oh-ada2"),
+        );
+        rows.push(row("CFR-adaptive", ctx.cost(), r.speedup()));
+    }
+    {
+        let ctx = fresh_ctx();
+        let r = opentuner_search(&ctx, cfg.opentuner_budget, derive_seed(cfg.seed, "oh-ot"));
+        rows.push(row("OpenTuner", ctx.cost(), r.speedup()));
+    }
+
+    Artifact::Table(TableData {
+        id: "overhead".into(),
+        title: "Tuning overhead per approach (CloverLeaf, Broadwell)".into(),
+        header: vec![
+            "Approach".into(),
+            "runs".into(),
+            "compiles".into(),
+            "obj reuses".into(),
+            "reuse rate".into(),
+            "machine hours".into(),
+            "speedup".into(),
+        ],
+        rows,
+        notes: vec![
+            "paper §4.3: ~1.5 days Random/G, 2 days OpenTuner, 3 days CFR, 1 week COBAYN per benchmark".into(),
+            "CFR costs ~2x Random (collection + re-sampling) but per-loop objects are heavily reused".into(),
+        ],
+    })
+}
+
+/// §4.3 convergence study: how fast each search reaches its final
+/// quality. Quantifies "CFR finds the best code variant in tens or
+/// several hundreds of evaluations".
+fn convergence(cfg: &ReproConfig) -> Artifact {
+    use ft_core::convergence::Convergence;
+    use ft_core::{cfr, collect, fr_search, random_search};
+    let arch = Architecture::broadwell();
+    let w = workload_by_name("CloverLeaf").expect("CloverLeaf in suite");
+    let run = tune_workload(&w, &arch, cfg);
+    let ctx = &run.ctx;
+    let seed = derive_seed(cfg.seed, "convergence");
+    let data = collect(ctx, cfg.k, seed);
+    let rows = [
+        Convergence::of(&random_search(ctx, cfg.k, seed ^ 1)),
+        Convergence::of(&fr_search(ctx, cfg.k, seed ^ 2)),
+        Convergence::of(&cfr(ctx, &data, cfg.x, cfg.k, seed ^ 3)),
+    ];
+    Artifact::Table(TableData {
+        id: "convergence".into(),
+        title: "Evaluations to convergence (CloverLeaf, Broadwell)".into(),
+        header: vec![
+            "algorithm".into(),
+            "evaluations".into(),
+            "to 1%".into(),
+            "to 5%".into(),
+            "final best (s)".into(),
+        ],
+        rows: rows
+            .iter()
+            .map(|c| {
+                vec![
+                    c.algorithm.clone(),
+                    c.evaluations.to_string(),
+                    c.to_1pct.to_string(),
+                    c.to_5pct.to_string(),
+                    format!("{:.3}", c.final_best),
+                ]
+            })
+            .collect(),
+        notes: vec![
+            "paper §4.3: CFR finds the best code variant in tens or several hundreds of evaluations".into(),
+        ],
+    })
+}
+
+/// Search-variance study across tuning seeds, quantifying Figure 5's
+/// observation 3 ("FR's performance ... has high variance").
+fn variance(cfg: &ReproConfig) -> Artifact {
+    let arch = Architecture::broadwell();
+    let w = workload_by_name("CloverLeaf").expect("CloverLeaf in suite");
+    let run = tune_workload(&w, &arch, cfg);
+    let seeds: Vec<u64> = (0..5).map(|i| derive_seed(cfg.seed, "variance") ^ i).collect();
+    let rows = ft_core::variance_study(&run.ctx, cfg.k.min(300), cfg.x, &seeds);
+    Artifact::Table(TableData {
+        id: "variance".into(),
+        title: "Search variance across tuning seeds (CloverLeaf, Broadwell)".into(),
+        header: vec![
+            "algorithm".into(),
+            "mean speedup".into(),
+            "stddev".into(),
+            "min".into(),
+            "max".into(),
+        ],
+        rows: rows
+            .iter()
+            .map(|r| {
+                let min = r.speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = r.speedups.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                vec![
+                    r.algorithm.clone(),
+                    format!("{:.3}", r.mean),
+                    format!("{:.4}", r.stddev),
+                    format!("{min:.3}"),
+                    format!("{max:.3}"),
+                ]
+            })
+            .collect(),
+        notes: vec![
+            "paper Fig. 5 observation 3: FR is inferior to CFR and has high variance".into(),
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ReproConfig {
+        let mut c = ReproConfig::quick();
+        // Keep registry tests snappy.
+        c.k = 80;
+        c.x = 10;
+        c.opentuner_budget = 60;
+        c.cobayn_scale = 0.04;
+        c
+    }
+
+    #[test]
+    fn registry_knows_every_paper_artifact() {
+        let ids = all_ids();
+        assert_eq!(ids.len(), 17);
+        assert!(ids.contains(&"fig5b"));
+        assert!(ids.contains(&"table3"));
+        assert!(ids.contains(&"ablation-x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment id")]
+    fn unknown_id_panics() {
+        let _ = run_experiment("fig99", &quick());
+    }
+
+    #[test]
+    fn table1_matches_suite() {
+        let t = table1();
+        let t = t.as_table().unwrap();
+        assert_eq!(t.rows.len(), 7);
+        assert_eq!(t.rows[2][0], "AMG");
+        assert_eq!(t.rows[2][2], "113k");
+    }
+
+    #[test]
+    fn table2_has_platform_and_input_rows() {
+        let t = table2();
+        let t = t.as_table().unwrap();
+        assert_eq!(t.header.len(), 4);
+        // 9 platform rows + 7 input rows.
+        assert_eq!(t.rows.len(), 16);
+        let lulesh = t.rows.iter().find(|r| r[0].starts_with("LULESH")).unwrap();
+        assert_eq!(lulesh[1], "120, 10");
+        assert_eq!(lulesh[3], "200, 10");
+    }
+
+    #[test]
+    fn fig5c_has_all_series_and_gm() {
+        let a = run_experiment("fig5c", &quick());
+        let f = a.as_figure().unwrap();
+        assert_eq!(f.series.len(), 5);
+        assert_eq!(f.categories.len(), 8); // 7 benchmarks + GM
+        for s in &f.series {
+            assert_eq!(s.points.len(), 8, "{} incomplete", s.label);
+        }
+        // G.Independent dominates CFR everywhere.
+        let gi = f.series_by_label("G.Independent").unwrap();
+        let cfr = f.series_by_label("CFR").unwrap();
+        for (cat, v) in &cfr.points {
+            assert!(gi.get(cat).unwrap() >= v * 0.999, "independent bound violated at {cat}");
+        }
+    }
+
+    #[test]
+    fn fig9_reports_five_kernels() {
+        let a = run_experiment("fig9", &quick());
+        let f = a.as_figure().unwrap();
+        assert_eq!(f.categories, vec!["dt", "cell3", "cell7", "mom9", "acc"]);
+        assert_eq!(f.series.len(), 4);
+    }
+
+    #[test]
+    fn overhead_table_shows_cfr_costing_about_twice_random() {
+        let a = run_experiment("overhead", &quick());
+        let t = a.as_table().unwrap();
+        assert_eq!(t.rows.len(), 6);
+        let hours = |name: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == name)
+                .unwrap()[5]
+                .parse()
+                .unwrap()
+        };
+        let ratio = hours("CFR") / hours("Random");
+        assert!((1.4..3.0).contains(&ratio), "CFR/Random = {ratio}");
+        // The adaptive extension stops early.
+        assert!(hours("CFR-adaptive") < hours("CFR"));
+    }
+
+    #[test]
+    fn ablation_x_covers_both_degenerate_corners() {
+        let a = run_experiment("ablation-x", &quick());
+        let f = a.as_figure().unwrap();
+        let s = &f.series[0];
+        assert_eq!(s.points.first().unwrap().0, "1");
+        assert_eq!(s.points.last().unwrap().0, quick().k.to_string());
+    }
+
+    #[test]
+    fn table3_rows_are_decision_summaries() {
+        let a = run_experiment("table3", &quick());
+        let t = a.as_table().unwrap();
+        assert_eq!(t.rows.len(), 6); // ratio row + 5 algorithm rows
+        let o3_row = t.rows.iter().find(|r| r[0] == "O3 baseline").unwrap();
+        // O3 decisions must be one of the legal summaries.
+        for cell in &o3_row[1..] {
+            assert!(
+                cell.starts_with('S') || cell.starts_with("128") || cell.starts_with("256"),
+                "weird summary {cell}"
+            );
+        }
+    }
+}

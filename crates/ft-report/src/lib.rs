@@ -1,0 +1,31 @@
+//! Experiment registry: regenerates every table and figure of the
+//! paper's evaluation (§4).
+//!
+//! Each experiment id maps to a function that runs the corresponding
+//! study on the simulated toolchain and returns a structured
+//! [`Artifact`] — a figure (bar series) or a table — which
+//! [`render::render`] turns into the same rows/series the paper
+//! reports. The `repro` binary drives the registry from the command
+//! line:
+//!
+//! ```text
+//! repro --list
+//! repro fig5c
+//! repro all --full --json out/
+//! ```
+//!
+//! Two presets exist: [`ReproConfig::quick`] (reduced sample budget,
+//! capped time-steps — minutes on a laptop, same qualitative shapes)
+//! and [`ReproConfig::full`] (the paper's K = 1000 protocol).
+
+pub mod config;
+pub mod data;
+pub mod experiments;
+pub mod paper;
+pub mod render;
+pub mod runner;
+
+pub use config::ReproConfig;
+pub use data::{Artifact, FigureData, Series, TableData};
+pub use experiments::{all_ids, run_experiment};
+pub use paper::{compare, references, ComparisonRow};

@@ -1,0 +1,232 @@
+//! ASCII rendering of reproduced figures and tables.
+
+use crate::data::{Artifact, FigureData, TableData};
+
+/// Renders an artifact to a terminal-friendly string.
+pub fn render(artifact: &Artifact) -> String {
+    match artifact {
+        Artifact::Figure(f) => render_figure(f),
+        Artifact::Table(t) => render_table(t),
+    }
+}
+
+/// Grouped horizontal bar chart, one block per category, normalized to
+/// speedup 1.0 (the `-O3` line).
+pub fn render_figure(f: &FigureData) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {} — {} ==\n", f.id, f.title));
+    let label_w = f.series.iter().map(|s| s.label.len()).max().unwrap_or(8).max(8);
+    let max_v = f
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(_, v)| *v))
+        .fold(1.0f64, f64::max)
+        .max(1.2);
+    let scale = 46.0 / max_v;
+    for cat in &f.categories {
+        out.push_str(&format!("{cat}:\n"));
+        for s in &f.series {
+            let Some(v) = s.get(cat) else { continue };
+            let bar_len = (v * scale).round().max(0.0) as usize;
+            let one_mark = (1.0 * scale).round() as usize;
+            let mut bar: String = "#".repeat(bar_len);
+            if one_mark < bar.len() {
+                bar.replace_range(one_mark..one_mark + 1, "|");
+            } else {
+                while bar.len() < one_mark {
+                    bar.push(' ');
+                }
+                bar.push('|');
+            }
+            out.push_str(&format!("  {:<label_w$} {:>6.3} {}\n", s.label, v, bar));
+        }
+    }
+    if !f.notes.is_empty() {
+        out.push_str("notes:\n");
+        for n in &f.notes {
+            out.push_str(&format!("  - {n}\n"));
+        }
+    }
+    out
+}
+
+/// Fixed-width table.
+pub fn render_table(t: &TableData) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {} — {} ==\n", t.id, t.title));
+    let cols = t.header.len();
+    let mut widths: Vec<usize> = t.header.iter().map(|h| h.len()).collect();
+    for row in &t.rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(&t.header, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in &t.rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    if !t.notes.is_empty() {
+        out.push_str("notes:\n");
+        for n in &t.notes {
+            out.push_str(&format!("  - {n}\n"));
+        }
+    }
+    out
+}
+
+/// Renders an artifact as GitHub-flavoured markdown (used by
+/// `repro --md` to regenerate EXPERIMENTS.md-style sections).
+pub fn render_markdown(artifact: &Artifact) -> String {
+    match artifact {
+        Artifact::Figure(f) => {
+            let mut out = format!("### {} — {}\n\n", f.id, f.title);
+            out.push_str("| |");
+            for s in &f.series {
+                out.push_str(&format!(" {} |", s.label));
+            }
+            out.push('\n');
+            out.push_str("|---|");
+            out.push_str(&"---|".repeat(f.series.len()));
+            out.push('\n');
+            for cat in &f.categories {
+                out.push_str(&format!("| {cat} |"));
+                for s in &f.series {
+                    match s.get(cat) {
+                        Some(v) => out.push_str(&format!(" {v:.3} |")),
+                        None => out.push_str(" — |"),
+                    }
+                }
+                out.push('\n');
+            }
+            if !f.notes.is_empty() {
+                out.push('\n');
+                for n in &f.notes {
+                    out.push_str(&format!("- {n}\n"));
+                }
+            }
+            out
+        }
+        Artifact::Table(t) => {
+            let mut out = format!("### {} — {}\n\n|", t.id, t.title);
+            for h in &t.header {
+                out.push_str(&format!(" {h} |"));
+            }
+            out.push('\n');
+            out.push('|');
+            out.push_str(&"---|".repeat(t.header.len()));
+            out.push('\n');
+            for row in &t.rows {
+                out.push('|');
+                for cell in row {
+                    out.push_str(&format!(" {cell} |"));
+                }
+                out.push('\n');
+            }
+            if !t.notes.is_empty() {
+                out.push('\n');
+                for n in &t.notes {
+                    out.push_str(&format!("- {n}\n"));
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Series;
+
+    #[test]
+    fn figure_renders_bars_and_baseline_mark() {
+        let f = FigureData {
+            id: "figX".into(),
+            title: "test".into(),
+            categories: vec!["A".into()],
+            series: vec![Series::new("CFR", vec![("A".into(), 1.10)])],
+            notes: vec!["hello".into()],
+        };
+        let s = render_figure(&f);
+        assert!(s.contains("figX"));
+        assert!(s.contains("CFR"));
+        assert!(s.contains('|'), "baseline mark missing:\n{s}");
+        assert!(s.contains("1.100"));
+        assert!(s.contains("hello"));
+    }
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let t = TableData {
+            id: "tY".into(),
+            title: "t".into(),
+            header: vec!["Name".into(), "LOC".into()],
+            rows: vec![
+                vec!["AMG".into(), "113k".into()],
+                vec!["LULESH".into(), "7.2k".into()],
+            ],
+            notes: vec![],
+        };
+        let s = render_table(&t);
+        assert!(s.contains("Name"));
+        assert!(s.contains("LULESH"));
+        // Header separator present.
+        assert!(s.contains("----"));
+    }
+
+    #[test]
+    fn markdown_figure_is_a_valid_table() {
+        let f = Artifact::Figure(FigureData {
+            id: "figX".into(),
+            title: "test".into(),
+            categories: vec!["A".into(), "GM".into()],
+            series: vec![
+                Series::new("CFR", vec![("A".into(), 1.10), ("GM".into(), 1.08)]),
+                Series::new("Random", vec![("A".into(), 1.02)]),
+            ],
+            notes: vec!["note".into()],
+        });
+        let md = render_markdown(&f);
+        assert!(md.contains("| A | 1.100 | 1.020 |"), "{md}");
+        assert!(md.contains("| GM | 1.080 | — |"), "{md}");
+        assert!(md.contains("- note"));
+    }
+
+    #[test]
+    fn markdown_table_keeps_cells() {
+        let t = Artifact::Table(TableData {
+            id: "tY".into(),
+            title: "t".into(),
+            header: vec!["Name".into(), "LOC".into()],
+            rows: vec![vec!["AMG".into(), "113k".into()]],
+            notes: vec![],
+        });
+        let md = render_markdown(&t);
+        assert!(md.contains("| Name | LOC |"));
+        assert!(md.contains("| AMG | 113k |"));
+    }
+
+    #[test]
+    fn render_dispatches() {
+        let t = Artifact::Table(TableData {
+            id: "z".into(),
+            title: "z".into(),
+            header: vec!["h".into()],
+            rows: vec![],
+            notes: vec![],
+        });
+        assert!(render(&t).contains("== z"));
+    }
+}

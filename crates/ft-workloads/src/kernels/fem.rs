@@ -1,0 +1,228 @@
+//! An fma3d-like explicit finite-element mini-kernel.
+//!
+//! One explicit-dynamics step over a 2-D quad mesh: gather nodal
+//! positions/velocities per element (indirect reads), compute element
+//! strain → stress → nodal forces with a divergent material branch,
+//! scatter forces back to nodes, then integrate. The gather/scatter
+//! pair is the indirect-access pattern that dominates 362.fma3d.
+//!
+//! Scatter uses a deterministic colored ordering (alternating element
+//! rows) so parallel force accumulation never races and results are
+//! thread-count independent.
+
+use rayon::prelude::*;
+
+/// Element force contribution: simple linear spring model on the four
+/// edges, with a material-dependent stiffening branch (the fma3d
+/// divergent-material pattern).
+fn element_forces(pos: &[f64], conn: &[[usize; 4]], material: &[u8], e: usize) -> [[f64; 2]; 4] {
+    let c = conn[e];
+    let mut f = [[0.0f64; 2]; 4];
+    let rest = 1.0;
+    for k in 0..4 {
+        let a = c[k];
+        let b = c[(k + 1) % 4];
+        let dx = pos[2 * b] - pos[2 * a];
+        let dy = pos[2 * b + 1] - pos[2 * a + 1];
+        let len = (dx * dx + dy * dy).sqrt().max(1e-12);
+        let strain = (len - rest) / rest;
+        let stiffness = if material[e] == 1 && strain > 0.0 {
+            60.0 * (1.0 + 4.0 * strain)
+        } else {
+            60.0
+        };
+        let mag = stiffness * strain / len;
+        let (fx, fy) = (mag * dx, mag * dy);
+        f[k][0] += fx;
+        f[k][1] += fy;
+        f[(k + 1) % 4][0] -= fx;
+        f[(k + 1) % 4][1] -= fy;
+    }
+    f
+}
+
+/// Explicit FEM state on an `nx × ny` quad mesh.
+#[derive(Debug, Clone)]
+pub struct FemMesh {
+    /// Elements per row.
+    pub nx: usize,
+    /// Element rows.
+    pub ny: usize,
+    /// Node coordinates (x, y interleaved).
+    pos: Vec<f64>,
+    vel: Vec<f64>,
+    force: Vec<f64>,
+    /// Per-element connectivity: four node ids.
+    conn: Vec<[usize; 4]>,
+    /// Per-element material id (drives the divergent branch).
+    material: Vec<u8>,
+    /// Nodal mass.
+    mass: Vec<f64>,
+}
+
+impl FemMesh {
+    /// A regular mesh with two interleaved materials and a stretched
+    /// initial row (so forces are non-zero from step one).
+    pub fn new(nx: usize, ny: usize) -> Self {
+        assert!(nx >= 2 && ny >= 2, "mesh too small");
+        let nnx = nx + 1;
+        let nny = ny + 1;
+        let mut pos = Vec::with_capacity(nnx * nny * 2);
+        for y in 0..nny {
+            for x in 0..nnx {
+                // Stretch the top row 10% to seed strain energy.
+                let sx = if y == nny - 1 { 1.1 } else { 1.0 };
+                pos.push(x as f64 * sx);
+                pos.push(y as f64);
+            }
+        }
+        let mut conn = Vec::with_capacity(nx * ny);
+        let mut material = Vec::with_capacity(nx * ny);
+        for ey in 0..ny {
+            for ex in 0..nx {
+                let n0 = ey * nnx + ex;
+                conn.push([n0, n0 + 1, n0 + nnx + 1, n0 + nnx]);
+                material.push(((ex + ey) % 2) as u8);
+            }
+        }
+        FemMesh {
+            nx,
+            ny,
+            pos,
+            vel: vec![0.0; nnx * nny * 2],
+            force: vec![0.0; nnx * nny * 2],
+            conn,
+            material,
+            mass: vec![1.0; nnx * nny],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        (self.nx + 1) * (self.ny + 1)
+    }
+
+    /// Gather–compute–scatter force pass. Elements are processed in two
+    /// colors (even/odd rows) so parallel scatters never alias.
+    pub fn compute_forces(&mut self) {
+        self.force.iter_mut().for_each(|f| *f = 0.0);
+        let nx = self.nx;
+        for color in 0..2 {
+            // Rows of one color share no nodes with each other; compute
+            // phase borrows geometry immutably, scatter phase follows.
+            let (pos, conn, material) = (&self.pos, &self.conn, &self.material);
+            let contributions: Vec<(usize, [[f64; 2]; 4])> = (0..self.ny)
+                .filter(|ey| ey % 2 == color)
+                .collect::<Vec<_>>()
+                .par_iter()
+                .flat_map_iter(|&ey| {
+                    (0..nx).map(move |ex| {
+                        let e = ey * nx + ex;
+                        (e, element_forces(pos, conn, material, e))
+                    })
+                })
+                .collect();
+            for (e, ef) in contributions {
+                for (k, f) in ef.iter().enumerate() {
+                    let n = self.conn[e][k];
+                    self.force[2 * n] += f[0];
+                    self.force[2 * n + 1] += f[1];
+                }
+            }
+        }
+    }
+
+    /// Central-difference time integration with light damping.
+    pub fn integrate(&mut self, dt: f64) {
+        let (vel, pos, force, mass) = (&mut self.vel, &mut self.pos, &self.force, &self.mass);
+        vel.par_iter_mut().enumerate().for_each(|(i, v)| {
+            *v = (*v + dt * force[i] / mass[i / 2]) * 0.999;
+        });
+        pos.par_iter_mut().zip(vel.par_iter()).for_each(|(p, v)| *p += dt * v);
+    }
+
+    /// One explicit step.
+    pub fn step(&mut self, dt: f64) {
+        self.compute_forces();
+        self.integrate(dt);
+    }
+
+    /// Total kinetic energy.
+    pub fn kinetic_energy(&self) -> f64 {
+        self.vel.iter().map(|v| 0.5 * v * v).sum()
+    }
+
+    /// Deterministic checksum over positions.
+    pub fn checksum(&self) -> f64 {
+        self.pos.iter().enumerate().map(|(i, p)| p * (1.0 + (i % 5) as f64)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stretched_row_generates_forces_and_motion() {
+        let mut m = FemMesh::new(8, 8);
+        m.step(0.01);
+        assert!(m.kinetic_energy() > 0.0, "stretch must accelerate nodes");
+    }
+
+    #[test]
+    fn relaxation_decays_kinetic_energy_eventually() {
+        let mut m = FemMesh::new(6, 6);
+        for _ in 0..50 {
+            m.step(0.01);
+        }
+        let early = m.kinetic_energy();
+        for _ in 0..400 {
+            m.step(0.01);
+        }
+        assert!(
+            m.kinetic_energy() < early,
+            "damping must relax the mesh: {} -> {}",
+            early,
+            m.kinetic_energy()
+        );
+    }
+
+    #[test]
+    fn positions_stay_finite() {
+        let mut m = FemMesh::new(10, 4);
+        for _ in 0..200 {
+            m.step(0.005);
+        }
+        assert!(m.pos.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| {
+                let mut m = FemMesh::new(12, 12);
+                for _ in 0..30 {
+                    m.step(0.01);
+                }
+                m.checksum()
+            })
+        };
+        assert_eq!(run(1).to_bits(), run(4).to_bits());
+    }
+
+    #[test]
+    fn materials_interleave() {
+        let m = FemMesh::new(4, 4);
+        assert_eq!(m.material[0], 0);
+        assert_eq!(m.material[1], 1);
+        assert_eq!(m.nodes(), 25);
+        assert_eq!(m.conn.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "mesh too small")]
+    fn tiny_mesh_rejected() {
+        let _ = FemMesh::new(1, 1);
+    }
+}

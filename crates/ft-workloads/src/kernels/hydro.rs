@@ -1,0 +1,254 @@
+//! A CloverLeaf-like 2-D compressible hydrodynamics mini-kernel.
+//!
+//! Solves ideal-gas Euler equations on a structured staggered grid:
+//! an equation-of-state pass, a viscosity pass, an acceleration pass
+//! and a CFL time-step reduction — the same kernel family as the
+//! paper's CloverLeaf case study (dt / cell / mom / acc kernels).
+
+use rayon::prelude::*;
+
+/// Ideal-gas adiabatic index.
+const GAMMA: f64 = 1.4;
+
+/// A structured 2-D hydrodynamics state.
+#[derive(Debug, Clone)]
+pub struct Hydro2d {
+    /// Cells per row (x dimension).
+    pub nx: usize,
+    /// Rows (y dimension).
+    pub ny: usize,
+    density: Vec<f64>,
+    energy: Vec<f64>,
+    pressure: Vec<f64>,
+    viscosity: Vec<f64>,
+    vel_x: Vec<f64>,
+    vel_y: Vec<f64>,
+    /// Cell size.
+    pub dx: f64,
+}
+
+impl Hydro2d {
+    /// Initializes the classic two-state (shock-tube-like) problem:
+    /// a dense, energetic square region in the lower-left corner.
+    pub fn new(nx: usize, ny: usize) -> Self {
+        assert!(nx >= 4 && ny >= 4, "grid too small");
+        let n = nx * ny;
+        let mut density = vec![0.2; n];
+        let mut energy = vec![1.0; n];
+        for y in 0..ny / 2 {
+            for x in 0..nx / 2 {
+                density[y * nx + x] = 1.0;
+                energy[y * nx + x] = 2.5;
+            }
+        }
+        Hydro2d {
+            nx,
+            ny,
+            density,
+            energy,
+            pressure: vec![0.0; n],
+            viscosity: vec![0.0; n],
+            vel_x: vec![0.0; (nx + 1) * (ny + 1)],
+            vel_y: vec![0.0; (nx + 1) * (ny + 1)],
+            dx: 10.0 / nx as f64,
+        }
+    }
+
+    /// `ideal_gas`: equation of state, `p = (γ-1) ρ e` (cell kernel).
+    pub fn ideal_gas(&mut self) {
+        let (density, energy) = (&self.density, &self.energy);
+        self.pressure
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(i, p)| *p = (GAMMA - 1.0) * density[i] * energy[i]);
+    }
+
+    /// `viscosity`: artificial viscosity with a divergence limiter —
+    /// the branchy kernel family that resists wide vectorization.
+    pub fn viscosity_kernel(&mut self) {
+        let nx = self.nx;
+        let (density, vel_x, vel_y) = (&self.density, &self.vel_x, &self.vel_y);
+        let rows: Vec<(usize, Vec<f64>)> = (1..self.ny - 1)
+            .into_par_iter()
+            .map(|y| {
+                let mut row = vec![0.0; nx];
+                for x in 1..nx - 1 {
+                    let i = y * nx + x;
+                    let du = vel_x[y * (nx + 1) + x + 1] - vel_x[y * (nx + 1) + x];
+                    let dv = vel_y[(y + 1) * (nx + 1) + x] - vel_y[y * (nx + 1) + x];
+                    let div = du + dv;
+                    // Quadratic viscosity only in compression.
+                    row[x] = if div < 0.0 { 2.0 * density[i] * div * div } else { 0.0 };
+                }
+                (y, row)
+            })
+            .collect();
+        for (y, row) in rows {
+            self.viscosity[y * nx..(y + 1) * nx].copy_from_slice(&row);
+        }
+    }
+
+    /// `accelerate`: update staggered velocities from pressure and
+    /// viscosity gradients (the paper's `acc` kernel).
+    pub fn accelerate(&mut self, dt: f64) {
+        let nx = self.nx;
+        let (pressure, viscosity, density) = (&self.pressure, &self.viscosity, &self.density);
+        let stride = nx + 1;
+        let dx = self.dx;
+        let ny = self.ny;
+        self.vel_x
+            .par_chunks_mut(stride)
+            .enumerate()
+            .skip(1)
+            .take(ny - 1)
+            .for_each(|(y, row)| {
+                for (x, v) in row.iter_mut().enumerate().skip(1).take(nx - 1) {
+                    let i = y * nx + x;
+                    let rho = 0.5 * (density[i] + density[i - 1]).max(1e-12);
+                    let dp = (pressure[i] - pressure[i - 1]) + (viscosity[i] - viscosity[i - 1]);
+                    *v -= dt * dp / (rho * dx);
+                }
+            });
+        self.vel_y
+            .par_chunks_mut(stride)
+            .enumerate()
+            .skip(1)
+            .take(ny - 1)
+            .for_each(|(y, row)| {
+                for (x, v) in row.iter_mut().enumerate().skip(1).take(nx - 1) {
+                    let i = y * nx + x;
+                    let below = (y - 1) * nx + x;
+                    let rho = 0.5 * (density[i] + density[below]).max(1e-12);
+                    let dp =
+                        (pressure[i] - pressure[below]) + (viscosity[i] - viscosity[below]);
+                    *v -= dt * dp / (rho * dx);
+                }
+            });
+    }
+
+    /// `calc_dt`: CFL time-step reduction with divergent control flow
+    /// (the paper's `dt` kernel). Deterministic: per-row minima are
+    /// combined in row order.
+    pub fn calc_dt(&self) -> f64 {
+        let nx = self.nx;
+        let (density, pressure, vel_x) = (&self.density, &self.pressure, &self.vel_x);
+        let dx = self.dx;
+        let row_minima: Vec<f64> = (0..self.ny)
+            .into_par_iter()
+            .map(|y| {
+                let mut m = f64::INFINITY;
+                for x in 0..nx {
+                    let i = y * nx + x;
+                    let c = (GAMMA * pressure[i] / density[i].max(1e-12)).sqrt();
+                    let u = vel_x[y * (nx + 1) + x].abs();
+                    let denom = c + u;
+                    let local = if denom > 1e-12 { dx / denom } else { f64::INFINITY };
+                    if local < m {
+                        m = local;
+                    }
+                }
+                m
+            })
+            .collect();
+        row_minima.into_iter().fold(f64::INFINITY, f64::min).min(0.04) * 0.5
+    }
+
+    /// One full time-step; returns the dt used.
+    pub fn step(&mut self) -> f64 {
+        self.ideal_gas();
+        self.viscosity_kernel();
+        let dt = self.calc_dt();
+        self.accelerate(dt);
+        dt
+    }
+
+    /// Deterministic checksum over all fields (order-independent of
+    /// thread count by construction).
+    pub fn checksum(&self) -> f64 {
+        let s1: f64 = self.density.iter().sum();
+        let s2: f64 = self.energy.iter().sum();
+        let s3: f64 = self.pressure.iter().sum();
+        let s4: f64 = self.vel_x.iter().map(|v| v.abs()).sum();
+        s1 + 2.0 * s2 + 3.0 * s3 + 5.0 * s4
+    }
+
+    /// Total mass (conserved by the velocity update).
+    pub fn total_mass(&self) -> f64 {
+        self.density.iter().sum::<f64>() * self.dx * self.dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pressure_follows_ideal_gas_law() {
+        let mut h = Hydro2d::new(16, 16);
+        h.ideal_gas();
+        // Lower-left cell: rho=1.0, e=2.5 => p = 0.4*2.5 = 1.0.
+        assert!((h.pressure[0] - 1.0).abs() < 1e-12);
+        // Upper-right: rho=0.2, e=1.0 => p = 0.08.
+        let i = 15 * 16 + 15;
+        assert!((h.pressure[i] - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dt_is_positive_and_bounded() {
+        let mut h = Hydro2d::new(32, 32);
+        h.ideal_gas();
+        let dt = h.calc_dt();
+        assert!(dt > 0.0 && dt <= 0.02, "dt = {dt}");
+    }
+
+    #[test]
+    fn step_is_deterministic_across_thread_counts() {
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| {
+                let mut h = Hydro2d::new(40, 40);
+                for _ in 0..5 {
+                    h.step();
+                }
+                h.checksum()
+            })
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.to_bits(), b.to_bits(), "fp-model source violated");
+    }
+
+    #[test]
+    fn shock_generates_velocity() {
+        let mut h = Hydro2d::new(32, 32);
+        for _ in 0..3 {
+            h.step();
+        }
+        let kinetic: f64 = h.vel_x.iter().map(|v| v * v).sum();
+        assert!(kinetic > 0.0, "the discontinuity must accelerate flow");
+    }
+
+    #[test]
+    fn mass_is_conserved_by_acceleration() {
+        let mut h = Hydro2d::new(32, 32);
+        let m0 = h.total_mass();
+        for _ in 0..5 {
+            h.step();
+        }
+        assert!((h.total_mass() - m0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn viscosity_only_in_compression() {
+        let mut h = Hydro2d::new(16, 16);
+        h.ideal_gas();
+        h.viscosity_kernel();
+        assert!(h.viscosity.iter().all(|q| *q >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "grid too small")]
+    fn tiny_grid_rejected() {
+        let _ = Hydro2d::new(2, 2);
+    }
+}

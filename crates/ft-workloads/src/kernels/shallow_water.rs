@@ -1,0 +1,185 @@
+//! A swim-like shallow-water stencil mini-kernel.
+//!
+//! 363.swim integrates the shallow-water equations with three large
+//! streaming stencil passes (CALC1/CALC2/CALC3) over a staggered grid
+//! plus periodic smoothing — the most memory-bound code in the suite.
+
+use rayon::prelude::*;
+
+/// Wraps an index onto the periodic `[0, n)` domain.
+#[inline]
+fn wrap_idx(i: isize, n: usize) -> usize {
+    let n = n as isize;
+    (((i % n) + n) % n) as usize
+}
+
+/// Shallow-water state on an `n × n` periodic grid.
+#[derive(Debug, Clone)]
+pub struct ShallowWater {
+    /// Grid dimension.
+    pub n: usize,
+    /// Velocity potential / height-like fields (u, v, p).
+    u: Vec<f64>,
+    v: Vec<f64>,
+    p: Vec<f64>,
+    /// Previous-step fields for the leapfrog smoother.
+    u_old: Vec<f64>,
+    v_old: Vec<f64>,
+    p_old: Vec<f64>,
+    dt: f64,
+}
+
+impl ShallowWater {
+    /// Initializes the classic sinusoidal height field.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 4, "grid too small");
+        let mut p = vec![0.0; n * n];
+        for y in 0..n {
+            for x in 0..n {
+                let fx = x as f64 / n as f64;
+                let fy = y as f64 / n as f64;
+                p[y * n + x] = 50_000.0
+                    + 1000.0 * (2.0 * std::f64::consts::PI * fx).sin()
+                        * (2.0 * std::f64::consts::PI * fy).cos();
+            }
+        }
+        ShallowWater {
+            n,
+            u: vec![0.0; n * n],
+            v: vec![0.0; n * n],
+            p: p.clone(),
+            u_old: vec![0.0; n * n],
+            v_old: vec![0.0; n * n],
+            p_old: p,
+            dt: 0.002,
+        }
+    }
+
+    /// CALC1-like pass: update velocities from the height gradient
+    /// (pure streaming stencil, unit stride, write-heavy).
+    pub fn calc_uv(&mut self) {
+        let n = self.n;
+        let p = &self.p;
+        let dt = self.dt;
+        let grad = |field: &mut Vec<f64>, horizontal: bool| {
+            field.par_chunks_mut(n).enumerate().for_each(|(y, row)| {
+                for (x, f) in row.iter_mut().enumerate() {
+                    let (xe, ye) = if horizontal {
+                        ((x + 1) % n, y)
+                    } else {
+                        (x, (y + 1) % n)
+                    };
+                    *f -= dt * (p[ye * n + xe] - p[y * n + x]);
+                }
+            });
+        };
+        grad(&mut self.u, true);
+        grad(&mut self.v, false);
+    }
+
+    /// CALC2-like pass: update the height field from the velocity
+    /// divergence.
+    pub fn calc_p(&mut self) {
+        let (u, v) = (&self.u, &self.v);
+        let dt = self.dt;
+        let nn = self.n;
+        self.p.par_chunks_mut(nn).enumerate().for_each(|(y, row)| {
+            for (x, pv) in row.iter_mut().enumerate() {
+                let xm = wrap_idx(x as isize - 1, nn);
+                let ym = wrap_idx(y as isize - 1, nn);
+                let div = (u[y * nn + x] - u[y * nn + xm]) + (v[y * nn + x] - v[ym * nn + x]);
+                *pv -= 50_000.0 * dt * div;
+            }
+        });
+    }
+
+    /// CALC3-like pass: Robert–Asselin time smoothing against the
+    /// previous step.
+    pub fn smooth(&mut self, alpha: f64) {
+        let smooth_one = |cur: &[f64], old: &mut Vec<f64>| {
+            old.par_iter_mut()
+                .zip(cur.par_iter())
+                .for_each(|(o, c)| *o += alpha * (*c - *o));
+        };
+        smooth_one(&self.u, &mut self.u_old);
+        smooth_one(&self.v, &mut self.v_old);
+        smooth_one(&self.p, &mut self.p_old);
+    }
+
+    /// One full time-step.
+    pub fn step(&mut self) {
+        self.calc_uv();
+        self.calc_p();
+        self.smooth(0.1);
+    }
+
+    /// Mean height (conserved by the divergence-form update on the
+    /// periodic domain).
+    pub fn mean_height(&self) -> f64 {
+        self.p.iter().sum::<f64>() / (self.n * self.n) as f64
+    }
+
+    /// Deterministic checksum.
+    pub fn checksum(&self) -> f64 {
+        let su: f64 = self.u.iter().map(|x| x.abs()).sum();
+        let sv: f64 = self.v.iter().map(|x| x.abs()).sum();
+        let sp: f64 = self.p.iter().sum();
+        su + sv + sp * 1e-3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn height_gradient_drives_velocity() {
+        let mut s = ShallowWater::new(32);
+        s.step();
+        let vmax = s.u.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        assert!(vmax > 0.0);
+    }
+
+    #[test]
+    fn mean_height_is_conserved() {
+        let mut s = ShallowWater::new(32);
+        let m0 = s.mean_height();
+        for _ in 0..20 {
+            s.step();
+        }
+        let m1 = s.mean_height();
+        assert!((m1 - m0).abs() / m0 < 1e-12, "{m0} -> {m1}");
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| {
+                let mut s = ShallowWater::new(48);
+                for _ in 0..10 {
+                    s.step();
+                }
+                s.checksum()
+            })
+        };
+        assert_eq!(run(1).to_bits(), run(3).to_bits());
+    }
+
+    #[test]
+    fn wrap_handles_negative_indices() {
+        assert_eq!(wrap_idx(-1, 8), 7);
+        assert_eq!(wrap_idx(8, 8), 0);
+        assert_eq!(wrap_idx(3, 8), 3);
+    }
+
+    #[test]
+    fn fields_stay_finite() {
+        let mut s = ShallowWater::new(24);
+        for _ in 0..50 {
+            s.step();
+        }
+        assert!(s.p.iter().all(|v| v.is_finite()));
+        assert!(s.u.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,174 @@
+//! An AMG-like sparse linear-algebra mini-kernel: CSR sparse
+//! matrix–vector products and weighted-Jacobi relaxation — the
+//! indirect-access loop family dominating the AMG benchmark.
+
+use rayon::prelude::*;
+
+/// Compressed-sparse-row matrix.
+#[derive(Debug, Clone)]
+pub struct CsrMatrix {
+    /// Rows (== columns; the solvers here are square).
+    pub n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds the standard 5-point 2-D Laplacian on an `nx × nx` grid
+    /// (the canonical AMG test operator).
+    pub fn laplacian_2d(nx: usize) -> Self {
+        assert!(nx >= 2, "grid too small");
+        let n = nx * nx;
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for y in 0..nx {
+            for x in 0..nx {
+                let i = y * nx + x;
+                // Sorted column order within each row.
+                if y > 0 {
+                    col_idx.push(i - nx);
+                    values.push(-1.0);
+                }
+                if x > 0 {
+                    col_idx.push(i - 1);
+                    values.push(-1.0);
+                }
+                col_idx.push(i);
+                values.push(4.0);
+                if x + 1 < nx {
+                    col_idx.push(i + 1);
+                    values.push(-1.0);
+                }
+                if y + 1 < nx {
+                    col_idx.push(i + nx);
+                    values.push(-1.0);
+                }
+                row_ptr.push(col_idx.len());
+            }
+        }
+        CsrMatrix { n, row_ptr, col_idx, values }
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `y = A x` (parallel over rows; each row's dot product is summed
+    /// in column order, so results are thread-count independent).
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        y.par_iter_mut().enumerate().for_each(|(i, yi)| {
+            let mut acc = 0.0;
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            *yi = acc;
+        });
+    }
+
+    /// Diagonal entry of row `i` (panics when structurally absent).
+    fn diag(&self, i: usize) -> f64 {
+        for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+            if self.col_idx[k] == i {
+                return self.values[k];
+            }
+        }
+        panic!("missing diagonal in row {i}");
+    }
+
+    /// One weighted-Jacobi sweep `x ← x + ω D⁻¹ (b − A x)`; returns the
+    /// updated iterate.
+    pub fn jacobi_sweep(&self, x: &[f64], b: &[f64], omega: f64) -> Vec<f64> {
+        let mut ax = vec![0.0; self.n];
+        self.spmv(x, &mut ax);
+        (0..self.n)
+            .into_par_iter()
+            .map(|i| x[i] + omega * (b[i] - ax[i]) / self.diag(i))
+            .collect()
+    }
+
+    /// Deterministic L2 residual norm `‖b − A x‖₂`.
+    pub fn residual_norm(&self, x: &[f64], b: &[f64]) -> f64 {
+        let mut ax = vec![0.0; self.n];
+        self.spmv(x, &mut ax);
+        b.iter()
+            .zip(&ax)
+            .map(|(bi, ai)| (bi - ai) * (bi - ai))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Runs `sweeps` Jacobi iterations from zero against a constant
+    /// right-hand side; returns the final residual norm.
+    pub fn solve_jacobi(&self, sweeps: usize, omega: f64) -> f64 {
+        let b = vec![1.0; self.n];
+        let mut x = vec![0.0; self.n];
+        for _ in 0..sweeps {
+            x = self.jacobi_sweep(&x, &b, omega);
+        }
+        self.residual_norm(&x, &b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laplacian_structure() {
+        let a = CsrMatrix::laplacian_2d(4);
+        assert_eq!(a.n, 16);
+        // 5-point stencil: 16*5 - 4*4 boundary-truncated entries.
+        assert_eq!(a.nnz(), 64);
+        assert_eq!(a.diag(0), 4.0);
+    }
+
+    #[test]
+    fn spmv_of_constant_vector_measures_row_sums() {
+        let a = CsrMatrix::laplacian_2d(8);
+        let x = vec![1.0; a.n];
+        let mut y = vec![0.0; a.n];
+        a.spmv(&x, &mut y);
+        // Interior rows sum to 0; corner rows to 2; edge rows to 1.
+        assert_eq!(y[9], 0.0); // interior (1,1)
+        assert_eq!(y[0], 2.0); // corner
+        assert_eq!(y[1], 1.0); // edge
+    }
+
+    #[test]
+    fn jacobi_reduces_residual_monotonically_enough() {
+        let a = CsrMatrix::laplacian_2d(12);
+        let r5 = a.solve_jacobi(5, 0.8);
+        let r50 = a.solve_jacobi(50, 0.8);
+        assert!(r50 < r5, "Jacobi must converge: {r50} !< {r5}");
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| CsrMatrix::laplacian_2d(16).solve_jacobi(20, 0.8))
+        };
+        assert_eq!(run(1).to_bits(), run(4).to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "grid too small")]
+    fn degenerate_grid_rejected() {
+        let _ = CsrMatrix::laplacian_2d(1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn spmv_rejects_wrong_length() {
+        let a = CsrMatrix::laplacian_2d(4);
+        let x = vec![1.0; 3];
+        let mut y = vec![0.0; a.n];
+        a.spmv(&x, &mut y);
+    }
+}

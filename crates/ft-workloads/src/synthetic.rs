@@ -1,0 +1,158 @@
+//! Synthetic program generation.
+//!
+//! Two consumers need programs beyond the seven benchmarks: the
+//! COBAYN-like baseline trains on a **cBench-like suite** of small,
+//! mostly-serial kernels (§4.2.1), and stress/property tests need
+//! arbitrary-but-plausible programs. Both draw from
+//! [`SyntheticConfig`]-parameterized generation here.
+
+use ft_compiler::{LoopFeatures, MemStride, Module, ProgramIr};
+use ft_flags::rng::{derive_seed_idx, rng_for};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Ranges for generated programs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Minimum hot-loop count.
+    pub loops_min: usize,
+    /// Maximum hot-loop count (inclusive).
+    pub loops_max: usize,
+    /// OpenMP coverage of each loop (0 = serial kernels).
+    pub parallel_fraction: f64,
+    /// Trip-count range.
+    pub trip_range: (f64, f64),
+    /// Arithmetic ops per iteration range.
+    pub ops_range: (f64, f64),
+    /// Bytes per iteration range.
+    pub bytes_range: (f64, f64),
+    /// Probability of an indirect-access loop.
+    pub indirect_prob: f64,
+    /// Probability of a loop-carried dependence.
+    pub dependence_prob: f64,
+}
+
+impl SyntheticConfig {
+    /// cBench-like serial kernel suite (COBAYN's training distribution).
+    pub fn cbench() -> Self {
+        SyntheticConfig {
+            loops_min: 2,
+            loops_max: 4,
+            parallel_fraction: 0.2,
+            trip_range: (1.0e5, 5.0e6),
+            ops_range: (10.0, 250.0),
+            bytes_range: (16.0, 250.0),
+            indirect_prob: 0.25,
+            dependence_prob: 0.15,
+        }
+    }
+
+    /// HPC-proxy-like parallel programs for stress tests.
+    pub fn hpc() -> Self {
+        SyntheticConfig {
+            loops_min: 5,
+            loops_max: 20,
+            parallel_fraction: 0.99,
+            trip_range: (1.0e6, 5.0e7),
+            ops_range: (15.0, 400.0),
+            bytes_range: (16.0, 350.0),
+            indirect_prob: 0.3,
+            dependence_prob: 0.08,
+        }
+    }
+}
+
+/// Generates the `i`-th synthetic program of a family.
+pub fn generate(i: usize, seed: u64, cfg: &SyntheticConfig) -> ProgramIr {
+    assert!(cfg.loops_min >= 1 && cfg.loops_max >= cfg.loops_min, "bad loop range");
+    let mut rng = rng_for(seed, &format!("synthetic-{i}"));
+    let n_loops = cfg.loops_min + (i % (cfg.loops_max - cfg.loops_min + 1));
+    let mut modules = Vec::with_capacity(n_loops + 1);
+    for j in 0..n_loops {
+        let stride = if rng.gen_bool(cfg.indirect_prob) {
+            MemStride::Indirect
+        } else if rng.gen_bool(0.25) {
+            MemStride::Strided(rng.gen_range(2..8))
+        } else {
+            MemStride::Unit
+        };
+        let f = LoopFeatures {
+            trip_count: rng.gen_range(cfg.trip_range.0..cfg.trip_range.1),
+            invocations_per_step: 1.0,
+            ops_per_iter: rng.gen_range(cfg.ops_range.0..cfg.ops_range.1),
+            fp_fraction: rng.gen_range(0.1..0.95),
+            bytes_per_iter: rng.gen_range(cfg.bytes_range.0..cfg.bytes_range.1),
+            write_fraction: rng.gen_range(0.1..0.6),
+            stride,
+            divergence: rng.gen_range(0.0..0.8),
+            ilp: rng.gen_range(1.5..4.0),
+            carried_dependence: rng.gen_bool(cfg.dependence_prob),
+            reduction: rng.gen_bool(0.2),
+            working_set_mb: rng.gen_range(1.0..400.0),
+            streaming: rng.gen_range(0.0..1.0),
+            calls_out: 0.0,
+            base_code_bytes: rng.gen_range(400.0..3000.0),
+            parallel_fraction: cfg.parallel_fraction,
+            response_seed: derive_seed_idx(seed ^ 0x5e17, (i * 64 + j) as u64),
+        };
+        modules.push(Module::hot_loop(j, &format!("k{j}"), f, &[1]));
+    }
+    let id = modules.len();
+    modules.push(Module::non_loop(id, rng.gen_range(0.005..0.05), 2.0e4));
+    ProgramIr::new(&format!("synthetic-{i}"), modules, vec![])
+}
+
+/// The `i`-th cBench-like training kernel (COBAYN's suite).
+pub fn cbench_kernel(i: usize, seed: u64) -> ProgramIr {
+    generate(i, seed, &SyntheticConfig::cbench())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbench_kernels_are_small_and_serialish() {
+        for i in 0..12 {
+            let ir = cbench_kernel(i, 7);
+            assert!((2..=4).contains(&ir.hot_loop_count()), "{}", ir.name);
+            let f = ir.modules[0].features().unwrap();
+            assert!(f.parallel_fraction < 0.5);
+        }
+    }
+
+    #[test]
+    fn hpc_programs_are_larger_and_parallel() {
+        let cfg = SyntheticConfig::hpc();
+        let ir = generate(3, 11, &cfg);
+        assert!(ir.hot_loop_count() >= cfg.loops_min);
+        assert!(ir.modules[0].features().unwrap().parallel_fraction > 0.9);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_indexed() {
+        let cfg = SyntheticConfig::cbench();
+        assert_eq!(generate(2, 5, &cfg), generate(2, 5, &cfg));
+        assert_ne!(generate(2, 5, &cfg), generate(3, 5, &cfg));
+        assert_ne!(generate(2, 5, &cfg), generate(2, 6, &cfg));
+    }
+
+    #[test]
+    fn loop_counts_cycle_through_the_range() {
+        let cfg = SyntheticConfig::cbench();
+        let counts: Vec<usize> =
+            (0..6).map(|i| generate(i, 1, &cfg).hot_loop_count()).collect();
+        assert!(counts.contains(&2));
+        assert!(counts.contains(&3));
+        assert!(counts.contains(&4));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad loop range")]
+    fn degenerate_range_rejected() {
+        let mut cfg = SyntheticConfig::cbench();
+        cfg.loops_min = 5;
+        cfg.loops_max = 2;
+        let _ = generate(0, 1, &cfg);
+    }
+}

@@ -1,0 +1,68 @@
+//! Profile *real* parallel Rust kernels with the Caliper-like
+//! profiler: the same annotation API the FuncyTuner simulation uses,
+//! but over wall-clock time and genuine rayon-parallel numerical code.
+//!
+//! ```text
+//! cargo run --release --example caliper_profile [grid]
+//! ```
+
+use funcytuner::caliper::Caliper;
+use funcytuner::workloads::kernels::{CsrMatrix, Hydro2d, ShallowWater};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(256);
+    let cali = Caliper::real_time();
+
+    {
+        let _run = cali.scoped("hydro2d");
+        let mut h = Hydro2d::new(n, n);
+        for _ in 0..20 {
+            {
+                let _g = cali.scoped("ideal_gas");
+                h.ideal_gas();
+            }
+            {
+                let _g = cali.scoped("viscosity");
+                h.viscosity_kernel();
+            }
+            let dt = {
+                let _g = cali.scoped("calc_dt");
+                h.calc_dt()
+            };
+            let _g = cali.scoped("accelerate");
+            h.accelerate(dt);
+        }
+        println!("hydro checksum: {:.6e}", h.checksum());
+    }
+
+    {
+        let _run = cali.scoped("amg_jacobi");
+        let a = {
+            let _g = cali.scoped("setup");
+            CsrMatrix::laplacian_2d(n)
+        };
+        let _g = cali.scoped("sweeps");
+        let residual = a.solve_jacobi(30, 0.8);
+        println!("jacobi residual after 30 sweeps: {residual:.6e}");
+    }
+
+    {
+        let _run = cali.scoped("shallow_water");
+        let mut s = ShallowWater::new(n);
+        for _ in 0..20 {
+            let _g = cali.scoped("step");
+            s.step();
+        }
+        println!("shallow-water mean height: {:.3}", s.mean_height());
+    }
+
+    println!("\n{}", cali.snapshot().render());
+    println!(
+        "hot paths at the paper's 1% threshold: {:?}",
+        cali.snapshot()
+            .hot_paths(cali.snapshot().total_top_level(), 0.01)
+            .iter()
+            .map(|r| r.path.clone())
+            .collect::<Vec<_>>()
+    );
+}

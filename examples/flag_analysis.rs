@@ -1,0 +1,84 @@
+//! Flag analysis: which flags matter, per loop and per population.
+//!
+//! Combines the three §4.4-style analysis tools on one benchmark:
+//! per-flag ANOVA importance (η²) for the hottest loop, the consensus
+//! flags of each loop's focused (top-X) CV population, and the
+//! paper-vs-measured comparison of the case-study table.
+//!
+//! ```text
+//! cargo run --release --example flag_analysis [benchmark] [loop]
+//! ```
+
+use funcytuner::flags::Population;
+use funcytuner::prelude::*;
+use funcytuner::tuning::{collect, flag_importance, importance};
+
+fn main() {
+    let bench = std::env::args().nth(1).unwrap_or_else(|| "CloverLeaf".to_string());
+    let arch = Architecture::broadwell();
+    let w = workload_by_name(&bench).expect("benchmark in Table 1");
+    let input = w.tuning_input(arch.name);
+    let ir = w.instantiate(input);
+    let compiler = Compiler::icc(arch.target);
+    let (outlined, report) = outline_with_defaults(&ir, &compiler, &arch, input.steps, 42);
+    let ctx = EvalContext::new(
+        outlined.ir,
+        Compiler::icc(arch.target),
+        arch.clone(),
+        input.steps,
+        42,
+    );
+
+    // Focus on the requested loop, defaulting to the hottest one.
+    let loop_name = std::env::args().nth(2).unwrap_or_else(|| {
+        report
+            .shares
+            .iter()
+            .filter(|(id, ..)| ctx.ir.modules.get(*id).map(|m| m.features().is_some()) == Some(true))
+            .max_by(|a, b| a.3.partial_cmp(&b.3).expect("finite"))
+            .map(|(_, name, ..)| name.clone())
+            .expect("at least one hot loop")
+    });
+    let j = ctx
+        .ir
+        .module_by_name(&loop_name)
+        .unwrap_or_else(|| {
+            eprintln!("loop {loop_name} not outlined; hot loops:");
+            for m in &ctx.ir.modules {
+                eprintln!("  {}", m.name);
+            }
+            std::process::exit(2);
+        })
+        .id;
+
+    println!("collecting K = 300 per-loop samples for {bench} on {}...", arch.name);
+    let data = collect(&ctx, 300, 13);
+
+    println!("\n== per-flag importance for `{loop_name}` (ANOVA effect size) ==");
+    let rows = flag_importance(&data, j, ctx.space());
+    print!("{}", importance::render(&rows, 10));
+
+    println!("\n== consensus flags of each loop's top-16 CVs (≥2x over chance) ==");
+    for m in ctx.ir.modules.iter().take(6) {
+        let top = data.top_x(m.id, 16);
+        let cvs: Vec<&funcytuner::flags::Cv> = top.iter().map(|&k| &data.cvs[k]).collect();
+        let pop = Population::analyze(ctx.space(), &cvs);
+        let consensus = pop.render_consensus(ctx.space(), 2.0);
+        let summary = if consensus.is_empty() {
+            "(no strong consensus)".to_string()
+        } else {
+            consensus[..consensus.len().min(3)].join(", ")
+        };
+        println!("  {:<16} {}", m.name, summary);
+    }
+
+    println!("\n== paper-vs-measured for the case-study table (quick scale) ==");
+    let mut cfg = ReproConfig::quick();
+    cfg.k = 150;
+    let artifact = run_experiment("table3", &cfg);
+    let comparison = funcytuner::report::compare(&artifact);
+    print!(
+        "{}",
+        funcytuner::report::paper::render_comparison("table3", &comparison)
+    );
+}

@@ -1,0 +1,43 @@
+//! Input sensitivity (§4.3 / Figures 7 and 8): tune once on the
+//! Table 2 input, then run the frozen executable on small and large
+//! problem sizes and on longer time-step ladders.
+//!
+//! ```text
+//! cargo run --release --example input_sensitivity [benchmark]
+//! ```
+
+use funcytuner::prelude::*;
+
+fn main() {
+    let bench = std::env::args().nth(1).unwrap_or_else(|| "CloverLeaf".to_string());
+    let arch = Architecture::broadwell();
+    let w = workload_by_name(&bench).expect("benchmark in Table 1");
+
+    println!("tuning {bench} on {} with the Table 2 input...", arch.name);
+    let run = Tuner::new(&w, &arch).budget(300).focus(24).seed(42).run();
+    println!(
+        "  tuning-input CFR speedup: {:.3}x over -O3 ({:.2} s baseline)\n",
+        run.cfr.speedup(),
+        run.baseline_time
+    );
+
+    println!("frozen executable on other work-set sizes (Figure 7):");
+    for input in [&w.small, &w.large] {
+        let s = run.speedup_on_input(&w, input, &run.cfr.assignment);
+        let g = run.speedup_on_input(&w, input, &run.greedy.realized.assignment);
+        println!(
+            "  {:<6} (scale {:>5.2}, {:>3} steps): CFR {:.3}x   G.realized {:.3}x",
+            input.name, input.size_scale, input.steps, s, g
+        );
+    }
+
+    println!("\nfrozen executable across time-step ladders (Figure 8):");
+    let tune_input = w.tuning_input(arch.name);
+    for steps in [10u32, 20, 40, 80] {
+        let input = tune_input.with_steps(steps);
+        let s = run.speedup_on_input(&w, &input, &run.cfr.assignment);
+        println!("  {steps:>3} steps: CFR {s:.3}x");
+    }
+    println!("\nthe paper finds the tuning benefit is stable across inputs —");
+    println!("the tuning overhead amortizes over repeated production runs.");
+}

@@ -1,0 +1,66 @@
+//! Quickstart: tune one benchmark with FuncyTuner and print what each
+//! search algorithm achieved.
+//!
+//! ```text
+//! cargo run --release --example quickstart [benchmark] [K]
+//! ```
+//!
+//! Defaults to CloverLeaf with a reduced budget (K = 300) so the run
+//! takes seconds; pass `CloverLeaf 1000` for the paper's protocol.
+
+use funcytuner::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench = args.first().map(String::as_str).unwrap_or("CloverLeaf");
+    let budget: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+
+    let arch = Architecture::broadwell();
+    let workload = workload_by_name(bench).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {bench}; pick one of:");
+        for w in suite() {
+            eprintln!("  {}", w.meta.name);
+        }
+        std::process::exit(2);
+    });
+
+    println!(
+        "Tuning {bench} on {} ({} OpenMP threads, input {} x {} steps)",
+        arch.name,
+        arch.omp_threads,
+        workload.tuning_input(arch.name).label,
+        workload.tuning_input(arch.name).steps,
+    );
+    println!("Sample budget K = {budget}, CFR focus X = 32\n");
+
+    let run = Tuner::new(&workload, &arch).budget(budget).focus(32).seed(42).run();
+
+    println!(
+        "outlined {} hot loops (J = {}) out of {} candidate loops; -O3 baseline = {:.2} s",
+        run.outlined.j,
+        run.outlined.j,
+        run.report.shares.len() - 1,
+        run.baseline_time,
+    );
+    println!("\n{:<14} {:>10} {:>9}", "algorithm", "time (s)", "speedup");
+    let rows = [
+        ("Random", run.random.best_time, run.random.speedup()),
+        ("FR", run.fr.best_time, run.fr.speedup()),
+        ("G.realized", run.greedy.realized.best_time, run.greedy.realized.speedup()),
+        ("CFR", run.cfr.best_time, run.cfr.speedup()),
+        ("G.Independent", run.greedy.independent_time, run.greedy.independent_speedup),
+    ];
+    for (name, t, s) in rows {
+        println!("{name:<14} {t:>10.3} {s:>8.3}x");
+    }
+    println!(
+        "\nCFR converged within {} of its {} evaluations",
+        run.cfr.converged_at(0.01),
+        run.cfr.evaluations
+    );
+    println!(
+        "winning per-loop flags for `{}`:\n  {}",
+        run.ctx.ir.modules[0].name,
+        run.cfr.assignment[0].render(run.ctx.space()),
+    );
+}

@@ -1,0 +1,593 @@
+//! `ftune` — the FuncyTuner command-line driver.
+//!
+//! The workflow a downstream user actually runs, end to end:
+//!
+//! ```text
+//! ftune list                                  # benchmarks and platforms
+//! ftune profile CloverLeaf --arch broadwell   # hot loops + roofline
+//! ftune tune CloverLeaf --k 400 --x 24        # Random/FR/G/CFR comparison
+//! ftune critical CloverLeaf --loop dt         # §4.4 critical flags
+//! ftune compare swim                          # vs OpenTuner/COBAYN/PGO
+//! ftune cost AMG                              # §4.3 tuning-overhead ledger
+//! ftune collect AMG --k 1000 --out amg.json # checkpoint the collection
+//! ftune search amg.json                     # re-search without re-collecting
+//! ```
+
+use funcytuner::machine::roofline;
+use funcytuner::prelude::*;
+use funcytuner::tuning::{collect, critical_flags, random_search};
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+struct Args {
+    command: String,
+    bench: Option<String>,
+    arch: String,
+    k: usize,
+    x: usize,
+    seed: u64,
+    loop_name: Option<String>,
+    out: Option<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut args = Args {
+            command: argv.first().cloned().ok_or("missing command")?,
+            bench: None,
+            arch: "broadwell".to_string(),
+            k: 300,
+            x: 24,
+            seed: 42,
+            loop_name: None,
+            out: None,
+        };
+        let mut it = argv[1..].iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--arch" => args.arch = it.next().ok_or("--arch needs a value")?.clone(),
+                "--k" => {
+                    args.k = it.next().and_then(|s| s.parse().ok()).ok_or("--k needs a number")?
+                }
+                "--x" => {
+                    args.x = it.next().and_then(|s| s.parse().ok()).ok_or("--x needs a number")?
+                }
+                "--seed" => {
+                    args.seed =
+                        it.next().and_then(|s| s.parse().ok()).ok_or("--seed needs a number")?
+                }
+                "--loop" => args.loop_name = Some(it.next().ok_or("--loop needs a name")?.clone()),
+                "--out" => args.out = Some(it.next().ok_or("--out needs a path")?.clone()),
+                other if other.starts_with("--") => {
+                    return Err(format!("unknown option {other}"));
+                }
+                bench => args.bench = Some(bench.to_string()),
+            }
+        }
+        Ok(args)
+    }
+
+    fn architecture(&self) -> Result<Architecture, String> {
+        match self.arch.to_lowercase().as_str() {
+            "opteron" | "amd" => Ok(Architecture::opteron()),
+            "sandybridge" | "sandy-bridge" | "snb" => Ok(Architecture::sandy_bridge()),
+            "broadwell" | "bdw" => Ok(Architecture::broadwell()),
+            "skylake" | "skx" | "avx512" => Ok(Architecture::skylake_avx512()),
+            other => Err(format!(
+                "unknown architecture {other} (opteron|sandybridge|broadwell|skylake)"
+            )),
+        }
+    }
+
+    fn workload(&self) -> Result<Workload, String> {
+        let name = self.bench.as_ref().ok_or("missing benchmark name")?;
+        workload_by_name(name).ok_or_else(|| format!("unknown benchmark {name}; see `ftune list`"))
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "-h" {
+        help();
+        return;
+    }
+    let args = match Args::parse(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("ftune: {e}");
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command.as_str() {
+        "list" => cmd_list(),
+        "profile" => cmd_profile(&args),
+        "tune" => cmd_tune(&args),
+        "critical" => cmd_critical(&args),
+        "compare" => cmd_compare(&args),
+        "cost" => cmd_cost(&args),
+        "importance" => cmd_importance(&args),
+        "flags" => cmd_flags(),
+        "export" => cmd_export(&args),
+        "tune-file" => cmd_tune_file(&args),
+        "optreport" => cmd_optreport(&args),
+        "collect" => cmd_collect(&args),
+        "search" => cmd_search(&args),
+        other => Err(format!("unknown command {other}")),
+    };
+    if let Err(e) = result {
+        eprintln!("ftune: {e}");
+        std::process::exit(2);
+    }
+}
+
+fn help() {
+    println!(
+        "ftune — per-loop compiler-flag auto-tuning (FuncyTuner reproduction)\n\n\
+         commands:\n\
+           list                         benchmarks and platforms\n\
+           profile <bench>              -O3 baseline profile + roofline\n\
+           tune <bench>                 run Random/FR/G/CFR and report speedups\n\
+           critical <bench> --loop L    critical-flag elimination for loop L\n\
+           compare <bench>              CFR vs OpenTuner/COBAYN/PGO\n\
+           cost <bench>                 tuning-overhead ledger\n\
+           importance <bench> --loop L  which flags explain a loop's time\n\
+           flags                        the 33-flag search space\n\
+           export <bench>               dump a benchmark's program model as JSON\n\
+           tune-file <model.json>       tune a custom program model\n\
+           optreport <bench> --loop L   O3-vs-CFR optimization reports\n\
+           collect <bench> --out F      run the K-sample collection, checkpoint it\n\
+           search <checkpoint.json>     re-run CFR from a saved collection\n\n\
+         options: --arch A  --k N  --x N  --seed S  --loop NAME  --out PATH"
+    );
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("benchmarks (Table 1):");
+    for w in suite() {
+        println!(
+            "  {:<11} {:<12} {:>7} LOC  {}",
+            w.meta.name,
+            w.meta.language,
+            format!("{}k", w.meta.loc_k),
+            w.meta.domain
+        );
+    }
+    println!("\nplatforms (Table 2): opteron, sandybridge, broadwell");
+    println!("extension platform:  skylake (AVX-512 with license throttling)");
+    Ok(())
+}
+
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let arch = args.architecture()?;
+    let w = args.workload()?;
+    let input = w.tuning_input(arch.name);
+    let ir = w.instantiate(input);
+    let compiler = Compiler::icc(arch.target);
+    let (outlined, report) =
+        outline_with_defaults(&ir, &compiler, &arch, input.steps, args.seed);
+    println!(
+        "{} on {} ({} × {} steps): -O3 end-to-end {:.2} s, J = {} hot loops\n",
+        w.meta.name, arch.name, input.label, input.steps, report.end_to_end_s, outlined.j
+    );
+    println!("{:<18} {:>10} {:>8}", "loop", "secs", "share");
+    for (_, name, secs, frac) in &report.shares {
+        let marker = if *frac >= 0.01 { "" } else { "   (folded: < 1%)" };
+        println!("{name:<18} {secs:>10.3} {:>7.2}%{marker}", frac * 100.0);
+    }
+    println!("\nroofline on {}:", arch.name);
+    let rows = roofline::analyze(&outlined.ir, &arch);
+    print!("{}", roofline::render(&rows));
+    println!(
+        "\n{:.0}% of hot loops are memory-bound",
+        roofline::memory_bound_fraction(&rows) * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_tune(args: &Args) -> Result<(), String> {
+    let arch = args.architecture()?;
+    let w = args.workload()?;
+    println!(
+        "tuning {} on {} with K = {}, X = {} (seed {})...",
+        w.meta.name, arch.name, args.k, args.x, args.seed
+    );
+    let run = Tuner::new(&w, &arch).budget(args.k).focus(args.x).seed(args.seed).run();
+    println!("\n-O3 baseline: {:.2} s", run.baseline_time);
+    println!("{:<14} {:>9} {:>8}", "algorithm", "time (s)", "speedup");
+    for (name, t, s) in [
+        ("Random", run.random.best_time, run.random.speedup()),
+        ("FR", run.fr.best_time, run.fr.speedup()),
+        ("G.realized", run.greedy.realized.best_time, run.greedy.realized.speedup()),
+        ("CFR", run.cfr.best_time, run.cfr.speedup()),
+        ("G.Independent", run.greedy.independent_time, run.greedy.independent_speedup),
+    ] {
+        println!("{name:<14} {t:>9.3} {s:>7.3}x");
+    }
+    println!(
+        "\nCFR converged within {} of {} evaluations",
+        run.cfr.converged_at(0.01),
+        run.cfr.evaluations
+    );
+    println!("\nper-loop winning flags:");
+    for (j, m) in run.ctx.ir.modules.iter().enumerate() {
+        println!("  {:<16} {}", m.name, run.cfr.assignment[j].render(run.ctx.space()));
+    }
+    Ok(())
+}
+
+fn cmd_critical(args: &Args) -> Result<(), String> {
+    let arch = args.architecture()?;
+    let w = args.workload()?;
+    let loop_name = args.loop_name.as_ref().ok_or("critical needs --loop NAME")?;
+    let run = Tuner::new(&w, &arch).budget(args.k).focus(args.x).seed(args.seed).run();
+    let module = run
+        .ctx
+        .ir
+        .module_by_name(loop_name)
+        .ok_or_else(|| format!("loop {loop_name} not among outlined hot loops"))?
+        .id;
+    println!(
+        "critical-flag elimination for {loop_name} (CFR end-to-end {:.3}x)...",
+        run.cfr.speedup()
+    );
+    let cf = critical_flags(&run.ctx, &run.cfr.assignment, module, 0.004, args.seed);
+    if cf.rendered.is_empty() {
+        println!("no critical flags: the -O3 defaults suffice for this loop");
+    } else {
+        for f in &cf.rendered {
+            println!("  critical: {f}");
+        }
+    }
+    println!(
+        "{} active flags reduced to {} over {} rounds",
+        run.cfr.assignment[module].active_flags(),
+        cf.reduced_cv.active_flags(),
+        cf.rounds
+    );
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let arch = args.architecture()?;
+    let w = args.workload()?;
+    println!("comparing against the state of the art on {} (reduced budgets)...", arch.name);
+    let run = Tuner::new(&w, &arch).budget(args.k).focus(args.x).seed(args.seed).run();
+    let cobayn = funcytuner::baselines::cobayn::train_default(&arch, 0.08, args.seed);
+    let rows = [
+        ("CFR", run.cfr.speedup()),
+        ("OpenTuner", opentuner_search(&run.ctx, args.k, args.seed ^ 1).speedup()),
+        (
+            "COBAYN (static)",
+            cobayn.tune(&run.ctx, FeatureMode::Static, args.k, args.seed ^ 2).speedup(),
+        ),
+        ("PGO", pgo_tune(&run.ctx, args.seed ^ 3).result.speedup()),
+        ("CE", combined_elimination(&run.ctx, args.seed ^ 4).speedup()),
+        ("Random", run.random.speedup()),
+    ];
+    println!("\n{:<16} {:>8}", "approach", "speedup");
+    for (name, s) in rows {
+        println!("{name:<16} {s:>7.3}x");
+    }
+    Ok(())
+}
+
+fn cmd_cost(args: &Args) -> Result<(), String> {
+    let arch = args.architecture()?;
+    let w = args.workload()?;
+    let input = w.tuning_input(arch.name);
+    let ir = w.instantiate(input);
+    let compiler = Compiler::icc(arch.target);
+    let (outlined, _) = outline_with_defaults(&ir, &compiler, &arch, input.steps, args.seed);
+    let fresh = || {
+        EvalContext::new(
+            outlined.ir.clone(),
+            Compiler::icc(arch.target),
+            arch.clone(),
+            input.steps,
+            args.seed,
+        )
+    };
+    println!(
+        "{:<10} {:>7} {:>10} {:>11} {:>14}",
+        "approach", "runs", "compiles", "obj reuses", "machine hours"
+    );
+    {
+        let ctx = fresh();
+        let _ = random_search(&ctx, args.k, args.seed);
+        let c = ctx.cost();
+        println!(
+            "{:<10} {:>7} {:>10} {:>11} {:>14.2}",
+            "Random", c.runs, c.object_compiles, c.object_reuses, c.machine_hours()
+        );
+    }
+    {
+        let ctx = fresh();
+        let data = collect(&ctx, args.k, args.seed);
+        let _ = funcytuner::tuning::cfr(&ctx, &data, args.x, args.k, args.seed ^ 1);
+        let c = ctx.cost();
+        println!(
+            "{:<10} {:>7} {:>10} {:>11} {:>14.2}",
+            "CFR", c.runs, c.object_compiles, c.object_reuses, c.machine_hours()
+        );
+    }
+    println!("\npaper §4.3: Random/G ≈ 1.5 days, CFR ≈ 3 days per benchmark on real testbeds");
+    Ok(())
+}
+
+fn cmd_optreport(args: &Args) -> Result<(), String> {
+    use funcytuner::compiler::report_module;
+    let arch = args.architecture()?;
+    let w = args.workload()?;
+    let loop_name = args.loop_name.as_ref().ok_or("optreport needs --loop NAME")?;
+    let run = Tuner::new(&w, &arch).budget(args.k).focus(args.x).seed(args.seed).run();
+    let ctx = &run.ctx;
+    let module = ctx
+        .ir
+        .module_by_name(loop_name)
+        .ok_or_else(|| format!("loop {loop_name} not among outlined hot loops"))?;
+    println!("=== at -O3 ===");
+    print!(
+        "{}",
+        report_module(&ctx.compiler.compile_module(module, &ctx.space().baseline()))
+    );
+    println!("\n=== with CFR's winning flags (pre-link) ===");
+    print!(
+        "{}",
+        report_module(&ctx.compiler.compile_module(module, &run.cfr.assignment[module.id]))
+    );
+    println!("\n=== link interference of the CFR executable ===");
+    let linked = link(
+        ctx.compiler.compile_mixed(&ctx.ir, &run.cfr.assignment),
+        &ctx.ir,
+        &ctx.arch,
+    );
+    print!("{}", linked.explain());
+    Ok(())
+}
+
+fn cmd_export(args: &Args) -> Result<(), String> {
+    let w = args.workload()?;
+    let arch = args.architecture()?;
+    let ir = w.instantiate(w.tuning_input(arch.name));
+    let json = serde_json::to_string_pretty(&ir).map_err(|e| e.to_string())?;
+    println!("{json}");
+    Ok(())
+}
+
+fn cmd_tune_file(args: &Args) -> Result<(), String> {
+    let path = args.bench.as_ref().ok_or("tune-file needs a JSON path")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let ir: ProgramIr = serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))?;
+    let arch = args.architecture()?;
+    let compiler = Compiler::icc(arch.target);
+    let steps = 5;
+    println!(
+        "tuning custom program `{}` ({} modules) on {} with K = {}...",
+        ir.name,
+        ir.len(),
+        arch.name,
+        args.k
+    );
+    let (outlined, report) = outline_with_defaults(&ir, &compiler, &arch, steps, args.seed);
+    println!(
+        "-O3 baseline {:.3} s; outlined J = {} hot loops",
+        report.end_to_end_s, outlined.j
+    );
+    let ctx = EvalContext::new(
+        outlined.ir,
+        Compiler::icc(arch.target),
+        arch.clone(),
+        steps,
+        args.seed,
+    );
+    let data = collect(&ctx, args.k, args.seed);
+    let baseline = ctx.baseline_time(10);
+    let r = funcytuner::tuning::cfr(&ctx, &data, args.x, args.k, args.seed ^ 1);
+    let g = funcytuner::tuning::greedy(&ctx, &data, baseline);
+    println!(
+        "CFR {:.3}x | G.realized {:.3}x | G.Independent {:.3}x over -O3",
+        r.speedup(),
+        g.realized.speedup(),
+        g.independent_speedup
+    );
+    println!("\nper-module winning flags:");
+    for (j, m) in ctx.ir.modules.iter().enumerate() {
+        println!("  {:<16} {}", m.name, r.assignment[j].render(ctx.space()));
+    }
+    Ok(())
+}
+
+fn cmd_flags() -> Result<(), String> {
+    let space = FlagSpace::icc();
+    println!(
+        "the ICC-like optimization space: {} flags, |COS| = {:.2e} points\n",
+        space.len(),
+        space.size()
+    );
+    println!("{:<24} {:>6}  semantics", "flag", "values");
+    for f in space.flags() {
+        println!("{:<24} {:>6}  {}", f.name, f.arity(), f.help);
+    }
+    println!("\nfixed prefix: {}", space.fixed_flags().join(" "));
+    Ok(())
+}
+
+fn cmd_importance(args: &Args) -> Result<(), String> {
+    let arch = args.architecture()?;
+    let w = args.workload()?;
+    let loop_name = args.loop_name.as_ref().ok_or("importance needs --loop NAME")?;
+    let input = w.tuning_input(arch.name);
+    let ir = w.instantiate(input);
+    let compiler = Compiler::icc(arch.target);
+    let (outlined, _) = outline_with_defaults(&ir, &compiler, &arch, input.steps, args.seed);
+    let ctx = EvalContext::new(
+        outlined.ir,
+        Compiler::icc(arch.target),
+        arch.clone(),
+        input.steps,
+        args.seed,
+    );
+    let module = ctx
+        .ir
+        .module_by_name(loop_name)
+        .ok_or_else(|| format!("loop {loop_name} not among outlined hot loops"))?
+        .id;
+    println!(
+        "collecting per-loop data for {} on {} (K = {})...",
+        w.meta.name, arch.name, args.k
+    );
+    let data = collect(&ctx, args.k, args.seed);
+    let rows = funcytuner::tuning::flag_importance(&data, module, ctx.space());
+    println!("\nflag importance for `{loop_name}` (variance explained):");
+    print!("{}", funcytuner::tuning::importance::render(&rows, 10));
+    Ok(())
+}
+
+/// Rebuilds the evaluation context a checkpoint was captured in.
+fn ctx_for_checkpoint(
+    cp: &funcytuner::tuning::Checkpoint,
+    seed: u64,
+) -> Result<EvalContext, String> {
+    let arch = match cp.arch.as_str() {
+        "Opteron" => Architecture::opteron(),
+        "Sandy Bridge" => Architecture::sandy_bridge(),
+        "Broadwell" => Architecture::broadwell(),
+        "Skylake-512" => Architecture::skylake_avx512(),
+        other => return Err(format!("unknown architecture {other} in checkpoint")),
+    };
+    let w = workload_by_name(&cp.program)
+        .ok_or_else(|| format!("unknown benchmark {} in checkpoint", cp.program))?;
+    let input = w.tuning_input(arch.name);
+    let ir = w.instantiate(input);
+    let compiler = Compiler::icc(arch.target);
+    let (outlined, _) = outline_with_defaults(&ir, &compiler, &arch, cp.steps, seed);
+    Ok(EvalContext::new(
+        outlined.ir,
+        Compiler::icc(arch.target),
+        arch,
+        cp.steps,
+        seed,
+    ))
+}
+
+fn cmd_collect(args: &Args) -> Result<(), String> {
+    let out = args.out.clone().unwrap_or_else(|| "collection.json".to_string());
+    let arch = args.architecture()?;
+    let w = args.workload()?;
+    let input = w.tuning_input(arch.name);
+    let ir = w.instantiate(input);
+    let compiler = Compiler::icc(arch.target);
+    let (outlined, _) = outline_with_defaults(&ir, &compiler, &arch, input.steps, args.seed);
+    let ctx = EvalContext::new(
+        outlined.ir,
+        Compiler::icc(arch.target),
+        arch.clone(),
+        input.steps,
+        args.seed,
+    );
+    println!(
+        "collecting per-loop data: {} on {} (K = {}, J = {})...",
+        w.meta.name,
+        arch.name,
+        args.k,
+        ctx.modules() - 1
+    );
+    let data = collect(&ctx, args.k, args.seed);
+    let cp = funcytuner::tuning::Checkpoint::capture(&ctx, data);
+    let json = cp.to_json().map_err(|e| e.to_string())?;
+    std::fs::write(&out, &json).map_err(|e| format!("write {out}: {e}"))?;
+    println!("checkpoint written to {out} ({} bytes)", json.len());
+    println!("re-run the search phase with: ftune search {out}");
+    Ok(())
+}
+
+fn cmd_search(args: &Args) -> Result<(), String> {
+    let path = args.bench.as_ref().ok_or("search needs a checkpoint path")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let cp = funcytuner::tuning::Checkpoint::from_json(&json).map_err(|e| e.to_string())?;
+    println!(
+        "checkpoint: {} on {} (K = {}, {} modules)",
+        cp.program,
+        cp.arch,
+        cp.data.k(),
+        cp.modules
+    );
+    let ctx = ctx_for_checkpoint(&cp, args.seed)?;
+    let k = cp.data.k();
+    let data = cp.restore(&ctx).map_err(|e| e.to_string())?;
+    let baseline = ctx.baseline_time(10);
+    let g = funcytuner::tuning::greedy(&ctx, &data, baseline);
+    let r = funcytuner::tuning::cfr(&ctx, &data, args.x, k, args.seed ^ 1);
+    println!(
+        "CFR {:.3}x | G.realized {:.3}x | G.Independent {:.3}x over -O3 ({:.2} s)",
+        r.speedup(),
+        g.realized.speedup(),
+        g.independent_speedup,
+        baseline
+    );
+    println!(
+        "collection reused: no new instrumented runs were needed (the paper's 3-day phase)"
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let a = Args::parse(&argv("tune CloverLeaf")).unwrap();
+        assert_eq!(a.command, "tune");
+        assert_eq!(a.bench.as_deref(), Some("CloverLeaf"));
+        assert_eq!(a.arch, "broadwell");
+        assert_eq!(a.k, 300);
+    }
+
+    #[test]
+    fn parse_options() {
+        let a =
+            Args::parse(&argv("critical swim --arch snb --k 100 --x 8 --seed 7 --loop calc1"))
+                .unwrap();
+        assert_eq!(a.k, 100);
+        assert_eq!(a.x, 8);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.loop_name.as_deref(), Some("calc1"));
+        assert_eq!(a.architecture().unwrap().name, "Sandy Bridge");
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(Args::parse(&argv("tune --k")).is_err());
+        assert!(Args::parse(&argv("tune --bogus 1")).is_err());
+        assert!(Args::parse(&[]).is_err());
+        let a = Args::parse(&argv("tune X --arch m1")).unwrap();
+        assert!(a.architecture().is_err());
+        assert!(a.workload().is_err());
+    }
+
+    #[test]
+    fn all_architecture_aliases_resolve() {
+        for (alias, name) in [
+            ("opteron", "Opteron"),
+            ("amd", "Opteron"),
+            ("snb", "Sandy Bridge"),
+            ("sandy-bridge", "Sandy Bridge"),
+            ("bdw", "Broadwell"),
+            ("BROADWELL", "Broadwell"),
+        ] {
+            let a = Args::parse(&argv(&format!("tune swim --arch {alias}"))).unwrap();
+            assert_eq!(a.architecture().unwrap().name, name, "{alias}");
+        }
+    }
+
+    #[test]
+    fn workload_resolution() {
+        let a = Args::parse(&argv("profile AMG")).unwrap();
+        assert_eq!(a.workload().unwrap().meta.name, "AMG");
+    }
+}

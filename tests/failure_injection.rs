@@ -1,0 +1,160 @@
+//! Failure-injection and degenerate-input tests: the system must fail
+//! loudly on misuse and behave sensibly at the edges of its domain.
+
+use funcytuner::caliper::{Caliper, CaliperError, VirtualClock};
+use funcytuner::prelude::*;
+use funcytuner::tuning::{cfr, collect};
+use std::sync::Arc;
+
+/// A minimal one-loop program.
+fn tiny_ir() -> ProgramIr {
+    ProgramIr::new(
+        "tiny",
+        vec![
+            Module::hot_loop(0, "only", LoopFeatures::synthetic(1), &[]),
+            funcytuner::compiler::Module::non_loop(1, 0.01, 1e4),
+        ],
+        vec![],
+    )
+}
+
+fn tiny_ctx() -> EvalContext {
+    let arch = Architecture::broadwell();
+    EvalContext::new(tiny_ir(), Compiler::icc(arch.target), arch, 3, 7)
+}
+
+#[test]
+fn single_loop_program_tunes() {
+    // J = 1 is below the paper's observed range but must still work.
+    let ctx = tiny_ctx();
+    let data = collect(&ctx, 40, 3);
+    let r = cfr(&ctx, &data, 8, 40, 5);
+    assert!(r.speedup() > 0.8 && r.speedup() < 2.0, "{}", r.speedup());
+}
+
+#[test]
+fn extreme_trip_counts_stay_finite() {
+    for trip in [1.0, 64.0, 1.0e12] {
+        let mut f = LoopFeatures::synthetic(2);
+        f.trip_count = trip;
+        let ir = ProgramIr::new(
+            "edge",
+            vec![
+                Module::hot_loop(0, "l", f, &[]),
+                funcytuner::compiler::Module::non_loop(1, 0.01, 1e4),
+            ],
+            vec![],
+        );
+        let arch = Architecture::broadwell();
+        let ctx = EvalContext::new(ir, Compiler::icc(arch.target), arch, 2, 7);
+        let t = ctx.eval_uniform(&ctx.space().baseline(), 1).total_s;
+        assert!(t.is_finite() && t > 0.0, "trip {trip}: t = {t}");
+    }
+}
+
+#[test]
+fn fully_divergent_dependent_loop_compiles_scalar() {
+    let mut f = LoopFeatures::synthetic(3);
+    f.divergence = 1.0;
+    f.carried_dependence = true;
+    let m = Module::hot_loop(0, "worst", f, &[]);
+    let compiler = Compiler::icc(Target::avx2_256());
+    for seed in 0..10 {
+        let cv = compiler
+            .space()
+            .sample(&mut funcytuner::flags::rng::rng_for(seed, "fi"));
+        let obj = compiler.compile_module(&m, &cv);
+        assert_eq!(obj.decisions.width, funcytuner::compiler::VecWidth::Scalar);
+        assert!(obj.decisions.backend_quality > 0.3);
+    }
+}
+
+#[test]
+fn caliper_misuse_is_reported_not_corrupting() {
+    let clock = Arc::new(VirtualClock::new());
+    let cali = Caliper::with_clock(clock.clone());
+    cali.begin("a");
+    cali.begin("b");
+    // Ending out of order fails...
+    assert!(matches!(cali.end("a"), Err(CaliperError::Mismatched { .. })));
+    // ...but correct unwinding afterwards still works.
+    clock.advance(1.0);
+    cali.end("b").unwrap();
+    cali.end("a").unwrap();
+    let snap = cali.snapshot();
+    assert_eq!(snap.count("a"), 1);
+    assert_eq!(snap.count("a/b"), 1);
+}
+
+#[test]
+fn caliper_guard_survives_panic_unwind() {
+    let cali = Caliper::real_time();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _g = cali.scoped("panicking");
+        panic!("boom");
+    }));
+    assert!(result.is_err());
+    // The guard's Drop ran during unwinding: the region is closed.
+    assert_eq!(cali.snapshot().count("panicking"), 1);
+}
+
+#[test]
+fn zero_sized_input_scaling_is_clamped() {
+    // A pathological input scale must not produce zero/negative trips.
+    let w = workload_by_name("swim").unwrap();
+    let input = InputConfig::new("degenerate", 1e-12, 1, "0");
+    let ir = w.instantiate(&input);
+    for m in &ir.modules {
+        if let Some(f) = m.features() {
+            assert!(f.trip_count > 0.0);
+        }
+    }
+    let arch = Architecture::broadwell();
+    let ctx = EvalContext::new(ir, Compiler::icc(arch.target), arch, 1, 3);
+    let t = ctx.eval_uniform(&ctx.space().baseline(), 1).total_s;
+    assert!(t.is_finite() && t >= 0.0);
+}
+
+#[test]
+fn outline_rejects_all_cold_programs() {
+    // A program where no loop reaches the threshold must panic loudly
+    // rather than return an empty tuning problem.
+    let mut f = LoopFeatures::synthetic(4);
+    f.trip_count = 64.0; // negligible work
+    let ir = ProgramIr::new(
+        "cold",
+        vec![
+            Module::hot_loop(0, "tiny", f, &[]),
+            funcytuner::compiler::Module::non_loop(1, 1.0, 1e4),
+        ],
+        vec![],
+    );
+    let arch = Architecture::broadwell();
+    let compiler = Compiler::icc(arch.target);
+    let result = std::panic::catch_unwind(|| {
+        outline_with_defaults(&ir, &compiler, &arch, 2, 3)
+    });
+    assert!(result.is_err(), "outlining a cold program must fail loudly");
+}
+
+#[test]
+fn cfr_with_x_larger_than_k_degenerates_to_fr_like_sampling() {
+    let ctx = tiny_ctx();
+    let data = collect(&ctx, 20, 3);
+    // top_x clamps at the row length; CFR must not panic.
+    let r = cfr(&ctx, &data, 10_000, 20, 5);
+    assert_eq!(r.evaluations, 20);
+}
+
+#[test]
+fn gcc_and_icc_cvs_are_not_interchangeable() {
+    let icc = FlagSpace::icc();
+    let gcc = FlagSpace::gcc();
+    let cv = gcc.baseline();
+    // A GCC CV has a different length; using it against the ICC space
+    // must panic rather than silently mis-deocde.
+    let result = std::panic::catch_unwind(|| {
+        let _ = cv.with(&icc, 0, 1);
+    });
+    assert!(result.is_err());
+}

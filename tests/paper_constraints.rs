@@ -1,0 +1,118 @@
+//! Protocol constraints the paper states explicitly (§3.1, §4.1) that
+//! the models must satisfy on every benchmark × architecture pair.
+
+use funcytuner::prelude::*;
+
+#[test]
+fn every_baseline_run_is_between_3_and_40_seconds() {
+    // §3.1: "input sizes and time-steps have been adjusted so that
+    // every single run is less than 40 seconds for the O3 baseline";
+    // §4.1: "execution times were between 3 and 36 seconds".
+    for arch in Architecture::all() {
+        let compiler = Compiler::icc(arch.target);
+        for w in suite() {
+            let input = w.tuning_input(arch.name);
+            let ir = w.instantiate(input);
+            let (outlined, report) =
+                outline_with_defaults(&ir, &compiler, &arch, input.steps, 3);
+            assert!(
+                report.end_to_end_s > 3.0 && report.end_to_end_s < 40.0,
+                "{} on {}: O3 baseline = {:.1} s",
+                w.meta.name,
+                arch.name,
+                report.end_to_end_s
+            );
+            let _ = outlined;
+        }
+    }
+}
+
+#[test]
+fn hot_loop_counts_match_paper_range_everywhere() {
+    // §2.1: J is program-specific and ranges from 5 to 33.
+    let mut j_min = usize::MAX;
+    let mut j_max = 0;
+    for arch in Architecture::all() {
+        let compiler = Compiler::icc(arch.target);
+        for w in suite() {
+            let input = w.tuning_input(arch.name);
+            let ir = w.instantiate(input);
+            let (outlined, _) = outline_with_defaults(&ir, &compiler, &arch, input.steps, 3);
+            j_min = j_min.min(outlined.j);
+            j_max = j_max.max(outlined.j);
+        }
+    }
+    assert!(j_min >= 4 && j_min <= 6, "smallest J = {j_min} (paper: 5)");
+    assert!(j_max >= 30 && j_max <= 35, "largest J = {j_max} (paper: 33)");
+}
+
+#[test]
+fn instrumentation_overhead_is_below_3_percent() {
+    // §3.3: "Caliper instrumentations generally introduce less than 3%
+    // overhead".
+    let arch = Architecture::broadwell();
+    let compiler = Compiler::icc(arch.target);
+    for w in suite() {
+        let input = w.tuning_input(arch.name);
+        let ir = w.instantiate(input);
+        let objects = compiler.compile_program(&ir, &compiler.space().baseline());
+        let linked = funcytuner::machine::link(objects, &ir, &arch);
+        let plain = funcytuner::machine::execute(
+            &linked,
+            &arch,
+            &funcytuner::machine::ExecOptions::exact(input.steps),
+        );
+        let mut opts = funcytuner::machine::ExecOptions::exact(input.steps);
+        opts.instrumented = true;
+        let inst = funcytuner::machine::execute(&linked, &arch, &opts);
+        let ovh = inst.total_s / plain.total_s - 1.0;
+        assert!(
+            ovh > 0.0 && ovh < 0.03,
+            "{}: instrumentation overhead = {:.2}%",
+            w.meta.name,
+            ovh * 100.0
+        );
+    }
+}
+
+#[test]
+fn measurement_noise_matches_reported_stddevs() {
+    // §4.1: standard deviations of 0.04 to 0.2 s on 3-36 s runs over 10
+    // experiments (two longer LULESH outliers aside).
+    use funcytuner::tuning::measure_repeated;
+    let arch = Architecture::broadwell();
+    let compiler = Compiler::icc(arch.target);
+    for bench in ["CloverLeaf", "AMG", "swim"] {
+        let w = workload_by_name(bench).unwrap();
+        let input = w.tuning_input(arch.name);
+        let ir = w.instantiate(input);
+        let (outlined, _) = outline_with_defaults(&ir, &compiler, &arch, input.steps, 3);
+        let ctx = EvalContext::new(
+            outlined.ir,
+            Compiler::icc(arch.target),
+            arch.clone(),
+            input.steps,
+            7,
+        );
+        let baseline = vec![ctx.space().baseline(); ctx.modules()];
+        let stats = measure_repeated(&ctx, &baseline, 10, 42);
+        assert!(
+            stats.stddev > 0.005 && stats.stddev < 0.5,
+            "{bench}: sd = {:.3} s on a {:.1} s run",
+            stats.stddev,
+            stats.mean
+        );
+    }
+}
+
+#[test]
+fn search_space_size_matches_paper_scale() {
+    // §2.1: |COS| ≈ 2.3e13 for 33 flags, and the per-loop space grows
+    // to |COS|^J.
+    let size = FlagSpace::icc().size();
+    assert!(size > 1e12 && size < 1e14, "|COS| = {size:e}");
+    // With J = 15 the per-loop space is astronomically larger: the
+    // exhaustive-search-is-hopeless premise.
+    let per_loop = size.powi(15);
+    assert!(per_loop.is_infinite() || per_loop > 1e150);
+}

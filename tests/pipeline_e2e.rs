@@ -1,0 +1,99 @@
+//! End-to-end pipeline tests spanning all crates.
+
+use funcytuner::prelude::*;
+
+fn quick_run(bench: &str, seed: u64) -> (Workload, TuningRun) {
+    let arch = Architecture::broadwell();
+    let w = workload_by_name(bench).expect("benchmark exists");
+    let run = Tuner::new(&w, &arch).budget(120).focus(12).seed(seed).cap_steps(5).run();
+    (w, run)
+}
+
+#[test]
+fn tuner_is_fully_deterministic() {
+    let (_w, a) = quick_run("swim", 7);
+    let (_w, b) = quick_run("swim", 7);
+    assert_eq!(a.baseline_time, b.baseline_time);
+    assert_eq!(a.cfr.best_time, b.cfr.best_time);
+    assert_eq!(a.cfr.assignment, b.cfr.assignment);
+    assert_eq!(a.random.best_time, b.random.best_time);
+    assert_eq!(a.greedy.independent_time, b.greedy.independent_time);
+}
+
+#[test]
+fn different_seeds_find_different_but_similar_optima() {
+    let (_w, a) = quick_run("swim", 1);
+    let (_w, b) = quick_run("swim", 2);
+    // Different random streams...
+    assert_ne!(a.cfr.assignment, b.cfr.assignment);
+    // ...but CFR is robust: speedups within a few percent of each other
+    // (the paper's noise-tolerance claim).
+    let rel = (a.cfr.speedup() - b.cfr.speedup()).abs() / a.cfr.speedup();
+    assert!(rel < 0.06, "CFR unstable across seeds: {rel}");
+}
+
+#[test]
+fn assignment_shapes_are_consistent() {
+    let (_w, run) = quick_run("bwaves", 3);
+    let modules = run.outlined.j + 1;
+    assert_eq!(run.cfr.assignment.len(), modules);
+    assert_eq!(run.fr.assignment.len(), modules);
+    assert_eq!(run.random.assignment.len(), modules);
+    assert_eq!(run.greedy.realized.assignment.len(), modules);
+    // Random is a uniform assignment: all CVs identical.
+    assert!(run.random.assignment.windows(2).all(|w| w[0] == w[1]));
+    // The original-id map covers every outlined module.
+    assert_eq!(run.outlined.original_id.len(), modules);
+}
+
+#[test]
+fn histories_are_monotone_and_end_at_best() {
+    let (_w, run) = quick_run("AMG", 5);
+    for result in [&run.random, &run.fr, &run.cfr] {
+        assert_eq!(result.history.len(), result.evaluations);
+        for w in result.history.windows(2) {
+            assert!(w[1] <= w[0], "{} history not monotone", result.algorithm);
+        }
+        assert_eq!(*result.history.last().unwrap(), result.best_time);
+    }
+}
+
+#[test]
+fn baseline_profile_covers_program() {
+    let (_w, run) = quick_run("CloverLeaf", 9);
+    let total: f64 = run.report.shares.iter().map(|(_, _, _, f)| f).sum();
+    assert!((total - 1.0).abs() < 1e-9, "profile fractions sum to {total}");
+    // Every Table 3 kernel survived outlining.
+    for k in ["dt", "cell3", "cell7", "mom9", "acc"] {
+        assert!(run.ctx.ir.module_by_name(k).is_some(), "{k} not outlined");
+    }
+    // Sub-1% loops were folded away.
+    assert!(run.ctx.ir.module_by_name("visit_dump").is_none());
+}
+
+#[test]
+fn critical_flag_elimination_integrates_with_cfr() {
+    let (_w, run) = quick_run("swim", 11);
+    let cf = funcytuner::tuning::critical_flags(&run.ctx, &run.cfr.assignment, 0, 0.004, 3);
+    assert!(cf.reduced_time <= run.cfr.best_time * 1.05);
+    assert!(cf.critical.len() <= run.cfr.assignment[0].active_flags());
+}
+
+#[test]
+fn pgo_matches_paper_failure_pattern_end_to_end() {
+    for (bench, should_fail) in [("LULESH", true), ("Optewe", true), ("swim", false)] {
+        let (_w, run) = quick_run(bench, 13);
+        let outcome = pgo_tune(&run.ctx, 5);
+        assert_eq!(outcome.failure.is_some(), should_fail, "{bench}");
+    }
+}
+
+#[test]
+fn flag_rendering_of_winner_is_a_valid_command_line() {
+    let (_w, run) = quick_run("swim", 15);
+    let cmd = run.cfr.assignment[0].render(run.ctx.space());
+    assert!(cmd.contains("-qopenmp"));
+    assert!(cmd.contains("-fp-model source"));
+    // No double spaces or trailing garbage.
+    assert!(!cmd.contains("  "), "{cmd}");
+}

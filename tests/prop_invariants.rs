@@ -1,0 +1,98 @@
+//! Cross-crate property-based tests.
+
+use funcytuner::prelude::*;
+use funcytuner::tuning::collect;
+use proptest::prelude::*;
+
+fn bdw_ctx(bench: &str, seed: u64) -> EvalContext {
+    let arch = Architecture::broadwell();
+    let compiler = Compiler::icc(arch.target);
+    let w = workload_by_name(bench).expect("bench exists");
+    let ir = w.instantiate(w.tuning_input(arch.name));
+    let (outlined, _) = outline_with_defaults(&ir, &compiler, &arch, 3, seed);
+    EvalContext::new(outlined.ir, Compiler::icc(arch.target), arch, 3, seed ^ 0x99)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The CFR pruned space grows monotonically with X: top-4 ⊂ top-8.
+    #[test]
+    fn pruning_is_monotone_in_x(seed in 0u64..1000) {
+        let ctx = bdw_ctx("swim", seed % 7);
+        let data = collect(&ctx, 30, seed);
+        for j in 0..ctx.modules() {
+            let small = data.top_x(j, 4);
+            let big = data.top_x(j, 8);
+            prop_assert_eq!(&big[..4], small.as_slice());
+        }
+    }
+
+    /// Independent sum never exceeds the best uniform end-to-end time.
+    #[test]
+    fn independent_bound(seed in 0u64..1000) {
+        let ctx = bdw_ctx("bwaves", seed % 5);
+        let data = collect(&ctx, 25, seed);
+        let best = data.end_to_end.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!(data.independent_sum() <= best + 1e-9);
+    }
+
+    /// Any valid assignment executes to a positive, finite time, and
+    /// uniform assignments incur zero link heterogeneity.
+    #[test]
+    fn any_assignment_is_executable(seed in 0u64..10_000) {
+        let ctx = bdw_ctx("swim", 3);
+        let mut rng = funcytuner::flags::rng::rng_for(seed, "prop-assign");
+        let assignment: Vec<Cv> =
+            (0..ctx.modules()).map(|_| ctx.space().sample(&mut rng)).collect();
+        let t = ctx.eval_assignment(&assignment, seed).total_s;
+        prop_assert!(t.is_finite() && t > 0.0);
+
+        let cv = ctx.space().sample(&mut rng);
+        let objects = ctx.compiler.compile_program(&ctx.ir, &cv);
+        let linked = link(objects, &ctx.ir, &ctx.arch);
+        prop_assert_eq!(linked.heterogeneity, 0.0);
+        prop_assert!(linked.overrides.is_empty());
+    }
+
+    /// Measurement noise is multiplicative and small: across seeds the
+    /// same executable varies by well under the tuning gains.
+    #[test]
+    fn noise_is_bounded(seed in 0u64..10_000) {
+        let ctx = bdw_ctx("swim", 3);
+        let cv = ctx.space().baseline();
+        let a = ctx.eval_uniform(&cv, seed).total_s;
+        let b = ctx.eval_uniform(&cv, seed ^ 0xFFFF).total_s;
+        let rel = (a - b).abs() / a;
+        prop_assert!(rel < 0.04, "noise {rel}");
+    }
+
+    /// Outlining preserves every hot loop's identity and folds the
+    /// rest: J + 1 modules, dense ids, non-loop last.
+    #[test]
+    fn outlining_shape(seed in 0u64..1000, bench_idx in 0usize..7) {
+        let arch = Architecture::broadwell();
+        let compiler = Compiler::icc(arch.target);
+        let w = &suite()[bench_idx];
+        let ir = w.instantiate(w.tuning_input(arch.name));
+        let (outlined, report) = outline_with_defaults(&ir, &compiler, &arch, 3, seed);
+        prop_assert_eq!(outlined.ir.len(), outlined.j + 1);
+        prop_assert!(outlined.ir.modules.last().unwrap().features().is_none());
+        prop_assert_eq!(outlined.j, report.hot.len());
+        for (i, m) in outlined.ir.modules.iter().enumerate() {
+            prop_assert_eq!(m.id, i);
+        }
+    }
+
+    /// Speedups are invariant to the (deterministic) run ordering:
+    /// evaluating the same CV twice in a context gives identical times.
+    #[test]
+    fn evaluation_is_pure(seed in 0u64..10_000) {
+        let ctx = bdw_ctx("AMG", 1);
+        let cv = ctx.space().sample(&mut funcytuner::flags::rng::rng_for(seed, "pure"));
+        prop_assert_eq!(
+            ctx.eval_uniform(&cv, seed).total_s,
+            ctx.eval_uniform(&cv, seed).total_s
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Serialization round-trips for everything the harness persists.
+
+use funcytuner::prelude::*;
+use funcytuner::report::{render, Artifact};
+
+#[test]
+fn experiment_artifacts_serialize_and_render() {
+    let mut cfg = ReproConfig::quick();
+    cfg.k = 40;
+    cfg.x = 6;
+    cfg.opentuner_budget = 30;
+    cfg.cobayn_scale = 0.03;
+    for id in ["table1", "table2"] {
+        let artifact = run_experiment(id, &cfg);
+        let json = serde_json::to_string(&artifact).expect("artifact serializes");
+        let back: Artifact = serde_json::from_str(&json).expect("artifact deserializes");
+        assert_eq!(artifact, back);
+        let text = render::render(&back);
+        assert!(text.contains(id), "render missing id:\n{text}");
+    }
+}
+
+#[test]
+fn tuning_results_serialize() {
+    let arch = Architecture::broadwell();
+    let w = workload_by_name("swim").unwrap();
+    let run = Tuner::new(&w, &arch).budget(40).focus(6).seed(3).cap_steps(3).run();
+    let json = serde_json::to_string(&run.cfr).unwrap();
+    let back: TuningResult = serde_json::from_str(&json).unwrap();
+    // JSON float text round-trips to within one ULP.
+    assert!((back.best_time - run.cfr.best_time).abs() < 1e-12);
+    assert_eq!(back.assignment, run.cfr.assignment);
+
+    // Collection data round-trips too (it is the expensive artifact a
+    // user would want to checkpoint).
+    let json = serde_json::to_string(&run.data).unwrap();
+    let back: funcytuner::tuning::CollectionData = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.k(), run.data.k());
+    for (a, b) in back.end_to_end.iter().zip(&run.data.end_to_end) {
+        assert!((a - b).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn hot_loop_report_serializes() {
+    let arch = Architecture::broadwell();
+    let compiler = Compiler::icc(arch.target);
+    let w = workload_by_name("bwaves").unwrap();
+    let ir = w.instantiate(w.tuning_input(arch.name));
+    let (_outlined, report) = outline_with_defaults(&ir, &compiler, &arch, 3, 5);
+    let json = serde_json::to_string(&report).unwrap();
+    // Architecture/report names are &'static str, so deserialization
+    // needs a leaked (static) buffer — exactly what a checkpoint loader
+    // would hold for the process lifetime.
+    let json: &'static str = Box::leak(json.into_boxed_str());
+    let back: HotLoopReport = serde_json::from_str(json).unwrap();
+    assert_eq!(back.hot, report.hot);
+    assert_eq!(back.end_to_end_s, report.end_to_end_s);
+}
+
+#[test]
+fn program_ir_and_architecture_serialize() {
+    let w = workload_by_name("LULESH").unwrap();
+    let json = serde_json::to_string(&w.ir).unwrap();
+    let back: ProgramIr = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, w.ir);
+
+    let arch = Architecture::sandy_bridge();
+    let json = serde_json::to_string(&arch).unwrap();
+    let json: &'static str = Box::leak(json.into_boxed_str());
+    let back: Architecture = serde_json::from_str(json).unwrap();
+    assert_eq!(back, arch);
+}

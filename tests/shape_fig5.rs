@@ -1,0 +1,114 @@
+//! Shape tests: the paper's qualitative results must emerge from the
+//! model mechanistically. These mirror Figure 5's claims at a reduced
+//! sample budget (which weakens all algorithms equally).
+
+use funcytuner::prelude::*;
+use funcytuner::tuning::stats::geomean;
+
+struct Row {
+    bench: &'static str,
+    random: f64,
+    fr: f64,
+    g_realized: f64,
+    cfr: f64,
+    g_independent: f64,
+}
+
+/// Runs all seven benchmarks once on Broadwell; heavy, so computed once
+/// and asserted from multiple angles.
+fn fig5_rows() -> Vec<Row> {
+    let arch = Architecture::broadwell();
+    suite()
+        .iter()
+        .map(|w| {
+            let run = Tuner::new(w, &arch).budget(250).focus(16).seed(42).cap_steps(5).run();
+            Row {
+                bench: w.meta.name,
+                random: run.random.speedup(),
+                fr: run.fr.speedup(),
+                g_realized: run.greedy.realized.speedup(),
+                cfr: run.cfr.speedup(),
+                g_independent: run.greedy.independent_speedup,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn figure5_shape_holds() {
+    let rows = fig5_rows();
+    let gm = |f: &dyn Fn(&Row) -> f64| geomean(&rows.iter().map(f).collect::<Vec<_>>());
+    let gm_random = gm(&|r| r.random);
+    let gm_fr = gm(&|r| r.fr);
+    let gm_g = gm(&|r| r.g_realized);
+    let gm_cfr = gm(&|r| r.cfr);
+    let gm_gi = gm(&|r| r.g_independent);
+    let dump = || {
+        rows.iter()
+            .map(|r| {
+                format!(
+                    "{}: R {:.3} FR {:.3} G {:.3} CFR {:.3} GI {:.3}",
+                    r.bench, r.random, r.fr, r.g_realized, r.cfr, r.g_independent
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    // (1) CFR provides the best GM of all practical algorithms and a
+    // solid improvement over -O3 (paper: 9.4% at K=1000; reduced
+    // budget lands lower but must stay clearly positive).
+    assert!(gm_cfr > 1.04, "CFR GM = {gm_cfr}\n{}", dump());
+    assert!(gm_cfr > gm_random + 0.01, "CFR {gm_cfr} vs Random {gm_random}\n{}", dump());
+    assert!(gm_cfr > gm_fr, "CFR {gm_cfr} vs FR {gm_fr}");
+    assert!(gm_cfr > gm_g, "CFR {gm_cfr} vs G {gm_g}");
+
+    // (2) Random is modestly positive (paper: 3.4-5%).
+    assert!(gm_random > 1.0 && gm_random < 1.09, "Random GM = {gm_random}\n{}", dump());
+
+    // (3) Greedy combination degrades performance for several
+    // benchmark combinations (paper observation 2).
+    let degraded = rows.iter().filter(|r| r.g_realized < 1.0).count();
+    assert!(degraded >= 2, "G.realized < 1.0 for only {degraded} benchmarks\n{}", dump());
+
+    // (4) The independence hypothesis is refuted: realized trails the
+    // hypothetical bound everywhere, often by a lot.
+    for r in &rows {
+        assert!(
+            r.g_independent > r.g_realized,
+            "{}: realized {} >= independent {}",
+            r.bench,
+            r.g_realized,
+            r.g_independent
+        );
+    }
+    assert!(gm_gi - gm_g > 0.05, "independence gap too small: {gm_gi} vs {gm_g}");
+
+    // (5) G.Independent is an upper bound on every practical result.
+    for r in &rows {
+        for v in [r.random, r.fr, r.g_realized, r.cfr] {
+            assert!(r.g_independent >= v * 0.995, "{}: bound violated", r.bench);
+        }
+    }
+
+    // (6) FR alone (no per-loop guidance) is inferior to CFR on most
+    // benchmarks and has high variance (paper observation 3).
+    let fr_below = rows.iter().filter(|r| r.fr < r.cfr).count();
+    assert!(fr_below >= 5, "FR below CFR on only {fr_below}/7\n{}", dump());
+}
+
+#[test]
+fn amg_has_the_largest_headroom() {
+    // The paper's best case is AMG (up to 22% over -O3; G.Independent
+    // 1.73 on Broadwell). Our AMG must be among the top headroom
+    // benchmarks.
+    let rows = fig5_rows();
+    let amg = rows.iter().find(|r| r.bench == "AMG").expect("AMG present");
+    let max_gi = rows.iter().map(|r| r.g_independent).fold(0.0f64, f64::max);
+    assert!(
+        amg.g_independent >= max_gi * 0.92,
+        "AMG headroom {} far from the suite max {max_gi}",
+        amg.g_independent
+    );
+    assert!(amg.cfr > 1.05, "AMG CFR = {}", amg.cfr);
+}

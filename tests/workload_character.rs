@@ -1,0 +1,95 @@
+//! The benchmark models must preserve each application's published
+//! performance character — that is what makes their tuning behaviour
+//! transfer.
+
+use funcytuner::machine::roofline::{self, Bound};
+use funcytuner::prelude::*;
+
+fn rows_for(bench: &str) -> Vec<funcytuner::machine::LoopRoofline> {
+    let arch = Architecture::broadwell();
+    let w = workload_by_name(bench).unwrap();
+    let ir = w.instantiate(w.tuning_input(arch.name));
+    roofline::analyze(&ir, &arch)
+}
+
+#[test]
+fn amg_and_swim_are_memory_bound_suites() {
+    for bench in ["AMG", "swim"] {
+        let rows = rows_for(bench);
+        let frac = roofline::memory_bound_fraction(&rows);
+        assert!(
+            frac > 0.7,
+            "{bench} should be dominated by memory-bound loops: {:.0}%",
+            frac * 100.0
+        );
+    }
+}
+
+#[test]
+fn lulesh_and_optewe_sit_on_the_compute_side() {
+    // LULESH's element kernels are genuinely compute-bound; Optewe's
+    // stencils sit at or above the ridge (compute/balanced), nowhere
+    // near swim's deep memory-bound regime.
+    let lulesh = rows_for("LULESH");
+    let compute = lulesh.iter().filter(|r| r.bound == Bound::Compute).count();
+    assert!(compute >= 3, "LULESH needs compute-dense kernels: {compute} of {}", lulesh.len());
+
+    // Optewe's dominant stencils (the bulk of its runtime) sit at or
+    // above the ridge; only its small IO/boundary loops stream memory.
+    let optewe = rows_for("Optewe");
+    for name in ["vel_update", "stress_xx", "stress_xy", "stress_zz"] {
+        let row = optewe.iter().find(|r| r.name == name).unwrap();
+        assert_ne!(row.bound, Bound::Memory, "{name} should not be bandwidth-bound");
+    }
+}
+
+#[test]
+fn cloverleaf_mixes_both_regimes() {
+    // The §4.4 case study needs both kinds: dt/mom9/acc are
+    // compute-side, cell3/cell7/reset_field are bandwidth-side.
+    let rows = rows_for("CloverLeaf");
+    let find = |name: &str| {
+        rows.iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("{name} missing"))
+            .bound
+    };
+    assert_ne!(find("dt"), Bound::Memory, "dt is limited by its divergent compute");
+    assert_eq!(find("acc"), Bound::Compute);
+    assert_eq!(find("cell3"), Bound::Memory);
+    assert_eq!(find("cell7"), Bound::Memory);
+    assert_eq!(find("reset_field"), Bound::Memory);
+}
+
+#[test]
+fn tuning_levers_match_the_roofline_side() {
+    // On a memory-bound suite the winning CVs should reach for memory
+    // levers (prefetch/streaming/layout) more than a compute-bound one
+    // reaches for them. Checked through the flag population of swim's
+    // per-loop top CVs.
+    let arch = Architecture::broadwell();
+    let w = workload_by_name("swim").unwrap();
+    let run = Tuner::new(&w, &arch).budget(200).focus(16).seed(42).cap_steps(5).run();
+    let space = run.ctx.space();
+    // Pool the top-16 CVs of every hot loop.
+    let mut pool = Vec::new();
+    for j in 0..run.outlined.j {
+        for k in run.data.top_x(j, 16) {
+            pool.push(&run.data.cvs[k]);
+        }
+    }
+    let pop = funcytuner::flags::Population::analyze(space, &pool);
+    // The prefetch histogram must deviate from uniform toward the
+    // higher levels (mean value index above the uniform expectation is
+    // enough — swim's loops all benefit).
+    let pf = space.index_of("qopt-prefetch").unwrap();
+    let hist = &pop.histograms[pf];
+    let total: u32 = hist.counts.iter().sum();
+    // Value order is [2, 0, 1, 3, 4]: indexes 3 and 4 are the deep
+    // prefetch levels.
+    let deep = f64::from(hist.counts[3] + hist.counts[4]) / f64::from(total);
+    assert!(
+        deep > 0.4,
+        "deep prefetch should be over-represented in swim's top CVs: {deep:.2} (uniform = 0.4)"
+    );
+}
