@@ -1,0 +1,136 @@
+//! Throughput of the batched candidate-evaluation engine
+//! (candidates/sec), before vs after.
+//!
+//! "legacy" reconstructs the pre-engine evaluation path: one cloned
+//! `Vec<Cv>` per candidate, objects through the object cache, and a
+//! fresh whole-program link for every single evaluation. "engine" is
+//! the shipped path: interned `CvId` assignments, memoized digests,
+//! and link memoization, so repeated and overlapping candidates only
+//! pay for their noise-seeded execution.
+//!
+//! Batches mirror CFR's re-sampling shape: K assignments drawn from a
+//! pruned pool of 12 CVs per module (`BENCH_X`), at K = 100 and 1000.
+
+use bench::{bench_ctx, BENCH_X};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ft_compiler::ObjectCache;
+use ft_core::EvalContext;
+use ft_flags::rng::{derive_seed_idx, rng_for};
+use ft_flags::{Cv, CvId, CvPool};
+use ft_machine::{execute, link, Architecture, ExecOptions};
+use rand::Rng;
+use rayon::prelude::*;
+
+/// The pre-engine `eval_assignment_batch`: object cache, but no
+/// interning and no link cache — every candidate clones its CV vector
+/// and links from scratch. Seeds match the engine path exactly.
+fn legacy_assignment_batch(
+    ctx: &EvalContext,
+    cache: &ObjectCache,
+    assignments: &[Vec<Cv>],
+) -> Vec<f64> {
+    assignments
+        .par_iter()
+        .enumerate()
+        .map(|(k, a)| {
+            let objects = cache.compile_assignment(&ctx.compiler, &ctx.ir.modules, a);
+            let linked = link(objects, &ctx.ir, &ctx.arch);
+            let opts = ExecOptions::new(
+                ctx.steps,
+                derive_seed_idx(ctx.noise_root ^ 0xA551, k as u64),
+            );
+            execute(&linked, &ctx.arch, &opts).total_s
+        })
+        .collect()
+}
+
+/// The pre-engine uniform batch: compile + link per candidate.
+fn legacy_uniform_batch(ctx: &EvalContext, cache: &ObjectCache, cvs: &[Cv]) -> Vec<f64> {
+    cvs.par_iter()
+        .enumerate()
+        .map(|(k, cv)| {
+            let objects: Vec<_> = ctx
+                .ir
+                .modules
+                .iter()
+                .map(|m| cache.compile(&ctx.compiler, m, cv))
+                .collect();
+            let linked = link(objects, &ctx.ir, &ctx.arch);
+            let opts = ExecOptions::new(ctx.steps, derive_seed_idx(ctx.noise_root, k as u64));
+            execute(&linked, &ctx.arch, &opts).total_s
+        })
+        .collect()
+}
+
+fn assignment_inputs(ctx: &EvalContext, k: usize) -> (CvPool, Vec<Vec<CvId>>, Vec<Vec<Cv>>) {
+    let pool = CvPool::new();
+    let cvs = ctx
+        .space()
+        .sample_many(BENCH_X, &mut rng_for(31, "engine-pool"));
+    let ids = pool.intern_all(&cvs);
+    let mut rng = rng_for(32, "engine-assign");
+    let id_assignments: Vec<Vec<CvId>> = (0..k)
+        .map(|_| {
+            (0..ctx.modules())
+                .map(|_| ids[rng.gen_range(0..ids.len())])
+                .collect()
+        })
+        .collect();
+    let cv_assignments: Vec<Vec<Cv>> = id_assignments.iter().map(|a| pool.materialize(a)).collect();
+    (pool, id_assignments, cv_assignments)
+}
+
+fn engine_benches(c: &mut Criterion) {
+    let arch = Architecture::broadwell();
+
+    for k in [100usize, 1000] {
+        let mut g = c.benchmark_group(format!("assignment-batch/K{k}"));
+        g.throughput(Throughput::Elements(k as u64));
+        g.sample_size(10);
+
+        let ctx = bench_ctx("CloverLeaf", &arch);
+        let (pool, id_assignments, cv_assignments) = assignment_inputs(&ctx, k);
+        // Sanity: both paths must produce identical times.
+        let engine_times = ctx.eval_assignment_batch_ids(&pool, &id_assignments);
+        let legacy_cache = ObjectCache::new();
+        let legacy_times = legacy_assignment_batch(&ctx, &legacy_cache, &cv_assignments);
+        assert_eq!(
+            engine_times, legacy_times,
+            "paths disagree — bench is invalid"
+        );
+
+        g.bench_function("engine", |b| {
+            b.iter(|| ctx.eval_assignment_batch_ids(&pool, &id_assignments))
+        });
+        g.bench_function("legacy", |b| {
+            b.iter(|| legacy_assignment_batch(&ctx, &legacy_cache, &cv_assignments))
+        });
+        g.finish();
+    }
+
+    for k in [100usize, 1000] {
+        let mut g = c.benchmark_group(format!("uniform-batch/K{k}"));
+        g.throughput(Throughput::Elements(k as u64));
+        g.sample_size(10);
+
+        let ctx = bench_ctx("CloverLeaf", &arch);
+        let cvs = ctx
+            .space()
+            .sample_many(k, &mut rng_for(33, "engine-uniform"));
+        let legacy_cache = ObjectCache::new();
+        assert_eq!(
+            ctx.eval_uniform_batch(&cvs),
+            legacy_uniform_batch(&ctx, &legacy_cache, &cvs),
+            "paths disagree — bench is invalid"
+        );
+
+        g.bench_function("engine", |b| b.iter(|| ctx.eval_uniform_batch(&cvs)));
+        g.bench_function("legacy", |b| {
+            b.iter(|| legacy_uniform_batch(&ctx, &legacy_cache, &cvs))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, engine_benches);
+criterion_main!(benches);

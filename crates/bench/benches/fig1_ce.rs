@@ -5,9 +5,9 @@
 use bench::{log_series, BENCH_STEPS};
 use criterion::{criterion_group, criterion_main, Criterion};
 use ft_baselines::combined_elimination;
+use ft_compiler::Compiler;
 use ft_core::EvalContext;
 use ft_machine::Architecture;
-use ft_compiler::Compiler;
 use ft_outline::outline_with_defaults;
 use ft_workloads::workload_by_name;
 

@@ -16,11 +16,23 @@ fn fig6(c: &mut Criterion) {
         let run = bench_run(bench_name, &arch);
         let ctx = &run.ctx;
         let points = vec![
-            ("static".to_string(), model.tune(ctx, FeatureMode::Static, BENCH_K, 5).speedup()),
-            ("dynamic".to_string(), model.tune(ctx, FeatureMode::Dynamic, BENCH_K, 6).speedup()),
-            ("hybrid".to_string(), model.tune(ctx, FeatureMode::Hybrid, BENCH_K, 7).speedup()),
+            (
+                "static".to_string(),
+                model.tune(ctx, FeatureMode::Static, BENCH_K, 5).speedup(),
+            ),
+            (
+                "dynamic".to_string(),
+                model.tune(ctx, FeatureMode::Dynamic, BENCH_K, 6).speedup(),
+            ),
+            (
+                "hybrid".to_string(),
+                model.tune(ctx, FeatureMode::Hybrid, BENCH_K, 7).speedup(),
+            ),
             ("PGO".to_string(), pgo_tune(ctx, 8).result.speedup()),
-            ("OpenTuner".to_string(), opentuner_search(ctx, BENCH_K, 9).speedup()),
+            (
+                "OpenTuner".to_string(),
+                opentuner_search(ctx, BENCH_K, 9).speedup(),
+            ),
             ("CFR".to_string(), run.cfr.speedup()),
         ];
         log_series("fig6", bench_name, &points);
@@ -38,7 +50,9 @@ fn fig6(c: &mut Criterion) {
     group.bench_function("opentuner_100_iters", |b| {
         b.iter(|| opentuner_search(&ctx, 100, std::hint::black_box(9)))
     });
-    group.bench_function("pgo_pipeline", |b| b.iter(|| pgo_tune(&ctx, std::hint::black_box(8))));
+    group.bench_function("pgo_pipeline", |b| {
+        b.iter(|| pgo_tune(&ctx, std::hint::black_box(8)))
+    });
     group.finish();
 }
 

@@ -26,7 +26,10 @@ fn fig8(c: &mut Criterion) {
     // ladder should be small.
     let min = points.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
     let max = points.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
-    println!("[fig8] CFR spread across time-step ladder: {:.1}%", (max / min - 1.0) * 100.0);
+    println!(
+        "[fig8] CFR spread across time-step ladder: {:.1}%",
+        (max / min - 1.0) * 100.0
+    );
 
     let long = tune.with_steps(40);
     let mut group = c.benchmark_group("fig8_timesteps");

@@ -36,7 +36,10 @@ fn fig9_table3(c: &mut Criterion) {
     );
     for k in KERNELS {
         let j = ctx.ir.module_by_name(k).expect("kernel outlined").id;
-        println!("[table3] CFR {k}: {}", linked.modules[j].decisions.summary());
+        println!(
+            "[table3] CFR {k}: {}",
+            linked.modules[j].decisions.summary()
+        );
     }
 
     let mut group = c.benchmark_group("fig9_table3");

@@ -21,13 +21,22 @@ fn toolchain(c: &mut Criterion) {
     let mut group = c.benchmark_group("toolchain_micro");
     group.throughput(Throughput::Elements(modules));
     group.bench_function("compile_program", |b| {
-        b.iter(|| ctx.compiler.compile_program(&ctx.ir, std::hint::black_box(&cv)))
+        b.iter(|| {
+            ctx.compiler
+                .compile_program(&ctx.ir, std::hint::black_box(&cv))
+        })
     });
     group.bench_function("link_program", |b| {
         b.iter(|| link(std::hint::black_box(objects.clone()), &ctx.ir, &arch))
     });
     group.bench_function("execute_run", |b| {
-        b.iter(|| execute(&linked, &arch, &ExecOptions::new(4, std::hint::black_box(9))))
+        b.iter(|| {
+            execute(
+                &linked,
+                &arch,
+                &ExecOptions::new(4, std::hint::black_box(9)),
+            )
+        })
     });
     group.bench_function("execute_profiled_run", |b| {
         let cali = Caliper::real_time();

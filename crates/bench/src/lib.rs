@@ -7,9 +7,9 @@
 //! parameters are reduced (K, steps) so the full suite completes in
 //! minutes; `repro --full` is the faithful protocol.
 
+use ft_compiler::Compiler;
 use ft_core::{EvalContext, Tuner, TuningRun};
 use ft_machine::Architecture;
-use ft_compiler::Compiler;
 use ft_outline::outline_with_defaults;
 use ft_workloads::{workload_by_name, Workload};
 
@@ -37,7 +37,13 @@ pub fn bench_ctx(bench: &str, arch: &Architecture) -> EvalContext {
     let ir = w.instantiate(w.tuning_input(arch.name));
     let compiler = Compiler::icc(arch.target);
     let (outlined, _) = outline_with_defaults(&ir, &compiler, arch, BENCH_STEPS, 11);
-    EvalContext::new(outlined.ir, Compiler::icc(arch.target), arch.clone(), BENCH_STEPS, 99)
+    EvalContext::new(
+        outlined.ir,
+        Compiler::icc(arch.target),
+        arch.clone(),
+        BENCH_STEPS,
+        99,
+    )
 }
 
 /// The workload handle for cross-input benches.

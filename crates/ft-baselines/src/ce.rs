@@ -109,7 +109,11 @@ mod tests {
         let c = ctx("swim");
         let r = combined_elimination(&c, 3);
         assert!(r.speedup() > 0.97, "CE should not tank: {}", r.speedup());
-        assert!(r.speedup() < 1.10, "CE should not match CFR: {}", r.speedup());
+        assert!(
+            r.speedup() < 1.10,
+            "CE should not match CFR: {}",
+            r.speedup()
+        );
     }
 
     #[test]

@@ -20,11 +20,11 @@
 //!   33 flag bits, ancestrally sample 1000 CVs, and keep the measured
 //!   best.
 
+use ft_compiler::{Compiler, LoopFeatures, MemStride, ProgramIr};
 use ft_core::result::{best_so_far, TuningResult};
 use ft_core::EvalContext;
 use ft_flags::rng::{derive_seed, derive_seed_idx, rng_for};
 use ft_flags::{Cv, FlagSpace};
-use ft_compiler::{Compiler, LoopFeatures, MemStride, ProgramIr};
 use ft_machine::Architecture;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -79,7 +79,11 @@ pub fn static_features(ir: &ProgramIr) -> Vec<f64> {
         mean(&|l| l.ops_per_iter).ln_1p(),
         mean(&|l| l.bytes_per_iter / l.ops_per_iter.max(1.0)),
         mean(&|l| l.divergence),
-        loops.iter().filter(|l| l.stride == MemStride::Indirect).count() as f64 / n,
+        loops
+            .iter()
+            .filter(|l| l.stride == MemStride::Indirect)
+            .count() as f64
+            / n,
         loops.iter().filter(|l| l.carried_dependence).count() as f64 / n,
         mean(&|l| l.ilp),
         mean(&|l| l.base_code_bytes).ln_1p(),
@@ -161,7 +165,12 @@ impl Cobayn {
         }
         let static_norm = normalization(programs.iter().map(|p| &p.static_features));
         let dynamic_norm = normalization(programs.iter().map(|p| &p.dynamic_features));
-        Cobayn { programs, bin_space, static_norm, dynamic_norm }
+        Cobayn {
+            programs,
+            bin_space,
+            static_norm,
+            dynamic_norm,
+        }
     }
 
     fn features_for(&self, ir: &ProgramIr, mode: FeatureMode) -> Vec<f64> {
@@ -274,9 +283,7 @@ impl ChowLiuTree {
         let n = observations.len().max(1) as f64;
         let bit = |cv: &Cv, i: usize| -> f64 { f64::from(cv.get(i)) };
         let p1: Vec<f64> = (0..n_bits)
-            .map(|i| {
-                (observations.iter().map(|o| bit(o, i)).sum::<f64>() + 1.0) / (n + 2.0)
-            })
+            .map(|i| (observations.iter().map(|o| bit(o, i)).sum::<f64>() + 1.0) / (n + 2.0))
             .collect();
         // Pairwise mutual information.
         let mut mi = vec![vec![0.0; n_bits]; n_bits];
@@ -337,7 +344,12 @@ impl ChowLiuTree {
                 count[1][1] / (count[1][0] + count[1][1]),
             ];
         }
-        ChowLiuTree { parent, order, p1, cpt }
+        ChowLiuTree {
+            parent,
+            order,
+            p1,
+            cpt,
+        }
     }
 
     /// Draws one binary CV by ancestral sampling.
@@ -345,7 +357,11 @@ impl ChowLiuTree {
         let mut values = vec![0u8; self.parent.len()];
         for &i in &self.order {
             let p = self.parent[i];
-            let prob = if p == usize::MAX { self.p1[i] } else { self.cpt[i][values[p] as usize] };
+            let prob = if p == usize::MAX {
+                self.p1[i]
+            } else {
+                self.cpt[i][values[p] as usize]
+            };
             values[i] = u8::from(rng.gen_bool(prob.clamp(0.001, 0.999)));
         }
         Cv::new(bin_space, values)
@@ -407,7 +423,10 @@ mod tests {
         let refs: Vec<&Cv> = obs.iter().collect();
         let tree = ChowLiuTree::fit(&refs, bin.len());
         // Bits 0 and 1 must be adjacent in the learned tree.
-        assert!(tree.parent[1] == 0 || tree.parent[0] == 1, "correlation missed");
+        assert!(
+            tree.parent[1] == 0 || tree.parent[0] == 1,
+            "correlation missed"
+        );
         // Sampling respects the correlation most of the time.
         let mut rng = rng_for(1, "cl");
         let mut agree = 0;
@@ -426,7 +445,11 @@ mod tests {
         let model = train_default(&arch, 0.08, 3);
         let c = ctx("swim");
         let r = model.tune(&c, FeatureMode::Static, 150, 5);
-        assert!(r.speedup() > 0.98, "static COBAYN collapsed: {}", r.speedup());
+        assert!(
+            r.speedup() > 0.98,
+            "static COBAYN collapsed: {}",
+            r.speedup()
+        );
         assert_eq!(r.evaluations, 150);
     }
 

@@ -55,7 +55,10 @@ struct HillClimb {
 
 impl HillClimb {
     fn new() -> Self {
-        HillClimb { radius: 4, fails: 0 }
+        HillClimb {
+            radius: 4,
+            fails: 0,
+        }
     }
 }
 
@@ -94,7 +97,11 @@ struct DiffEvolution {
 
 impl DiffEvolution {
     fn new(cap: usize) -> Self {
-        DiffEvolution { population: Vec::new(), target: 0, cap }
+        DiffEvolution {
+            population: Vec::new(),
+            target: 0,
+            cap,
+        }
     }
 }
 
@@ -143,7 +150,11 @@ struct NelderMead {
 
 impl NelderMead {
     fn new(dim: usize) -> Self {
-        NelderMead { simplex: Vec::new(), pending: None, dim }
+        NelderMead {
+            simplex: Vec::new(),
+            pending: None,
+            dim,
+        }
     }
 
     fn to_cv(&self, x: &[f64], space: &FlagSpace) -> Cv {
@@ -211,7 +222,9 @@ impl Technique for GreedyMutate {
     fn propose(&mut self, state: &SearchState, rng: &mut StdRng) -> Cv {
         let id = rng.gen_range(0..state.space.len());
         let arity = state.space.flag(id).arity() as u8;
-        state.best_cv.with(&state.space, id, rng.gen_range(0..arity))
+        state
+            .best_cv
+            .with(&state.space, id, rng.gen_range(0..arity))
     }
     fn feedback(&mut self, _cv: &Cv, _time: f64, _state: &SearchState) {}
 }
@@ -226,7 +239,11 @@ struct SimAnneal {
 
 impl SimAnneal {
     fn new() -> Self {
-        SimAnneal { current: None, temperature: 0.05, pending: None }
+        SimAnneal {
+            current: None,
+            temperature: 0.05,
+            pending: None,
+        }
     }
 }
 
@@ -249,7 +266,9 @@ impl Technique for SimAnneal {
         cv
     }
     fn feedback(&mut self, _cv: &Cv, time: f64, _state: &SearchState) {
-        let Some(cv) = self.pending.take() else { return };
+        let Some(cv) = self.pending.take() else {
+            return;
+        };
         let accept = match &self.current {
             None => true,
             Some((_, cur_t)) => {
@@ -314,13 +333,19 @@ pub fn opentuner_search(ctx: &EvalContext, budget: usize, seed: u64) -> TuningRe
         Box::new(SimAnneal::new()),
     ]
     .into_iter()
-    .map(|tech| BanditArm { tech, window: Vec::new(), uses: 0 })
+    .map(|tech| BanditArm {
+        tech,
+        window: Vec::new(),
+        uses: 0,
+    })
     .collect();
 
     let mut state = SearchState {
         space,
         best_cv: ctx.space().baseline(),
-        best_time: ctx.eval_uniform(&ctx.space().baseline(), derive_seed_idx(seed, 0)).total_s,
+        best_time: ctx
+            .eval_uniform(&ctx.space().baseline(), derive_seed_idx(seed, 0))
+            .total_s,
     };
     let mut timeline = vec![state.best_time];
     let exploration = 0.6;
@@ -337,7 +362,9 @@ pub fn opentuner_search(ctx: &EvalContext, budget: usize, seed: u64) -> TuningRe
                                 / f64::from(arm.uses.max(1)))
                             .sqrt()
                 };
-                score(&arms[a]).partial_cmp(&score(&arms[b])).expect("finite")
+                score(&arms[a])
+                    .partial_cmp(&score(&arms[b]))
+                    .expect("finite")
             })
             .expect("non-empty ensemble");
         let cv = arms[pick].tech.propose(&state, &mut rng);

@@ -2,10 +2,10 @@
 //! (§4.2.1): `-prof-gen` instrumented build → profiling run on the
 //! tuning input → `-O3 -prof-use` recompilation.
 
+use ft_compiler::{CompiledModule, PgoError, PgoProfile};
 use ft_core::result::TuningResult;
 use ft_core::EvalContext;
 use ft_flags::rng::derive_seed_idx;
-use ft_compiler::{CompiledModule, PgoError, PgoProfile};
 use ft_machine::{execute, link, ExecOptions};
 use serde::{Deserialize, Serialize};
 
@@ -53,7 +53,10 @@ pub fn pgo_tune(ctx: &EvalContext, seed: u64) -> PgoOutcome {
                 .ir
                 .modules
                 .iter()
-                .map(|m| ctx.compiler.compile_module_with_profile(m, &base_cv, &profile))
+                .map(|m| {
+                    ctx.compiler
+                        .compile_module_with_profile(m, &base_cv, &profile)
+                })
                 .collect();
             let linked = link(objects, &ctx.ir, &ctx.arch);
             let t = execute(

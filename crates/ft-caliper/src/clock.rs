@@ -21,7 +21,9 @@ pub struct RealClock {
 impl RealClock {
     /// Creates a clock whose epoch is "now".
     pub fn new() -> Self {
-        RealClock { start: Instant::now() }
+        RealClock {
+            start: Instant::now(),
+        }
     }
 }
 
@@ -49,7 +51,9 @@ pub struct VirtualClock {
 impl VirtualClock {
     /// Creates a clock at time zero.
     pub fn new() -> Self {
-        VirtualClock { nanos: AtomicU64::new(0) }
+        VirtualClock {
+            nanos: AtomicU64::new(0),
+        }
     }
 
     /// Advances the clock by `secs` seconds (must be non-negative).

@@ -163,8 +163,7 @@ impl Snapshot {
     /// on one side count as zero), sorted by descending absolute
     /// change. Useful for comparing two code variants' profiles.
     pub fn diff(&self, other: &Snapshot) -> Vec<(String, f64)> {
-        let mut paths: Vec<&String> =
-            self.records.keys().chain(other.records.keys()).collect();
+        let mut paths: Vec<&String> = self.records.keys().chain(other.records.keys()).collect();
         paths.sort_unstable();
         paths.dedup();
         let mut out: Vec<(String, f64)> = paths
@@ -207,14 +206,21 @@ impl Snapshot {
             "path", "count", "incl (s)", "excl (s)", "excl %"
         ));
         for (path, stat) in rows {
-            let pct = if total > 0.0 { 100.0 * stat.exclusive / total } else { 0.0 };
+            let pct = if total > 0.0 {
+                100.0 * stat.exclusive / total
+            } else {
+                0.0
+            };
             out.push_str(&format!(
                 "{:<40} {:>8} {:>12.6} {:>12.6} {:>6.2}%\n",
                 path, stat.count, stat.inclusive, stat.exclusive, pct
             ));
         }
         if self.overhead_s > 0.0 {
-            out.push_str(&format!("instrumentation overhead: {:.6} s\n", self.overhead_s));
+            out.push_str(&format!(
+                "instrumentation overhead: {:.6} s\n",
+                self.overhead_s
+            ));
         }
         for (k, v) in &self.metadata {
             out.push_str(&format!("{k}: {v}\n"));
@@ -231,15 +237,27 @@ mod tests {
         Snapshot::from_records([
             (
                 "main".to_string(),
-                RegionStat { count: 1, inclusive: 10.0, exclusive: 2.0 },
+                RegionStat {
+                    count: 1,
+                    inclusive: 10.0,
+                    exclusive: 2.0,
+                },
             ),
             (
                 "main/hot".to_string(),
-                RegionStat { count: 100, inclusive: 7.0, exclusive: 7.0 },
+                RegionStat {
+                    count: 100,
+                    inclusive: 7.0,
+                    exclusive: 7.0,
+                },
             ),
             (
                 "main/cold".to_string(),
-                RegionStat { count: 100, inclusive: 1.0, exclusive: 1.0 },
+                RegionStat {
+                    count: 100,
+                    inclusive: 1.0,
+                    exclusive: 1.0,
+                },
             ),
         ])
     }
@@ -269,7 +287,10 @@ mod tests {
         let text = s.render();
         let hot_pos = text.find("main/hot").unwrap();
         let cold_pos = text.find("main/cold").unwrap();
-        assert!(hot_pos < cold_pos, "rows must sort by exclusive time:\n{text}");
+        assert!(
+            hot_pos < cold_pos,
+            "rows must sort by exclusive time:\n{text}"
+        );
     }
 
     #[test]
@@ -307,7 +328,11 @@ mod tests {
         let mut faster = snap();
         faster.merge(&Snapshot::from_records([(
             "main/hot".to_string(),
-            RegionStat { count: 0, inclusive: -3.0, exclusive: -3.0 },
+            RegionStat {
+                count: 0,
+                inclusive: -3.0,
+                exclusive: -3.0,
+            },
         )]));
         let d = a.diff(&faster);
         assert_eq!(d[0].0, "main/hot");

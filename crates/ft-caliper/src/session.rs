@@ -25,7 +25,10 @@ impl fmt::Display for CaliperError {
                 write!(f, "end(\"{name}\") with no open region")
             }
             CaliperError::Mismatched { expected, got } => {
-                write!(f, "end(\"{got}\") but innermost open region is \"{expected}\"")
+                write!(
+                    f,
+                    "end(\"{got}\") but innermost open region is \"{expected}\""
+                )
             }
         }
     }
@@ -99,7 +102,9 @@ impl Caliper {
             events: AtomicU64::new(0),
             metadata: Mutex::new(std::collections::BTreeMap::new()),
         };
-        Caliper { inner: Arc::new(inner) }
+        Caliper {
+            inner: Arc::new(inner),
+        }
     }
 
     fn state(&self) -> Arc<Mutex<ThreadState>> {
@@ -140,7 +145,9 @@ impl Caliper {
         let mut st = state.lock();
         let frame = match st.stack.last() {
             None => {
-                return Err(CaliperError::EndWithoutBegin { name: name.to_string() });
+                return Err(CaliperError::EndWithoutBegin {
+                    name: name.to_string(),
+                });
             }
             Some(f) if f.name != name => {
                 return Err(CaliperError::Mismatched {
@@ -165,7 +172,10 @@ impl Caliper {
     /// RAII wrapper: the region ends when the guard drops.
     pub fn scoped(&self, name: &str) -> RegionGuard<'_> {
         self.begin(name);
-        RegionGuard { session: self, name: name.to_string() }
+        RegionGuard {
+            session: self,
+            name: name.to_string(),
+        }
     }
 
     /// Directly records `count` executions of `path` totalling
@@ -187,7 +197,10 @@ impl Caliper {
     /// Attaches a global metadata attribute (Caliper-style), carried
     /// into every subsequent snapshot.
     pub fn set_attribute(&self, key: &str, value: &str) {
-        self.inner.metadata.lock().insert(key.to_string(), value.to_string());
+        self.inner
+            .metadata
+            .lock()
+            .insert(key.to_string(), value.to_string());
     }
 
     /// Number of annotation events observed so far.
@@ -305,7 +318,10 @@ mod tests {
         cali.begin("a");
         assert_eq!(
             cali.end("b"),
-            Err(CaliperError::Mismatched { expected: "a".into(), got: "b".into() })
+            Err(CaliperError::Mismatched {
+                expected: "a".into(),
+                got: "b".into()
+            })
         );
         assert_eq!(
             Caliper::real_time().end("x"),
@@ -373,11 +389,17 @@ mod tests {
         clock.advance(1.0);
         drop(g);
         let snap = cali.snapshot();
-        assert_eq!(snap.metadata.get("input").map(String::as_str), Some("train"));
+        assert_eq!(
+            snap.metadata.get("input").map(String::as_str),
+            Some("train")
+        );
         assert!(snap.render().contains("arch: Broadwell"));
         // Overwrite wins.
         cali.set_attribute("input", "ref");
-        assert_eq!(cali.snapshot().metadata.get("input").map(String::as_str), Some("ref"));
+        assert_eq!(
+            cali.snapshot().metadata.get("input").map(String::as_str),
+            Some("ref")
+        );
     }
 
     #[test]

@@ -8,15 +8,29 @@
 //! accelerates the harness the same way object reuse accelerates the
 //! real prototype.
 //!
-//! Thread-safe: searches evaluate candidates from rayon worker threads.
+//! Thread-safe and lock-striped: searches evaluate candidates from
+//! rayon worker threads, and a single map behind one `RwLock` would
+//! serialize them. Keys are routed to one of [`SHARDS`] independent
+//! maps by key hash, and entries are shared as `Arc<CompiledModule>`
+//! so a hit is a pointer bump rather than a deep clone of the
+//! compiled decisions.
 
 use crate::compiler::Compiler;
 use crate::decisions::CompiledModule;
 use crate::ir::Module;
+use ft_flags::rng::mix;
 use ft_flags::Cv;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of independent lock stripes. A small power of two well above
+/// the worker-thread count keeps the collision probability (two busy
+/// keys sharing a lock) low without bloating the struct.
+pub const SHARDS: usize = 16;
+
+type Shard = RwLock<HashMap<(usize, u64), Arc<CompiledModule>>>;
 
 /// A concurrent compile cache keyed by `(module id, CV digest)`.
 ///
@@ -31,11 +45,20 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// assert_eq!(a, b);
 /// assert_eq!(cache.stats(), (1, 1)); // one hit, one miss
 /// ```
-#[derive(Default)]
 pub struct ObjectCache {
-    map: RwLock<HashMap<(usize, u64), CompiledModule>>,
+    shards: [Shard; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+impl Default for ObjectCache {
+    fn default() -> Self {
+        ObjectCache {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
 }
 
 impl ObjectCache {
@@ -44,19 +67,37 @@ impl ObjectCache {
         Self::default()
     }
 
+    fn shard(&self, key: (usize, u64)) -> &Shard {
+        let h = mix(key.1 ^ (key.0 as u64).rotate_left(32));
+        &self.shards[(h as usize) % SHARDS]
+    }
+
     /// Compiles `module` with `cv`, reusing a cached object when one
     /// exists. The result is bit-identical to
-    /// [`Compiler::compile_module`] (compilation is deterministic).
-    pub fn compile(&self, compiler: &Compiler, module: &Module, cv: &Cv) -> CompiledModule {
+    /// [`Compiler::compile_module`] (compilation is deterministic);
+    /// hits share the stored object instead of deep-cloning it.
+    pub fn compile_arc(
+        &self,
+        compiler: &Compiler,
+        module: &Module,
+        cv: &Cv,
+    ) -> Arc<CompiledModule> {
         let key = (module.id, cv.digest());
-        if let Some(obj) = self.map.read().get(&key) {
+        let shard = self.shard(key);
+        if let Some(obj) = shard.read().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return obj.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let obj = compiler.compile_module(module, cv);
-        self.map.write().insert(key, obj.clone());
+        let obj = Arc::new(compiler.compile_module(module, cv));
+        shard.write().entry(key).or_insert_with(|| obj.clone());
         obj
+    }
+
+    /// Owned-value variant of [`ObjectCache::compile_arc`] for callers
+    /// that mutate or store the object (e.g. the link step).
+    pub fn compile(&self, compiler: &Compiler, module: &Module, cv: &Cv) -> CompiledModule {
+        (*self.compile_arc(compiler, module, cv)).clone()
     }
 
     /// Compiles a full per-module assignment through the cache.
@@ -76,22 +117,27 @@ impl ObjectCache {
 
     /// `(hits, misses)` so far.
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Number of cached objects.
     pub fn len(&self) -> usize {
-        self.map.read().len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// True when nothing has been compiled yet.
     pub fn is_empty(&self) -> bool {
-        self.map.read().is_empty()
+        self.shards.iter().all(|s| s.read().is_empty())
     }
 
     /// Drops all cached objects (e.g. when switching programs).
     pub fn clear(&self) {
-        self.map.write().clear();
+        for s in &self.shards {
+            s.write().clear();
+        }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
@@ -125,6 +171,15 @@ mod tests {
     }
 
     #[test]
+    fn hits_share_one_allocation() {
+        let (c, m, cv) = setup();
+        let cache = ObjectCache::new();
+        let a = cache.compile_arc(&c, &m, &cv);
+        let b = cache.compile_arc(&c, &m, &cv);
+        assert!(Arc::ptr_eq(&a, &b), "hit must be a pointer bump");
+    }
+
+    #[test]
     fn different_cvs_are_different_entries() {
         let (c, m, cv) = setup();
         let cache = ObjectCache::new();
@@ -144,6 +199,30 @@ mod tests {
         let b = cache.compile(&c, &m2, &cv);
         assert_ne!(a, b);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn entries_spread_across_shards() {
+        let (c, _, _) = setup();
+        let cache = ObjectCache::new();
+        // Many (module, CV) pairs must not all land in one stripe.
+        let mut rng = rng_for(7, "spread");
+        for id in 0..64 {
+            let m = Module::hot_loop(
+                id,
+                &format!("k{id}"),
+                LoopFeatures::synthetic(id as u64),
+                &[],
+            );
+            let cv = c.space().sample(&mut rng);
+            cache.compile(&c, &m, &cv);
+        }
+        let occupied = cache.shards.iter().filter(|s| !s.read().is_empty()).count();
+        assert!(
+            occupied > SHARDS / 2,
+            "only {occupied}/{SHARDS} shards used"
+        );
+        assert_eq!(cache.len(), 64);
     }
 
     #[test]

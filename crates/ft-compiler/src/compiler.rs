@@ -44,23 +44,43 @@ pub struct Target {
 impl Target {
     /// AMD Opteron 6128 (no AVX; `default` processor flag in Table 2).
     pub fn sse_128() -> Self {
-        Target { name: "sse", max_vector_bits: 128, fma: false, proc_flag: "default" }
+        Target {
+            name: "sse",
+            max_vector_bits: 128,
+            fma: false,
+            proc_flag: "default",
+        }
     }
 
     /// Intel Sandy Bridge (`-xAVX`).
     pub fn avx_256() -> Self {
-        Target { name: "avx", max_vector_bits: 256, fma: false, proc_flag: "-xAVX" }
+        Target {
+            name: "avx",
+            max_vector_bits: 256,
+            fma: false,
+            proc_flag: "-xAVX",
+        }
     }
 
     /// Intel Broadwell (`-xCORE-AVX2`).
     pub fn avx2_256() -> Self {
-        Target { name: "avx2", max_vector_bits: 256, fma: true, proc_flag: "-xCORE-AVX2" }
+        Target {
+            name: "avx2",
+            max_vector_bits: 256,
+            fma: true,
+            proc_flag: "-xCORE-AVX2",
+        }
     }
 
     /// Intel Skylake-SP class (`-xCORE-AVX512`) — the future-platform
     /// extension beyond the paper's testbeds.
     pub fn avx512_512() -> Self {
-        Target { name: "avx512", max_vector_bits: 512, fma: true, proc_flag: "-xCORE-AVX512" }
+        Target {
+            name: "avx512",
+            max_vector_bits: 512,
+            fma: true,
+            proc_flag: "-xCORE-AVX512",
+        }
     }
 
     /// Clamps a width request to the widest the target supports.
@@ -229,7 +249,11 @@ struct IccIdx {
 
 impl IccIdx {
     fn resolve(space: &FlagSpace) -> Self {
-        let g = |n: &str| space.index_of(n).unwrap_or_else(|| panic!("missing flag {n}"));
+        let g = |n: &str| {
+            space
+                .index_of(n)
+                .unwrap_or_else(|| panic!("missing flag {n}"))
+        };
         IccIdx {
             o: g("O"),
             vec: g("vec"),
@@ -300,7 +324,11 @@ struct GccIdx {
 
 impl GccIdx {
     fn resolve(space: &FlagSpace) -> Self {
-        let g = |n: &str| space.index_of(n).unwrap_or_else(|| panic!("missing flag {n}"));
+        let g = |n: &str| {
+            space
+                .index_of(n)
+                .unwrap_or_else(|| panic!("missing flag {n}"))
+        };
         GccIdx {
             o: g("O"),
             tree_vec: g("ftree-vectorize"),
@@ -353,7 +381,12 @@ impl Compiler {
             "gcc" => SpaceIdx::Gcc(GccIdx::resolve(&space)),
             other => panic!("unknown flag space {other}"),
         };
-        Compiler { personality, target, space, idx }
+        Compiler {
+            personality,
+            target,
+            space,
+            idx,
+        }
     }
 
     /// ICC-like compiler for a target — the configuration used by all
@@ -453,7 +486,11 @@ impl Compiler {
             // SLP vectorization off makes the profitability model more
             // conservative.
             vec_threshold: if on(ix.slp_vec) { 100.0 } else { 120.0 },
-            unroll: if on(ix.unroll) { UnrollReq::Default } else { UnrollReq::Disable },
+            unroll: if on(ix.unroll) {
+                UnrollReq::Default
+            } else {
+                UnrollReq::Disable
+            },
             unroll_aggressive: on(ix.peel) && on(ix.split_loops),
             ipo: on(ix.ipa_cp) && on(ix.ipa_pta),
             inline_level: if on(ix.inline_fns) { 2 } else { 0 },
@@ -466,7 +503,11 @@ impl Compiler {
             fuse: true,
             swp: on(ix.sched_insns),
             isched_aggressive: on(ix.sched_pressure),
-            isel: if on(ix.reorder_blocks) { IselChoice::Default } else { IselChoice::Size },
+            isel: if on(ix.reorder_blocks) {
+                IselChoice::Default
+            } else {
+                IselChoice::Size
+            },
             regalloc_aggressive: on(ix.ira_hoist),
             align_loops: if on(ix.align_loops) { 16 } else { 0 },
             hoist: on(ix.ira_hoist),
@@ -475,7 +516,11 @@ impl Compiler {
             tail_dup: false,
             branch_comb: on(ix.tree_pre),
             jump_tables: on(ix.partial_pre),
-            if_convert: if on(ix.unswitch) { TriState::Default } else { TriState::Off },
+            if_convert: if on(ix.unswitch) {
+                TriState::Default
+            } else {
+                TriState::Off
+            },
             multiversion: TriState::Default,
             collapse: false,
             align_structs: false,
@@ -493,14 +538,21 @@ impl Compiler {
                 self.decide_non_loop(*code_bytes, &self.semantics(cv), module)
             }
         };
-        CompiledModule { module: module.clone(), decisions, cv_digest: cv.digest() }
+        CompiledModule {
+            module: module.clone(),
+            decisions,
+            cv_digest: cv.digest(),
+        }
     }
 
     /// Compiles every module of a program with the *same* CV — the
     /// traditional compilation model and the per-loop data-collection
     /// step of Figure 4.
     pub fn compile_program(&self, ir: &ProgramIr, cv: &Cv) -> Vec<CompiledModule> {
-        ir.modules.iter().map(|m| self.compile_module(m, cv)).collect()
+        ir.modules
+            .iter()
+            .map(|m| self.compile_module(m, cv))
+            .collect()
     }
 
     /// Compiles module `j` with `assignment[j]` — the per-loop
@@ -531,7 +583,11 @@ impl Compiler {
                 d
             }
         };
-        CompiledModule { module: module.clone(), decisions, cv_digest: cv.digest() ^ 0x9_60 }
+        CompiledModule {
+            module: module.clone(),
+            decisions,
+            cv_digest: cv.digest() ^ 0x9_60,
+        }
     }
 
     /// The unified loop code-generation decision procedure.
@@ -554,7 +610,11 @@ impl Compiler {
 
         // --- Vectorization --------------------------------------------
         let legal = !f.carried_dependence;
-        let gcc_consv = if self.personality == Personality::GccLike { 0.92 } else { 1.0 };
+        let gcc_consv = if self.personality == Personality::GccLike {
+            0.92
+        } else {
+            1.0
+        };
         let est = |w: VecWidth| {
             vector_efficiency(f, w)
                 * jitter(seed, &format!("misest-vec-{}-{salt}", w.bits()), 0.65, 1.45)
@@ -604,12 +664,17 @@ impl Compiler {
                 }
             }
         };
-        let unroll = if sem.unroll_aggressive { (unroll * 2).min(16) } else { unroll.min(16) };
+        let unroll = if sem.unroll_aggressive {
+            (unroll * 2).min(16)
+        } else {
+            unroll.min(16)
+        };
         let unroll_jam = sem.unroll_jam && f.divergence < 0.3;
 
         // --- Register pressure / spilling -------------------------------
         let lanes = width.lanes();
-        let pressure = f.ilp * (1.0 + 0.35 * (f64::from(unroll)).ln().max(0.0))
+        let pressure = f.ilp
+            * (1.0 + 0.35 * (f64::from(unroll)).ln().max(0.0))
             * (1.0 + 0.4 * (lanes - 1.0) / 3.0)
             * (if sem.swp { 1.15 } else { 1.0 })
             * jitter(seed, "pressure", 0.8, 1.25);
@@ -657,7 +722,9 @@ impl Compiler {
         apply(sem.matmul, false, "matmul", 0.045, -1.4, 1.4);
         // Software pipelining: pays off on regular high-ILP bodies,
         // hurts divergent ones.
-        let swp_gain = 0.13 * (f.ilp / 4.0).min(1.5) * (1.0 - 1.8 * f.divergence)
+        let swp_gain = 0.13
+            * (f.ilp / 4.0).min(1.5)
+            * (1.0 - 1.8 * f.divergence)
             * jitter(seed, "swp", 0.5, 1.5);
         if sem.swp {
             q *= 1.0 + swp_gain.max(-0.12);
@@ -732,7 +799,11 @@ impl Compiler {
             * (if sem.opt_level == 2 { 0.9 } else { 1.0 })
             * (if sem.tail_dup { 1.1 } else { 1.0 })
             * (if sem.distribute { 1.15 } else { 1.0 })
-            * (if sem.if_convert == TriState::Aggressive { 1.08 } else { 1.0 });
+            * (if sem.if_convert == TriState::Aggressive {
+                1.08
+            } else {
+                1.0
+            });
 
         CodegenDecisions {
             opt_level: sem.opt_level,
@@ -877,7 +948,11 @@ mod tests {
         f.ilp = 6.0;
         let m = Module::hot_loop(0, "fat", f, &[]);
         let cm = c.compile_module(&m, &cv);
-        assert!(cm.decisions.register_spill > 0.05, "{}", cm.decisions.register_spill);
+        assert!(
+            cm.decisions.register_spill > 0.05,
+            "{}",
+            cm.decisions.register_spill
+        );
     }
 
     #[test]
@@ -906,8 +981,14 @@ mod tests {
         let c = icc();
         let sp = c.space();
         let cv = sp.baseline().with(sp, sp.index_of("isched").unwrap(), 1);
-        let a = c.compile_module(&loop_module(1), &cv).decisions.backend_quality;
-        let b = c.compile_module(&loop_module(77), &cv).decisions.backend_quality;
+        let a = c
+            .compile_module(&loop_module(1), &cv)
+            .decisions
+            .backend_quality;
+        let b = c
+            .compile_module(&loop_module(77), &cv)
+            .decisions
+            .backend_quality;
         assert_ne!(a, b);
     }
 
@@ -939,7 +1020,11 @@ mod tests {
     #[test]
     fn compile_program_is_deterministic() {
         let c = icc();
-        let p = ProgramIr::new("p", vec![loop_module(1), Module::non_loop(1, 0.2, 1e4)], vec![]);
+        let p = ProgramIr::new(
+            "p",
+            vec![loop_module(1), Module::non_loop(1, 0.2, 1e4)],
+            vec![],
+        );
         let cv = c.space().sample(&mut rng_for(5, "det"));
         let a = c.compile_program(&p, &cv);
         let b = c.compile_program(&p, &cv);
@@ -949,7 +1034,11 @@ mod tests {
     #[test]
     fn compile_mixed_requires_full_assignment() {
         let c = icc();
-        let p = ProgramIr::new("p", vec![loop_module(1), Module::non_loop(1, 0.2, 1e4)], vec![]);
+        let p = ProgramIr::new(
+            "p",
+            vec![loop_module(1), Module::non_loop(1, 0.2, 1e4)],
+            vec![],
+        );
         let cvs = vec![c.space().baseline(), c.space().baseline()];
         assert_eq!(c.compile_mixed(&p, &cvs).len(), 2);
     }
@@ -958,7 +1047,11 @@ mod tests {
     #[should_panic(expected = "one CV per module")]
     fn compile_mixed_rejects_short_assignment() {
         let c = icc();
-        let p = ProgramIr::new("p", vec![loop_module(1), Module::non_loop(1, 0.2, 1e4)], vec![]);
+        let p = ProgramIr::new(
+            "p",
+            vec![loop_module(1), Module::non_loop(1, 0.2, 1e4)],
+            vec![],
+        );
         let _ = c.compile_mixed(&p, &[c.space().baseline()]);
     }
 
@@ -967,12 +1060,14 @@ mod tests {
         let c = Compiler::gcc(Target::avx2_256());
         let cm = c.compile_module(&loop_module(1), &c.space().baseline());
         assert!(cm.decisions.backend_quality > 0.5);
-        let off = c.space().baseline().with(
-            c.space(),
-            c.space().index_of("ftree-vectorize").unwrap(),
-            1,
+        let off =
+            c.space()
+                .baseline()
+                .with(c.space(), c.space().index_of("ftree-vectorize").unwrap(), 1);
+        assert_eq!(
+            c.compile_module(&loop_module(1), &off).decisions.width,
+            VecWidth::Scalar
         );
-        assert_eq!(c.compile_module(&loop_module(1), &off).decisions.width, VecWidth::Scalar);
     }
 
     #[test]
@@ -986,9 +1081,7 @@ mod tests {
             // same ICC space (constructed manually for the test).
             let gcc = Compiler::new(Personality::GccLike, Target::avx2_256(), FlagSpace::icc());
             let b = gcc.compile_module(&m, &gcc.space().baseline());
-            if a.decisions.width != b.decisions.width
-                || a.decisions.unroll != b.decisions.unroll
-            {
+            if a.decisions.width != b.decisions.width || a.decisions.unroll != b.decisions.unroll {
                 diff = true;
                 break;
             }

@@ -94,7 +94,12 @@ pub fn vector_efficiency(f: &LoopFeatures, width: VecWidth) -> f64 {
     let div_pen = (1.0 - f.divergence * (0.55 + 0.30 * wide)).max(0.10);
     let red_pen = if f.reduction { 0.85 } else { 1.0 };
     // Idiosyncratic true response of this loop to this width.
-    let idio = jitter(f.response_seed, &format!("true-vec-{}", width.bits()), 0.72, 1.25);
+    let idio = jitter(
+        f.response_seed,
+        &format!("true-vec-{}", width.bits()),
+        0.72,
+        1.25,
+    );
     (lanes * friend * div_pen * red_pen * idio).max(0.30)
 }
 
@@ -241,7 +246,10 @@ mod tests {
         f.divergence = 0.9;
         let e256 = vector_efficiency(&f, VecWidth::W256);
         let clean = vector_efficiency(&LoopFeatures::synthetic(1), VecWidth::W256);
-        assert!(e256 < clean * 0.5, "divergence must hurt 256-bit: {e256} vs {clean}");
+        assert!(
+            e256 < clean * 0.5,
+            "divergence must hurt 256-bit: {e256} vs {clean}"
+        );
     }
 
     #[test]

@@ -162,7 +162,10 @@ impl Module {
         Module {
             id,
             name: "non-loop".to_string(),
-            kind: ModuleKind::NonLoop { seconds_per_step, code_bytes },
+            kind: ModuleKind::NonLoop {
+                seconds_per_step,
+                code_bytes,
+            },
             shared_structs: Vec::new(),
         }
     }
@@ -217,7 +220,10 @@ impl ProgramIr {
             assert_eq!(m.id, i, "module ids must be dense and ordered");
         }
         for e in &call_edges {
-            assert!(e.from < modules.len() && e.to < modules.len(), "edge out of range");
+            assert!(
+                e.from < modules.len() && e.to < modules.len(),
+                "edge out of range"
+            );
         }
         ProgramIr {
             name: name.to_string(),
@@ -281,7 +287,11 @@ mod tests {
         ProgramIr::new(
             "tiny",
             vec![m0, m1, m2],
-            vec![CallEdge { from: 0, to: 1, calls_per_step: 100.0 }],
+            vec![CallEdge {
+                from: 0,
+                to: 1,
+                calls_per_step: 100.0,
+            }],
         )
     }
 
@@ -321,13 +331,19 @@ mod tests {
         let _ = ProgramIr::new(
             "bad",
             vec![m0],
-            vec![CallEdge { from: 0, to: 3, calls_per_step: 1.0 }],
+            vec![CallEdge {
+                from: 0,
+                to: 3,
+                calls_per_step: 1.0,
+            }],
         );
     }
 
     #[test]
     fn stride_friendliness_ordering() {
-        assert!(MemStride::Unit.vector_friendliness() > MemStride::Strided(4).vector_friendliness());
+        assert!(
+            MemStride::Unit.vector_friendliness() > MemStride::Strided(4).vector_friendliness()
+        );
         assert!(
             MemStride::Strided(4).vector_friendliness() > MemStride::Indirect.vector_friendliness()
         );

@@ -85,14 +85,24 @@ pub fn report_module(obj: &CompiledModule) -> String {
     if d.ipo {
         out.push_str("  remark: compiled for inter-procedural optimization (-ipo)\n");
     }
-    out.push_str(&format!("  estimated code size: {} bytes\n", d.code_bytes.round() as u64));
-    out.push_str(&format!("End optimization report for: {}\n", obj.module.name));
+    out.push_str(&format!(
+        "  estimated code size: {} bytes\n",
+        d.code_bytes.round() as u64
+    ));
+    out.push_str(&format!(
+        "End optimization report for: {}\n",
+        obj.module.name
+    ));
     out
 }
 
 /// Renders the report for a whole compilation (all modules).
 pub fn report_program(objects: &[CompiledModule]) -> String {
-    objects.iter().map(report_module).collect::<Vec<_>>().join("\n")
+    objects
+        .iter()
+        .map(report_module)
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 #[cfg(test)]

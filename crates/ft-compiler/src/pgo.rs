@@ -51,7 +51,9 @@ impl PgoProfile {
     /// the profile. Fails for PGO-hostile programs.
     pub fn collect(ir: &ProgramIr) -> Result<PgoProfile, PgoError> {
         if ir.pgo_hostile {
-            return Err(PgoError::InstrumentationRunFailed { program: ir.name.clone() });
+            return Err(PgoError::InstrumentationRunFailed {
+                program: ir.name.clone(),
+            });
         }
         let trip_counts = ir
             .modules
@@ -106,7 +108,9 @@ mod tests {
         let err = PgoProfile::collect(&prog(true)).unwrap_err();
         assert_eq!(
             err,
-            PgoError::InstrumentationRunFailed { program: "p".into() }
+            PgoError::InstrumentationRunFailed {
+                program: "p".into()
+            }
         );
         assert!(err.to_string().contains("failed"));
     }

@@ -8,16 +8,16 @@ use proptest::prelude::*;
 /// Strategy: plausible loop features.
 fn arb_features() -> impl Strategy<Value = LoopFeatures> {
     (
-        1.0e3f64..1.0e9,          // trip
-        1.0f64..50.0,             // invocations
-        5.0f64..500.0,            // ops
-        8.0f64..400.0,            // bytes
-        0.0f64..1.0,              // divergence
-        1.0f64..5.0,              // ilp
-        prop::bool::ANY,          // carried dep
-        prop::bool::ANY,          // reduction
-        0u8..3,                   // stride selector
-        any::<u64>(),             // response seed
+        1.0e3f64..1.0e9, // trip
+        1.0f64..50.0,    // invocations
+        5.0f64..500.0,   // ops
+        8.0f64..400.0,   // bytes
+        0.0f64..1.0,     // divergence
+        1.0f64..5.0,     // ilp
+        prop::bool::ANY, // carried dep
+        prop::bool::ANY, // reduction
+        0u8..3,          // stride selector
+        any::<u64>(),    // response seed
     )
         .prop_map(
             |(trip, inv, ops, bytes, div, ilp, dep, red, stride_sel, seed)| {

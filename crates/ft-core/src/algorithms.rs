@@ -4,14 +4,16 @@ use crate::collection::CollectionData;
 use crate::ctx::EvalContext;
 use crate::result::{best_so_far, TuningResult};
 use ft_flags::rng::{derive_seed_idx, rng_for};
-use ft_flags::Cv;
+use ft_flags::{Cv, CvId, CvPool};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// §2.2.1 — per-program random search (`Random`): `k` uniform CVs
 /// applied to the whole (un-outlined) program; keep the fastest.
 pub fn random_search(ctx: &EvalContext, k: usize, seed: u64) -> TuningResult {
-    let cvs = ctx.space().sample_many(k, &mut rng_for(seed, "random-search"));
+    let cvs = ctx
+        .space()
+        .sample_many(k, &mut rng_for(seed, "random-search"));
     let times = ctx.eval_uniform_batch(&cvs);
     finish_uniform("Random", ctx, cvs, times)
 }
@@ -20,17 +22,22 @@ pub fn random_search(ctx: &EvalContext, k: usize, seed: u64) -> TuningResult {
 /// one CV per module, with replacement, from `k` pre-sampled CVs; the
 /// selection-and-measurement step repeats `k` times.
 pub fn fr_search(ctx: &EvalContext, k: usize, seed: u64) -> TuningResult {
-    let pool = ctx.space().sample_many(k, &mut rng_for(seed, "fr-pool"));
+    let sampled = ctx.space().sample_many(k, &mut rng_for(seed, "fr-pool"));
+    let pool = CvPool::new();
+    // One id per sampled CV (duplicates intern to the same id), so the
+    // selection below draws from exactly the same indices — and the
+    // same RNG stream — as the pre-interning implementation.
+    let ids = pool.intern_all(&sampled);
     let mut rng = rng_for(seed, "fr-assign");
-    let assignments: Vec<Vec<Cv>> = (0..k)
+    let assignments: Vec<Vec<CvId>> = (0..k)
         .map(|_| {
             (0..ctx.modules())
-                .map(|_| pool[rng.gen_range(0..pool.len())].clone())
+                .map(|_| ids[rng.gen_range(0..ids.len())])
                 .collect()
         })
         .collect();
-    let times = ctx.eval_assignment_batch(&assignments);
-    finish_mixed("FR", ctx, assignments, times)
+    let times = ctx.eval_assignment_batch_ids(&pool, &assignments);
+    finish_mixed("FR", ctx, &pool, assignments, times)
 }
 
 /// Both outcomes of §2.2.3's greedy combination (`G`).
@@ -87,26 +94,25 @@ pub fn cfr(
     assert!(x >= 1, "CFR needs a non-empty pruned space");
     // Line 10-11: prune the pre-sampled CVs per module.
     let pruned: Vec<Vec<usize>> = (0..ctx.modules()).map(|j| data.top_x(j, x)).collect();
+    // Intern the collection pool once; candidate assignments are then
+    // plain index vectors instead of K×J cloned CVs.
+    let pool = CvPool::new();
+    let cv_ids = pool.intern_all(&data.cvs);
     // Lines 12-21: re-sample per-module CVs within the pruned spaces.
     let mut rng = rng_for(seed, "cfr-resample");
-    let assignments: Vec<Vec<Cv>> = (0..k)
+    let assignments: Vec<Vec<CvId>> = (0..k)
         .map(|_| {
             pruned
                 .iter()
-                .map(|cands| data.cvs[cands[rng.gen_range(0..cands.len())]].clone())
+                .map(|cands| cv_ids[cands[rng.gen_range(0..cands.len())]])
                 .collect()
         })
         .collect();
-    let times = ctx.eval_assignment_batch(&assignments);
-    finish_mixed("CFR", ctx, assignments, times)
+    let times = ctx.eval_assignment_batch_ids(&pool, &assignments);
+    finish_mixed("CFR", ctx, &pool, assignments, times)
 }
 
-fn finish_uniform(
-    name: &str,
-    ctx: &EvalContext,
-    cvs: Vec<Cv>,
-    times: Vec<f64>,
-) -> TuningResult {
+fn finish_uniform(name: &str, ctx: &EvalContext, cvs: Vec<Cv>, times: Vec<f64>) -> TuningResult {
     let (best_index, best_time) = argmin(&times);
     let baseline_time = ctx.baseline_time(10);
     TuningResult {
@@ -123,7 +129,8 @@ fn finish_uniform(
 fn finish_mixed(
     name: &str,
     ctx: &EvalContext,
-    assignments: Vec<Vec<Cv>>,
+    pool: &CvPool,
+    assignments: Vec<Vec<CvId>>,
     times: Vec<f64>,
 ) -> TuningResult {
     let (best_index, best_time) = argmin(&times);
@@ -132,7 +139,9 @@ fn finish_mixed(
         algorithm: name.into(),
         best_time,
         baseline_time,
-        assignment: assignments[best_index].clone(),
+        // Only the winner is materialized back to owned CVs; the K-1
+        // losing assignments never leave the index representation.
+        assignment: pool.materialize(&assignments[best_index]),
         best_index,
         history: best_so_far(&times),
         evaluations: times.len(),
@@ -144,6 +153,11 @@ fn argmin(times: &[f64]) -> (usize, f64) {
     let mut bi = 0;
     let mut bt = times[0];
     for (i, t) in times.iter().enumerate() {
+        assert!(
+            t.is_finite(),
+            "non-finite candidate time {t} at index {i}: \
+             a NaN would silently win or lose every comparison"
+        );
         if *t < bt {
             bi = i;
             bt = *t;
@@ -250,8 +264,9 @@ mod tests {
         let (ctx, data, _) = setup("swim");
         let c = cfr(&ctx, &data, 1, 10, 9);
         // With x = 1 every candidate is the greedy assignment.
-        let greedy_cvs: Vec<Cv> =
-            (0..ctx.modules()).map(|j| data.cvs[data.argmin(j)].clone()).collect();
+        let greedy_cvs: Vec<Cv> = (0..ctx.modules())
+            .map(|j| data.cvs[data.argmin(j)].clone())
+            .collect();
         assert_eq!(c.assignment, greedy_cvs);
     }
 
@@ -272,9 +287,39 @@ mod tests {
     }
 
     #[test]
+    fn argmin_finds_the_minimum() {
+        assert_eq!(argmin(&[3.0, 1.5, 2.0]), (1, 1.5));
+        assert_eq!(argmin(&[1.0]), (0, 1.0));
+        // Ties keep the first index (stable under reordering of equals).
+        assert_eq!(argmin(&[2.0, 2.0, 2.0]), (0, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite candidate time")]
+    fn argmin_rejects_nan() {
+        // A NaN compares false against everything, so pre-hardening it
+        // could silently displace (index 0) or survive as the winner.
+        let _ = argmin(&[1.0, f64::NAN, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite candidate time")]
+    fn argmin_rejects_infinite_times() {
+        let _ = argmin(&[f64::INFINITY, 2.0]);
+    }
+
+    #[test]
     #[ignore = "calibration printout, run manually with --nocapture"]
     fn print_algorithm_calibration() {
-        for bench in ["LULESH", "CloverLeaf", "AMG", "Optewe", "bwaves", "fma3d", "swim"] {
+        for bench in [
+            "LULESH",
+            "CloverLeaf",
+            "AMG",
+            "Optewe",
+            "bwaves",
+            "fma3d",
+            "swim",
+        ] {
             let ctx = ctx_for(bench, Some(5));
             let k = 400;
             let data = collect(&ctx, k, 13);

@@ -11,7 +11,7 @@ use crate::ctx::EvalContext;
 use ft_caliper::Caliper;
 use ft_flags::rng::{derive_seed_idx, rng_for};
 use ft_flags::Cv;
-use ft_machine::{execute_profiled, link, ExecOptions};
+use ft_machine::{execute_profiled, ExecOptions};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -51,25 +51,44 @@ impl CollectionData {
     }
 
     /// Indices of the top-`x` fastest CVs for module `j`, best first.
+    ///
+    /// Selects the `x` smallest in O(K) and sorts only that prefix,
+    /// instead of sorting all K entries. Ties order by index — the same
+    /// total order the stable full sort produced, so rankings are
+    /// unchanged.
     pub fn top_x(&self, j: usize, x: usize) -> Vec<usize> {
         let row = &self.per_module[j];
+        let x = x.clamp(1, row.len());
         let mut idx: Vec<usize> = (0..row.len()).collect();
-        idx.sort_by(|a, b| row[*a].partial_cmp(&row[*b]).expect("finite times"));
-        idx.truncate(x.max(1));
+        let cmp = |a: &usize, b: &usize| {
+            row[*a]
+                .partial_cmp(&row[*b])
+                .expect("finite times")
+                .then(a.cmp(b))
+        };
+        if x < idx.len() {
+            idx.select_nth_unstable_by(x, cmp);
+            idx.truncate(x);
+        }
+        idx.sort_unstable_by(cmp);
         idx
     }
 
     /// Sum over modules of the per-module minimum — the hypothetical
     /// `G.Independent` time of §3.4.
     pub fn independent_sum(&self) -> f64 {
-        (0..self.modules()).map(|j| self.per_module[j][self.argmin(j)]).sum()
+        (0..self.modules())
+            .map(|j| self.per_module[j][self.argmin(j)])
+            .sum()
     }
 }
 
 /// Runs the Figure 4 collection: samples `k` CVs and measures per-loop
 /// times for each, in parallel.
 pub fn collect(ctx: &EvalContext, k: usize, seed: u64) -> CollectionData {
-    let cvs = ctx.space().sample_many(k, &mut rng_for(seed, "collection-cvs"));
+    let cvs = ctx
+        .space()
+        .sample_many(k, &mut rng_for(seed, "collection-cvs"));
     collect_with_cvs(ctx, cvs, seed)
 }
 
@@ -83,8 +102,9 @@ pub fn collect_with_cvs(ctx: &EvalContext, cvs: Vec<Cv>, seed: u64) -> Collectio
         .enumerate()
         .map(|(kk, cv)| {
             let caliper = Caliper::real_time();
-            let objects = ctx.compile_uniform(cv);
-            let linked = link(objects, &ctx.ir, &ctx.arch);
+            // Through both caches: a CV that Random already evaluated
+            // (or a duplicate within the sample) reuses its link.
+            let linked = ctx.linked_uniform(cv);
             let opts = ExecOptions::instrumented(
                 ctx.steps,
                 derive_seed_idx(seed ^ 0x0C01_1EC7, kk as u64),
@@ -113,7 +133,11 @@ pub fn collect_with_cvs(ctx: &EvalContext, cvs: Vec<Cv>, seed: u64) -> Collectio
         }
         end_to_end.push(total);
     }
-    CollectionData { cvs, per_module, end_to_end }
+    CollectionData {
+        cvs,
+        per_module,
+        end_to_end,
+    }
 }
 
 #[cfg(test)]
@@ -157,7 +181,9 @@ mod tests {
         let (_ctx, data) = small_collection();
         for j in 0..data.modules() {
             let k = data.argmin(j);
-            assert!(data.per_module[j].iter().all(|t| *t >= data.per_module[j][k]));
+            assert!(data.per_module[j]
+                .iter()
+                .all(|t| *t >= data.per_module[j][k]));
         }
     }
 
@@ -177,9 +203,53 @@ mod tests {
     }
 
     #[test]
+    fn top_x_matches_full_stable_sort_ranking() {
+        // Reference: the pre-selection implementation (stable full
+        // sort, prefix). Ties are exercised explicitly — module 0 has
+        // duplicate times — because only ties can expose an unstable
+        // selection reordering the ranking.
+        let data = CollectionData {
+            cvs: Vec::new(),
+            per_module: vec![
+                vec![3.0, 1.0, 2.0, 1.0, 3.0, 1.0, 2.0, 0.5],
+                vec![0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2],
+            ],
+            end_to_end: Vec::new(),
+        };
+        for j in 0..data.modules() {
+            let row = &data.per_module[j];
+            let reference = |x: usize| -> Vec<usize> {
+                let mut idx: Vec<usize> = (0..row.len()).collect();
+                idx.sort_by(|a, b| row[*a].partial_cmp(&row[*b]).unwrap());
+                idx.truncate(x.max(1));
+                idx
+            };
+            for x in [1, 2, 3, 5, 7, 8, 20] {
+                assert_eq!(data.top_x(j, x), reference(x), "j={j} x={x}");
+            }
+        }
+        // And on real collection data across every module.
+        let (_ctx, data) = small_collection();
+        for j in 0..data.modules() {
+            let row = &data.per_module[j];
+            let mut idx: Vec<usize> = (0..row.len()).collect();
+            idx.sort_by(|a, b| row[*a].partial_cmp(&row[*b]).unwrap());
+            for x in [1, 4, 8, 16, 40] {
+                let mut expect = idx.clone();
+                expect.truncate(x);
+                assert_eq!(data.top_x(j, x), expect, "j={j} x={x}");
+            }
+        }
+    }
+
+    #[test]
     fn independent_sum_lower_than_any_end_to_end() {
         let (_ctx, data) = small_collection();
-        let best_e2e = data.end_to_end.iter().cloned().fold(f64::INFINITY, f64::min);
+        let best_e2e = data
+            .end_to_end
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         assert!(data.independent_sum() <= best_e2e + 1e-12);
     }
 

@@ -18,7 +18,12 @@ pub struct TuningCost {
     pub object_compiles: u64,
     /// Modules reused from the object cache (hits).
     pub object_reuses: u64,
-    /// Executable runs (each = link + execute + measure).
+    /// Whole-program links actually performed (link-cache misses).
+    pub links: u64,
+    /// Duplicate assignments that reused a cached `LinkedProgram`
+    /// (link-cache hits) — the `xild` analogue of object reuse.
+    pub link_reuses: u64,
+    /// Executable runs (each = linked program + execute + measure).
     pub runs: u64,
     /// Simulated machine time of all runs, seconds.
     pub machine_seconds: f64,
@@ -27,7 +32,14 @@ pub struct TuningCost {
 impl TuningCost {
     /// A zeroed ledger.
     pub fn zero() -> Self {
-        TuningCost { object_compiles: 0, object_reuses: 0, runs: 0, machine_seconds: 0.0 }
+        TuningCost {
+            object_compiles: 0,
+            object_reuses: 0,
+            links: 0,
+            link_reuses: 0,
+            runs: 0,
+            machine_seconds: 0.0,
+        }
     }
 
     /// Difference vs an earlier snapshot of the same ledger (cost of
@@ -36,6 +48,8 @@ impl TuningCost {
         TuningCost {
             object_compiles: self.object_compiles - earlier.object_compiles,
             object_reuses: self.object_reuses - earlier.object_reuses,
+            links: self.links - earlier.links,
+            link_reuses: self.link_reuses - earlier.link_reuses,
             runs: self.runs - earlier.runs,
             machine_seconds: self.machine_seconds - earlier.machine_seconds,
         }
@@ -55,6 +69,16 @@ impl TuningCost {
             self.object_reuses as f64 / total as f64
         }
     }
+
+    /// Fraction of link steps avoided by link memoization.
+    pub fn link_reuse_rate(&self) -> f64 {
+        let total = self.links + self.link_reuses;
+        if total == 0 {
+            0.0
+        } else {
+            self.link_reuses as f64 / total as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -66,11 +90,29 @@ mod tests {
 
     #[test]
     fn ledger_arithmetic() {
-        let a = TuningCost { object_compiles: 10, object_reuses: 30, runs: 5, machine_seconds: 100.0 };
-        let b = TuningCost { object_compiles: 4, object_reuses: 10, runs: 2, machine_seconds: 40.0 };
+        let a = TuningCost {
+            object_compiles: 10,
+            object_reuses: 30,
+            links: 8,
+            link_reuses: 2,
+            runs: 5,
+            machine_seconds: 100.0,
+        };
+        let b = TuningCost {
+            object_compiles: 4,
+            object_reuses: 10,
+            links: 3,
+            link_reuses: 1,
+            runs: 2,
+            machine_seconds: 40.0,
+        };
         let d = a.since(&b);
         assert_eq!(d.object_compiles, 6);
+        assert_eq!(d.links, 5);
+        assert_eq!(d.link_reuses, 1);
         assert_eq!(d.runs, 3);
+        assert!((a.link_reuse_rate() - 0.2).abs() < 1e-12);
+        assert_eq!(TuningCost::zero().link_reuse_rate(), 0.0);
         assert!((d.machine_seconds - 60.0).abs() < 1e-12);
         assert!((a.reuse_rate() - 0.75).abs() < 1e-12);
         assert_eq!(TuningCost::zero().reuse_rate(), 0.0);
@@ -86,12 +128,20 @@ mod tests {
         assert!(after_random.runs >= 30, "runs = {}", after_random.runs);
         assert!(after_random.machine_seconds > 0.0);
 
-        let snapshot = ctx.cost();
         let data = collect(&ctx, 30, 5);
+        let snapshot = ctx.cost();
         let _ = cfr(&ctx, &data, 8, 30, 6);
         let cfr_cost = ctx.cost().since(&snapshot);
-        // CFR's re-sampling reuses the 30 pre-compiled objects heavily.
-        assert!(cfr_cost.object_reuses > cfr_cost.object_compiles, "{cfr_cost:?}");
+        // CFR's re-sampling draws only from the CVs `collect` already
+        // compiled, so its own cost is pure reuse: every object lookup
+        // hits, and nothing new is compiled.
+        assert!(
+            cfr_cost.object_reuses > cfr_cost.object_compiles,
+            "{cfr_cost:?}"
+        );
+        assert_eq!(cfr_cost.object_compiles, 0, "{cfr_cost:?}");
+        // Distinct assignments each link once; the ledger records them.
+        assert!(cfr_cost.links > 0, "{cfr_cost:?}");
     }
 
     #[test]

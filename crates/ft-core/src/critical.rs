@@ -51,7 +51,9 @@ pub fn critical_flags(
         let mut total = 0.0;
         for _ in 0..3 {
             *eval_count += 1;
-            total += ctx.eval_assignment(a, derive_seed_idx(seed, *eval_count)).total_s;
+            total += ctx
+                .eval_assignment(a, derive_seed_idx(seed, *eval_count))
+                .total_s;
         }
         total / 3.0
     };
@@ -80,8 +82,9 @@ pub fn critical_flags(
         }
     }
 
-    let critical: Vec<usize> =
-        (0..space.len()).filter(|id| current[module].get(*id) != 0).collect();
+    let critical: Vec<usize> = (0..space.len())
+        .filter(|id| current[module].get(*id) != 0)
+        .collect();
     let rendered = critical
         .iter()
         .filter_map(|id| space.flag(*id).render(current[module].get(*id) as usize))

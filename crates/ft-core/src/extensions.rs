@@ -49,7 +49,10 @@ pub fn cfr_adaptive(
             .map(|cands| data.cvs[cands[rng.gen_range(0..cands.len())]].clone())
             .collect();
         let t = ctx
-            .eval_assignment(&assignment, derive_seed_idx(ctx.noise_root ^ 0xADA, kk as u64))
+            .eval_assignment(
+                &assignment,
+                derive_seed_idx(ctx.noise_root ^ 0xADA, kk as u64),
+            )
             .total_s;
         times.push(t);
         if t < best_time {
@@ -142,7 +145,11 @@ pub fn cfr_iterative(
                     // Unused CVs keep a neutral (median-ish) score so
                     // they are dropped before ones with evidence of
                     // being good, but after proven-bad ones.
-                    let score = if n == 0 { f64::MAX / 2.0 } else { sum / f64::from(n) };
+                    let score = if n == 0 {
+                        f64::MAX / 2.0
+                    } else {
+                        sum / f64::from(n)
+                    };
                     (cv_idx, score)
                 })
                 .collect();

@@ -39,11 +39,7 @@ impl FlagImportance {
 
 /// Computes per-flag importance for module `j` from collection data,
 /// sorted by descending η².
-pub fn flag_importance(
-    data: &CollectionData,
-    j: usize,
-    space: &FlagSpace,
-) -> Vec<FlagImportance> {
+pub fn flag_importance(data: &CollectionData, j: usize, space: &FlagSpace) -> Vec<FlagImportance> {
     let times = &data.per_module[j];
     let n = times.len();
     assert!(n >= 2, "need at least two observations");
@@ -63,14 +59,24 @@ pub fn flag_importance(
         let mean_by_value: Vec<f64> = sums
             .iter()
             .zip(&counts)
-            .map(|(s, c)| if *c == 0 { grand_mean } else { s / f64::from(*c) })
+            .map(|(s, c)| {
+                if *c == 0 {
+                    grand_mean
+                } else {
+                    s / f64::from(*c)
+                }
+            })
             .collect();
         let between_ss: f64 = mean_by_value
             .iter()
             .zip(&counts)
             .map(|(m, c)| f64::from(*c) * (m - grand_mean).powi(2))
             .sum();
-        let eta_squared = if total_ss <= 0.0 { 0.0 } else { (between_ss / total_ss).min(1.0) };
+        let eta_squared = if total_ss <= 0.0 {
+            0.0
+        } else {
+            (between_ss / total_ss).min(1.0)
+        };
         out.push(FlagImportance {
             flag: id,
             name: space.flag(id).name.to_string(),
@@ -78,14 +84,21 @@ pub fn flag_importance(
             mean_by_value,
         });
     }
-    out.sort_by(|a, b| b.eta_squared.partial_cmp(&a.eta_squared).expect("finite eta"));
+    out.sort_by(|a, b| {
+        b.eta_squared
+            .partial_cmp(&a.eta_squared)
+            .expect("finite eta")
+    });
     out
 }
 
 /// Renders the top-`n` most important flags for a module.
 pub fn render(rows: &[FlagImportance], n: usize) -> String {
     let mut out = String::new();
-    out.push_str(&format!("{:<24} {:>8} {:>12}\n", "flag", "eta^2", "best value"));
+    out.push_str(&format!(
+        "{:<24} {:>8} {:>12}\n",
+        "flag", "eta^2", "best value"
+    ));
     for r in rows.iter().take(n) {
         out.push_str(&format!(
             "{:<24} {:>8.3} {:>12}\n",
@@ -113,7 +126,12 @@ mod tests {
             assert!(w[0].eta_squared >= w[1].eta_squared);
         }
         for r in &rows {
-            assert!((0.0..=1.0).contains(&r.eta_squared), "{}: {}", r.name, r.eta_squared);
+            assert!(
+                (0.0..=1.0).contains(&r.eta_squared),
+                "{}: {}",
+                r.name,
+                r.eta_squared
+            );
             assert!(r.mean_by_value.iter().all(|m| m.is_finite() && *m > 0.0));
         }
     }

@@ -50,10 +50,10 @@ pub use collection::{collect, CollectionData};
 pub use convergence::Convergence;
 pub use cost::TuningCost;
 pub use critical::critical_flags;
+pub use ctx::{CacheStats, EvalContext};
 pub use extensions::{cfr_adaptive, cfr_iterative};
 pub use importance::{flag_importance, FlagImportance};
-pub use ctx::EvalContext;
 pub use pipeline::{Tuner, TuningRun};
-pub use stability::{measure_repeated, speedup_with_stats, MeasurementStats};
 pub use result::TuningResult;
+pub use stability::{measure_repeated, speedup_with_stats, MeasurementStats};
 pub use variance::{variance_study, SearchVariance};

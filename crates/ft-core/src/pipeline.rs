@@ -5,10 +5,10 @@ use crate::algorithms::{cfr, fr_search, greedy, random_search, GreedyOutcome};
 use crate::collection::{collect, CollectionData};
 use crate::ctx::EvalContext;
 use crate::result::TuningResult;
+use ft_compiler::{Compiler, ProgramIr};
 use ft_flags::rng::{derive_seed, derive_seed_idx};
 use ft_flags::Cv;
 use ft_machine::Architecture;
-use ft_compiler::{Compiler, ProgramIr};
 use ft_outline::{outline_with_defaults, outline_with_hot_set, HotLoopReport, OutlinedProgram};
 
 /// Builder for a full FuncyTuner run.
@@ -36,7 +36,14 @@ impl<'a> Tuner<'a> {
     /// Starts a tuner for a workload on an architecture, using the
     /// Table 2 tuning input.
     pub fn new(workload: &'a ft_workloads::Workload, arch: &'a Architecture) -> Self {
-        Tuner { workload, arch, budget: 1000, focus: 32, seed: 42, steps_cap: None }
+        Tuner {
+            workload,
+            arch,
+            budget: 1000,
+            focus: 32,
+            seed: 42,
+            steps_cap: None,
+        }
     }
 
     /// Caps the per-run time-step count (quick-reproduction mode; the
@@ -93,7 +100,13 @@ impl<'a> Tuner<'a> {
         let random = random_search(&ctx, self.budget, derive_seed(self.seed, "random"));
         let fr = fr_search(&ctx, self.budget, derive_seed(self.seed, "fr"));
         let g = greedy(&ctx, &data, baseline_time);
-        let cfr_result = cfr(&ctx, &data, self.focus, self.budget, derive_seed(self.seed, "cfr"));
+        let cfr_result = cfr(
+            &ctx,
+            &data,
+            self.focus,
+            self.budget,
+            derive_seed(self.seed, "cfr"),
+        );
         TuningRun {
             workload: self.workload.meta.name,
             arch: self.arch.name,
@@ -157,8 +170,7 @@ impl TuningRun {
         assert_eq!(workload.meta.name, self.workload, "different workload");
         let raw_ir: ProgramIr = workload.instantiate(input);
         let compiler = Compiler::icc(self.ctx.arch.target);
-        let hot_originals: Vec<usize> =
-            self.outlined.original_id[..self.outlined.j].to_vec();
+        let hot_originals: Vec<usize> = self.outlined.original_id[..self.outlined.j].to_vec();
         let outlined = outline_with_hot_set(
             &raw_ir,
             &hot_originals,

@@ -66,7 +66,8 @@ pub fn measure_repeated(
 ) -> MeasurementStats {
     let samples: Vec<f64> = (0..repeats.max(1))
         .map(|r| {
-            ctx.eval_assignment(assignment, derive_seed_idx(seed, u64::from(r))).total_s
+            ctx.eval_assignment(assignment, derive_seed_idx(seed, u64::from(r)))
+                .total_s
         })
         .collect();
     MeasurementStats::from_samples(&samples)
@@ -121,7 +122,11 @@ mod tests {
         let ctx = ctx_for("swim", None); // full 50-step input: ~20 s
         let baseline = vec![ctx.space().baseline(); ctx.modules()];
         let stats = measure_repeated(&ctx, &baseline, 10, 42);
-        assert!(stats.mean > 3.0 && stats.mean < 40.0, "mean = {}", stats.mean);
+        assert!(
+            stats.mean > 3.0 && stats.mean < 40.0,
+            "mean = {}",
+            stats.mean
+        );
         assert!(stats.rel_stddev() < 0.02, "rel sd = {}", stats.rel_stddev());
         assert!(stats.stddev > 0.0, "noise must exist");
         assert!(stats.min <= stats.mean && stats.mean <= stats.max);

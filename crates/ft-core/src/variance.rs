@@ -30,18 +30,18 @@ impl SearchVariance {
     fn of(algorithm: &str, speedups: Vec<f64>) -> Self {
         let m = mean(&speedups);
         let sd = stddev(&speedups);
-        SearchVariance { algorithm: algorithm.to_string(), speedups, mean: m, stddev: sd }
+        SearchVariance {
+            algorithm: algorithm.to_string(),
+            speedups,
+            mean: m,
+            stddev: sd,
+        }
     }
 }
 
 /// Runs Random, FR, G.realized and CFR once per seed and summarizes the
 /// speedup spread of each.
-pub fn variance_study(
-    ctx: &EvalContext,
-    k: usize,
-    x: usize,
-    seeds: &[u64],
-) -> Vec<SearchVariance> {
+pub fn variance_study(ctx: &EvalContext, k: usize, x: usize, seeds: &[u64]) -> Vec<SearchVariance> {
     assert!(seeds.len() >= 2, "variance needs at least two seeds");
     let baseline = ctx.baseline_time(10);
     let mut random_s = Vec::new();

@@ -1,0 +1,92 @@
+//! Golden-value determinism lock for the batched evaluation engine.
+//!
+//! The engine work (sharded object cache, CV interning, link
+//! memoization, baseline memoization) must be invisible in results:
+//! for a fixed seed, `Tuner::run` has to produce bit-for-bit the same
+//! measurements as the pre-engine implementation. The constants below
+//! were captured from that implementation (same workload, seed, and
+//! budget); any drift in the evaluation semantics fails loudly here.
+
+use ft_core::Tuner;
+use ft_machine::Architecture;
+use ft_workloads::workload_by_name;
+
+fn digest_assignment(cvs: &[ft_flags::Cv]) -> u64 {
+    let mut h = 0u64;
+    for cv in cvs {
+        h = ft_flags::rng::mix(h ^ cv.digest());
+    }
+    h
+}
+
+#[test]
+fn tuner_run_matches_pre_engine_golden_values() {
+    let arch = Architecture::broadwell();
+    let w = workload_by_name("swim").expect("swim in suite");
+    let run = Tuner::new(&w, &arch)
+        .budget(60)
+        .focus(8)
+        .seed(42)
+        .cap_steps(5)
+        .run();
+
+    // Captured from the pre-engine implementation (commit before the
+    // batched-evaluation engine), seed 42, swim/Broadwell, K=60, X=8,
+    // 5 steps.
+    let golden: &[(&str, f64, u64)] = &[
+        ("baseline", GOLDEN_BASELINE, 0),
+        ("random", GOLDEN_RANDOM, GOLDEN_RANDOM_ASSIGN),
+        ("fr", GOLDEN_FR, GOLDEN_FR_ASSIGN),
+        ("greedy", GOLDEN_GREEDY, GOLDEN_GREEDY_ASSIGN),
+        ("cfr", GOLDEN_CFR, GOLDEN_CFR_ASSIGN),
+    ];
+    let actual: &[(&str, f64, u64)] = &[
+        ("baseline", run.baseline_time, 0),
+        (
+            "random",
+            run.random.best_time,
+            digest_assignment(&run.random.assignment),
+        ),
+        (
+            "fr",
+            run.fr.best_time,
+            digest_assignment(&run.fr.assignment),
+        ),
+        (
+            "greedy",
+            run.greedy.realized.best_time,
+            digest_assignment(&run.greedy.realized.assignment),
+        ),
+        (
+            "cfr",
+            run.cfr.best_time,
+            digest_assignment(&run.cfr.assignment),
+        ),
+    ];
+    for (name, at, aa) in actual {
+        println!(
+            "{name}: time_bits=0x{:016X} assign=0x{aa:016X}",
+            at.to_bits()
+        );
+    }
+    for ((name, gt, ga), (_, at, aa)) in golden.iter().zip(actual) {
+        assert_eq!(
+            gt.to_bits(),
+            at.to_bits(),
+            "{name} best_time drifted: golden {gt:?} vs actual {at:?}"
+        );
+        assert_eq!(ga, aa, "{name} assignment drifted");
+    }
+}
+
+// Exact bit patterns, not decimal literals, so the comparison is
+// immune to any formatting round-trip.
+const GOLDEN_BASELINE: f64 = f64::from_bits(0x400235359DF58198);
+const GOLDEN_RANDOM: f64 = f64::from_bits(0x4001176F3A8A4DEC);
+const GOLDEN_RANDOM_ASSIGN: u64 = 0x76328104B3C244E1;
+const GOLDEN_FR: f64 = f64::from_bits(0x4003AC1A20976770);
+const GOLDEN_FR_ASSIGN: u64 = 0xCE2B3BD91428DA5A;
+const GOLDEN_GREEDY: f64 = f64::from_bits(0x4000FE8274DF903A);
+const GOLDEN_GREEDY_ASSIGN: u64 = 0x875BEEB981F2413F;
+const GOLDEN_CFR: f64 = f64::from_bits(0x4000CFA4D821A770);
+const GOLDEN_CFR_ASSIGN: u64 = 0x6D05C51AE183C602;

@@ -1,9 +1,9 @@
 //! Property-based tests over the search algorithms, using synthetic
 //! programs so the properties hold across arbitrary program shapes.
 
+use ft_compiler::Compiler;
 use ft_core::{cfr, cfr_adaptive, collect, fr_search, greedy, random_search, EvalContext};
 use ft_machine::Architecture;
-use ft_compiler::Compiler;
 use ft_workloads::synthetic::{generate, SyntheticConfig};
 use proptest::prelude::*;
 

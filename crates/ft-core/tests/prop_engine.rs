@@ -1,0 +1,81 @@
+//! Property tests for the batched evaluation engine: interning is a
+//! lossless encoding, and evaluating through `CvId` handles is
+//! observationally identical to the original `Cv`-based path.
+
+use ft_compiler::Compiler;
+use ft_core::EvalContext;
+use ft_flags::rng::rng_for;
+use ft_flags::{CvId, CvPool};
+use ft_machine::Architecture;
+use ft_outline::outline_with_defaults;
+use ft_workloads::workload_by_name;
+use proptest::prelude::*;
+use rand::Rng;
+
+fn mk_ctx() -> EvalContext {
+    let arch = Architecture::broadwell();
+    let compiler = Compiler::icc(arch.target);
+    let w = workload_by_name("swim").expect("swim in suite");
+    let input = w.tuning_input(arch.name);
+    let ir = w.instantiate(input);
+    let steps = 5;
+    let (outlined, _) = outline_with_defaults(&ir, &compiler, &arch, steps, 11);
+    EvalContext::new(outlined.ir, Compiler::icc(arch.target), arch, steps, 99)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Interning any sampled sequence of CVs and materializing it back
+    /// reproduces the sequence exactly, digests included.
+    #[test]
+    fn cv_pool_interning_round_trips(seed in any::<u64>(), n in 1usize..40) {
+        let ctx = mk_ctx();
+        let cvs = ctx.space().sample_many(n, &mut rng_for(seed, "prop-pool"));
+        let pool = CvPool::new();
+        let ids = pool.intern_all(&cvs);
+        prop_assert_eq!(ids.len(), cvs.len());
+        prop_assert_eq!(pool.materialize(&ids), cvs.clone());
+        for (id, cv) in ids.iter().zip(&cvs) {
+            prop_assert_eq!(pool.digest(*id), cv.digest());
+            prop_assert_eq!((*pool.get(*id)).clone(), cv.clone());
+        }
+        // Idempotent: a second interning pass changes nothing.
+        prop_assert_eq!(pool.intern_all(&cvs), ids);
+    }
+
+    /// `eval_assignment_batch_ids` returns bit-identical times to the
+    /// seed implementation's `eval_assignment_batch` on the
+    /// materialized assignments — for any pool seed, pool size, and
+    /// batch size, on a fresh context each (so neither path ever warms
+    /// the caches for the other).
+    #[test]
+    fn id_batch_matches_cv_batch(seed in any::<u64>(), pool_n in 1usize..10, k in 1usize..12) {
+        let cvs = {
+            let ctx = mk_ctx();
+            ctx.space().sample_many(pool_n, &mut rng_for(seed, "prop-cvs"))
+        };
+        let pool = CvPool::new();
+        let ids = pool.intern_all(&cvs);
+        let mut rng = rng_for(seed, "prop-assign");
+        let ctx_ids = mk_ctx();
+        let id_assignments: Vec<Vec<CvId>> = (0..k)
+            .map(|_| {
+                (0..ctx_ids.modules())
+                    .map(|_| ids[rng.gen_range(0..ids.len())])
+                    .collect()
+            })
+            .collect();
+        let via_ids = ctx_ids.eval_assignment_batch_ids(&pool, &id_assignments);
+
+        let ctx_cvs = mk_ctx();
+        let cv_assignments: Vec<Vec<ft_flags::Cv>> =
+            id_assignments.iter().map(|a| pool.materialize(a)).collect();
+        let via_cvs = ctx_cvs.eval_assignment_batch(&cv_assignments);
+
+        prop_assert_eq!(via_ids.len(), via_cvs.len());
+        for (a, b) in via_ids.iter().zip(&via_cvs) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

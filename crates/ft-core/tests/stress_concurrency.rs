@@ -1,0 +1,149 @@
+//! Concurrency stress for the batched evaluation engine.
+//!
+//! Sixteen threads hammer one `EvalContext` — and therefore its
+//! sharded object cache and its link cache — with overlapping
+//! assignments. Every measurement must be bit-identical to the
+//! uncached compile → link → execute path, from every thread, on
+//! every repetition: the caches are allowed to save work, never to
+//! change results.
+//!
+//! Plain `std::thread::scope` rather than rayon, so the thread count
+//! is a hard 16 regardless of how many cores the runner has.
+
+use ft_compiler::Compiler;
+use ft_core::EvalContext;
+use ft_flags::rng::{derive_seed_idx, rng_for};
+use ft_flags::{Cv, CvId, CvPool};
+use ft_machine::{execute, link, Architecture, ExecOptions};
+use ft_outline::outline_with_defaults;
+use ft_workloads::workload_by_name;
+use rand::Rng;
+
+const THREADS: usize = 16;
+
+fn mk_ctx() -> EvalContext {
+    let arch = Architecture::broadwell();
+    let compiler = Compiler::icc(arch.target);
+    let w = workload_by_name("swim").expect("swim in suite");
+    let input = w.tuning_input(arch.name);
+    let ir = w.instantiate(input);
+    let steps = 5;
+    let (outlined, _) = outline_with_defaults(&ir, &compiler, &arch, steps, 11);
+    EvalContext::new(outlined.ir, Compiler::icc(arch.target), arch, steps, 99)
+}
+
+#[test]
+fn sixteen_threads_agree_with_the_uncached_path() {
+    let ctx = mk_ctx();
+    let pool = CvPool::new();
+    let cvs = ctx.space().sample_many(12, &mut rng_for(7, "stress"));
+    let ids = pool.intern_all(&cvs);
+
+    // 24 distinct assignments, each listed twice (the duplicates force
+    // link-cache hits even before thread contention kicks in).
+    let mut rng = rng_for(8, "stress-assign");
+    let mut assignments: Vec<Vec<CvId>> = Vec::new();
+    for _ in 0..24 {
+        let a: Vec<CvId> = (0..ctx.modules())
+            .map(|_| ids[rng.gen_range(0..ids.len())])
+            .collect();
+        assignments.push(a.clone());
+        assignments.push(a);
+    }
+    let seed_of = |k: usize| derive_seed_idx(0x57E55, k as u64);
+
+    // Reference: no caches anywhere — a fresh compile of every module
+    // and a direct link per assignment.
+    let reference: Vec<f64> = assignments
+        .iter()
+        .enumerate()
+        .map(|(k, a)| {
+            let owned: Vec<Cv> = pool.materialize(a);
+            let objects = ctx.compiler.compile_mixed(&ctx.ir, &owned);
+            let linked = link(objects, &ctx.ir, &ctx.arch);
+            execute(&linked, &ctx.arch, &ExecOptions::new(ctx.steps, seed_of(k))).total_s
+        })
+        .collect();
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let ctx = &ctx;
+                let pool = &pool;
+                let assignments = &assignments;
+                s.spawn(move || {
+                    // Stagger the iteration order per thread so shards
+                    // see genuinely interleaved keys, not 16 copies of
+                    // the same access sequence.
+                    let n = assignments.len();
+                    (0..n)
+                        .map(|i| {
+                            let k = (i + t * 3) % n;
+                            (
+                                k,
+                                ctx.eval_assignment_ids(pool, &assignments[k], seed_of(k))
+                                    .total_s,
+                            )
+                        })
+                        .collect::<Vec<(usize, f64)>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (k, t) in h.join().expect("stress thread panicked") {
+                assert_eq!(
+                    t.to_bits(),
+                    reference[k].to_bits(),
+                    "cached path diverged from uncached at assignment {k}"
+                );
+            }
+        }
+    });
+
+    let stats = ctx.cache_stats();
+    let total_links = stats.link_hits + stats.link_misses;
+    assert_eq!(
+        total_links,
+        (THREADS * assignments.len()) as u64,
+        "one lookup per eval"
+    );
+    // 24 distinct assignments; racing threads may each miss a key
+    // before the first insert lands, so misses range from 24 (no
+    // race) to THREADS*24 (every thread misses every key). Each
+    // thread's *second* visit to a key always hits its own or
+    // another's insert, bounding hits from below deterministically.
+    assert!(stats.link_misses >= 24, "{stats:?}");
+    assert!(stats.link_misses <= (THREADS * 24) as u64, "{stats:?}");
+    assert!(stats.link_hits >= (THREADS * 24) as u64, "{stats:?}");
+    assert!(stats.object_hits > 0, "{stats:?}");
+}
+
+#[test]
+fn uniform_batch_under_contention_is_stable() {
+    let ctx = mk_ctx();
+    let cvs = ctx.space().sample_many(16, &mut rng_for(9, "stress-uni"));
+    // Sequential reference through the same context: cache state must
+    // not affect values, only work.
+    let reference: Vec<f64> = cvs
+        .iter()
+        .enumerate()
+        .map(|(k, cv)| {
+            ctx.eval_uniform(cv, derive_seed_idx(0xCAFE, k as u64))
+                .total_s
+        })
+        .collect();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let ctx = &ctx;
+            let cvs = &cvs;
+            let reference = &reference;
+            s.spawn(move || {
+                for i in 0..cvs.len() {
+                    let k = (i + t) % cvs.len();
+                    let m = ctx.eval_uniform(&cvs[k], derive_seed_idx(0xCAFE, k as u64));
+                    assert_eq!(m.total_s.to_bits(), reference[k].to_bits());
+                }
+            });
+        }
+    });
+}

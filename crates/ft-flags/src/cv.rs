@@ -58,7 +58,11 @@ impl Cv {
 
     /// Returns a copy with flag `id` set to value index `value`.
     pub fn with(&self, space: &FlagSpace, id: usize, value: u8) -> Self {
-        assert_eq!(self.len(), space.len(), "CV belongs to a different flag space");
+        assert_eq!(
+            self.len(),
+            space.len(),
+            "CV belongs to a different flag space"
+        );
         assert!((value as usize) < space.flag(id).arity());
         let mut v = self.values.clone();
         v[id] = value;
@@ -105,7 +109,11 @@ impl Cv {
     /// Renders the full command line for this CV in `space`, including
     /// the fixed (non-tuned) prefix flags of the space.
     pub fn render(&self, space: &FlagSpace) -> String {
-        assert_eq!(self.len(), space.len(), "CV belongs to a different flag space");
+        assert_eq!(
+            self.len(),
+            space.len(),
+            "CV belongs to a different flag space"
+        );
         let mut parts: Vec<String> = space.fixed_flags().iter().map(|s| s.to_string()).collect();
         for (i, v) in self.values.iter().enumerate() {
             if let Some(s) = space.flag(i).render(*v as usize) {

@@ -95,7 +95,12 @@ impl FlagSpec {
         } else {
             vec![FlagValue::Default, FlagValue::On]
         };
-        FlagSpec { name, domain, values, help: "" }
+        FlagSpec {
+            name,
+            domain,
+            values,
+            help: "",
+        }
     }
 
     /// Creates a multi-valued flag from a list of named values.
@@ -126,7 +131,12 @@ impl FlagSpec {
         assert!(!values.is_empty());
         let mut vals = vec![FlagValue::Default];
         vals.extend(values.iter().map(|v| FlagValue::Int(*v)));
-        FlagSpec { name, domain, values: vals, help: "" }
+        FlagSpec {
+            name,
+            domain,
+            values: vals,
+            help: "",
+        }
     }
 
     /// Attaches a one-line description of the modeled semantics.

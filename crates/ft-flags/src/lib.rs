@@ -24,11 +24,13 @@
 
 pub mod cv;
 pub mod flag;
+pub mod pool;
 pub mod population;
 pub mod rng;
 pub mod space;
 
 pub use cv::Cv;
 pub use flag::{FlagDomain, FlagId, FlagSpec, FlagValue};
+pub use pool::{CvId, CvPool};
 pub use population::{FlagHistogram, Population};
 pub use space::FlagSpace;

@@ -1,0 +1,190 @@
+//! CV interning: stable integer handles for compilation vectors.
+//!
+//! The search algorithms draw K candidate assignments of J modules
+//! each from a small pre-sampled pool of CVs; building those as
+//! `Vec<Vec<Cv>>` clones ~K×J heap vectors per search. A [`CvPool`]
+//! interns each distinct [`Cv`] once and hands out copyable
+//! [`CvId`] handles, so candidate assignments become plain index
+//! vectors and the vector data is shared behind `Arc`s.
+
+use crate::cv::Cv;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Stable handle to an interned [`Cv`] (index into its [`CvPool`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CvId(u32);
+
+impl CvId {
+    /// Position of the interned CV in its pool.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Default)]
+struct PoolInner {
+    ids: HashMap<Cv, CvId>,
+    /// Interned vectors with their digests, computed once at intern
+    /// time (evaluation recomputes digests per candidate otherwise).
+    items: Vec<(Arc<Cv>, u64)>,
+}
+
+/// An append-only interner of [`Cv`]s. Thread-safe; interning the same
+/// vector twice returns the same [`CvId`], and ids are dense indices
+/// in first-interned order (so a pool built from a deterministic
+/// sample sequence is itself deterministic).
+#[derive(Default)]
+pub struct CvPool {
+    inner: RwLock<PoolInner>,
+}
+
+impl CvPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `cv`, returning its stable id.
+    pub fn intern(&self, cv: &Cv) -> CvId {
+        if let Some(id) = self.inner.read().ids.get(cv) {
+            return *id;
+        }
+        let mut inner = self.inner.write();
+        if let Some(id) = inner.ids.get(cv) {
+            return *id;
+        }
+        let id = CvId(u32::try_from(inner.items.len()).expect("pool over u32::MAX entries"));
+        inner.items.push((Arc::new(cv.clone()), cv.digest()));
+        inner.ids.insert(cv.clone(), id);
+        id
+    }
+
+    /// Interns every CV of `cvs` in order.
+    pub fn intern_all(&self, cvs: &[Cv]) -> Vec<CvId> {
+        cvs.iter().map(|cv| self.intern(cv)).collect()
+    }
+
+    /// The interned CV behind `id` (shared, no deep clone).
+    ///
+    /// Panics if `id` comes from a different pool with more entries.
+    pub fn get(&self, id: CvId) -> Arc<Cv> {
+        self.inner.read().items[id.index()].0.clone()
+    }
+
+    /// The digest of the interned CV behind `id`, memoized at intern
+    /// time (equals `self.get(id).digest()`).
+    pub fn digest(&self, id: CvId) -> u64 {
+        self.inner.read().items[id.index()].1
+    }
+
+    /// Resolves a whole assignment of ids to shared CVs.
+    pub fn resolve(&self, ids: &[CvId]) -> Vec<Arc<Cv>> {
+        let inner = self.inner.read();
+        ids.iter()
+            .map(|id| inner.items[id.index()].0.clone())
+            .collect()
+    }
+
+    /// The memoized digests of a whole assignment of ids.
+    pub fn digests(&self, ids: &[CvId]) -> Vec<u64> {
+        let inner = self.inner.read();
+        ids.iter().map(|id| inner.items[id.index()].1).collect()
+    }
+
+    /// Materializes an assignment of ids as owned CVs (for the
+    /// `Cv`-based result types external callers consume).
+    pub fn materialize(&self, ids: &[CvId]) -> Vec<Cv> {
+        let inner = self.inner.read();
+        ids.iter()
+            .map(|id| (*inner.items[id.index()].0).clone())
+            .collect()
+    }
+
+    /// Number of distinct CVs interned.
+    pub fn len(&self) -> usize {
+        self.inner.read().items.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_for;
+    use crate::space::FlagSpace;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let sp = FlagSpace::icc();
+        let pool = CvPool::new();
+        let cv = sp.sample(&mut rng_for(1, "pool"));
+        let a = pool.intern(&cv);
+        let b = pool.intern(&cv);
+        assert_eq!(a, b);
+        assert_eq!(pool.len(), 1);
+        assert_eq!(*pool.get(a), cv);
+    }
+
+    #[test]
+    fn ids_are_dense_in_first_interned_order() {
+        let sp = FlagSpace::icc();
+        let pool = CvPool::new();
+        let cvs = sp.sample_many(20, &mut rng_for(2, "pool"));
+        let ids = pool.intern_all(&cvs);
+        let mut next = 0usize;
+        for (k, id) in ids.iter().enumerate() {
+            match ids[..k].iter().position(|p| p == id) {
+                Some(first) => assert_eq!(id.index(), ids[first].index(), "duplicate CV, same id"),
+                None => {
+                    assert_eq!(id.index(), next, "fresh CVs get consecutive ids");
+                    next += 1;
+                }
+            }
+            assert_eq!(*pool.get(*id), cvs[k]);
+        }
+        assert_eq!(pool.len(), next);
+    }
+
+    #[test]
+    fn materialize_round_trips_assignments() {
+        let sp = FlagSpace::icc();
+        let pool = CvPool::new();
+        let cvs = sp.sample_many(6, &mut rng_for(3, "pool"));
+        let ids = pool.intern_all(&cvs);
+        assert_eq!(pool.materialize(&ids), cvs);
+        assert_eq!(
+            pool.resolve(&ids)
+                .iter()
+                .map(|a| (**a).clone())
+                .collect::<Vec<_>>(),
+            cvs
+        );
+        let digests: Vec<u64> = cvs.iter().map(|cv| cv.digest()).collect();
+        assert_eq!(pool.digests(&ids), digests, "memoized digests match");
+        assert_eq!(pool.digest(ids[0]), digests[0]);
+    }
+
+    #[test]
+    fn concurrent_interning_converges() {
+        let sp = FlagSpace::icc();
+        let pool = CvPool::new();
+        let cvs = sp.sample_many(16, &mut rng_for(4, "pool"));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for cv in &cvs {
+                        let id = pool.intern(cv);
+                        assert_eq!(*pool.get(id), *cv);
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.len(), 16);
+    }
+}

@@ -32,7 +32,14 @@ impl FlagHistogram {
             .enumerate()
             .max_by_key(|(_, c)| **c)
             .expect("non-empty histogram");
-        (idx as u8, if total == 0 { 0.0 } else { f64::from(*cnt) / f64::from(total) })
+        (
+            idx as u8,
+            if total == 0 {
+                0.0
+            } else {
+                f64::from(*cnt) / f64::from(total)
+            },
+        )
     }
 }
 
@@ -72,7 +79,10 @@ impl Population {
                 h.counts[cv.get(i) as usize] += 1;
             }
         }
-        Population { n: cvs.len(), histograms }
+        Population {
+            n: cvs.len(),
+            histograms,
+        }
     }
 
     /// Flags whose modal value is over-represented relative to uniform
@@ -150,10 +160,15 @@ mod tests {
         assert!(ids.contains(&alias), "ansi-alias consensus missed");
         let rendered = pop.render_consensus(&sp, 2.0);
         assert!(
-            rendered.iter().any(|s| s.contains("-qopt-streaming-stores=always")),
+            rendered
+                .iter()
+                .any(|s| s.contains("-qopt-streaming-stores=always")),
             "{rendered:?}"
         );
-        assert!(rendered.iter().any(|s| s.contains("-no-ansi-alias")), "{rendered:?}");
+        assert!(
+            rendered.iter().any(|s| s.contains("-no-ansi-alias")),
+            "{rendered:?}"
+        );
     }
 
     #[test]

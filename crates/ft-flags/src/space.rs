@@ -36,47 +36,83 @@ impl FlagSpace {
     pub fn icc() -> Self {
         use FlagDomain::*;
         let flags = vec![
-            FlagSpec::named("O", OptLevel, &["3", "2"]).with_help("overall optimization level; O3 is the evaluation baseline"),
-            FlagSpec::binary("vec", Vectorization, true).with_help("auto-vectorization master switch (-no-vec disables)"),
-            FlagSpec::named("simd-width", Vectorization, &["default", "128", "256"]).with_help("force generated SIMD width; default lets the vectorizer pick"),
-            FlagSpec::ints("qopt-vec-threshold", Vectorization, &[100, 0, 25, 50, 75]).with_help("minimum estimated % speedup before a loop is vectorized"),
-            FlagSpec::ints_with_default("unroll", Unrolling, &[0, 2, 4, 8, 16]).with_help("loop unroll factor; 0 disables, default uses the heuristic"),
-            FlagSpec::binary("unroll-aggressive", Unrolling, false).with_help("double the chosen unroll factor"),
-            FlagSpec::binary("ipo", Ipo, false).with_help("inter-procedural optimization across modules at link time"),
-            FlagSpec::ints("inline-level", Inlining, &[2, 0, 1]).with_help("inlining depth (0 = off, 2 = full)"),
-            FlagSpec::ints("inline-factor", Inlining, &[100, 25, 50, 200]).with_help("inline size budget relative to the default (percent)"),
+            FlagSpec::named("O", OptLevel, &["3", "2"])
+                .with_help("overall optimization level; O3 is the evaluation baseline"),
+            FlagSpec::binary("vec", Vectorization, true)
+                .with_help("auto-vectorization master switch (-no-vec disables)"),
+            FlagSpec::named("simd-width", Vectorization, &["default", "128", "256"])
+                .with_help("force generated SIMD width; default lets the vectorizer pick"),
+            FlagSpec::ints("qopt-vec-threshold", Vectorization, &[100, 0, 25, 50, 75])
+                .with_help("minimum estimated % speedup before a loop is vectorized"),
+            FlagSpec::ints_with_default("unroll", Unrolling, &[0, 2, 4, 8, 16])
+                .with_help("loop unroll factor; 0 disables, default uses the heuristic"),
+            FlagSpec::binary("unroll-aggressive", Unrolling, false)
+                .with_help("double the chosen unroll factor"),
+            FlagSpec::binary("ipo", Ipo, false)
+                .with_help("inter-procedural optimization across modules at link time"),
+            FlagSpec::ints("inline-level", Inlining, &[2, 0, 1])
+                .with_help("inlining depth (0 = off, 2 = full)"),
+            FlagSpec::ints("inline-factor", Inlining, &[100, 25, 50, 200])
+                .with_help("inline size budget relative to the default (percent)"),
             FlagSpec::named(
                 "qopt-streaming-stores",
                 StreamingStores,
                 &["auto", "always", "never"],
-            ).with_help("non-temporal store generation policy"),
-            FlagSpec::binary("ansi-alias", Aliasing, true).with_help("assume strict (ANSI) aliasing rules"),
-            FlagSpec::ints("qopt-prefetch", Prefetch, &[2, 0, 1, 3, 4]).with_help("software prefetch aggressiveness (0-4)"),
-            FlagSpec::binary("scalar-rep", Scalar, true).with_help("scalar replacement of array references"),
-            FlagSpec::ints("qopt-mem-layout-trans", Layout, &[2, 0, 1, 3]).with_help("memory layout transformation level (0-3)"),
-            FlagSpec::binary("fuse-loops", LoopRestructure, true).with_help("fuse adjacent compatible loops"),
-            FlagSpec::binary("sw-pipelining", Codegen, true).with_help("software pipelining of loop bodies"),
-            FlagSpec::named("isched", Codegen, &["default", "aggressive"]).with_help("instruction scheduling aggressiveness (IO in Table 3)"),
-            FlagSpec::named("isel", Codegen, &["default", "size", "speed"]).with_help("instruction selection strategy (IS in Table 3)"),
-            FlagSpec::binary("regalloc-aggressive", Codegen, false).with_help("aggressive register allocation (fewer spills, more pressure)"),
-            FlagSpec::ints_with_default("align-loops", Codegen, &[8, 16, 32, 64]).with_help("align loop heads to the given byte boundary"),
-            FlagSpec::binary("code-hoisting", Scalar, true).with_help("hoist common code out of branches"),
-            FlagSpec::binary("gcse", Scalar, true).with_help("global common-subexpression elimination"),
+            )
+            .with_help("non-temporal store generation policy"),
+            FlagSpec::binary("ansi-alias", Aliasing, true)
+                .with_help("assume strict (ANSI) aliasing rules"),
+            FlagSpec::ints("qopt-prefetch", Prefetch, &[2, 0, 1, 3, 4])
+                .with_help("software prefetch aggressiveness (0-4)"),
+            FlagSpec::binary("scalar-rep", Scalar, true)
+                .with_help("scalar replacement of array references"),
+            FlagSpec::ints("qopt-mem-layout-trans", Layout, &[2, 0, 1, 3])
+                .with_help("memory layout transformation level (0-3)"),
+            FlagSpec::binary("fuse-loops", LoopRestructure, true)
+                .with_help("fuse adjacent compatible loops"),
+            FlagSpec::binary("sw-pipelining", Codegen, true)
+                .with_help("software pipelining of loop bodies"),
+            FlagSpec::named("isched", Codegen, &["default", "aggressive"])
+                .with_help("instruction scheduling aggressiveness (IO in Table 3)"),
+            FlagSpec::named("isel", Codegen, &["default", "size", "speed"])
+                .with_help("instruction selection strategy (IS in Table 3)"),
+            FlagSpec::binary("regalloc-aggressive", Codegen, false)
+                .with_help("aggressive register allocation (fewer spills, more pressure)"),
+            FlagSpec::ints_with_default("align-loops", Codegen, &[8, 16, 32, 64])
+                .with_help("align loop heads to the given byte boundary"),
+            FlagSpec::binary("code-hoisting", Scalar, true)
+                .with_help("hoist common code out of branches"),
+            FlagSpec::binary("gcse", Scalar, true)
+                .with_help("global common-subexpression elimination"),
             FlagSpec::binary("licm", Scalar, true).with_help("loop-invariant code motion"),
-            FlagSpec::binary("tail-dup", Codegen, false).with_help("tail duplication to lengthen scheduling regions"),
-            FlagSpec::binary("branch-combine", Codegen, true).with_help("combine and simplify branch sequences"),
-            FlagSpec::named("if-convert", LoopRestructure, &["default", "off", "aggressive"]).with_help("if-conversion (branches to predicated code)"),
+            FlagSpec::binary("tail-dup", Codegen, false)
+                .with_help("tail duplication to lengthen scheduling regions"),
+            FlagSpec::binary("branch-combine", Codegen, true)
+                .with_help("combine and simplify branch sequences"),
+            FlagSpec::named(
+                "if-convert",
+                LoopRestructure,
+                &["default", "off", "aggressive"],
+            )
+            .with_help("if-conversion (branches to predicated code)"),
             FlagSpec::named(
                 "loop-multiversion",
                 LoopRestructure,
                 &["default", "off", "aggressive"],
-            ).with_help("loop multi-versioning for runtime specialization"),
-            FlagSpec::binary("collapse-loops", LoopRestructure, false).with_help("collapse perfect loop nests into one loop"),
-            FlagSpec::binary("align-structs", Layout, false).with_help("pad/align structure layouts"),
-            FlagSpec::binary("opt-matmul", LoopRestructure, false).with_help("recognize and specialize matrix-multiply patterns"),
-            FlagSpec::binary("jump-tables", Codegen, true).with_help("lower dense switches to jump tables"),
-            FlagSpec::binary("unroll-jam", Unrolling, false).with_help("unroll-and-jam outer loops"),
-            FlagSpec::binary("distribute-loops", LoopRestructure, false).with_help("split loops to separate vectorizable parts"),
+            )
+            .with_help("loop multi-versioning for runtime specialization"),
+            FlagSpec::binary("collapse-loops", LoopRestructure, false)
+                .with_help("collapse perfect loop nests into one loop"),
+            FlagSpec::binary("align-structs", Layout, false)
+                .with_help("pad/align structure layouts"),
+            FlagSpec::binary("opt-matmul", LoopRestructure, false)
+                .with_help("recognize and specialize matrix-multiply patterns"),
+            FlagSpec::binary("jump-tables", Codegen, true)
+                .with_help("lower dense switches to jump tables"),
+            FlagSpec::binary("unroll-jam", Unrolling, false)
+                .with_help("unroll-and-jam outer loops"),
+            FlagSpec::binary("distribute-loops", LoopRestructure, false)
+                .with_help("split loops to separate vectorizable parts"),
         ];
         assert_eq!(flags.len(), 33, "paper tunes exactly 33 flags");
         FlagSpace {
@@ -276,7 +312,12 @@ mod tests {
             names.sort_unstable();
             let before = names.len();
             names.dedup();
-            assert_eq!(before, names.len(), "{} has duplicate flag names", sp.name());
+            assert_eq!(
+                before,
+                names.len(),
+                "{} has duplicate flag names",
+                sp.name()
+            );
         }
     }
 

@@ -38,17 +38,30 @@ impl ExecOptions {
     /// `steps` time-steps with the default noise model, no
     /// instrumentation.
     pub fn new(steps: u32, noise_seed: u64) -> Self {
-        ExecOptions { steps, noise_seed, sigma: noise::DEFAULT_SIGMA, instrumented: false }
+        ExecOptions {
+            steps,
+            noise_seed,
+            sigma: noise::DEFAULT_SIGMA,
+            instrumented: false,
+        }
     }
 
     /// Same, with Caliper instrumentation enabled.
     pub fn instrumented(steps: u32, noise_seed: u64) -> Self {
-        ExecOptions { instrumented: true, ..Self::new(steps, noise_seed) }
+        ExecOptions {
+            instrumented: true,
+            ..Self::new(steps, noise_seed)
+        }
     }
 
     /// Noise-free variant (for model analysis and tests).
     pub fn exact(steps: u32) -> Self {
-        ExecOptions { steps, noise_seed: 0, sigma: 0.0, instrumented: false }
+        ExecOptions {
+            steps,
+            noise_seed: 0,
+            sigma: 0.0,
+            instrumented: false,
+        }
     }
 }
 
@@ -138,7 +151,11 @@ fn loop_cost_per_step(
     cycles_per_iter *= icache_factor;
     // AVX-512 license throttling: 512-bit execution lowers the clock.
     let freq = arch.freq_ghz
-        * if d.width == VecWidth::W512 { arch.avx512_freq_factor } else { 1.0 };
+        * if d.width == VecWidth::W512 {
+            arch.avx512_freq_factor
+        } else {
+            1.0
+        };
     let serial_compute_s = iters * cycles_per_iter / (freq * 1e9);
     let par = 1.0 / ((1.0 - f.parallel_fraction) + f.parallel_fraction / arch.parallel_capacity());
     let compute_s = serial_compute_s / par;
@@ -166,7 +183,13 @@ fn loop_cost_per_step(
     }
     // Layout transformation: loop-specific, small.
     util *= 1.0
-        + 0.11 * jitter(f.response_seed, &format!("layout-{}", d.layout_version), -1.0, 1.0);
+        + 0.11
+            * jitter(
+                f.response_seed,
+                &format!("layout-{}", d.layout_version),
+                -1.0,
+                1.0,
+            );
     let in_cache = f.working_set_mb < arch.llc_mb;
     if d.streaming_stores {
         // Suitability is graded: fully streaming write sets dodge the
@@ -176,8 +199,7 @@ fn loop_cost_per_step(
         if in_cache {
             bytes *= 1.0 + 0.35 * f.write_fraction;
         } else {
-            bytes *= 1.0 - 0.42 * f.write_fraction * suit
-                + 0.25 * f.write_fraction * (1.0 - suit);
+            bytes *= 1.0 - 0.42 * f.write_fraction * suit + 0.25 * f.write_fraction * (1.0 - suit);
         }
     }
     let bw = arch.mem_bw_gbs * 1e9 * arch.numa_bw_factor() * if in_cache { 3.0 } else { 1.0 };
@@ -202,11 +224,13 @@ fn loop_cost_per_step(
     );
     t *= 1.0 + 0.03 * (ft_compiler::response::unit(luck_seed, "codegen-luck") - 0.5) * 2.0;
     // OpenMP fork/join + barrier per invocation.
-    let barrier = 5e-6 * (f64::from(arch.omp_threads) / 16.0)
-        * if arch.numa_nodes > 2 { 1.5 } else { 1.0 };
+    let barrier =
+        5e-6 * (f64::from(arch.omp_threads) / 16.0) * if arch.numa_nodes > 2 { 1.5 } else { 1.0 };
     t += f.invocations_per_step * barrier;
     // Per-iteration out-calls, discounted by inlining.
-    t += iters * f.calls_out * 15e-9
+    t += iters
+        * f.calls_out
+        * 15e-9
         * (1.0 - 0.3 * f64::from(d.inline_depth.min(2)) / 2.0 * d.inline_factor.min(2.0) / 2.0);
     LoopCost {
         compute_s,
@@ -218,7 +242,10 @@ fn loop_cost_per_step(
 
 /// True per-step time of the non-loop module, before noise.
 fn non_loop_time_per_step(m: &CompiledModule, arch: &Architecture, call_cost_s: f64) -> f64 {
-    let ModuleKind::NonLoop { seconds_per_step, .. } = m.module.kind else {
+    let ModuleKind::NonLoop {
+        seconds_per_step, ..
+    } = m.module.kind
+    else {
         panic!("non-loop module expected");
     };
     seconds_per_step / arch.scalar_speed / m.decisions.backend_quality + call_cost_s
@@ -256,7 +283,11 @@ pub fn execute(linked: &LinkedProgram, arch: &Architecture, opts: &ExecOptions) 
         per_module.push(t);
     }
     let total_s: f64 = per_module.iter().sum();
-    RunMeasurement { total_s, per_module_s: per_module, steps: opts.steps }
+    RunMeasurement {
+        total_s,
+        per_module_s: per_module,
+        steps: opts.steps,
+    }
 }
 
 /// Per-step cost breakdown for every hot loop of a linked executable
@@ -397,7 +428,11 @@ mod tests {
     fn profiled_run_feeds_caliper() {
         let arch = Architecture::broadwell();
         let c = Compiler::icc(arch.target);
-        let linked = link(c.compile_program(&ir(), &c.space().baseline()), &ir(), &arch);
+        let linked = link(
+            c.compile_program(&ir(), &c.space().baseline()),
+            &ir(),
+            &arch,
+        );
         let cali = Caliper::real_time();
         let meas = execute_profiled(&linked, &arch, &ExecOptions::exact(5), &cali);
         let snap = cali.snapshot();
@@ -437,7 +472,10 @@ mod tests {
             f.working_set_mb = working_set;
             ProgramIr::new(
                 "s",
-                vec![Module::hot_loop(0, "stream", f, &[]), Module::non_loop(1, 0.01, 1e4)],
+                vec![
+                    Module::hot_loop(0, "stream", f, &[]),
+                    Module::non_loop(1, 0.01, 1e4),
+                ],
                 vec![],
             )
         };
@@ -458,9 +496,15 @@ mod tests {
             )
             .total_s;
             if expect_help {
-                assert!(t_always < t_never, "NT stores should help: {t_always} vs {t_never}");
+                assert!(
+                    t_always < t_never,
+                    "NT stores should help: {t_always} vs {t_never}"
+                );
             } else {
-                assert!(t_always > t_never, "NT stores should hurt in-cache: {t_always} vs {t_never}");
+                assert!(
+                    t_always > t_never,
+                    "NT stores should hurt in-cache: {t_always} vs {t_never}"
+                );
             }
         }
     }
@@ -476,7 +520,10 @@ mod tests {
         f.ops_per_iter = 12.0;
         let irp = ProgramIr::new(
             "pf",
-            vec![Module::hot_loop(0, "gather", f, &[]), Module::non_loop(1, 0.01, 1e4)],
+            vec![
+                Module::hot_loop(0, "gather", f, &[]),
+                Module::non_loop(1, 0.01, 1e4),
+            ],
             vec![],
         );
         let id = sp.index_of("qopt-prefetch").unwrap();
@@ -508,7 +555,10 @@ mod tests {
         f.ilp = 2.0;
         let irp = ProgramIr::new(
             "u",
-            vec![Module::hot_loop(0, "small", f, &[]), Module::non_loop(1, 0.01, 1e4)],
+            vec![
+                Module::hot_loop(0, "small", f, &[]),
+                Module::non_loop(1, 0.01, 1e4),
+            ],
             vec![],
         );
         let id = sp.index_of("unroll").unwrap();
@@ -523,7 +573,10 @@ mod tests {
         };
         let none = t_at(1); // -unroll=0
         let four = t_at(3); // -unroll=4
-        assert!(four < none, "unroll must amortize loop overhead: {four} vs {none}");
+        assert!(
+            four < none,
+            "unroll must amortize loop overhead: {four} vs {none}"
+        );
     }
 
     #[test]
@@ -541,10 +594,15 @@ mod tests {
             f.divergence = 0.0;
             let irp = ProgramIr::new(
                 "fma",
-                vec![Module::hot_loop(0, "gemmish", f, &[]), Module::non_loop(1, 0.001, 1e4)],
+                vec![
+                    Module::hot_loop(0, "gemmish", f, &[]),
+                    Module::non_loop(1, 0.001, 1e4),
+                ],
                 vec![],
             );
-            let wide = sp.baseline().with(sp, sp.index_of("simd-width").unwrap(), 2);
+            let wide = sp
+                .baseline()
+                .with(sp, sp.index_of("simd-width").unwrap(), 2);
             let scalar = sp.baseline().with(sp, sp.index_of("vec").unwrap(), 1);
             let t = |cv: &ft_flags::Cv| {
                 execute(
@@ -572,7 +630,10 @@ mod tests {
             f.bytes_per_iter = 4.0;
             let irp = ProgramIr::new(
                 "par",
-                vec![Module::hot_loop(0, "l", f, &[]), Module::non_loop(1, 0.001, 1e4)],
+                vec![
+                    Module::hot_loop(0, "l", f, &[]),
+                    Module::non_loop(1, 0.001, 1e4),
+                ],
                 vec![],
             );
             execute(
@@ -596,7 +657,11 @@ mod tests {
     fn breakdown_components_are_consistent_with_execution() {
         let arch = Architecture::broadwell();
         let c = Compiler::icc(arch.target);
-        let linked = link(c.compile_program(&ir(), &c.space().baseline()), &ir(), &arch);
+        let linked = link(
+            c.compile_program(&ir(), &c.space().baseline()),
+            &ir(),
+            &arch,
+        );
         let rows = breakdown(&linked, &arch);
         assert_eq!(rows.len(), 2, "two hot loops");
         let exact = execute(&linked, &arch, &ExecOptions::exact(1));
@@ -630,11 +695,16 @@ mod tests {
         f.ops_per_iter = 150.0;
         let irp = ProgramIr::new(
             "d",
-            vec![Module::hot_loop(0, "dt", f, &[]), Module::non_loop(1, 0.01, 1e4)],
+            vec![
+                Module::hot_loop(0, "dt", f, &[]),
+                Module::non_loop(1, 0.01, 1e4),
+            ],
             vec![],
         );
         let novec = sp.baseline().with(sp, sp.index_of("vec").unwrap(), 1);
-        let wide = sp.baseline().with(sp, sp.index_of("simd-width").unwrap(), 2);
+        let wide = sp
+            .baseline()
+            .with(sp, sp.index_of("simd-width").unwrap(), 2);
         let t_novec = execute(
             &link(c.compile_program(&irp, &novec), &irp, &arch),
             &arch,

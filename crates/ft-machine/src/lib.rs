@@ -30,5 +30,5 @@ pub mod roofline;
 
 pub use arch::Architecture;
 pub use exec::{breakdown, execute, execute_profiled, ExecOptions, LoopCost, RunMeasurement};
-pub use link::{link, LinkedProgram, LtoOverride};
+pub use link::{link, LinkCache, LinkedProgram, LtoOverride};
 pub use roofline::{analyze as roofline_analyze, Bound, LoopRoofline};

@@ -26,7 +26,11 @@ use ft_compiler::decisions::{CompiledModule, VecWidth};
 use ft_compiler::response::{jitter, unit};
 use ft_compiler::{ModuleId, ProgramIr};
 use ft_flags::rng::{hash_label, mix};
+use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A codegen decision the linker re-derived against the module's CV.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -147,15 +151,16 @@ pub fn link(modules: Vec<CompiledModule>, ir: &ProgramIr, arch: &Architecture) -
     };
 
     let combo = combination_seed(&modules, arch);
-    let ipo_frac =
-        modules.iter().filter(|m| m.decisions.ipo).count() as f64 / n.max(1) as f64;
+    let ipo_frac = modules.iter().filter(|m| m.decisions.ipo).count() as f64 / n.max(1) as f64;
 
     // --- LTO overrides ------------------------------------------------
     let mut out = modules;
     let mut overrides = Vec::new();
     if heterogeneity > 0.0 {
         for m in out.iter_mut() {
-            let Some(f) = m.module.features().cloned() else { continue };
+            let Some(f) = m.module.features().cloned() else {
+                continue;
+            };
             let bloat =
                 ((m.decisions.code_bytes / f.base_code_bytes.max(1.0)) - 1.0).clamp(0.0, 1.0);
             let p = heterogeneity * (0.07 + 0.10 * bloat + 0.08 * ipo_frac);
@@ -246,12 +251,15 @@ pub fn link(modules: Vec<CompiledModule>, ir: &ProgramIr, arch: &Architecture) -
                 }
             }
         }
-        let coupling = if pairs == 0 { 0.0 } else { coupled as f64 / pairs as f64 };
+        let coupling = if pairs == 0 {
+            0.0
+        } else {
+            coupled as f64 / pairs as f64
+        };
         let median = 0.05 + 0.20 * coupling;
         let sd = 0.05 + 0.13 * coupling;
         // Approximate normal from three uniforms (Irwin-Hall).
-        let z = (unit(combo, "ipo-z1") + unit(combo, "ipo-z2") + unit(combo, "ipo-z3") - 1.5)
-            * 2.0;
+        let z = (unit(combo, "ipo-z1") + unit(combo, "ipo-z2") + unit(combo, "ipo-z3") - 1.5) * 2.0;
         let damage = (median + sd * z).max(0.0) * heterogeneity;
         for &i in &hot {
             conflict_factor[i] *= 1.0 + damage;
@@ -298,6 +306,117 @@ pub fn link(modules: Vec<CompiledModule>, ir: &ProgramIr, arch: &Architecture) -
     }
 }
 
+/// Number of lock stripes in a [`LinkCache`].
+const LINK_SHARDS: usize = 16;
+
+type LinkShard = RwLock<HashMap<Vec<u64>, Arc<LinkedProgram>>>;
+
+/// Memoizes [`link`] results by the fingerprint of per-module CV
+/// digests.
+///
+/// Within one tuning context the compiler, program IR, and
+/// architecture are fixed, so a [`CompiledModule`] is fully determined
+/// by its module slot and CV digest — and `link` is a pure function of
+/// the module vector. Duplicate assignments (frequent at small CFR
+/// focus widths, and every baseline repeat) therefore reuse the
+/// `LinkedProgram` outright; only the per-candidate noise-seeded
+/// execution still runs, which keeps measurements bit-identical to
+/// re-linking. Lock-striped like the object cache so rayon workers
+/// don't serialize on one lock.
+pub struct LinkCache {
+    shards: Vec<LinkShard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for LinkCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LinkCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        LinkCache {
+            shards: (0..LINK_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &[u64]) -> &LinkShard {
+        let mut h = 0xF17E_0000_0000_0001u64;
+        for d in key {
+            h = mix(h ^ *d);
+        }
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+
+    /// Returns the linked program for the assignment whose per-module
+    /// CV digests are `digests`, calling `objects` to compile and then
+    /// linking only on a miss. `objects()` must produce one object per
+    /// IR module, compiled with CVs matching `digests` slot for slot.
+    pub fn link_with(
+        &self,
+        digests: &[u64],
+        ir: &ProgramIr,
+        arch: &Architecture,
+        objects: impl FnOnce() -> Vec<CompiledModule>,
+    ) -> Arc<LinkedProgram> {
+        assert_eq!(digests.len(), ir.modules.len(), "one digest per module");
+        let shard = self.shard(digests);
+        if let Some(linked) = shard.read().get(digests) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return linked.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let linked = Arc::new(link(objects(), ir, arch));
+        debug_assert!(
+            linked
+                .modules
+                .iter()
+                .map(|m| m.cv_digest)
+                .eq(digests.iter().copied()),
+            "objects() disagrees with the digest key"
+        );
+        shard
+            .write()
+            .entry(digests.to_vec())
+            .or_insert_with(|| linked.clone())
+            .clone()
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of distinct linked programs cached.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True when nothing has been linked yet.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Drops all cached links and resets the counters.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.write().clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,10 +428,23 @@ mod tests {
         for i in 0..j {
             let mut f = LoopFeatures::synthetic(i as u64 * 31 + 5);
             f.base_code_bytes = 2500.0;
-            modules.push(Module::hot_loop(i, &format!("k{i}"), f, &[1, (i % 3) as u32 + 2]));
+            modules.push(Module::hot_loop(
+                i,
+                &format!("k{i}"),
+                f,
+                &[1, (i % 3) as u32 + 2],
+            ));
         }
         modules.push(Module::non_loop(j, 0.3, 5.0e4));
-        ProgramIr::new("p", modules, vec![ft_compiler::CallEdge { from: 0, to: 1, calls_per_step: 1e5 }])
+        ProgramIr::new(
+            "p",
+            modules,
+            vec![ft_compiler::CallEdge {
+                from: 0,
+                to: 1,
+                calls_per_step: 1e5,
+            }],
+        )
     }
 
     fn compiler() -> Compiler {
@@ -336,7 +468,11 @@ mod tests {
         let c = compiler();
         let mut rng = rng_for(4, "m");
         let assignment: Vec<_> = (0..ir.len()).map(|_| c.space().sample(&mut rng)).collect();
-        let linked = link(c.compile_mixed(&ir, &assignment), &ir, &Architecture::broadwell());
+        let linked = link(
+            c.compile_mixed(&ir, &assignment),
+            &ir,
+            &Architecture::broadwell(),
+        );
         assert!(linked.heterogeneity > 0.9);
     }
 
@@ -349,8 +485,7 @@ mod tests {
         let mut clean = 0;
         for s in 0..200u64 {
             let mut rng = rng_for(s, "ov");
-            let assignment: Vec<_> =
-                (0..ir.len()).map(|_| c.space().sample(&mut rng)).collect();
+            let assignment: Vec<_> = (0..ir.len()).map(|_| c.space().sample(&mut rng)).collect();
             let linked = link(c.compile_mixed(&ir, &assignment), &ir, &arch);
             if linked.overrides.is_empty() {
                 clean += 1;
@@ -359,7 +494,10 @@ mod tests {
             }
         }
         assert!(fired > 100, "LTO overrides almost never fire ({fired}/200)");
-        assert!(clean >= 1, "some combinations must link cleanly ({clean}/200)");
+        assert!(
+            clean >= 1,
+            "some combinations must link cleanly ({clean}/200)"
+        );
     }
 
     #[test]
@@ -382,12 +520,21 @@ mod tests {
         // Two CVs differing only in layout-trans: modules sharing
         // structs must pay, the non-loop module must not.
         let a = sp.baseline();
-        let b = sp.baseline().with(sp, sp.index_of("qopt-mem-layout-trans").unwrap(), 1);
+        let b = sp
+            .baseline()
+            .with(sp, sp.index_of("qopt-mem-layout-trans").unwrap(), 1);
         let assignment: Vec<_> = (0..ir.len())
             .map(|i| if i % 2 == 0 { a.clone() } else { b.clone() })
             .collect();
-        let linked = link(c.compile_mixed(&ir, &assignment), &ir, &Architecture::broadwell());
-        let hot_pay = linked.conflict_factor[..6].iter().filter(|f| **f > 1.0).count();
+        let linked = link(
+            c.compile_mixed(&ir, &assignment),
+            &ir,
+            &Architecture::broadwell(),
+        );
+        let hot_pay = linked.conflict_factor[..6]
+            .iter()
+            .filter(|f| **f > 1.0)
+            .count();
         assert!(hot_pay >= 2, "layout clash must penalize sharing modules");
         assert_eq!(linked.conflict_factor[6], 1.0, "non-loop shares nothing");
     }
@@ -397,12 +544,25 @@ mod tests {
         let ir = program(12);
         let c = compiler();
         let sp = c.space();
-        let lean = link(c.compile_program(&ir, &sp.baseline()), &ir, &Architecture::broadwell());
+        let lean = link(
+            c.compile_program(&ir, &sp.baseline()),
+            &ir,
+            &Architecture::broadwell(),
+        );
         let mut fat_cv = sp.baseline();
         fat_cv = fat_cv.with(sp, sp.index_of("unroll").unwrap(), 5); // 16x
         fat_cv = fat_cv.with(sp, sp.index_of("loop-multiversion").unwrap(), 2);
-        let fat = link(c.compile_program(&ir, &fat_cv), &ir, &Architecture::broadwell());
-        assert!(fat.icache_factor > lean.icache_factor, "{} vs {}", fat.icache_factor, lean.icache_factor);
+        let fat = link(
+            c.compile_program(&ir, &fat_cv),
+            &ir,
+            &Architecture::broadwell(),
+        );
+        assert!(
+            fat.icache_factor > lean.icache_factor,
+            "{} vs {}",
+            fat.icache_factor,
+            lean.icache_factor
+        );
     }
 
     #[test]
@@ -411,13 +571,23 @@ mod tests {
         let c = compiler();
         let sp = c.space();
         let scalar = sp.baseline().with(sp, sp.index_of("vec").unwrap(), 1);
-        let wide = sp.baseline().with(sp, sp.index_of("simd-width").unwrap(), 2);
+        let wide = sp
+            .baseline()
+            .with(sp, sp.index_of("simd-width").unwrap(), 2);
         let mixed: Vec<_> = (0..ir.len())
             .map(|i| if i == 0 { scalar.clone() } else { wide.clone() })
             .collect();
         let uniform: Vec<_> = (0..ir.len()).map(|_| wide.clone()).collect();
-        let lm = link(c.compile_mixed(&ir, &mixed), &ir, &Architecture::broadwell());
-        let lu = link(c.compile_mixed(&ir, &uniform), &ir, &Architecture::broadwell());
+        let lm = link(
+            c.compile_mixed(&ir, &mixed),
+            &ir,
+            &Architecture::broadwell(),
+        );
+        let lu = link(
+            c.compile_mixed(&ir, &uniform),
+            &ir,
+            &Architecture::broadwell(),
+        );
         assert!(lm.call_cost_s > lu.call_cost_s);
     }
 
@@ -436,8 +606,7 @@ mod tests {
         // Mixed link with an override somewhere across seeds.
         for s in 0..40u64 {
             let mut rng = rng_for(s, "ex");
-            let assignment: Vec<_> =
-                (0..ir.len()).map(|_| c.space().sample(&mut rng)).collect();
+            let assignment: Vec<_> = (0..ir.len()).map(|_| c.space().sample(&mut rng)).collect();
             let linked = link(c.compile_mixed(&ir, &assignment), &ir, &arch);
             if !linked.overrides.is_empty() {
                 let text = linked.explain();
@@ -446,6 +615,54 @@ mod tests {
             }
         }
         panic!("no override found across 40 mixed links");
+    }
+
+    #[test]
+    fn link_cache_hits_share_the_program() {
+        let ir = program(8);
+        let c = compiler();
+        let arch = Architecture::broadwell();
+        let mut rng = rng_for(12, "lc");
+        let assignment: Vec<_> = (0..ir.len()).map(|_| c.space().sample(&mut rng)).collect();
+        let digests: Vec<u64> = assignment.iter().map(|cv| cv.digest()).collect();
+        let cache = LinkCache::new();
+        let a = cache.link_with(&digests, &ir, &arch, || c.compile_mixed(&ir, &assignment));
+        let b = cache.link_with(&digests, &ir, &arch, || {
+            panic!("hit must not recompile");
+        });
+        assert!(Arc::ptr_eq(&a, &b), "hit must be a pointer bump");
+        assert_eq!(*a, link(c.compile_mixed(&ir, &assignment), &ir, &arch));
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn link_cache_distinguishes_assignments() {
+        let ir = program(6);
+        let c = compiler();
+        let arch = Architecture::broadwell();
+        let cache = LinkCache::new();
+        let mut rng = rng_for(13, "lc2");
+        for _ in 0..10 {
+            let assignment: Vec<_> = (0..ir.len()).map(|_| c.space().sample(&mut rng)).collect();
+            let digests: Vec<u64> = assignment.iter().map(|cv| cv.digest()).collect();
+            let linked =
+                cache.link_with(&digests, &ir, &arch, || c.compile_mixed(&ir, &assignment));
+            assert_eq!(*linked, link(c.compile_mixed(&ir, &assignment), &ir, &arch));
+        }
+        assert_eq!(cache.len(), 10, "distinct assignments, distinct entries");
+        assert_eq!(cache.stats().0, 0);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one digest per module")]
+    fn link_cache_rejects_partial_digests() {
+        let ir = program(3);
+        let cache = LinkCache::new();
+        let _ = cache.link_with(&[1, 2], &ir, &Architecture::broadwell(), Vec::new);
     }
 
     #[test]

@@ -155,13 +155,19 @@ mod tests {
         f.bytes_per_iter = 50.0;
         let unit = ProgramIr::new(
             "u",
-            vec![Module::hot_loop(0, "l", f.clone(), &[]), Module::non_loop(1, 0.1, 1e4)],
+            vec![
+                Module::hot_loop(0, "l", f.clone(), &[]),
+                Module::non_loop(1, 0.1, 1e4),
+            ],
             vec![],
         );
         f.stride = MemStride::Indirect;
         let indirect = ProgramIr::new(
             "i",
-            vec![Module::hot_loop(0, "l", f, &[]), Module::non_loop(1, 0.1, 1e4)],
+            vec![
+                Module::hot_loop(0, "l", f, &[]),
+                Module::non_loop(1, 0.1, 1e4),
+            ],
             vec![],
         );
         let arch = Architecture::broadwell();

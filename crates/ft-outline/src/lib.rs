@@ -137,9 +137,10 @@ pub fn outline(ir: &ProgramIr, report: &HotLoopReport, arch: &Architecture) -> O
         .modules
         .iter()
         .find_map(|m| match m.kind {
-            ModuleKind::NonLoop { seconds_per_step, code_bytes } => {
-                Some((seconds_per_step, code_bytes, m.id))
-            }
+            ModuleKind::NonLoop {
+                seconds_per_step,
+                code_bytes,
+            } => Some((seconds_per_step, code_bytes, m.id)),
             _ => None,
         })
         .expect("program must have a non-loop module");
@@ -155,24 +156,27 @@ pub fn outline(ir: &ProgramIr, report: &HotLoopReport, arch: &Architecture) -> O
 
     // Remap call edges whose endpoints survived; edges touching folded
     // loops are redirected to the residual module.
-    let remap = |orig: usize| -> usize {
-        original_id
-            .iter()
-            .position(|o| *o == orig)
-            .unwrap_or(j)
-    };
+    let remap = |orig: usize| -> usize { original_id.iter().position(|o| *o == orig).unwrap_or(j) };
     let mut edges = Vec::new();
     for e in &ir.call_edges {
         let from = remap(e.from);
         let to = remap(e.to);
         if from != to {
-            edges.push(ft_compiler::CallEdge { from, to, calls_per_step: e.calls_per_step });
+            edges.push(ft_compiler::CallEdge {
+                from,
+                to,
+                calls_per_step: e.calls_per_step,
+            });
         }
     }
 
     let mut out = ProgramIr::new(&ir.name, modules, edges);
     out.pgo_hostile = ir.pgo_hostile;
-    OutlinedProgram { ir: out, original_id, j }
+    OutlinedProgram {
+        ir: out,
+        original_id,
+        j,
+    }
 }
 
 /// Outlines `ir` using a *fixed* hot-loop set (module ids of `ir`).
@@ -257,7 +261,9 @@ mod tests {
             .modules
             .iter()
             .find_map(|m| match m.kind {
-                ModuleKind::NonLoop { seconds_per_step, .. } => Some(seconds_per_step),
+                ModuleKind::NonLoop {
+                    seconds_per_step, ..
+                } => Some(seconds_per_step),
                 _ => None,
             })
             .unwrap();
@@ -266,7 +272,9 @@ mod tests {
             .modules
             .last()
             .and_then(|m| match m.kind {
-                ModuleKind::NonLoop { seconds_per_step, .. } => Some(seconds_per_step),
+                ModuleKind::NonLoop {
+                    seconds_per_step, ..
+                } => Some(seconds_per_step),
                 _ => None,
             })
             .unwrap();
@@ -324,8 +332,7 @@ mod tests {
             for w in suite() {
                 let input = w.tuning_input(arch.name).clone();
                 let ir = w.instantiate(&input);
-                let report =
-                    detect_hot_loops(&ir, &c, &arch, input.steps, HOT_THRESHOLD, 3);
+                let report = detect_hot_loops(&ir, &c, &arch, input.steps, HOT_THRESHOLD, 3);
                 println!(
                     "{:<13} {:<11} steps={:<3} O3 end-to-end = {:7.2} s (J_hot={})",
                     arch.name,

@@ -39,11 +39,18 @@ fn main() {
         match arg.as_str() {
             "--full" => {}
             "--json" => {
-                json_dir =
-                    Some(it.next().unwrap_or_else(|| die("--json needs a directory")).clone());
+                json_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--json needs a directory"))
+                        .clone(),
+                );
             }
             "--md" => {
-                md_dir = Some(it.next().unwrap_or_else(|| die("--md needs a directory")).clone());
+                md_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--md needs a directory"))
+                        .clone(),
+                );
             }
             "--compare" => compare_paper = true,
             "--seed" => cfg.seed = parse(it.next(), "--seed"),
@@ -68,7 +75,10 @@ fn main() {
         std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("mkdir {dir}: {e}")));
     }
     for id in &ids {
-        eprintln!("[repro] running {id} (K={}, X={}, seed={})...", cfg.k, cfg.x, cfg.seed);
+        eprintln!(
+            "[repro] running {id} (K={}, X={}, seed={})...",
+            cfg.k, cfg.x, cfg.seed
+        );
         let artifact = run_experiment(id, &cfg);
         println!("{}", render::render(&artifact));
         if compare_paper {

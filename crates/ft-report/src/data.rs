@@ -14,12 +14,18 @@ pub struct Series {
 impl Series {
     /// Builds a series from label + points.
     pub fn new(label: &str, points: Vec<(String, f64)>) -> Self {
-        Series { label: label.to_string(), points }
+        Series {
+            label: label.to_string(),
+            points,
+        }
     }
 
     /// Value for a category, if present.
     pub fn get(&self, category: &str) -> Option<f64> {
-        self.points.iter().find(|(c, _)| c == category).map(|(_, v)| *v)
+        self.points
+            .iter()
+            .find(|(c, _)| c == category)
+            .map(|(_, v)| *v)
     }
 }
 

@@ -4,19 +4,33 @@ use crate::config::ReproConfig;
 use crate::data::{Artifact, FigureData, Series, TableData};
 use crate::runner::{ctx_on_input, fmt_pct, pgo_speedup_in_ctx, speedup_in_ctx, tune_workload};
 use ft_baselines::{combined_elimination, opentuner_search, pgo_tune, Cobayn, FeatureMode};
+use ft_compiler::Compiler;
 use ft_core::stats::geomean;
 use ft_core::EvalContext;
 use ft_flags::rng::derive_seed;
 use ft_machine::Architecture;
-use ft_compiler::Compiler;
 use ft_outline::outline_with_defaults;
 use ft_workloads::{suite, workload_by_name};
 
 /// All experiment ids, in paper order.
 pub fn all_ids() -> &'static [&'static str] {
     &[
-        "table1", "table2", "fig1", "fig5a", "fig5b", "fig5c", "fig6", "fig7a", "fig7b",
-        "fig8", "fig9", "table3", "ablation-x", "ablation-k", "overhead", "convergence",
+        "table1",
+        "table2",
+        "fig1",
+        "fig5a",
+        "fig5b",
+        "fig5c",
+        "fig6",
+        "fig7a",
+        "fig7b",
+        "fig8",
+        "fig9",
+        "table3",
+        "ablation-x",
+        "ablation-k",
+        "overhead",
+        "convergence",
         "variance",
     ]
 }
@@ -64,7 +78,12 @@ fn table1() -> Artifact {
     Artifact::Table(TableData {
         id: "table1".into(),
         title: "List of benchmarks".into(),
-        header: vec!["Name".into(), "Language".into(), "LOC".into(), "Domain".into()],
+        header: vec![
+            "Name".into(),
+            "Language".into(),
+            "LOC".into(),
+            "Domain".into(),
+        ],
         rows,
         notes: vec!["LOC are the original applications' source sizes (Table 1)".into()],
     })
@@ -138,10 +157,7 @@ fn table2() -> Artifact {
 fn fig1(cfg: &ReproConfig) -> Artifact {
     let arch = Architecture::broadwell();
     let benches = ["LULESH", "CloverLeaf", "AMG"];
-    let mut series: Vec<Series> = benches
-        .iter()
-        .map(|b| Series::new(b, Vec::new()))
-        .collect();
+    let mut series: Vec<Series> = benches.iter().map(|b| Series::new(b, Vec::new())).collect();
     for (ci, make) in [
         ("GCC", Compiler::gcc as fn(ft_compiler::Target) -> Compiler),
         ("ICC", Compiler::icc as fn(ft_compiler::Target) -> Compiler),
@@ -184,8 +200,7 @@ fn fig1(cfg: &ReproConfig) -> Artifact {
 /// Shared Figure 5 builder for one architecture.
 fn fig5(cfg: &ReproConfig, arch: Architecture, id: &str) -> Artifact {
     let workloads = suite();
-    let mut categories: Vec<String> =
-        workloads.iter().map(|w| w.meta.name.to_string()).collect();
+    let mut categories: Vec<String> = workloads.iter().map(|w| w.meta.name.to_string()).collect();
     categories.push("GM".into());
     let algos = ["Random", "G.realized", "FR", "CFR", "G.Independent"];
     let mut series: Vec<Series> = algos.iter().map(|a| Series::new(a, Vec::new())).collect();
@@ -217,7 +232,10 @@ fn fig5(cfg: &ReproConfig, arch: Architecture, id: &str) -> Artifact {
         title: format!("Normalized speedups on {}", arch.name),
         categories,
         series,
-        notes: vec![format!("paper CFR GM on {}: +{paper_gm} over -O3", arch.name)],
+        notes: vec![format!(
+            "paper CFR GM on {}: +{paper_gm} over -O3",
+            arch.name
+        )],
     })
 }
 
@@ -240,8 +258,7 @@ fn fig6(cfg: &ReproConfig) -> Artifact {
         "OpenTuner",
         "CFR",
     ];
-    let mut categories: Vec<String> =
-        workloads.iter().map(|w| w.meta.name.to_string()).collect();
+    let mut categories: Vec<String> = workloads.iter().map(|w| w.meta.name.to_string()).collect();
     categories.push("GM".into());
     let mut series: Vec<Series> = algos.iter().map(|a| Series::new(a, Vec::new())).collect();
     let mut per_algo: Vec<Vec<f64>> = vec![Vec::new(); algos.len()];
@@ -256,8 +273,12 @@ fn fig6(cfg: &ReproConfig) -> Artifact {
         }
         let values = [
             cobayn.tune(ctx, FeatureMode::Static, cfg.k, seed).speedup(),
-            cobayn.tune(ctx, FeatureMode::Dynamic, cfg.k, seed ^ 1).speedup(),
-            cobayn.tune(ctx, FeatureMode::Hybrid, cfg.k, seed ^ 2).speedup(),
+            cobayn
+                .tune(ctx, FeatureMode::Dynamic, cfg.k, seed ^ 1)
+                .speedup(),
+            cobayn
+                .tune(ctx, FeatureMode::Hybrid, cfg.k, seed ^ 2)
+                .speedup(),
             pgo.result.speedup(),
             opentuner_search(ctx, cfg.opentuner_budget, seed ^ 3).speedup(),
             run.cfr.speedup(),
@@ -292,8 +313,7 @@ fn fig7(cfg: &ReproConfig, small: bool) -> Artifact {
         derive_seed(cfg.seed, "cobayn-train"),
     );
     let algos = ["Random", "G.realized", "COBAYN", "PGO", "OpenTuner", "CFR"];
-    let mut categories: Vec<String> =
-        workloads.iter().map(|w| w.meta.name.to_string()).collect();
+    let mut categories: Vec<String> = workloads.iter().map(|w| w.meta.name.to_string()).collect();
     categories.push("GM".into());
     let mut series: Vec<Series> = algos.iter().map(|a| Series::new(a, Vec::new())).collect();
     let mut per_algo: Vec<Vec<f64>> = vec![Vec::new(); algos.len()];
@@ -301,8 +321,9 @@ fn fig7(cfg: &ReproConfig, small: bool) -> Artifact {
         let run = tune_workload(w, &arch, cfg);
         let seed = derive_seed(cfg.seed, &format!("fig7-{}", w.meta.name));
         // Assignments tuned on the tuning input...
-        let cobayn_cv =
-            cobayn.tune(&run.ctx, FeatureMode::Static, cfg.k, seed).assignment;
+        let cobayn_cv = cobayn
+            .tune(&run.ctx, FeatureMode::Static, cfg.k, seed)
+            .assignment;
         let opentuner_cv = opentuner_search(&run.ctx, cfg.opentuner_budget, seed ^ 3).assignment;
         // ...evaluated frozen on the other input (§4.3).
         let input = if small { &w.small } else { &w.large };
@@ -350,7 +371,9 @@ fn fig8(cfg: &ReproConfig) -> Artifact {
         ((100.0 * cfg.cobayn_scale) as usize).max(5),
         derive_seed(cfg.seed, "cobayn-train"),
     );
-    let cobayn_cv = cobayn.tune(&run.ctx, FeatureMode::Static, cfg.k, seed).assignment;
+    let cobayn_cv = cobayn
+        .tune(&run.ctx, FeatureMode::Static, cfg.k, seed)
+        .assignment;
     let opentuner_cv = opentuner_search(&run.ctx, cfg.opentuner_budget, seed ^ 3).assignment;
 
     // Quick mode scales the step ladder down 10x; the ratios between
@@ -423,9 +446,15 @@ fn fig9(cfg: &ReproConfig) -> Artifact {
             .unwrap_or_else(|| panic!("{kernel} must be outlined"))
             .id;
         let base = base_run.per_module_s[j];
-        series[0].points.push((kernel.into(), base / random_run.per_module_s[j]));
-        series[1].points.push((kernel.into(), base / greedy_run.per_module_s[j]));
-        series[2].points.push((kernel.into(), base / cfr_run.per_module_s[j]));
+        series[0]
+            .points
+            .push((kernel.into(), base / random_run.per_module_s[j]));
+        series[1]
+            .points
+            .push((kernel.into(), base / greedy_run.per_module_s[j]));
+        series[2]
+            .points
+            .push((kernel.into(), base / cfr_run.per_module_s[j]));
         let indep = run.data.per_module[j][run.data.argmin(j)];
         series[3].points.push((kernel.into(), base / indep));
     }
@@ -462,7 +491,11 @@ fn table3(cfg: &ReproConfig) -> Artifact {
     // builds an executable; pre-link for the hypothetical
     // G.Independent.
     let linked_for = |assignment: &[ft_flags::Cv]| {
-        ft_machine::link(ctx.compiler.compile_mixed(&ctx.ir, assignment), &ctx.ir, &ctx.arch)
+        ft_machine::link(
+            ctx.compiler.compile_mixed(&ctx.ir, assignment),
+            &ctx.ir,
+            &ctx.arch,
+        )
     };
     let summaries = |linked: &ft_machine::LinkedProgram| -> Vec<String> {
         kernel_ids
@@ -482,7 +515,10 @@ fn table3(cfg: &ReproConfig) -> Artifact {
         .iter()
         .map(|&j| {
             let cv = &run.data.cvs[run.data.argmin(j)];
-            ctx.compiler.compile_module(&ctx.ir.modules[j], cv).decisions.summary()
+            ctx.compiler
+                .compile_module(&ctx.ir.modules[j], cv)
+                .decisions
+                .summary()
         })
         .collect();
     let o3 = summaries(&linked_for(&vec![ctx.space().baseline(); ctx.modules()]));
@@ -549,9 +585,7 @@ fn ablation_x(cfg: &ReproConfig) -> Artifact {
         title: "CFR speedup vs focus width X (CloverLeaf, Broadwell)".into(),
         categories: points.iter().map(|(c, _)| c.clone()).collect(),
         series: vec![Series::new("CFR", points)],
-        notes: vec![
-            "X=1 degenerates toward greedy combination; X=K toward FR (§2.2.4)".into(),
-        ],
+        notes: vec!["X=1 degenerates toward greedy combination; X=K toward FR (§2.2.4)".into()],
     })
 }
 
@@ -562,8 +596,11 @@ fn ablation_k(cfg: &ReproConfig) -> Artifact {
     let w = workload_by_name("CloverLeaf").expect("CloverLeaf in suite");
     let run = tune_workload(&w, &arch, cfg);
     let ctx = &run.ctx;
-    let budgets: Vec<usize> =
-        [25usize, 50, 100, 200, 400, 1000].iter().cloned().filter(|k| *k <= cfg.k).collect();
+    let budgets: Vec<usize> = [25usize, 50, 100, 200, 400, 1000]
+        .iter()
+        .cloned()
+        .filter(|k| *k <= cfg.k)
+        .collect();
     let seed = derive_seed(cfg.seed, "ablation-k");
     let mut speedups = Vec::new();
     let mut notes = Vec::new();
@@ -598,9 +635,14 @@ fn overhead(cfg: &ReproConfig) -> Artifact {
     let compiler_seed = derive_seed(cfg.seed, "overhead");
     let fresh_ctx = || {
         let compiler = Compiler::icc(arch.target);
-        let (outlined, _) =
-            outline_with_defaults(&ir, &compiler, &arch, steps, compiler_seed);
-        EvalContext::new(outlined.ir, Compiler::icc(arch.target), arch.clone(), steps, compiler_seed)
+        let (outlined, _) = outline_with_defaults(&ir, &compiler, &arch, steps, compiler_seed);
+        EvalContext::new(
+            outlined.ir,
+            Compiler::icc(arch.target),
+            arch.clone(),
+            steps,
+            compiler_seed,
+        )
     };
     let row = |name: &str, cost: ft_core::TuningCost, speedup: f64| -> Vec<String> {
         vec![
@@ -609,6 +651,9 @@ fn overhead(cfg: &ReproConfig) -> Artifact {
             cost.object_compiles.to_string(),
             cost.object_reuses.to_string(),
             format!("{:.1}%", cost.reuse_rate() * 100.0),
+            cost.links.to_string(),
+            cost.link_reuses.to_string(),
+            format!("{:.1}%", cost.link_reuse_rate() * 100.0),
             format!("{:.2}", cost.machine_hours()),
             format!("{speedup:.3}x"),
         ]
@@ -668,6 +713,9 @@ fn overhead(cfg: &ReproConfig) -> Artifact {
             "compiles".into(),
             "obj reuses".into(),
             "reuse rate".into(),
+            "links".into(),
+            "link reuses".into(),
+            "link reuse rate".into(),
             "machine hours".into(),
             "speedup".into(),
         ],
@@ -675,6 +723,7 @@ fn overhead(cfg: &ReproConfig) -> Artifact {
         notes: vec![
             "paper §4.3: ~1.5 days Random/G, 2 days OpenTuner, 3 days CFR, 1 week COBAYN per benchmark".into(),
             "CFR costs ~2x Random (collection + re-sampling) but per-loop objects are heavily reused".into(),
+            "links/link reuses: whole-program links performed vs duplicate assignments served from the link cache (xild analogue)".into(),
         ],
     })
 }
@@ -730,7 +779,9 @@ fn variance(cfg: &ReproConfig) -> Artifact {
     let arch = Architecture::broadwell();
     let w = workload_by_name("CloverLeaf").expect("CloverLeaf in suite");
     let run = tune_workload(&w, &arch, cfg);
-    let seeds: Vec<u64> = (0..5).map(|i| derive_seed(cfg.seed, "variance") ^ i).collect();
+    let seeds: Vec<u64> = (0..5)
+        .map(|i| derive_seed(cfg.seed, "variance") ^ i)
+        .collect();
     let rows = ft_core::variance_study(&run.ctx, cfg.k.min(300), cfg.x, &seeds);
     Artifact::Table(TableData {
         id: "variance".into(),
@@ -825,7 +876,10 @@ mod tests {
         let gi = f.series_by_label("G.Independent").unwrap();
         let cfr = f.series_by_label("CFR").unwrap();
         for (cat, v) in &cfr.points {
-            assert!(gi.get(cat).unwrap() >= v * 0.999, "independent bound violated at {cat}");
+            assert!(
+                gi.get(cat).unwrap() >= v * 0.999,
+                "independent bound violated at {cat}"
+            );
         }
     }
 
@@ -843,10 +897,7 @@ mod tests {
         let t = a.as_table().unwrap();
         assert_eq!(t.rows.len(), 6);
         let hours = |name: &str| -> f64 {
-            t.rows
-                .iter()
-                .find(|r| r[0] == name)
-                .unwrap()[5]
+            t.rows.iter().find(|r| r[0] == name).unwrap()[8]
                 .parse()
                 .unwrap()
         };
@@ -854,6 +905,24 @@ mod tests {
         assert!((1.4..3.0).contains(&ratio), "CFR/Random = {ratio}");
         // The adaptive extension stops early.
         assert!(hours("CFR-adaptive") < hours("CFR"));
+    }
+
+    #[test]
+    fn overhead_table_reports_link_work() {
+        let a = run_experiment("overhead", &quick());
+        let t = a.as_table().unwrap();
+        assert_eq!(t.header[5], "links");
+        assert_eq!(t.header[6], "link reuses");
+        for r in &t.rows {
+            let links: u64 = r[5].parse().unwrap();
+            let reuses: u64 = r[6].parse().unwrap();
+            assert!(links > 0, "{} performed no links: {r:?}", r[0]);
+            assert!(r[7].ends_with('%'), "link reuse rate formatted: {r:?}");
+            // Every approach runs at least as often as it links; the
+            // difference is served by the link cache.
+            let runs: u64 = r[1].parse().unwrap();
+            assert_eq!(links + reuses, runs, "{}: ledger must balance", r[0]);
+        }
     }
 
     #[test]

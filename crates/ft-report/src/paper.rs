@@ -112,8 +112,7 @@ pub fn compare(artifact: &Artifact) -> Vec<ComparisonRow> {
     refs.into_iter()
         .map(|r| {
             let measured = lookup(artifact, &r.series, &r.category);
-            let within_tolerance =
-                measured.is_some_and(|m| (m - r.value).abs() <= r.tolerance);
+            let within_tolerance = measured.is_some_and(|m| (m - r.value).abs() <= r.tolerance);
             ComparisonRow {
                 series: r.series,
                 category: r.category,
@@ -127,7 +126,9 @@ pub fn compare(artifact: &Artifact) -> Vec<ComparisonRow> {
 
 fn lookup(artifact: &Artifact, series: &str, category: &str) -> Option<f64> {
     match artifact {
-        Artifact::Figure(f) => f.series_by_label(series).and_then(|s: &Series| s.get(category)),
+        Artifact::Figure(f) => f
+            .series_by_label(series)
+            .and_then(|s: &Series| s.get(category)),
         Artifact::Table(t) => {
             // Row label in column 0, category resolved via the header.
             let col = t.header.iter().position(|h| h == category)?;
@@ -167,8 +168,9 @@ mod tests {
 
     #[test]
     fn every_figure_id_has_references() {
-        for id in ["fig1", "fig5a", "fig5b", "fig5c", "fig6", "fig7a", "fig7b", "fig8", "fig9", "table3"]
-        {
+        for id in [
+            "fig1", "fig5a", "fig5b", "fig5c", "fig6", "fig7a", "fig7b", "fig8", "fig9", "table3",
+        ] {
             assert!(!references(id).is_empty(), "{id} lacks paper references");
         }
         assert!(references("table1").is_empty());

@@ -15,7 +15,13 @@ pub fn render(artifact: &Artifact) -> String {
 pub fn render_figure(f: &FigureData) -> String {
     let mut out = String::new();
     out.push_str(&format!("== {} — {} ==\n", f.id, f.title));
-    let label_w = f.series.iter().map(|s| s.label.len()).max().unwrap_or(8).max(8);
+    let label_w = f
+        .series
+        .iter()
+        .map(|s| s.label.len())
+        .max()
+        .unwrap_or(8)
+        .max(8);
     let max_v = f
         .series
         .iter()

@@ -1,11 +1,11 @@
 //! Shared plumbing for the experiment registry.
 
 use crate::config::ReproConfig;
+use ft_compiler::{Compiler, PgoProfile};
 use ft_core::{EvalContext, Tuner, TuningRun};
 use ft_flags::rng::{derive_seed, derive_seed_idx};
 use ft_flags::Cv;
 use ft_machine::Architecture;
-use ft_compiler::{Compiler, PgoProfile};
 use ft_outline::outline_with_hot_set;
 use ft_workloads::{InputConfig, Workload};
 
@@ -15,7 +15,10 @@ pub fn tune_workload(w: &Workload, arch: &Architecture, cfg: &ReproConfig) -> Tu
     let mut tuner = Tuner::new(w, arch)
         .budget(cfg.k)
         .focus(cfg.x)
-        .seed(derive_seed(cfg.seed, &format!("{}-{}", w.meta.name, arch.name)));
+        .seed(derive_seed(
+            cfg.seed,
+            &format!("{}-{}", w.meta.name, arch.name),
+        ));
     if let Some(cap) = cfg.steps_cap {
         tuner = tuner.cap_steps(cap);
     }
@@ -49,7 +52,10 @@ pub fn ctx_on_input(
         compiler,
         run.ctx.arch.clone(),
         input.steps,
-        derive_seed(cfg.seed, &format!("xin-noise-{}-{}", w.meta.name, input.name)),
+        derive_seed(
+            cfg.seed,
+            &format!("xin-noise-{}-{}", w.meta.name, input.name),
+        ),
     )
 }
 

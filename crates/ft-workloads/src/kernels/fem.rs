@@ -138,7 +138,9 @@ impl FemMesh {
         vel.par_iter_mut().enumerate().for_each(|(i, v)| {
             *v = (*v + dt * force[i] / mass[i / 2]) * 0.999;
         });
-        pos.par_iter_mut().zip(vel.par_iter()).for_each(|(p, v)| *p += dt * v);
+        pos.par_iter_mut()
+            .zip(vel.par_iter())
+            .for_each(|(p, v)| *p += dt * v);
     }
 
     /// One explicit step.
@@ -154,7 +156,11 @@ impl FemMesh {
 
     /// Deterministic checksum over positions.
     pub fn checksum(&self) -> f64 {
-        self.pos.iter().enumerate().map(|(i, p)| p * (1.0 + (i % 5) as f64)).sum()
+        self.pos
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p * (1.0 + (i % 5) as f64))
+            .sum()
     }
 }
 
@@ -199,7 +205,10 @@ mod tests {
     #[test]
     fn deterministic_across_thread_counts() {
         let run = |threads: usize| {
-            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
             pool.install(|| {
                 let mut m = FemMesh::new(12, 12);
                 for _ in 0..30 {

@@ -78,7 +78,11 @@ impl Hydro2d {
                     let dv = vel_y[(y + 1) * (nx + 1) + x] - vel_y[y * (nx + 1) + x];
                     let div = du + dv;
                     // Quadratic viscosity only in compression.
-                    row[x] = if div < 0.0 { 2.0 * density[i] * div * div } else { 0.0 };
+                    row[x] = if div < 0.0 {
+                        2.0 * density[i] * div * div
+                    } else {
+                        0.0
+                    };
                 }
                 (y, row)
             })
@@ -119,8 +123,7 @@ impl Hydro2d {
                     let i = y * nx + x;
                     let below = (y - 1) * nx + x;
                     let rho = 0.5 * (density[i] + density[below]).max(1e-12);
-                    let dp =
-                        (pressure[i] - pressure[below]) + (viscosity[i] - viscosity[below]);
+                    let dp = (pressure[i] - pressure[below]) + (viscosity[i] - viscosity[below]);
                     *v -= dt * dp / (rho * dx);
                 }
             });
@@ -142,7 +145,11 @@ impl Hydro2d {
                     let c = (GAMMA * pressure[i] / density[i].max(1e-12)).sqrt();
                     let u = vel_x[y * (nx + 1) + x].abs();
                     let denom = c + u;
-                    let local = if denom > 1e-12 { dx / denom } else { f64::INFINITY };
+                    let local = if denom > 1e-12 {
+                        dx / denom
+                    } else {
+                        f64::INFINITY
+                    };
                     if local < m {
                         m = local;
                     }
@@ -150,7 +157,11 @@ impl Hydro2d {
                 m
             })
             .collect();
-        row_minima.into_iter().fold(f64::INFINITY, f64::min).min(0.04) * 0.5
+        row_minima
+            .into_iter()
+            .fold(f64::INFINITY, f64::min)
+            .min(0.04)
+            * 0.5
     }
 
     /// One full time-step; returns the dt used.
@@ -204,7 +215,10 @@ mod tests {
     #[test]
     fn step_is_deterministic_across_thread_counts() {
         let run = |threads: usize| {
-            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
             pool.install(|| {
                 let mut h = Hydro2d::new(40, 40);
                 for _ in 0..5 {

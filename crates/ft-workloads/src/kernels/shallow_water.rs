@@ -39,7 +39,8 @@ impl ShallowWater {
                 let fx = x as f64 / n as f64;
                 let fy = y as f64 / n as f64;
                 p[y * n + x] = 50_000.0
-                    + 1000.0 * (2.0 * std::f64::consts::PI * fx).sin()
+                    + 1000.0
+                        * (2.0 * std::f64::consts::PI * fx).sin()
                         * (2.0 * std::f64::consts::PI * fy).cos();
             }
         }
@@ -154,7 +155,10 @@ mod tests {
     #[test]
     fn deterministic_across_thread_counts() {
         let run = |threads: usize| {
-            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
             pool.install(|| {
                 let mut s = ShallowWater::new(48);
                 for _ in 0..10 {

@@ -49,7 +49,12 @@ impl CsrMatrix {
                 row_ptr.push(col_idx.len());
             }
         }
-        CsrMatrix { n, row_ptr, col_idx, values }
+        CsrMatrix {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Number of stored non-zeros.
@@ -151,7 +156,10 @@ mod tests {
     #[test]
     fn deterministic_across_thread_counts() {
         let run = |threads: usize| {
-            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
             pool.install(|| CsrMatrix::laplacian_2d(16).solve_jacobi(20, 0.8))
         };
         assert_eq!(run(1).to_bits(), run(4).to_bits());

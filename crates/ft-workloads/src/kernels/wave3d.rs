@@ -54,28 +54,37 @@ impl Wave3d {
         let n = self.n;
         let (cur, prev, c2) = (&self.cur, &mut self.prev, &self.c2);
         // prev becomes next in the leapfrog rotation; parallel over z-planes.
-        prev.par_chunks_mut(n * n).enumerate().for_each(|(z, plane)| {
-            if z == 0 || z == n - 1 {
-                for v in plane.iter_mut() {
-                    *v = 0.0;
+        prev.par_chunks_mut(n * n)
+            .enumerate()
+            .for_each(|(z, plane)| {
+                if z == 0 || z == n - 1 {
+                    for v in plane.iter_mut() {
+                        *v = 0.0;
+                    }
+                    return;
                 }
-                return;
-            }
-            for y in 1..n - 1 {
-                for x in 1..n - 1 {
-                    let i = (z * n + y) * n + x;
-                    let lap = cur[i - 1] + cur[i + 1] + cur[i - n] + cur[i + n]
-                        + cur[i - n * n]
-                        + cur[i + n * n]
-                        - 6.0 * cur[i];
-                    let next = 2.0 * cur[i] - plane[y * n + x] + c2[i] * lap;
-                    // Sponge damping near the faces (divergent branch,
-                    // like Optewe's absorb_bc kernel).
-                    let d = x.min(y).min(z).min(n - 1 - x).min(n - 1 - y).min(n - 1 - z);
-                    plane[y * n + x] = if d < 3 { next * (0.90 + 0.03 * d as f64) } else { next };
+                for y in 1..n - 1 {
+                    for x in 1..n - 1 {
+                        let i = (z * n + y) * n + x;
+                        let lap = cur[i - 1]
+                            + cur[i + 1]
+                            + cur[i - n]
+                            + cur[i + n]
+                            + cur[i - n * n]
+                            + cur[i + n * n]
+                            - 6.0 * cur[i];
+                        let next = 2.0 * cur[i] - plane[y * n + x] + c2[i] * lap;
+                        // Sponge damping near the faces (divergent branch,
+                        // like Optewe's absorb_bc kernel).
+                        let d = x.min(y).min(z).min(n - 1 - x).min(n - 1 - y).min(n - 1 - z);
+                        plane[y * n + x] = if d < 3 {
+                            next * (0.90 + 0.03 * d as f64)
+                        } else {
+                            next
+                        };
+                    }
                 }
-            }
-        });
+            });
         std::mem::swap(&mut self.cur, &mut self.prev);
         // Source injection at the grid centre.
         let c = self.n / 2;
@@ -91,7 +100,11 @@ impl Wave3d {
 
     /// Deterministic checksum.
     pub fn checksum(&self) -> f64 {
-        self.cur.iter().enumerate().map(|(i, v)| v * ((i % 7) as f64 + 1.0)).sum()
+        self.cur
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v * ((i % 7) as f64 + 1.0))
+            .sum()
     }
 }
 
@@ -148,7 +161,10 @@ mod tests {
     #[test]
     fn deterministic_across_thread_counts() {
         let run = |threads: usize| {
-            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
             pool.install(|| {
                 let mut w = Wave3d::new(24);
                 for _ in 0..25 {

@@ -71,22 +71,70 @@ impl Lp {
         }
     }
 
-    pub fn ops(mut self, v: f64) -> Self { self.ops = v; self }
-    pub fn bytes(mut self, v: f64) -> Self { self.bytes = v; self }
-    pub fn invocations(mut self, v: f64) -> Self { self.inv = v; self }
-    pub fn writes(mut self, v: f64) -> Self { self.write_fraction = v; self }
-    pub fn stride(mut self, v: MemStride) -> Self { self.stride = v; self }
-    pub fn divergence(mut self, v: f64) -> Self { self.divergence = v; self }
-    pub fn ilp(mut self, v: f64) -> Self { self.ilp = v; self }
-    pub fn carried_dep(mut self) -> Self { self.carried_dependence = true; self }
-    pub fn reduction(mut self) -> Self { self.reduction = true; self }
-    pub fn working_set(mut self, mb: f64) -> Self { self.working_set_mb = mb; self }
-    pub fn streaming(mut self, v: f64) -> Self { self.streaming = v; self }
-    pub fn calls(mut self, v: f64) -> Self { self.calls_out = v; self }
-    pub fn code(mut self, bytes: f64) -> Self { self.code = bytes; self }
-    pub fn fp(mut self, v: f64) -> Self { self.fp = v; self }
-    pub fn shares(mut self, ids: &[u32]) -> Self { self.shared = ids.to_vec(); self }
-    pub fn o3_vec(mut self, v: f64) -> Self { self.o3_vec = v; self }
+    pub fn ops(mut self, v: f64) -> Self {
+        self.ops = v;
+        self
+    }
+    pub fn bytes(mut self, v: f64) -> Self {
+        self.bytes = v;
+        self
+    }
+    pub fn invocations(mut self, v: f64) -> Self {
+        self.inv = v;
+        self
+    }
+    pub fn writes(mut self, v: f64) -> Self {
+        self.write_fraction = v;
+        self
+    }
+    pub fn stride(mut self, v: MemStride) -> Self {
+        self.stride = v;
+        self
+    }
+    pub fn divergence(mut self, v: f64) -> Self {
+        self.divergence = v;
+        self
+    }
+    pub fn ilp(mut self, v: f64) -> Self {
+        self.ilp = v;
+        self
+    }
+    pub fn carried_dep(mut self) -> Self {
+        self.carried_dependence = true;
+        self
+    }
+    pub fn reduction(mut self) -> Self {
+        self.reduction = true;
+        self
+    }
+    pub fn working_set(mut self, mb: f64) -> Self {
+        self.working_set_mb = mb;
+        self
+    }
+    pub fn streaming(mut self, v: f64) -> Self {
+        self.streaming = v;
+        self
+    }
+    pub fn calls(mut self, v: f64) -> Self {
+        self.calls_out = v;
+        self
+    }
+    pub fn code(mut self, bytes: f64) -> Self {
+        self.code = bytes;
+        self
+    }
+    pub fn fp(mut self, v: f64) -> Self {
+        self.fp = v;
+        self
+    }
+    pub fn shares(mut self, ids: &[u32]) -> Self {
+        self.shared = ids.to_vec();
+        self
+    }
+    pub fn o3_vec(mut self, v: f64) -> Self {
+        self.o3_vec = v;
+        self
+    }
 }
 
 /// Assembles a [`ProgramIr`] from loop specs.
@@ -126,7 +174,11 @@ impl ProgramBuilder {
     /// Adds a cross-module call edge (by loop insertion order; the
     /// non-loop module is the last id).
     pub fn edge(mut self, from: usize, to: usize, calls_per_step: f64) -> Self {
-        self.edges.push(CallEdge { from, to, calls_per_step });
+        self.edges.push(CallEdge {
+            from,
+            to,
+            calls_per_step,
+        });
         self
     }
 
@@ -150,8 +202,7 @@ impl ProgramBuilder {
             };
             let bw = 58.0e9 * 0.92 * if lp.working_set_mb < 20.0 { 3.0 } else { 1.0 };
             let mem_per_iter = lp.bytes / (bw * util);
-            let per_iter =
-                comp_per_iter.max(mem_per_iter) + 0.25 * comp_per_iter.min(mem_per_iter);
+            let per_iter = comp_per_iter.max(mem_per_iter) + 0.25 * comp_per_iter.min(mem_per_iter);
             let trip = (lp.o3_secs / (per_iter * lp.inv)).max(64.0);
             let features = LoopFeatures {
                 trip_count: trip,
@@ -178,7 +229,11 @@ impl ProgramBuilder {
         // `seconds_per_step` is stored in the serial-reference
         // convention used by the execution model (divided by the
         // Broadwell scalar speed of 1.0 at run time).
-        modules.push(Module::non_loop(non_loop_id, self.non_loop_secs, self.non_loop_code));
+        modules.push(Module::non_loop(
+            non_loop_id,
+            self.non_loop_secs,
+            self.non_loop_code,
+        ));
         let ir = ProgramIr::new(self.program, modules, self.edges);
         if self.pgo_hostile {
             ir.with_pgo_hostile()
@@ -193,21 +248,112 @@ impl ProgramBuilder {
 /// through node lists, and a divergent EOS. PGO-hostile.
 pub fn lulesh_ir() -> ProgramIr {
     ProgramBuilder::new("LULESH")
-        .push(Lp::new("CalcHourglass", 0.160).ops(320.0).bytes(120.0).ilp(3.6).code(3200.0).shares(&[1, 2]))
-        .push(Lp::new("CalcFBHourglass", 0.120).ops(280.0).bytes(100.0).ilp(3.2).code(2800.0).shares(&[1, 2]))
-        .push(Lp::new("IntegrateStress", 0.100).ops(220.0).bytes(140.0).stride(MemStride::Indirect).code(2600.0).shares(&[1]))
-        .push(Lp::new("CalcKinematics", 0.085).ops(260.0).bytes(90.0).ilp(3.4).code(2400.0).shares(&[2]))
-        .push(Lp::new("CalcMonotonicQ", 0.070).ops(150.0).bytes(130.0).divergence(0.45).code(2200.0).shares(&[3]))
-        .push(Lp::new("EvalEOS", 0.075).ops(180.0).bytes(60.0).divergence(0.72).code(2000.0).shares(&[3]))
-        .push(Lp::new("CalcSoundSpeed", 0.035).ops(90.0).bytes(40.0).reduction().code(1200.0).shares(&[3]))
-        .push(Lp::new("CalcVolumeForce", 0.055).ops(200.0).bytes(110.0).code(2100.0).shares(&[1]))
-        .push(Lp::new("LagrangeNodal", 0.050).ops(120.0).bytes(150.0).stride(MemStride::Indirect).code(1900.0).shares(&[2]))
-        .push(Lp::new("CalcPosVel", 0.040).ops(60.0).bytes(180.0).writes(0.5).streaming(0.8).working_set(512.0).code(1100.0))
-        .push(Lp::new("UpdateVolumes", 0.020).ops(40.0).bytes(160.0).writes(0.6).streaming(0.85).working_set(512.0).code(900.0))
-        .push(Lp::new("CalcTimeConstraint", 0.018).ops(70.0).bytes(30.0).reduction().divergence(0.5).code(1000.0))
+        .push(
+            Lp::new("CalcHourglass", 0.160)
+                .ops(320.0)
+                .bytes(120.0)
+                .ilp(3.6)
+                .code(3200.0)
+                .shares(&[1, 2]),
+        )
+        .push(
+            Lp::new("CalcFBHourglass", 0.120)
+                .ops(280.0)
+                .bytes(100.0)
+                .ilp(3.2)
+                .code(2800.0)
+                .shares(&[1, 2]),
+        )
+        .push(
+            Lp::new("IntegrateStress", 0.100)
+                .ops(220.0)
+                .bytes(140.0)
+                .stride(MemStride::Indirect)
+                .code(2600.0)
+                .shares(&[1]),
+        )
+        .push(
+            Lp::new("CalcKinematics", 0.085)
+                .ops(260.0)
+                .bytes(90.0)
+                .ilp(3.4)
+                .code(2400.0)
+                .shares(&[2]),
+        )
+        .push(
+            Lp::new("CalcMonotonicQ", 0.070)
+                .ops(150.0)
+                .bytes(130.0)
+                .divergence(0.45)
+                .code(2200.0)
+                .shares(&[3]),
+        )
+        .push(
+            Lp::new("EvalEOS", 0.075)
+                .ops(180.0)
+                .bytes(60.0)
+                .divergence(0.72)
+                .code(2000.0)
+                .shares(&[3]),
+        )
+        .push(
+            Lp::new("CalcSoundSpeed", 0.035)
+                .ops(90.0)
+                .bytes(40.0)
+                .reduction()
+                .code(1200.0)
+                .shares(&[3]),
+        )
+        .push(
+            Lp::new("CalcVolumeForce", 0.055)
+                .ops(200.0)
+                .bytes(110.0)
+                .code(2100.0)
+                .shares(&[1]),
+        )
+        .push(
+            Lp::new("LagrangeNodal", 0.050)
+                .ops(120.0)
+                .bytes(150.0)
+                .stride(MemStride::Indirect)
+                .code(1900.0)
+                .shares(&[2]),
+        )
+        .push(
+            Lp::new("CalcPosVel", 0.040)
+                .ops(60.0)
+                .bytes(180.0)
+                .writes(0.5)
+                .streaming(0.8)
+                .working_set(512.0)
+                .code(1100.0),
+        )
+        .push(
+            Lp::new("UpdateVolumes", 0.020)
+                .ops(40.0)
+                .bytes(160.0)
+                .writes(0.6)
+                .streaming(0.85)
+                .working_set(512.0)
+                .code(900.0),
+        )
+        .push(
+            Lp::new("CalcTimeConstraint", 0.018)
+                .ops(70.0)
+                .bytes(30.0)
+                .reduction()
+                .divergence(0.5)
+                .code(1000.0),
+        )
         // Sub-threshold loops (folded into non-loop by the outliner).
         .push(Lp::new("CommSBN", 0.004).ops(30.0).bytes(80.0).code(700.0))
-        .push(Lp::new("ApplyBC", 0.003).ops(25.0).bytes(60.0).divergence(0.3).code(600.0))
+        .push(
+            Lp::new("ApplyBC", 0.003)
+                .ops(25.0)
+                .bytes(60.0)
+                .divergence(0.3)
+                .code(600.0),
+        )
         .non_loop(0.20, 9.0e4)
         .edge(0, 1, 2.0e4)
         .edge(2, 8, 1.5e4)
@@ -225,24 +371,135 @@ pub fn cloverleaf_ir() -> ProgramIr {
     ProgramBuilder::new("CloverLeaf")
         // dt: time-step reduction with divergent min logic — 256-bit
         // vectorization needs heavy masking (Table 3).
-        .push(Lp::new("dt", 0.0105).ops(140.0).bytes(70.0).divergence(0.78).reduction().ilp(2.6).code(2000.0).shares(&[1, 4]))
-        .push(Lp::new("cell3", 0.0087).ops(26.0).bytes(190.0).writes(0.40).streaming(0.5).working_set(340.0).code(1500.0).shares(&[1]))
-        .push(Lp::new("cell7", 0.0105).ops(30.0).bytes(210.0).writes(0.45).streaming(0.55).working_set(340.0).code(1600.0).shares(&[1]))
-        .push(Lp::new("mom9", 0.0105).ops(160.0).bytes(90.0).divergence(0.62).ilp(2.8).code(2200.0).shares(&[2]))
-        .push(Lp::new("acc", 0.0126).ops(190.0).bytes(80.0).ilp(3.4).divergence(0.25).code(2300.0).shares(&[2]))
+        .push(
+            Lp::new("dt", 0.0105)
+                .ops(140.0)
+                .bytes(70.0)
+                .divergence(0.78)
+                .reduction()
+                .ilp(2.6)
+                .code(2000.0)
+                .shares(&[1, 4]),
+        )
+        .push(
+            Lp::new("cell3", 0.0087)
+                .ops(26.0)
+                .bytes(190.0)
+                .writes(0.40)
+                .streaming(0.5)
+                .working_set(340.0)
+                .code(1500.0)
+                .shares(&[1]),
+        )
+        .push(
+            Lp::new("cell7", 0.0105)
+                .ops(30.0)
+                .bytes(210.0)
+                .writes(0.45)
+                .streaming(0.55)
+                .working_set(340.0)
+                .code(1600.0)
+                .shares(&[1]),
+        )
+        .push(
+            Lp::new("mom9", 0.0105)
+                .ops(160.0)
+                .bytes(90.0)
+                .divergence(0.62)
+                .ilp(2.8)
+                .code(2200.0)
+                .shares(&[2]),
+        )
+        .push(
+            Lp::new("acc", 0.0126)
+                .ops(190.0)
+                .bytes(80.0)
+                .ilp(3.4)
+                .divergence(0.25)
+                .code(2300.0)
+                .shares(&[2]),
+        )
         // Remaining hot loops, each between 1 % and 3 % (§4.4: "others
         // are less than 3.0%").
-        .push(Lp::new("ideal_gas", 0.0080).ops(110.0).bytes(60.0).code(1500.0).shares(&[1]))
-        .push(Lp::new("viscosity", 0.0085).ops(170.0).bytes(75.0).divergence(0.4).code(2000.0).shares(&[2]))
-        .push(Lp::new("pdv", 0.0082).ops(130.0).bytes(85.0).code(1800.0).shares(&[1, 2]))
-        .push(Lp::new("flux_calc", 0.0075).ops(90.0).bytes(120.0).divergence(0.3).code(1600.0).shares(&[4]))
-        .push(Lp::new("advec_cell", 0.0088).ops(100.0).bytes(150.0).writes(0.4).working_set(340.0).code(1900.0).shares(&[1, 4]))
-        .push(Lp::new("advec_mom", 0.0086).ops(120.0).bytes(130.0).working_set(340.0).code(1900.0).shares(&[2, 4]))
-        .push(Lp::new("reset_field", 0.0050).ops(20.0).bytes(200.0).writes(0.7).streaming(0.9).working_set(340.0).code(900.0).shares(&[1]))
-        .push(Lp::new("update_halo", 0.0045).ops(35.0).bytes(90.0).stride(MemStride::Strided(8)).code(1200.0))
-        .push(Lp::new("field_summary", 0.0040).ops(60.0).bytes(70.0).reduction().code(1000.0).shares(&[1]))
+        .push(
+            Lp::new("ideal_gas", 0.0080)
+                .ops(110.0)
+                .bytes(60.0)
+                .code(1500.0)
+                .shares(&[1]),
+        )
+        .push(
+            Lp::new("viscosity", 0.0085)
+                .ops(170.0)
+                .bytes(75.0)
+                .divergence(0.4)
+                .code(2000.0)
+                .shares(&[2]),
+        )
+        .push(
+            Lp::new("pdv", 0.0082)
+                .ops(130.0)
+                .bytes(85.0)
+                .code(1800.0)
+                .shares(&[1, 2]),
+        )
+        .push(
+            Lp::new("flux_calc", 0.0075)
+                .ops(90.0)
+                .bytes(120.0)
+                .divergence(0.3)
+                .code(1600.0)
+                .shares(&[4]),
+        )
+        .push(
+            Lp::new("advec_cell", 0.0088)
+                .ops(100.0)
+                .bytes(150.0)
+                .writes(0.4)
+                .working_set(340.0)
+                .code(1900.0)
+                .shares(&[1, 4]),
+        )
+        .push(
+            Lp::new("advec_mom", 0.0086)
+                .ops(120.0)
+                .bytes(130.0)
+                .working_set(340.0)
+                .code(1900.0)
+                .shares(&[2, 4]),
+        )
+        .push(
+            Lp::new("reset_field", 0.0050)
+                .ops(20.0)
+                .bytes(200.0)
+                .writes(0.7)
+                .streaming(0.9)
+                .working_set(340.0)
+                .code(900.0)
+                .shares(&[1]),
+        )
+        .push(
+            Lp::new("update_halo", 0.0045)
+                .ops(35.0)
+                .bytes(90.0)
+                .stride(MemStride::Strided(8))
+                .code(1200.0),
+        )
+        .push(
+            Lp::new("field_summary", 0.0040)
+                .ops(60.0)
+                .bytes(70.0)
+                .reduction()
+                .code(1000.0)
+                .shares(&[1]),
+        )
         // Sub-threshold.
-        .push(Lp::new("visit_dump", 0.0012).ops(40.0).bytes(50.0).code(700.0))
+        .push(
+            Lp::new("visit_dump", 0.0012)
+                .ops(40.0)
+                .bytes(50.0)
+                .code(700.0),
+        )
         .non_loop(0.062, 7.0e4)
         .edge(0, 14, 5.0e3)
         .edge(9, 10, 2.0e4)
@@ -255,21 +512,106 @@ pub fn cloverleaf_ir() -> ProgramIr {
 /// and streaming tuning — the paper's biggest CFR win (up to 22 %).
 pub fn amg_ir() -> ProgramIr {
     let mut b = ProgramBuilder::new("AMG")
-        .push(Lp::new("matvec", 0.200).ops(45.0).bytes(260.0).stride(MemStride::Indirect).working_set(900.0).ilp(2.2).code(2200.0).shares(&[1]))
-        .push(Lp::new("matvec_T", 0.110).ops(40.0).bytes(240.0).stride(MemStride::Indirect).working_set(900.0).ilp(2.0).code(2100.0).shares(&[1]))
-        .push(Lp::new("relax0", 0.130).ops(55.0).bytes(230.0).stride(MemStride::Indirect).working_set(900.0).divergence(0.25).code(2400.0).shares(&[1, 2]))
-        .push(Lp::new("relax1", 0.090).ops(50.0).bytes(220.0).stride(MemStride::Indirect).working_set(700.0).divergence(0.25).code(2300.0).shares(&[2]))
-        .push(Lp::new("interp", 0.075).ops(35.0).bytes(200.0).stride(MemStride::Indirect).working_set(500.0).code(2000.0).shares(&[2, 3]))
-        .push(Lp::new("restrict", 0.070).ops(35.0).bytes(190.0).stride(MemStride::Indirect).working_set(500.0).code(2000.0).shares(&[3]))
-        .push(Lp::new("rap", 0.085).ops(60.0).bytes(210.0).stride(MemStride::Indirect).working_set(600.0).divergence(0.35).code(2600.0).shares(&[3]))
-        .push(Lp::new("axpy", 0.045).ops(10.0).bytes(240.0).writes(0.35).streaming(0.9).working_set(900.0).code(700.0).shares(&[1]))
-        .push(Lp::new("dot", 0.040).ops(12.0).bytes(160.0).reduction().working_set(900.0).code(800.0).shares(&[1]));
+        .push(
+            Lp::new("matvec", 0.200)
+                .ops(45.0)
+                .bytes(260.0)
+                .stride(MemStride::Indirect)
+                .working_set(900.0)
+                .ilp(2.2)
+                .code(2200.0)
+                .shares(&[1]),
+        )
+        .push(
+            Lp::new("matvec_T", 0.110)
+                .ops(40.0)
+                .bytes(240.0)
+                .stride(MemStride::Indirect)
+                .working_set(900.0)
+                .ilp(2.0)
+                .code(2100.0)
+                .shares(&[1]),
+        )
+        .push(
+            Lp::new("relax0", 0.130)
+                .ops(55.0)
+                .bytes(230.0)
+                .stride(MemStride::Indirect)
+                .working_set(900.0)
+                .divergence(0.25)
+                .code(2400.0)
+                .shares(&[1, 2]),
+        )
+        .push(
+            Lp::new("relax1", 0.090)
+                .ops(50.0)
+                .bytes(220.0)
+                .stride(MemStride::Indirect)
+                .working_set(700.0)
+                .divergence(0.25)
+                .code(2300.0)
+                .shares(&[2]),
+        )
+        .push(
+            Lp::new("interp", 0.075)
+                .ops(35.0)
+                .bytes(200.0)
+                .stride(MemStride::Indirect)
+                .working_set(500.0)
+                .code(2000.0)
+                .shares(&[2, 3]),
+        )
+        .push(
+            Lp::new("restrict", 0.070)
+                .ops(35.0)
+                .bytes(190.0)
+                .stride(MemStride::Indirect)
+                .working_set(500.0)
+                .code(2000.0)
+                .shares(&[3]),
+        )
+        .push(
+            Lp::new("rap", 0.085)
+                .ops(60.0)
+                .bytes(210.0)
+                .stride(MemStride::Indirect)
+                .working_set(600.0)
+                .divergence(0.35)
+                .code(2600.0)
+                .shares(&[3]),
+        )
+        .push(
+            Lp::new("axpy", 0.045)
+                .ops(10.0)
+                .bytes(240.0)
+                .writes(0.35)
+                .streaming(0.9)
+                .working_set(900.0)
+                .code(700.0)
+                .shares(&[1]),
+        )
+        .push(
+            Lp::new("dot", 0.040)
+                .ops(12.0)
+                .bytes(160.0)
+                .reduction()
+                .working_set(900.0)
+                .code(800.0)
+                .shares(&[1]),
+        );
     // A ladder of smaller setup/cycle loops to reach J ≈ 20.
     for (i, (name, secs)) in [
-        ("strength", 0.030), ("coarsen", 0.028), ("agg_pass1", 0.024),
-        ("agg_pass2", 0.022), ("prolong_setup", 0.020), ("smooth_setup", 0.018),
-        ("norm", 0.016), ("residual", 0.026), ("scale", 0.014),
-        ("copy_vec", 0.013), ("cycle_ctrl", 0.012),
+        ("strength", 0.030),
+        ("coarsen", 0.028),
+        ("agg_pass1", 0.024),
+        ("agg_pass2", 0.022),
+        ("prolong_setup", 0.020),
+        ("smooth_setup", 0.018),
+        ("norm", 0.016),
+        ("residual", 0.026),
+        ("scale", 0.014),
+        ("copy_vec", 0.013),
+        ("cycle_ctrl", 0.012),
     ]
     .iter()
     .enumerate()
@@ -278,18 +620,27 @@ pub fn amg_ir() -> ProgramIr {
             Lp::new(name, *secs)
                 .ops(30.0)
                 .bytes(170.0)
-                .stride(if i % 2 == 0 { MemStride::Indirect } else { MemStride::Unit })
+                .stride(if i % 2 == 0 {
+                    MemStride::Indirect
+                } else {
+                    MemStride::Unit
+                })
                 .working_set(400.0)
                 .code(1300.0)
                 .shares(&[2 + (i as u32 % 3)]),
         );
     }
-    b.push(Lp::new("print_norm", 0.003).ops(20.0).bytes(40.0).code(500.0))
-        .non_loop(0.26, 2.2e5)
-        .edge(0, 2, 4.0e4)
-        .edge(2, 3, 3.0e4)
-        .edge(4, 6, 2.0e4)
-        .finish()
+    b.push(
+        Lp::new("print_norm", 0.003)
+            .ops(20.0)
+            .bytes(40.0)
+            .code(500.0),
+    )
+    .non_loop(0.26, 2.2e5)
+    .edge(0, 2, 4.0e4)
+    .edge(2, 3, 3.0e4)
+    .edge(4, 6, 2.0e4)
+    .finish()
 }
 
 /// Optewe: seismic wave propagation (C++, 2.7 k LOC). Tightly coupled
@@ -298,14 +649,76 @@ pub fn amg_ir() -> ProgramIr {
 /// paper's G.realized collapses to 0.34 on Sandy Bridge). PGO-hostile.
 pub fn optewe_ir() -> ProgramIr {
     ProgramBuilder::new("Optewe")
-        .push(Lp::new("vel_update", 0.55).ops(210.0).bytes(130.0).ilp(3.4).working_set(800.0).code(2600.0).shares(&[1, 2]))
-        .push(Lp::new("stress_xx", 0.42).ops(240.0).bytes(120.0).ilp(3.2).working_set(800.0).code(2700.0).shares(&[1, 2]))
-        .push(Lp::new("stress_xy", 0.38).ops(230.0).bytes(120.0).ilp(3.2).working_set(800.0).code(2700.0).shares(&[1, 2]))
-        .push(Lp::new("stress_zz", 0.33).ops(220.0).bytes(115.0).ilp(3.1).working_set(800.0).code(2600.0).shares(&[1, 2]))
-        .push(Lp::new("absorb_bc", 0.16).ops(120.0).bytes(100.0).divergence(0.66).code(1900.0).shares(&[2]))
-        .push(Lp::new("source_inject", 0.09).ops(80.0).bytes(60.0).divergence(0.4).code(1300.0).shares(&[1]))
-        .push(Lp::new("free_surface", 0.11).ops(140.0).bytes(90.0).divergence(0.35).code(1700.0).shares(&[1, 2]))
-        .push(Lp::new("snapshot", 0.07).ops(15.0).bytes(220.0).writes(0.8).streaming(0.95).working_set(800.0).code(800.0).shares(&[2]))
+        .push(
+            Lp::new("vel_update", 0.55)
+                .ops(210.0)
+                .bytes(130.0)
+                .ilp(3.4)
+                .working_set(800.0)
+                .code(2600.0)
+                .shares(&[1, 2]),
+        )
+        .push(
+            Lp::new("stress_xx", 0.42)
+                .ops(240.0)
+                .bytes(120.0)
+                .ilp(3.2)
+                .working_set(800.0)
+                .code(2700.0)
+                .shares(&[1, 2]),
+        )
+        .push(
+            Lp::new("stress_xy", 0.38)
+                .ops(230.0)
+                .bytes(120.0)
+                .ilp(3.2)
+                .working_set(800.0)
+                .code(2700.0)
+                .shares(&[1, 2]),
+        )
+        .push(
+            Lp::new("stress_zz", 0.33)
+                .ops(220.0)
+                .bytes(115.0)
+                .ilp(3.1)
+                .working_set(800.0)
+                .code(2600.0)
+                .shares(&[1, 2]),
+        )
+        .push(
+            Lp::new("absorb_bc", 0.16)
+                .ops(120.0)
+                .bytes(100.0)
+                .divergence(0.66)
+                .code(1900.0)
+                .shares(&[2]),
+        )
+        .push(
+            Lp::new("source_inject", 0.09)
+                .ops(80.0)
+                .bytes(60.0)
+                .divergence(0.4)
+                .code(1300.0)
+                .shares(&[1]),
+        )
+        .push(
+            Lp::new("free_surface", 0.11)
+                .ops(140.0)
+                .bytes(90.0)
+                .divergence(0.35)
+                .code(1700.0)
+                .shares(&[1, 2]),
+        )
+        .push(
+            Lp::new("snapshot", 0.07)
+                .ops(15.0)
+                .bytes(220.0)
+                .writes(0.8)
+                .streaming(0.95)
+                .working_set(800.0)
+                .code(800.0)
+                .shares(&[2]),
+        )
         .push(Lp::new("timer_io", 0.015).ops(20.0).bytes(40.0).code(500.0))
         .non_loop(0.38, 4.0e4)
         .edge(0, 1, 6.0e4)
@@ -320,11 +733,51 @@ pub fn optewe_ir() -> ProgramIr {
 /// with strided access and a carried dependence in the substitution.
 pub fn bwaves_ir() -> ProgramIr {
     ProgramBuilder::new("bwaves")
-        .push(Lp::new("mat_times_vec", 0.15).ops(95.0).bytes(230.0).stride(MemStride::Strided(5)).working_set(700.0).ilp(2.8).code(2400.0).shares(&[1]))
-        .push(Lp::new("bi_cgstab", 0.11).ops(60.0).bytes(200.0).reduction().working_set(700.0).code(2000.0).shares(&[1]))
-        .push(Lp::new("shell_residual", 0.08).ops(180.0).bytes(110.0).ilp(3.2).code(2500.0).shares(&[2]))
-        .push(Lp::new("jacobian", 0.065).ops(260.0).bytes(90.0).ilp(3.0).divergence(0.2).code(2800.0).shares(&[2]))
-        .push(Lp::new("back_substitution", 0.04).ops(70.0).bytes(150.0).carried_dep().stride(MemStride::Strided(5)).code(1800.0).shares(&[1]))
+        .push(
+            Lp::new("mat_times_vec", 0.15)
+                .ops(95.0)
+                .bytes(230.0)
+                .stride(MemStride::Strided(5))
+                .working_set(700.0)
+                .ilp(2.8)
+                .code(2400.0)
+                .shares(&[1]),
+        )
+        .push(
+            Lp::new("bi_cgstab", 0.11)
+                .ops(60.0)
+                .bytes(200.0)
+                .reduction()
+                .working_set(700.0)
+                .code(2000.0)
+                .shares(&[1]),
+        )
+        .push(
+            Lp::new("shell_residual", 0.08)
+                .ops(180.0)
+                .bytes(110.0)
+                .ilp(3.2)
+                .code(2500.0)
+                .shares(&[2]),
+        )
+        .push(
+            Lp::new("jacobian", 0.065)
+                .ops(260.0)
+                .bytes(90.0)
+                .ilp(3.0)
+                .divergence(0.2)
+                .code(2800.0)
+                .shares(&[2]),
+        )
+        .push(
+            Lp::new("back_substitution", 0.04)
+                .ops(70.0)
+                .bytes(150.0)
+                .carried_dep()
+                .stride(MemStride::Strided(5))
+                .code(1800.0)
+                .shares(&[1]),
+        )
         .push(Lp::new("flux_bc", 0.006).ops(40.0).bytes(60.0).code(800.0))
         .non_loop(0.11, 3.0e4)
         .edge(0, 1, 5.0e4)
@@ -339,25 +792,110 @@ pub fn fma3d_ir() -> ProgramIr {
     let mut b = ProgramBuilder::new("fma3d");
     // Nine principal element/solver kernels.
     b = b
-        .push(Lp::new("platq_forces", 0.105).ops(280.0).bytes(100.0).divergence(0.35).ilp(3.0).code(3000.0).shares(&[1]))
-        .push(Lp::new("platq_stress", 0.090).ops(260.0).bytes(95.0).divergence(0.40).code(2900.0).shares(&[1]))
-        .push(Lp::new("hexah_forces", 0.080).ops(300.0).bytes(110.0).ilp(3.4).code(3100.0).shares(&[2]))
-        .push(Lp::new("hexah_stress", 0.070).ops(270.0).bytes(100.0).code(2900.0).shares(&[2]))
-        .push(Lp::new("material_41", 0.060).ops(190.0).bytes(70.0).divergence(0.65).code(2400.0).shares(&[3]))
-        .push(Lp::new("material_22", 0.050).ops(170.0).bytes(70.0).divergence(0.6).code(2300.0).shares(&[3]))
-        .push(Lp::new("gather_elems", 0.045).ops(50.0).bytes(190.0).stride(MemStride::Indirect).code(1500.0).shares(&[1, 2]))
-        .push(Lp::new("scatter_forces", 0.045).ops(45.0).bytes(200.0).stride(MemStride::Indirect).writes(0.5).code(1500.0).shares(&[1, 2]))
-        .push(Lp::new("time_integration", 0.040).ops(60.0).bytes(160.0).writes(0.45).streaming(0.7).working_set(600.0).code(1400.0).shares(&[4]));
+        .push(
+            Lp::new("platq_forces", 0.105)
+                .ops(280.0)
+                .bytes(100.0)
+                .divergence(0.35)
+                .ilp(3.0)
+                .code(3000.0)
+                .shares(&[1]),
+        )
+        .push(
+            Lp::new("platq_stress", 0.090)
+                .ops(260.0)
+                .bytes(95.0)
+                .divergence(0.40)
+                .code(2900.0)
+                .shares(&[1]),
+        )
+        .push(
+            Lp::new("hexah_forces", 0.080)
+                .ops(300.0)
+                .bytes(110.0)
+                .ilp(3.4)
+                .code(3100.0)
+                .shares(&[2]),
+        )
+        .push(
+            Lp::new("hexah_stress", 0.070)
+                .ops(270.0)
+                .bytes(100.0)
+                .code(2900.0)
+                .shares(&[2]),
+        )
+        .push(
+            Lp::new("material_41", 0.060)
+                .ops(190.0)
+                .bytes(70.0)
+                .divergence(0.65)
+                .code(2400.0)
+                .shares(&[3]),
+        )
+        .push(
+            Lp::new("material_22", 0.050)
+                .ops(170.0)
+                .bytes(70.0)
+                .divergence(0.6)
+                .code(2300.0)
+                .shares(&[3]),
+        )
+        .push(
+            Lp::new("gather_elems", 0.045)
+                .ops(50.0)
+                .bytes(190.0)
+                .stride(MemStride::Indirect)
+                .code(1500.0)
+                .shares(&[1, 2]),
+        )
+        .push(
+            Lp::new("scatter_forces", 0.045)
+                .ops(45.0)
+                .bytes(200.0)
+                .stride(MemStride::Indirect)
+                .writes(0.5)
+                .code(1500.0)
+                .shares(&[1, 2]),
+        )
+        .push(
+            Lp::new("time_integration", 0.040)
+                .ops(60.0)
+                .bytes(160.0)
+                .writes(0.45)
+                .streaming(0.7)
+                .working_set(600.0)
+                .code(1400.0)
+                .shares(&[4]),
+        );
     // 24 smaller kernels (sliding interfaces, constraints, boundary
     // sets...) to reach J ≈ 33.
     for i in 0..24 {
         let secs = 0.034 - 0.0006 * i as f64;
         let names: [&'static str; 24] = [
-            "slide_a", "slide_b", "contact_srch", "contact_force", "beam_forces",
-            "truss_forces", "membr_forces", "spring_damp", "rigid_body", "constraint",
-            "bc_disp", "bc_vel", "mass_scale", "energy_bal", "hourglass_q",
-            "strain_rate", "rotate_stress", "eos_update", "fail_check", "node_accum",
-            "vel_update2", "disp_update", "min_dt_scan", "output_pack",
+            "slide_a",
+            "slide_b",
+            "contact_srch",
+            "contact_force",
+            "beam_forces",
+            "truss_forces",
+            "membr_forces",
+            "spring_damp",
+            "rigid_body",
+            "constraint",
+            "bc_disp",
+            "bc_vel",
+            "mass_scale",
+            "energy_bal",
+            "hourglass_q",
+            "strain_rate",
+            "rotate_stress",
+            "eos_update",
+            "fail_check",
+            "node_accum",
+            "vel_update2",
+            "disp_update",
+            "min_dt_scan",
+            "output_pack",
         ];
         b = b.push(
             Lp::new(names[i], secs.max(0.020))
@@ -368,13 +906,18 @@ pub fn fma3d_ir() -> ProgramIr {
                 .shares(&[1 + (i as u32 % 4)]),
         );
     }
-    b.push(Lp::new("restart_io", 0.004).ops(30.0).bytes(50.0).code(600.0))
-        .non_loop(0.30, 3.0e5)
-        .edge(0, 6, 3.0e4)
-        .edge(2, 6, 3.0e4)
-        .edge(7, 8, 2.5e4)
-        .edge(4, 17, 1.0e4)
-        .finish()
+    b.push(
+        Lp::new("restart_io", 0.004)
+            .ops(30.0)
+            .bytes(50.0)
+            .code(600.0),
+    )
+    .non_loop(0.30, 3.0e5)
+    .edge(0, 6, 3.0e4)
+    .edge(2, 6, 3.0e4)
+    .edge(7, 8, 2.5e4)
+    .edge(4, 17, 1.0e4)
+    .finish()
 }
 
 /// 363.swim (SPEC OMP 2012): shallow-water weather model, 0.5 k LOC —
@@ -382,12 +925,62 @@ pub fn fma3d_ir() -> ProgramIr {
 /// memory-bound, the canonical streaming-stores showcase.
 pub fn swim_ir() -> ProgramIr {
     ProgramBuilder::new("swim")
-        .push(Lp::new("calc1", 0.145).ops(28.0).bytes(330.0).writes(0.45).streaming(0.92).working_set(760.0).ilp(2.6).code(1400.0).shares(&[1]))
-        .push(Lp::new("calc2", 0.135).ops(30.0).bytes(320.0).writes(0.45).streaming(0.92).working_set(760.0).ilp(2.6).code(1400.0).shares(&[1]))
-        .push(Lp::new("calc3", 0.110).ops(24.0).bytes(300.0).writes(0.5).streaming(0.9).working_set(760.0).code(1300.0).shares(&[1]))
-        .push(Lp::new("calc3z", 0.040).ops(20.0).bytes(260.0).writes(0.5).streaming(0.85).working_set(760.0).code(1100.0).shares(&[1]))
-        .push(Lp::new("smooth", 0.055).ops(40.0).bytes(280.0).working_set(760.0).code(1500.0).shares(&[1]))
-        .push(Lp::new("init_cond", 0.004).ops(25.0).bytes(90.0).code(600.0))
+        .push(
+            Lp::new("calc1", 0.145)
+                .ops(28.0)
+                .bytes(330.0)
+                .writes(0.45)
+                .streaming(0.92)
+                .working_set(760.0)
+                .ilp(2.6)
+                .code(1400.0)
+                .shares(&[1]),
+        )
+        .push(
+            Lp::new("calc2", 0.135)
+                .ops(30.0)
+                .bytes(320.0)
+                .writes(0.45)
+                .streaming(0.92)
+                .working_set(760.0)
+                .ilp(2.6)
+                .code(1400.0)
+                .shares(&[1]),
+        )
+        .push(
+            Lp::new("calc3", 0.110)
+                .ops(24.0)
+                .bytes(300.0)
+                .writes(0.5)
+                .streaming(0.9)
+                .working_set(760.0)
+                .code(1300.0)
+                .shares(&[1]),
+        )
+        .push(
+            Lp::new("calc3z", 0.040)
+                .ops(20.0)
+                .bytes(260.0)
+                .writes(0.5)
+                .streaming(0.85)
+                .working_set(760.0)
+                .code(1100.0)
+                .shares(&[1]),
+        )
+        .push(
+            Lp::new("smooth", 0.055)
+                .ops(40.0)
+                .bytes(280.0)
+                .working_set(760.0)
+                .code(1500.0)
+                .shares(&[1]),
+        )
+        .push(
+            Lp::new("init_cond", 0.004)
+                .ops(25.0)
+                .bytes(90.0)
+                .code(600.0),
+        )
         .non_loop(0.050, 1.2e4)
         .edge(0, 1, 1.0e3)
         .finish()
@@ -414,7 +1007,15 @@ mod tests {
         let names: Vec<String> = all().iter().map(|p| p.name.clone()).collect();
         assert_eq!(
             names,
-            vec!["LULESH", "CloverLeaf", "AMG", "Optewe", "bwaves", "fma3d", "swim"]
+            vec![
+                "LULESH",
+                "CloverLeaf",
+                "AMG",
+                "Optewe",
+                "bwaves",
+                "fma3d",
+                "swim"
+            ]
         );
     }
 

@@ -57,7 +57,9 @@ impl Workload {
                     f.trip_count *= input.size_scale;
                     f.working_set_mb *= input.ws_scale;
                 }
-                ModuleKind::NonLoop { seconds_per_step, .. } => {
+                ModuleKind::NonLoop {
+                    seconds_per_step, ..
+                } => {
                     *seconds_per_step *= input.size_scale;
                 }
             }
@@ -70,7 +72,12 @@ impl Workload {
 }
 
 fn meta(name: &'static str, language: &'static str, loc_k: f64, domain: &'static str) -> BenchMeta {
-    BenchMeta { name, language, loc_k, domain }
+    BenchMeta {
+        name,
+        language,
+        loc_k,
+        domain,
+    }
 }
 
 /// Builds the full seven-benchmark suite with Table 2 inputs.
@@ -80,9 +87,18 @@ pub fn suite() -> Vec<Workload> {
             meta: meta("LULESH", "C++", 7.2, "Hydrodynamics"),
             ir: programs::lulesh_ir(),
             tune: vec![
-                ("Opteron", InputConfig::from_mesh("tune", 120.0, 200.0, 3, 10)),
-                ("Sandy Bridge", InputConfig::from_mesh("tune", 150.0, 200.0, 3, 10)),
-                ("Broadwell", InputConfig::from_mesh("tune", 200.0, 200.0, 3, 10)),
+                (
+                    "Opteron",
+                    InputConfig::from_mesh("tune", 120.0, 200.0, 3, 10),
+                ),
+                (
+                    "Sandy Bridge",
+                    InputConfig::from_mesh("tune", 150.0, 200.0, 3, 10),
+                ),
+                (
+                    "Broadwell",
+                    InputConfig::from_mesh("tune", 200.0, 200.0, 3, 10),
+                ),
             ],
             small: InputConfig::from_mesh("small", 180.0, 200.0, 3, 10),
             large: InputConfig::from_mesh("large", 250.0, 200.0, 3, 10),
@@ -91,9 +107,18 @@ pub fn suite() -> Vec<Workload> {
             meta: meta("CloverLeaf", "C, Fortran", 14.5, "Hydrodynamics"),
             ir: programs::cloverleaf_ir(),
             tune: vec![
-                ("Opteron", InputConfig::from_mesh("tune", 2000.0, 2000.0, 2, 30)),
-                ("Sandy Bridge", InputConfig::from_mesh("tune", 2000.0, 2000.0, 2, 30)),
-                ("Broadwell", InputConfig::from_mesh("tune", 2000.0, 2000.0, 2, 60)),
+                (
+                    "Opteron",
+                    InputConfig::from_mesh("tune", 2000.0, 2000.0, 2, 30),
+                ),
+                (
+                    "Sandy Bridge",
+                    InputConfig::from_mesh("tune", 2000.0, 2000.0, 2, 30),
+                ),
+                (
+                    "Broadwell",
+                    InputConfig::from_mesh("tune", 2000.0, 2000.0, 2, 60),
+                ),
             ],
             small: InputConfig::from_mesh("small", 1000.0, 2000.0, 2, 60),
             large: InputConfig::from_mesh("large", 4000.0, 2000.0, 2, 30),
@@ -103,8 +128,14 @@ pub fn suite() -> Vec<Workload> {
             ir: programs::amg_ir(),
             tune: vec![
                 ("Opteron", InputConfig::from_mesh("tune", 18.0, 25.0, 3, 10)),
-                ("Sandy Bridge", InputConfig::from_mesh("tune", 20.0, 25.0, 3, 10)),
-                ("Broadwell", InputConfig::from_mesh("tune", 25.0, 25.0, 3, 10)),
+                (
+                    "Sandy Bridge",
+                    InputConfig::from_mesh("tune", 20.0, 25.0, 3, 10),
+                ),
+                (
+                    "Broadwell",
+                    InputConfig::from_mesh("tune", 25.0, 25.0, 3, 10),
+                ),
             ],
             small: InputConfig::from_mesh("small", 20.0, 25.0, 3, 10),
             large: InputConfig::from_mesh("large", 30.0, 25.0, 3, 10),
@@ -113,9 +144,18 @@ pub fn suite() -> Vec<Workload> {
             meta: meta("Optewe", "C++", 2.7, "Seismic wave simulation"),
             ir: programs::optewe_ir(),
             tune: vec![
-                ("Opteron", InputConfig::from_mesh("tune", 320.0, 512.0, 3, 5)),
-                ("Sandy Bridge", InputConfig::from_mesh("tune", 384.0, 512.0, 3, 5)),
-                ("Broadwell", InputConfig::from_mesh("tune", 512.0, 512.0, 3, 5)),
+                (
+                    "Opteron",
+                    InputConfig::from_mesh("tune", 320.0, 512.0, 3, 5),
+                ),
+                (
+                    "Sandy Bridge",
+                    InputConfig::from_mesh("tune", 384.0, 512.0, 3, 5),
+                ),
+                (
+                    "Broadwell",
+                    InputConfig::from_mesh("tune", 512.0, 512.0, 3, 5),
+                ),
             ],
             small: InputConfig::from_mesh("small", 384.0, 512.0, 3, 5),
             large: InputConfig::from_mesh("large", 768.0, 512.0, 3, 5),

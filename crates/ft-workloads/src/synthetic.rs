@@ -64,7 +64,10 @@ impl SyntheticConfig {
 
 /// Generates the `i`-th synthetic program of a family.
 pub fn generate(i: usize, seed: u64, cfg: &SyntheticConfig) -> ProgramIr {
-    assert!(cfg.loops_min >= 1 && cfg.loops_max >= cfg.loops_min, "bad loop range");
+    assert!(
+        cfg.loops_min >= 1 && cfg.loops_max >= cfg.loops_min,
+        "bad loop range"
+    );
     let mut rng = rng_for(seed, &format!("synthetic-{i}"));
     let n_loops = cfg.loops_min + (i % (cfg.loops_max - cfg.loops_min + 1));
     let mut modules = Vec::with_capacity(n_loops + 1);
@@ -140,8 +143,9 @@ mod tests {
     #[test]
     fn loop_counts_cycle_through_the_range() {
         let cfg = SyntheticConfig::cbench();
-        let counts: Vec<usize> =
-            (0..6).map(|i| generate(i, 1, &cfg).hot_loop_count()).collect();
+        let counts: Vec<usize> = (0..6)
+            .map(|i| generate(i, 1, &cfg).hot_loop_count())
+            .collect();
         assert!(counts.contains(&2));
         assert!(counts.contains(&3));
         assert!(counts.contains(&4));

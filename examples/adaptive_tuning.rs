@@ -30,7 +30,9 @@ fn fresh_ctx(bench: &str, arch: &Architecture) -> EvalContext {
 }
 
 fn main() {
-    let bench = std::env::args().nth(1).unwrap_or_else(|| "CloverLeaf".to_string());
+    let bench = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "CloverLeaf".to_string());
     let arch = Architecture::broadwell();
     let k = 400;
     let x = 24;

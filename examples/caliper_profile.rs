@@ -10,7 +10,10 @@ use funcytuner::caliper::Caliper;
 use funcytuner::workloads::kernels::{CsrMatrix, Hydro2d, ShallowWater};
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(256);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
     let cali = Caliper::real_time();
 
     {

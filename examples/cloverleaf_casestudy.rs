@@ -27,7 +27,10 @@ fn main() {
     let greedy_run = ctx.eval_assignment(&run.greedy.realized.assignment, 0xCA5E ^ 1);
     let cfr_run = ctx.eval_assignment(&run.cfr.assignment, 0xCA5E ^ 2);
     println!("\nPer-loop speedups over -O3 (Figure 9):");
-    println!("{:<8} {:>10} {:>12} {:>8} {:>14}", "kernel", "O3 share", "G.realized", "CFR", "G.Independent");
+    println!(
+        "{:<8} {:>10} {:>12} {:>8} {:>14}",
+        "kernel", "O3 share", "G.realized", "CFR", "G.Independent"
+    );
     for k in KERNELS {
         let j = ctx.ir.module_by_name(k).expect("hot kernel").id;
         let b = base.per_module_s[j];
@@ -49,16 +52,21 @@ fn main() {
         &ctx.arch,
     );
     let linked_g = link(
-        ctx.compiler.compile_mixed(&ctx.ir, &run.greedy.realized.assignment),
+        ctx.compiler
+            .compile_mixed(&ctx.ir, &run.greedy.realized.assignment),
         &ctx.ir,
         &ctx.arch,
     );
     let linked_o3 = link(
-        ctx.compiler.compile_program(&ctx.ir, &ctx.space().baseline()),
+        ctx.compiler
+            .compile_program(&ctx.ir, &ctx.space().baseline()),
         &ctx.ir,
         &ctx.arch,
     );
-    println!("{:<8} {:<22} {:<22} {:<22}", "kernel", "O3", "G.realized", "CFR");
+    println!(
+        "{:<8} {:<22} {:<22} {:<22}",
+        "kernel", "O3", "G.realized", "CFR"
+    );
     for k in KERNELS {
         let j = ctx.ir.module_by_name(k).expect("hot kernel").id;
         let tag = |linked: &funcytuner::machine::LinkedProgram| {

@@ -9,8 +9,8 @@
 //! cargo run --release --example crossarch_tuning [benchmark]
 //! ```
 
-use funcytuner::prelude::*;
 use funcytuner::outline::outline_with_hot_set;
+use funcytuner::prelude::*;
 
 fn main() {
     let bench = std::env::args().nth(1).unwrap_or_else(|| "AMG".to_string());

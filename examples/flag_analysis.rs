@@ -14,7 +14,9 @@ use funcytuner::prelude::*;
 use funcytuner::tuning::{collect, flag_importance, importance};
 
 fn main() {
-    let bench = std::env::args().nth(1).unwrap_or_else(|| "CloverLeaf".to_string());
+    let bench = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "CloverLeaf".to_string());
     let arch = Architecture::broadwell();
     let w = workload_by_name(&bench).expect("benchmark in Table 1");
     let input = w.tuning_input(arch.name);
@@ -34,7 +36,9 @@ fn main() {
         report
             .shares
             .iter()
-            .filter(|(id, ..)| ctx.ir.modules.get(*id).map(|m| m.features().is_some()) == Some(true))
+            .filter(|(id, ..)| {
+                ctx.ir.modules.get(*id).map(|m| m.features().is_some()) == Some(true)
+            })
             .max_by(|a, b| a.3.partial_cmp(&b.3).expect("finite"))
             .map(|(_, name, ..)| name.clone())
             .expect("at least one hot loop")
@@ -51,7 +55,10 @@ fn main() {
         })
         .id;
 
-    println!("collecting K = 300 per-loop samples for {bench} on {}...", arch.name);
+    println!(
+        "collecting K = 300 per-loop samples for {bench} on {}...",
+        arch.name
+    );
     let data = collect(&ctx, 300, 13);
 
     println!("\n== per-flag importance for `{loop_name}` (ANOVA effect size) ==");

@@ -9,7 +9,9 @@
 use funcytuner::prelude::*;
 
 fn main() {
-    let bench = std::env::args().nth(1).unwrap_or_else(|| "CloverLeaf".to_string());
+    let bench = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "CloverLeaf".to_string());
     let arch = Architecture::broadwell();
     let w = workload_by_name(&bench).expect("benchmark in Table 1");
 

@@ -33,7 +33,11 @@ fn main() {
     );
     println!("Sample budget K = {budget}, CFR focus X = 32\n");
 
-    let run = Tuner::new(&workload, &arch).budget(budget).focus(32).seed(42).run();
+    let run = Tuner::new(&workload, &arch)
+        .budget(budget)
+        .focus(32)
+        .seed(42)
+        .run();
 
     println!(
         "outlined {} hot loops (J = {}) out of {} candidate loops; -O3 baseline = {:.2} s",
@@ -46,9 +50,17 @@ fn main() {
     let rows = [
         ("Random", run.random.best_time, run.random.speedup()),
         ("FR", run.fr.best_time, run.fr.speedup()),
-        ("G.realized", run.greedy.realized.best_time, run.greedy.realized.speedup()),
+        (
+            "G.realized",
+            run.greedy.realized.best_time,
+            run.greedy.realized.speedup(),
+        ),
         ("CFR", run.cfr.best_time, run.cfr.speedup()),
-        ("G.Independent", run.greedy.independent_time, run.greedy.independent_speedup),
+        (
+            "G.Independent",
+            run.greedy.independent_time,
+            run.greedy.independent_speedup,
+        ),
     ];
     for (name, t, s) in rows {
         println!("{name:<14} {t:>10.3} {s:>8.3}x");

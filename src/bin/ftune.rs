@@ -47,14 +47,22 @@ impl Args {
             match a.as_str() {
                 "--arch" => args.arch = it.next().ok_or("--arch needs a value")?.clone(),
                 "--k" => {
-                    args.k = it.next().and_then(|s| s.parse().ok()).ok_or("--k needs a number")?
+                    args.k = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--k needs a number")?
                 }
                 "--x" => {
-                    args.x = it.next().and_then(|s| s.parse().ok()).ok_or("--x needs a number")?
+                    args.x = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--x needs a number")?
                 }
                 "--seed" => {
-                    args.seed =
-                        it.next().and_then(|s| s.parse().ok()).ok_or("--seed needs a number")?
+                    args.seed = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--seed needs a number")?
                 }
                 "--loop" => args.loop_name = Some(it.next().ok_or("--loop needs a name")?.clone()),
                 "--out" => args.out = Some(it.next().ok_or("--out needs a path")?.clone()),
@@ -163,15 +171,18 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
     let input = w.tuning_input(arch.name);
     let ir = w.instantiate(input);
     let compiler = Compiler::icc(arch.target);
-    let (outlined, report) =
-        outline_with_defaults(&ir, &compiler, &arch, input.steps, args.seed);
+    let (outlined, report) = outline_with_defaults(&ir, &compiler, &arch, input.steps, args.seed);
     println!(
         "{} on {} ({} × {} steps): -O3 end-to-end {:.2} s, J = {} hot loops\n",
         w.meta.name, arch.name, input.label, input.steps, report.end_to_end_s, outlined.j
     );
     println!("{:<18} {:>10} {:>8}", "loop", "secs", "share");
     for (_, name, secs, frac) in &report.shares {
-        let marker = if *frac >= 0.01 { "" } else { "   (folded: < 1%)" };
+        let marker = if *frac >= 0.01 {
+            ""
+        } else {
+            "   (folded: < 1%)"
+        };
         println!("{name:<18} {secs:>10.3} {:>7.2}%{marker}", frac * 100.0);
     }
     println!("\nroofline on {}:", arch.name);
@@ -191,15 +202,27 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
         "tuning {} on {} with K = {}, X = {} (seed {})...",
         w.meta.name, arch.name, args.k, args.x, args.seed
     );
-    let run = Tuner::new(&w, &arch).budget(args.k).focus(args.x).seed(args.seed).run();
+    let run = Tuner::new(&w, &arch)
+        .budget(args.k)
+        .focus(args.x)
+        .seed(args.seed)
+        .run();
     println!("\n-O3 baseline: {:.2} s", run.baseline_time);
     println!("{:<14} {:>9} {:>8}", "algorithm", "time (s)", "speedup");
     for (name, t, s) in [
         ("Random", run.random.best_time, run.random.speedup()),
         ("FR", run.fr.best_time, run.fr.speedup()),
-        ("G.realized", run.greedy.realized.best_time, run.greedy.realized.speedup()),
+        (
+            "G.realized",
+            run.greedy.realized.best_time,
+            run.greedy.realized.speedup(),
+        ),
         ("CFR", run.cfr.best_time, run.cfr.speedup()),
-        ("G.Independent", run.greedy.independent_time, run.greedy.independent_speedup),
+        (
+            "G.Independent",
+            run.greedy.independent_time,
+            run.greedy.independent_speedup,
+        ),
     ] {
         println!("{name:<14} {t:>9.3} {s:>7.3}x");
     }
@@ -210,7 +233,11 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
     );
     println!("\nper-loop winning flags:");
     for (j, m) in run.ctx.ir.modules.iter().enumerate() {
-        println!("  {:<16} {}", m.name, run.cfr.assignment[j].render(run.ctx.space()));
+        println!(
+            "  {:<16} {}",
+            m.name,
+            run.cfr.assignment[j].render(run.ctx.space())
+        );
     }
     Ok(())
 }
@@ -218,8 +245,15 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
 fn cmd_critical(args: &Args) -> Result<(), String> {
     let arch = args.architecture()?;
     let w = args.workload()?;
-    let loop_name = args.loop_name.as_ref().ok_or("critical needs --loop NAME")?;
-    let run = Tuner::new(&w, &arch).budget(args.k).focus(args.x).seed(args.seed).run();
+    let loop_name = args
+        .loop_name
+        .as_ref()
+        .ok_or("critical needs --loop NAME")?;
+    let run = Tuner::new(&w, &arch)
+        .budget(args.k)
+        .focus(args.x)
+        .seed(args.seed)
+        .run();
     let module = run
         .ctx
         .ir
@@ -250,18 +284,33 @@ fn cmd_critical(args: &Args) -> Result<(), String> {
 fn cmd_compare(args: &Args) -> Result<(), String> {
     let arch = args.architecture()?;
     let w = args.workload()?;
-    println!("comparing against the state of the art on {} (reduced budgets)...", arch.name);
-    let run = Tuner::new(&w, &arch).budget(args.k).focus(args.x).seed(args.seed).run();
+    println!(
+        "comparing against the state of the art on {} (reduced budgets)...",
+        arch.name
+    );
+    let run = Tuner::new(&w, &arch)
+        .budget(args.k)
+        .focus(args.x)
+        .seed(args.seed)
+        .run();
     let cobayn = funcytuner::baselines::cobayn::train_default(&arch, 0.08, args.seed);
     let rows = [
         ("CFR", run.cfr.speedup()),
-        ("OpenTuner", opentuner_search(&run.ctx, args.k, args.seed ^ 1).speedup()),
+        (
+            "OpenTuner",
+            opentuner_search(&run.ctx, args.k, args.seed ^ 1).speedup(),
+        ),
         (
             "COBAYN (static)",
-            cobayn.tune(&run.ctx, FeatureMode::Static, args.k, args.seed ^ 2).speedup(),
+            cobayn
+                .tune(&run.ctx, FeatureMode::Static, args.k, args.seed ^ 2)
+                .speedup(),
         ),
         ("PGO", pgo_tune(&run.ctx, args.seed ^ 3).result.speedup()),
-        ("CE", combined_elimination(&run.ctx, args.seed ^ 4).speedup()),
+        (
+            "CE",
+            combined_elimination(&run.ctx, args.seed ^ 4).speedup(),
+        ),
         ("Random", run.random.speedup()),
     ];
     println!("\n{:<16} {:>8}", "approach", "speedup");
@@ -297,7 +346,11 @@ fn cmd_cost(args: &Args) -> Result<(), String> {
         let c = ctx.cost();
         println!(
             "{:<10} {:>7} {:>10} {:>11} {:>14.2}",
-            "Random", c.runs, c.object_compiles, c.object_reuses, c.machine_hours()
+            "Random",
+            c.runs,
+            c.object_compiles,
+            c.object_reuses,
+            c.machine_hours()
         );
     }
     {
@@ -307,7 +360,11 @@ fn cmd_cost(args: &Args) -> Result<(), String> {
         let c = ctx.cost();
         println!(
             "{:<10} {:>7} {:>10} {:>11} {:>14.2}",
-            "CFR", c.runs, c.object_compiles, c.object_reuses, c.machine_hours()
+            "CFR",
+            c.runs,
+            c.object_compiles,
+            c.object_reuses,
+            c.machine_hours()
         );
     }
     println!("\npaper §4.3: Random/G ≈ 1.5 days, CFR ≈ 3 days per benchmark on real testbeds");
@@ -318,8 +375,15 @@ fn cmd_optreport(args: &Args) -> Result<(), String> {
     use funcytuner::compiler::report_module;
     let arch = args.architecture()?;
     let w = args.workload()?;
-    let loop_name = args.loop_name.as_ref().ok_or("optreport needs --loop NAME")?;
-    let run = Tuner::new(&w, &arch).budget(args.k).focus(args.x).seed(args.seed).run();
+    let loop_name = args
+        .loop_name
+        .as_ref()
+        .ok_or("optreport needs --loop NAME")?;
+    let run = Tuner::new(&w, &arch)
+        .budget(args.k)
+        .focus(args.x)
+        .seed(args.seed)
+        .run();
     let ctx = &run.ctx;
     let module = ctx
         .ir
@@ -333,7 +397,10 @@ fn cmd_optreport(args: &Args) -> Result<(), String> {
     println!("\n=== with CFR's winning flags (pre-link) ===");
     print!(
         "{}",
-        report_module(&ctx.compiler.compile_module(module, &run.cfr.assignment[module.id]))
+        report_module(
+            &ctx.compiler
+                .compile_module(module, &run.cfr.assignment[module.id])
+        )
     );
     println!("\n=== link interference of the CFR executable ===");
     let linked = link(
@@ -415,7 +482,10 @@ fn cmd_flags() -> Result<(), String> {
 fn cmd_importance(args: &Args) -> Result<(), String> {
     let arch = args.architecture()?;
     let w = args.workload()?;
-    let loop_name = args.loop_name.as_ref().ok_or("importance needs --loop NAME")?;
+    let loop_name = args
+        .loop_name
+        .as_ref()
+        .ok_or("importance needs --loop NAME")?;
     let input = w.tuning_input(arch.name);
     let ir = w.instantiate(input);
     let compiler = Compiler::icc(arch.target);
@@ -471,7 +541,10 @@ fn ctx_for_checkpoint(
 }
 
 fn cmd_collect(args: &Args) -> Result<(), String> {
-    let out = args.out.clone().unwrap_or_else(|| "collection.json".to_string());
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| "collection.json".to_string());
     let arch = args.architecture()?;
     let w = args.workload()?;
     let input = w.tuning_input(arch.name);
@@ -502,7 +575,10 @@ fn cmd_collect(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_search(args: &Args) -> Result<(), String> {
-    let path = args.bench.as_ref().ok_or("search needs a checkpoint path")?;
+    let path = args
+        .bench
+        .as_ref()
+        .ok_or("search needs a checkpoint path")?;
     let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let cp = funcytuner::tuning::Checkpoint::from_json(&json).map_err(|e| e.to_string())?;
     println!(
@@ -525,9 +601,7 @@ fn cmd_search(args: &Args) -> Result<(), String> {
         g.independent_speedup,
         baseline
     );
-    println!(
-        "collection reused: no new instrumented runs were needed (the paper's 3-day phase)"
-    );
+    println!("collection reused: no new instrumented runs were needed (the paper's 3-day phase)");
     Ok(())
 }
 
@@ -550,9 +624,10 @@ mod tests {
 
     #[test]
     fn parse_options() {
-        let a =
-            Args::parse(&argv("critical swim --arch snb --k 100 --x 8 --seed 7 --loop calc1"))
-                .unwrap();
+        let a = Args::parse(&argv(
+            "critical swim --arch snb --k 100 --x 8 --seed 7 --loop calc1",
+        ))
+        .unwrap();
         assert_eq!(a.k, 100);
         assert_eq!(a.x, 8);
         assert_eq!(a.seed, 7);

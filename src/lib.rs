@@ -69,7 +69,9 @@ pub mod prelude {
     pub use ft_baselines::{combined_elimination, opentuner_search, pgo_tune, Cobayn, FeatureMode};
     pub use ft_caliper::{Caliper, RegionGuard, VirtualClock};
     pub use ft_compiler::{Compiler, LoopFeatures, MemStride, Module, ProgramIr, Target};
-    pub use ft_core::{cfr, cfr_adaptive, cfr_iterative, collect, fr_search, greedy, random_search};
+    pub use ft_core::{
+        cfr, cfr_adaptive, cfr_iterative, collect, fr_search, greedy, random_search,
+    };
     pub use ft_core::{Convergence, MeasurementStats, TuningCost};
     pub use ft_core::{EvalContext, Tuner, TuningResult, TuningRun};
     pub use ft_flags::{Cv, FlagSpace};

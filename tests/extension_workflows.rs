@@ -3,9 +3,7 @@
 //! the analysis tools composed the way the CLI composes them.
 
 use funcytuner::prelude::*;
-use funcytuner::tuning::{
-    cfr, cfr_adaptive, collect, flag_importance, Checkpoint,
-};
+use funcytuner::tuning::{cfr, cfr_adaptive, collect, flag_importance, Checkpoint};
 
 fn quick_ctx(bench: &str) -> EvalContext {
     let arch = Architecture::broadwell();
@@ -23,7 +21,9 @@ fn checkpointed_collection_feeds_every_downstream_consumer() {
     // the workflow `ftune collect` + `ftune search` implements.
     let ctx = quick_ctx("CloverLeaf");
     let data = collect(&ctx, 120, 13);
-    let json = Checkpoint::capture(&ctx, data).to_json().expect("serializes");
+    let json = Checkpoint::capture(&ctx, data)
+        .to_json()
+        .expect("serializes");
     let restored = Checkpoint::from_json(&json)
         .expect("parses")
         .restore(&ctx)

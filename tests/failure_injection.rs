@@ -76,7 +76,10 @@ fn caliper_misuse_is_reported_not_corrupting() {
     cali.begin("a");
     cali.begin("b");
     // Ending out of order fails...
-    assert!(matches!(cali.end("a"), Err(CaliperError::Mismatched { .. })));
+    assert!(matches!(
+        cali.end("a"),
+        Err(CaliperError::Mismatched { .. })
+    ));
     // ...but correct unwinding afterwards still works.
     clock.advance(1.0);
     cali.end("b").unwrap();
@@ -131,9 +134,7 @@ fn outline_rejects_all_cold_programs() {
     );
     let arch = Architecture::broadwell();
     let compiler = Compiler::icc(arch.target);
-    let result = std::panic::catch_unwind(|| {
-        outline_with_defaults(&ir, &compiler, &arch, 2, 3)
-    });
+    let result = std::panic::catch_unwind(|| outline_with_defaults(&ir, &compiler, &arch, 2, 3));
     assert!(result.is_err(), "outlining a cold program must fail loudly");
 }
 

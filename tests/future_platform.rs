@@ -47,7 +47,11 @@ fn avx512_throttling_makes_width_a_tradeoff() {
     // only comes from auto selection or LTO. Check auto picks wisely:
     let clean = mk(0.02);
     let auto = compiler.compile_program(&clean, &sp.baseline());
-    assert_ne!(auto[0].decisions.width, VecWidth::Scalar, "clean loop must vectorize");
+    assert_ne!(
+        auto[0].decisions.width,
+        VecWidth::Scalar,
+        "clean loop must vectorize"
+    );
     // Divergent loop: 256-bit beats scalar-ish widths less; force-256
     // must not be catastrophically worse than 128 either way — and the
     // throttle means the machine model prices 512 differently at all.
@@ -70,8 +74,9 @@ fn override_on_skylake_can_pick_512() {
     let mut found_512 = false;
     for seed in 0..60u64 {
         let mut rng = funcytuner::flags::rng::rng_for(seed, "sky");
-        let assignment: Vec<_> =
-            (0..outlined.ir.len()).map(|_| sp.sample(&mut rng)).collect();
+        let assignment: Vec<_> = (0..outlined.ir.len())
+            .map(|_| sp.sample(&mut rng))
+            .collect();
         let linked = link(
             compiler.compile_mixed(&outlined.ir, &assignment),
             &outlined.ir,
@@ -122,7 +127,11 @@ fn skylake_outruns_broadwell_at_o3() {
         let compiler = Compiler::icc(arch.target);
         let input = w.tuning_input("Broadwell");
         let ir = w.instantiate(input);
-        let linked = link(compiler.compile_program(&ir, &compiler.space().baseline()), &ir, arch);
+        let linked = link(
+            compiler.compile_program(&ir, &compiler.space().baseline()),
+            &ir,
+            arch,
+        );
         execute(&linked, arch, &ExecOptions::exact(input.steps)).total_s
     };
     let bdw = time_on(&Architecture::broadwell());

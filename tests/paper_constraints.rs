@@ -13,8 +13,7 @@ fn every_baseline_run_is_between_3_and_40_seconds() {
         for w in suite() {
             let input = w.tuning_input(arch.name);
             let ir = w.instantiate(input);
-            let (outlined, report) =
-                outline_with_defaults(&ir, &compiler, &arch, input.steps, 3);
+            let (outlined, report) = outline_with_defaults(&ir, &compiler, &arch, input.steps, 3);
             assert!(
                 report.end_to_end_s > 3.0 && report.end_to_end_s < 40.0,
                 "{} on {}: O3 baseline = {:.1} s",
@@ -42,8 +41,11 @@ fn hot_loop_counts_match_paper_range_everywhere() {
             j_max = j_max.max(outlined.j);
         }
     }
-    assert!(j_min >= 4 && j_min <= 6, "smallest J = {j_min} (paper: 5)");
-    assert!(j_max >= 30 && j_max <= 35, "largest J = {j_max} (paper: 33)");
+    assert!((4..=6).contains(&j_min), "smallest J = {j_min} (paper: 5)");
+    assert!(
+        (30..=35).contains(&j_max),
+        "largest J = {j_max} (paper: 33)"
+    );
 }
 
 #[test]

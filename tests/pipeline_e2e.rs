@@ -5,7 +5,12 @@ use funcytuner::prelude::*;
 fn quick_run(bench: &str, seed: u64) -> (Workload, TuningRun) {
     let arch = Architecture::broadwell();
     let w = workload_by_name(bench).expect("benchmark exists");
-    let run = Tuner::new(&w, &arch).budget(120).focus(12).seed(seed).cap_steps(5).run();
+    let run = Tuner::new(&w, &arch)
+        .budget(120)
+        .focus(12)
+        .seed(seed)
+        .cap_steps(5)
+        .run();
     (w, run)
 }
 
@@ -62,7 +67,10 @@ fn histories_are_monotone_and_end_at_best() {
 fn baseline_profile_covers_program() {
     let (_w, run) = quick_run("CloverLeaf", 9);
     let total: f64 = run.report.shares.iter().map(|(_, _, _, f)| f).sum();
-    assert!((total - 1.0).abs() < 1e-9, "profile fractions sum to {total}");
+    assert!(
+        (total - 1.0).abs() < 1e-9,
+        "profile fractions sum to {total}"
+    );
     // Every Table 3 kernel survived outlining.
     for k in ["dt", "cell3", "cell7", "mom9", "acc"] {
         assert!(run.ctx.ir.module_by_name(k).is_some(), "{k} not outlined");

@@ -10,7 +10,13 @@ fn bdw_ctx(bench: &str, seed: u64) -> EvalContext {
     let w = workload_by_name(bench).expect("bench exists");
     let ir = w.instantiate(w.tuning_input(arch.name));
     let (outlined, _) = outline_with_defaults(&ir, &compiler, &arch, 3, seed);
-    EvalContext::new(outlined.ir, Compiler::icc(arch.target), arch, 3, seed ^ 0x99)
+    EvalContext::new(
+        outlined.ir,
+        Compiler::icc(arch.target),
+        arch,
+        3,
+        seed ^ 0x99,
+    )
 }
 
 proptest! {

@@ -24,7 +24,12 @@ fn experiment_artifacts_serialize_and_render() {
 fn tuning_results_serialize() {
     let arch = Architecture::broadwell();
     let w = workload_by_name("swim").unwrap();
-    let run = Tuner::new(&w, &arch).budget(40).focus(6).seed(3).cap_steps(3).run();
+    let run = Tuner::new(&w, &arch)
+        .budget(40)
+        .focus(6)
+        .seed(3)
+        .cap_steps(3)
+        .run();
     let json = serde_json::to_string(&run.cfr).unwrap();
     let back: TuningResult = serde_json::from_str(&json).unwrap();
     // JSON float text round-trips to within one ULP.

@@ -21,7 +21,12 @@ fn fig5_rows() -> Vec<Row> {
     suite()
         .iter()
         .map(|w| {
-            let run = Tuner::new(w, &arch).budget(250).focus(16).seed(42).cap_steps(5).run();
+            let run = Tuner::new(w, &arch)
+                .budget(250)
+                .focus(16)
+                .seed(42)
+                .cap_steps(5)
+                .run();
             Row {
                 bench: w.meta.name,
                 random: run.random.speedup(),
@@ -59,17 +64,29 @@ fn figure5_shape_holds() {
     // solid improvement over -O3 (paper: 9.4% at K=1000; reduced
     // budget lands lower but must stay clearly positive).
     assert!(gm_cfr > 1.04, "CFR GM = {gm_cfr}\n{}", dump());
-    assert!(gm_cfr > gm_random + 0.01, "CFR {gm_cfr} vs Random {gm_random}\n{}", dump());
+    assert!(
+        gm_cfr > gm_random + 0.01,
+        "CFR {gm_cfr} vs Random {gm_random}\n{}",
+        dump()
+    );
     assert!(gm_cfr > gm_fr, "CFR {gm_cfr} vs FR {gm_fr}");
     assert!(gm_cfr > gm_g, "CFR {gm_cfr} vs G {gm_g}");
 
     // (2) Random is modestly positive (paper: 3.4-5%).
-    assert!(gm_random > 1.0 && gm_random < 1.09, "Random GM = {gm_random}\n{}", dump());
+    assert!(
+        gm_random > 1.0 && gm_random < 1.09,
+        "Random GM = {gm_random}\n{}",
+        dump()
+    );
 
     // (3) Greedy combination degrades performance for several
     // benchmark combinations (paper observation 2).
     let degraded = rows.iter().filter(|r| r.g_realized < 1.0).count();
-    assert!(degraded >= 2, "G.realized < 1.0 for only {degraded} benchmarks\n{}", dump());
+    assert!(
+        degraded >= 2,
+        "G.realized < 1.0 for only {degraded} benchmarks\n{}",
+        dump()
+    );
 
     // (4) The independence hypothesis is refuted: realized trails the
     // hypothetical bound everywhere, often by a lot.
@@ -82,7 +99,10 @@ fn figure5_shape_holds() {
             r.g_independent
         );
     }
-    assert!(gm_gi - gm_g > 0.05, "independence gap too small: {gm_gi} vs {gm_g}");
+    assert!(
+        gm_gi - gm_g > 0.05,
+        "independence gap too small: {gm_gi} vs {gm_g}"
+    );
 
     // (5) G.Independent is an upper bound on every practical result.
     for r in &rows {
@@ -94,7 +114,11 @@ fn figure5_shape_holds() {
     // (6) FR alone (no per-loop guidance) is inferior to CFR on most
     // benchmarks and has high variance (paper observation 3).
     let fr_below = rows.iter().filter(|r| r.fr < r.cfr).count();
-    assert!(fr_below >= 5, "FR below CFR on only {fr_below}/7\n{}", dump());
+    assert!(
+        fr_below >= 5,
+        "FR below CFR on only {fr_below}/7\n{}",
+        dump()
+    );
 }
 
 #[test]

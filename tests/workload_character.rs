@@ -32,14 +32,22 @@ fn lulesh_and_optewe_sit_on_the_compute_side() {
     // near swim's deep memory-bound regime.
     let lulesh = rows_for("LULESH");
     let compute = lulesh.iter().filter(|r| r.bound == Bound::Compute).count();
-    assert!(compute >= 3, "LULESH needs compute-dense kernels: {compute} of {}", lulesh.len());
+    assert!(
+        compute >= 3,
+        "LULESH needs compute-dense kernels: {compute} of {}",
+        lulesh.len()
+    );
 
     // Optewe's dominant stencils (the bulk of its runtime) sit at or
     // above the ridge; only its small IO/boundary loops stream memory.
     let optewe = rows_for("Optewe");
     for name in ["vel_update", "stress_xx", "stress_xy", "stress_zz"] {
         let row = optewe.iter().find(|r| r.name == name).unwrap();
-        assert_ne!(row.bound, Bound::Memory, "{name} should not be bandwidth-bound");
+        assert_ne!(
+            row.bound,
+            Bound::Memory,
+            "{name} should not be bandwidth-bound"
+        );
     }
 }
 
@@ -54,7 +62,11 @@ fn cloverleaf_mixes_both_regimes() {
             .unwrap_or_else(|| panic!("{name} missing"))
             .bound
     };
-    assert_ne!(find("dt"), Bound::Memory, "dt is limited by its divergent compute");
+    assert_ne!(
+        find("dt"),
+        Bound::Memory,
+        "dt is limited by its divergent compute"
+    );
     assert_eq!(find("acc"), Bound::Compute);
     assert_eq!(find("cell3"), Bound::Memory);
     assert_eq!(find("cell7"), Bound::Memory);
@@ -69,7 +81,12 @@ fn tuning_levers_match_the_roofline_side() {
     // per-loop top CVs.
     let arch = Architecture::broadwell();
     let w = workload_by_name("swim").unwrap();
-    let run = Tuner::new(&w, &arch).budget(200).focus(16).seed(42).cap_steps(5).run();
+    let run = Tuner::new(&w, &arch)
+        .budget(200)
+        .focus(16)
+        .seed(42)
+        .cap_steps(5)
+        .run();
     let space = run.ctx.space();
     // Pool the top-16 CVs of every hot loop.
     let mut pool = Vec::new();

@@ -1,0 +1,124 @@
+//! Vendored shim exposing the `parking_lot 0.12` lock API over
+//! `std::sync` primitives.
+//!
+//! The container this workspace builds in has no crates-io access, so
+//! the real crate cannot be fetched. Only the surface the workspace
+//! uses is provided: `Mutex::lock`, `RwLock::read` / `write` returning
+//! guards directly (no poison `Result`s). Poisoning is deliberately
+//! ignored — a panic while holding one of these locks aborts the test
+//! or propagates anyway, and parking_lot itself has no poisoning.
+
+use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// Mutual-exclusion lock with `parking_lot`'s panic-free `lock()`.
+#[derive(Default, Debug)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex around `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+/// Reader-writer lock with `parking_lot`'s panic-free `read()`/`write()`.
+#[derive(Default, Debug)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new lock around `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_counts_across_threads() {
+        let m = Arc::new(Mutex::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn rwlock_readers_and_writer() {
+        let l = Arc::new(RwLock::new(vec![1, 2, 3]));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let l = l.clone();
+                s.spawn(move || {
+                    assert!(l.read().len() >= 3);
+                });
+            }
+            let l2 = l.clone();
+            s.spawn(move || l2.write().push(4));
+        });
+        assert_eq!(l.read().len(), 4);
+    }
+
+    #[test]
+    fn into_inner_returns_value() {
+        assert_eq!(Mutex::new(7).into_inner(), 7);
+        assert_eq!(RwLock::new(9).into_inner(), 9);
+    }
+}

@@ -1,0 +1,394 @@
+//! Vendored shim of the `proptest` surface this workspace uses.
+//!
+//! The build container has no crates-io access, so the real crate
+//! cannot be fetched. This shim keeps the same test-authoring surface —
+//! the `proptest!` macro with `pat in strategy` bindings, `Strategy`
+//! with `prop_map`, `any::<T>()`, range strategies, tuple strategies,
+//! `prop::bool::ANY`, and the `prop_assert*` / `prop_assume!` macros —
+//! but runs cases from a deterministic per-test seed instead of doing
+//! randomized shrinking. Failures report the case number and message;
+//! there is no shrinking (the workspace's properties are cheap enough
+//! to debug from the failing inputs directly).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+pub mod prelude {
+    //! Everything the workspace imports via `proptest::prelude::*`.
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Runner configuration (only the case count is modeled).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Outcome of one generated case, produced by the `prop_*` macros.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// A `prop_assert*` failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Deterministic per-test, per-case RNG (FNV over the test name mixed
+/// with the case index, finalized SplitMix64-style).
+pub fn case_rng(test_name: &str, case: u64) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    let mut z = h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// A value generator (the subset of proptest's `Strategy` used here).
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a full-domain default strategy ([`any`]).
+pub trait ArbitraryValue {
+    /// Draws a uniformly distributed value over the whole domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty => $draw:expr),* $(,)?) => {$(
+        impl ArbitraryValue for $ty {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                #[allow(clippy::redundant_closure_call)]
+                ($draw)(rng)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(
+    u8 => |r: &mut StdRng| (r.gen::<u32>() & 0xFF) as u8,
+    u16 => |r: &mut StdRng| (r.gen::<u32>() & 0xFFFF) as u16,
+    u32 => |r: &mut StdRng| r.gen::<u32>(),
+    u64 => |r: &mut StdRng| r.gen::<u64>(),
+    usize => |r: &mut StdRng| r.gen::<u64>() as usize,
+    i32 => |r: &mut StdRng| r.gen::<u32>() as i32,
+    i64 => |r: &mut StdRng| r.gen::<u64>() as i64,
+    bool => |r: &mut StdRng| r.gen::<bool>(),
+    f64 => |r: &mut StdRng| r.gen::<f64>(),
+);
+
+/// Full-domain strategy for `T` (`any::<T>()`).
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),* $(,)?) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9),
+);
+
+pub mod prop {
+    //! Named sub-strategies (`prop::bool::ANY`, ...).
+    pub mod bool {
+        //! Boolean strategies.
+
+        /// Uniform boolean strategy.
+        #[derive(Debug, Clone, Copy)]
+        pub struct BoolAny;
+
+        impl crate::Strategy for BoolAny {
+            type Value = bool;
+            fn generate(&self, rng: &mut rand::rngs::StdRng) -> bool {
+                rand::Rng::gen::<bool>(rng)
+            }
+        }
+
+        /// Either boolean with equal probability.
+        pub const ANY: BoolAny = BoolAny;
+    }
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$attr:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rejected: u32 = 0;
+            for __case in 0..u64::from(__config.cases) {
+                let mut __rng = $crate::case_rng(stringify!($name), __case);
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {
+                        __rejected += 1;
+                    }
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                        ::std::panic!(
+                            "property `{}` failed at case {}: {}",
+                            stringify!($name),
+                            __case,
+                            __msg
+                        );
+                    }
+                }
+            }
+            ::std::assert!(
+                __rejected < __config.cases,
+                "property `{}` rejected every generated case",
+                stringify!($name)
+            );
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                ::std::format!($($fmt)+),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "{}\n  both: {:?}",
+                ::std::format!($($fmt)+),
+                __l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u64, u64)> {
+        (any::<u64>(), any::<u64>())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in 0.25f64..0.75, b in prop::bool::ANY) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y));
+            prop_assert!(u8::from(b) <= 1);
+        }
+
+        #[test]
+        fn map_applies(v in (0u8..10).prop_map(|x| x * 2)) {
+            prop_assert!(v.is_multiple_of(2));
+            prop_assert!(v < 20, "v = {}", v);
+        }
+
+        #[test]
+        fn assume_skips(n in any::<u64>()) {
+            prop_assume!(n.is_multiple_of(2));
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn tuple_strategies_work((a, b) in arb_pair(), c in any::<bool>()) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+            let _ = c;
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use rand::Rng;
+        let a: u64 = super::case_rng("t", 3).gen();
+        let b: u64 = super::case_rng("t", 3).gen();
+        let c: u64 = super::case_rng("t", 4).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

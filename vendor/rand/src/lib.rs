@@ -1,0 +1,227 @@
+//! Vendored, dependency-free reimplementation of the `rand 0.8` API
+//! surface this workspace uses.
+//!
+//! The container this repository builds in has no network access and no
+//! crates-io mirror, so the external `rand` crate cannot be fetched.
+//! This shim reimplements — **bit-faithfully** — the exact algorithms
+//! of `rand 0.8.5` + `rand_chacha 0.3` that the workspace depends on:
+//!
+//! * [`rngs::StdRng`] is ChaCha12 with `rand_core`'s PCG32-based
+//!   `seed_from_u64` seeding and `BlockRng`'s word-buffer read order,
+//!   so every value drawn from a given seed is identical to the values
+//!   the real crate would produce;
+//! * [`Rng::gen_range`] uses rand 0.8.5's `sample_single` algorithms
+//!   (Lemire widening-multiply rejection for integers, the
+//!   `[1, 2) - 1` mantissa trick for floats);
+//! * [`Rng::gen`] uses the `Standard` distribution's conversions;
+//! * [`Rng::gen_bool`] uses the 64-bit integer-threshold Bernoulli.
+//!
+//! Only the surface actually used by the workspace is provided.
+
+mod chacha;
+mod uniform;
+
+pub use uniform::{SampleRange, SampleUniform};
+
+/// Core RNG interface (mirrors `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// Seedable RNG interface (mirrors `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with the same
+    /// PCG32 stream `rand_core 0.6` uses, so seeded streams match the
+    /// real crate bit-for-bit.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            let bytes = x.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types producible by [`Rng::gen`] (the `Standard` distribution).
+pub trait StandardSample: Sized {
+    /// Draws one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8 `Standard` for f64: 53 high bits scaled into [0, 1).
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        (rng.next_u64() >> 11) as f64 * scale
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let scale = 1.0 / ((1u32 << 24) as f32);
+        (rng.next_u32() >> 8) as f32 * scale
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8 `Standard` for bool: highest bit of a u32.
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+
+/// User-facing RNG extension trait (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from the standard distribution.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range` (matches rand 0.8.5's
+    /// `sample_single` exactly).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+        if p == 1.0 {
+            // rand's ALWAYS_TRUE case consumes no randomness.
+            return true;
+        }
+        // rand 0.8 Bernoulli: 64-bit scaled integer threshold.
+        let p_int = (p * (1u64 << 63) as f64 * 2.0) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators (mirrors `rand::rngs`).
+pub mod rngs {
+    /// The standard generator of rand 0.8: ChaCha12.
+    pub type StdRng = crate::chacha::ChaCha12Rng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_int_is_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(0u8..3);
+            assert!(w < 3);
+            let x = rng.gen_range(10u32..11);
+            assert_eq!(x, 10);
+            let y: u64 = rng.gen_range(5..6u64);
+            assert_eq!(y, 5);
+        }
+    }
+
+    #[test]
+    fn gen_range_float_is_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut sum = 0.0;
+        for _ in 0..4000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 4000.0;
+        assert!((mean - 0.5).abs() < 0.03, "mean = {mean}");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "hits = {hits}");
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn uniform_ints_cover_range() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+}

@@ -1,0 +1,259 @@
+//! Uniform range sampling matching `rand 0.8.5`'s `sample_single`.
+//!
+//! Integers use Lemire's widening-multiply rejection: draw a full-width
+//! word, multiply by the range width, keep the high half if the low
+//! half clears the rejection zone. Types narrower than 32 bits are
+//! widened to `u32` draws with a modulo-derived zone, exactly as the
+//! real crate's `UniformInt` macro does. Floats use the `[1, 2) - 1`
+//! mantissa trick with the same draw width, rounding-edge retry, and
+//! ULP decrement. Matching these details keeps every seeded stream in
+//! the workspace identical to what the real `rand` crate would yield.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Types samplable by [`Rng::gen_range`] (mirrors `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Sized + PartialOrd + Copy {
+    /// Uniform draw from `[low, high)`.
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[low, high]`.
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "cannot sample empty range");
+        T::sample_single_inclusive(low, high, rng)
+    }
+}
+
+#[inline]
+fn wmul32(a: u32, b: u32) -> (u32, u32) {
+    let t = u64::from(a) * u64::from(b);
+    ((t >> 32) as u32, t as u32)
+}
+
+#[inline]
+fn wmul64(a: u64, b: u64) -> (u64, u64) {
+    let t = u128::from(a) * u128::from(b);
+    ((t >> 64) as u64, t as u64)
+}
+
+// Large integer types ($u_large = self): zone is the largest multiple
+// of `range` minus one, computed by shifting out leading zeros.
+macro_rules! uniform_large_int {
+    ($ty:ty, $unsigned:ty, $wmul:ident, $draw:ident) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let range = high.wrapping_sub(low) as $unsigned;
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.$draw() as $unsigned;
+                    let (hi, lo) = $wmul(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned;
+                if range == 0 {
+                    // Full-width range: every word is valid.
+                    return rng.$draw() as $ty;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.$draw() as $unsigned;
+                    let (hi, lo) = $wmul(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_large_int!(u32, u32, wmul32, next_u32);
+uniform_large_int!(i32, u32, wmul32, next_u32);
+uniform_large_int!(u64, u64, wmul64, next_u64);
+uniform_large_int!(i64, u64, wmul64, next_u64);
+uniform_large_int!(usize, u64, wmul64, next_u64);
+uniform_large_int!(isize, u64, wmul64, next_u64);
+
+// Small integer types are widened to u32 draws; the zone comes from the
+// modulo formula (rand's `ints_to_reject` path for sub-u16 types).
+macro_rules! uniform_small_int {
+    ($ty:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let range = u32::from(high.wrapping_sub(low));
+                let ints_to_reject = (u32::MAX - range + 1) % range;
+                let zone = u32::MAX - ints_to_reject;
+                loop {
+                    let v = rng.next_u32();
+                    let (hi, lo) = wmul32(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                let range = u32::from(high.wrapping_sub(low)).wrapping_add(1);
+                let ints_to_reject = (u32::MAX - range + 1) % range;
+                let zone = u32::MAX - ints_to_reject;
+                loop {
+                    let v = rng.next_u32();
+                    let (hi, lo) = wmul32(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_small_int!(u8);
+uniform_small_int!(u16);
+
+macro_rules! uniform_float {
+    ($ty:ty, $uty:ty, $draw:ident, $bits_to_discard:expr, $exp_one:expr, $max_rand_bits:expr) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                debug_assert!(low.is_finite() && high.is_finite());
+                let mut scale = high - low;
+                loop {
+                    // Value in [1, 2): random mantissa under a fixed
+                    // exponent, then shift down by 1.
+                    let bits = rng.$draw() >> $bits_to_discard;
+                    let value1_2 = <$ty>::from_bits(bits | $exp_one);
+                    // Multiply-then-add order matters for rounding
+                    // parity with the real crate.
+                    let res = value1_2 * scale + (low - scale);
+                    if res < high {
+                        return res;
+                    }
+                    // Rounding pushed us onto the open bound: shrink
+                    // the scale by one ULP and retry.
+                    scale = <$ty>::from_bits(scale.to_bits() - 1);
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                debug_assert!(low.is_finite() && high.is_finite());
+                let max_rand = <$ty>::from_bits($max_rand_bits);
+                let mut scale = (high - low) / max_rand;
+                loop {
+                    let bits = rng.$draw() >> $bits_to_discard;
+                    let value1_2 = <$ty>::from_bits(bits | $exp_one);
+                    let res = value1_2 * scale + (low - scale);
+                    if res <= high {
+                        return res;
+                    }
+                    scale = <$ty>::from_bits(scale.to_bits() - 1);
+                }
+            }
+        }
+    };
+}
+
+uniform_float!(
+    f64,
+    u64,
+    next_u64,
+    12,
+    0x3FF0_0000_0000_0000u64,
+    0x3FFF_FFFF_FFFF_FFFFu64
+);
+uniform_float!(f32, u32, next_u32, 9, 0x3F80_0000u32, 0x3FFF_FFFFu32);
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::Rng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn small_int_ranges_cover_and_bound() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..400 {
+            let v = rng.gen_range(0u8..4);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn inclusive_hits_both_ends() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..500 {
+            match rng.gen_range(0u32..=2) {
+                0 => lo_seen = true,
+                2 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn signed_ranges_work() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..300 {
+            let v = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&v));
+            let w = rng.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn float_range_respects_open_bound() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..2000 {
+            let v = rng.gen_range(1.0f64..1.0000000000000002);
+            assert!((1.0..1.0000000000000002).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f32_range_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..500 {
+            let v = rng.gen_range(0.25f32..0.5);
+            assert!((0.25..0.5).contains(&v));
+        }
+    }
+}

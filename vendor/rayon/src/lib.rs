@@ -1,0 +1,738 @@
+//! Vendored shim of the `rayon` API surface this workspace uses,
+//! implemented over `std::thread::scope`.
+//!
+//! The build container has no crates-io access, so the real crate
+//! cannot be fetched. This shim provides genuine data parallelism —
+//! contiguous chunks of the input are farmed out to scoped OS threads —
+//! with the properties the workspace relies on:
+//!
+//! * `collect()` preserves input order (chunks are joined in order), so
+//!   parallel results are bit-identical to serial evaluation;
+//! * `for_each` side effects target disjoint `&mut` items;
+//! * `ThreadPoolBuilder::num_threads(n).build()?.install(op)` bounds
+//!   the worker count of parallel calls made inside `op` (thread-local
+//!   override, matching how the kernels use per-CV thread counts);
+//! * worker panics propagate to the caller.
+//!
+//! Only the adapter chains present in the workspace are implemented;
+//! this is not a general-purpose rayon replacement.
+
+use std::cell::Cell;
+use std::fmt;
+use std::ops::Range;
+
+pub mod prelude {
+    //! Traits that make `par_iter()`-style methods visible.
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSliceMut,
+    };
+}
+
+thread_local! {
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Worker count for parallel calls on this thread: the innermost
+/// `ThreadPool::install` override, else available parallelism.
+fn current_threads() -> usize {
+    POOL_THREADS.with(|c| c.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Contiguous near-equal split of `len` items over at most
+/// `current_threads()` workers.
+fn bounds_for(len: usize) -> Vec<Range<usize>> {
+    let nt = current_threads().clamp(1, len.max(1));
+    let base = len / nt;
+    let extra = len % nt;
+    let mut out = Vec::with_capacity(nt);
+    let mut start = 0;
+    for t in 0..nt {
+        let size = base + usize::from(t < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Runs `work` on each index range concurrently and returns the
+/// per-range results in range order.
+fn run_ordered<R, F>(len: usize, work: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let bounds = bounds_for(len);
+    if bounds.len() <= 1 {
+        return bounds.into_iter().map(&work).collect();
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = bounds
+            .into_iter()
+            .map(|b| s.spawn(|| work(b)))
+            .collect::<Vec<_>>();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+/// Distributes owned items over workers (order of execution is
+/// unspecified; used for `for_each` side effects on disjoint targets).
+fn run_items<T, F>(items: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    let len = items.len();
+    let bounds = bounds_for(len);
+    if bounds.len() <= 1 {
+        items.into_iter().for_each(f);
+        return;
+    }
+    let mut groups: Vec<Vec<T>> = Vec::with_capacity(bounds.len());
+    let mut rest = items;
+    for b in bounds.iter().rev() {
+        groups.push(rest.split_off(rest.len() - b.len()));
+    }
+    debug_assert!(rest.is_empty());
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(groups.len());
+        for group in groups {
+            handles.push(s.spawn(|| group.into_iter().for_each(&f)));
+        }
+        for h in handles {
+            h.join().expect("parallel worker panicked");
+        }
+    });
+}
+
+/// Converts a collection into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Parallel iterator type.
+    type Iter;
+    /// Consumes `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = ParVec<T>;
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+/// `par_iter()` on shared slices.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type.
+    type Item: 'a;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// `par_iter_mut()` on mutable slices.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Element type.
+    type Item: 'a;
+    /// Mutably borrowing parallel iterator.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+/// `par_chunks_mut()` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over disjoint mutable chunks of `size`.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ParChunksMut { slice: self, size }
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> ParIterEnum<'a, T> {
+        ParIterEnum { slice: self.slice }
+    }
+
+    /// Maps each item through `f`.
+    pub fn map<R, F>(self, f: F) -> ParIterMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParIterMap {
+            slice: self.slice,
+            f,
+        }
+    }
+
+    /// Maps each item to a serial iterator and flattens, preserving
+    /// item order.
+    pub fn flat_map_iter<I, F>(self, f: F) -> ParFlatMapIter<'a, T, F>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(&'a T) -> I + Sync,
+    {
+        ParFlatMapIter {
+            slice: self.slice,
+            f,
+        }
+    }
+
+    /// Applies `f` to every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        run_ordered(self.slice.len(), |b| self.slice[b].iter().for_each(&f));
+    }
+}
+
+/// `ParIter` with indices attached.
+pub struct ParIterEnum<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIterEnum<'a, T> {
+    /// Maps each `(index, item)` pair through `f`.
+    pub fn map<R, F>(self, f: F) -> ParIterEnumMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn((usize, &'a T)) -> R + Sync,
+    {
+        ParIterEnumMap {
+            slice: self.slice,
+            f,
+        }
+    }
+
+    /// Applies `f` to every `(index, item)` pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a T)) + Sync,
+    {
+        run_ordered(self.slice.len(), |b| {
+            for i in b {
+                f((i, &self.slice[i]));
+            }
+        });
+    }
+}
+
+/// Mapped, enumerated parallel iterator (terminal: `collect`).
+pub struct ParIterEnumMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParIterEnumMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn((usize, &'a T)) -> R + Sync,
+{
+    /// Gathers results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let bufs = run_ordered(self.slice.len(), |b| {
+            b.map(|i| (self.f)((i, &self.slice[i]))).collect::<Vec<R>>()
+        });
+        bufs.into_iter().flatten().collect()
+    }
+}
+
+/// Mapped parallel iterator (terminal: `collect`).
+pub struct ParIterMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParIterMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Gathers results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let bufs = run_ordered(self.slice.len(), |b| {
+            self.slice[b].iter().map(&self.f).collect::<Vec<R>>()
+        });
+        bufs.into_iter().flatten().collect()
+    }
+}
+
+/// Flat-mapped parallel iterator (terminal: `collect`).
+pub struct ParFlatMapIter<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T, I, F> ParFlatMapIter<'a, T, F>
+where
+    T: Sync,
+    I: IntoIterator,
+    I::Item: Send,
+    F: Fn(&'a T) -> I + Sync,
+{
+    /// Gathers flattened results in input order.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        let bufs = run_ordered(self.slice.len(), |b| {
+            self.slice[b]
+                .iter()
+                .flat_map(&self.f)
+                .collect::<Vec<I::Item>>()
+        });
+        bufs.into_iter().flatten().collect()
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> ParIterMutEnum<'a, T> {
+        ParIterMutEnum { slice: self.slice }
+    }
+
+    /// Zips with a shared-slice iterator of equal length.
+    pub fn zip<'b, U: Sync>(self, other: ParIter<'b, U>) -> ParZipMut<'a, 'b, T, U> {
+        assert_eq!(self.slice.len(), other.slice.len(), "zip length mismatch");
+        ParZipMut {
+            a: self.slice,
+            b: other.slice,
+        }
+    }
+
+    /// Applies `f` to every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        run_items(self.slice.iter_mut().collect(), f);
+    }
+}
+
+/// `ParIterMut` with indices attached.
+pub struct ParIterMutEnum<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<T: Send> ParIterMutEnum<'_, T> {
+    /// Applies `f` to every `(index, item)` pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut T)) + Sync,
+    {
+        run_items(self.slice.iter_mut().enumerate().collect(), |(i, t)| {
+            f((i, t))
+        });
+    }
+}
+
+/// Zip of a mutable and a shared slice.
+pub struct ParZipMut<'a, 'b, T, U> {
+    a: &'a mut [T],
+    b: &'b [U],
+}
+
+impl<T: Send, U: Sync> ParZipMut<'_, '_, T, U> {
+    /// Applies `f` to every aligned pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((&mut T, &U)) + Sync,
+    {
+        run_items(self.a.iter_mut().zip(self.b.iter()).collect(), f);
+    }
+}
+
+/// Parallel iterator over disjoint mutable chunks.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its chunk index.
+    pub fn enumerate(self) -> ParChunksMutEnum<'a, T> {
+        ParChunksMutEnum {
+            slice: self.slice,
+            size: self.size,
+            skip: 0,
+            take: usize::MAX,
+        }
+    }
+}
+
+/// Enumerated chunk iterator with optional `skip`/`take` windows.
+pub struct ParChunksMutEnum<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+    skip: usize,
+    take: usize,
+}
+
+impl<T: Send> ParChunksMutEnum<'_, T> {
+    /// Skips the first `n` chunks.
+    pub fn skip(mut self, n: usize) -> Self {
+        self.skip += n;
+        self
+    }
+
+    /// Keeps at most `n` chunks after any skip.
+    pub fn take(mut self, n: usize) -> Self {
+        self.take = n;
+        self
+    }
+
+    /// Applies `f` to every selected `(chunk_index, chunk)` pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let items: Vec<(usize, &mut [T])> = self
+            .slice
+            .chunks_mut(self.size)
+            .enumerate()
+            .skip(self.skip)
+            .take(self.take)
+            .collect();
+        run_items(items, |(i, chunk)| f((i, chunk)));
+    }
+}
+
+/// Parallel iterator over an index range.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Maps each index through `f`.
+    pub fn map<R, F>(self, f: F) -> ParRangeMap<F>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        ParRangeMap {
+            range: self.range,
+            f,
+        }
+    }
+
+    /// Applies `f` to every index.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let start = self.range.start;
+        run_ordered(self.range.len(), |b| {
+            for i in b {
+                f(start + i);
+            }
+        });
+    }
+}
+
+/// Mapped range iterator (terminal: `collect`).
+pub struct ParRangeMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<R, F> ParRangeMap<F>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    /// Gathers results in index order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let start = self.range.start;
+        let bufs = run_ordered(self.range.len(), |b| {
+            b.map(|i| (self.f)(start + i)).collect::<Vec<R>>()
+        });
+        bufs.into_iter().flatten().collect()
+    }
+}
+
+/// Parallel iterator over an owned `Vec`.
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParVec<T> {
+    /// Maps each owned item through `f`.
+    pub fn map<R, F>(self, f: F) -> ParVecMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParVecMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Mapped owned-vector iterator (terminal: `collect`).
+pub struct ParVecMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParVecMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Gathers results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let len = self.items.len();
+        let bounds = bounds_for(len);
+        if bounds.len() <= 1 {
+            return self.items.into_iter().map(self.f).collect();
+        }
+        let mut groups: Vec<Vec<T>> = Vec::with_capacity(bounds.len());
+        let mut rest = self.items;
+        for b in bounds.iter().rev() {
+            groups.push(rest.split_off(rest.len() - b.len()));
+        }
+        groups.reverse();
+        let f = &self.f;
+        let bufs: Vec<Vec<R>> = std::thread::scope(|s| {
+            let handles: Vec<_> = groups
+                .into_iter()
+                .map(|g| s.spawn(move || g.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        });
+        bufs.into_iter().flatten().collect()
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`]; never produced by this shim.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count (0 means the global default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool. Infallible in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A bounded worker pool: `install` caps the parallelism of parallel
+/// calls made inside `op` on the calling thread.
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's worker bound in effect.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        let prev = POOL_THREADS.with(|c| c.replace(self.num_threads));
+        // Restore on unwind as well, so a panicking kernel does not
+        // leak its thread bound into later tests on the same thread.
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0;
+                POOL_THREADS.with(|c| c.set(prev));
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
+
+    /// Worker bound of this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+    }
+}
+
+/// Number of workers parallel calls on this thread will use.
+pub fn current_num_threads() -> usize {
+    current_threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_enumerate_map_collect_matches_serial() {
+        let data: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let par: Vec<f64> = data
+            .par_iter()
+            .enumerate()
+            .map(|(i, x)| x + i as f64)
+            .collect();
+        let ser: Vec<f64> = data.iter().enumerate().map(|(i, x)| x + i as f64).collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate_for_each_writes_all() {
+        let mut v = vec![0usize; 997];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i + 1);
+        assert!(v.iter().enumerate().all(|(i, x)| *x == i + 1));
+    }
+
+    #[test]
+    fn chunks_mut_skip_take_touches_window_only() {
+        let mut v = vec![0u32; 10 * 8];
+        v.par_chunks_mut(8)
+            .enumerate()
+            .skip(1)
+            .take(8)
+            .for_each(|(c, chunk)| {
+                for x in chunk.iter_mut() {
+                    *x = c as u32;
+                }
+            });
+        assert!(v[..8].iter().all(|&x| x == 0), "chunk 0 skipped");
+        assert!(v[72..].iter().all(|&x| x == 0), "chunk 9 beyond take");
+        assert!(v[8..16].iter().all(|&x| x == 1));
+        assert!(v[64..72].iter().all(|&x| x == 8));
+    }
+
+    #[test]
+    fn zip_for_each_pairs_align() {
+        let src: Vec<f64> = (0..300).map(|i| i as f64).collect();
+        let mut dst = vec![0.0f64; 300];
+        dst.par_iter_mut()
+            .zip(src.par_iter())
+            .for_each(|(d, s)| *d = s * 3.0);
+        assert!(dst.iter().enumerate().all(|(i, x)| *x == i as f64 * 3.0));
+    }
+
+    #[test]
+    fn flat_map_iter_collect_preserves_order() {
+        let data = vec![1usize, 2, 3];
+        let out: Vec<usize> = data.par_iter().flat_map_iter(|&x| 0..x).collect();
+        assert_eq!(out, vec![0, 0, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn install_bounds_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let bounds = pool.install(|| bounds_for(100));
+        assert_eq!(bounds.len(), 1);
+        // The bound is restored after install returns.
+        let pool4 = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool4.install(|| bounds_for(100)).len(), 4);
+    }
+
+    #[test]
+    fn vec_into_par_iter_map_collect() {
+        let owned: Vec<String> = (0..64).map(|i| format!("s{i}")).collect();
+        let out: Vec<usize> = owned.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[0], 2);
+        assert_eq!(out[10], 3);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            (0..100usize).into_par_iter().for_each(|i| {
+                assert!(i != 50, "boom");
+            });
+        });
+        assert!(r.is_err());
+    }
+}

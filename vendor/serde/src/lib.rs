@@ -1,0 +1,498 @@
+//! Vendored shim of the `serde` trait surface this workspace uses.
+//!
+//! The build container has no crates-io access, so the real crates
+//! cannot be fetched. The workspace only ever serializes through
+//! `serde_json`, which lets this shim collapse serde's visitor-based
+//! data model into a single self-describing [`Value`] tree: `Serialize`
+//! renders into a `Value`, `Deserialize` reads back out of one, and the
+//! companion `serde_json` shim converts `Value` to and from JSON text.
+//!
+//! The derive macros (`#[derive(Serialize, Deserialize)]`, re-exported
+//! from the vendored `serde_derive` under the `derive` feature) target
+//! these traits, and enums use serde's externally-tagged JSON layout so
+//! the wire shape matches what the real crates would emit.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Mutex;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing serialized tree (the subset of the serde data model
+/// that JSON can represent).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer (positive ones normalize to [`Value::U64`]).
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Required-field lookup with a descriptive error.
+    pub fn field(&self, key: &str) -> Result<&Value, Error> {
+        self.get(key)
+            .ok_or_else(|| Error::new(format!("missing field `{key}`")))
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error carrying `msg`.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts to the serialized tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Reconstructs `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Converts from the serialized tree.
+    fn deserialize_value(value: &Value) -> Result<Self, Error>;
+}
+
+fn type_err<T>(expected: &str, got: &Value) -> Result<T, Error> {
+    Err(Error::new(format!(
+        "expected {expected}, found {}",
+        got.kind()
+    )))
+}
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize_value(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::U64(v) => <$ty>::try_from(*v)
+                        .map_err(|_| Error::new(concat!("integer out of range for ", stringify!($ty)))),
+                    Value::I64(v) => <$ty>::try_from(*v)
+                        .map_err(|_| Error::new(concat!("integer out of range for ", stringify!($ty)))),
+                    other => type_err("integer", other),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn serialize_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        u64::deserialize_value(value)
+            .and_then(|v| usize::try_from(v).map_err(|_| Error::new("integer out of range")))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize_value(&self) -> Value {
+                let v = i64::from(*self);
+                if v >= 0 {
+                    Value::U64(v as u64)
+                } else {
+                    Value::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::U64(v) => i64::try_from(*v)
+                        .ok()
+                        .and_then(|v| <$ty>::try_from(v).ok())
+                        .ok_or_else(|| Error::new(concat!("integer out of range for ", stringify!($ty)))),
+                    Value::I64(v) => <$ty>::try_from(*v)
+                        .map_err(|_| Error::new(concat!("integer out of range for ", stringify!($ty)))),
+                    other => type_err("integer", other),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn serialize_value(&self) -> Value {
+        (*self as i64).serialize_value()
+    }
+}
+
+impl Deserialize for isize {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        i64::deserialize_value(value)
+            .and_then(|v| isize::try_from(v).map_err(|_| Error::new("integer out of range")))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        if self.is_finite() {
+            Value::F64(*self)
+        } else {
+            // serde_json writes non-finite floats as null.
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::F64(v) => Ok(*v),
+            Value::U64(v) => Ok(*v as f64),
+            Value::I64(v) => Ok(*v as f64),
+            Value::Null => Ok(f64::NAN),
+            other => type_err("number", other),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        f64::from(*self).serialize_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        f64::deserialize_value(value).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => type_err("bool", other),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => type_err("single-character string", other),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => type_err("string", other),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn serialize_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+/// Deserializing into `&'static str` is possible here (unlike with the
+/// real serde) by interning the string: each distinct string is leaked
+/// once and shared afterwards. The workspace stores flag names as
+/// `&'static str` and round-trips them through JSON in tests, and the
+/// name universe is the fixed flag table, so the leak is bounded.
+impl Deserialize for &'static str {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        static INTERNED: Mutex<Option<HashMap<String, &'static str>>> = Mutex::new(None);
+        match value {
+            Value::Str(s) => {
+                let mut guard = INTERNED
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let map = guard.get_or_insert_with(HashMap::new);
+                if let Some(interned) = map.get(s.as_str()) {
+                    return Ok(interned);
+                }
+                let leaked: &'static str = Box::leak(s.clone().into_boxed_str());
+                map.insert(s.clone(), leaked);
+                Ok(leaked)
+            }
+            other => type_err("string", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => type_err("array", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        T::deserialize_value(value).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Array(items) => {
+                        let expected = [$(stringify!($idx)),+].len();
+                        if items.len() != expected {
+                            return Err(Error::new(format!(
+                                "expected tuple of length {expected}, found array of {}",
+                                items.len()
+                            )));
+                        }
+                        Ok(($($t::deserialize_value(&items[$idx])?,)+))
+                    }
+                    other => type_err("array", other),
+                }
+            }
+        }
+    )+};
+}
+
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+);
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize_value(v)?)))
+                .collect(),
+            other => type_err("object", other),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        // Sort keys so serialization is deterministic across runs.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        Value::Object(
+            keys.into_iter()
+                .map(|k| (k.clone(), self[k].serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize_value(v)?)))
+                .collect(),
+            other => type_err("object", other),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(u64::deserialize_value(&7u64.serialize_value()), Ok(7));
+        assert_eq!(i32::deserialize_value(&(-3i32).serialize_value()), Ok(-3));
+        assert_eq!(f64::deserialize_value(&1.5f64.serialize_value()), Ok(1.5));
+        assert_eq!(bool::deserialize_value(&true.serialize_value()), Ok(true));
+        assert_eq!(
+            String::deserialize_value(&"x".serialize_value()),
+            Ok("x".to_string())
+        );
+    }
+
+    #[test]
+    fn static_str_interning_round_trips() {
+        let v = Value::Str("qopt-streaming-stores".to_string());
+        let a: &'static str = Deserialize::deserialize_value(&v).unwrap();
+        let b: &'static str = Deserialize::deserialize_value(&v).unwrap();
+        assert_eq!(a, "qopt-streaming-stores");
+        // Same leaked allocation is reused.
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1usize, 2.5f64), (3, 4.5)];
+        assert_eq!(
+            Vec::<(usize, f64)>::deserialize_value(&v.serialize_value()),
+            Ok(v)
+        );
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        assert_eq!(BTreeMap::deserialize_value(&m.serialize_value()), Ok(m));
+        let none: Option<u32> = None;
+        assert_eq!(
+            Option::<u32>::deserialize_value(&none.serialize_value()),
+            Ok(None)
+        );
+    }
+
+    #[test]
+    fn type_mismatch_is_error() {
+        assert!(u64::deserialize_value(&Value::Str("x".into())).is_err());
+        assert!(String::deserialize_value(&Value::U64(1)).is_err());
+        assert!(<(u32, u32)>::deserialize_value(&Value::Array(vec![Value::U64(1)])).is_err());
+    }
+
+    #[test]
+    fn signed_positive_normalizes_to_u64() {
+        assert_eq!(5i32.serialize_value(), Value::U64(5));
+        assert_eq!((-5i32).serialize_value(), Value::I64(-5));
+    }
+}
