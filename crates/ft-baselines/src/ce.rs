@@ -26,12 +26,21 @@ pub fn combined_elimination(ctx: &EvalContext, seed: u64) -> TuningResult {
     let mut timeline = Vec::new();
     let measure = |cv: &Cv, evals: &mut u64, timeline: &mut Vec<f64>| -> f64 {
         *evals += 1;
-        let t = ctx.eval_uniform(cv, derive_seed_idx(seed, *evals)).total_s;
+        let t = ctx.eval_uniform_resilient(cv, derive_seed_idx(seed, *evals));
         timeline.push(t);
         t
     };
+    // The best *finite* configuration seen, so a faulted final base
+    // still yields a usable winner.
+    let mut best_seen: Option<(Cv, f64)> = None;
+    let note = |cv: &Cv, t: f64, best: &mut Option<(Cv, f64)>| {
+        if t.is_finite() && best.as_ref().is_none_or(|(_, bt)| t < *bt) {
+            *best = Some((cv.clone(), t));
+        }
+    };
 
     let mut base_time = measure(&base, &mut evals, &mut timeline);
+    note(&base, base_time, &mut best_seen);
     loop {
         // Measure the RIP of every single-flag switch.
         let mut candidates: Vec<(usize, u8, f64)> = Vec::new();
@@ -42,8 +51,18 @@ pub fn combined_elimination(ctx: &EvalContext, seed: u64) -> TuningResult {
                 if v == current {
                     continue;
                 }
-                let t = measure(&base.with(&space, id, v), &mut evals, &mut timeline);
-                let rip = (t - base_time) / base_time;
+                let trial = base.with(&space, id, v);
+                let t = measure(&trial, &mut evals, &mut timeline);
+                note(&trial, t, &mut best_seen);
+                // A faulted candidate (+inf) never improves; a faulted
+                // base makes any finite alternative an improvement.
+                let rip = if t.is_finite() && base_time.is_finite() {
+                    (t - base_time) / base_time
+                } else if t.is_finite() {
+                    -1.0
+                } else {
+                    f64::INFINITY
+                };
                 if best_alt.is_none() || rip < best_alt.unwrap().1 {
                     best_alt = Some((v, rip));
                 }
@@ -63,15 +82,26 @@ pub fn combined_elimination(ctx: &EvalContext, seed: u64) -> TuningResult {
         let (first_id, first_v, _) = candidates[0];
         base = base.with(&space, first_id, first_v);
         base_time = measure(&base, &mut evals, &mut timeline);
+        note(&base, base_time, &mut best_seen);
         for &(id, v, _) in &candidates[1..] {
             let trial = base.with(&space, id, v);
             let t = measure(&trial, &mut evals, &mut timeline);
+            note(&trial, t, &mut best_seen);
             if t < base_time {
                 base = trial;
                 base_time = t;
             }
         }
     }
+
+    // If the final base happens to be faulted (crash storms at high
+    // injection rates), fall back to the best finite configuration CE
+    // actually measured.
+    let (base, base_time) = if base_time.is_finite() {
+        (base, base_time)
+    } else {
+        best_seen.expect("CE measured at least one finite configuration")
+    };
 
     let baseline_time = ctx.baseline_time(10);
     TuningResult {

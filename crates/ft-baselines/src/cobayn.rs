@@ -239,11 +239,20 @@ impl Cobayn {
             .enumerate()
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
             .expect("non-empty sample");
+        // Every sampled CV faulted (+inf): ship the fault-exempt -O3
+        // baseline rather than an unusable binary.
+        let (best_cv, best_time) = if best_time.is_finite() {
+            (cvs[best_index].clone(), best_time)
+        } else {
+            let base = ctx.space().baseline();
+            let t = ctx.eval_uniform_resilient(&base, derive_seed_idx(seed, 0xBA5E));
+            (base, t)
+        };
         TuningResult {
             algorithm: mode.label().to_string(),
             best_time,
             baseline_time: ctx.baseline_time(10),
-            assignment: vec![cvs[best_index].clone(); ctx.modules()],
+            assignment: vec![best_cv; ctx.modules()],
             best_index,
             history: best_so_far(&times),
             evaluations: k,

@@ -343,9 +343,7 @@ pub fn opentuner_search(ctx: &EvalContext, budget: usize, seed: u64) -> TuningRe
     let mut state = SearchState {
         space,
         best_cv: ctx.space().baseline(),
-        best_time: ctx
-            .eval_uniform(&ctx.space().baseline(), derive_seed_idx(seed, 0))
-            .total_s,
+        best_time: ctx.eval_uniform_resilient(&ctx.space().baseline(), derive_seed_idx(seed, 0)),
     };
     let mut timeline = vec![state.best_time];
     let exploration = 0.6;
@@ -368,10 +366,18 @@ pub fn opentuner_search(ctx: &EvalContext, budget: usize, seed: u64) -> TuningRe
             })
             .expect("non-empty ensemble");
         let cv = arms[pick].tech.propose(&state, &mut rng);
-        let time = ctx.eval_uniform(&cv, derive_seed_idx(seed, trial)).total_s;
+        let time = ctx.eval_uniform_resilient(&cv, derive_seed_idx(seed, trial));
         timeline.push(time);
         let improved = time < state.best_time;
-        arms[pick].tech.feedback(&cv, time, &state);
+        // Techniques do arithmetic on observed times (centroids,
+        // annealing deltas); feed them a large finite penalty instead
+        // of the +inf a faulted trial scores as.
+        let fb_time = if time.is_finite() {
+            time
+        } else {
+            state.best_time * 1e6
+        };
+        arms[pick].tech.feedback(&cv, fb_time, &state);
         arms[pick].record(improved);
         arms[pick].uses += 1;
         if improved {

@@ -6,7 +6,7 @@ use ft_compiler::{CompiledModule, PgoError, PgoProfile};
 use ft_core::result::TuningResult;
 use ft_core::EvalContext;
 use ft_flags::rng::derive_seed_idx;
-use ft_machine::{execute, link, ExecOptions};
+use ft_machine::{execute, link, try_execute, ExecOptions, RunOutcome};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of the PGO pipeline.
@@ -30,7 +30,7 @@ pub fn pgo_tune(ctx: &EvalContext, seed: u64) -> PgoOutcome {
     match PgoProfile::collect(&ctx.ir) {
         Err(PgoError::InstrumentationRunFailed { program }) => {
             // The program ships at plain -O3.
-            let t = ctx.eval_uniform(&base_cv, derive_seed_idx(seed, 1)).total_s;
+            let t = ctx.eval_uniform_resilient(&base_cv, derive_seed_idx(seed, 1));
             PgoOutcome {
                 result: TuningResult {
                     algorithm: "PGO".into(),
@@ -59,24 +59,64 @@ pub fn pgo_tune(ctx: &EvalContext, seed: u64) -> PgoOutcome {
                 })
                 .collect();
             let linked = link(objects, &ctx.ir, &ctx.arch);
-            let t = execute(
-                &linked,
-                &ctx.arch,
-                &ExecOptions::new(ctx.steps, derive_seed_idx(seed, 2)),
-            )
-            .total_s;
-            PgoOutcome {
-                result: TuningResult {
-                    algorithm: "PGO".into(),
-                    best_time: t,
-                    baseline_time,
-                    assignment: vec![base_cv; ctx.modules()],
-                    best_index: 0,
-                    history: vec![t],
-                    evaluations: 2,
-                },
-                failure: None,
-                profiling_run_s,
+            // The -prof-use build carries its own digests, so under an
+            // injected-fault model it can crash or hang like any tuned
+            // candidate. Retry transients; an unusable build ships the
+            // (fault-exempt) plain -O3 binary instead.
+            let faults = ctx.faults();
+            let t = if faults.is_zero() {
+                execute(
+                    &linked,
+                    &ctx.arch,
+                    &ExecOptions::new(ctx.steps, derive_seed_idx(seed, 2)),
+                )
+                .total_s
+            } else {
+                let budget = ctx.timeout_budget();
+                let mut t = f64::INFINITY;
+                for attempt in 0..=ctx.resilience().max_retries {
+                    let opts =
+                        ExecOptions::new(ctx.steps, derive_seed_idx(seed, 2 + u64::from(attempt)));
+                    match try_execute(&linked, &ctx.arch, &opts, faults, budget) {
+                        RunOutcome::Ok(meas) => {
+                            t = meas.total_s;
+                            break;
+                        }
+                        RunOutcome::Timeout { .. } => break,
+                        RunOutcome::Crash { .. } | RunOutcome::CompileError { .. } => {}
+                    }
+                }
+                t
+            };
+            if t.is_finite() {
+                PgoOutcome {
+                    result: TuningResult {
+                        algorithm: "PGO".into(),
+                        best_time: t,
+                        baseline_time,
+                        assignment: vec![base_cv; ctx.modules()],
+                        best_index: 0,
+                        history: vec![t],
+                        evaluations: 2,
+                    },
+                    failure: None,
+                    profiling_run_s,
+                }
+            } else {
+                let t = ctx.eval_uniform_resilient(&base_cv, derive_seed_idx(seed, 3));
+                PgoOutcome {
+                    result: TuningResult {
+                        algorithm: "PGO".into(),
+                        best_time: t,
+                        baseline_time,
+                        assignment: vec![base_cv; ctx.modules()],
+                        best_index: 0,
+                        history: vec![t],
+                        evaluations: 2,
+                    },
+                    failure: Some("profile-optimized build faulted; shipping -O3".into()),
+                    profiling_run_s,
+                }
             }
         }
     }

@@ -1,0 +1,128 @@
+//! Every baseline must survive the injected-fault testbed: complete
+//! its full evaluation budget and ship a finite winner, with the
+//! fault-exempt `-O3` configuration as the worst-case fallback.
+
+use ft_baselines::{combined_elimination, opentuner_search, pgo_tune, Cobayn, FeatureMode};
+use ft_compiler::{Compiler, FaultModel};
+use ft_core::EvalContext;
+use ft_machine::Architecture;
+use ft_outline::outline_with_defaults;
+use ft_workloads::workload_by_name;
+
+fn faulted_ctx(bench: &str, faults: FaultModel) -> EvalContext {
+    let arch = Architecture::broadwell();
+    let compiler = Compiler::icc(arch.target);
+    let w = workload_by_name(bench).unwrap();
+    let ir = w.instantiate(w.tuning_input(arch.name));
+    let (outlined, _) = outline_with_defaults(&ir, &compiler, &arch, 5, 11);
+    EvalContext::new(outlined.ir, Compiler::icc(arch.target), arch, 5, 31).with_faults(faults)
+}
+
+fn assert_finite_result(r: &ft_core::TuningResult, label: &str) {
+    assert!(
+        r.best_time.is_finite() && r.best_time > 0.0,
+        "{label} winner must be finite and positive: {}",
+        r.best_time
+    );
+    assert!(
+        r.speedup().is_finite() && r.speedup() > 0.0,
+        "{label} speedup must be finite: {}",
+        r.speedup()
+    );
+}
+
+#[test]
+fn combined_elimination_survives_the_testbed_rates() {
+    let ctx = faulted_ctx("swim", FaultModel::testbed(0xFA17));
+    let r = combined_elimination(&ctx, 3);
+    assert_finite_result(&r, "CE");
+    assert!(
+        r.evaluations >= 48,
+        "CE must run its sweeps: {}",
+        r.evaluations
+    );
+    let cost = ctx.cost();
+    let stats = ctx.fault_stats();
+    assert_eq!(cost.runs, stats.ok_runs + stats.crashes + stats.timeouts);
+}
+
+#[test]
+fn combined_elimination_is_deterministic_under_faults() {
+    let a = combined_elimination(&faulted_ctx("swim", FaultModel::testbed(0xFA17)), 5);
+    let b = combined_elimination(&faulted_ctx("swim", FaultModel::testbed(0xFA17)), 5);
+    assert_eq!(a.best_time.to_bits(), b.best_time.to_bits());
+    assert_eq!(a.assignment, b.assignment);
+}
+
+#[test]
+fn opentuner_survives_the_testbed_rates() {
+    let ctx = faulted_ctx("swim", FaultModel::testbed(0xFA17));
+    let r = opentuner_search(&ctx, 200, 3);
+    assert_finite_result(&r, "OpenTuner");
+    assert_eq!(r.evaluations, 200, "full test-iteration budget");
+    // The best-so-far history must never be poisoned by a faulted
+    // trial: it starts from the (exempt) baseline and only improves.
+    for w in r.history.windows(2) {
+        assert!(w[1] <= w[0], "best-so-far must be monotone");
+    }
+    assert!(r.history.iter().all(|t| t.is_finite()));
+}
+
+#[test]
+fn cobayn_survives_the_testbed_rates() {
+    let arch = Architecture::broadwell();
+    let model = Cobayn::train(&arch, 3, 40, 5, 7);
+    let ctx = faulted_ctx("swim", FaultModel::testbed(0xFA17));
+    let r = model.tune(&ctx, FeatureMode::Hybrid, 30, 9);
+    assert_finite_result(&r, "COBAYN");
+    assert_eq!(r.evaluations, 30);
+}
+
+#[test]
+fn cobayn_falls_back_to_o3_when_every_sample_faults() {
+    // A 100% crash rate kills every non-exempt candidate; the tuner
+    // must still ship something runnable — the exempt -O3 baseline.
+    let arch = Architecture::broadwell();
+    let model = Cobayn::train(&arch, 2, 20, 4, 7);
+    let ctx = faulted_ctx("swim", FaultModel::with_rates(0xFA17, 0.0, 1.0, 0.0, 0.0));
+    let r = model.tune(&ctx, FeatureMode::Static, 10, 9);
+    assert_finite_result(&r, "COBAYN fallback");
+    assert_eq!(
+        r.assignment[0].digest(),
+        ctx.space().baseline().digest(),
+        "fallback winner must be the -O3 baseline"
+    );
+}
+
+#[test]
+fn pgo_survives_the_testbed_rates() {
+    let ctx = faulted_ctx("AMG", FaultModel::testbed(0xFA17));
+    let o = pgo_tune(&ctx, 3);
+    assert_finite_result(&o.result, "PGO");
+}
+
+#[test]
+fn pgo_ships_o3_when_the_profiled_build_always_crashes() {
+    // The -prof-use build carries non-exempt digests, so a certain
+    // crash rate exhausts its retries; PGO must fall back to -O3.
+    let ctx = faulted_ctx("AMG", FaultModel::with_rates(0xFA17, 0.0, 1.0, 0.0, 0.0));
+    let o = pgo_tune(&ctx, 3);
+    assert_finite_result(&o.result, "PGO crash fallback");
+    let failure = o.failure.expect("crashing PGO build must be reported");
+    assert!(failure.contains("shipping -O3"), "{failure}");
+}
+
+#[test]
+fn baselines_with_zero_rates_match_the_pre_fault_values() {
+    // The all-zero model must leave every baseline bit-identical to a
+    // context with no fault model installed at all.
+    let plain = faulted_ctx("swim", FaultModel::zero());
+    let zeroed = faulted_ctx("swim", FaultModel::with_rates(9, 0.0, 0.0, 0.0, 0.0));
+    let a = combined_elimination(&plain, 5);
+    let b = combined_elimination(&zeroed, 5);
+    assert_eq!(a.best_time.to_bits(), b.best_time.to_bits());
+    assert_eq!(a.assignment, b.assignment);
+    let a = opentuner_search(&plain, 80, 5);
+    let b = opentuner_search(&zeroed, 80, 5);
+    assert_eq!(a.best_time.to_bits(), b.best_time.to_bits());
+}

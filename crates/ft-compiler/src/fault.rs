@@ -1,0 +1,294 @@
+//! Deterministic, seeded toolchain fault model.
+//!
+//! Real tuning campaigns run thousands of compile/link/execute cycles
+//! over days, and exotic flag combinations routinely trigger compiler
+//! ICEs, miscompiled binaries that crash, hangs, and wild outlier
+//! measurements (OpenTuner's measurement drivers and the
+//! timeout/penalty handling in Bayesian Polly tuning both exist to
+//! survive exactly this). The simulated toolchain reproduces those
+//! failure modes here: every fault decision is a pure function of the
+//! model's seed and a *fingerprint* of the work being attempted, so a
+//! campaign replays bit-exact under any fixed `(seed, rates)` pair.
+//!
+//! Fault semantics mirror their real-world counterparts:
+//!
+//! * **Compile failure** — deterministic per `(module, CV digest)`:
+//!   an ICE reproduces on every retry, so the pair is worth
+//!   quarantining forever.
+//! * **Hang** — deterministic per whole-program fingerprint: a
+//!   miscompiled infinite loop hangs on every run of that executable.
+//! * **Crash** — transient per `(fingerprint, noise seed)`: flaky
+//!   segfaults (ASLR, races) may pass on a retried run.
+//! * **Outlier** — transient per `(fingerprint, noise seed)`: a noisy
+//!   neighbour or thermal event inflates one measurement without
+//!   failing it.
+//!
+//! All probabilities are rolled with the workspace's SplitMix64
+//! derivation ([`ft_flags::rng`]); a model with every rate at zero
+//! never rolls anything and is guaranteed side-effect free.
+
+use ft_flags::rng::{derive_seed_idx, mix};
+use serde::{Deserialize, Serialize};
+
+/// Distinct salts keep the four fault streams independent: a CV that
+/// fails to compile under one seed says nothing about whether the same
+/// CV would hang.
+const SALT_COMPILE: u64 = 0x1CE0_C0DE;
+const SALT_HANG: u64 = 0xDEAD_100F;
+const SALT_CRASH: u64 = 0x5E6F_A017;
+const SALT_CRASH_FRACTION: u64 = 0x09A2_71A1;
+const SALT_OUTLIER: u64 = 0x0007_11E2;
+const SALT_OUTLIER_MAG: u64 = 0x0007_11E3;
+
+/// Seeded per-fingerprint fault probabilities for the simulated
+/// toolchain. `FaultModel::zero()` (the default) disables every roll.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultModel {
+    /// Root seed of the fault streams (independent of the noise seed).
+    pub seed: u64,
+    /// P(a `(module, CV)` compilation ICEs), per pair, deterministic.
+    pub compile_failure: f64,
+    /// P(one run of an executable crashes), per run, transient.
+    pub crash: f64,
+    /// P(an executable hangs), per program fingerprint, deterministic.
+    pub hang: f64,
+    /// P(one measurement is an inflated outlier), per run, transient.
+    pub outlier: f64,
+    /// CV digest exempt from all faults (the `-O3` default: shipping
+    /// compilers do not ICE on their own default flags). A program
+    /// whose every module carries this digest never hangs or crashes.
+    #[serde(default)]
+    pub exempt_digest: Option<u64>,
+}
+
+impl FaultModel {
+    /// The all-zero model: no faults, no rolls, bit-identical results.
+    pub fn zero() -> FaultModel {
+        FaultModel {
+            seed: 0,
+            compile_failure: 0.0,
+            crash: 0.0,
+            hang: 0.0,
+            outlier: 0.0,
+            exempt_digest: None,
+        }
+    }
+
+    /// The acceptance-criteria testbed rates: 2 % compile failures,
+    /// 1 % crashes, 0.5 % hangs, 1 % outliers.
+    pub fn testbed(seed: u64) -> FaultModel {
+        FaultModel {
+            seed,
+            compile_failure: 0.02,
+            crash: 0.01,
+            hang: 0.005,
+            outlier: 0.01,
+            exempt_digest: None,
+        }
+    }
+
+    /// A model with uniform rates (convenience for sweeps).
+    pub fn with_rates(seed: u64, compile: f64, crash: f64, hang: f64, outlier: f64) -> FaultModel {
+        FaultModel {
+            seed,
+            compile_failure: compile,
+            crash,
+            hang,
+            outlier,
+            exempt_digest: None,
+        }
+    }
+
+    /// True when no fault can ever fire; callers use this to
+    /// short-circuit onto the exact pre-fault code paths.
+    pub fn is_zero(&self) -> bool {
+        self.compile_failure == 0.0 && self.crash == 0.0 && self.hang == 0.0 && self.outlier == 0.0
+    }
+
+    /// A uniform variate in `[0, 1)`, pure in `(seed, salt, key)`.
+    fn roll(&self, salt: u64, key: u64) -> f64 {
+        (mix(derive_seed_idx(self.seed ^ salt, key)) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn exempt(&self, digest: u64) -> bool {
+        self.exempt_digest == Some(digest)
+    }
+
+    /// Does compiling module `module_id` under the CV with `digest`
+    /// fail? Deterministic: the same pair fails on every attempt.
+    pub fn compile_fails(&self, module_id: usize, digest: u64) -> bool {
+        self.compile_failure > 0.0
+            && !self.exempt(digest)
+            && self.roll(SALT_COMPILE.wrapping_add(module_id as u64), digest) < self.compile_failure
+    }
+
+    /// Does the executable with program fingerprint `fp` hang?
+    /// Deterministic per fingerprint.
+    pub fn hangs(&self, fp: u64) -> bool {
+        self.hang > 0.0 && self.roll(SALT_HANG, fp) < self.hang
+    }
+
+    /// Does this particular run (fingerprint × noise seed) crash?
+    /// Transient: a retry with a fresh noise seed re-rolls.
+    pub fn crashes(&self, fp: u64, noise_seed: u64) -> bool {
+        self.crash > 0.0 && self.roll(SALT_CRASH, fp ^ mix(noise_seed)) < self.crash
+    }
+
+    /// Fraction of the run's wall-clock spent before the crash, in
+    /// `(0, 1)` — the partial machine time a crashed run still costs.
+    pub fn crash_fraction(&self, fp: u64, noise_seed: u64) -> f64 {
+        self.roll(SALT_CRASH_FRACTION, fp ^ mix(noise_seed))
+            .clamp(0.05, 0.95)
+    }
+
+    /// Multiplicative inflation of an outlier measurement (2–10x), or
+    /// `None` when this run measures cleanly.
+    pub fn outlier_factor(&self, fp: u64, noise_seed: u64) -> Option<f64> {
+        if self.outlier > 0.0 && self.roll(SALT_OUTLIER, fp ^ mix(noise_seed)) < self.outlier {
+            Some(2.0 + 8.0 * self.roll(SALT_OUTLIER_MAG, fp ^ mix(noise_seed)))
+        } else {
+            None
+        }
+    }
+
+    /// Whole-program fingerprint of a per-module CV-digest vector
+    /// (order-sensitive: swapping two modules' CVs is a different
+    /// executable). Both the quarantine layer and the execution model
+    /// key program-level faults by this value.
+    pub fn program_fingerprint(digests: &[u64]) -> u64 {
+        let mut h: u64 = 0xF1A6_F1A6;
+        for d in digests {
+            h = mix(h ^ *d);
+        }
+        h
+    }
+
+    /// True when every module of the fingerprinted program carries the
+    /// exempt digest (the pure `-O3` build never faults at runtime).
+    pub fn all_exempt(&self, digests: &[u64]) -> bool {
+        match self.exempt_digest {
+            Some(e) => digests.iter().all(|d| *d == e),
+            None => false,
+        }
+    }
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel::zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count<F: Fn(u64) -> bool>(n: u64, f: F) -> u64 {
+        (0..n).filter(|i| f(mix(*i))).count() as u64
+    }
+
+    #[test]
+    fn zero_model_never_fires() {
+        let m = FaultModel::zero();
+        assert!(m.is_zero());
+        for i in 0..2000u64 {
+            assert!(!m.compile_fails(i as usize % 7, mix(i)));
+            assert!(!m.hangs(mix(i)));
+            assert!(!m.crashes(mix(i), i));
+            assert!(m.outlier_factor(mix(i), i).is_none());
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let m = FaultModel::testbed(7);
+        for i in 0..500u64 {
+            let fp = mix(i);
+            assert_eq!(m.compile_fails(3, fp), m.compile_fails(3, fp));
+            assert_eq!(m.hangs(fp), m.hangs(fp));
+            assert_eq!(m.crashes(fp, i), m.crashes(fp, i));
+            assert_eq!(m.outlier_factor(fp, i), m.outlier_factor(fp, i));
+        }
+    }
+
+    #[test]
+    fn empirical_rates_match_configuration() {
+        let m = FaultModel::with_rates(3, 0.10, 0.05, 0.02, 0.08);
+        let n = 20_000u64;
+        let cf = count(n, |d| m.compile_fails(0, d));
+        let hg = count(n, |d| m.hangs(d));
+        let cr = count(n, |d| m.crashes(d, d));
+        let ol = count(n, |d| m.outlier_factor(d, d).is_some());
+        // 3-sigma bands around the binomial expectations.
+        assert!((1700..=2300).contains(&cf), "compile {cf}");
+        assert!((250..=550).contains(&hg), "hang {hg}");
+        assert!((800..=1200).contains(&cr), "crash {cr}");
+        assert!((1350..=1850).contains(&ol), "outlier {ol}");
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        // The same fingerprint must not fail all fault kinds at once:
+        // each kind rolls its own salted stream.
+        let m = FaultModel::with_rates(11, 0.5, 0.5, 0.5, 0.5);
+        let n = 4000u64;
+        let both = (0..n)
+            .filter(|i| {
+                let fp = mix(*i);
+                m.hangs(fp) && m.crashes(fp, 0)
+            })
+            .count();
+        // Independent 50 % streams intersect near 25 %, not 50 %.
+        assert!((800..=1200).contains(&both), "joint = {both}");
+    }
+
+    #[test]
+    fn crash_is_transient_across_noise_seeds() {
+        let m = FaultModel::with_rates(5, 0.0, 0.5, 0.0, 0.0);
+        let fp = mix(99);
+        let outcomes: Vec<bool> = (0..64).map(|s| m.crashes(fp, s)).collect();
+        assert!(outcomes.iter().any(|c| *c));
+        assert!(outcomes.iter().any(|c| !*c));
+    }
+
+    #[test]
+    fn exempt_digest_never_faults() {
+        let mut m = FaultModel::with_rates(5, 1.0, 1.0, 1.0, 1.0);
+        m.exempt_digest = Some(42);
+        assert!(!m.compile_fails(0, 42));
+        assert!(m.compile_fails(0, 43));
+        assert!(m.all_exempt(&[42, 42, 42]));
+        assert!(!m.all_exempt(&[42, 43]));
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive() {
+        let a = FaultModel::program_fingerprint(&[1, 2, 3]);
+        let b = FaultModel::program_fingerprint(&[3, 2, 1]);
+        assert_ne!(a, b);
+        assert_eq!(a, FaultModel::program_fingerprint(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn crash_fraction_is_a_valid_partial_charge() {
+        let m = FaultModel::testbed(1);
+        for i in 0..200u64 {
+            let f = m.crash_fraction(mix(i), i);
+            assert!((0.05..=0.95).contains(&f), "fraction {f}");
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = FaultModel::testbed(9);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: FaultModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+        // Older serialized models without the exemption field load too.
+        let legacy: FaultModel = serde_json::from_str(
+            r#"{"seed":1,"compile_failure":0.1,"crash":0.0,"hang":0.0,"outlier":0.0}"#,
+        )
+        .unwrap();
+        assert_eq!(legacy.exempt_digest, None);
+    }
+}

@@ -30,6 +30,7 @@
 pub mod cache;
 pub mod compiler;
 pub mod decisions;
+pub mod fault;
 pub mod ir;
 pub mod optreport;
 pub mod pgo;
@@ -38,6 +39,7 @@ pub mod response;
 pub use cache::ObjectCache;
 pub use compiler::{Compiler, Personality, Target};
 pub use decisions::{CodegenDecisions, CompiledModule, VecWidth};
+pub use fault::FaultModel;
 pub use ir::{CallEdge, LoopFeatures, MemStride, Module, ModuleId, ModuleKind, ProgramIr};
 pub use optreport::{report_module, report_program};
 pub use pgo::{PgoError, PgoProfile};

@@ -1,4 +1,4 @@
-//! Collection checkpoints: persist the expensive per-loop data.
+//! Checkpoints: persist the expensive phases of a campaign.
 //!
 //! The Figure 4 collection is the costly phase (K instrumented runs —
 //! days on the paper's testbeds). Once collected, the same data feeds
@@ -6,15 +6,34 @@
 //! analyses. A [`Checkpoint`] bundles the collection with enough
 //! context (program, architecture, input) to validate that a later
 //! session is re-using it against the same tuning problem.
+//!
+//! A [`CampaignCheckpoint`] goes further: it snapshots a whole
+//! [`crate::Tuner`] campaign mid-phase (completed phase results plus
+//! the fault-quarantine lists), so a killed multi-day campaign resumes
+//! where it stopped instead of redoing the collection. Because every
+//! phase draws its seeds independently from the root seed, a resumed
+//! campaign is bit-identical to an uninterrupted one.
 
+use crate::algorithms::GreedyOutcome;
 use crate::collection::CollectionData;
 use crate::ctx::EvalContext;
+use crate::result::TuningResult;
+use ft_compiler::FaultModel;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Current on-disk schema version of both checkpoint kinds. Files
+/// written before versioning deserialize with version 0 (the
+/// `#[serde(default)]`), which the loaders refuse.
+pub const CHECKPOINT_VERSION: u32 = 1;
 
 /// A persisted collection plus its provenance.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Checkpoint {
+    /// Schema version ([`CHECKPOINT_VERSION`] when written by this
+    /// build; 0 marks a pre-versioning file).
+    #[serde(default)]
+    pub version: u32,
     /// Program name the data was collected on.
     pub program: String,
     /// Architecture name.
@@ -53,6 +72,7 @@ impl Checkpoint {
     /// Captures a collection from the context it was produced in.
     pub fn capture(ctx: &EvalContext, data: CollectionData) -> Checkpoint {
         Checkpoint {
+            version: CHECKPOINT_VERSION,
             program: ctx.ir.name.clone(),
             arch: ctx.arch.name.to_string(),
             steps: ctx.steps,
@@ -97,9 +117,80 @@ impl Checkpoint {
         serde_json::to_string(self).map_err(|e| CheckpointError::Format(e.to_string()))
     }
 
-    /// Deserializes from JSON.
+    /// Deserializes from JSON, refusing schema versions this build
+    /// does not understand.
     pub fn from_json(json: &str) -> Result<Checkpoint, CheckpointError> {
-        serde_json::from_str(json).map_err(|e| CheckpointError::Format(e.to_string()))
+        let cp: Checkpoint =
+            serde_json::from_str(json).map_err(|e| CheckpointError::Format(e.to_string()))?;
+        check_version(cp.version)?;
+        Ok(cp)
+    }
+}
+
+/// Shared version gate of both checkpoint kinds.
+fn check_version(version: u32) -> Result<(), CheckpointError> {
+    if version != CHECKPOINT_VERSION {
+        return Err(CheckpointError::Format(format!(
+            "unsupported checkpoint version {version} (this build reads \
+             version {CHECKPOINT_VERSION}; re-collect or use a matching build)"
+        )));
+    }
+    Ok(())
+}
+
+/// A whole tuning campaign frozen mid-phase: the configuration that
+/// reproduces it, every phase result completed so far, and the fault
+/// quarantine accumulated across those phases.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignCheckpoint {
+    /// Schema version ([`CHECKPOINT_VERSION`] when written).
+    #[serde(default)]
+    pub version: u32,
+    /// Workload name.
+    pub workload: String,
+    /// Architecture name.
+    pub arch: String,
+    /// Sample budget K.
+    pub budget: usize,
+    /// CFR focus width X.
+    pub focus: usize,
+    /// Root seed of the campaign.
+    pub seed: u64,
+    /// Optional time-step cap the campaign was started with.
+    pub steps_cap: Option<u32>,
+    /// The injected-fault model (all-zero for a clean campaign).
+    pub faults: FaultModel,
+    /// `-O3` baseline time, if the baseline phase completed.
+    pub baseline_time: Option<f64>,
+    /// Figure-4 collection, if completed.
+    pub data: Option<CollectionData>,
+    /// Per-program random search, if completed.
+    pub random: Option<TuningResult>,
+    /// Per-function random search, if completed.
+    pub fr: Option<TuningResult>,
+    /// Greedy combination, if completed.
+    pub greedy: Option<GreedyOutcome>,
+    /// CFR, if completed.
+    pub cfr: Option<TuningResult>,
+    /// Known-bad `(module, CV digest)` compile pairs.
+    pub bad_compiles: Vec<(usize, u64)>,
+    /// Known-hanging program fingerprints.
+    pub bad_programs: Vec<u64>,
+}
+
+impl CampaignCheckpoint {
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> Result<String, CheckpointError> {
+        serde_json::to_string(self).map_err(|e| CheckpointError::Format(e.to_string()))
+    }
+
+    /// Deserializes from JSON, refusing schema versions this build
+    /// does not understand.
+    pub fn from_json(json: &str) -> Result<CampaignCheckpoint, CheckpointError> {
+        let cp: CampaignCheckpoint =
+            serde_json::from_str(json).map_err(|e| CheckpointError::Format(e.to_string()))?;
+        check_version(cp.version)?;
+        Ok(cp)
     }
 }
 
@@ -160,5 +251,37 @@ mod tests {
     fn garbage_json_is_a_format_error() {
         let err = Checkpoint::from_json("{not json").unwrap_err();
         assert!(matches!(err, CheckpointError::Format(_)));
+    }
+
+    #[test]
+    fn version_survives_round_trip_and_mismatches_are_refused() {
+        let ctx = ctx_for("swim", Some(3));
+        let cp = Checkpoint::capture(&ctx, collect(&ctx, 5, 7));
+        assert_eq!(cp.version, CHECKPOINT_VERSION);
+        let json = cp.to_json().unwrap();
+        assert_eq!(
+            Checkpoint::from_json(&json).unwrap().version,
+            CHECKPOINT_VERSION
+        );
+
+        // A future (or corrupted) version number is a Format error...
+        let future = json.replacen(
+            &format!("\"version\":{CHECKPOINT_VERSION}"),
+            &format!("\"version\":{}", CHECKPOINT_VERSION + 1),
+            1,
+        );
+        assert_ne!(future, json, "version field must be serialized");
+        let err = Checkpoint::from_json(&future).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)), "{err}");
+        assert!(err.to_string().contains("version"));
+
+        // ...and so is a pre-versioning file, which deserializes with
+        // the version-0 default.
+        let mut legacy: serde::Value = serde_json::from_str(&json).unwrap();
+        if let serde::Value::Object(fields) = &mut legacy {
+            fields.retain(|(k, _)| k.as_str() != "version");
+        }
+        let err = Checkpoint::from_json(&serde_json::to_string(&legacy).unwrap()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)), "{err}");
     }
 }

@@ -11,7 +11,6 @@ use crate::ctx::EvalContext;
 use ft_caliper::Caliper;
 use ft_flags::rng::{derive_seed_idx, rng_for};
 use ft_flags::Cv;
-use ft_machine::{execute_profiled, ExecOptions};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -104,13 +103,17 @@ pub fn collect_with_cvs(ctx: &EvalContext, cvs: Vec<Cv>, seed: u64) -> Collectio
             let caliper = Caliper::real_time();
             // Through both caches: a CV that Random already evaluated
             // (or a duplicate within the sample) reuses its link.
-            let linked = ctx.linked_uniform(cv);
-            let opts = ExecOptions::instrumented(
-                ctx.steps,
+            // Under a nonzero fault model, a CV that ICEs, keeps
+            // crashing, or hangs yields `+inf` — an all-`+inf` row
+            // that no per-loop ranking can ever select.
+            let total = ctx.profiled_uniform_resilient(
+                cv,
                 derive_seed_idx(seed ^ 0x0C01_1EC7, kk as u64),
+                &caliper,
             );
-            let meas = execute_profiled(&linked, &ctx.arch, &opts, &caliper);
-            ctx.charge_run(meas.total_s);
+            if !total.is_finite() {
+                return (vec![f64::INFINITY; j_total], f64::INFINITY);
+            }
             let snap = caliper.snapshot();
             // Measured hot-loop times; non-loop derived by subtraction.
             let mut per_module = vec![0.0; j_total];
@@ -120,8 +123,8 @@ pub fn collect_with_cvs(ctx: &EvalContext, cvs: Vec<Cv>, seed: u64) -> Collectio
                 per_module[j] = t;
                 hot_sum += t;
             }
-            per_module[j_total - 1] = (meas.total_s - hot_sum).max(0.0);
-            (per_module, meas.total_s)
+            per_module[j_total - 1] = (total - hot_sum).max(0.0);
+            (per_module, total)
         })
         .collect();
 

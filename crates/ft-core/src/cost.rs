@@ -23,10 +23,29 @@ pub struct TuningCost {
     /// Duplicate assignments that reused a cached `LinkedProgram`
     /// (link-cache hits) — the `xild` analogue of object reuse.
     pub link_reuses: u64,
-    /// Executable runs (each = linked program + execute + measure).
+    /// Executable runs (each = linked program + execute + measure),
+    /// including crashed and timed-out attempts: they occupied the
+    /// machine, so the ledger charges them.
     pub runs: u64,
     /// Simulated machine time of all runs, seconds.
     pub machine_seconds: f64,
+    /// Candidate evaluations aborted by an injected compile failure
+    /// (nothing was linked or run, so nothing was charged).
+    #[serde(default)]
+    pub compile_failures: u64,
+    /// Runs that crashed; each charged the partial time it consumed.
+    #[serde(default)]
+    pub crashes: u64,
+    /// Runs killed at their timeout budget; each charged the budget.
+    #[serde(default)]
+    pub timeouts: u64,
+    /// Re-executions performed after transient crashes.
+    #[serde(default)]
+    pub retries: u64,
+    /// Evaluations skipped because a quarantine list already knew the
+    /// candidate was bad.
+    #[serde(default)]
+    pub quarantined: u64,
 }
 
 impl TuningCost {
@@ -39,6 +58,11 @@ impl TuningCost {
             link_reuses: 0,
             runs: 0,
             machine_seconds: 0.0,
+            compile_failures: 0,
+            crashes: 0,
+            timeouts: 0,
+            retries: 0,
+            quarantined: 0,
         }
     }
 
@@ -52,7 +76,19 @@ impl TuningCost {
             link_reuses: self.link_reuses - earlier.link_reuses,
             runs: self.runs - earlier.runs,
             machine_seconds: self.machine_seconds - earlier.machine_seconds,
+            compile_failures: self.compile_failures - earlier.compile_failures,
+            crashes: self.crashes - earlier.crashes,
+            timeouts: self.timeouts - earlier.timeouts,
+            retries: self.retries - earlier.retries,
+            quarantined: self.quarantined - earlier.quarantined,
         }
+    }
+
+    /// Runs that failed but still occupied the machine. Together with
+    /// successful runs these make up `runs`:
+    /// `runs = successful + crashes + timeouts`.
+    pub fn failed_charged_runs(&self) -> u64 {
+        self.crashes + self.timeouts
     }
 
     /// Simulated machine time in hours.
@@ -97,6 +133,10 @@ mod tests {
             link_reuses: 2,
             runs: 5,
             machine_seconds: 100.0,
+            crashes: 3,
+            timeouts: 1,
+            retries: 2,
+            ..TuningCost::zero()
         };
         let b = TuningCost {
             object_compiles: 4,
@@ -105,8 +145,14 @@ mod tests {
             link_reuses: 1,
             runs: 2,
             machine_seconds: 40.0,
+            crashes: 1,
+            ..TuningCost::zero()
         };
         let d = a.since(&b);
+        assert_eq!(d.crashes, 2);
+        assert_eq!(d.timeouts, 1);
+        assert_eq!(d.retries, 2);
+        assert_eq!(a.failed_charged_runs(), 4);
         assert_eq!(d.object_compiles, 6);
         assert_eq!(d.links, 5);
         assert_eq!(d.link_reuses, 1);

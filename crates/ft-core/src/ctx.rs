@@ -1,13 +1,62 @@
 //! Evaluation context: the compile → link → execute pipeline every
 //! search algorithm measures through.
 
-use ft_compiler::{CompiledModule, Compiler, ObjectCache, ProgramIr};
+use ft_caliper::Caliper;
+use ft_compiler::{CompiledModule, Compiler, FaultModel, ObjectCache, ProgramIr};
 use ft_flags::rng::derive_seed_idx;
 use ft_flags::{Cv, CvId, CvPool, FlagSpace};
-use ft_machine::{execute, Architecture, ExecOptions, LinkCache, LinkedProgram, RunMeasurement};
+use ft_machine::{
+    execute, execute_profiled, try_execute, try_execute_profiled, Architecture, ExecOptions,
+    LinkCache, LinkedProgram, RunMeasurement, RunOutcome,
+};
 use rayon::prelude::*;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Salt separating retry noise seeds from first-attempt seeds, so a
+/// retried measurement re-rolls both the machine noise and the
+/// transient fault streams.
+const SALT_RETRY: u64 = 0x08E7_81E5;
+
+/// How the harness reacts to injected toolchain faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceConfig {
+    /// Extra attempts after a transient crash before scoring `+inf`.
+    pub max_retries: u32,
+    /// Timeout budget as a multiple of the reference (baseline) time;
+    /// a hung run is charged this budget.
+    pub timeout_factor: f64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            max_retries: 2,
+            timeout_factor: 20.0,
+        }
+    }
+}
+
+/// Fault/recovery counters of one context (see §4.3 ledger notes in
+/// DESIGN.md). Quarantine sizes count distinct entries; `quarantined`
+/// counts evaluations short-circuited by the lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Candidate evaluations aborted by a compile-stage ICE.
+    pub compile_failures: u64,
+    /// Executions that crashed (each one charged its partial time).
+    pub crashes: u64,
+    /// Executions that hung and were killed at their budget.
+    pub timeouts: u64,
+    /// Re-executions after a transient crash.
+    pub retries: u64,
+    /// Evaluations skipped because a quarantine list already knew the
+    /// CV (or program) was bad.
+    pub quarantined: u64,
+    /// Executions that completed and produced a finite measurement.
+    pub ok_runs: u64,
+}
 
 /// Hit/miss counters of the evaluation engine's two memoization
 /// layers: per-module objects and whole-program links.
@@ -53,6 +102,31 @@ pub struct EvalContext {
     runs: AtomicU64,
     /// Simulated machine time spent in those executions, nanoseconds.
     machine_nanos: AtomicU64,
+    /// Injected-fault model (all-zero by default: the infallible
+    /// toolchain every golden value was locked against).
+    faults: FaultModel,
+    /// Retry/timeout policy of the resilient evaluation paths.
+    resilience: ResilienceConfig,
+    /// Reference time (f64 bits; 0 = unset) from which timeout budgets
+    /// are derived. Set once from the `-O3` baseline so budgets do not
+    /// depend on the completion order of parallel batches.
+    timeout_ref_bits: AtomicU64,
+    /// `(module, CV digest)` pairs whose compilation is known to ICE.
+    bad_compiles: Mutex<HashSet<(usize, u64)>>,
+    /// Program fingerprints known to hang.
+    bad_programs: Mutex<HashSet<u64>>,
+    /// Executions that completed with a finite measurement.
+    ok_runs: AtomicU64,
+    /// Evaluations aborted by a compile-stage ICE.
+    compile_failures: AtomicU64,
+    /// Executions that crashed.
+    crashes: AtomicU64,
+    /// Executions killed at their timeout budget.
+    timeouts: AtomicU64,
+    /// Re-executions after transient crashes.
+    retries: AtomicU64,
+    /// Evaluations short-circuited by a quarantine list.
+    quarantine_skips: AtomicU64,
 }
 
 impl EvalContext {
@@ -81,7 +155,95 @@ impl EvalContext {
             baseline_memo: OnceLock::new(),
             runs: AtomicU64::new(0),
             machine_nanos: AtomicU64::new(0),
+            faults: FaultModel::zero(),
+            resilience: ResilienceConfig::default(),
+            timeout_ref_bits: AtomicU64::new(0),
+            bad_compiles: Mutex::new(HashSet::new()),
+            bad_programs: Mutex::new(HashSet::new()),
+            ok_runs: AtomicU64::new(0),
+            compile_failures: AtomicU64::new(0),
+            crashes: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            quarantine_skips: AtomicU64::new(0),
         }
+    }
+
+    /// Installs a fault model. The flag space's `-O3` baseline CV is
+    /// always exempted: the paper's testbed never saw its production
+    /// compiler ICE on default flags, and the exemption keeps the
+    /// baseline denominator of every speedup finite.
+    pub fn with_faults(mut self, faults: FaultModel) -> Self {
+        let mut faults = faults;
+        faults.exempt_digest = Some(self.compiler.space().baseline().digest());
+        self.faults = faults;
+        self
+    }
+
+    /// Overrides the retry/timeout policy.
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// The installed fault model.
+    pub fn faults(&self) -> &FaultModel {
+        &self.faults
+    }
+
+    /// The installed retry/timeout policy.
+    pub fn resilience(&self) -> ResilienceConfig {
+        self.resilience
+    }
+
+    /// Sets the reference time from which timeout budgets are derived
+    /// (normally the `-O3` baseline, set once right after measuring
+    /// it). Until set, a hung run falls back to charging
+    /// [`ft_machine::DEFAULT_HANG_CHARGE_FACTOR`]× its own healthy
+    /// time.
+    pub fn set_timeout_reference(&self, seconds: f64) {
+        self.timeout_ref_bits
+            .store(seconds.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current timeout budget in seconds, if a reference is set.
+    pub fn timeout_budget(&self) -> Option<f64> {
+        let bits = self.timeout_ref_bits.load(Ordering::Relaxed);
+        if bits == 0 {
+            None
+        } else {
+            Some(f64::from_bits(bits) * self.resilience.timeout_factor)
+        }
+    }
+
+    /// Fault/recovery counters so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            compile_failures: self.compile_failures.load(Ordering::Relaxed),
+            crashes: self.crashes.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            quarantined: self.quarantine_skips.load(Ordering::Relaxed),
+            ok_runs: self.ok_runs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The quarantine lists, sorted for deterministic serialization:
+    /// known-bad `(module, CV digest)` pairs and known-hanging program
+    /// fingerprints.
+    pub fn quarantine_snapshot(&self) -> (Vec<(usize, u64)>, Vec<u64>) {
+        let mut compiles: Vec<(usize, u64)> =
+            self.bad_compiles.lock().unwrap().iter().copied().collect();
+        compiles.sort_unstable();
+        let mut programs: Vec<u64> = self.bad_programs.lock().unwrap().iter().copied().collect();
+        programs.sort_unstable();
+        (compiles, programs)
+    }
+
+    /// Re-seeds the quarantine lists (campaign resume).
+    pub fn restore_quarantine(&self, compiles: &[(usize, u64)], programs: &[u64]) {
+        self.bad_compiles.lock().unwrap().extend(compiles.iter());
+        self.bad_programs.lock().unwrap().extend(programs.iter());
     }
 
     /// Compiles every module with one uniform CV, through the object
@@ -193,9 +355,10 @@ impl EvalContext {
         meas
     }
 
-    /// Accounts an externally executed run (e.g. the instrumented
-    /// collection runs of Figure 4) against the ledger.
+    /// Accounts an externally executed successful run (e.g. the PGO
+    /// baseline's instrumented profiling run) against the ledger.
     pub fn charge_run(&self, seconds: f64) {
+        self.ok_runs.fetch_add(1, Ordering::Relaxed);
         self.runs.fetch_add(1, Ordering::Relaxed);
         self.machine_nanos
             .fetch_add((seconds * 1e9) as u64, Ordering::Relaxed);
@@ -203,14 +366,25 @@ impl EvalContext {
 
     /// Accounts one run against the tuning-overhead ledger (§4.3).
     fn charge(&self, meas: &RunMeasurement) {
+        self.ok_runs.fetch_add(1, Ordering::Relaxed);
         self.runs.fetch_add(1, Ordering::Relaxed);
         self.machine_nanos
             .fetch_add((meas.total_s * 1e9) as u64, Ordering::Relaxed);
     }
 
+    /// Accounts a failed execution: a crashed or killed run still
+    /// occupied the machine for `seconds`, but produced no
+    /// measurement, so it is charged without counting as successful.
+    fn charge_failed(&self, seconds: f64) {
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        self.machine_nanos
+            .fetch_add((seconds * 1e9) as u64, Ordering::Relaxed);
+    }
+
     /// Tuning-overhead ledger so far (see [`crate::cost::TuningCost`]).
     pub fn cost(&self) -> crate::cost::TuningCost {
         let stats = self.cache_stats();
+        let faults = self.fault_stats();
         crate::cost::TuningCost {
             object_compiles: stats.object_misses,
             object_reuses: stats.object_hits,
@@ -218,6 +392,11 @@ impl EvalContext {
             link_reuses: stats.link_hits,
             runs: self.runs.load(Ordering::Relaxed),
             machine_seconds: self.machine_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            compile_failures: faults.compile_failures,
+            crashes: faults.crashes,
+            timeouts: faults.timeouts,
+            retries: faults.retries,
+            quarantined: faults.quarantined,
         }
     }
 
@@ -236,9 +415,18 @@ impl EvalContext {
             }
             return self.measure_baseline(repeats);
         }
-        self.baseline_memo
+        let t = self
+            .baseline_memo
             .get_or_init(|| (repeats, self.measure_baseline(repeats)))
-            .1
+            .1;
+        // The first memoized baseline doubles as the timeout
+        // reference: every fault-aware path thereafter kills a hung
+        // run at `timeout_factor` times the baseline. (Idempotent
+        // under concurrent callers: the memo fixes `t`.)
+        if self.timeout_ref_bits.load(Ordering::Relaxed) == 0 {
+            self.set_timeout_reference(t);
+        }
+        t
     }
 
     /// Runs the baseline repeats in parallel. The per-repeat times are
@@ -256,14 +444,186 @@ impl EvalContext {
         times.iter().sum::<f64>() / f64::from(repeats.max(1))
     }
 
+    /// The resilient compile → link → execute core every fault-aware
+    /// path funnels through. Returns the end-to-end time, or `+inf`
+    /// when the candidate is unusable (ICE, persistent crash, hang).
+    ///
+    /// * Compile gate: a `(module, CV)` pair that ICEs produces no
+    ///   object — nothing links, nothing runs, nothing is charged, and
+    ///   the pair is quarantined so no later phase re-rolls it.
+    /// * Hang gate: a program fingerprint that previously timed out is
+    ///   skipped outright.
+    /// * Execution: the first attempt uses exactly the caller's noise
+    ///   seed (so the all-zero model reproduces today's measurements
+    ///   bit-for-bit); a transient crash is charged its partial time
+    ///   and retried up to `max_retries` times under fresh derived
+    ///   seeds; a hang is charged its full timeout budget and
+    ///   quarantines the fingerprint.
+    ///
+    /// With a caliper, successful attempts run instrumented and record
+    /// per-module times into it (the Figure-4 collection path).
+    fn eval_digests_resilient<F>(
+        &self,
+        digests: &[u64],
+        noise_seed: u64,
+        compile: F,
+        caliper: Option<&Caliper>,
+    ) -> f64
+    where
+        F: FnOnce() -> Vec<CompiledModule>,
+    {
+        if self.faults.is_zero() {
+            let linked = self.links.link_with(digests, &self.ir, &self.arch, compile);
+            let meas = match caliper {
+                Some(c) => execute_profiled(
+                    &linked,
+                    &self.arch,
+                    &ExecOptions::instrumented(self.steps, noise_seed),
+                    c,
+                ),
+                None => execute(
+                    &linked,
+                    &self.arch,
+                    &ExecOptions::new(self.steps, noise_seed),
+                ),
+            };
+            self.charge(&meas);
+            return meas.total_s;
+        }
+        for (module, digest) in digests.iter().enumerate() {
+            let key = (module, *digest);
+            if self.bad_compiles.lock().unwrap().contains(&key) {
+                self.quarantine_skips.fetch_add(1, Ordering::Relaxed);
+                return f64::INFINITY;
+            }
+            if self.faults.compile_fails(module, *digest) {
+                self.compile_failures.fetch_add(1, Ordering::Relaxed);
+                self.bad_compiles.lock().unwrap().insert(key);
+                return f64::INFINITY;
+            }
+        }
+        let fp = FaultModel::program_fingerprint(digests);
+        if self.bad_programs.lock().unwrap().contains(&fp) {
+            self.quarantine_skips.fetch_add(1, Ordering::Relaxed);
+            return f64::INFINITY;
+        }
+        let linked = self.links.link_with(digests, &self.ir, &self.arch, compile);
+        let budget = self.timeout_budget();
+        for attempt in 0..=self.resilience.max_retries {
+            let seed = if attempt == 0 {
+                noise_seed
+            } else {
+                derive_seed_idx(noise_seed ^ SALT_RETRY, u64::from(attempt))
+            };
+            let outcome = match caliper {
+                Some(c) => try_execute_profiled(
+                    &linked,
+                    &self.arch,
+                    &ExecOptions::instrumented(self.steps, seed),
+                    &self.faults,
+                    budget,
+                    c,
+                ),
+                None => try_execute(
+                    &linked,
+                    &self.arch,
+                    &ExecOptions::new(self.steps, seed),
+                    &self.faults,
+                    budget,
+                ),
+            };
+            match outcome {
+                RunOutcome::Ok(meas) => {
+                    self.charge(&meas);
+                    return meas.total_s;
+                }
+                RunOutcome::Crash { elapsed_s } => {
+                    self.crashes.fetch_add(1, Ordering::Relaxed);
+                    self.charge_failed(elapsed_s);
+                    if attempt < self.resilience.max_retries {
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                RunOutcome::Timeout { budget_s } => {
+                    self.timeouts.fetch_add(1, Ordering::Relaxed);
+                    self.charge_failed(budget_s);
+                    self.bad_programs.lock().unwrap().insert(fp);
+                    return f64::INFINITY;
+                }
+                RunOutcome::CompileError { .. } => {
+                    unreachable!("compile faults are gated before linking")
+                }
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// Fault-aware [`EvalContext::eval_uniform`]: end-to-end time, or
+    /// `+inf` for an unusable CV. Bit-identical to the infallible path
+    /// under the all-zero fault model.
+    pub fn eval_uniform_resilient(&self, cv: &Cv, noise_seed: u64) -> f64 {
+        let digests = vec![cv.digest(); self.ir.len()];
+        self.eval_digests_resilient(&digests, noise_seed, || self.compile_uniform(cv), None)
+    }
+
+    /// Fault-aware [`EvalContext::eval_assignment`].
+    pub fn eval_assignment_resilient(&self, assignment: &[Cv], noise_seed: u64) -> f64 {
+        assert_eq!(assignment.len(), self.ir.len(), "one CV per module");
+        let digests: Vec<u64> = assignment.iter().map(|cv| cv.digest()).collect();
+        self.eval_digests_resilient(
+            &digests,
+            noise_seed,
+            || self.compile_assignment_cached(assignment),
+            None,
+        )
+    }
+
+    /// Fault-aware [`EvalContext::eval_assignment_ids`].
+    pub fn eval_assignment_ids_resilient(
+        &self,
+        pool: &CvPool,
+        ids: &[CvId],
+        noise_seed: u64,
+    ) -> f64 {
+        assert_eq!(ids.len(), self.ir.len(), "one CV per module");
+        let digests = pool.digests(ids);
+        self.eval_digests_resilient(
+            &digests,
+            noise_seed,
+            || {
+                self.ir
+                    .modules
+                    .iter()
+                    .zip(ids)
+                    .map(|(m, id)| self.cache.compile(&self.compiler, m, &pool.get(*id)))
+                    .collect()
+            },
+            None,
+        )
+    }
+
+    /// Fault-aware instrumented run of one uniform CV for the
+    /// collection phase: per-module times are recorded into `caliper`
+    /// only when an attempt succeeds. Returns the end-to-end time
+    /// (`+inf` for a faulty CV).
+    pub fn profiled_uniform_resilient(&self, cv: &Cv, noise_seed: u64, caliper: &Caliper) -> f64 {
+        let digests = vec![cv.digest(); self.ir.len()];
+        self.eval_digests_resilient(
+            &digests,
+            noise_seed,
+            || self.compile_uniform(cv),
+            Some(caliper),
+        )
+    }
+
     /// Evaluates many uniform CVs in parallel; returns end-to-end
-    /// times aligned with `cvs`.
+    /// times aligned with `cvs` (`+inf` marks unusable candidates
+    /// under a nonzero fault model).
     pub fn eval_uniform_batch(&self, cvs: &[Cv]) -> Vec<f64> {
         cvs.par_iter()
             .enumerate()
             .map(|(k, cv)| {
-                self.eval_uniform(cv, derive_seed_idx(self.noise_root, k as u64))
-                    .total_s
+                self.eval_uniform_resilient(cv, derive_seed_idx(self.noise_root, k as u64))
             })
             .collect()
     }
@@ -275,8 +635,10 @@ impl EvalContext {
             .par_iter()
             .enumerate()
             .map(|(k, a)| {
-                self.eval_assignment(a, derive_seed_idx(self.noise_root ^ 0xA551, k as u64))
-                    .total_s
+                self.eval_assignment_resilient(
+                    a,
+                    derive_seed_idx(self.noise_root ^ 0xA551, k as u64),
+                )
             })
             .collect()
     }
@@ -290,12 +652,11 @@ impl EvalContext {
             .par_iter()
             .enumerate()
             .map(|(k, ids)| {
-                self.eval_assignment_ids(
+                self.eval_assignment_ids_resilient(
                     pool,
                     ids,
                     derive_seed_idx(self.noise_root ^ 0xA551, k as u64),
                 )
-                .total_s
             })
             .collect()
     }

@@ -48,12 +48,10 @@ pub fn cfr_adaptive(
             .iter()
             .map(|cands| data.cvs[cands[rng.gen_range(0..cands.len())]].clone())
             .collect();
-        let t = ctx
-            .eval_assignment(
-                &assignment,
-                derive_seed_idx(ctx.noise_root ^ 0xADA, kk as u64),
-            )
-            .total_s;
+        let t = ctx.eval_assignment_resilient(
+            &assignment,
+            derive_seed_idx(ctx.noise_root ^ 0xADA, kk as u64),
+        );
         times.push(t);
         if t < best_time {
             best_time = t;

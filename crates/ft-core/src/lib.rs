@@ -45,15 +45,15 @@ pub mod stats;
 pub mod variance;
 
 pub use algorithms::{cfr, fr_search, greedy, random_search, GreedyOutcome};
-pub use checkpoint::{Checkpoint, CheckpointError};
+pub use checkpoint::{CampaignCheckpoint, Checkpoint, CheckpointError, CHECKPOINT_VERSION};
 pub use collection::{collect, CollectionData};
 pub use convergence::Convergence;
 pub use cost::TuningCost;
 pub use critical::critical_flags;
-pub use ctx::{CacheStats, EvalContext};
+pub use ctx::{CacheStats, EvalContext, FaultStats, ResilienceConfig};
 pub use extensions::{cfr_adaptive, cfr_iterative};
 pub use importance::{flag_importance, FlagImportance};
-pub use pipeline::{Tuner, TuningRun};
+pub use pipeline::{Phase, Tuner, TuningRun};
 pub use result::TuningResult;
 pub use stability::{measure_repeated, speedup_with_stats, MeasurementStats};
 pub use variance::{variance_study, SearchVariance};

@@ -2,14 +2,34 @@
 //! evaluate, with cross-input evaluation for the §4.3 experiments.
 
 use crate::algorithms::{cfr, fr_search, greedy, random_search, GreedyOutcome};
+use crate::checkpoint::{CampaignCheckpoint, CheckpointError, CHECKPOINT_VERSION};
 use crate::collection::{collect, CollectionData};
-use crate::ctx::EvalContext;
+use crate::ctx::{EvalContext, ResilienceConfig};
 use crate::result::TuningResult;
-use ft_compiler::{Compiler, ProgramIr};
+use ft_compiler::{Compiler, FaultModel, ProgramIr};
 use ft_flags::rng::{derive_seed, derive_seed_idx};
 use ft_flags::Cv;
 use ft_machine::Architecture;
 use ft_outline::{outline_with_defaults, outline_with_hot_set, HotLoopReport, OutlinedProgram};
+
+/// Campaign phases, in execution order. Each phase derives its seeds
+/// independently from the root seed, so a campaign resumed at any
+/// phase boundary replays the remaining phases bit-exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// `-O3` baseline measurement (also fixes the timeout reference).
+    Baseline,
+    /// Figure-4 per-loop collection.
+    Collect,
+    /// Per-program random search.
+    Random,
+    /// Per-function random search.
+    Fr,
+    /// Greedy combination.
+    Greedy,
+    /// FuncyTuner CFR.
+    Cfr,
+}
 
 /// Builder for a full FuncyTuner run.
 ///
@@ -30,6 +50,8 @@ pub struct Tuner<'a> {
     focus: usize,
     seed: u64,
     steps_cap: Option<u32>,
+    faults: FaultModel,
+    resilience: ResilienceConfig,
 }
 
 impl<'a> Tuner<'a> {
@@ -43,6 +65,8 @@ impl<'a> Tuner<'a> {
             focus: 32,
             seed: 42,
             steps_cap: None,
+            faults: FaultModel::zero(),
+            resilience: ResilienceConfig::default(),
         }
     }
 
@@ -73,8 +97,94 @@ impl<'a> Tuner<'a> {
         self
     }
 
+    /// Installs an injected-fault model; the evaluation harness then
+    /// retries transient crashes, budgets hangs, and quarantines
+    /// known-bad CVs. The default all-zero model keeps every value
+    /// bit-identical to the infallible toolchain.
+    pub fn faults(mut self, faults: FaultModel) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Overrides the harness retry/timeout policy.
+    pub fn resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
     /// Runs profiling, outlining, collection and all four algorithms.
     pub fn run(self) -> TuningRun {
+        match self.run_campaign(None, None) {
+            Ok(CampaignOutcome::Finished(run)) => *run,
+            Ok(CampaignOutcome::Paused(_)) => unreachable!("no stop phase requested"),
+            Err(e) => unreachable!("no checkpoint to mismatch: {e}"),
+        }
+    }
+
+    /// Runs the campaign up to and including `stop_after`, then
+    /// freezes it into a checkpoint — the state a periodic
+    /// checkpointer would have written right before the campaign was
+    /// killed. Feed it to [`Tuner::resume`] to finish.
+    pub fn run_until(self, stop_after: Phase) -> CampaignCheckpoint {
+        match self.run_campaign(None, Some(stop_after)) {
+            Ok(CampaignOutcome::Paused(cp)) => *cp,
+            Ok(CampaignOutcome::Finished(_)) => unreachable!("stop phase requested"),
+            Err(e) => unreachable!("no checkpoint to mismatch: {e}"),
+        }
+    }
+
+    /// Resumes a killed campaign from a checkpoint: completed phases
+    /// (baseline, collection, finished searches) are reused, the fault
+    /// quarantine is re-seeded, and only the remaining phases run.
+    /// Because each phase's seeds derive independently from the root
+    /// seed, the result is bit-identical to an uninterrupted run.
+    ///
+    /// Fails with [`CheckpointError::Mismatch`] when the checkpoint
+    /// was taken under a different workload, architecture, budget,
+    /// focus, seed, step cap, or fault model.
+    pub fn resume(self, checkpoint: CampaignCheckpoint) -> Result<TuningRun, CheckpointError> {
+        match self.run_campaign(Some(checkpoint), None)? {
+            CampaignOutcome::Finished(run) => Ok(*run),
+            CampaignOutcome::Paused(_) => unreachable!("no stop phase requested"),
+        }
+    }
+
+    fn validate(&self, cp: &CampaignCheckpoint) -> Result<(), CheckpointError> {
+        let mismatch = |what: &str, got: &dyn std::fmt::Debug, want: &dyn std::fmt::Debug| {
+            Err(CheckpointError::Mismatch(format!(
+                "{what}: checkpoint {got:?} vs tuner {want:?}"
+            )))
+        };
+        if cp.workload != self.workload.meta.name {
+            return mismatch("workload", &cp.workload, &self.workload.meta.name);
+        }
+        if cp.arch != self.arch.name {
+            return mismatch("architecture", &cp.arch, &self.arch.name);
+        }
+        if cp.budget != self.budget {
+            return mismatch("budget", &cp.budget, &self.budget);
+        }
+        if cp.focus != self.focus {
+            return mismatch("focus", &cp.focus, &self.focus);
+        }
+        if cp.seed != self.seed {
+            return mismatch("seed", &cp.seed, &self.seed);
+        }
+        if cp.steps_cap != self.steps_cap {
+            return mismatch("steps cap", &cp.steps_cap, &self.steps_cap);
+        }
+        if cp.faults != self.faults {
+            return mismatch("fault model", &cp.faults, &self.faults);
+        }
+        Ok(())
+    }
+
+    /// The phase engine behind `run`/`run_until`/`resume`.
+    fn run_campaign(
+        self,
+        from: Option<CampaignCheckpoint>,
+        stop_after: Option<Phase>,
+    ) -> Result<CampaignOutcome, CheckpointError> {
         let mut input = self.workload.tuning_input(self.arch.name).clone();
         if let Some(cap) = self.steps_cap {
             input.steps = input.steps.min(cap);
@@ -94,20 +204,136 @@ impl<'a> Tuner<'a> {
             self.arch.clone(),
             input.steps,
             derive_seed(self.seed, "noise"),
-        );
+        )
+        .with_faults(self.faults)
+        .with_resilience(self.resilience);
+
+        let (mut data, mut random, mut fr, mut g, mut cfr_result) = (None, None, None, None, None);
+        if let Some(cp) = from {
+            self.validate(&cp)?;
+            ctx.restore_quarantine(&cp.bad_compiles, &cp.bad_programs);
+            data = cp.data;
+            random = cp.random;
+            fr = cp.fr;
+            g = cp.greedy;
+            cfr_result = cp.cfr;
+        }
+
+        // The baseline is cheap (10 exempt runs) and deterministic, so
+        // it is re-measured even on resume; it also fixes the timeout
+        // reference every fault-aware phase budgets hangs against.
         let baseline_time = ctx.baseline_time(10);
-        let data = collect(&ctx, self.budget, derive_seed(self.seed, "collect"));
-        let random = random_search(&ctx, self.budget, derive_seed(self.seed, "random"));
-        let fr = fr_search(&ctx, self.budget, derive_seed(self.seed, "fr"));
-        let g = greedy(&ctx, &data, baseline_time);
-        let cfr_result = cfr(
-            &ctx,
-            &data,
-            self.focus,
-            self.budget,
-            derive_seed(self.seed, "cfr"),
-        );
-        TuningRun {
+        let snapshot = |data: &Option<CollectionData>,
+                        random: &Option<TuningResult>,
+                        fr: &Option<TuningResult>,
+                        g: &Option<GreedyOutcome>,
+                        cfr_result: &Option<TuningResult>| {
+            let (bad_compiles, bad_programs) = ctx.quarantine_snapshot();
+            Box::new(CampaignCheckpoint {
+                version: CHECKPOINT_VERSION,
+                workload: self.workload.meta.name.to_string(),
+                arch: self.arch.name.to_string(),
+                budget: self.budget,
+                focus: self.focus,
+                seed: self.seed,
+                steps_cap: self.steps_cap,
+                faults: self.faults,
+                baseline_time: Some(baseline_time),
+                data: data.clone(),
+                random: random.clone(),
+                fr: fr.clone(),
+                greedy: g.clone(),
+                cfr: cfr_result.clone(),
+                bad_compiles,
+                bad_programs,
+            })
+        };
+
+        if stop_after == Some(Phase::Baseline) {
+            return Ok(CampaignOutcome::Paused(snapshot(
+                &data,
+                &random,
+                &fr,
+                &g,
+                &cfr_result,
+            )));
+        }
+        if data.is_none() {
+            data = Some(collect(
+                &ctx,
+                self.budget,
+                derive_seed(self.seed, "collect"),
+            ));
+        }
+        if stop_after == Some(Phase::Collect) {
+            return Ok(CampaignOutcome::Paused(snapshot(
+                &data,
+                &random,
+                &fr,
+                &g,
+                &cfr_result,
+            )));
+        }
+        if random.is_none() {
+            random = Some(random_search(
+                &ctx,
+                self.budget,
+                derive_seed(self.seed, "random"),
+            ));
+        }
+        if stop_after == Some(Phase::Random) {
+            return Ok(CampaignOutcome::Paused(snapshot(
+                &data,
+                &random,
+                &fr,
+                &g,
+                &cfr_result,
+            )));
+        }
+        if fr.is_none() {
+            fr = Some(fr_search(&ctx, self.budget, derive_seed(self.seed, "fr")));
+        }
+        if stop_after == Some(Phase::Fr) {
+            return Ok(CampaignOutcome::Paused(snapshot(
+                &data,
+                &random,
+                &fr,
+                &g,
+                &cfr_result,
+            )));
+        }
+        if g.is_none() {
+            g = Some(greedy(&ctx, data.as_ref().unwrap(), baseline_time));
+        }
+        if stop_after == Some(Phase::Greedy) {
+            return Ok(CampaignOutcome::Paused(snapshot(
+                &data,
+                &random,
+                &fr,
+                &g,
+                &cfr_result,
+            )));
+        }
+        if cfr_result.is_none() {
+            cfr_result = Some(cfr(
+                &ctx,
+                data.as_ref().unwrap(),
+                self.focus,
+                self.budget,
+                derive_seed(self.seed, "cfr"),
+            ));
+        }
+        if stop_after == Some(Phase::Cfr) {
+            return Ok(CampaignOutcome::Paused(snapshot(
+                &data,
+                &random,
+                &fr,
+                &g,
+                &cfr_result,
+            )));
+        }
+
+        Ok(CampaignOutcome::Finished(Box::new(TuningRun {
             workload: self.workload.meta.name,
             arch: self.arch.name,
             input_name: input.name.clone(),
@@ -115,14 +341,22 @@ impl<'a> Tuner<'a> {
             report,
             ctx,
             baseline_time,
-            data,
-            random,
-            fr,
-            greedy: g,
-            cfr: cfr_result,
+            data: data.unwrap(),
+            random: random.unwrap(),
+            fr: fr.unwrap(),
+            greedy: g.unwrap(),
+            cfr: cfr_result.unwrap(),
             seed: self.seed,
-        }
+        })))
     }
+}
+
+/// What the phase engine hands back.
+enum CampaignOutcome {
+    /// All phases ran (or were restored); the complete run.
+    Finished(Box<TuningRun>),
+    /// Stopped at the requested phase boundary.
+    Paused(Box<CampaignCheckpoint>),
 }
 
 /// Everything produced by one tuning run.

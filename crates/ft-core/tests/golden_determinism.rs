@@ -79,6 +79,54 @@ fn tuner_run_matches_pre_engine_golden_values() {
     }
 }
 
+#[test]
+fn explicit_zero_fault_model_changes_nothing() {
+    // Installing an all-zero fault model (with whatever fault seed)
+    // must route every evaluation through the exact pre-fault code
+    // paths: same golden values, bit for bit.
+    let arch = Architecture::broadwell();
+    let w = workload_by_name("swim").expect("swim in suite");
+    let run = Tuner::new(&w, &arch)
+        .budget(60)
+        .focus(8)
+        .seed(42)
+        .cap_steps(5)
+        .faults(ft_compiler::FaultModel::with_rates(
+            0xFA17, 0.0, 0.0, 0.0, 0.0,
+        ))
+        .run();
+    assert_eq!(run.baseline_time.to_bits(), GOLDEN_BASELINE.to_bits());
+    assert_eq!(run.random.best_time.to_bits(), GOLDEN_RANDOM.to_bits());
+    assert_eq!(
+        digest_assignment(&run.random.assignment),
+        GOLDEN_RANDOM_ASSIGN
+    );
+    assert_eq!(run.fr.best_time.to_bits(), GOLDEN_FR.to_bits());
+    assert_eq!(digest_assignment(&run.fr.assignment), GOLDEN_FR_ASSIGN);
+    assert_eq!(
+        run.greedy.realized.best_time.to_bits(),
+        GOLDEN_GREEDY.to_bits()
+    );
+    assert_eq!(
+        digest_assignment(&run.greedy.realized.assignment),
+        GOLDEN_GREEDY_ASSIGN
+    );
+    assert_eq!(run.cfr.best_time.to_bits(), GOLDEN_CFR.to_bits());
+    assert_eq!(digest_assignment(&run.cfr.assignment), GOLDEN_CFR_ASSIGN);
+    // And the fault ledger stays empty.
+    let stats = run.ctx.fault_stats();
+    assert_eq!(
+        (
+            stats.compile_failures,
+            stats.crashes,
+            stats.timeouts,
+            stats.retries,
+            stats.quarantined
+        ),
+        (0, 0, 0, 0, 0)
+    );
+}
+
 // Exact bit patterns, not decimal literals, so the comparison is
 // immune to any formatting round-trip.
 const GOLDEN_BASELINE: f64 = f64::from_bits(0x400235359DF58198);

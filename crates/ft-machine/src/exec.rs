@@ -16,6 +16,7 @@ use ft_caliper::Caliper;
 use ft_compiler::decisions::{vector_efficiency, CompiledModule, VecWidth};
 use ft_compiler::ir::{MemStride, ModuleKind};
 use ft_compiler::response::jitter;
+use ft_compiler::FaultModel;
 use ft_flags::rng::derive_seed_idx;
 use serde::{Deserialize, Serialize};
 
@@ -78,9 +79,68 @@ pub struct RunMeasurement {
 }
 
 impl RunMeasurement {
-    /// Per-module time for the module with the given id.
-    pub fn module_s(&self, id: usize) -> f64 {
-        self.per_module_s[id]
+    /// Per-module time for the module with the given id, or `None`
+    /// for an out-of-range id (e.g. a module index from a differently
+    /// outlined program).
+    pub fn module_s(&self, id: usize) -> Option<f64> {
+        self.per_module_s.get(id).copied()
+    }
+}
+
+/// The outcome of one *fallible* run under a [`FaultModel`].
+///
+/// [`execute`] itself stays infallible (the zero-fault fast path);
+/// [`try_execute`] wraps it with the seeded fault rolls and reports
+/// failures here instead of panicking, so a resilient harness can
+/// retry, quarantine, or charge a timeout budget.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// The run completed and measured (possibly as a noisy outlier).
+    Ok(RunMeasurement),
+    /// A module failed to compile; no executable was ever produced.
+    /// Deterministic per `(module, CV)` — retrying cannot help.
+    CompileError {
+        /// Id of the module whose compilation failed.
+        module: usize,
+    },
+    /// The run crashed partway through (transient; retryable).
+    Crash {
+        /// Wall-clock spent before the crash, seconds — still charged.
+        elapsed_s: f64,
+    },
+    /// The run exceeded its wall-clock budget and was killed.
+    /// Deterministic per executable — retrying cannot help.
+    Timeout {
+        /// The budget that was charged, seconds.
+        budget_s: f64,
+    },
+}
+
+impl RunOutcome {
+    /// End-to-end time for scoring: the measurement on success,
+    /// `+inf` for any failure (an infinite time never wins an argmin).
+    pub fn total_s(&self) -> f64 {
+        match self {
+            RunOutcome::Ok(m) => m.total_s,
+            _ => f64::INFINITY,
+        }
+    }
+
+    /// Machine time this outcome costs the tuning ledger: the full
+    /// measurement, the partial time before a crash, or the killed
+    /// run's whole budget. Compile errors cost no machine time.
+    pub fn charged_s(&self) -> f64 {
+        match self {
+            RunOutcome::Ok(m) => m.total_s,
+            RunOutcome::CompileError { .. } => 0.0,
+            RunOutcome::Crash { elapsed_s } => *elapsed_s,
+            RunOutcome::Timeout { budget_s } => *budget_s,
+        }
+    }
+
+    /// True on a completed measurement.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RunOutcome::Ok(_))
     }
 }
 
@@ -333,6 +393,103 @@ pub fn execute_profiled(
         caliper.record_flat(&m.module.name, *t, count.max(1));
     }
     meas
+}
+
+/// When no explicit timeout budget is given, a hung run is charged this
+/// multiple of what the healthy run would have measured — the factor a
+/// watchdog without an incumbent reference would use.
+pub const DEFAULT_HANG_CHARGE_FACTOR: f64 = 20.0;
+
+/// Fingerprint of a linked executable for program-level fault rolls:
+/// the order-sensitive fold of its per-module CV digests (the same
+/// value [`FaultModel::program_fingerprint`] computes from a digest
+/// vector, so pre-link quarantine checks and the execution model
+/// agree).
+pub fn program_fingerprint(linked: &LinkedProgram) -> u64 {
+    let digests: Vec<u64> = linked.modules.iter().map(|m| m.cv_digest).collect();
+    FaultModel::program_fingerprint(&digests)
+}
+
+/// Fallible variant of [`execute`]: rolls the seeded fault model for
+/// this executable and this run before (and after) measuring.
+///
+/// With `faults.is_zero()` this is exactly `RunOutcome::Ok(execute(…))`
+/// — no rolls, no perturbation, bit-identical measurements. Otherwise:
+///
+/// 1. a **hang** (deterministic per executable) is killed at
+///    `timeout_s` (or [`DEFAULT_HANG_CHARGE_FACTOR`] × the healthy
+///    time when no budget is supplied) and charged that budget;
+/// 2. a **crash** (transient per noise seed) costs the partial time
+///    spent before the fault;
+/// 3. an **outlier** completes but reports an inflated measurement.
+///
+/// Compile failures are decided before an executable exists, so the
+/// `CompileError` variant is produced by the compile layer, not here.
+pub fn try_execute(
+    linked: &LinkedProgram,
+    arch: &Architecture,
+    opts: &ExecOptions,
+    faults: &FaultModel,
+    timeout_s: Option<f64>,
+) -> RunOutcome {
+    if faults.is_zero() {
+        return RunOutcome::Ok(execute(linked, arch, opts));
+    }
+    let digests: Vec<u64> = linked.modules.iter().map(|m| m.cv_digest).collect();
+    if faults.all_exempt(&digests) {
+        return RunOutcome::Ok(execute(linked, arch, opts));
+    }
+    let fp = FaultModel::program_fingerprint(&digests);
+    if faults.hangs(fp) {
+        let budget_s = timeout_s
+            .unwrap_or_else(|| execute(linked, arch, opts).total_s * DEFAULT_HANG_CHARGE_FACTOR);
+        return RunOutcome::Timeout { budget_s };
+    }
+    let meas = execute(linked, arch, opts);
+    if faults.crashes(fp, opts.noise_seed) {
+        return RunOutcome::Crash {
+            elapsed_s: meas.total_s * faults.crash_fraction(fp, opts.noise_seed),
+        };
+    }
+    if let Some(factor) = faults.outlier_factor(fp, opts.noise_seed) {
+        let mut m = meas;
+        m.total_s *= factor;
+        for t in &mut m.per_module_s {
+            *t *= factor;
+        }
+        return RunOutcome::Ok(m);
+    }
+    RunOutcome::Ok(meas)
+}
+
+/// Fallible variant of [`execute_profiled`]: like [`try_execute`], but
+/// a successful run additionally records per-module times into the
+/// Caliper session. Failed runs record nothing (the paper's collection
+/// discards data from runs that did not finish).
+pub fn try_execute_profiled(
+    linked: &LinkedProgram,
+    arch: &Architecture,
+    opts: &ExecOptions,
+    faults: &FaultModel,
+    timeout_s: Option<f64>,
+    caliper: &Caliper,
+) -> RunOutcome {
+    if faults.is_zero() {
+        return RunOutcome::Ok(execute_profiled(linked, arch, opts, caliper));
+    }
+    let outcome = try_execute(linked, arch, opts, faults, timeout_s);
+    if let RunOutcome::Ok(meas) = &outcome {
+        for (m, t) in linked.modules.iter().zip(&meas.per_module_s) {
+            let count = match m.module.kind {
+                ModuleKind::HotLoop(ref f) => {
+                    (f.invocations_per_step * f64::from(opts.steps)).round() as u64
+                }
+                ModuleKind::NonLoop { .. } => u64::from(opts.steps),
+            };
+            caliper.record_flat(&m.module.name, *t, count.max(1));
+        }
+    }
+    outcome
 }
 
 #[cfg(test)]
@@ -683,6 +840,145 @@ mod tests {
         // loop's classification depends on whether O3 vectorized it, so
         // it is not asserted.)
         assert!(rows[1].1.memory_bound(), "{:?}", rows[1]);
+    }
+
+    #[test]
+    fn module_s_is_checked() {
+        let arch = Architecture::broadwell();
+        let m = run(&arch, 0, &ExecOptions::exact(10));
+        assert_eq!(m.module_s(0), Some(m.per_module_s[0]));
+        assert_eq!(m.module_s(2), Some(m.per_module_s[2]));
+        assert_eq!(m.module_s(3), None, "out-of-range id must not panic");
+        assert_eq!(m.module_s(usize::MAX), None);
+    }
+
+    #[test]
+    fn try_execute_zero_faults_is_bit_exact() {
+        let arch = Architecture::broadwell();
+        let c = Compiler::icc(arch.target);
+        let cv = c.space().sample(&mut rng_for(5, "exec"));
+        let linked = link(c.compile_program(&ir(), &cv), &ir(), &arch);
+        let opts = ExecOptions::new(10, 42);
+        let plain = execute(&linked, &arch, &opts);
+        match try_execute(&linked, &arch, &opts, &FaultModel::zero(), Some(1.0)) {
+            RunOutcome::Ok(m) => assert_eq!(m, plain),
+            other => panic!("zero-fault run failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_execute_replays_identically() {
+        let arch = Architecture::broadwell();
+        let c = Compiler::icc(arch.target);
+        let faults = FaultModel::with_rates(3, 0.0, 0.3, 0.3, 0.3);
+        for s in 0..30u64 {
+            let cv = c.space().sample(&mut rng_for(s, "exec"));
+            let linked = link(c.compile_program(&ir(), &cv), &ir(), &arch);
+            let opts = ExecOptions::new(5, s);
+            let a = try_execute(&linked, &arch, &opts, &faults, Some(9.0));
+            let b = try_execute(&linked, &arch, &opts, &faults, Some(9.0));
+            assert_eq!(a, b, "seed {s} diverged");
+        }
+    }
+
+    #[test]
+    fn try_execute_produces_every_failure_mode() {
+        let arch = Architecture::broadwell();
+        let c = Compiler::icc(arch.target);
+        let faults = FaultModel::with_rates(3, 0.0, 0.25, 0.25, 0.25);
+        let (mut ok, mut crash, mut hang, mut outlier) = (0, 0, 0, 0);
+        for s in 0..80u64 {
+            let cv = c.space().sample(&mut rng_for(s, "exec"));
+            let linked = link(c.compile_program(&ir(), &cv), &ir(), &arch);
+            let opts = ExecOptions::new(5, s);
+            let healthy = execute(&linked, &arch, &opts).total_s;
+            match try_execute(&linked, &arch, &opts, &faults, Some(77.0)) {
+                RunOutcome::Ok(m) => {
+                    assert!(m.total_s.is_finite());
+                    if m.total_s > healthy * 1.5 {
+                        outlier += 1;
+                        // Outliers inflate uniformly; the sum invariant
+                        // survives the scaling.
+                        let sum: f64 = m.per_module_s.iter().sum();
+                        assert!((m.total_s - sum).abs() < 1e-9 * m.total_s);
+                    }
+                    ok += 1;
+                }
+                RunOutcome::Crash { elapsed_s } => {
+                    assert!(elapsed_s > 0.0 && elapsed_s < healthy);
+                    crash += 1;
+                }
+                RunOutcome::Timeout { budget_s } => {
+                    assert_eq!(budget_s, 77.0, "explicit budget must be charged");
+                    hang += 1;
+                }
+                RunOutcome::CompileError { .. } => {
+                    panic!("execute layer cannot produce compile errors")
+                }
+            }
+        }
+        assert!(ok > 0 && crash > 0 && hang > 0, "{ok}/{crash}/{hang}");
+        assert!(outlier > 0, "no outliers at 25% rate over 80 runs");
+    }
+
+    #[test]
+    fn hang_without_budget_charges_the_default_factor() {
+        let arch = Architecture::broadwell();
+        let c = Compiler::icc(arch.target);
+        let faults = FaultModel::with_rates(3, 0.0, 0.0, 1.0, 0.0);
+        let cv = c.space().sample(&mut rng_for(1, "exec"));
+        let linked = link(c.compile_program(&ir(), &cv), &ir(), &arch);
+        let opts = ExecOptions::new(5, 9);
+        let healthy = execute(&linked, &arch, &opts).total_s;
+        match try_execute(&linked, &arch, &opts, &faults, None) {
+            RunOutcome::Timeout { budget_s } => {
+                assert!((budget_s - healthy * DEFAULT_HANG_CHARGE_FACTOR).abs() < 1e-12);
+            }
+            other => panic!("rate-1.0 hang did not hang: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn outcome_scoring_and_charging() {
+        let meas = RunMeasurement {
+            total_s: 2.0,
+            per_module_s: vec![2.0],
+            steps: 1,
+        };
+        let ok = RunOutcome::Ok(meas);
+        assert!(ok.is_ok());
+        assert_eq!(ok.total_s(), 2.0);
+        assert_eq!(ok.charged_s(), 2.0);
+        let crash = RunOutcome::Crash { elapsed_s: 0.7 };
+        assert_eq!(crash.total_s(), f64::INFINITY);
+        assert_eq!(crash.charged_s(), 0.7);
+        let hang = RunOutcome::Timeout { budget_s: 40.0 };
+        assert_eq!(hang.total_s(), f64::INFINITY);
+        assert_eq!(hang.charged_s(), 40.0);
+        let ice = RunOutcome::CompileError { module: 3 };
+        assert_eq!(ice.total_s(), f64::INFINITY);
+        assert_eq!(ice.charged_s(), 0.0);
+        assert!(!ice.is_ok());
+    }
+
+    #[test]
+    fn profiled_faulty_run_records_nothing() {
+        let arch = Architecture::broadwell();
+        let c = Compiler::icc(arch.target);
+        let faults = FaultModel::with_rates(3, 0.0, 0.0, 1.0, 0.0);
+        let cv = c.space().sample(&mut rng_for(1, "exec"));
+        let linked = link(c.compile_program(&ir(), &cv), &ir(), &arch);
+        let cali = Caliper::real_time();
+        let out = try_execute_profiled(
+            &linked,
+            &arch,
+            &ExecOptions::exact(5),
+            &faults,
+            Some(3.0),
+            &cali,
+        );
+        assert!(!out.is_ok());
+        assert_eq!(cali.snapshot().inclusive("compute"), 0.0);
     }
 
     #[test]

@@ -56,6 +56,10 @@ fn main() {
             "--seed" => cfg.seed = parse(it.next(), "--seed"),
             "--k" => cfg.k = parse(it.next(), "--k"),
             "--x" => cfg.x = parse(it.next(), "--x"),
+            "--fault-compile" => cfg.fault_compile = parse_rate(it.next(), "--fault-compile"),
+            "--fault-crash" => cfg.fault_crash = parse_rate(it.next(), "--fault-crash"),
+            "--fault-hang" => cfg.fault_hang = parse_rate(it.next(), "--fault-hang"),
+            "--fault-outlier" => cfg.fault_outlier = parse_rate(it.next(), "--fault-outlier"),
             "all" => ids.extend(all_ids().iter().map(|s| s.to_string())),
             other if other.starts_with("--") => die(&format!("unknown option {other}")),
             other => {
@@ -110,6 +114,14 @@ fn parse<T: std::str::FromStr>(v: Option<&String>, opt: &str) -> T {
     }
 }
 
+fn parse_rate(v: Option<&String>, opt: &str) -> f64 {
+    let rate: f64 = parse(v, opt);
+    if !(0.0..=1.0).contains(&rate) {
+        die(&format!("{opt} needs a probability in [0, 1], got {rate}"));
+    }
+    rate
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     std::process::exit(2);
@@ -119,8 +131,11 @@ fn print_help() {
     println!(
         "repro — regenerate the FuncyTuner paper's tables and figures\n\n\
          usage: repro [ids...|all] [--full] [--compare] [--json DIR] [--md DIR] [--seed N] [--k N] [--x N]\n\
+                repro [ids...] [--fault-compile P] [--fault-crash P] [--fault-hang P] [--fault-outlier P]\n\
                 repro --list\n\n\
          Default is quick mode (reduced budget, minutes). --full runs the\n\
-         paper's K=1000 protocol."
+         paper's K=1000 protocol. The --fault-* probabilities inject\n\
+         deterministic toolchain faults (seeded off --seed); the harness\n\
+         retries, quarantines, and reports them in the overhead table."
     );
 }

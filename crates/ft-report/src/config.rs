@@ -1,5 +1,7 @@
 //! Reproduction presets.
 
+use ft_compiler::FaultModel;
+use ft_flags::rng::derive_seed;
 use serde::{Deserialize, Serialize};
 
 /// Parameters controlling the scale of a reproduction run.
@@ -17,6 +19,18 @@ pub struct ReproConfig {
     pub cobayn_scale: f64,
     /// OpenTuner test-iteration budget (paper: 1000).
     pub opentuner_budget: usize,
+    /// Injected compile-failure probability per `(module, CV)` pair.
+    #[serde(default)]
+    pub fault_compile: f64,
+    /// Injected transient-crash probability per run.
+    #[serde(default)]
+    pub fault_crash: f64,
+    /// Injected hang probability per executable.
+    #[serde(default)]
+    pub fault_hang: f64,
+    /// Injected outlier-measurement probability per run.
+    #[serde(default)]
+    pub fault_outlier: f64,
 }
 
 impl ReproConfig {
@@ -29,6 +43,10 @@ impl ReproConfig {
             steps_cap: Some(5),
             cobayn_scale: 0.08,
             opentuner_budget: 250,
+            fault_compile: 0.0,
+            fault_crash: 0.0,
+            fault_hang: 0.0,
+            fault_outlier: 0.0,
         }
     }
 
@@ -41,6 +59,10 @@ impl ReproConfig {
             steps_cap: None,
             cobayn_scale: 1.0,
             opentuner_budget: 1000,
+            fault_compile: 0.0,
+            fault_crash: 0.0,
+            fault_hang: 0.0,
+            fault_outlier: 0.0,
         }
     }
 
@@ -50,6 +72,23 @@ impl ReproConfig {
             Some(cap) => input_steps.min(cap),
             None => input_steps,
         }
+    }
+
+    /// The injected-fault model these rates describe, seeded off the
+    /// config's root seed so every experiment rolls the same faults.
+    pub fn fault_model(&self) -> FaultModel {
+        FaultModel::with_rates(
+            derive_seed(self.seed, "faults"),
+            self.fault_compile,
+            self.fault_crash,
+            self.fault_hang,
+            self.fault_outlier,
+        )
+    }
+
+    /// True when any injected-fault rate is nonzero.
+    pub fn has_faults(&self) -> bool {
+        !self.fault_model().is_zero()
     }
 }
 

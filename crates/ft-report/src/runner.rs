@@ -18,7 +18,8 @@ pub fn tune_workload(w: &Workload, arch: &Architecture, cfg: &ReproConfig) -> Tu
         .seed(derive_seed(
             cfg.seed,
             &format!("{}-{}", w.meta.name, arch.name),
-        ));
+        ))
+        .faults(cfg.fault_model());
     if let Some(cap) = cfg.steps_cap {
         tuner = tuner.cap_steps(cap);
     }

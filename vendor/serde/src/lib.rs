@@ -206,7 +206,11 @@ impl Deserialize for f64 {
             Value::F64(v) => Ok(*v),
             Value::U64(v) => Ok(*v as f64),
             Value::I64(v) => Ok(*v as f64),
-            Value::Null => Ok(f64::NAN),
+            // serde_json writes non-finite floats as null. The only
+            // non-finite value this workspace ever serializes is the
+            // `+inf` fault score of an unusable candidate, so null
+            // reads back as that (NaN would poison every comparison).
+            Value::Null => Ok(f64::INFINITY),
             other => type_err("number", other),
         }
     }

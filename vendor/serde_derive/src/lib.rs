@@ -4,17 +4,26 @@
 //! The build container has no crates-io access, so `syn`/`quote` are
 //! unavailable; parsing is done by direct token scanning, which is
 //! sufficient because the workspace's derived types are plain
-//! non-generic structs and enums with no `#[serde(...)]` attributes.
+//! non-generic structs and enums. The only field attribute honoured is
+//! `#[serde(default)]` on named struct fields: a missing field
+//! deserializes to `Default::default()` instead of erroring, which is
+//! how versioned on-disk formats stay loadable across schema growth.
 //! Enums are encoded in serde's externally-tagged JSON layout (unit
 //! variant → `"Name"`, newtype → `{"Name": value}`, tuple →
 //! `{"Name": [..]}`, struct variant → `{"Name": {..}}`).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named struct field, plus whether `#[serde(default)]` was set.
+struct Field {
+    name: String,
+    default: bool,
+}
+
 /// Shape of a parsed item.
 enum Item {
     /// `struct S { a: T, b: U }`
-    Struct { name: String, fields: Vec<String> },
+    Struct { name: String, fields: Vec<Field> },
     /// `struct S(T, U);` — `arity` counts the fields.
     TupleStruct { name: String, arity: usize },
     /// `struct S;`
@@ -35,11 +44,11 @@ struct Variant {
 enum VariantShape {
     Unit,
     Tuple(usize),
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
 /// Derives `serde::Serialize` for a non-generic struct or enum.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_serialize(&item)
@@ -48,7 +57,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives `serde::Deserialize` for a non-generic struct or enum.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_deserialize(&item)
@@ -104,11 +113,16 @@ fn parse_item(input: TokenStream) -> Item {
 }
 
 /// Advances past `#[...]` attributes (incl. doc comments) and
-/// visibility qualifiers (`pub`, `pub(crate)`, ...).
-fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+/// visibility qualifiers (`pub`, `pub(crate)`, ...). Returns whether a
+/// `#[serde(default)]` attribute was among those skipped.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut serde_default = false;
     loop {
         match tokens.get(*i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    serde_default |= is_serde_default(g);
+                }
                 *i += 2; // '#' then the bracketed group
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
@@ -118,8 +132,21 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
                     *i += 1;
                 }
             }
-            _ => return,
+            _ => return serde_default,
         }
+    }
+}
+
+/// Recognizes the bracketed `[serde(default)]` attribute body.
+fn is_serde_default(attr: &proc_macro::Group) -> bool {
+    let toks: Vec<TokenTree> = attr.stream().into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(a) if a.to_string() == "default"))
+        }
+        _ => false,
     }
 }
 
@@ -140,16 +167,19 @@ fn skip_to_comma(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let default = skip_attrs_and_vis(&tokens, &mut i);
         let Some(TokenTree::Ident(id)) = tokens.get(i) else {
             break;
         };
-        fields.push(id.to_string());
+        fields.push(Field {
+            name: id.to_string(),
+            default,
+        });
         i += 1;
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
@@ -222,6 +252,7 @@ fn gen_serialize(item: &Item) -> String {
             let entries: String = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
                          ::serde::Serialize::serialize_value(&self.{f})),"
@@ -288,10 +319,15 @@ fn gen_serialize(item: &Item) -> String {
                             )
                         }
                         VariantShape::Struct(fields) => {
-                            let pat = fields.join(", ");
+                            let pat = fields
+                                .iter()
+                                .map(|f| f.name.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ");
                             let entries: String = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "(::std::string::String::from(\"{f}\"), \
                                          ::serde::Serialize::serialize_value({f})),"
@@ -320,15 +356,27 @@ fn gen_serialize(item: &Item) -> String {
     }
 }
 
+/// Initializer expression for one named field read out of the object
+/// expression `src`. `#[serde(default)]` fields tolerate absence.
+fn field_init(f: &Field, src: &str) -> String {
+    let name = &f.name;
+    if f.default {
+        format!(
+            "{name}: match {src}.field(\"{name}\") {{\n\
+                 ::std::result::Result::Ok(__v) => \
+                     ::serde::Deserialize::deserialize_value(__v)?,\n\
+                 ::std::result::Result::Err(_) => ::std::default::Default::default(),\n\
+             }},"
+        )
+    } else {
+        format!("{name}: ::serde::Deserialize::deserialize_value({src}.field(\"{name}\")?)?,")
+    }
+}
+
 fn gen_deserialize(item: &Item) -> String {
     let body = match item {
         Item::Struct { name, fields } => {
-            let inits: String = fields
-                .iter()
-                .map(|f| {
-                    format!("{f}: ::serde::Deserialize::deserialize_value(value.field(\"{f}\")?)?,")
-                })
-                .collect();
+            let inits: String = fields.iter().map(|f| field_init(f, "value")).collect();
             format!("::std::result::Result::Ok({name} {{ {inits} }})")
         }
         Item::TupleStruct { name, arity } => {
@@ -394,15 +442,8 @@ fn gen_deserialize(item: &Item) -> String {
                             )
                         }
                         VariantShape::Struct(fields) => {
-                            let inits: String = fields
-                                .iter()
-                                .map(|f| {
-                                    format!(
-                                        "{f}: ::serde::Deserialize::deserialize_value(\
-                                         __inner.field(\"{f}\")?)?,"
-                                    )
-                                })
-                                .collect();
+                            let inits: String =
+                                fields.iter().map(|f| field_init(f, "__inner")).collect();
                             format!("::std::result::Result::Ok({name}::{vname} {{ {inits} }})")
                         }
                     };
