@@ -52,6 +52,17 @@ pub struct GreedyOutcome {
     pub independent_speedup: f64,
 }
 
+impl GreedyOutcome {
+    /// Appends the outcome to a canonical byte encoding (see
+    /// [`crate::canonical`]).
+    pub fn write_canonical(&self, out: &mut Vec<u8>) {
+        use crate::canonical::write_f64;
+        self.realized.write_canonical(out);
+        write_f64(out, self.independent_time);
+        write_f64(out, self.independent_speedup);
+    }
+}
+
 /// §2.2.3 — greedy combination: compile module `j` with
 /// `argmin_k T[j][k]` and link. Assumes module independence; the gap
 /// between realized and independent quantifies how wrong that is.

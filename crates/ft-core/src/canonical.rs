@@ -1,0 +1,95 @@
+//! Canonical byte encoding of tuning outcomes.
+//!
+//! The phase-equivalence harness needs to compare two `TuningRun`s for
+//! *bit* equality — including `+inf` scores of quarantined candidates,
+//! which JSON cannot round-trip (`serde_json` writes non-finite floats
+//! as `null`). This module defines a tiny, schema-free encoder used
+//! only for equality checks and digests: every `f64` is its IEEE-754
+//! bit pattern, every length is a little-endian `u64` prefix, and
+//! every field is written in declaration order. Two values encode to
+//! the same bytes iff every deterministic field is bit-identical.
+
+use ft_flags::rng::mix;
+
+/// Appends a `u64` little-endian.
+pub fn write_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as its exact bit pattern (distinguishes `+inf`,
+/// `-0.0`, and every NaN payload — nothing is rounded through text).
+pub fn write_f64(out: &mut Vec<u8>, v: f64) {
+    write_u64(out, v.to_bits());
+}
+
+/// Appends a length-prefixed byte slice.
+pub fn write_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    write_u64(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_bytes(out, s.as_bytes());
+}
+
+/// Appends a length-prefixed `f64` slice, each element by bit pattern.
+pub fn write_f64s(out: &mut Vec<u8>, vs: &[f64]) {
+    write_u64(out, vs.len() as u64);
+    for v in vs {
+        write_f64(out, *v);
+    }
+}
+
+/// Folds an encoded buffer into a single `u64` (SplitMix64 over
+/// 8-byte chunks) — a compact fingerprint for logs and golden tests.
+pub fn digest(bytes: &[u8]) -> u64 {
+    let mut h = 0x5EED_CAFE_F00D_BEEFu64 ^ bytes.len() as u64;
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h = mix(h ^ u64::from_le_bytes(word));
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinities_and_nan_payloads_are_distinguished() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_f64(&mut a, f64::INFINITY);
+        write_f64(&mut b, f64::NEG_INFINITY);
+        assert_ne!(a, b);
+        let mut z = Vec::new();
+        let mut nz = Vec::new();
+        write_f64(&mut z, 0.0);
+        write_f64(&mut nz, -0.0);
+        assert_ne!(z, nz, "JSON would conflate these; the encoder must not");
+    }
+
+    #[test]
+    fn length_prefixes_prevent_field_bleeding() {
+        // ("ab", "c") and ("a", "bc") must encode differently.
+        let mut a = Vec::new();
+        write_str(&mut a, "ab");
+        write_str(&mut a, "c");
+        let mut b = Vec::new();
+        write_str(&mut b, "a");
+        write_str(&mut b, "bc");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn digest_depends_on_every_byte() {
+        let mut a = Vec::new();
+        write_f64s(&mut a, &[1.0, 2.0, 3.0]);
+        let mut b = a.clone();
+        *b.last_mut().unwrap() ^= 1;
+        assert_ne!(digest(&a), digest(&b));
+        assert_eq!(digest(&a), digest(&a.clone()));
+    }
+}

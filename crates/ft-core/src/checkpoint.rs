@@ -179,6 +179,34 @@ pub struct CampaignCheckpoint {
 }
 
 impl CampaignCheckpoint {
+    /// Phases whose results this checkpoint carries, in canonical
+    /// order. Because phases form a DAG, any subset closed under
+    /// nothing in particular can appear here — a checkpoint taken at a
+    /// join point while sibling phases were still in flight simply
+    /// lacks their entries, and [`crate::Tuner::resume`] recomputes
+    /// exactly the missing ones.
+    pub fn completed_phases(&self) -> Vec<crate::pipeline::Phase> {
+        use crate::pipeline::Phase;
+        let done = |p: Phase| match p {
+            Phase::Baseline => self.baseline_time.is_some(),
+            Phase::Collect => self.data.is_some(),
+            Phase::Random => self.random.is_some(),
+            Phase::Fr => self.fr.is_some(),
+            Phase::Greedy => self.greedy.is_some(),
+            Phase::Cfr => self.cfr.is_some(),
+        };
+        Phase::ALL.into_iter().filter(|p| done(*p)).collect()
+    }
+
+    /// Phases a resume still has to run, in canonical order.
+    pub fn pending_phases(&self) -> Vec<crate::pipeline::Phase> {
+        let done = self.completed_phases();
+        crate::pipeline::Phase::ALL
+            .into_iter()
+            .filter(|p| !done.contains(p))
+            .collect()
+    }
+
     /// Serializes to JSON.
     pub fn to_json(&self) -> Result<String, CheckpointError> {
         serde_json::to_string(self).map_err(|e| CheckpointError::Format(e.to_string()))

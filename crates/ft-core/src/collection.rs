@@ -73,6 +73,23 @@ impl CollectionData {
         idx
     }
 
+    /// Appends the collection to a canonical byte encoding (see
+    /// [`crate::canonical`]): CVs by raw flag bytes, every time by bit
+    /// pattern — including the `+inf` rows of faulted CVs, which JSON
+    /// cannot represent.
+    pub fn write_canonical(&self, out: &mut Vec<u8>) {
+        use crate::canonical::{write_bytes, write_f64s, write_u64};
+        write_u64(out, self.cvs.len() as u64);
+        for cv in &self.cvs {
+            write_bytes(out, cv.values());
+        }
+        write_u64(out, self.per_module.len() as u64);
+        for row in &self.per_module {
+            write_f64s(out, row);
+        }
+        write_f64s(out, &self.end_to_end);
+    }
+
     /// Sum over modules of the per-module minimum — the hypothetical
     /// `G.Independent` time of §3.4.
     pub fn independent_sum(&self) -> f64 {

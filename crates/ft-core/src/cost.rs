@@ -84,6 +84,27 @@ impl TuningCost {
         }
     }
 
+    /// Element-wise sum — merging per-phase ledgers at a DAG join
+    /// point. Merging commutes, so the total is independent of the
+    /// order concurrent phases completed in, and the balance
+    /// `runs = successful + crashes + timeouts` is preserved: it holds
+    /// per phase and every term is additive.
+    pub fn merge(&self, other: &TuningCost) -> TuningCost {
+        TuningCost {
+            object_compiles: self.object_compiles + other.object_compiles,
+            object_reuses: self.object_reuses + other.object_reuses,
+            links: self.links + other.links,
+            link_reuses: self.link_reuses + other.link_reuses,
+            runs: self.runs + other.runs,
+            machine_seconds: self.machine_seconds + other.machine_seconds,
+            compile_failures: self.compile_failures + other.compile_failures,
+            crashes: self.crashes + other.crashes,
+            timeouts: self.timeouts + other.timeouts,
+            retries: self.retries + other.retries,
+            quarantined: self.quarantined + other.quarantined,
+        }
+    }
+
     /// Runs that failed but still occupied the machine. Together with
     /// successful runs these make up `runs`:
     /// `runs = successful + crashes + timeouts`.
@@ -163,6 +184,11 @@ mod tests {
         assert!((a.reuse_rate() - 0.75).abs() < 1e-12);
         assert_eq!(TuningCost::zero().reuse_rate(), 0.0);
         assert!((a.machine_hours() - 100.0 / 3600.0).abs() < 1e-15);
+        // merge is the inverse of since: b.merge(a.since(&b)) == a.
+        let m = b.merge(&d);
+        assert_eq!(m, a);
+        // ...and commutes.
+        assert_eq!(b.merge(&d), d.merge(&b));
     }
 
     #[test]

@@ -7,12 +7,11 @@ use ft_flags::rng::derive_seed_idx;
 use ft_flags::{Cv, CvId, CvPool, FlagSpace};
 use ft_machine::{
     execute, execute_profiled, try_execute, try_execute_profiled, Architecture, ExecOptions,
-    LinkCache, LinkedProgram, RunMeasurement, RunOutcome,
+    FaultQuarantine, LinkCache, LinkedProgram, RunMeasurement, RunOutcome,
 };
 use rayon::prelude::*;
-use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 /// Salt separating retry noise seeds from first-attempt seeds, so a
 /// retried measurement re-rolls both the machine noise and the
@@ -56,6 +55,31 @@ pub struct FaultStats {
     pub quarantined: u64,
     /// Executions that completed and produced a finite measurement.
     pub ok_runs: u64,
+}
+
+impl FaultStats {
+    /// Element-wise sum — merging per-phase ledgers at a DAG join.
+    /// Every counter is a plain total, so merging commutes and the
+    /// `runs == ok_runs + crashes + timeouts` invariant of the merged
+    /// ledger follows from the per-phase invariants.
+    pub fn merge(&self, other: &FaultStats) -> FaultStats {
+        FaultStats {
+            compile_failures: self.compile_failures + other.compile_failures,
+            crashes: self.crashes + other.crashes,
+            timeouts: self.timeouts + other.timeouts,
+            retries: self.retries + other.retries,
+            quarantined: self.quarantined + other.quarantined,
+            ok_runs: self.ok_runs + other.ok_runs,
+        }
+    }
+
+    /// Charged executions this ledger accounts for: successful runs
+    /// plus failed-but-charged ones. Must equal the paired
+    /// [`crate::cost::TuningCost::runs`] no matter how concurrent
+    /// phases interleaved their increments.
+    pub fn charged_runs(&self) -> u64 {
+        self.ok_runs + self.crashes + self.timeouts
+    }
 }
 
 /// Hit/miss counters of the evaluation engine's two memoization
@@ -111,10 +135,9 @@ pub struct EvalContext {
     /// are derived. Set once from the `-O3` baseline so budgets do not
     /// depend on the completion order of parallel batches.
     timeout_ref_bits: AtomicU64,
-    /// `(module, CV digest)` pairs whose compilation is known to ICE.
-    bad_compiles: Mutex<HashSet<(usize, u64)>>,
-    /// Program fingerprints known to hang.
-    bad_programs: Mutex<HashSet<u64>>,
+    /// Shared quarantine of known-bad compile pairs and hanging
+    /// programs, safe for concurrent phases (read-mostly `RwLock`s).
+    quarantine: FaultQuarantine,
     /// Executions that completed with a finite measurement.
     ok_runs: AtomicU64,
     /// Evaluations aborted by a compile-stage ICE.
@@ -158,8 +181,7 @@ impl EvalContext {
             faults: FaultModel::zero(),
             resilience: ResilienceConfig::default(),
             timeout_ref_bits: AtomicU64::new(0),
-            bad_compiles: Mutex::new(HashSet::new()),
-            bad_programs: Mutex::new(HashSet::new()),
+            quarantine: FaultQuarantine::new(),
             ok_runs: AtomicU64::new(0),
             compile_failures: AtomicU64::new(0),
             crashes: AtomicU64::new(0),
@@ -232,18 +254,12 @@ impl EvalContext {
     /// known-bad `(module, CV digest)` pairs and known-hanging program
     /// fingerprints.
     pub fn quarantine_snapshot(&self) -> (Vec<(usize, u64)>, Vec<u64>) {
-        let mut compiles: Vec<(usize, u64)> =
-            self.bad_compiles.lock().unwrap().iter().copied().collect();
-        compiles.sort_unstable();
-        let mut programs: Vec<u64> = self.bad_programs.lock().unwrap().iter().copied().collect();
-        programs.sort_unstable();
-        (compiles, programs)
+        self.quarantine.snapshot()
     }
 
     /// Re-seeds the quarantine lists (campaign resume).
     pub fn restore_quarantine(&self, compiles: &[(usize, u64)], programs: &[u64]) {
-        self.bad_compiles.lock().unwrap().extend(compiles.iter());
-        self.bad_programs.lock().unwrap().extend(programs.iter());
+        self.quarantine.restore(compiles, programs);
     }
 
     /// Compiles every module with one uniform CV, through the object
@@ -491,19 +507,18 @@ impl EvalContext {
             return meas.total_s;
         }
         for (module, digest) in digests.iter().enumerate() {
-            let key = (module, *digest);
-            if self.bad_compiles.lock().unwrap().contains(&key) {
+            if self.quarantine.compile_is_bad(module, *digest) {
                 self.quarantine_skips.fetch_add(1, Ordering::Relaxed);
                 return f64::INFINITY;
             }
             if self.faults.compile_fails(module, *digest) {
                 self.compile_failures.fetch_add(1, Ordering::Relaxed);
-                self.bad_compiles.lock().unwrap().insert(key);
+                self.quarantine.ban_compile(module, *digest);
                 return f64::INFINITY;
             }
         }
         let fp = FaultModel::program_fingerprint(digests);
-        if self.bad_programs.lock().unwrap().contains(&fp) {
+        if self.quarantine.program_is_bad(fp) {
             self.quarantine_skips.fetch_add(1, Ordering::Relaxed);
             return f64::INFINITY;
         }
@@ -547,7 +562,7 @@ impl EvalContext {
                 RunOutcome::Timeout { budget_s } => {
                     self.timeouts.fetch_add(1, Ordering::Relaxed);
                     self.charge_failed(budget_s);
-                    self.bad_programs.lock().unwrap().insert(fp);
+                    self.quarantine.ban_program(fp);
                     return f64::INFINITY;
                 }
                 RunOutcome::CompileError { .. } => {

@@ -30,6 +30,7 @@
 //! used by the examples and the experiment harness.
 
 pub mod algorithms;
+pub mod canonical;
 pub mod checkpoint;
 pub mod collection;
 pub mod convergence;
@@ -53,7 +54,7 @@ pub use critical::critical_flags;
 pub use ctx::{CacheStats, EvalContext, FaultStats, ResilienceConfig};
 pub use extensions::{cfr_adaptive, cfr_iterative};
 pub use importance::{flag_importance, FlagImportance};
-pub use pipeline::{Phase, Tuner, TuningRun};
+pub use pipeline::{Phase, PhaseSpan, ScheduleMode, ScheduleReport, Tuner, TuningRun};
 pub use result::TuningResult;
 pub use stability::{measure_repeated, speedup_with_stats, MeasurementStats};
 pub use variance::{variance_study, SearchVariance};

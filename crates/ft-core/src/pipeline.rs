@@ -1,21 +1,49 @@
 //! The high-level tuning pipeline: outline → collect → search →
 //! evaluate, with cross-input evaluation for the §4.3 experiments.
+//!
+//! # The campaign phase DAG
+//!
+//! The campaign's phases form a dependency DAG, not a line:
+//!
+//! ```text
+//!              ┌─→ Collect ─┬─→ Greedy
+//!   Baseline ──┼─→ Random   └─→ Cfr
+//!              └─→ Fr
+//! ```
+//!
+//! Random, FR, and the Figure-4 collection are independent given the
+//! baseline; Greedy and CFR need only the collection. The scheduler
+//! can therefore run `{Collect ∥ Random ∥ Fr}` and then
+//! `{Greedy ∥ Cfr}` concurrently ([`ScheduleMode::Overlapped`]) on one
+//! shared [`EvalContext`] — and because every phase draws its RNG and
+//! noise streams from an independent `derive_seed(root, "<phase>")`
+//! sub-seed, the overlapped run is **bit-identical** to the serial
+//! one. The shared caches only memoize values that are pure functions
+//! of their keys, and the ledger counters are atomic, so the only
+//! schedule-dependent artifacts are wall-clock spans and *attribution*
+//! of injected faults between `quarantined` and first-discovery
+//! counters (never the fault's `+inf` value itself).
 
 use crate::algorithms::{cfr, fr_search, greedy, random_search, GreedyOutcome};
 use crate::checkpoint::{CampaignCheckpoint, CheckpointError, CHECKPOINT_VERSION};
 use crate::collection::{collect, CollectionData};
+use crate::cost::TuningCost;
 use crate::ctx::{EvalContext, ResilienceConfig};
 use crate::result::TuningResult;
 use ft_compiler::{Compiler, FaultModel, ProgramIr};
-use ft_flags::rng::{derive_seed, derive_seed_idx};
+use ft_flags::rng::{derive_seed, derive_seed_idx, splitmix64};
 use ft_flags::Cv;
 use ft_machine::Architecture;
 use ft_outline::{outline_with_defaults, outline_with_hot_set, HotLoopReport, OutlinedProgram};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
 
-/// Campaign phases, in execution order. Each phase derives its seeds
-/// independently from the root seed, so a campaign resumed at any
-/// phase boundary replays the remaining phases bit-exactly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+/// Campaign phases. Their dependency structure is a DAG (see the
+/// module docs), **not** a total order — which is why this enum
+/// deliberately does not implement `Ord`: "phase A before phase B"
+/// is only meaningful along [`Phase::predecessors`] edges, and
+/// `run_until(Phase::Fr)` does *not* imply Random ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// `-O3` baseline measurement (also fixes the timeout reference).
     Baseline,
@@ -29,6 +57,181 @@ pub enum Phase {
     Greedy,
     /// FuncyTuner CFR.
     Cfr,
+}
+
+impl Phase {
+    /// Every phase, in the canonical (serial-schedule) order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Baseline,
+        Phase::Collect,
+        Phase::Random,
+        Phase::Fr,
+        Phase::Greedy,
+        Phase::Cfr,
+    ];
+
+    /// Stable lowercase label (doubles as the seed-derivation tag of
+    /// the interleaving stress knob).
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Baseline => "baseline",
+            Phase::Collect => "collect",
+            Phase::Random => "random",
+            Phase::Fr => "fr",
+            Phase::Greedy => "greedy",
+            Phase::Cfr => "cfr",
+        }
+    }
+
+    /// Direct dependencies: the phases whose *results* this phase
+    /// consumes. Everything needs the baseline (it is the speedup
+    /// denominator and the timeout reference); Greedy and CFR
+    /// additionally need the collection — and nothing else.
+    pub fn predecessors(self) -> &'static [Phase] {
+        match self {
+            Phase::Baseline => &[],
+            Phase::Collect | Phase::Random | Phase::Fr => &[Phase::Baseline],
+            Phase::Greedy | Phase::Cfr => &[Phase::Baseline, Phase::Collect],
+        }
+    }
+
+    /// Transitive dependency closure (excluding `self`), in canonical
+    /// order.
+    pub fn requires(self) -> Vec<Phase> {
+        let need = closure(&[self]);
+        Phase::ALL
+            .into_iter()
+            .filter(|p| *p != self && need[p.index()])
+            .collect()
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Marks every phase in the transitive dependency closure of
+/// `targets` (including the targets themselves), indexed by
+/// `Phase as usize`.
+fn closure(targets: &[Phase]) -> [bool; 6] {
+    let mut need = [false; 6];
+    let mut stack: Vec<Phase> = targets.to_vec();
+    while let Some(p) = stack.pop() {
+        if !need[p.index()] {
+            need[p.index()] = true;
+            stack.extend_from_slice(p.predecessors());
+        }
+    }
+    need
+}
+
+/// How the campaign maps its phase DAG onto threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScheduleMode {
+    /// One phase at a time, in [`Phase::ALL`] order (the historical
+    /// behavior; per-phase machine cost is attributable).
+    #[default]
+    Serial,
+    /// DAG stages run concurrently on `std::thread::scope`:
+    /// `{Collect ∥ Random ∥ Fr}`, then `{Greedy ∥ Cfr}` as soon as the
+    /// collection lands. Bit-identical results; see the module docs.
+    Overlapped,
+}
+
+/// One phase's slot in the campaign timeline. Wall-clock offsets are
+/// relative to the campaign start and are *not* deterministic (they
+/// are excluded from [`TuningRun::canonical_bytes`]); the machine-time
+/// attribution is deterministic but only exists for serial schedules,
+/// where the ledger delta around a phase is unambiguous.
+#[derive(Debug, Clone)]
+pub struct PhaseSpan {
+    /// Which phase.
+    pub phase: Phase,
+    /// Wall-clock start, seconds since campaign start.
+    pub start_s: f64,
+    /// Wall-clock end, seconds since campaign start.
+    pub end_s: f64,
+    /// Simulated machine seconds this phase consumed (`None` under an
+    /// overlapped schedule, where concurrent phases share the ledger).
+    pub machine_seconds: Option<f64>,
+    /// Charged runs this phase performed (`None` when overlapped).
+    pub runs: Option<u64>,
+}
+
+impl PhaseSpan {
+    /// Wall-clock duration of the phase, seconds.
+    pub fn wall_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// How the campaign's phases were scheduled, and what each cost.
+/// Restored (checkpointed) phases have no span — they did not run.
+#[derive(Debug, Clone)]
+pub struct ScheduleReport {
+    /// The schedule the phases actually ran under.
+    pub mode: ScheduleMode,
+    /// Per-phase slots, in canonical phase order.
+    pub spans: Vec<PhaseSpan>,
+    /// End-to-end campaign wall time, seconds (process time, not
+    /// simulated machine time).
+    pub total_wall_s: f64,
+}
+
+impl ScheduleReport {
+    /// The span of one phase, if it ran (vs was restored/skipped).
+    pub fn span(&self, phase: Phase) -> Option<&PhaseSpan> {
+        self.spans.iter().find(|s| s.phase == phase)
+    }
+
+    /// Machine seconds attributed to `phase`: 0 when the phase did not
+    /// run, `None` when it ran without attribution (overlapped mode).
+    fn attributed(&self, phase: Phase) -> Option<f64> {
+        match self.span(phase) {
+            None => Some(0.0),
+            Some(s) => s.machine_seconds,
+        }
+    }
+
+    /// Total simulated machine time of a serial schedule: the sum of
+    /// every phase's attribution. This is what the campaign costs on
+    /// the testbed when phases run back to back.
+    pub fn machine_serial_s(&self) -> Option<f64> {
+        if self.spans.is_empty() {
+            return None;
+        }
+        Phase::ALL
+            .into_iter()
+            .try_fold(0.0, |acc, p| Some(acc + self.attributed(p)?))
+    }
+
+    /// Modeled testbed wall time of the overlapped schedule: the
+    /// critical path of the DAG,
+    /// `baseline + max(collect, random, fr) + max(greedy, cfr)`,
+    /// assuming each stage's phases run on their own machine. Because
+    /// overlapped results are bit-identical to serial ones, a serial
+    /// run's attribution models the overlapped schedule exactly.
+    pub fn machine_critical_path_s(&self) -> Option<f64> {
+        let stage1 = [Phase::Collect, Phase::Random, Phase::Fr];
+        let stage2 = [Phase::Greedy, Phase::Cfr];
+        let max_of = |phases: &[Phase]| -> Option<f64> {
+            phases
+                .iter()
+                .try_fold(0.0f64, |acc, p| Some(acc.max(self.attributed(*p)?)))
+        };
+        Some(self.attributed(Phase::Baseline)? + max_of(&stage1)? + max_of(&stage2)?)
+    }
+
+    /// Modeled machine-time speedup of overlapping the phases:
+    /// serial total over critical path.
+    pub fn modeled_overlap_speedup(&self) -> Option<f64> {
+        let serial = self.machine_serial_s()?;
+        let critical = self.machine_critical_path_s()?;
+        if critical <= 0.0 {
+            return None;
+        }
+        Some(serial / critical)
+    }
 }
 
 /// Builder for a full FuncyTuner run.
@@ -52,6 +255,8 @@ pub struct Tuner<'a> {
     steps_cap: Option<u32>,
     faults: FaultModel,
     resilience: ResilienceConfig,
+    schedule: ScheduleMode,
+    interleave: Option<u64>,
 }
 
 impl<'a> Tuner<'a> {
@@ -67,6 +272,8 @@ impl<'a> Tuner<'a> {
             steps_cap: None,
             faults: FaultModel::zero(),
             resilience: ResilienceConfig::default(),
+            schedule: ScheduleMode::default(),
+            interleave: None,
         }
     }
 
@@ -112,6 +319,29 @@ impl<'a> Tuner<'a> {
         self
     }
 
+    /// Selects how the phase DAG maps onto threads. Results are
+    /// bit-identical across modes; only wall-clock differs.
+    pub fn schedule(mut self, mode: ScheduleMode) -> Self {
+        self.schedule = mode;
+        self
+    }
+
+    /// Shorthand for [`Tuner::schedule`] with
+    /// [`ScheduleMode::Overlapped`].
+    pub fn overlap_phases(self) -> Self {
+        self.schedule(ScheduleMode::Overlapped)
+    }
+
+    /// Interleaving stress knob (overlapped mode only): permutes the
+    /// thread spawn order and staggers phase starts by a few
+    /// seed-derived milliseconds. Exists to let the equivalence suite
+    /// prove order-independence — results must not change for *any*
+    /// value.
+    pub fn interleave(mut self, seed: u64) -> Self {
+        self.interleave = Some(seed);
+        self
+    }
+
     /// Runs profiling, outlining, collection and all four algorithms.
     pub fn run(self) -> TuningRun {
         match self.run_campaign(None, None) {
@@ -121,11 +351,26 @@ impl<'a> Tuner<'a> {
         }
     }
 
-    /// Runs the campaign up to and including `stop_after`, then
-    /// freezes it into a checkpoint — the state a periodic
-    /// checkpointer would have written right before the campaign was
-    /// killed. Feed it to [`Tuner::resume`] to finish.
+    /// Runs the campaign up to and including `stop_after` *and its
+    /// dependency closure* — nothing else — then freezes it into a
+    /// checkpoint: the state a periodic checkpointer would have
+    /// written right before the campaign was killed. Feed it to
+    /// [`Tuner::resume`] to finish.
+    ///
+    /// Only DAG predecessors are implied: `run_until(Phase::Fr)` runs
+    /// baseline and FR, and leaves Collect, Random, Greedy, and CFR
+    /// untouched.
     pub fn run_until(self, stop_after: Phase) -> CampaignCheckpoint {
+        self.run_until_phases(&[stop_after])
+    }
+
+    /// Multi-target [`Tuner::run_until`]: completes every listed phase
+    /// (plus dependency closures) and pauses at that DAG join point.
+    /// `run_until_phases(&[Phase::Random])` models a checkpoint taken
+    /// while Collect and FR are still in flight under an overlapped
+    /// schedule: their results are simply absent and recompute on
+    /// resume.
+    pub fn run_until_phases(self, stop_after: &[Phase]) -> CampaignCheckpoint {
         match self.run_campaign(None, Some(stop_after)) {
             Ok(CampaignOutcome::Paused(cp)) => *cp,
             Ok(CampaignOutcome::Finished(_)) => unreachable!("stop phase requested"),
@@ -179,11 +424,14 @@ impl<'a> Tuner<'a> {
         Ok(())
     }
 
-    /// The phase engine behind `run`/`run_until`/`resume`.
+    /// The phase engine behind `run`/`run_until`/`resume`: computes
+    /// the dependency closure of the requested targets, runs the
+    /// missing phases under the selected schedule, and either pauses
+    /// into a checkpoint or assembles the finished run.
     fn run_campaign(
         self,
         from: Option<CampaignCheckpoint>,
-        stop_after: Option<Phase>,
+        stop_after: Option<&[Phase]>,
     ) -> Result<CampaignOutcome, CheckpointError> {
         let mut input = self.workload.tuning_input(self.arch.name).clone();
         if let Some(cap) = self.steps_cap {
@@ -219,17 +467,189 @@ impl<'a> Tuner<'a> {
             cfr_result = cp.cfr;
         }
 
+        // Which phases the caller's targets (transitively) require.
+        let need = closure(stop_after.unwrap_or(&Phase::ALL));
+        let t0 = Instant::now();
+        let mut spans: Vec<PhaseSpan> = Vec::new();
+
         // The baseline is cheap (10 exempt runs) and deterministic, so
         // it is re-measured even on resume; it also fixes the timeout
         // reference every fault-aware phase budgets hangs against.
+        let pre = ctx.cost();
         let baseline_time = ctx.baseline_time(10);
-        let snapshot = |data: &Option<CollectionData>,
-                        random: &Option<TuningResult>,
-                        fr: &Option<TuningResult>,
-                        g: &Option<GreedyOutcome>,
-                        cfr_result: &Option<TuningResult>| {
+        spans.push(serial_span(Phase::Baseline, 0.0, &t0, &pre, &ctx));
+
+        let (budget, focus, seed) = (self.budget, self.focus, self.seed);
+        match self.schedule {
+            ScheduleMode::Serial => {
+                if need[Phase::Collect.index()] && data.is_none() {
+                    let (pre, start) = (ctx.cost(), t0.elapsed().as_secs_f64());
+                    data = Some(collect(&ctx, budget, derive_seed(seed, "collect")));
+                    spans.push(serial_span(Phase::Collect, start, &t0, &pre, &ctx));
+                }
+                if need[Phase::Random.index()] && random.is_none() {
+                    let (pre, start) = (ctx.cost(), t0.elapsed().as_secs_f64());
+                    random = Some(random_search(&ctx, budget, derive_seed(seed, "random")));
+                    spans.push(serial_span(Phase::Random, start, &t0, &pre, &ctx));
+                }
+                if need[Phase::Fr.index()] && fr.is_none() {
+                    let (pre, start) = (ctx.cost(), t0.elapsed().as_secs_f64());
+                    fr = Some(fr_search(&ctx, budget, derive_seed(seed, "fr")));
+                    spans.push(serial_span(Phase::Fr, start, &t0, &pre, &ctx));
+                }
+                if need[Phase::Greedy.index()] && g.is_none() {
+                    let (pre, start) = (ctx.cost(), t0.elapsed().as_secs_f64());
+                    g = Some(greedy(&ctx, data.as_ref().unwrap(), baseline_time));
+                    spans.push(serial_span(Phase::Greedy, start, &t0, &pre, &ctx));
+                }
+                if need[Phase::Cfr.index()] && cfr_result.is_none() {
+                    let (pre, start) = (ctx.cost(), t0.elapsed().as_secs_f64());
+                    cfr_result = Some(cfr(
+                        &ctx,
+                        data.as_ref().unwrap(),
+                        focus,
+                        budget,
+                        derive_seed(seed, "cfr"),
+                    ));
+                    spans.push(serial_span(Phase::Cfr, start, &t0, &pre, &ctx));
+                }
+            }
+            ScheduleMode::Overlapped => {
+                let need_collect = need[Phase::Collect.index()] && data.is_none();
+                let need_random = need[Phase::Random.index()] && random.is_none();
+                let need_fr = need[Phase::Fr.index()] && fr.is_none();
+                let need_greedy = need[Phase::Greedy.index()] && g.is_none();
+                let need_cfr = need[Phase::Cfr.index()] && cfr_result.is_none();
+
+                // Stage-2 phases wait on this cell; a restored
+                // collection fills it up front.
+                let mut data_cell: OnceLock<CollectionData> = OnceLock::new();
+                if let Some(d) = data.take() {
+                    let _ = data_cell.set(d);
+                }
+                let mut random_cell: OnceLock<TuningResult> = OnceLock::new();
+                let mut fr_cell: OnceLock<TuningResult> = OnceLock::new();
+                let mut greedy_cell: OnceLock<GreedyOutcome> = OnceLock::new();
+                let mut cfr_cell: OnceLock<TuningResult> = OnceLock::new();
+                let span_log: Mutex<Vec<PhaseSpan>> = Mutex::new(Vec::new());
+                {
+                    let (ctx, t0, span_log) = (&ctx, &t0, &span_log);
+                    let (data_cell, random_cell, fr_cell, greedy_cell, cfr_cell) =
+                        (&data_cell, &random_cell, &fr_cell, &greedy_cell, &cfr_cell);
+                    std::thread::scope(|s| {
+                        type Job<'j> = (Phase, Box<dyn FnOnce() + Send + 'j>);
+                        let mut jobs: Vec<Job<'_>> = Vec::new();
+                        if need_collect {
+                            jobs.push((
+                                Phase::Collect,
+                                Box::new(move || {
+                                    let start = t0.elapsed().as_secs_f64();
+                                    let d = collect(ctx, budget, derive_seed(seed, "collect"));
+                                    // Span first, then release the
+                                    // cell: stage-2 starts must not
+                                    // precede the recorded collect end.
+                                    log_span(span_log, Phase::Collect, start, t0);
+                                    let _ = data_cell.set(d);
+                                }),
+                            ));
+                        }
+                        if need_random {
+                            jobs.push((
+                                Phase::Random,
+                                Box::new(move || {
+                                    let start = t0.elapsed().as_secs_f64();
+                                    let r = random_search(ctx, budget, derive_seed(seed, "random"));
+                                    let _ = random_cell.set(r);
+                                    log_span(span_log, Phase::Random, start, t0);
+                                }),
+                            ));
+                        }
+                        if need_fr {
+                            jobs.push((
+                                Phase::Fr,
+                                Box::new(move || {
+                                    let start = t0.elapsed().as_secs_f64();
+                                    let r = fr_search(ctx, budget, derive_seed(seed, "fr"));
+                                    let _ = fr_cell.set(r);
+                                    log_span(span_log, Phase::Fr, start, t0);
+                                }),
+                            ));
+                        }
+                        if need_greedy {
+                            jobs.push((
+                                Phase::Greedy,
+                                Box::new(move || {
+                                    let d = data_cell.wait();
+                                    let start = t0.elapsed().as_secs_f64();
+                                    let out = greedy(ctx, d, baseline_time);
+                                    let _ = greedy_cell.set(out);
+                                    log_span(span_log, Phase::Greedy, start, t0);
+                                }),
+                            ));
+                        }
+                        if need_cfr {
+                            jobs.push((
+                                Phase::Cfr,
+                                Box::new(move || {
+                                    let d = data_cell.wait();
+                                    let start = t0.elapsed().as_secs_f64();
+                                    let r = cfr(ctx, d, focus, budget, derive_seed(seed, "cfr"));
+                                    let _ = cfr_cell.set(r);
+                                    log_span(span_log, Phase::Cfr, start, t0);
+                                }),
+                            ));
+                        }
+                        // The stress knob: permute spawn order and
+                        // stagger starts. Any interleaving must yield
+                        // the same results — phases share no RNG state.
+                        if let Some(iseed) = self.interleave {
+                            let mut state = derive_seed(iseed, "phase-interleave");
+                            for i in (1..jobs.len()).rev() {
+                                let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+                                jobs.swap(i, j);
+                            }
+                        }
+                        for (phase, job) in jobs {
+                            let delay_ms = self
+                                .interleave
+                                .map(|iseed| derive_seed(iseed, phase.label()) % 4);
+                            s.spawn(move || {
+                                if let Some(ms) = delay_ms {
+                                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                                }
+                                job();
+                            });
+                        }
+                    });
+                }
+                if let Some(d) = data_cell.take() {
+                    data = Some(d);
+                }
+                if let Some(r) = random_cell.take() {
+                    random = Some(r);
+                }
+                if let Some(r) = fr_cell.take() {
+                    fr = Some(r);
+                }
+                if let Some(out) = greedy_cell.take() {
+                    g = Some(out);
+                }
+                if let Some(r) = cfr_cell.take() {
+                    cfr_result = Some(r);
+                }
+                spans.append(&mut span_log.into_inner().unwrap());
+            }
+        }
+        spans.sort_by_key(|s| s.phase.index());
+        let schedule = ScheduleReport {
+            mode: self.schedule,
+            spans,
+            total_wall_s: t0.elapsed().as_secs_f64(),
+        };
+
+        if stop_after.is_some() {
             let (bad_compiles, bad_programs) = ctx.quarantine_snapshot();
-            Box::new(CampaignCheckpoint {
+            return Ok(CampaignOutcome::Paused(Box::new(CampaignCheckpoint {
                 version: CHECKPOINT_VERSION,
                 workload: self.workload.meta.name.to_string(),
                 arch: self.arch.name.to_string(),
@@ -239,98 +659,14 @@ impl<'a> Tuner<'a> {
                 steps_cap: self.steps_cap,
                 faults: self.faults,
                 baseline_time: Some(baseline_time),
-                data: data.clone(),
-                random: random.clone(),
-                fr: fr.clone(),
-                greedy: g.clone(),
-                cfr: cfr_result.clone(),
+                data,
+                random,
+                fr,
+                greedy: g,
+                cfr: cfr_result,
                 bad_compiles,
                 bad_programs,
-            })
-        };
-
-        if stop_after == Some(Phase::Baseline) {
-            return Ok(CampaignOutcome::Paused(snapshot(
-                &data,
-                &random,
-                &fr,
-                &g,
-                &cfr_result,
-            )));
-        }
-        if data.is_none() {
-            data = Some(collect(
-                &ctx,
-                self.budget,
-                derive_seed(self.seed, "collect"),
-            ));
-        }
-        if stop_after == Some(Phase::Collect) {
-            return Ok(CampaignOutcome::Paused(snapshot(
-                &data,
-                &random,
-                &fr,
-                &g,
-                &cfr_result,
-            )));
-        }
-        if random.is_none() {
-            random = Some(random_search(
-                &ctx,
-                self.budget,
-                derive_seed(self.seed, "random"),
-            ));
-        }
-        if stop_after == Some(Phase::Random) {
-            return Ok(CampaignOutcome::Paused(snapshot(
-                &data,
-                &random,
-                &fr,
-                &g,
-                &cfr_result,
-            )));
-        }
-        if fr.is_none() {
-            fr = Some(fr_search(&ctx, self.budget, derive_seed(self.seed, "fr")));
-        }
-        if stop_after == Some(Phase::Fr) {
-            return Ok(CampaignOutcome::Paused(snapshot(
-                &data,
-                &random,
-                &fr,
-                &g,
-                &cfr_result,
-            )));
-        }
-        if g.is_none() {
-            g = Some(greedy(&ctx, data.as_ref().unwrap(), baseline_time));
-        }
-        if stop_after == Some(Phase::Greedy) {
-            return Ok(CampaignOutcome::Paused(snapshot(
-                &data,
-                &random,
-                &fr,
-                &g,
-                &cfr_result,
-            )));
-        }
-        if cfr_result.is_none() {
-            cfr_result = Some(cfr(
-                &ctx,
-                data.as_ref().unwrap(),
-                self.focus,
-                self.budget,
-                derive_seed(self.seed, "cfr"),
-            ));
-        }
-        if stop_after == Some(Phase::Cfr) {
-            return Ok(CampaignOutcome::Paused(snapshot(
-                &data,
-                &random,
-                &fr,
-                &g,
-                &cfr_result,
-            )));
+            })));
         }
 
         Ok(CampaignOutcome::Finished(Box::new(TuningRun {
@@ -347,8 +683,40 @@ impl<'a> Tuner<'a> {
             greedy: g.unwrap(),
             cfr: cfr_result.unwrap(),
             seed: self.seed,
+            schedule,
         })))
     }
+}
+
+/// A span for a phase that just finished under the serial schedule,
+/// with the ledger delta attributed to it.
+fn serial_span(
+    phase: Phase,
+    start_s: f64,
+    t0: &Instant,
+    pre: &TuningCost,
+    ctx: &EvalContext,
+) -> PhaseSpan {
+    let delta = ctx.cost().since(pre);
+    PhaseSpan {
+        phase,
+        start_s,
+        end_s: t0.elapsed().as_secs_f64(),
+        machine_seconds: Some(delta.machine_seconds),
+        runs: Some(delta.runs),
+    }
+}
+
+/// Records an overlapped phase's wall-clock slot (no machine
+/// attribution: concurrent phases share one ledger).
+fn log_span(log: &Mutex<Vec<PhaseSpan>>, phase: Phase, start_s: f64, t0: &Instant) {
+    log.lock().unwrap().push(PhaseSpan {
+        phase,
+        start_s,
+        end_s: t0.elapsed().as_secs_f64(),
+        machine_seconds: None,
+        runs: None,
+    });
 }
 
 /// What the phase engine hands back.
@@ -387,9 +755,43 @@ pub struct TuningRun {
     pub cfr: TuningResult,
     /// Root seed.
     pub seed: u64,
+    /// How the phases were scheduled and what each cost.
+    pub schedule: ScheduleReport,
 }
 
 impl TuningRun {
+    /// Canonical byte encoding of the run's *deterministic outcome*:
+    /// identity (workload, architecture, input, seed), the baseline,
+    /// the collection, and all four search results — every float by
+    /// exact bit pattern (see [`crate::canonical`]). Two campaigns are
+    /// equivalent iff their encodings are byte-equal.
+    ///
+    /// Deliberately excluded: wall-clock spans, the cost ledger, and
+    /// fault-counter attribution, which depend on the schedule (and on
+    /// which concurrent phase reached a deterministic fault first) but
+    /// never on any tuning decision.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        use crate::canonical::{write_f64, write_str, write_u64};
+        let mut out = Vec::new();
+        write_str(&mut out, self.workload);
+        write_str(&mut out, self.arch);
+        write_str(&mut out, &self.input_name);
+        write_u64(&mut out, self.seed);
+        write_f64(&mut out, self.baseline_time);
+        self.data.write_canonical(&mut out);
+        self.random.write_canonical(&mut out);
+        self.fr.write_canonical(&mut out);
+        self.greedy.write_canonical(&mut out);
+        self.cfr.write_canonical(&mut out);
+        out
+    }
+
+    /// SplitMix64 fold of [`TuningRun::canonical_bytes`] — a compact
+    /// fingerprint for golden tests and logs.
+    pub fn canonical_digest(&self) -> u64 {
+        crate::canonical::digest(&self.canonical_bytes())
+    }
+
     /// Evaluates a tuned assignment on a *different* input of the same
     /// workload (§4.3): the executable is frozen (same outlining, same
     /// CVs), only the input changes. Returns `(tuned, o3)` end-to-end
@@ -491,5 +893,104 @@ mod tests {
         let arch = Architecture::broadwell();
         let w = workload_by_name("swim").unwrap();
         let _ = Tuner::new(&w, &arch).budget(1);
+    }
+
+    #[test]
+    fn phase_dag_edges_are_the_papers_dependencies() {
+        assert!(Phase::Baseline.predecessors().is_empty());
+        for p in [Phase::Collect, Phase::Random, Phase::Fr] {
+            assert_eq!(p.predecessors(), &[Phase::Baseline]);
+            assert_eq!(p.requires(), vec![Phase::Baseline]);
+        }
+        for p in [Phase::Greedy, Phase::Cfr] {
+            assert_eq!(p.predecessors(), &[Phase::Baseline, Phase::Collect]);
+            assert_eq!(p.requires(), vec![Phase::Baseline, Phase::Collect]);
+        }
+        // Crucially: FR does not require Random, CFR does not require
+        // FR or Random — the linear Phase order is NOT a dependency.
+        assert!(!Phase::Fr.requires().contains(&Phase::Random));
+        assert!(!Phase::Cfr.requires().contains(&Phase::Random));
+        assert!(!Phase::Cfr.requires().contains(&Phase::Fr));
+    }
+
+    #[test]
+    fn closure_includes_targets_and_all_ancestors() {
+        let need = closure(&[Phase::Greedy]);
+        assert!(need[Phase::Baseline.index()]);
+        assert!(need[Phase::Collect.index()]);
+        assert!(need[Phase::Greedy.index()]);
+        assert!(!need[Phase::Random.index()]);
+        assert!(!need[Phase::Fr.index()]);
+        assert!(!need[Phase::Cfr.index()]);
+        assert_eq!(closure(&Phase::ALL), [true; 6]);
+    }
+
+    #[test]
+    fn serial_schedule_report_models_the_critical_path() {
+        let arch = Architecture::broadwell();
+        let w = workload_by_name("swim").unwrap();
+        let run = Tuner::new(&w, &arch)
+            .budget(60)
+            .focus(8)
+            .seed(42)
+            .cap_steps(5)
+            .run();
+        let rep = &run.schedule;
+        assert_eq!(rep.mode, ScheduleMode::Serial);
+        assert_eq!(rep.spans.len(), 6, "all phases ran");
+        let serial = rep.machine_serial_s().expect("serial runs attribute");
+        let critical = rep.machine_critical_path_s().unwrap();
+        assert!(serial > 0.0);
+        assert!(
+            critical < serial,
+            "overlap must shorten the modeled schedule: {critical} vs {serial}"
+        );
+        let speedup = rep.modeled_overlap_speedup().unwrap();
+        assert!(
+            speedup > 1.0,
+            "three-way stage-1 overlap buys wall time: {speedup}"
+        );
+        // The attribution covers the whole ledger.
+        let total: f64 = rep.spans.iter().map(|s| s.machine_seconds.unwrap()).sum();
+        let ledger = run.ctx.cost().machine_seconds;
+        assert!(
+            (total - ledger).abs() < 1e-6 * ledger.max(1.0),
+            "span attribution must sum to the ledger: {total} vs {ledger}"
+        );
+    }
+
+    #[test]
+    fn overlapped_schedule_report_has_no_attribution() {
+        let arch = Architecture::broadwell();
+        let w = workload_by_name("swim").unwrap();
+        let run = Tuner::new(&w, &arch)
+            .budget(60)
+            .focus(8)
+            .seed(42)
+            .cap_steps(5)
+            .overlap_phases()
+            .run();
+        let rep = &run.schedule;
+        assert_eq!(rep.mode, ScheduleMode::Overlapped);
+        assert_eq!(rep.spans.len(), 6);
+        // Baseline ran before the scope — it is attributable; the
+        // concurrent phases are not.
+        assert!(rep.span(Phase::Baseline).unwrap().machine_seconds.is_some());
+        for p in [
+            Phase::Collect,
+            Phase::Random,
+            Phase::Fr,
+            Phase::Greedy,
+            Phase::Cfr,
+        ] {
+            assert!(rep.span(p).unwrap().machine_seconds.is_none(), "{p:?}");
+        }
+        assert!(rep.machine_serial_s().is_none());
+        assert!(rep.modeled_overlap_speedup().is_none());
+        // Stage-2 phases cannot start before the collection ends.
+        let collect_end = rep.span(Phase::Collect).unwrap().end_s;
+        for p in [Phase::Greedy, Phase::Cfr] {
+            assert!(rep.span(p).unwrap().start_s >= collect_end, "{p:?}");
+        }
     }
 }

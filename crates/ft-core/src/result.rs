@@ -31,6 +31,24 @@ impl TuningResult {
         self.baseline_time / self.best_time
     }
 
+    /// Appends this result to a canonical byte encoding (see
+    /// [`crate::canonical`]): every float by bit pattern, every CV by
+    /// raw flag bytes. Used by the phase-equivalence harness to compare
+    /// results across schedules without JSON's `inf → null` loss.
+    pub fn write_canonical(&self, out: &mut Vec<u8>) {
+        use crate::canonical::{write_bytes, write_f64, write_f64s, write_str, write_u64};
+        write_str(out, &self.algorithm);
+        write_f64(out, self.best_time);
+        write_f64(out, self.baseline_time);
+        write_u64(out, self.assignment.len() as u64);
+        for cv in &self.assignment {
+            write_bytes(out, cv.values());
+        }
+        write_u64(out, self.best_index as u64);
+        write_f64s(out, &self.history);
+        write_u64(out, self.evaluations as u64);
+    }
+
     /// Number of evaluations after which the search was within
     /// `tolerance` of its final best (convergence point, §4.3).
     pub fn converged_at(&self, tolerance: f64) -> usize {

@@ -127,6 +127,57 @@ fn explicit_zero_fault_model_changes_nothing() {
     );
 }
 
+#[test]
+fn overlapped_scheduler_matches_the_same_golden_values() {
+    // The phase scheduler may run {Collect ∥ Random ∥ FR} and then
+    // {Greedy ∥ CFR} concurrently; every phase keeps its independent
+    // derived seed, so the overlapped campaign must pin to the *same*
+    // pre-engine golden constants as the serial one — and to the same
+    // canonical digest, byte for byte.
+    let arch = Architecture::broadwell();
+    let w = workload_by_name("swim").expect("swim in suite");
+    let run = Tuner::new(&w, &arch)
+        .budget(60)
+        .focus(8)
+        .seed(42)
+        .cap_steps(5)
+        .overlap_phases()
+        .run();
+    assert_eq!(run.baseline_time.to_bits(), GOLDEN_BASELINE.to_bits());
+    assert_eq!(run.random.best_time.to_bits(), GOLDEN_RANDOM.to_bits());
+    assert_eq!(
+        digest_assignment(&run.random.assignment),
+        GOLDEN_RANDOM_ASSIGN
+    );
+    assert_eq!(run.fr.best_time.to_bits(), GOLDEN_FR.to_bits());
+    assert_eq!(digest_assignment(&run.fr.assignment), GOLDEN_FR_ASSIGN);
+    assert_eq!(
+        run.greedy.realized.best_time.to_bits(),
+        GOLDEN_GREEDY.to_bits()
+    );
+    assert_eq!(
+        digest_assignment(&run.greedy.realized.assignment),
+        GOLDEN_GREEDY_ASSIGN
+    );
+    assert_eq!(run.cfr.best_time.to_bits(), GOLDEN_CFR.to_bits());
+    assert_eq!(digest_assignment(&run.cfr.assignment), GOLDEN_CFR_ASSIGN);
+    assert_eq!(run.canonical_digest(), GOLDEN_CANONICAL_DIGEST);
+}
+
+#[test]
+fn canonical_digest_is_pinned_in_both_schedules() {
+    let arch = Architecture::broadwell();
+    let w = workload_by_name("swim").expect("swim in suite");
+    let serial = Tuner::new(&w, &arch)
+        .budget(60)
+        .focus(8)
+        .seed(42)
+        .cap_steps(5)
+        .run();
+    println!("canonical digest: 0x{:016X}", serial.canonical_digest());
+    assert_eq!(serial.canonical_digest(), GOLDEN_CANONICAL_DIGEST);
+}
+
 // Exact bit patterns, not decimal literals, so the comparison is
 // immune to any formatting round-trip.
 const GOLDEN_BASELINE: f64 = f64::from_bits(0x400235359DF58198);
@@ -138,3 +189,6 @@ const GOLDEN_GREEDY: f64 = f64::from_bits(0x4000FE8274DF903A);
 const GOLDEN_GREEDY_ASSIGN: u64 = 0x875BEEB981F2413F;
 const GOLDEN_CFR: f64 = f64::from_bits(0x4000CFA4D821A770);
 const GOLDEN_CFR_ASSIGN: u64 = 0x6D05C51AE183C602;
+// Digest of the full canonical `TuningRun` encoding (every float by
+// bit pattern); both schedules must land exactly here.
+const GOLDEN_CANONICAL_DIGEST: u64 = 0xEC2662A181C112F2;

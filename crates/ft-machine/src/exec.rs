@@ -462,6 +462,83 @@ pub fn try_execute(
     RunOutcome::Ok(meas)
 }
 
+/// Shared fault-quarantine lists: `(module, CV digest)` pairs whose
+/// compilation is known to ICE and program fingerprints known to hang.
+///
+/// Built for many concurrent readers and rare writers — a campaign
+/// running its search phases in parallel gates every candidate through
+/// these lists, but only newly discovered faults take the write lock.
+/// Whether a concurrent phase observes an entry before or after it is
+/// inserted never changes an evaluation's *value* (a quarantined
+/// candidate scores `+inf` either by skip or by re-deriving the same
+/// deterministic fault); only which counter the `+inf` is attributed
+/// to can shift, which is why equivalence checks compare results, not
+/// attribution.
+#[derive(Debug, Default)]
+pub struct FaultQuarantine {
+    /// `(module, CV digest)` pairs whose compilation ICEs.
+    compiles: std::sync::RwLock<std::collections::HashSet<(usize, u64)>>,
+    /// Program fingerprints that hang.
+    programs: std::sync::RwLock<std::collections::HashSet<u64>>,
+}
+
+impl FaultQuarantine {
+    /// An empty quarantine.
+    pub fn new() -> Self {
+        FaultQuarantine::default()
+    }
+
+    /// Is this `(module, CV digest)` pair known to ICE?
+    pub fn compile_is_bad(&self, module: usize, digest: u64) -> bool {
+        self.compiles.read().unwrap().contains(&(module, digest))
+    }
+
+    /// Quarantines a compile pair; returns true if it was new.
+    pub fn ban_compile(&self, module: usize, digest: u64) -> bool {
+        self.compiles.write().unwrap().insert((module, digest))
+    }
+
+    /// Is this program fingerprint known to hang?
+    pub fn program_is_bad(&self, fingerprint: u64) -> bool {
+        self.programs.read().unwrap().contains(&fingerprint)
+    }
+
+    /// Quarantines a program fingerprint; returns true if it was new.
+    pub fn ban_program(&self, fingerprint: u64) -> bool {
+        self.programs.write().unwrap().insert(fingerprint)
+    }
+
+    /// Both lists, sorted — a deterministic serialization order no
+    /// matter what insertion interleaving produced them.
+    pub fn snapshot(&self) -> (Vec<(usize, u64)>, Vec<u64>) {
+        let mut compiles: Vec<(usize, u64)> =
+            self.compiles.read().unwrap().iter().copied().collect();
+        compiles.sort_unstable();
+        let mut programs: Vec<u64> = self.programs.read().unwrap().iter().copied().collect();
+        programs.sort_unstable();
+        (compiles, programs)
+    }
+
+    /// Re-seeds the lists from a snapshot (campaign resume).
+    pub fn restore(&self, compiles: &[(usize, u64)], programs: &[u64]) {
+        self.compiles.write().unwrap().extend(compiles.iter());
+        self.programs.write().unwrap().extend(programs.iter());
+    }
+
+    /// Distinct quarantined entries: `(compile pairs, programs)`.
+    pub fn len(&self) -> (usize, usize) {
+        (
+            self.compiles.read().unwrap().len(),
+            self.programs.read().unwrap().len(),
+        )
+    }
+
+    /// True when nothing has been quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.len() == (0, 0)
+    }
+}
+
 /// Fallible variant of [`execute_profiled`]: like [`try_execute`], but
 /// a successful run additionally records per-module times into the
 /// Caliper session. Failed runs record nothing (the paper's collection
@@ -1017,5 +1094,52 @@ mod tests {
             t_novec < t_wide,
             "scalar should beat 256-bit on divergent loop: {t_novec} vs {t_wide}"
         );
+    }
+
+    #[test]
+    fn quarantine_round_trips_a_sorted_snapshot() {
+        let q = FaultQuarantine::new();
+        assert!(q.is_empty());
+        assert!(q.ban_compile(3, 77));
+        assert!(q.ban_compile(1, 99));
+        assert!(!q.ban_compile(3, 77), "duplicate ban reports not-new");
+        assert!(q.ban_program(0xDEAD));
+        assert!(q.compile_is_bad(3, 77));
+        assert!(!q.compile_is_bad(3, 78));
+        assert!(q.program_is_bad(0xDEAD));
+        let (compiles, programs) = q.snapshot();
+        assert_eq!(compiles, vec![(1, 99), (3, 77)]);
+        assert_eq!(programs, vec![0xDEAD]);
+
+        let r = FaultQuarantine::new();
+        r.restore(&compiles, &programs);
+        assert_eq!(r.snapshot(), q.snapshot());
+        assert_eq!(r.len(), (2, 1));
+    }
+
+    #[test]
+    fn quarantine_snapshot_is_insertion_order_independent() {
+        // Concurrent inserters land entries in arbitrary order; the
+        // snapshot must come out identical regardless.
+        let q = FaultQuarantine::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..64u64 {
+                        q.ban_compile((i % 7) as usize, i.rotate_left(t as u32));
+                        q.ban_program(i * 31 + t);
+                    }
+                });
+            }
+        });
+        let serial = FaultQuarantine::new();
+        for t in 0..4u64 {
+            for i in 0..64u64 {
+                serial.ban_compile((i % 7) as usize, i.rotate_left(t as u32));
+                serial.ban_program(i * 31 + t);
+            }
+        }
+        assert_eq!(q.snapshot(), serial.snapshot());
     }
 }

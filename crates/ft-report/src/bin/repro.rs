@@ -60,6 +60,7 @@ fn main() {
             "--fault-crash" => cfg.fault_crash = parse_rate(it.next(), "--fault-crash"),
             "--fault-hang" => cfg.fault_hang = parse_rate(it.next(), "--fault-hang"),
             "--fault-outlier" => cfg.fault_outlier = parse_rate(it.next(), "--fault-outlier"),
+            "--phase-parallel" => cfg.phase_parallel = true,
             "all" => ids.extend(all_ids().iter().map(|s| s.to_string())),
             other if other.starts_with("--") => die(&format!("unknown option {other}")),
             other => {
@@ -132,10 +133,13 @@ fn print_help() {
         "repro — regenerate the FuncyTuner paper's tables and figures\n\n\
          usage: repro [ids...|all] [--full] [--compare] [--json DIR] [--md DIR] [--seed N] [--k N] [--x N]\n\
                 repro [ids...] [--fault-compile P] [--fault-crash P] [--fault-hang P] [--fault-outlier P]\n\
+                repro [ids...] [--phase-parallel]\n\
                 repro --list\n\n\
          Default is quick mode (reduced budget, minutes). --full runs the\n\
          paper's K=1000 protocol. The --fault-* probabilities inject\n\
          deterministic toolchain faults (seeded off --seed); the harness\n\
-         retries, quarantines, and reports them in the overhead table."
+         retries, quarantines, and reports them in the overhead table.\n\
+         --phase-parallel overlaps each campaign's phases on the DAG\n\
+         scheduler; results are bit-identical to the serial schedule."
     );
 }

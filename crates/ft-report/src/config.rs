@@ -31,6 +31,10 @@ pub struct ReproConfig {
     /// Injected outlier-measurement probability per run.
     #[serde(default)]
     pub fault_outlier: f64,
+    /// Run each campaign's phases overlapped on the DAG scheduler
+    /// (results are bit-identical either way; only wall time differs).
+    #[serde(default)]
+    pub phase_parallel: bool,
 }
 
 impl ReproConfig {
@@ -47,6 +51,7 @@ impl ReproConfig {
             fault_crash: 0.0,
             fault_hang: 0.0,
             fault_outlier: 0.0,
+            phase_parallel: false,
         }
     }
 
@@ -63,6 +68,7 @@ impl ReproConfig {
             fault_crash: 0.0,
             fault_hang: 0.0,
             fault_outlier: 0.0,
+            phase_parallel: false,
         }
     }
 

@@ -23,6 +23,9 @@ pub fn tune_workload(w: &Workload, arch: &Architecture, cfg: &ReproConfig) -> Tu
     if let Some(cap) = cfg.steps_cap {
         tuner = tuner.cap_steps(cap);
     }
+    if cfg.phase_parallel {
+        tuner = tuner.overlap_phases();
+    }
     tuner.run()
 }
 

@@ -1,7 +1,7 @@
 //! Cross-crate property-based tests.
 
 use funcytuner::prelude::*;
-use funcytuner::tuning::collect;
+use funcytuner::tuning::{collect, ScheduleMode};
 use proptest::prelude::*;
 
 fn bdw_ctx(bench: &str, seed: u64) -> EvalContext {
@@ -88,6 +88,71 @@ proptest! {
         for (i, m) in outlined.ir.modules.iter().enumerate() {
             prop_assert_eq!(m.id, i);
         }
+    }
+
+    /// Scheduling is unobservable: for any (seed, budget, fault-rate)
+    /// the serial and overlapped campaigns serialize to the same
+    /// canonical bytes — every float compared by bit pattern.
+    #[test]
+    fn overlapped_schedule_is_byte_equal_to_serial(
+        seed in 0u64..10_000,
+        budget in 20usize..60,
+        fault_scale in 0u32..3,
+    ) {
+        let arch = Architecture::broadwell();
+        let w = workload_by_name("swim").expect("swim in suite");
+        // fault_scale 0 is the clean campaign; 1 and 2 scale the
+        // testbed rates up, so quarantine traffic grows with it.
+        let faults = funcytuner::compiler::FaultModel::with_rates(
+            0xFA17 ^ seed,
+            0.02 * fault_scale as f64,
+            0.02 * fault_scale as f64,
+            0.01 * fault_scale as f64,
+            0.05 * fault_scale as f64,
+        );
+        let campaign = |mode: ScheduleMode| {
+            Tuner::new(&w, &arch)
+                .budget(budget)
+                .focus(6)
+                .seed(seed)
+                .cap_steps(3)
+                .faults(faults)
+                .schedule(mode)
+                .run()
+        };
+        let serial = campaign(ScheduleMode::Serial);
+        let overlapped = campaign(ScheduleMode::Overlapped);
+        prop_assert_eq!(serial.canonical_digest(), overlapped.canonical_digest());
+        prop_assert_eq!(serial.canonical_bytes(), overlapped.canonical_bytes());
+    }
+
+    /// The fault ledger balances under either schedule: every charged
+    /// run is exactly one of ok/crash/timeout, and concurrent phase
+    /// threads never lose or double-count an increment.
+    #[test]
+    fn fault_ledger_balances_under_overlap(
+        seed in 0u64..10_000,
+        budget in 20usize..50,
+    ) {
+        let arch = Architecture::broadwell();
+        let w = workload_by_name("swim").expect("swim in suite");
+        let run = Tuner::new(&w, &arch)
+            .budget(budget)
+            .focus(6)
+            .seed(seed)
+            .cap_steps(3)
+            .faults(funcytuner::compiler::FaultModel::testbed(seed ^ 0xFA17))
+            .overlap_phases()
+            .interleave(seed)
+            .run();
+        let cost = run.ctx.cost();
+        let stats = run.ctx.fault_stats();
+        prop_assert_eq!(cost.runs, stats.charged_runs());
+        // Merging two ledgers (the DAG-join operation) preserves the
+        // balance and commutes.
+        let merged = cost.merge(&cost);
+        let mstats = stats.merge(&stats);
+        prop_assert_eq!(merged.runs, mstats.charged_runs());
     }
 
     /// Speedups are invariant to the (deterministic) run ordering:
