@@ -8,29 +8,22 @@
 //! accelerates the harness the same way object reuse accelerates the
 //! real prototype.
 //!
-//! Thread-safe and lock-striped: searches evaluate candidates from
-//! rayon worker threads, and a single map behind one `RwLock` would
-//! serialize them. Keys are routed to one of [`SHARDS`] independent
-//! maps by key hash, and entries are shared as `Arc<CompiledModule>`
-//! so a hit is a pointer bump rather than a deep clone of the
-//! compiled decisions.
+//! Built on [`ShardedLru`]: lock-striped (searches evaluate candidates
+//! from rayon worker threads), single-flight (concurrent lookups of
+//! one key block instead of racing duplicate compiles, so
+//! `compiles == misses` exactly), and optionally capacity-bounded so a
+//! long campaign's cache stays O(working set). Entries are shared as
+//! `Arc<CompiledModule>` so a hit is a pointer bump rather than a deep
+//! clone of the compiled decisions.
 
 use crate::compiler::Compiler;
 use crate::decisions::CompiledModule;
 use crate::ir::Module;
-use ft_flags::rng::mix;
+use crate::lru::{CacheCapacity, LruStats, ShardedLru};
 use ft_flags::Cv;
-use parking_lot::RwLock;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Number of independent lock stripes. A small power of two well above
-/// the worker-thread count keeps the collision probability (two busy
-/// keys sharing a lock) low without bloating the struct.
-pub const SHARDS: usize = 16;
-
-type Shard = RwLock<HashMap<(usize, u64), Arc<CompiledModule>>>;
+pub use crate::lru::SHARDS;
 
 /// A concurrent compile cache keyed by `(module id, CV digest)`.
 ///
@@ -46,30 +39,34 @@ type Shard = RwLock<HashMap<(usize, u64), Arc<CompiledModule>>>;
 /// assert_eq!(cache.stats(), (1, 1)); // one hit, one miss
 /// ```
 pub struct ObjectCache {
-    shards: [Shard; SHARDS],
-    hits: AtomicU64,
-    misses: AtomicU64,
+    lru: ShardedLru<(usize, u64), CompiledModule>,
 }
 
 impl Default for ObjectCache {
     fn default() -> Self {
-        ObjectCache {
-            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
+        Self::new()
     }
 }
 
 impl ObjectCache {
-    /// An empty cache.
+    /// An empty, unbounded cache (the historical behaviour).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(CacheCapacity::Unbounded)
     }
 
-    fn shard(&self, key: (usize, u64)) -> &Shard {
-        let h = mix(key.1 ^ (key.0 as u64).rotate_left(32));
-        &self.shards[(h as usize) % SHARDS]
+    /// An empty cache that evicts least-recently-used objects once
+    /// `capacity` is exceeded. Eviction is result-invariant:
+    /// compilation is a pure function of the key, so a re-miss only
+    /// re-derives a bit-identical object.
+    pub fn with_capacity(capacity: CacheCapacity) -> Self {
+        ObjectCache {
+            lru: ShardedLru::new(capacity),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> CacheCapacity {
+        self.lru.capacity()
     }
 
     /// Compiles `module` with `cv`, reusing a cached object when one
@@ -83,15 +80,9 @@ impl ObjectCache {
         cv: &Cv,
     ) -> Arc<CompiledModule> {
         let key = (module.id, cv.digest());
-        let shard = self.shard(key);
-        if let Some(obj) = shard.read().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return obj.clone();
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let obj = Arc::new(compiler.compile_module(module, cv));
-        shard.write().entry(key).or_insert_with(|| obj.clone());
-        obj
+        self.lru
+            .get_or_compute(key, || compiler.compile_module(module, cv))
+            .0
     }
 
     /// Owned-value variant of [`ObjectCache::compile_arc`] for callers
@@ -117,29 +108,38 @@ impl ObjectCache {
 
     /// `(hits, misses)` so far.
     pub fn stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+        let s = self.lru.stats();
+        (s.hits, s.misses)
+    }
+
+    /// Full counter snapshot including evictions and the ledger fields.
+    pub fn lru_stats(&self) -> LruStats {
+        self.lru.stats()
+    }
+
+    /// High-water mark of resident objects over the cache's lifetime.
+    pub fn peak_resident(&self) -> u64 {
+        self.lru.peak_resident()
+    }
+
+    /// Resident objects per shard (diagnostics / spread tests).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.lru.shard_lens()
     }
 
     /// Number of cached objects.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.lru.len()
     }
 
     /// True when nothing has been compiled yet.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.read().is_empty())
+        self.lru.is_empty()
     }
 
     /// Drops all cached objects (e.g. when switching programs).
     pub fn clear(&self) {
-        for s in &self.shards {
-            s.write().clear();
-        }
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
+        self.lru.clear();
     }
 }
 
@@ -217,7 +217,7 @@ mod tests {
             let cv = c.space().sample(&mut rng);
             cache.compile(&c, &m, &cv);
         }
-        let occupied = cache.shards.iter().filter(|s| !s.read().is_empty()).count();
+        let occupied = cache.shard_lens().iter().filter(|&&l| l > 0).count();
         assert!(
             occupied > SHARDS / 2,
             "only {occupied}/{SHARDS} shards used"
@@ -251,8 +251,61 @@ mod tests {
         });
         let (hits, misses) = cache.stats();
         assert_eq!(hits + misses, 400);
-        assert!(misses >= 1, "at least one real compile");
+        assert_eq!(misses, 1, "single-flight: exactly one real compile");
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn bounded_cache_recompiles_identically() {
+        let (c, _, _) = setup();
+        let bounded = ObjectCache::with_capacity(CacheCapacity::Entries(1));
+        let unbounded = ObjectCache::new();
+        let mut rng = rng_for(11, "bounded");
+        let modules: Vec<Module> = (0..24)
+            .map(|id| {
+                Module::hot_loop(
+                    id,
+                    &format!("k{id}"),
+                    LoopFeatures::synthetic(id as u64 * 3 + 1),
+                    &[],
+                )
+            })
+            .collect();
+        let cvs: Vec<Cv> = (0..24).map(|_| c.space().sample(&mut rng)).collect();
+        // Two sweeps: the bounded cache thrashes, the unbounded one
+        // hits; every object must still come out bit-identical.
+        for _ in 0..2 {
+            for (m, cv) in modules.iter().zip(&cvs) {
+                assert_eq!(bounded.compile(&c, m, cv), unbounded.compile(&c, m, cv));
+            }
+        }
+        assert!(bounded.len() <= SHARDS);
+        assert!(bounded.lru_stats().evictions > 0, "tiny cache must evict");
+        let s = bounded.lru_stats();
+        assert_eq!(s.hits + s.misses, s.lookups);
+        assert_eq!(s.computes, s.misses);
+    }
+
+    #[test]
+    fn byte_capacity_uses_modeled_code_size() {
+        let (c, _, _) = setup();
+        let cache = ObjectCache::with_capacity(CacheCapacity::ModeledBytes(16.0 * 1024.0));
+        let mut rng = rng_for(13, "bytes");
+        for id in 0..64 {
+            let m = Module::hot_loop(
+                id,
+                &format!("k{id}"),
+                LoopFeatures::synthetic(id as u64 * 7 + 2),
+                &[],
+            );
+            let cv = c.space().sample(&mut rng);
+            cache.compile(&c, &m, &cv);
+        }
+        assert!(
+            cache.lru_stats().evictions > 0,
+            "64 objects must blow a 16 KiB modeled budget"
+        );
+        assert!(cache.len() < 64);
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod compiler;
 pub mod decisions;
 pub mod fault;
 pub mod ir;
+pub mod lru;
 pub mod optreport;
 pub mod pgo;
 pub mod response;
@@ -41,5 +42,6 @@ pub use compiler::{Compiler, Personality, Target};
 pub use decisions::{CodegenDecisions, CompiledModule, VecWidth};
 pub use fault::FaultModel;
 pub use ir::{CallEdge, LoopFeatures, MemStride, Module, ModuleId, ModuleKind, ProgramIr};
+pub use lru::{CacheCapacity, CacheWeight, LruStats, ShardedLru};
 pub use optreport::{report_module, report_program};
 pub use pgo::{PgoError, PgoProfile};

@@ -18,11 +18,18 @@ pub struct TuningCost {
     pub object_compiles: u64,
     /// Modules reused from the object cache (hits).
     pub object_reuses: u64,
+    /// Objects evicted to keep the cache within its capacity (0 for
+    /// unbounded caches; store-global when a shared store is borrowed).
+    #[serde(default)]
+    pub object_evictions: u64,
     /// Whole-program links actually performed (link-cache misses).
     pub links: u64,
     /// Duplicate assignments that reused a cached `LinkedProgram`
     /// (link-cache hits) — the `xild` analogue of object reuse.
     pub link_reuses: u64,
+    /// Linked programs evicted to keep the cache within its capacity.
+    #[serde(default)]
+    pub link_evictions: u64,
     /// Executable runs (each = linked program + execute + measure),
     /// including crashed and timed-out attempts: they occupied the
     /// machine, so the ledger charges them.
@@ -54,8 +61,10 @@ impl TuningCost {
         TuningCost {
             object_compiles: 0,
             object_reuses: 0,
+            object_evictions: 0,
             links: 0,
             link_reuses: 0,
+            link_evictions: 0,
             runs: 0,
             machine_seconds: 0.0,
             compile_failures: 0,
@@ -72,8 +81,10 @@ impl TuningCost {
         TuningCost {
             object_compiles: self.object_compiles - earlier.object_compiles,
             object_reuses: self.object_reuses - earlier.object_reuses,
+            object_evictions: self.object_evictions - earlier.object_evictions,
             links: self.links - earlier.links,
             link_reuses: self.link_reuses - earlier.link_reuses,
+            link_evictions: self.link_evictions - earlier.link_evictions,
             runs: self.runs - earlier.runs,
             machine_seconds: self.machine_seconds - earlier.machine_seconds,
             compile_failures: self.compile_failures - earlier.compile_failures,
@@ -93,8 +104,10 @@ impl TuningCost {
         TuningCost {
             object_compiles: self.object_compiles + other.object_compiles,
             object_reuses: self.object_reuses + other.object_reuses,
+            object_evictions: self.object_evictions + other.object_evictions,
             links: self.links + other.links,
             link_reuses: self.link_reuses + other.link_reuses,
+            link_evictions: self.link_evictions + other.link_evictions,
             runs: self.runs + other.runs,
             machine_seconds: self.machine_seconds + other.machine_seconds,
             compile_failures: self.compile_failures + other.compile_failures,

@@ -1,12 +1,14 @@
 //! Evaluation context: the compile → link → execute pipeline every
 //! search algorithm measures through.
 
+use crate::store::{self, ObjectStore};
 use ft_caliper::Caliper;
-use ft_compiler::{CompiledModule, Compiler, FaultModel, ObjectCache, ProgramIr};
+use ft_compiler::lru::CacheCapacity;
+use ft_compiler::{CompiledModule, Compiler, FaultModel, Module, ObjectCache, ProgramIr};
 use ft_flags::rng::derive_seed_idx;
 use ft_flags::{Cv, CvId, CvPool, FlagSpace};
 use ft_machine::{
-    execute, execute_profiled, try_execute, try_execute_profiled, Architecture, ExecOptions,
+    execute, execute_profiled, link, try_execute, try_execute_profiled, Architecture, ExecOptions,
     FaultQuarantine, LinkCache, LinkedProgram, RunMeasurement, RunOutcome,
 };
 use rayon::prelude::*;
@@ -82,19 +84,54 @@ impl FaultStats {
     }
 }
 
-/// Hit/miss counters of the evaluation engine's two memoization
-/// layers: per-module objects and whole-program links.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Counters of the evaluation engine's two memoization layers:
+/// per-module objects and whole-program links.
+///
+/// Ledger invariants (single-flight caching makes them exact):
+/// `object_hits + object_misses == object_lookups`,
+/// `object_computes == object_misses`, and likewise for links.
+/// Eviction counters are per-context when the context owns its caches
+/// and store-global when it borrows a shared [`ObjectStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Object-cache hits (modules reused instead of recompiled).
     pub object_hits: u64,
     /// Object-cache misses (modules actually compiled).
     pub object_misses: u64,
+    /// Object-cache lookups (`hits + misses`).
+    pub object_lookups: u64,
+    /// Compile closures actually executed (`== object_misses`).
+    pub object_computes: u64,
+    /// Objects evicted to stay within capacity.
+    pub object_evictions: u64,
     /// Link-cache hits (duplicate assignments that reused a
     /// `LinkedProgram`).
     pub link_hits: u64,
     /// Link-cache misses (links actually performed).
     pub link_misses: u64,
+    /// Link-cache lookups (`hits + misses`).
+    pub link_lookups: u64,
+    /// Link closures actually executed (`== link_misses`).
+    pub link_computes: u64,
+    /// Linked programs evicted to stay within capacity.
+    pub link_evictions: u64,
+}
+
+/// A context's attachment to a shared [`ObjectStore`]: the content
+/// fingerprints that scope this context's keys, plus per-context
+/// hit/miss attribution so each experiment row still balances its own
+/// `links + link_reuses == runs` ledger even when the resident objects
+/// are shared process-wide.
+struct StoreBinding {
+    store: Arc<ObjectStore>,
+    compiler_fp: u64,
+    /// Content fingerprint per module slot (`ir.modules` order).
+    module_fps: Vec<u64>,
+    link_fp: u64,
+    object_hits: AtomicU64,
+    object_misses: AtomicU64,
+    link_hits: AtomicU64,
+    link_misses: AtomicU64,
 }
 
 /// Everything needed to evaluate a compilation choice on one program,
@@ -118,6 +155,10 @@ pub struct EvalContext {
     /// fingerprint) is linked once; `link` is deterministic, so only
     /// the noise-seeded execution differs between duplicates.
     links: LinkCache,
+    /// When set, the context borrows a process-wide [`ObjectStore`]
+    /// instead of its own caches, de-duplicating compiles and links
+    /// across contexts (fault quarantine stays per-context).
+    store: Option<StoreBinding>,
     /// Memoized `-O3` baseline: `(repeats, mean time)` of the first
     /// measurement. Random, FR, and CFR all re-ask for the same
     /// 10-repeat baseline; measuring it once changes no value.
@@ -175,6 +216,7 @@ impl EvalContext {
             noise_root,
             cache: ObjectCache::new(),
             links: LinkCache::new(),
+            store: None,
             baseline_memo: OnceLock::new(),
             runs: AtomicU64::new(0),
             machine_nanos: AtomicU64::new(0),
@@ -206,6 +248,55 @@ impl EvalContext {
     pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
         self.resilience = resilience;
         self
+    }
+
+    /// Bounds the context-owned caches: least-recently-used objects
+    /// and linked programs are evicted past `capacity`. Compilation
+    /// and linking are pure functions of their keys, so eviction only
+    /// forces bit-identical recomputation — results never change, only
+    /// the cost counters (proved by the `cache_equivalence` suite).
+    /// Replaces the caches; call before any evaluation.
+    pub fn with_cache_capacity(mut self, capacity: CacheCapacity) -> Self {
+        self.cache = ObjectCache::with_capacity(capacity);
+        self.links = LinkCache::with_capacity(capacity);
+        self
+    }
+
+    /// Borrows a process-wide [`ObjectStore`] instead of the
+    /// context-owned caches, de-duplicating compiles and links across
+    /// every context bound to the same store. Keys are content
+    /// fingerprints (compiler, module content, program + architecture),
+    /// so contexts for different programs, inputs, or toolchains can
+    /// never collide. The fault quarantine stays per-context.
+    pub fn with_shared_store(mut self, store: Arc<ObjectStore>) -> Self {
+        debug_assert!(
+            self.ir.modules.iter().enumerate().all(|(i, m)| m.id == i),
+            "module ids must be positional"
+        );
+        let compiler_fp = store::compiler_fingerprint(&self.compiler);
+        let module_fps = self
+            .ir
+            .modules
+            .iter()
+            .map(store::module_fingerprint)
+            .collect();
+        let link_fp = store::link_fingerprint(&self.ir, &self.arch, compiler_fp);
+        self.store = Some(StoreBinding {
+            store,
+            compiler_fp,
+            module_fps,
+            link_fp,
+            object_hits: AtomicU64::new(0),
+            object_misses: AtomicU64::new(0),
+            link_hits: AtomicU64::new(0),
+            link_misses: AtomicU64::new(0),
+        });
+        self
+    }
+
+    /// The shared store this context borrows, if any.
+    pub fn shared_store(&self) -> Option<&Arc<ObjectStore>> {
+        self.store.as_ref().map(|b| &b.store)
     }
 
     /// The installed fault model.
@@ -262,31 +353,141 @@ impl EvalContext {
         self.quarantine.restore(compiles, programs);
     }
 
+    /// Compiles one module through the caching layer this context is
+    /// configured with: the shared [`ObjectStore`] when bound, the
+    /// context-owned [`ObjectCache`] otherwise. All compile paths
+    /// funnel through here, so hit/miss attribution is uniform.
+    fn compile_module_shared(&self, module: &Module, cv: &Cv) -> Arc<CompiledModule> {
+        match &self.store {
+            Some(b) => {
+                let (obj, hit) =
+                    b.store
+                        .object(b.compiler_fp, b.module_fps[module.id], cv.digest(), || {
+                            self.compiler.compile_module(module, cv)
+                        });
+                if hit {
+                    b.object_hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    b.object_misses.fetch_add(1, Ordering::Relaxed);
+                }
+                obj
+            }
+            None => self.cache.compile_arc(&self.compiler, module, cv),
+        }
+    }
+
+    /// Owned-value variant of [`EvalContext::compile_module_shared`]
+    /// for the link step, which takes its objects by value.
+    fn compile_module_owned(&self, module: &Module, cv: &Cv) -> CompiledModule {
+        (*self.compile_module_shared(module, cv)).clone()
+    }
+
+    /// Links a digest-keyed assignment through the configured caching
+    /// layer, compiling via `objects` only on a miss.
+    fn link_digests(
+        &self,
+        digests: &[u64],
+        objects: impl FnOnce() -> Vec<CompiledModule>,
+    ) -> Arc<LinkedProgram> {
+        match &self.store {
+            Some(b) => {
+                assert_eq!(
+                    digests.len(),
+                    self.ir.modules.len(),
+                    "one digest per module"
+                );
+                let (linked, hit) = b.store.link(b.link_fp, digests, || {
+                    let linked = link(objects(), &self.ir, &self.arch);
+                    debug_assert!(
+                        linked
+                            .modules
+                            .iter()
+                            .map(|m| m.cv_digest)
+                            .eq(digests.iter().copied()),
+                        "objects() disagrees with the digest key"
+                    );
+                    linked
+                });
+                if hit {
+                    b.link_hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    b.link_misses.fetch_add(1, Ordering::Relaxed);
+                }
+                linked
+            }
+            None => self.links.link_with(digests, &self.ir, &self.arch, objects),
+        }
+    }
+
     /// Compiles every module with one uniform CV, through the object
     /// cache.
     pub fn compile_uniform(&self, cv: &Cv) -> Vec<CompiledModule> {
         self.ir
             .modules
             .iter()
-            .map(|m| self.cache.compile(&self.compiler, m, cv))
+            .map(|m| self.compile_module_owned(m, cv))
             .collect()
     }
 
     /// Compiles a per-module assignment through the object cache.
     pub fn compile_assignment_cached(&self, assignment: &[Cv]) -> Vec<CompiledModule> {
-        self.cache
-            .compile_assignment(&self.compiler, &self.ir.modules, assignment)
+        assert_eq!(self.ir.modules.len(), assignment.len(), "one CV per module");
+        self.ir
+            .modules
+            .iter()
+            .zip(assignment)
+            .map(|(m, cv)| self.compile_module_owned(m, cv))
+            .collect()
     }
 
-    /// Hit/miss counters of the object and link caches.
+    /// Counters of the object and link caching layers. With a shared
+    /// store, hits/misses are this context's own lookups (so per-row
+    /// ledgers still balance) while evictions are store-global.
     pub fn cache_stats(&self) -> CacheStats {
-        let (object_hits, object_misses) = self.cache.stats();
-        let (link_hits, link_misses) = self.links.stats();
-        CacheStats {
-            object_hits,
-            object_misses,
-            link_hits,
-            link_misses,
+        match &self.store {
+            Some(b) => {
+                let object_hits = b.object_hits.load(Ordering::Relaxed);
+                let object_misses = b.object_misses.load(Ordering::Relaxed);
+                let link_hits = b.link_hits.load(Ordering::Relaxed);
+                let link_misses = b.link_misses.load(Ordering::Relaxed);
+                CacheStats {
+                    object_hits,
+                    object_misses,
+                    object_lookups: object_hits + object_misses,
+                    object_computes: object_misses,
+                    object_evictions: b.store.object_stats().evictions,
+                    link_hits,
+                    link_misses,
+                    link_lookups: link_hits + link_misses,
+                    link_computes: link_misses,
+                    link_evictions: b.store.link_stats().evictions,
+                }
+            }
+            None => {
+                let o = self.cache.lru_stats();
+                let l = self.links.lru_stats();
+                CacheStats {
+                    object_hits: o.hits,
+                    object_misses: o.misses,
+                    object_lookups: o.lookups,
+                    object_computes: o.computes,
+                    object_evictions: o.evictions,
+                    link_hits: l.hits,
+                    link_misses: l.misses,
+                    link_lookups: l.lookups,
+                    link_computes: l.computes,
+                    link_evictions: l.evictions,
+                }
+            }
+        }
+    }
+
+    /// High-water marks `(objects, links)` of resident entries in the
+    /// caching layer this context evaluates through.
+    pub fn cache_peaks(&self) -> (u64, u64) {
+        match &self.store {
+            Some(b) => b.store.peak_resident(),
+            None => (self.cache.peak_resident(), self.links.peak_resident()),
         }
     }
 
@@ -294,17 +495,14 @@ impl EvalContext {
     /// caches.
     pub fn linked_uniform(&self, cv: &Cv) -> Arc<LinkedProgram> {
         let digests = vec![cv.digest(); self.ir.len()];
-        self.links
-            .link_with(&digests, &self.ir, &self.arch, || self.compile_uniform(cv))
+        self.link_digests(&digests, || self.compile_uniform(cv))
     }
 
     /// Links a per-module assignment through both caches.
     pub fn linked_assignment(&self, assignment: &[Cv]) -> Arc<LinkedProgram> {
         assert_eq!(assignment.len(), self.ir.len(), "one CV per module");
         let digests: Vec<u64> = assignment.iter().map(|cv| cv.digest()).collect();
-        self.links.link_with(&digests, &self.ir, &self.arch, || {
-            self.compile_assignment_cached(assignment)
-        })
+        self.link_digests(&digests, || self.compile_assignment_cached(assignment))
     }
 
     /// The flag space being searched.
@@ -354,12 +552,12 @@ impl EvalContext {
     ) -> RunMeasurement {
         assert_eq!(ids.len(), self.ir.len(), "one CV per module");
         let digests = pool.digests(ids);
-        let linked = self.links.link_with(&digests, &self.ir, &self.arch, || {
+        let linked = self.link_digests(&digests, || {
             self.ir
                 .modules
                 .iter()
                 .zip(ids)
-                .map(|(m, id)| self.cache.compile(&self.compiler, m, &pool.get(*id)))
+                .map(|(m, id)| self.compile_module_owned(m, &pool.get(*id)))
                 .collect()
         });
         let meas = execute(
@@ -404,8 +602,10 @@ impl EvalContext {
         crate::cost::TuningCost {
             object_compiles: stats.object_misses,
             object_reuses: stats.object_hits,
+            object_evictions: stats.object_evictions,
             links: stats.link_misses,
             link_reuses: stats.link_hits,
+            link_evictions: stats.link_evictions,
             runs: self.runs.load(Ordering::Relaxed),
             machine_seconds: self.machine_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
             compile_failures: faults.compile_failures,
@@ -489,7 +689,7 @@ impl EvalContext {
         F: FnOnce() -> Vec<CompiledModule>,
     {
         if self.faults.is_zero() {
-            let linked = self.links.link_with(digests, &self.ir, &self.arch, compile);
+            let linked = self.link_digests(digests, compile);
             let meas = match caliper {
                 Some(c) => execute_profiled(
                     &linked,
@@ -522,7 +722,7 @@ impl EvalContext {
             self.quarantine_skips.fetch_add(1, Ordering::Relaxed);
             return f64::INFINITY;
         }
-        let linked = self.links.link_with(digests, &self.ir, &self.arch, compile);
+        let linked = self.link_digests(digests, compile);
         let budget = self.timeout_budget();
         for attempt in 0..=self.resilience.max_retries {
             let seed = if attempt == 0 {
@@ -610,7 +810,7 @@ impl EvalContext {
                     .modules
                     .iter()
                     .zip(ids)
-                    .map(|(m, id)| self.cache.compile(&self.compiler, m, &pool.get(*id)))
+                    .map(|(m, id)| self.compile_module_owned(m, &pool.get(*id)))
                     .collect()
             },
             None,
@@ -733,6 +933,81 @@ mod tests {
         // Averaging suppresses noise: two different averages are close.
         let t2 = ctx.baseline_time(10);
         assert!((t - t2).abs() / t < 0.01);
+    }
+
+    #[test]
+    fn baseline_costs_exactly_one_compile_per_module() {
+        // The 10 baseline repeats share one digest vector: single-flight
+        // caching must link once and compile each module exactly once,
+        // no matter how the rayon repeats race.
+        let ctx = ctx_for("swim", Some(5));
+        let _ = ctx.baseline_time(10);
+        let cost = ctx.cost();
+        assert_eq!(
+            cost.object_compiles,
+            ctx.modules() as u64,
+            "baseline must compile each module exactly once: {cost:?}"
+        );
+        assert_eq!(cost.links, 1, "one baseline link: {cost:?}");
+        assert_eq!(cost.link_reuses, 9, "nine memoized repeats: {cost:?}");
+        assert_eq!(cost.runs, 10);
+        // Re-asking for the memoized baseline does no cache work at all.
+        let _ = ctx.baseline_time(10);
+        assert_eq!(ctx.cost().object_compiles, cost.object_compiles);
+        assert_eq!(ctx.cost().links + ctx.cost().link_reuses, 10);
+    }
+
+    #[test]
+    fn cache_ledger_balances() {
+        let ctx = ctx_for("swim", Some(5));
+        let cvs = ctx.space().sample_many(12, &mut rng_for(3, "ledger"));
+        let _ = ctx.eval_uniform_batch(&cvs);
+        let s = ctx.cache_stats();
+        assert_eq!(s.object_hits + s.object_misses, s.object_lookups);
+        assert_eq!(s.object_computes, s.object_misses);
+        assert_eq!(s.link_hits + s.link_misses, s.link_lookups);
+        assert_eq!(s.link_computes, s.link_misses);
+        assert_eq!(s.object_evictions, 0, "unbounded context never evicts");
+    }
+
+    #[test]
+    fn bounded_context_evaluates_bit_identically() {
+        let unbounded = ctx_for("swim", Some(5));
+        let bounded = ctx_for("swim", Some(5)).with_cache_capacity(CacheCapacity::Entries(1));
+        let cvs = unbounded.space().sample_many(16, &mut rng_for(4, "cap"));
+        assert_eq!(
+            unbounded.eval_uniform_batch(&cvs),
+            bounded.eval_uniform_batch(&cvs),
+            "eviction must never change a measurement"
+        );
+        let s = bounded.cache_stats();
+        assert!(
+            s.object_evictions > 0 || s.link_evictions > 0,
+            "capacity-1 caches must evict: {s:?}"
+        );
+    }
+
+    #[test]
+    fn shared_store_contexts_measure_identically_and_dedup() {
+        let owned = ctx_for("swim", Some(5));
+        let store = Arc::new(ObjectStore::new());
+        let a = ctx_for("swim", Some(5)).with_shared_store(store.clone());
+        let b = ctx_for("swim", Some(5)).with_shared_store(store.clone());
+        let cvs = owned.space().sample_many(10, &mut rng_for(5, "share"));
+        let t_owned = owned.eval_uniform_batch(&cvs);
+        let t_a = a.eval_uniform_batch(&cvs);
+        let t_b = b.eval_uniform_batch(&cvs);
+        assert_eq!(t_owned, t_a, "store borrow must not change results");
+        assert_eq!(t_a, t_b);
+        // The second context compiled and linked nothing: every link
+        // lookup hit the programs the first context installed, so the
+        // object layer was never even consulted.
+        let sb = b.cache_stats();
+        assert_eq!(sb.link_misses, 0, "{sb:?}");
+        assert!(sb.link_hits > 0, "{sb:?}");
+        assert_eq!(sb.object_lookups, 0, "{sb:?}");
+        // Store-wide, each (module, CV) pair compiled exactly once.
+        assert_eq!(store.object_stats().computes, a.cache_stats().object_misses);
     }
 
     #[test]

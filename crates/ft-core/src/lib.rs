@@ -43,6 +43,7 @@ pub mod pipeline;
 pub mod result;
 pub mod stability;
 pub mod stats;
+pub mod store;
 pub mod variance;
 
 pub use algorithms::{cfr, fr_search, greedy, random_search, GreedyOutcome};
@@ -57,4 +58,5 @@ pub use importance::{flag_importance, FlagImportance};
 pub use pipeline::{Phase, PhaseSpan, ScheduleMode, ScheduleReport, Tuner, TuningRun};
 pub use result::TuningResult;
 pub use stability::{measure_repeated, speedup_with_stats, MeasurementStats};
+pub use store::ObjectStore;
 pub use variance::{variance_study, SearchVariance};

@@ -30,12 +30,14 @@ use crate::collection::{collect, CollectionData};
 use crate::cost::TuningCost;
 use crate::ctx::{EvalContext, ResilienceConfig};
 use crate::result::TuningResult;
+use crate::store::ObjectStore;
+use ft_compiler::lru::CacheCapacity;
 use ft_compiler::{Compiler, FaultModel, ProgramIr};
 use ft_flags::rng::{derive_seed, derive_seed_idx, splitmix64};
 use ft_flags::Cv;
 use ft_machine::Architecture;
 use ft_outline::{outline_with_defaults, outline_with_hot_set, HotLoopReport, OutlinedProgram};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Campaign phases. Their dependency structure is a DAG (see the
@@ -257,6 +259,8 @@ pub struct Tuner<'a> {
     resilience: ResilienceConfig,
     schedule: ScheduleMode,
     interleave: Option<u64>,
+    cache_capacity: CacheCapacity,
+    store: Option<Arc<ObjectStore>>,
 }
 
 impl<'a> Tuner<'a> {
@@ -274,6 +278,8 @@ impl<'a> Tuner<'a> {
             resilience: ResilienceConfig::default(),
             schedule: ScheduleMode::default(),
             interleave: None,
+            cache_capacity: CacheCapacity::Unbounded,
+            store: None,
         }
     }
 
@@ -339,6 +345,25 @@ impl<'a> Tuner<'a> {
     /// value.
     pub fn interleave(mut self, seed: u64) -> Self {
         self.interleave = Some(seed);
+        self
+    }
+
+    /// Bounds the campaign's object and link caches (LRU eviction past
+    /// `capacity`). Capacity is *not* part of the checkpoint identity:
+    /// eviction is result-invariant, so a campaign may be checkpointed
+    /// under one capacity and resumed under another, bit-identically —
+    /// the `cache_equivalence` suite proves it.
+    pub fn cache_capacity(mut self, capacity: CacheCapacity) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Evaluates through a process-wide [`ObjectStore`] shared with
+    /// other campaigns/contexts instead of campaign-owned caches.
+    /// Sharing is result-invariant (content-fingerprint keys; pure
+    /// compile/link functions); the fault quarantine stays private.
+    pub fn shared_store(mut self, store: Arc<ObjectStore>) -> Self {
+        self.store = Some(store);
         self
     }
 
@@ -446,7 +471,7 @@ impl<'a> Tuner<'a> {
             input.steps,
             derive_seed(self.seed, "outline"),
         );
-        let ctx = EvalContext::new(
+        let mut ctx = EvalContext::new(
             outlined.ir.clone(),
             compiler,
             self.arch.clone(),
@@ -454,7 +479,12 @@ impl<'a> Tuner<'a> {
             derive_seed(self.seed, "noise"),
         )
         .with_faults(self.faults)
-        .with_resilience(self.resilience);
+        .with_resilience(self.resilience)
+        .with_cache_capacity(self.cache_capacity);
+        if let Some(store) = &self.store {
+            ctx = ctx.with_shared_store(store.clone());
+        }
+        let ctx = ctx;
 
         let (mut data, mut random, mut fr, mut g, mut cfr_result) = (None, None, None, None, None);
         if let Some(cp) = from {

@@ -1,0 +1,242 @@
+//! Process-wide object store: cross-context compile/link sharing.
+//!
+//! `repro` builds a fresh [`crate::EvalContext`] — and therefore cold
+//! caches — per experiment row, so fig5a, fig5b, fig5c, and the
+//! ablations recompile identical `(module, CV)` pairs several times
+//! over. An [`ObjectStore`] is the process-wide analogue of the
+//! build-system object reuse the paper's prototype gets from `xiar`:
+//! contexts *borrow* shared object and link caches instead of owning
+//! them, keyed by content fingerprints so distinct programs, inputs,
+//! compilers, or architectures can never collide:
+//!
+//! * objects by `(compiler fingerprint, module fingerprint, CV digest)`
+//!   — the module fingerprint hashes the module's serialized content
+//!   (features, idiosyncrasy seed, shared structs), not just its slot
+//!   index, because different workloads and inputs reuse slot ids;
+//! * links by `(link fingerprint, per-module CV digests)` — the link
+//!   fingerprint hashes the whole `ProgramIr`, the architecture, and
+//!   the compiler fingerprint, since `link` reads all three.
+//!
+//! Compilation and linking are pure functions of those keys, so
+//! sharing (like eviction) is result-invariant: a store hit returns a
+//! value bit-identical to what the borrowing context would have
+//! computed itself. Only the *fault quarantine* stays per-context —
+//! fault models are context configuration and must not leak between
+//! experiments. Sharing is proved result-invariant by the
+//! `cache_equivalence` suite against the golden canonical digests.
+
+use ft_compiler::lru::{CacheCapacity, LruStats, ShardedLru};
+use ft_compiler::{CompiledModule, Compiler, Module, ProgramIr};
+use ft_flags::rng::{hash_label, mix};
+use ft_machine::{Architecture, LinkedProgram};
+use std::sync::Arc;
+
+/// Fingerprint of a compiler configuration: personality, target, and
+/// flag space. Two compilers with equal fingerprints generate
+/// identical code for any `(module, CV)` pair.
+pub fn compiler_fingerprint(compiler: &Compiler) -> u64 {
+    let target = serde_json::to_string(&compiler.target()).expect("Target serializes");
+    let personality =
+        serde_json::to_string(&compiler.personality()).expect("Personality serializes");
+    let space = serde_json::to_string(compiler.space()).expect("FlagSpace serializes");
+    mix(hash_label(&personality) ^ hash_label(&target).rotate_left(21) ^ hash_label(&space))
+}
+
+/// Content fingerprint of one module: everything `compile_module`
+/// reads (slot id, name, kind, features, idiosyncrasy, shared
+/// structs), via its canonical serde encoding.
+pub fn module_fingerprint(module: &Module) -> u64 {
+    hash_label(&serde_json::to_string(module).expect("Module serializes"))
+}
+
+/// Fingerprint of a whole link configuration: the outlined program,
+/// the architecture, and the compiler. `link` is a pure function of
+/// these plus the per-module CV digests.
+pub fn link_fingerprint(ir: &ProgramIr, arch: &Architecture, compiler_fp: u64) -> u64 {
+    let ir_json = serde_json::to_string(ir).expect("ProgramIr serializes");
+    let arch_json = serde_json::to_string(arch).expect("Architecture serializes");
+    mix(hash_label(&ir_json) ^ hash_label(&arch_json).rotate_left(17) ^ compiler_fp)
+}
+
+/// A process-wide, capacity-bounded compile/link store shared by many
+/// [`crate::EvalContext`]s (see module docs).
+pub struct ObjectStore {
+    objects: ShardedLru<(u64, u64, u64), CompiledModule>,
+    links: ShardedLru<(u64, Vec<u64>), LinkedProgram>,
+}
+
+impl Default for ObjectStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObjectStore {
+    /// An unbounded store.
+    pub fn new() -> Self {
+        Self::with_capacity(CacheCapacity::Unbounded)
+    }
+
+    /// A store whose object and link layers each evict LRU-first past
+    /// `capacity`.
+    pub fn with_capacity(capacity: CacheCapacity) -> Self {
+        ObjectStore {
+            objects: ShardedLru::new(capacity),
+            links: ShardedLru::new(capacity),
+        }
+    }
+
+    /// The configured capacity (same for both layers).
+    pub fn capacity(&self) -> CacheCapacity {
+        self.objects.capacity()
+    }
+
+    /// Looks up (or computes, single-flight) one compiled object.
+    /// Returns the shared object and whether this was a hit.
+    pub fn object(
+        &self,
+        compiler_fp: u64,
+        module_fp: u64,
+        cv_digest: u64,
+        compute: impl FnOnce() -> CompiledModule,
+    ) -> (Arc<CompiledModule>, bool) {
+        self.objects
+            .get_or_compute((compiler_fp, module_fp, cv_digest), compute)
+    }
+
+    /// Looks up (or computes, single-flight) one linked program.
+    /// Returns the shared program and whether this was a hit.
+    pub fn link(
+        &self,
+        link_fp: u64,
+        digests: &[u64],
+        compute: impl FnOnce() -> LinkedProgram,
+    ) -> (Arc<LinkedProgram>, bool) {
+        let mut key = Vec::with_capacity(digests.len());
+        key.extend_from_slice(digests);
+        self.links.get_or_compute((link_fp, key), compute)
+    }
+
+    /// Counter snapshot of the object layer.
+    pub fn object_stats(&self) -> LruStats {
+        self.objects.stats()
+    }
+
+    /// Counter snapshot of the link layer.
+    pub fn link_stats(&self) -> LruStats {
+        self.links.stats()
+    }
+
+    /// Resident entries `(objects, links)`.
+    pub fn len(&self) -> (usize, usize) {
+        (self.objects.len(), self.links.len())
+    }
+
+    /// True when nothing is resident in either layer.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty() && self.links.is_empty()
+    }
+
+    /// High-water marks `(objects, links)` of resident entries.
+    pub fn peak_resident(&self) -> (u64, u64) {
+        (self.objects.peak_resident(), self.links.peak_resident())
+    }
+
+    /// Drops everything and resets all counters.
+    pub fn clear(&self) {
+        self.objects.clear();
+        self.links.clear();
+    }
+}
+
+impl std::fmt::Debug for ObjectStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObjectStore")
+            .field("capacity", &self.capacity())
+            .field("objects", &self.object_stats())
+            .field("links", &self.link_stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_compiler::{LoopFeatures, Target};
+    use ft_flags::rng::rng_for;
+
+    #[test]
+    fn compiler_fingerprint_separates_configurations() {
+        let icc = Compiler::icc(Target::avx2_256());
+        let icc2 = Compiler::icc(Target::avx2_256());
+        let gcc = Compiler::gcc(Target::avx2_256());
+        let icc_sse = Compiler::icc(Target::sse_128());
+        assert_eq!(compiler_fingerprint(&icc), compiler_fingerprint(&icc2));
+        assert_ne!(compiler_fingerprint(&icc), compiler_fingerprint(&gcc));
+        assert_ne!(compiler_fingerprint(&icc), compiler_fingerprint(&icc_sse));
+    }
+
+    #[test]
+    fn module_fingerprint_is_content_addressed() {
+        let a = Module::hot_loop(0, "k", LoopFeatures::synthetic(5), &[]);
+        let same = Module::hot_loop(0, "k", LoopFeatures::synthetic(5), &[]);
+        let other_features = Module::hot_loop(0, "k", LoopFeatures::synthetic(6), &[]);
+        let other_slot = Module::hot_loop(1, "k", LoopFeatures::synthetic(5), &[]);
+        assert_eq!(module_fingerprint(&a), module_fingerprint(&same));
+        assert_ne!(module_fingerprint(&a), module_fingerprint(&other_features));
+        assert_ne!(module_fingerprint(&a), module_fingerprint(&other_slot));
+    }
+
+    #[test]
+    fn store_shares_objects_across_equal_keys() {
+        let c = Compiler::icc(Target::avx2_256());
+        let m = Module::hot_loop(0, "k", LoopFeatures::synthetic(5), &[]);
+        let cv = c.space().sample(&mut rng_for(1, "store"));
+        let store = ObjectStore::new();
+        let cfp = compiler_fingerprint(&c);
+        let mfp = module_fingerprint(&m);
+        let (a, hit_a) = store.object(cfp, mfp, cv.digest(), || c.compile_module(&m, &cv));
+        let (b, hit_b) = store.object(cfp, mfp, cv.digest(), || {
+            panic!("hit must not recompile");
+        });
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(store.object_stats().computes, 1);
+    }
+
+    #[test]
+    fn bounded_store_evicts_and_recomputes_identically() {
+        let c = Compiler::icc(Target::avx2_256());
+        let cv = c.space().sample(&mut rng_for(2, "store"));
+        let store = ObjectStore::with_capacity(CacheCapacity::Entries(1));
+        let cfp = compiler_fingerprint(&c);
+        let modules: Vec<Module> = (0..40)
+            .map(|i| Module::hot_loop(i, &format!("k{i}"), LoopFeatures::synthetic(i as u64), &[]))
+            .collect();
+        let first: Vec<CompiledModule> = modules
+            .iter()
+            .map(|m| {
+                (*store
+                    .object(cfp, module_fingerprint(m), cv.digest(), || {
+                        c.compile_module(m, &cv)
+                    })
+                    .0)
+                    .clone()
+            })
+            .collect();
+        let second: Vec<CompiledModule> = modules
+            .iter()
+            .map(|m| {
+                (*store
+                    .object(cfp, module_fingerprint(m), cv.digest(), || {
+                        c.compile_module(m, &cv)
+                    })
+                    .0)
+                    .clone()
+            })
+            .collect();
+        assert_eq!(first, second);
+        assert!(store.object_stats().evictions > 0);
+    }
+}

@@ -178,6 +178,65 @@ fn canonical_digest_is_pinned_in_both_schedules() {
     assert_eq!(serial.canonical_digest(), GOLDEN_CANONICAL_DIGEST);
 }
 
+#[test]
+fn bounded_caches_pin_the_same_canonical_digest() {
+    // Eviction pressure must be invisible in results: capacity-1
+    // caches recompute constantly but land on the exact pre-engine
+    // digest. (The broader randomized sweep lives in the
+    // cache_equivalence suite; this locks the golden point.)
+    let arch = Architecture::broadwell();
+    let w = workload_by_name("swim").expect("swim in suite");
+    for capacity in [
+        ft_compiler::CacheCapacity::Entries(1),
+        ft_compiler::CacheCapacity::Entries(7),
+        ft_compiler::CacheCapacity::ModeledBytes(4096.0),
+    ] {
+        let run = Tuner::new(&w, &arch)
+            .budget(60)
+            .focus(8)
+            .seed(42)
+            .cap_steps(5)
+            .cache_capacity(capacity)
+            .run();
+        assert_eq!(
+            run.canonical_digest(),
+            GOLDEN_CANONICAL_DIGEST,
+            "digest drifted under {capacity:?}"
+        );
+        let stats = run.ctx.cache_stats();
+        assert!(
+            stats.object_evictions > 0,
+            "{capacity:?} should evict under a 60-sample campaign: {stats:?}"
+        );
+    }
+}
+
+#[test]
+fn shared_store_pins_the_same_canonical_digest() {
+    // Borrowing a process-wide object store — cold or pre-warmed by a
+    // previous campaign — must also land exactly on the golden digest.
+    let arch = Architecture::broadwell();
+    let w = workload_by_name("swim").expect("swim in suite");
+    let store = std::sync::Arc::new(ft_core::ObjectStore::new());
+    for round in 0..2 {
+        let run = Tuner::new(&w, &arch)
+            .budget(60)
+            .focus(8)
+            .seed(42)
+            .cap_steps(5)
+            .shared_store(store.clone())
+            .run();
+        assert_eq!(
+            run.canonical_digest(),
+            GOLDEN_CANONICAL_DIGEST,
+            "digest drifted on store round {round}"
+        );
+    }
+    // The second campaign compiled and linked nothing of its own.
+    let o = store.object_stats();
+    assert!(o.hits > 0, "warm store must serve hits: {o:?}");
+}
+
 // Exact bit patterns, not decimal literals, so the comparison is
 // immune to any formatting round-trip.
 const GOLDEN_BASELINE: f64 = f64::from_bits(0x400235359DF58198);

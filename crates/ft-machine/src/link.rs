@@ -23,13 +23,11 @@
 
 use crate::arch::Architecture;
 use ft_compiler::decisions::{CompiledModule, VecWidth};
+use ft_compiler::lru::{CacheCapacity, CacheWeight, LruStats, ShardedLru};
 use ft_compiler::response::{jitter, unit};
 use ft_compiler::{ModuleId, ProgramIr};
 use ft_flags::rng::{hash_label, mix};
-use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A codegen decision the linker re-derived against the module's CV.
@@ -306,10 +304,16 @@ pub fn link(modules: Vec<CompiledModule>, ir: &ProgramIr, arch: &Architecture) -
     }
 }
 
-/// Number of lock stripes in a [`LinkCache`].
-const LINK_SHARDS: usize = 16;
-
-type LinkShard = RwLock<HashMap<Vec<u64>, Arc<LinkedProgram>>>;
+impl CacheWeight for LinkedProgram {
+    /// Modeled executable size: the per-module machine code plus the
+    /// interference bookkeeping, which is negligible next to it.
+    fn weight_bytes(&self) -> f64 {
+        self.modules
+            .iter()
+            .map(|m| m.decisions.code_bytes.max(1.0))
+            .sum()
+    }
+}
 
 /// Memoizes [`link`] results by the fingerprint of per-module CV
 /// digests.
@@ -321,12 +325,13 @@ type LinkShard = RwLock<HashMap<Vec<u64>, Arc<LinkedProgram>>>;
 /// focus widths, and every baseline repeat) therefore reuse the
 /// `LinkedProgram` outright; only the per-candidate noise-seeded
 /// execution still runs, which keeps measurements bit-identical to
-/// re-linking. Lock-striped like the object cache so rayon workers
-/// don't serialize on one lock.
+/// re-linking. Built on [`ShardedLru`]: lock-striped so rayon workers
+/// don't serialize on one lock, single-flight so concurrent evals of
+/// one assignment link (and compile) exactly once, and optionally
+/// capacity-bounded for campaigns whose assignment stream is much
+/// larger than memory.
 pub struct LinkCache {
-    shards: Vec<LinkShard>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    lru: ShardedLru<Vec<u64>, LinkedProgram>,
 }
 
 impl Default for LinkCache {
@@ -336,23 +341,23 @@ impl Default for LinkCache {
 }
 
 impl LinkCache {
-    /// An empty cache.
+    /// An empty, unbounded cache (the historical behaviour).
     pub fn new() -> Self {
+        Self::with_capacity(CacheCapacity::Unbounded)
+    }
+
+    /// An empty cache that evicts least-recently-used programs once
+    /// `capacity` is exceeded. `link` is a pure function of the digest
+    /// vector, so eviction only forces bit-identical re-links.
+    pub fn with_capacity(capacity: CacheCapacity) -> Self {
         LinkCache {
-            shards: (0..LINK_SHARDS)
-                .map(|_| RwLock::new(HashMap::new()))
-                .collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            lru: ShardedLru::new(capacity),
         }
     }
 
-    fn shard(&self, key: &[u64]) -> &LinkShard {
-        let mut h = 0xF17E_0000_0000_0001u64;
-        for d in key {
-            h = mix(h ^ *d);
-        }
-        &self.shards[(h as usize) % self.shards.len()]
+    /// The configured capacity.
+    pub fn capacity(&self) -> CacheCapacity {
+        self.lru.capacity()
     }
 
     /// Returns the linked program for the assignment whose per-module
@@ -367,53 +372,51 @@ impl LinkCache {
         objects: impl FnOnce() -> Vec<CompiledModule>,
     ) -> Arc<LinkedProgram> {
         assert_eq!(digests.len(), ir.modules.len(), "one digest per module");
-        let shard = self.shard(digests);
-        if let Some(linked) = shard.read().get(digests) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return linked.clone();
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let linked = Arc::new(link(objects(), ir, arch));
-        debug_assert!(
-            linked
-                .modules
-                .iter()
-                .map(|m| m.cv_digest)
-                .eq(digests.iter().copied()),
-            "objects() disagrees with the digest key"
-        );
-        shard
-            .write()
-            .entry(digests.to_vec())
-            .or_insert_with(|| linked.clone())
-            .clone()
+        self.lru
+            .get_or_compute(digests.to_vec(), || {
+                let linked = link(objects(), ir, arch);
+                debug_assert!(
+                    linked
+                        .modules
+                        .iter()
+                        .map(|m| m.cv_digest)
+                        .eq(digests.iter().copied()),
+                    "objects() disagrees with the digest key"
+                );
+                linked
+            })
+            .0
     }
 
     /// `(hits, misses)` so far.
     pub fn stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+        let s = self.lru.stats();
+        (s.hits, s.misses)
+    }
+
+    /// Full counter snapshot including evictions and the ledger fields.
+    pub fn lru_stats(&self) -> LruStats {
+        self.lru.stats()
+    }
+
+    /// High-water mark of resident programs over the cache's lifetime.
+    pub fn peak_resident(&self) -> u64 {
+        self.lru.peak_resident()
     }
 
     /// Number of distinct linked programs cached.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.lru.len()
     }
 
     /// True when nothing has been linked yet.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.read().is_empty())
+        self.lru.is_empty()
     }
 
     /// Drops all cached links and resets the counters.
     pub fn clear(&self) {
-        for s in &self.shards {
-            s.write().clear();
-        }
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
+        self.lru.clear();
     }
 }
 
@@ -655,6 +658,34 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats(), (0, 0));
+    }
+
+    #[test]
+    fn bounded_link_cache_relinks_identically() {
+        let ir = program(6);
+        let c = compiler();
+        let arch = Architecture::broadwell();
+        let bounded = LinkCache::with_capacity(CacheCapacity::Entries(1));
+        let unbounded = LinkCache::new();
+        let mut rng = rng_for(21, "blc");
+        let assignments: Vec<Vec<_>> = (0..20)
+            .map(|_| (0..ir.len()).map(|_| c.space().sample(&mut rng)).collect())
+            .collect();
+        // Two sweeps: the bounded cache thrashes and re-links, the
+        // unbounded one hits; results must be bit-identical.
+        for _ in 0..2 {
+            for a in &assignments {
+                let digests: Vec<u64> = a.iter().map(|cv| cv.digest()).collect();
+                let lb = bounded.link_with(&digests, &ir, &arch, || c.compile_mixed(&ir, a));
+                let lu = unbounded.link_with(&digests, &ir, &arch, || c.compile_mixed(&ir, a));
+                assert_eq!(*lb, *lu);
+            }
+        }
+        assert!(bounded.lru_stats().evictions > 0, "tiny cache must evict");
+        let s = bounded.lru_stats();
+        assert_eq!(s.hits + s.misses, s.lookups);
+        assert_eq!(s.computes, s.misses);
+        assert_eq!(unbounded.lru_stats().evictions, 0);
     }
 
     #[test]

@@ -705,7 +705,7 @@ fn overhead(cfg: &ReproConfig) -> Artifact {
     let fresh_ctx = || {
         let compiler = Compiler::icc(arch.target);
         let (outlined, _) = outline_with_defaults(&ir, &compiler, &arch, steps, compiler_seed);
-        EvalContext::new(
+        let mut ctx = EvalContext::new(
             outlined.ir,
             Compiler::icc(arch.target),
             arch.clone(),
@@ -713,6 +713,11 @@ fn overhead(cfg: &ReproConfig) -> Artifact {
             compiler_seed,
         )
         .with_faults(cfg.fault_model())
+        .with_cache_capacity(cfg.capacity());
+        if let Some(store) = &cfg.store {
+            ctx = ctx.with_shared_store(store.clone());
+        }
+        ctx
     };
     // `sched_s`: modeled machine-seconds the approach occupies the
     // testbed under its schedule. Single-algorithm rows have no phase
@@ -735,6 +740,8 @@ fn overhead(cfg: &ReproConfig) -> Artifact {
             cost.timeouts.to_string(),
             cost.retries.to_string(),
             cost.quarantined.to_string(),
+            cost.object_evictions.to_string(),
+            cost.link_evictions.to_string(),
         ]
     };
 
@@ -799,7 +806,11 @@ fn overhead(cfg: &ReproConfig) -> Artifact {
             .budget(cfg.k)
             .focus(cfg.x)
             .seed(derive_seed(cfg.seed, "oh-campaign"))
-            .faults(cfg.fault_model());
+            .faults(cfg.fault_model())
+            .cache_capacity(cfg.capacity());
+        if let Some(store) = &cfg.store {
+            tuner = tuner.shared_store(store.clone());
+        }
         if let Some(cap) = cfg.steps_cap {
             tuner = tuner.cap_steps(cap);
         }
@@ -842,6 +853,8 @@ fn overhead(cfg: &ReproConfig) -> Artifact {
             "timeouts".into(),
             "retries".into(),
             "quarantined".into(),
+            "obj evict".into(),
+            "link evict".into(),
         ],
         rows,
         notes: vec![
@@ -849,6 +862,7 @@ fn overhead(cfg: &ReproConfig) -> Artifact {
             "CFR costs ~2x Random (collection + re-sampling) but per-loop objects are heavily reused".into(),
             "links/link reuses: whole-program links performed vs duplicate assignments served from the link cache (xild analogue)".into(),
             "fault columns (cfails/crashes/timeouts/retries/quarantined) are all zero unless --fault-* rates are set".into(),
+            "obj evict/link evict: LRU cache evictions; nonzero only under --cache-capacity, and result-invariant either way".into(),
             "sched wall h: testbed occupancy under the row's schedule; the Campaign rows price the same bit-identical campaign serially vs at the phase DAG's critical path (baseline + max(collect, random, fr) + max(greedy, cfr))".into(),
         ],
     })
@@ -1088,8 +1102,10 @@ mod tests {
     fn overhead_table_has_zero_fault_columns_by_default() {
         let a = run_experiment("overhead", &quick());
         let t = a.as_table().unwrap();
-        assert_eq!(t.header.len(), 16);
+        assert_eq!(t.header.len(), 18);
         for r in &t.rows {
+            // Fault columns (11..16) and the eviction columns (16..18)
+            // are all zero in the default unbounded, fault-free config.
             for cell in &r[11..] {
                 assert_eq!(cell, "0", "{}: clean run counted a fault {r:?}", r[0]);
             }

@@ -68,12 +68,13 @@ pub use ft_workloads as workloads;
 pub mod prelude {
     pub use ft_baselines::{combined_elimination, opentuner_search, pgo_tune, Cobayn, FeatureMode};
     pub use ft_caliper::{Caliper, RegionGuard, VirtualClock};
+    pub use ft_compiler::{CacheCapacity, LruStats};
     pub use ft_compiler::{Compiler, LoopFeatures, MemStride, Module, ProgramIr, Target};
     pub use ft_core::{
         cfr, cfr_adaptive, cfr_iterative, collect, fr_search, greedy, random_search,
     };
-    pub use ft_core::{Convergence, MeasurementStats, TuningCost};
-    pub use ft_core::{EvalContext, Tuner, TuningResult, TuningRun};
+    pub use ft_core::{CacheStats, Convergence, MeasurementStats, ObjectStore, TuningCost};
+    pub use ft_core::{EvalContext, ScheduleMode, Tuner, TuningResult, TuningRun};
     pub use ft_flags::{Cv, FlagSpace};
     pub use ft_machine::{execute, link, Architecture, ExecOptions};
     pub use ft_outline::{outline_with_defaults, HotLoopReport, OutlinedProgram};

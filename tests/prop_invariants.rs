@@ -155,6 +155,57 @@ proptest! {
         prop_assert_eq!(merged.runs, mstats.charged_runs());
     }
 
+    /// The cache ledger balances for any (seed, fault rate, capacity,
+    /// schedule): every compile is a cache miss and every lookup is
+    /// exactly one of hit/miss — eviction churn and single-flight
+    /// dedup included.
+    #[test]
+    fn cache_ledger_balances_for_any_capacity(
+        seed in 0u64..10_000,
+        budget in 20usize..50,
+        fault_scale in 0u32..3,
+        capacity in 0u64..24, // 0 = unbounded
+        overlap in proptest::prop::bool::ANY,
+    ) {
+        let arch = Architecture::broadwell();
+        let w = workload_by_name("swim").expect("swim in suite");
+        let faults = funcytuner::compiler::FaultModel::with_rates(
+            0xCAC4E ^ seed,
+            0.02 * fault_scale as f64,
+            0.02 * fault_scale as f64,
+            0.01 * fault_scale as f64,
+            0.05 * fault_scale as f64,
+        );
+        let cap = match capacity {
+            0 => CacheCapacity::Unbounded,
+            n => CacheCapacity::Entries(n as usize),
+        };
+        let mode = if overlap { ScheduleMode::Overlapped } else { ScheduleMode::Serial };
+        let run = Tuner::new(&w, &arch)
+            .budget(budget)
+            .focus(6)
+            .seed(seed)
+            .cap_steps(3)
+            .faults(faults)
+            .schedule(mode)
+            .cache_capacity(cap)
+            .run();
+        let s: CacheStats = run.ctx.cache_stats();
+        // compiles == cache misses, in both the stats and the cost
+        // ledger the overhead table prints.
+        prop_assert_eq!(s.object_computes, s.object_misses);
+        let cost = run.ctx.cost();
+        prop_assert_eq!(cost.object_compiles, s.object_misses);
+        // hits + misses == lookups, at both layers.
+        prop_assert_eq!(s.object_hits + s.object_misses, s.object_lookups);
+        prop_assert_eq!(s.link_hits + s.link_misses, s.link_lookups);
+        // Only bounded runs may evict.
+        if capacity == 0 {
+            prop_assert_eq!(s.object_evictions, 0);
+            prop_assert_eq!(s.link_evictions, 0);
+        }
+    }
+
     /// Speedups are invariant to the (deterministic) run ordering:
     /// evaluating the same CV twice in a context gives identical times.
     #[test]

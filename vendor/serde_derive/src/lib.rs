@@ -14,10 +14,12 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// One named struct field, plus whether `#[serde(default)]` was set.
+/// One named struct field, plus whether `#[serde(default)]` or
+/// `#[serde(skip)]` was set.
 struct Field {
     name: String,
     default: bool,
+    skip: bool,
 }
 
 /// Shape of a parsed item.
@@ -112,16 +114,25 @@ fn parse_item(input: TokenStream) -> Item {
     }
 }
 
+/// Flags recovered from a field's `#[serde(...)]` attributes.
+#[derive(Default, Clone, Copy)]
+struct FieldAttrs {
+    default: bool,
+    skip: bool,
+}
+
 /// Advances past `#[...]` attributes (incl. doc comments) and
-/// visibility qualifiers (`pub`, `pub(crate)`, ...). Returns whether a
-/// `#[serde(default)]` attribute was among those skipped.
-fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
-    let mut serde_default = false;
+/// visibility qualifiers (`pub`, `pub(crate)`, ...). Returns which
+/// `#[serde(...)]` flags were among those skipped.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
     loop {
         match tokens.get(*i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
-                    serde_default |= is_serde_default(g);
+                    let found = serde_attr_flags(g);
+                    attrs.default |= found.default;
+                    attrs.skip |= found.skip;
                 }
                 *i += 2; // '#' then the bracketed group
             }
@@ -132,22 +143,31 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
                     *i += 1;
                 }
             }
-            _ => return serde_default,
+            _ => return attrs,
         }
     }
 }
 
-/// Recognizes the bracketed `[serde(default)]` attribute body.
-fn is_serde_default(attr: &proc_macro::Group) -> bool {
+/// Recognizes the bracketed `[serde(default)]` / `[serde(skip)]`
+/// attribute bodies.
+fn serde_attr_flags(attr: &proc_macro::Group) -> FieldAttrs {
     let toks: Vec<TokenTree> = attr.stream().into_iter().collect();
-    match (toks.first(), toks.get(1)) {
-        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
-            args.stream()
-                .into_iter()
-                .any(|t| matches!(t, TokenTree::Ident(a) if a.to_string() == "default"))
+    let mut attrs = FieldAttrs::default();
+    if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) = (toks.first(), toks.get(1))
+    {
+        if id.to_string() == "serde" {
+            for t in args.stream() {
+                if let TokenTree::Ident(a) = t {
+                    match a.to_string().as_str() {
+                        "default" => attrs.default = true,
+                        "skip" => attrs.skip = true,
+                        _ => {}
+                    }
+                }
+            }
         }
-        _ => false,
     }
+    attrs
 }
 
 /// Skips a type (or discriminant expression) up to a top-level comma,
@@ -172,13 +192,14 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let default = skip_attrs_and_vis(&tokens, &mut i);
+        let attrs = skip_attrs_and_vis(&tokens, &mut i);
         let Some(TokenTree::Ident(id)) = tokens.get(i) else {
             break;
         };
         fields.push(Field {
             name: id.to_string(),
-            default,
+            default: attrs.default,
+            skip: attrs.skip,
         });
         i += 1;
         match tokens.get(i) {
@@ -251,6 +272,7 @@ fn gen_serialize(item: &Item) -> String {
         Item::Struct { name, fields } => {
             let entries: String = fields
                 .iter()
+                .filter(|f| !f.skip)
                 .map(|f| {
                     let f = &f.name;
                     format!(
@@ -326,6 +348,7 @@ fn gen_serialize(item: &Item) -> String {
                                 .join(", ");
                             let entries: String = fields
                                 .iter()
+                                .filter(|f| !f.skip)
                                 .map(|f| {
                                     let f = &f.name;
                                     format!(
@@ -357,9 +380,13 @@ fn gen_serialize(item: &Item) -> String {
 }
 
 /// Initializer expression for one named field read out of the object
-/// expression `src`. `#[serde(default)]` fields tolerate absence.
+/// expression `src`. `#[serde(default)]` fields tolerate absence;
+/// `#[serde(skip)]` fields never consult the input at all.
 fn field_init(f: &Field, src: &str) -> String {
     let name = &f.name;
+    if f.skip {
+        return format!("{name}: ::std::default::Default::default(),");
+    }
     if f.default {
         format!(
             "{name}: match {src}.field(\"{name}\") {{\n\
