@@ -17,9 +17,19 @@ use ft_compiler::ObjectCache;
 use ft_core::EvalContext;
 use ft_flags::rng::{derive_seed_idx, rng_for};
 use ft_flags::{Cv, CvId, CvPool};
-use ft_machine::{execute, link, Architecture, ExecOptions};
+use ft_machine::{execute, execute_total, link, Architecture, ExecOptions};
 use rand::Rng;
 use rayon::prelude::*;
+
+/// `FT_BENCH_SMOKE=1` shrinks the batch sizes so CI can smoke-test the
+/// harness (including the bit-equality asserts) in seconds.
+fn batch_sizes() -> Vec<usize> {
+    if std::env::var_os("FT_BENCH_SMOKE").is_some() {
+        vec![100]
+    } else {
+        vec![100, 1000]
+    }
+}
 
 /// The pre-engine `eval_assignment_batch`: object cache, but no
 /// interning and no link cache — every candidate clones its CV vector
@@ -83,7 +93,7 @@ fn assignment_inputs(ctx: &EvalContext, k: usize) -> (CvPool, Vec<Vec<CvId>>, Ve
 fn engine_benches(c: &mut Criterion) {
     let arch = Architecture::broadwell();
 
-    for k in [100usize, 1000] {
+    for k in batch_sizes() {
         let mut g = c.benchmark_group(format!("assignment-batch/K{k}"));
         g.throughput(Throughput::Elements(k as u64));
         g.sample_size(10);
@@ -108,7 +118,7 @@ fn engine_benches(c: &mut Criterion) {
         g.finish();
     }
 
-    for k in [100usize, 1000] {
+    for k in batch_sizes() {
         let mut g = c.benchmark_group(format!("uniform-batch/K{k}"));
         g.throughput(Throughput::Elements(k as u64));
         g.sample_size(10);
@@ -132,5 +142,41 @@ fn engine_benches(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, engine_benches);
+/// `execute` vs `execute_total`: the run-model hot path with and
+/// without the per-module vector allocation. The zero-fault batched
+/// evaluation path only keeps the end-to-end time, so `execute_total`
+/// is what every search candidate actually pays per run.
+fn exec_total_benches(c: &mut Criterion) {
+    let arch = Architecture::broadwell();
+    let ctx = bench_ctx("CloverLeaf", &arch);
+    let cache = ObjectCache::new();
+    let base = ctx.space().baseline();
+    let objects: Vec<_> = ctx
+        .ir
+        .modules
+        .iter()
+        .map(|m| cache.compile(&ctx.compiler, m, &base))
+        .collect();
+    let linked = link(objects, &ctx.ir, &ctx.arch);
+    let opts = ExecOptions::new(ctx.steps, 99);
+    // Sanity: the scalar accumulation must be bit-identical to the
+    // vector's push-then-sum.
+    assert_eq!(
+        execute(&linked, &ctx.arch, &opts).total_s,
+        execute_total(&linked, &ctx.arch, &opts),
+        "execute_total diverged from execute — bench is invalid"
+    );
+
+    let mut g = c.benchmark_group("execute-run");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("execute", |b| {
+        b.iter(|| execute(&linked, &ctx.arch, &opts).total_s)
+    });
+    g.bench_function("execute_total", |b| {
+        b.iter(|| execute_total(&linked, &ctx.arch, &opts))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, engine_benches, exec_total_benches);
 criterion_main!(benches);

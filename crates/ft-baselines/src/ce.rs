@@ -9,109 +9,260 @@
 //! base, and any still-negative ones are applied too. The outer loop
 //! repeats until no flag improves. CE converges quickly but gets stuck
 //! in local minima (§1) — it only ever moves one flag at a time.
+//!
+//! CE runs as a [`SearchStrategy`] state machine: the RIP sweep is one
+//! batched proposal round (every trial depends only on the frozen
+//! base), while the post-apply rechecks go one proposal at a time
+//! because each trial is built from the possibly-updated base. The
+//! noise-seed counter is the global evaluation index, exactly as the
+//! sequential implementation numbered it (pinned by
+//! `tests/strategy_pinning.rs`).
 
 use ft_core::result::{best_so_far, TuningResult};
-use ft_core::EvalContext;
+use ft_core::{
+    strictly_better, Candidate, EvalContext, History, Observation, Proposal, SearchDriver,
+    SearchStrategy,
+};
 use ft_flags::rng::derive_seed_idx;
-use ft_flags::Cv;
+use ft_flags::{Cv, CvId, CvPool, FlagSpace};
 
 /// Runs Combined Elimination over uniform (whole-program) CVs.
 ///
 /// Multi-valued flags are handled by considering every non-current
 /// value as an elimination alternative and keeping the best.
 pub fn combined_elimination(ctx: &EvalContext, seed: u64) -> TuningResult {
-    let space = ctx.space().clone();
-    let mut base = space.baseline();
-    let mut evals: u64 = 0;
-    let mut timeline = Vec::new();
-    let measure = |cv: &Cv, evals: &mut u64, timeline: &mut Vec<f64>| -> f64 {
-        *evals += 1;
-        let t = ctx.eval_uniform_resilient(cv, derive_seed_idx(seed, *evals));
-        timeline.push(t);
-        t
+    let mut strategy = CeStrategy {
+        space: ctx.space().clone(),
+        seed,
+        base: ctx.space().baseline(),
+        base_time: f64::INFINITY,
+        best_seen: None,
+        phase: CePhase::ProposeBase,
     };
-    // The best *finite* configuration seen, so a faulted final base
-    // still yields a usable winner.
-    let mut best_seen: Option<(Cv, f64)> = None;
-    let note = |cv: &Cv, t: f64, best: &mut Option<(Cv, f64)>| {
-        if t.is_finite() && best.as_ref().is_none_or(|(_, bt)| t < *bt) {
-            *best = Some((cv.clone(), t));
-        }
-    };
+    SearchDriver::new(ctx).run(&mut strategy)
+}
 
-    let mut base_time = measure(&base, &mut evals, &mut timeline);
-    note(&base, base_time, &mut best_seen);
-    loop {
-        // Measure the RIP of every single-flag switch.
-        let mut candidates: Vec<(usize, u8, f64)> = Vec::new();
-        for id in 0..space.len() {
-            let current = base.get(id);
-            let mut best_alt: Option<(u8, f64)> = None;
-            for v in 0..space.flag(id).arity() as u8 {
-                if v == current {
-                    continue;
-                }
-                let trial = base.with(&space, id, v);
-                let t = measure(&trial, &mut evals, &mut timeline);
-                note(&trial, t, &mut best_seen);
-                // A faulted candidate (+inf) never improves; a faulted
-                // base makes any finite alternative an improvement.
-                let rip = if t.is_finite() && base_time.is_finite() {
-                    (t - base_time) / base_time
-                } else if t.is_finite() {
-                    -1.0
-                } else {
-                    f64::INFINITY
-                };
-                if best_alt.is_none() || rip < best_alt.unwrap().1 {
-                    best_alt = Some((v, rip));
-                }
-            }
-            if let Some((v, rip)) = best_alt {
-                if rip < 0.0 {
-                    candidates.push((id, v, rip));
-                }
-            }
+/// Where the CE state machine resumes when the driver hands back the
+/// latest measurements. `(usize, u8)` pairs are `(flag id, value)`.
+enum CePhase {
+    /// Measure the current base configuration (start of the search).
+    ProposeBase,
+    ObserveBase,
+    /// Measure every single-flag switch against the frozen base.
+    ProposeSweep,
+    ObserveSweep {
+        plan: Vec<(usize, u8)>,
+    },
+    /// The best candidate was applied; re-measure the new base, then
+    /// recheck the remaining candidates one at a time.
+    ProposeNewBase {
+        rest: Vec<(usize, u8)>,
+    },
+    ObserveNewBase {
+        rest: Vec<(usize, u8)>,
+    },
+    ProposeRecheck {
+        rest: Vec<(usize, u8)>,
+        pos: usize,
+    },
+    ObserveRecheck {
+        rest: Vec<(usize, u8)>,
+        pos: usize,
+        trial: Cv,
+    },
+    Done,
+}
+
+struct CeStrategy {
+    space: FlagSpace,
+    seed: u64,
+    base: Cv,
+    base_time: f64,
+    /// The best *finite* configuration seen, so a faulted final base
+    /// still yields a usable winner.
+    best_seen: Option<(CvId, f64)>,
+    phase: CePhase,
+}
+
+impl CeStrategy {
+    /// The historical pre-incremented evaluation counter: proposal `i`
+    /// of a batch starting after `done` evaluations runs under
+    /// `derive_seed_idx(seed, done + 1 + i)`.
+    fn noise(&self, done: usize, i: usize) -> u64 {
+        derive_seed_idx(self.seed, (done + 1 + i) as u64)
+    }
+
+    fn note(&mut self, id: CvId, t: f64) {
+        if t.is_finite() && self.best_seen.is_none_or(|(_, bt)| strictly_better(t, bt)) {
+            self.best_seen = Some((id, t));
         }
-        if candidates.is_empty() {
-            break;
-        }
-        // Batched elimination: apply the best candidate, then re-check
-        // the remaining ones against the updated base.
-        candidates.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite RIP"));
-        let (first_id, first_v, _) = candidates[0];
-        base = base.with(&space, first_id, first_v);
-        base_time = measure(&base, &mut evals, &mut timeline);
-        note(&base, base_time, &mut best_seen);
-        for &(id, v, _) in &candidates[1..] {
-            let trial = base.with(&space, id, v);
-            let t = measure(&trial, &mut evals, &mut timeline);
-            note(&trial, t, &mut best_seen);
-            if t < base_time {
-                base = trial;
-                base_time = t;
+    }
+}
+
+impl SearchStrategy for CeStrategy {
+    fn name(&self) -> &str {
+        "CE"
+    }
+
+    fn propose(&mut self, pool: &CvPool, history: &History) -> Vec<Proposal> {
+        let done = history.len();
+        match std::mem::replace(&mut self.phase, CePhase::Done) {
+            CePhase::ProposeBase => {
+                self.phase = CePhase::ObserveBase;
+                vec![Proposal::new(
+                    Candidate::Uniform(pool.intern(&self.base)),
+                    self.noise(done, 0),
+                )]
             }
+            CePhase::ProposeSweep => {
+                // Measure the RIP of every single-flag switch.
+                let mut plan = Vec::new();
+                for id in 0..self.space.len() {
+                    let current = self.base.get(id);
+                    for v in 0..self.space.flag(id).arity() as u8 {
+                        if v != current {
+                            plan.push((id, v));
+                        }
+                    }
+                }
+                let proposals = plan
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(id, v))| {
+                        Proposal::new(
+                            Candidate::Uniform(pool.intern(&self.base.with(&self.space, id, v))),
+                            self.noise(done, i),
+                        )
+                    })
+                    .collect();
+                self.phase = CePhase::ObserveSweep { plan };
+                proposals
+            }
+            CePhase::ProposeNewBase { rest } => {
+                self.phase = CePhase::ObserveNewBase { rest };
+                vec![Proposal::new(
+                    Candidate::Uniform(pool.intern(&self.base)),
+                    self.noise(done, 0),
+                )]
+            }
+            CePhase::ProposeRecheck { rest, pos } => {
+                let (id, v) = rest[pos];
+                let trial = self.base.with(&self.space, id, v);
+                let p = Proposal::new(Candidate::Uniform(pool.intern(&trial)), self.noise(done, 0));
+                self.phase = CePhase::ObserveRecheck { rest, pos, trial };
+                vec![p]
+            }
+            CePhase::Done => Vec::new(),
+            // Observe states never reach propose: the driver always
+            // interleaves one observe between proposes.
+            _ => unreachable!("CE proposed while awaiting an observation"),
         }
     }
 
-    // If the final base happens to be faulted (crash storms at high
-    // injection rates), fall back to the best finite configuration CE
-    // actually measured.
-    let (base, base_time) = if base_time.is_finite() {
-        (base, base_time)
-    } else {
-        best_seen.expect("CE measured at least one finite configuration")
-    };
+    fn observe(&mut self, _pool: &CvPool, results: &[Observation<'_>]) {
+        let id_of = |o: &Observation<'_>| -> CvId {
+            let Candidate::Uniform(id) = o.candidate else {
+                unreachable!("CE proposes only uniform candidates")
+            };
+            *id
+        };
+        match std::mem::replace(&mut self.phase, CePhase::Done) {
+            CePhase::ObserveBase => {
+                self.base_time = results[0].time;
+                self.note(id_of(&results[0]), results[0].time);
+                self.phase = CePhase::ProposeSweep;
+            }
+            CePhase::ObserveSweep { plan } => {
+                // Per flag: the best alternative value by RIP. The
+                // comparison routes through the shared total-order
+                // helper — the old `rip < best_alt.unwrap().1` was
+                // NaN-blind.
+                let mut candidates: Vec<(usize, u8, f64)> = Vec::new();
+                let mut best_alt: Option<(u8, f64)> = None;
+                for (i, &(id, v)) in plan.iter().enumerate() {
+                    let t = results[i].time;
+                    self.note(id_of(&results[i]), t);
+                    // A faulted candidate (+inf) never improves; a
+                    // faulted base makes any finite alternative an
+                    // improvement.
+                    let rip = if t.is_finite() && self.base_time.is_finite() {
+                        (t - self.base_time) / self.base_time
+                    } else if t.is_finite() {
+                        -1.0
+                    } else {
+                        f64::INFINITY
+                    };
+                    if best_alt.is_none_or(|(_, br)| strictly_better(rip, br)) {
+                        best_alt = Some((v, rip));
+                    }
+                    // Last alternative of this flag: close out best_alt.
+                    if i + 1 == plan.len() || plan[i + 1].0 != id {
+                        if let Some((bv, rip)) = best_alt.take() {
+                            if rip < 0.0 {
+                                candidates.push((id, bv, rip));
+                            }
+                        }
+                    }
+                }
+                if candidates.is_empty() {
+                    self.phase = CePhase::Done;
+                    return;
+                }
+                // Batched elimination: apply the best candidate, then
+                // re-check the remaining ones against the updated base.
+                candidates.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite RIP"));
+                let (first_id, first_v, _) = candidates[0];
+                self.base = self.base.with(&self.space, first_id, first_v);
+                self.phase = CePhase::ProposeNewBase {
+                    rest: candidates[1..].iter().map(|&(id, v, _)| (id, v)).collect(),
+                };
+            }
+            CePhase::ObserveNewBase { rest } => {
+                self.base_time = results[0].time;
+                self.note(id_of(&results[0]), results[0].time);
+                self.phase = if rest.is_empty() {
+                    CePhase::ProposeSweep
+                } else {
+                    CePhase::ProposeRecheck { rest, pos: 0 }
+                };
+            }
+            CePhase::ObserveRecheck { rest, pos, trial } => {
+                let t = results[0].time;
+                self.note(id_of(&results[0]), t);
+                // The old `t < base_time` was NaN-blind too.
+                if strictly_better(t, self.base_time) {
+                    self.base = trial;
+                    self.base_time = t;
+                }
+                self.phase = if pos + 1 == rest.len() {
+                    CePhase::ProposeSweep
+                } else {
+                    CePhase::ProposeRecheck { rest, pos: pos + 1 }
+                };
+            }
+            _ => unreachable!("CE observed without an outstanding proposal"),
+        }
+    }
 
-    let baseline_time = ctx.baseline_time(10);
-    TuningResult {
-        algorithm: "CE".into(),
-        best_time: base_time,
-        baseline_time,
-        assignment: vec![base; ctx.modules()],
-        best_index: 0,
-        history: best_so_far(&timeline),
-        evaluations: evals as usize,
+    fn finish(&mut self, ctx: &EvalContext, pool: &CvPool, history: &History) -> TuningResult {
+        // If the final base happens to be faulted (crash storms at high
+        // injection rates), fall back to the best finite configuration
+        // CE actually measured.
+        let (base_id, best_time) = if self.base_time.is_finite() {
+            (pool.intern(&self.base), self.base_time)
+        } else {
+            self.best_seen
+                .expect("CE measured at least one finite configuration")
+        };
+        TuningResult {
+            algorithm: "CE".into(),
+            best_time,
+            baseline_time: ctx.baseline_time(10),
+            assignment: pool.materialize(&vec![base_id; ctx.modules()]),
+            best_index: 0,
+            history: best_so_far(history.times()),
+            evaluations: history.len(),
+        }
     }
 }
 

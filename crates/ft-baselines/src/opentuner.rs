@@ -8,19 +8,35 @@
 //! continuous embedding of the flag space, greedy mutation, and uniform
 //! random — under a sliding-window AUC bandit, with the same 1000-test
 //! budget and CV space as FuncyTuner (§4.2.1).
+//!
+//! The ensemble runs as a [`SearchStrategy`]: one trial per proposal
+//! round (the bandit needs each trial's feedback before allocating the
+//! next), with the incumbent and every technique's memory held as
+//! interned [`CvId`]s — concrete flag values are read back through the
+//! driver's pool only when a technique mutates them.
 
 use ft_core::result::{best_so_far, TuningResult};
-use ft_core::EvalContext;
+use ft_core::{
+    strictly_better, Candidate, EvalContext, History, Observation, Proposal, SearchDriver,
+    SearchStrategy,
+};
 use ft_flags::rng::{derive_seed_idx, rng_for};
-use ft_flags::{Cv, FlagSpace};
+use ft_flags::{Cv, CvId, CvPool, FlagSpace};
 use rand::rngs::StdRng;
 use rand::Rng;
 
 /// Shared view of the search state given to techniques.
 struct SearchState {
     space: FlagSpace,
-    best_cv: Cv,
+    best_id: CvId,
     best_time: f64,
+}
+
+impl SearchState {
+    /// An owned, mutable copy of the incumbent's flag values.
+    fn best_cv(&self, pool: &CvPool) -> Cv {
+        Cv::new(&self.space, pool.get(self.best_id).values().to_vec())
+    }
 }
 
 trait Technique {
@@ -28,9 +44,9 @@ trait Technique {
     #[allow(dead_code)]
     fn name(&self) -> &'static str;
     /// Proposes the next configuration to test.
-    fn propose(&mut self, state: &SearchState, rng: &mut StdRng) -> Cv;
+    fn propose(&mut self, state: &SearchState, pool: &CvPool, rng: &mut StdRng) -> Cv;
     /// Observes the measured time of its last proposal.
-    fn feedback(&mut self, cv: &Cv, time: f64, state: &SearchState);
+    fn feedback(&mut self, id: CvId, time: f64, state: &SearchState, pool: &CvPool);
 }
 
 /// Uniform random sampling.
@@ -40,10 +56,10 @@ impl Technique for RandomTech {
     fn name(&self) -> &'static str {
         "random"
     }
-    fn propose(&mut self, state: &SearchState, rng: &mut StdRng) -> Cv {
+    fn propose(&mut self, state: &SearchState, _pool: &CvPool, rng: &mut StdRng) -> Cv {
         state.space.sample(rng)
     }
-    fn feedback(&mut self, _cv: &Cv, _time: f64, _state: &SearchState) {}
+    fn feedback(&mut self, _id: CvId, _time: f64, _state: &SearchState, _pool: &CvPool) {}
 }
 
 /// Torczon-style pattern hill-climber around the incumbent: mutate a
@@ -66,8 +82,8 @@ impl Technique for HillClimb {
     fn name(&self) -> &'static str {
         "hillclimb"
     }
-    fn propose(&mut self, state: &SearchState, rng: &mut StdRng) -> Cv {
-        let mut cv = state.best_cv.clone();
+    fn propose(&mut self, state: &SearchState, pool: &CvPool, rng: &mut StdRng) -> Cv {
+        let mut cv = state.best_cv(pool);
         for _ in 0..self.radius.max(1) {
             let id = rng.gen_range(0..state.space.len());
             let arity = state.space.flag(id).arity() as u8;
@@ -75,7 +91,7 @@ impl Technique for HillClimb {
         }
         cv
     }
-    fn feedback(&mut self, _cv: &Cv, time: f64, state: &SearchState) {
+    fn feedback(&mut self, _id: CvId, time: f64, state: &SearchState, _pool: &CvPool) {
         if time <= state.best_time {
             self.radius = 4;
             self.fails = 0;
@@ -88,9 +104,10 @@ impl Technique for HillClimb {
     }
 }
 
-/// Differential evolution over value-index vectors.
+/// Differential evolution over value-index vectors. The population
+/// stores interned ids, not owned CVs.
 struct DiffEvolution {
-    population: Vec<(Cv, f64)>,
+    population: Vec<(CvId, f64)>,
     target: usize,
     cap: usize,
 }
@@ -109,7 +126,7 @@ impl Technique for DiffEvolution {
     fn name(&self) -> &'static str {
         "de"
     }
-    fn propose(&mut self, state: &SearchState, rng: &mut StdRng) -> Cv {
+    fn propose(&mut self, state: &SearchState, pool: &CvPool, rng: &mut StdRng) -> Cv {
         if self.population.len() < self.cap {
             return state.space.sample(rng);
         }
@@ -117,26 +134,33 @@ impl Technique for DiffEvolution {
         let pick = |rng: &mut StdRng| rng.gen_range(0..self.population.len());
         let (a, b, c) = (pick(rng), pick(rng), pick(rng));
         let space = &state.space;
-        let mut child = self.population[self.target].0.clone();
+        let (pa, pb, pc) = (
+            pool.get(self.population[a].0),
+            pool.get(self.population[b].0),
+            pool.get(self.population[c].0),
+        );
+        let mut child = Cv::new(
+            space,
+            pool.get(self.population[self.target].0).values().to_vec(),
+        );
         for id in 0..space.len() {
             // Binomial crossover with F-scaled index difference.
             if rng.gen_bool(0.5) {
                 let arity = space.flag(id).arity() as i32;
-                let diff = i32::from(self.population[b].0.get(id))
-                    - i32::from(self.population[c].0.get(id));
-                let v = (i32::from(self.population[a].0.get(id)) + diff).rem_euclid(arity);
+                let diff = i32::from(pb.get(id)) - i32::from(pc.get(id));
+                let v = (i32::from(pa.get(id)) + diff).rem_euclid(arity);
                 child.set(id, v as u8);
             }
         }
         child
     }
-    fn feedback(&mut self, cv: &Cv, time: f64, _state: &SearchState) {
+    fn feedback(&mut self, id: CvId, time: f64, _state: &SearchState, _pool: &CvPool) {
         if self.population.len() < self.cap {
-            self.population.push((cv.clone(), time));
+            self.population.push((id, time));
             return;
         }
         if time < self.population[self.target].1 {
-            self.population[self.target] = (cv.clone(), time);
+            self.population[self.target] = (id, time);
         }
     }
 }
@@ -172,7 +196,7 @@ impl Technique for NelderMead {
     fn name(&self) -> &'static str {
         "neldermead"
     }
-    fn propose(&mut self, state: &SearchState, rng: &mut StdRng) -> Cv {
+    fn propose(&mut self, state: &SearchState, _pool: &CvPool, rng: &mut StdRng) -> Cv {
         // Build the initial simplex from random points.
         if self.simplex.len() <= self.dim {
             let x: Vec<f64> = (0..self.dim).map(|_| rng.gen::<f64>()).collect();
@@ -198,7 +222,7 @@ impl Technique for NelderMead {
         self.pending = Some(x);
         cv
     }
-    fn feedback(&mut self, _cv: &Cv, time: f64, _state: &SearchState) {
+    fn feedback(&mut self, _id: CvId, time: f64, _state: &SearchState, _pool: &CvPool) {
         let Some(x) = self.pending.take() else { return };
         if self.simplex.len() <= self.dim {
             self.simplex.push((x, time));
@@ -219,22 +243,20 @@ impl Technique for GreedyMutate {
     fn name(&self) -> &'static str {
         "mutate"
     }
-    fn propose(&mut self, state: &SearchState, rng: &mut StdRng) -> Cv {
+    fn propose(&mut self, state: &SearchState, pool: &CvPool, rng: &mut StdRng) -> Cv {
         let id = rng.gen_range(0..state.space.len());
         let arity = state.space.flag(id).arity() as u8;
-        state
-            .best_cv
+        pool.get(state.best_id)
             .with(&state.space, id, rng.gen_range(0..arity))
     }
-    fn feedback(&mut self, _cv: &Cv, _time: f64, _state: &SearchState) {}
+    fn feedback(&mut self, _id: CvId, _time: f64, _state: &SearchState, _pool: &CvPool) {}
 }
 
 /// Simulated annealing around the incumbent: accept worse moves with a
 /// temperature-controlled probability, cooling over time.
 struct SimAnneal {
-    current: Option<(Cv, f64)>,
+    current: Option<(CvId, f64)>,
     temperature: f64,
-    pending: Option<Cv>,
 }
 
 impl SimAnneal {
@@ -242,7 +264,6 @@ impl SimAnneal {
         SimAnneal {
             current: None,
             temperature: 0.05,
-            pending: None,
         }
     }
 }
@@ -251,24 +272,19 @@ impl Technique for SimAnneal {
     fn name(&self) -> &'static str {
         "anneal"
     }
-    fn propose(&mut self, state: &SearchState, rng: &mut StdRng) -> Cv {
-        let base = match &self.current {
-            Some((cv, _)) => cv.clone(),
-            None => state.best_cv.clone(),
+    fn propose(&mut self, state: &SearchState, pool: &CvPool, rng: &mut StdRng) -> Cv {
+        let mut cv = match &self.current {
+            Some((id, _)) => Cv::new(&state.space, pool.get(*id).values().to_vec()),
+            None => state.best_cv(pool),
         };
-        let mut cv = base;
         for _ in 0..1 + rng.gen_range(0..3) {
             let id = rng.gen_range(0..state.space.len());
             let arity = state.space.flag(id).arity() as u8;
             cv.set(id, rng.gen_range(0..arity));
         }
-        self.pending = Some(cv.clone());
         cv
     }
-    fn feedback(&mut self, _cv: &Cv, time: f64, _state: &SearchState) {
-        let Some(cv) = self.pending.take() else {
-            return;
-        };
+    fn feedback(&mut self, id: CvId, time: f64, _state: &SearchState, _pool: &CvPool) {
         let accept = match &self.current {
             None => true,
             Some((_, cur_t)) => {
@@ -283,7 +299,7 @@ impl Technique for SimAnneal {
             }
         };
         if accept {
-            self.current = Some((cv, time));
+            self.current = Some((id, time));
         }
         self.temperature *= 0.995; // cooling schedule
     }
@@ -322,53 +338,100 @@ impl BanditArm {
 
 /// Runs the ensemble for `budget` test iterations.
 pub fn opentuner_search(ctx: &EvalContext, budget: usize, seed: u64) -> TuningResult {
-    let space = ctx.space().clone();
-    let mut rng = rng_for(seed, "opentuner");
-    let mut arms: Vec<BanditArm> = vec![
-        Box::new(RandomTech) as Box<dyn Technique>,
-        Box::new(HillClimb::new()),
-        Box::new(DiffEvolution::new(20)),
-        Box::new(NelderMead::new(space.len())),
-        Box::new(GreedyMutate),
-        Box::new(SimAnneal::new()),
-    ]
-    .into_iter()
-    .map(|tech| BanditArm {
-        tech,
-        window: Vec::new(),
-        uses: 0,
-    })
-    .collect();
-
-    let mut state = SearchState {
-        space,
-        best_cv: ctx.space().baseline(),
-        best_time: ctx.eval_uniform_resilient(&ctx.space().baseline(), derive_seed_idx(seed, 0)),
+    let mut strategy = OtStrategy {
+        arms: vec![
+            Box::new(RandomTech) as Box<dyn Technique>,
+            Box::new(HillClimb::new()),
+            Box::new(DiffEvolution::new(20)),
+            Box::new(NelderMead::new(ctx.space().len())),
+            Box::new(GreedyMutate),
+            Box::new(SimAnneal::new()),
+        ]
+        .into_iter()
+        .map(|tech| BanditArm {
+            tech,
+            window: Vec::new(),
+            uses: 0,
+        })
+        .collect(),
+        state: None,
+        space: ctx.space().clone(),
+        rng: rng_for(seed, "opentuner"),
+        seed,
+        budget,
+        trial: 0,
+        pending_pick: None,
     };
-    let mut timeline = vec![state.best_time];
-    let exploration = 0.6;
+    SearchDriver::new(ctx).run(&mut strategy)
+}
 
-    for trial in 1..budget as u64 {
-        // AUC bandit: exploit credit + UCB exploration bonus.
-        let total_uses: u32 = arms.iter().map(|a| a.uses).sum();
-        let pick = (0..arms.len())
-            .max_by(|&a, &b| {
-                let score = |arm: &BanditArm| {
-                    arm.auc()
-                        + exploration
-                            * ((2.0 * f64::from(total_uses.max(1)).ln())
-                                / f64::from(arm.uses.max(1)))
-                            .sqrt()
-                };
-                score(&arms[a])
-                    .partial_cmp(&score(&arms[b]))
-                    .expect("finite")
-            })
-            .expect("non-empty ensemble");
-        let cv = arms[pick].tech.propose(&state, &mut rng);
-        let time = ctx.eval_uniform_resilient(&cv, derive_seed_idx(seed, trial));
-        timeline.push(time);
-        let improved = time < state.best_time;
+struct OtStrategy {
+    arms: Vec<BanditArm>,
+    /// `None` until the baseline trial (trial 0) has been observed.
+    state: Option<SearchState>,
+    space: FlagSpace,
+    rng: StdRng,
+    seed: u64,
+    budget: usize,
+    trial: u64,
+    /// The arm whose proposal is in flight (`None` for the baseline).
+    pending_pick: Option<usize>,
+}
+
+const EXPLORATION: f64 = 0.6;
+
+impl SearchStrategy for OtStrategy {
+    fn name(&self) -> &str {
+        "OpenTuner"
+    }
+
+    fn propose(&mut self, pool: &CvPool, _history: &History) -> Vec<Proposal> {
+        if self.trial >= self.budget.max(1) as u64 {
+            return Vec::new();
+        }
+        let (cv, noise) = if let Some(state) = &self.state {
+            // AUC bandit: exploit credit + UCB exploration bonus.
+            let total_uses: u32 = self.arms.iter().map(|a| a.uses).sum();
+            let pick = (0..self.arms.len())
+                .max_by(|&a, &b| {
+                    let score = |arm: &BanditArm| {
+                        arm.auc()
+                            + EXPLORATION
+                                * ((2.0 * f64::from(total_uses.max(1)).ln())
+                                    / f64::from(arm.uses.max(1)))
+                                .sqrt()
+                    };
+                    score(&self.arms[a])
+                        .partial_cmp(&score(&self.arms[b]))
+                        .expect("finite")
+                })
+                .expect("non-empty ensemble");
+            self.pending_pick = Some(pick);
+            let cv = self.arms[pick].tech.propose(state, pool, &mut self.rng);
+            (cv, derive_seed_idx(self.seed, self.trial))
+        } else {
+            self.pending_pick = None;
+            (self.space.baseline(), derive_seed_idx(self.seed, 0))
+        };
+        self.trial += 1;
+        vec![Proposal::new(Candidate::Uniform(pool.intern(&cv)), noise)]
+    }
+
+    fn observe(&mut self, pool: &CvPool, results: &[Observation<'_>]) {
+        let time = results[0].time;
+        let Candidate::Uniform(id) = results[0].candidate else {
+            unreachable!("OpenTuner proposes only uniform candidates")
+        };
+        let Some(state) = &mut self.state else {
+            self.state = Some(SearchState {
+                space: self.space.clone(),
+                best_id: *id,
+                best_time: time,
+            });
+            return;
+        };
+        let pick = self.pending_pick.expect("an arm proposed this trial");
+        let improved = strictly_better(time, state.best_time);
         // Techniques do arithmetic on observed times (centroids,
         // annealing deltas); feed them a large finite penalty instead
         // of the +inf a faulted trial scores as.
@@ -377,24 +440,26 @@ pub fn opentuner_search(ctx: &EvalContext, budget: usize, seed: u64) -> TuningRe
         } else {
             state.best_time * 1e6
         };
-        arms[pick].tech.feedback(&cv, fb_time, &state);
-        arms[pick].record(improved);
-        arms[pick].uses += 1;
+        self.arms[pick].tech.feedback(*id, fb_time, state, pool);
+        self.arms[pick].record(improved);
+        self.arms[pick].uses += 1;
         if improved {
             state.best_time = time;
-            state.best_cv = cv;
+            state.best_id = *id;
         }
     }
 
-    let baseline_time = ctx.baseline_time(10);
-    TuningResult {
-        algorithm: "OpenTuner".into(),
-        best_time: state.best_time,
-        baseline_time,
-        assignment: vec![state.best_cv; ctx.modules()],
-        best_index: 0,
-        history: best_so_far(&timeline),
-        evaluations: budget,
+    fn finish(&mut self, ctx: &EvalContext, pool: &CvPool, history: &History) -> TuningResult {
+        let state = self.state.as_ref().expect("baseline trial was observed");
+        TuningResult {
+            algorithm: "OpenTuner".into(),
+            best_time: state.best_time,
+            baseline_time: ctx.baseline_time(10),
+            assignment: pool.materialize(&vec![state.best_id; ctx.modules()]),
+            best_index: 0,
+            history: best_so_far(history.times()),
+            evaluations: self.budget,
+        }
     }
 }
 

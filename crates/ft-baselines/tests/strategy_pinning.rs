@@ -1,0 +1,174 @@
+//! Per-baseline RNG-stream pinning for the `SearchStrategy` port.
+//!
+//! CE, OpenTuner and COBAYN each hand-rolled a propose/measure loop
+//! against the scalar resilient path before the port; their
+//! `(evaluations, timeline digest, winner digest, best_time bits)`
+//! tuples below were captured from those implementations. The port to
+//! `SearchDriver` over interned candidates must keep every stream —
+//! technique RNGs, per-trial noise seeds, the CE evals counter, the
+//! COBAYN sampler — bit-identical. A faulted set pins the retry and
+//! fallback paths as well.
+
+use ft_baselines::{combined_elimination, opentuner_search, Cobayn, FeatureMode};
+use ft_compiler::{Compiler, FaultModel};
+use ft_core::{EvalContext, TuningResult};
+use ft_flags::rng::mix;
+use ft_machine::Architecture;
+use ft_outline::outline_with_defaults;
+use ft_workloads::workload_by_name;
+
+fn ctx(faults: Option<FaultModel>) -> EvalContext {
+    let arch = Architecture::broadwell();
+    let compiler = Compiler::icc(arch.target);
+    let w = workload_by_name("swim").expect("swim in suite");
+    let input = w.tuning_input(arch.name);
+    let ir = w.instantiate(input);
+    let (outlined, _) = outline_with_defaults(&ir, &compiler, &arch, 5, 11);
+    let ctx = EvalContext::new(outlined.ir, Compiler::icc(arch.target), arch, 5, 99);
+    match faults {
+        Some(f) => ctx.with_faults(f),
+        None => ctx,
+    }
+}
+
+fn digest_times(times: &[f64]) -> u64 {
+    let mut h = 0u64;
+    for t in times {
+        h = mix(h ^ t.to_bits());
+    }
+    h
+}
+
+fn digest_assignment(cvs: &[ft_flags::Cv]) -> u64 {
+    let mut h = 0u64;
+    for cv in cvs {
+        h = mix(h ^ cv.digest());
+    }
+    h
+}
+
+/// `(evaluations, timeline digest, winner digest, best-time bits)`.
+type Pin = (usize, u64, u64, u64);
+
+fn pin_of(r: &TuningResult) -> Pin {
+    (
+        r.evaluations,
+        digest_times(&r.history),
+        digest_assignment(&r.assignment),
+        r.best_time.to_bits(),
+    )
+}
+
+fn run_all(faults: Option<FaultModel>) -> Vec<(&'static str, Pin)> {
+    let arch = Architecture::broadwell();
+    let ctx = ctx(faults);
+    let model = Cobayn::train(&arch, 2, 30, 5, 7);
+    vec![
+        ("ce", pin_of(&combined_elimination(&ctx, 3))),
+        ("opentuner", pin_of(&opentuner_search(&ctx, 80, 5))),
+        (
+            "cobayn-hybrid",
+            pin_of(&model.tune(&ctx, FeatureMode::Hybrid, 20, 9)),
+        ),
+        (
+            "cobayn-static",
+            pin_of(&model.tune(&ctx, FeatureMode::Static, 20, 9)),
+        ),
+    ]
+}
+
+fn assert_pins(actual: &[(&'static str, Pin)], golden: &[(&str, usize, u64, u64, u64)]) {
+    for (name, (evals, tl, win, bits)) in actual {
+        println!("(\"{name}\", {evals}, 0x{tl:016X}, 0x{win:016X}, 0x{bits:016X}),");
+    }
+    assert_eq!(actual.len(), golden.len());
+    for ((name, (evals, tl, win, bits)), (gname, gevals, gtl, gwin, gbits)) in
+        actual.iter().zip(golden)
+    {
+        assert_eq!(name, gname);
+        assert_eq!(evals, gevals, "{name}: evaluation count drifted");
+        assert_eq!(tl, gtl, "{name}: timeline digest drifted");
+        assert_eq!(win, gwin, "{name}: winner digest drifted");
+        assert_eq!(bits, gbits, "{name}: best_time bits drifted");
+    }
+}
+
+#[test]
+fn clean_baseline_streams_are_pinned() {
+    assert_pins(&run_all(None), GOLDEN_CLEAN);
+}
+
+#[test]
+fn faulted_baseline_streams_are_pinned() {
+    assert_pins(&run_all(Some(FaultModel::testbed(0xFA17))), GOLDEN_FAULTED);
+}
+
+// Captured from the pre-SearchDriver implementations (swim/Broadwell,
+// icc, 5 steps, outline seed 11, noise root 99; COBAYN trained with
+// 2 programs x 30 samples, top 5, train seed 7). Tuples: (name,
+// evaluations, timeline digest, winner digest, best_time bits).
+const GOLDEN_CLEAN: &[(&str, usize, u64, u64, u64)] = &[
+    (
+        "ce",
+        145,
+        0x5DE73C49E15B6644,
+        0x921834250128F3D8,
+        0x40009B3E1A982CE1,
+    ),
+    (
+        "opentuner",
+        80,
+        0x3C691980B9C6ABE4,
+        0xD8546490B874DFED,
+        0x4000F24017EA11DE,
+    ),
+    (
+        "cobayn-hybrid",
+        20,
+        0x9B8FD4830AF23A4F,
+        0xC2E58164A6484427,
+        0x4001634A95C99F31,
+    ),
+    (
+        "cobayn-static",
+        20,
+        0x9B8FD4830AF23A4F,
+        0xC2E58164A6484427,
+        0x4001634A95C99F31,
+    ),
+];
+
+// The testbed rates happen not to intersect OpenTuner's and COBAYN's
+// candidate sets on this corpus (fault rolls are per (module, CV
+// digest)); their tuples matching the clean set is itself part of the
+// pin. CE's longer faulted run exercises the retry stream.
+const GOLDEN_FAULTED: &[(&str, usize, u64, u64, u64)] = &[
+    (
+        "ce",
+        381,
+        0x3533B6BE025660C0,
+        0xB1EF2CE4CE2D7EB3,
+        0x4000B3448914E660,
+    ),
+    (
+        "opentuner",
+        80,
+        0x3C691980B9C6ABE4,
+        0xD8546490B874DFED,
+        0x4000F24017EA11DE,
+    ),
+    (
+        "cobayn-hybrid",
+        20,
+        0x9B8FD4830AF23A4F,
+        0xC2E58164A6484427,
+        0x4001634A95C99F31,
+    ),
+    (
+        "cobayn-static",
+        20,
+        0x9B8FD4830AF23A4F,
+        0xC2E58164A6484427,
+        0x4001634A95C99F31,
+    ),
+];

@@ -2,7 +2,11 @@
 
 use crate::collection::CollectionData;
 use crate::ctx::EvalContext;
-use crate::result::{best_so_far, TuningResult};
+use crate::result::TuningResult;
+use crate::search::{
+    materialize_candidate, strictly_better, Candidate, History, Proposal, SearchDriver,
+    SearchStrategy,
+};
 use ft_flags::rng::{derive_seed_idx, rng_for};
 use ft_flags::{Cv, CvId, CvPool};
 use rand::Rng;
@@ -14,8 +18,49 @@ pub fn random_search(ctx: &EvalContext, k: usize, seed: u64) -> TuningResult {
     let cvs = ctx
         .space()
         .sample_many(k, &mut rng_for(seed, "random-search"));
-    let times = ctx.eval_uniform_batch(&cvs);
-    finish_uniform("Random", ctx, cvs, times)
+    let mut strategy = UniformSweep {
+        name: "Random",
+        cvs,
+        noise_root: ctx.noise_root,
+        done: false,
+    };
+    SearchDriver::new(ctx).run(&mut strategy)
+}
+
+/// One batch of uniform candidates with the historical
+/// `derive_seed_idx(noise_root, k)` seed stream; the default finish
+/// ships the argmin.
+struct UniformSweep {
+    name: &'static str,
+    cvs: Vec<Cv>,
+    noise_root: u64,
+    done: bool,
+}
+
+impl SearchStrategy for UniformSweep {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn propose(&mut self, pool: &CvPool, _history: &History) -> Vec<Proposal> {
+        if self.done {
+            return Vec::new();
+        }
+        self.done = true;
+        // Duplicates intern to the same id; one proposal per sampled
+        // CV keeps the noise-seed indices identical to the
+        // pre-driver `eval_uniform_batch`.
+        pool.intern_all(&self.cvs)
+            .into_iter()
+            .enumerate()
+            .map(|(k, id)| {
+                Proposal::new(
+                    Candidate::Uniform(id),
+                    derive_seed_idx(self.noise_root, k as u64),
+                )
+            })
+            .collect()
+    }
 }
 
 /// §2.2.2 — per-function random search (`FR`): every candidate draws
@@ -23,21 +68,53 @@ pub fn random_search(ctx: &EvalContext, k: usize, seed: u64) -> TuningResult {
 /// selection-and-measurement step repeats `k` times.
 pub fn fr_search(ctx: &EvalContext, k: usize, seed: u64) -> TuningResult {
     let sampled = ctx.space().sample_many(k, &mut rng_for(seed, "fr-pool"));
-    let pool = CvPool::new();
-    // One id per sampled CV (duplicates intern to the same id), so the
-    // selection below draws from exactly the same indices — and the
-    // same RNG stream — as the pre-interning implementation.
-    let ids = pool.intern_all(&sampled);
-    let mut rng = rng_for(seed, "fr-assign");
-    let assignments: Vec<Vec<CvId>> = (0..k)
-        .map(|_| {
-            (0..ctx.modules())
-                .map(|_| ids[rng.gen_range(0..ids.len())])
-                .collect()
-        })
-        .collect();
-    let times = ctx.eval_assignment_batch_ids(&pool, &assignments);
-    finish_mixed("FR", ctx, &pool, assignments, times)
+    let mut strategy = FrStrategy {
+        sampled,
+        k,
+        seed,
+        noise_root: ctx.noise_root,
+        modules: ctx.modules(),
+        done: false,
+    };
+    SearchDriver::new(ctx).run(&mut strategy)
+}
+
+struct FrStrategy {
+    sampled: Vec<Cv>,
+    k: usize,
+    seed: u64,
+    noise_root: u64,
+    modules: usize,
+    done: bool,
+}
+
+impl SearchStrategy for FrStrategy {
+    fn name(&self) -> &str {
+        "FR"
+    }
+
+    fn propose(&mut self, pool: &CvPool, _history: &History) -> Vec<Proposal> {
+        if self.done {
+            return Vec::new();
+        }
+        self.done = true;
+        // One id per sampled CV (duplicates intern to the same id), so
+        // the selection below draws from exactly the same indices —
+        // and the same RNG stream — as the pre-driver implementation.
+        let ids = pool.intern_all(&self.sampled);
+        let mut rng = rng_for(self.seed, "fr-assign");
+        (0..self.k)
+            .map(|kk| {
+                let assignment: Vec<CvId> = (0..self.modules)
+                    .map(|_| ids[rng.gen_range(0..ids.len())])
+                    .collect();
+                Proposal::new(
+                    Candidate::PerLoop(assignment),
+                    derive_seed_idx(self.noise_root ^ 0xA551, kk as u64),
+                )
+            })
+            .collect()
+    }
 }
 
 /// Both outcomes of §2.2.3's greedy combination (`G`).
@@ -67,40 +144,83 @@ impl GreedyOutcome {
 /// `argmin_k T[j][k]` and link. Assumes module independence; the gap
 /// between realized and independent quantifies how wrong that is.
 pub fn greedy(ctx: &EvalContext, data: &CollectionData, baseline_time: f64) -> GreedyOutcome {
-    let mut assignment: Vec<Cv> = (0..ctx.modules())
-        .map(|j| data.cvs[data.argmin(j)].clone())
-        .collect();
-    let mut time =
-        ctx.eval_assignment_resilient(&assignment, derive_seed_idx(ctx.noise_root, 0x6EED));
-    if !time.is_finite() {
-        // The greedy combination is a single forced executable; if the
-        // injected faults reject it there is nothing to retry, so fall
-        // back to the best collected uniform CV — a build already
-        // proven to compile and run during collection.
-        let (k, t) = data
-            .end_to_end
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| t.is_finite())
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
-            .expect("every collected CV faulted: no fallback for greedy");
-        assignment = vec![data.cvs[k].clone(); ctx.modules()];
-        time = *t;
-    }
-    let realized = TuningResult {
-        algorithm: "G.realized".into(),
-        best_time: time,
+    let mut strategy = GreedyStrategy {
+        data,
         baseline_time,
-        assignment,
-        best_index: 0,
-        history: vec![time],
-        evaluations: 1,
+        noise_root: ctx.noise_root,
+        modules: ctx.modules(),
+        done: false,
     };
+    let realized = SearchDriver::new(ctx).run(&mut strategy);
     let independent_time = data.independent_sum();
     GreedyOutcome {
         realized,
         independent_time,
         independent_speedup: baseline_time / independent_time,
+    }
+}
+
+/// One forced per-loop proposal (the argmin assignment). The finish is
+/// bespoke: the greedy baseline time is the one the caller collected
+/// under, and a faulted greedy link falls back to the best collected
+/// uniform CV instead of panicking.
+struct GreedyStrategy<'d> {
+    data: &'d CollectionData,
+    baseline_time: f64,
+    noise_root: u64,
+    modules: usize,
+    done: bool,
+}
+
+impl SearchStrategy for GreedyStrategy<'_> {
+    fn name(&self) -> &str {
+        "G.realized"
+    }
+
+    fn propose(&mut self, pool: &CvPool, _history: &History) -> Vec<Proposal> {
+        if self.done {
+            return Vec::new();
+        }
+        self.done = true;
+        let ids: Vec<CvId> = (0..self.modules)
+            .map(|j| pool.intern(&self.data.cvs[self.data.argmin(j)]))
+            .collect();
+        vec![Proposal::new(
+            Candidate::PerLoop(ids),
+            derive_seed_idx(self.noise_root, 0x6EED),
+        )]
+    }
+
+    fn finish(&mut self, ctx: &EvalContext, pool: &CvPool, history: &History) -> TuningResult {
+        let mut time = history.times()[0];
+        let assignment;
+        if time.is_finite() {
+            assignment = materialize_candidate(ctx, pool, history.candidate(0));
+        } else {
+            // The greedy combination is a single forced executable; if
+            // the injected faults reject it there is nothing to retry,
+            // so fall back to the best collected uniform CV — a build
+            // already proven to compile and run during collection.
+            let (k, t) = self
+                .data
+                .end_to_end
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.is_finite())
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+                .expect("every collected CV faulted: no fallback for greedy");
+            assignment = vec![self.data.cvs[k].clone(); self.modules];
+            time = *t;
+        }
+        TuningResult {
+            algorithm: "G.realized".into(),
+            best_time: time,
+            baseline_time: self.baseline_time,
+            assignment,
+            best_index: 0,
+            history: vec![time],
+            evaluations: 1,
+        }
     }
 }
 
@@ -121,64 +241,65 @@ pub fn cfr(
     assert!(x >= 1, "CFR needs a non-empty pruned space");
     // Line 10-11: prune the pre-sampled CVs per module.
     let pruned: Vec<Vec<usize>> = (0..ctx.modules()).map(|j| data.top_x(j, x)).collect();
-    // Intern the collection pool once; candidate assignments are then
-    // plain index vectors instead of K×J cloned CVs.
-    let pool = CvPool::new();
-    let cv_ids = pool.intern_all(&data.cvs);
-    // Lines 12-21: re-sample per-module CVs within the pruned spaces.
-    let mut rng = rng_for(seed, "cfr-resample");
-    let assignments: Vec<Vec<CvId>> = (0..k)
-        .map(|_| {
-            pruned
-                .iter()
-                .map(|cands| cv_ids[cands[rng.gen_range(0..cands.len())]])
-                .collect()
-        })
-        .collect();
-    let times = ctx.eval_assignment_batch_ids(&pool, &assignments);
-    finish_mixed("CFR", ctx, &pool, assignments, times)
+    let mut strategy = CfrResample {
+        data,
+        pruned,
+        k,
+        seed,
+        noise_root: ctx.noise_root,
+        done: false,
+    };
+    SearchDriver::new(ctx).run(&mut strategy)
 }
 
-fn finish_uniform(name: &str, ctx: &EvalContext, cvs: Vec<Cv>, times: Vec<f64>) -> TuningResult {
-    let (best_index, best_time) = argmin_finite(&times);
-    let baseline_time = ctx.baseline_time(10);
-    TuningResult {
-        algorithm: name.into(),
-        best_time,
-        baseline_time,
-        assignment: vec![cvs[best_index].clone(); ctx.modules()],
-        best_index,
-        history: best_so_far(&times),
-        evaluations: times.len(),
+/// Algorithm 1 lines 12-21: one batch of `k` assignments re-sampled
+/// from the pruned per-module spaces; the default finish keeps the
+/// best end-to-end measured executable.
+struct CfrResample<'d> {
+    data: &'d CollectionData,
+    pruned: Vec<Vec<usize>>,
+    k: usize,
+    seed: u64,
+    noise_root: u64,
+    done: bool,
+}
+
+impl SearchStrategy for CfrResample<'_> {
+    fn name(&self) -> &str {
+        "CFR"
     }
-}
 
-fn finish_mixed(
-    name: &str,
-    ctx: &EvalContext,
-    pool: &CvPool,
-    assignments: Vec<Vec<CvId>>,
-    times: Vec<f64>,
-) -> TuningResult {
-    let (best_index, best_time) = argmin_finite(&times);
-    let baseline_time = ctx.baseline_time(10);
-    TuningResult {
-        algorithm: name.into(),
-        best_time,
-        baseline_time,
-        // Only the winner is materialized back to owned CVs; the K-1
-        // losing assignments never leave the index representation.
-        assignment: pool.materialize(&assignments[best_index]),
-        best_index,
-        history: best_so_far(&times),
-        evaluations: times.len(),
+    fn propose(&mut self, pool: &CvPool, _history: &History) -> Vec<Proposal> {
+        if self.done {
+            return Vec::new();
+        }
+        self.done = true;
+        // Intern the collection pool once; candidate assignments are
+        // then plain id vectors instead of K×J cloned CVs.
+        let cv_ids = pool.intern_all(&self.data.cvs);
+        let mut rng = rng_for(self.seed, "cfr-resample");
+        (0..self.k)
+            .map(|kk| {
+                let assignment: Vec<CvId> = self
+                    .pruned
+                    .iter()
+                    .map(|cands| cv_ids[cands[rng.gen_range(0..cands.len())]])
+                    .collect();
+                Proposal::new(
+                    Candidate::PerLoop(assignment),
+                    derive_seed_idx(self.noise_root ^ 0xA551, kk as u64),
+                )
+            })
+            .collect()
     }
 }
 
 /// Strict argmin: every candidate time must be finite. The search
-/// paths moved to [`argmin_finite`] when fault injection made `+inf`
-/// a legal score; this stays as the executable statement of the old
-/// contract (and its tests pin the panic behavior).
+/// paths moved to [`crate::search::argmin_finite`] when fault
+/// injection made `+inf` a legal score; this stays as the executable
+/// statement of the old contract (and its tests pin the panic
+/// behavior). The comparison itself routes through the shared
+/// [`strictly_better`] total-order helper.
 #[cfg_attr(not(test), allow(dead_code))]
 fn argmin(times: &[f64]) -> (usize, f64) {
     assert!(!times.is_empty(), "no candidates evaluated");
@@ -190,32 +311,12 @@ fn argmin(times: &[f64]) -> (usize, f64) {
             "non-finite candidate time {t} at index {i}: \
              a NaN would silently win or lose every comparison"
         );
-        if *t < bt {
+        if strictly_better(*t, bt) {
             bi = i;
             bt = *t;
         }
     }
     (bi, bt)
-}
-
-/// [`argmin`] over a fault-scored candidate list: `+inf` marks a
-/// candidate the resilient harness gave up on and is skipped; a NaN is
-/// still a bug; a list with no finite entry means every candidate
-/// faulted and there is nothing to ship.
-fn argmin_finite(times: &[f64]) -> (usize, f64) {
-    assert!(!times.is_empty(), "no candidates evaluated");
-    let mut best: Option<(usize, f64)> = None;
-    for (i, t) in times.iter().enumerate() {
-        assert!(
-            !t.is_nan(),
-            "NaN candidate time at index {i}: \
-             a NaN would silently win or lose every comparison"
-        );
-        if t.is_finite() && best.is_none_or(|(_, bt)| *t < bt) {
-            best = Some((i, *t));
-        }
-    }
-    best.expect("every candidate faulted: no finite time to select")
 }
 
 #[cfg(test)]

@@ -8,9 +8,10 @@
 //! directly.
 
 use crate::ctx::EvalContext;
+use crate::search::Candidate;
 use ft_caliper::Caliper;
 use ft_flags::rng::{derive_seed_idx, rng_for};
-use ft_flags::Cv;
+use ft_flags::{Cv, CvPool};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -110,24 +111,100 @@ pub fn collect(ctx: &EvalContext, k: usize, seed: u64) -> CollectionData {
 
 /// Collection over caller-provided CVs (used when an experiment needs
 /// the same sample for several algorithms, as in Figure 5).
+///
+/// A thin wrapper over [`collect_candidates`] with every probe
+/// uniform: interning a CV and probing it by handle runs the exact
+/// same digests, compile calls and noise seeds as the pre-pool
+/// implementation, so the returned `CollectionData` is byte-for-byte
+/// identical (pinned by the `strategy_pinning` canonical digests).
 pub fn collect_with_cvs(ctx: &EvalContext, cvs: Vec<Cv>, seed: u64) -> CollectionData {
+    let pool = CvPool::new();
+    let candidates: Vec<Candidate> = pool
+        .intern_all(&cvs)
+        .into_iter()
+        .map(Candidate::Uniform)
+        .collect();
+    let mixed = collect_candidates(ctx, &pool, &candidates, seed);
+    CollectionData {
+        cvs,
+        per_module: mixed.per_module,
+        end_to_end: mixed.end_to_end,
+    }
+}
+
+/// Per-loop collection for arbitrary (possibly mixed-assignment)
+/// candidates: `per_module[j][k]` is module `j`'s time under candidate
+/// `k`, with the non-loop row derived by subtraction exactly as in
+/// [`collect_with_cvs`].
+#[derive(Debug, Clone)]
+pub struct MixedCollection {
+    /// The probed candidates, in row order.
+    pub candidates: Vec<Candidate>,
+    /// `per_module[j][k]`; the last row is the derived non-loop time.
+    /// A faulted candidate contributes an all-`+inf` column.
+    pub per_module: Vec<Vec<f64>>,
+    /// `end_to_end[k]`: whole-run (instrumented) time of candidate `k`.
+    pub end_to_end: Vec<f64>,
+}
+
+impl MixedCollection {
+    /// Number of probed candidates (K).
+    pub fn k(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Number of modules (J + 1).
+    pub fn modules(&self) -> usize {
+        self.per_module.len()
+    }
+
+    /// Appends the collection to a canonical byte encoding — every
+    /// time by bit pattern, like [`CollectionData::write_canonical`].
+    pub fn write_canonical(&self, out: &mut Vec<u8>) {
+        use crate::canonical::{write_f64s, write_u64};
+        write_u64(out, self.candidates.len() as u64);
+        write_u64(out, self.per_module.len() as u64);
+        for row in &self.per_module {
+            write_f64s(out, row);
+        }
+        write_f64s(out, &self.end_to_end);
+    }
+}
+
+/// Runs the Figure-4 collection over arbitrary candidates: uniform
+/// probes take the interned uniform path, mixed-assignment probes are
+/// keyed through the same `(module, CV digest)` fingerprint space as
+/// the search evaluations — so a probe sharing `J - 1` modules with an
+/// already-measured assignment reuses those objects (and, for
+/// duplicates, the whole link) from the caches. This is the
+/// strategy-drivable collection service behind
+/// [`crate::search::SearchStrategy::collect_request`].
+pub fn collect_candidates(
+    ctx: &EvalContext,
+    pool: &CvPool,
+    candidates: &[Candidate],
+    seed: u64,
+) -> MixedCollection {
     let j_total = ctx.modules();
     let hot: Vec<usize> = ctx.ir.hot_loop_ids();
-    let rows: Vec<(Vec<f64>, f64)> = cvs
+    let rows: Vec<(Vec<f64>, f64)> = candidates
         .par_iter()
         .enumerate()
-        .map(|(kk, cv)| {
+        .map(|(kk, cand)| {
             let caliper = Caliper::real_time();
-            // Through both caches: a CV that Random already evaluated
-            // (or a duplicate within the sample) reuses its link.
-            // Under a nonzero fault model, a CV that ICEs, keeps
-            // crashing, or hangs yields `+inf` — an all-`+inf` row
-            // that no per-loop ranking can ever select.
-            let total = ctx.profiled_uniform_resilient(
-                cv,
-                derive_seed_idx(seed ^ 0x0C01_1EC7, kk as u64),
-                &caliper,
-            );
+            let noise = derive_seed_idx(seed ^ 0x0C01_1EC7, kk as u64);
+            // Through both caches. Under a nonzero fault model, a
+            // candidate that ICEs, keeps crashing, or hangs yields
+            // `+inf` — an all-`+inf` column that no per-loop ranking
+            // can ever select.
+            let total = match cand {
+                Candidate::Uniform(id) => {
+                    ctx.profiled_uniform_id_resilient(pool, *id, noise, &caliper)
+                }
+                Candidate::PerLoop(ids) => {
+                    ctx.profiled_assignment_ids_resilient(pool, ids, noise, &caliper)
+                }
+            };
             if !total.is_finite() {
                 return (vec![f64::INFINITY; j_total], f64::INFINITY);
             }
@@ -145,16 +222,16 @@ pub fn collect_with_cvs(ctx: &EvalContext, cvs: Vec<Cv>, seed: u64) -> Collectio
         })
         .collect();
 
-    let mut per_module = vec![vec![0.0; cvs.len()]; j_total];
-    let mut end_to_end = Vec::with_capacity(cvs.len());
+    let mut per_module = vec![vec![0.0; candidates.len()]; j_total];
+    let mut end_to_end = Vec::with_capacity(candidates.len());
     for (kk, (row, total)) in rows.into_iter().enumerate() {
         for (j, t) in row.into_iter().enumerate() {
             per_module[j][kk] = t;
         }
         end_to_end.push(total);
     }
-    CollectionData {
-        cvs,
+    MixedCollection {
+        candidates: candidates.to_vec(),
         per_module,
         end_to_end,
     }

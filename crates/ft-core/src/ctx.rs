@@ -8,8 +8,9 @@ use ft_compiler::{CompiledModule, Compiler, FaultModel, Module, ObjectCache, Pro
 use ft_flags::rng::derive_seed_idx;
 use ft_flags::{Cv, CvId, CvPool, FlagSpace};
 use ft_machine::{
-    execute, execute_profiled, link, try_execute, try_execute_profiled, Architecture, ExecOptions,
-    FaultQuarantine, LinkCache, LinkedProgram, RunMeasurement, RunOutcome,
+    execute, execute_profiled, execute_total, link, try_execute, try_execute_profiled,
+    Architecture, ExecOptions, FaultQuarantine, LinkCache, LinkedProgram, RunMeasurement,
+    RunOutcome,
 };
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -690,21 +691,27 @@ impl EvalContext {
     {
         if self.faults.is_zero() {
             let linked = self.link_digests(digests, compile);
-            let meas = match caliper {
-                Some(c) => execute_profiled(
-                    &linked,
-                    &self.arch,
-                    &ExecOptions::instrumented(self.steps, noise_seed),
-                    c,
-                ),
-                None => execute(
+            let total_s = match caliper {
+                Some(c) => {
+                    execute_profiled(
+                        &linked,
+                        &self.arch,
+                        &ExecOptions::instrumented(self.steps, noise_seed),
+                        c,
+                    )
+                    .total_s
+                }
+                // The batched hot path: only the end-to-end time is
+                // kept, so skip the per-module vector allocation
+                // entirely (bit-identical sum order).
+                None => execute_total(
                     &linked,
                     &self.arch,
                     &ExecOptions::new(self.steps, noise_seed),
                 ),
             };
-            self.charge(&meas);
-            return meas.total_s;
+            self.charge_run(total_s);
+            return total_s;
         }
         for (module, digest) in digests.iter().enumerate() {
             if self.quarantine.compile_is_bad(module, *digest) {
@@ -817,6 +824,20 @@ impl EvalContext {
         )
     }
 
+    /// Interned-handle variant of
+    /// [`EvalContext::eval_uniform_resilient`]: same digests, same
+    /// compile calls, same noise seed — bit-identical times without
+    /// materializing the `Cv` out of the pool.
+    pub fn eval_uniform_id_resilient(&self, pool: &CvPool, id: CvId, noise_seed: u64) -> f64 {
+        let digests = vec![pool.digest(id); self.ir.len()];
+        self.eval_digests_resilient(
+            &digests,
+            noise_seed,
+            || self.compile_uniform(&pool.get(id)),
+            None,
+        )
+    }
+
     /// Fault-aware instrumented run of one uniform CV for the
     /// collection phase: per-module times are recorded into `caliper`
     /// only when an attempt succeeds. Returns the end-to-end time
@@ -827,6 +848,56 @@ impl EvalContext {
             &digests,
             noise_seed,
             || self.compile_uniform(cv),
+            Some(caliper),
+        )
+    }
+
+    /// Interned-handle variant of
+    /// [`EvalContext::profiled_uniform_resilient`] — the collection
+    /// path for `Uniform(id)` probes.
+    pub fn profiled_uniform_id_resilient(
+        &self,
+        pool: &CvPool,
+        id: CvId,
+        noise_seed: u64,
+        caliper: &Caliper,
+    ) -> f64 {
+        let digests = vec![pool.digest(id); self.ir.len()];
+        self.eval_digests_resilient(
+            &digests,
+            noise_seed,
+            || self.compile_uniform(&pool.get(id)),
+            Some(caliper),
+        )
+    }
+
+    /// Fault-aware instrumented run of a mixed (per-module) assignment
+    /// given by interned handles: the collection path for
+    /// `PerLoop(ids)` probes. Keyed through the same digest space as
+    /// [`EvalContext::eval_assignment_ids_resilient`], so a probe that
+    /// shares `J - 1` modules with an already-evaluated assignment
+    /// reuses those objects (and its link, when identical) from the
+    /// caches.
+    pub fn profiled_assignment_ids_resilient(
+        &self,
+        pool: &CvPool,
+        ids: &[CvId],
+        noise_seed: u64,
+        caliper: &Caliper,
+    ) -> f64 {
+        assert_eq!(ids.len(), self.ir.len(), "one CV per module");
+        let digests = pool.digests(ids);
+        self.eval_digests_resilient(
+            &digests,
+            noise_seed,
+            || {
+                self.ir
+                    .modules
+                    .iter()
+                    .zip(ids)
+                    .map(|(m, id)| self.compile_module_owned(m, &pool.get(*id)))
+                    .collect()
+            },
             Some(caliper),
         )
     }

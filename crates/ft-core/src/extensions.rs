@@ -13,12 +13,28 @@
 //!   module's pruned set is re-ranked by the candidate times of the
 //!   assignments that used each CV) and re-sampled, compounding the
 //!   focusing effect with a fixed total budget.
+//! * [`cfr_iterative_recollect`] — multi-round focusing with fresh
+//!   per-loop evidence: at every round boundary the strategy asks the
+//!   [`crate::search::SearchDriver`] to *re-collect* — it probes each
+//!   pruned CV substituted into the current (generally non-uniform)
+//!   incumbent assignment and re-ranks the pruned sets by those
+//!   measured end-to-end times instead of the stale within-round
+//!   averages.
+//!
+//! All three run as [`SearchStrategy`] implementations on the shared
+//! driver; the first two keep their original RNG streams bit-exact
+//! (pinned by `tests/strategy_pinning.rs`).
 
-use crate::collection::CollectionData;
+use crate::collection::{CollectionData, MixedCollection};
 use crate::ctx::EvalContext;
-use crate::result::{best_so_far, TuningResult};
-use ft_flags::rng::{derive_seed_idx, rng_for};
-use ft_flags::Cv;
+use crate::result::TuningResult;
+use crate::search::{
+    strictly_better, Candidate, CollectionRequest, History, Observation, Proposal, SearchDriver,
+    SearchStrategy,
+};
+use ft_flags::rng::{derive_seed, derive_seed_idx, rng_for};
+use ft_flags::{CvId, CvPool};
+use rand::rngs::StdRng;
 use rand::Rng;
 
 /// Early-stopping CFR: like [`crate::algorithms::cfr`] but evaluation
@@ -37,42 +53,71 @@ pub fn cfr_adaptive(
     assert!(x >= 1, "CFR needs a non-empty pruned space");
     assert!(patience >= 1, "patience must be positive");
     let pruned: Vec<Vec<usize>> = (0..ctx.modules()).map(|j| data.top_x(j, x)).collect();
-    let mut rng = rng_for(seed, "cfr-adaptive");
-    let mut times = Vec::new();
-    let mut best_time = f64::INFINITY;
-    let mut best_assignment: Option<Vec<Cv>> = None;
-    let mut best_index = 0;
-    let mut stale = 0;
-    for kk in 0..k {
-        let assignment: Vec<Cv> = pruned
+    let mut strategy = CfrAdaptive {
+        data,
+        pruned,
+        k,
+        patience,
+        rng: rng_for(seed, "cfr-adaptive"),
+        noise_root: ctx.noise_root,
+        next: 0,
+        best_time: f64::INFINITY,
+        stale: 0,
+        stopped: false,
+    };
+    SearchDriver::new(ctx).run(&mut strategy)
+}
+
+/// One candidate per `propose`, so the stop decision sits between
+/// consecutive evaluations exactly as the sequential loop it replaces.
+/// The default finish (first strict finite minimum) selects the same
+/// winner the old running-best tracking did.
+struct CfrAdaptive<'d> {
+    data: &'d CollectionData,
+    pruned: Vec<Vec<usize>>,
+    k: usize,
+    patience: usize,
+    rng: StdRng,
+    noise_root: u64,
+    next: usize,
+    best_time: f64,
+    stale: usize,
+    stopped: bool,
+}
+
+impl SearchStrategy for CfrAdaptive<'_> {
+    fn name(&self) -> &str {
+        "CFR-adaptive"
+    }
+
+    fn propose(&mut self, pool: &CvPool, _history: &History) -> Vec<Proposal> {
+        if self.stopped || self.next == self.k {
+            return Vec::new();
+        }
+        let ids: Vec<CvId> = self
+            .pruned
             .iter()
-            .map(|cands| data.cvs[cands[rng.gen_range(0..cands.len())]].clone())
+            .map(|cands| pool.intern(&self.data.cvs[cands[self.rng.gen_range(0..cands.len())]]))
             .collect();
-        let t = ctx.eval_assignment_resilient(
-            &assignment,
-            derive_seed_idx(ctx.noise_root ^ 0xADA, kk as u64),
+        let p = Proposal::new(
+            Candidate::PerLoop(ids),
+            derive_seed_idx(self.noise_root ^ 0xADA, self.next as u64),
         );
-        times.push(t);
-        if t < best_time {
-            best_time = t;
-            best_assignment = Some(assignment);
-            best_index = kk;
-            stale = 0;
+        self.next += 1;
+        vec![p]
+    }
+
+    fn observe(&mut self, _pool: &CvPool, results: &[Observation<'_>]) {
+        let t = results[0].time;
+        if strictly_better(t, self.best_time) {
+            self.best_time = t;
+            self.stale = 0;
         } else {
-            stale += 1;
-            if stale >= patience {
-                break;
+            self.stale += 1;
+            if self.stale >= self.patience {
+                self.stopped = true;
             }
         }
-    }
-    TuningResult {
-        algorithm: "CFR-adaptive".into(),
-        best_time,
-        baseline_time: ctx.baseline_time(10),
-        assignment: best_assignment.expect("at least one candidate"),
-        best_index,
-        history: best_so_far(&times),
-        evaluations: times.len(),
     }
 }
 
@@ -90,51 +135,83 @@ pub fn cfr_iterative(
 ) -> TuningResult {
     assert!(x >= 1, "CFR needs a non-empty pruned space");
     assert!(rounds >= 1, "at least one round");
-    let per_round = (k / rounds).max(1);
-    let mut pruned: Vec<Vec<usize>> = (0..ctx.modules()).map(|j| data.top_x(j, x)).collect();
-    let mut rng = rng_for(seed, "cfr-iterative");
-    let mut all_times = Vec::new();
-    let mut best_time = f64::INFINITY;
-    let mut best_assignment: Option<Vec<Cv>> = None;
-    let mut best_index = 0;
+    let mut strategy = CfrIterative {
+        data,
+        pruned: (0..ctx.modules()).map(|j| data.top_x(j, x)).collect(),
+        per_round: (k / rounds).max(1),
+        rounds,
+        rng: rng_for(seed, "cfr-iterative"),
+        noise_root: ctx.noise_root,
+        round: 0,
+        picks: Vec::new(),
+    };
+    SearchDriver::new(ctx).run(&mut strategy)
+}
 
-    for round in 0..rounds {
+/// One `propose` per round. The noise-seed index resets to 0 every
+/// round (the historical `eval_assignment_batch` numbering, pinned by
+/// the golden stream tests).
+struct CfrIterative<'d> {
+    data: &'d CollectionData,
+    pruned: Vec<Vec<usize>>,
+    per_round: usize,
+    rounds: usize,
+    rng: StdRng,
+    noise_root: u64,
+    round: usize,
+    /// This round's per-candidate CV indices (into `data.cvs`), kept
+    /// for the re-focusing step in `observe`.
+    picks: Vec<Vec<usize>>,
+}
+
+impl SearchStrategy for CfrIterative<'_> {
+    fn name(&self) -> &str {
+        "CFR-iterative"
+    }
+
+    fn propose(&mut self, pool: &CvPool, _history: &History) -> Vec<Proposal> {
+        if self.round == self.rounds {
+            return Vec::new();
+        }
         // Sample this round's candidates from the current pruned sets,
         // remembering which CV index each module used.
-        let picks: Vec<Vec<usize>> = (0..per_round)
+        self.picks = (0..self.per_round)
             .map(|_| {
-                pruned
+                self.pruned
                     .iter()
-                    .map(|cands| cands[rng.gen_range(0..cands.len())])
+                    .map(|cands| cands[self.rng.gen_range(0..cands.len())])
                     .collect()
             })
             .collect();
-        let assignments: Vec<Vec<Cv>> = picks
+        let cv_ids = pool.intern_all(&self.data.cvs);
+        self.picks
             .iter()
-            .map(|row| row.iter().map(|&c| data.cvs[c].clone()).collect())
-            .collect();
-        let times = ctx.eval_assignment_batch(&assignments);
-        for (i, t) in times.iter().enumerate() {
-            if *t < best_time {
-                best_time = *t;
-                best_assignment = Some(assignments[i].clone());
-                best_index = all_times.len() + i;
-            }
-        }
-        all_times.extend_from_slice(&times);
-        if round + 1 == rounds {
-            break;
+            .enumerate()
+            .map(|(i, row)| {
+                Proposal::new(
+                    Candidate::PerLoop(row.iter().map(|&c| cv_ids[c]).collect()),
+                    derive_seed_idx(self.noise_root ^ 0xA551, i as u64),
+                )
+            })
+            .collect()
+    }
+
+    fn observe(&mut self, _pool: &CvPool, results: &[Observation<'_>]) {
+        self.round += 1;
+        if self.round == self.rounds {
+            return;
         }
         // Re-focus: rank each module's candidate CVs by the mean
         // end-to-end time of the candidates that used them, keep the
         // best half (at least 1).
-        let mut next = Vec::with_capacity(pruned.len());
-        for (j, cands) in pruned.iter().enumerate() {
+        let times: Vec<f64> = results.iter().map(|o| o.time).collect();
+        let mut next = Vec::with_capacity(self.pruned.len());
+        for (j, cands) in self.pruned.iter().enumerate() {
             let mut scored: Vec<(usize, f64)> = cands
                 .iter()
                 .map(|&cv_idx| {
                     let (mut sum, mut n) = (0.0, 0u32);
-                    for (row, t) in picks.iter().zip(&times) {
+                    for (row, t) in self.picks.iter().zip(&times) {
                         if row[j] == cv_idx {
                             sum += t;
                             n += 1;
@@ -155,17 +232,135 @@ pub fn cfr_iterative(
             scored.truncate((cands.len() / 2).max(1));
             next.push(scored.into_iter().map(|(c, _)| c).collect());
         }
-        pruned = next;
+        self.pruned = next;
+    }
+}
+
+/// Multi-round CFR that *re-collects* at every round boundary: instead
+/// of re-ranking a module's pruned CVs by the noisy within-round
+/// averages, it asks the driver to measure each pruned CV substituted
+/// into the current best assignment — fresh per-loop evidence gathered
+/// under the (generally non-uniform) incumbent, through the same
+/// link-cache fingerprint space as every other evaluation.
+pub fn cfr_iterative_recollect(
+    ctx: &EvalContext,
+    data: &CollectionData,
+    x: usize,
+    k: usize,
+    rounds: usize,
+    seed: u64,
+) -> TuningResult {
+    assert!(x >= 1, "CFR needs a non-empty pruned space");
+    assert!(rounds >= 1, "at least one round");
+    let mut strategy = CfrIterativeRecollect {
+        data,
+        pruned: (0..ctx.modules()).map(|j| data.top_x(j, x)).collect(),
+        per_round: (k / rounds).max(1),
+        rounds,
+        rng: rng_for(seed, "cfr-iter-recollect"),
+        noise_root: ctx.noise_root,
+        seed,
+        round: 0,
+        incumbent: None,
+        probe_plan: Vec::new(),
+    };
+    SearchDriver::new(ctx).run(&mut strategy)
+}
+
+struct CfrIterativeRecollect<'d> {
+    data: &'d CollectionData,
+    pruned: Vec<Vec<usize>>,
+    per_round: usize,
+    rounds: usize,
+    rng: StdRng,
+    noise_root: u64,
+    seed: u64,
+    round: usize,
+    /// Best assignment (and its time) seen so far, in interned form.
+    incumbent: Option<(Vec<CvId>, f64)>,
+    /// `(module, CV index into data.cvs)` for every probe candidate in
+    /// the outstanding collection request, in request order.
+    probe_plan: Vec<(usize, usize)>,
+}
+
+impl SearchStrategy for CfrIterativeRecollect<'_> {
+    fn name(&self) -> &str {
+        "CFR-iter-recollect"
     }
 
-    TuningResult {
-        algorithm: "CFR-iterative".into(),
-        best_time,
-        baseline_time: ctx.baseline_time(10),
-        assignment: best_assignment.expect("at least one candidate"),
-        best_index,
-        history: best_so_far(&all_times),
-        evaluations: all_times.len(),
+    fn propose(&mut self, pool: &CvPool, _history: &History) -> Vec<Proposal> {
+        if self.round == self.rounds {
+            return Vec::new();
+        }
+        let cv_ids = pool.intern_all(&self.data.cvs);
+        (0..self.per_round)
+            .map(|i| {
+                let ids: Vec<CvId> = self
+                    .pruned
+                    .iter()
+                    .map(|cands| cv_ids[cands[self.rng.gen_range(0..cands.len())]])
+                    .collect();
+                Proposal::new(
+                    Candidate::PerLoop(ids),
+                    derive_seed_idx(self.noise_root ^ 0xA551, i as u64),
+                )
+            })
+            .collect()
+    }
+
+    fn observe(&mut self, _pool: &CvPool, results: &[Observation<'_>]) {
+        self.round += 1;
+        for o in results {
+            let incumbent_time = self.incumbent.as_ref().map_or(f64::INFINITY, |(_, t)| *t);
+            if strictly_better(o.time, incumbent_time) {
+                let Candidate::PerLoop(ids) = o.candidate else {
+                    unreachable!("recollect proposes only per-loop candidates")
+                };
+                self.incumbent = Some((ids.clone(), o.time));
+            }
+        }
+    }
+
+    fn collect_request(&mut self, pool: &CvPool) -> Option<CollectionRequest> {
+        if self.round == self.rounds {
+            return None;
+        }
+        // Every candidate of the round faulted: no incumbent to probe
+        // under, keep the current pruned sets.
+        let (incumbent, _) = self.incumbent.as_ref()?;
+        let cv_ids = pool.intern_all(&self.data.cvs);
+        self.probe_plan.clear();
+        let mut candidates = Vec::new();
+        for (j, cands) in self.pruned.iter().enumerate() {
+            for &cv_idx in cands {
+                let mut ids = incumbent.clone();
+                ids[j] = cv_ids[cv_idx];
+                candidates.push(Candidate::PerLoop(ids));
+                self.probe_plan.push((j, cv_idx));
+            }
+        }
+        Some(CollectionRequest {
+            candidates,
+            seed: derive_seed(self.seed, &format!("recollect-{}", self.round)),
+        })
+    }
+
+    fn observe_collection(&mut self, data: &MixedCollection) {
+        // Re-rank each module's pruned set by the measured end-to-end
+        // time of its substitution probe, keep the best half (at least
+        // 1). Faulted probes score `+inf` and sort last.
+        for j in 0..self.pruned.len() {
+            let mut scored: Vec<(usize, f64)> = self
+                .probe_plan
+                .iter()
+                .enumerate()
+                .filter(|(_, (pj, _))| *pj == j)
+                .map(|(row, (_, cv_idx))| (*cv_idx, data.end_to_end[row]))
+                .collect();
+            scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("probe times are never NaN"));
+            scored.truncate((scored.len() / 2).max(1));
+            self.pruned[j] = scored.into_iter().map(|(c, _)| c).collect();
+        }
     }
 }
 
@@ -244,6 +439,48 @@ mod tests {
     }
 
     #[test]
+    fn recollect_probes_under_a_nonuniform_incumbent() {
+        let (ctx, data) = setup();
+        let before = ctx.cost();
+        let r = cfr_iterative_recollect(&ctx, &data, 8, 60, 2, 5);
+        let spent = ctx.cost().since(&before);
+        assert_eq!(r.evaluations, 60);
+        assert_eq!(r.history.len(), r.evaluations);
+        assert_eq!(r.assignment.len(), ctx.modules());
+        // The incumbent the probes were built around is a genuine
+        // per-loop assignment, not a uniform CV.
+        assert!(
+            r.assignment.windows(2).any(|w| w[0] != w[1]),
+            "recollect incumbent degenerated to a uniform assignment"
+        );
+        // The ledger shows the re-collection: one probe per pruned CV
+        // per module at the round boundary, on top of the 60 search
+        // evaluations and the 10 baseline repeats.
+        let probes: u64 = 8 * ctx.modules() as u64;
+        assert!(
+            spent.runs >= r.evaluations as u64 + 10 + probes,
+            "expected recollect probes in the ledger: runs = {}",
+            spent.runs
+        );
+    }
+
+    #[test]
+    fn recollect_is_deterministic_and_close_to_iterative() {
+        let (ctx, data) = setup();
+        let a = cfr_iterative_recollect(&ctx, &data, 8, 60, 2, 5);
+        let b = cfr_iterative_recollect(&ctx, &data, 8, 60, 2, 5);
+        assert_eq!(a.best_time, b.best_time);
+        assert_eq!(a.assignment, b.assignment);
+        let plain = cfr_iterative(&ctx, &data, 8, 60, 2, 5);
+        assert!(
+            a.speedup() > plain.speedup() - 0.05,
+            "recollect {} vs iterative {}",
+            a.speedup(),
+            plain.speedup()
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "patience must be positive")]
     fn zero_patience_rejected() {
         let (ctx, data) = setup();
@@ -255,5 +492,12 @@ mod tests {
     fn zero_rounds_rejected() {
         let (ctx, data) = setup();
         let _ = cfr_iterative(&ctx, &data, 8, 10, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn recollect_zero_rounds_rejected() {
+        let (ctx, data) = setup();
+        let _ = cfr_iterative_recollect(&ctx, &data, 8, 10, 0, 1);
     }
 }

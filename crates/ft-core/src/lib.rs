@@ -41,6 +41,7 @@ pub mod extensions;
 pub mod importance;
 pub mod pipeline;
 pub mod result;
+pub mod search;
 pub mod stability;
 pub mod stats;
 pub mod store;
@@ -48,15 +49,19 @@ pub mod variance;
 
 pub use algorithms::{cfr, fr_search, greedy, random_search, GreedyOutcome};
 pub use checkpoint::{CampaignCheckpoint, Checkpoint, CheckpointError, CHECKPOINT_VERSION};
-pub use collection::{collect, CollectionData};
+pub use collection::{collect, collect_candidates, CollectionData, MixedCollection};
 pub use convergence::Convergence;
 pub use cost::TuningCost;
 pub use critical::critical_flags;
 pub use ctx::{CacheStats, EvalContext, FaultStats, ResilienceConfig};
-pub use extensions::{cfr_adaptive, cfr_iterative};
+pub use extensions::{cfr_adaptive, cfr_iterative, cfr_iterative_recollect};
 pub use importance::{flag_importance, FlagImportance};
 pub use pipeline::{Phase, PhaseSpan, ScheduleMode, ScheduleReport, Tuner, TuningRun};
 pub use result::TuningResult;
+pub use search::{
+    argmin_finite, strictly_better, Candidate, CollectionRequest, History, Observation, Proposal,
+    SearchDriver, SearchStrategy,
+};
 pub use stability::{measure_repeated, speedup_with_stats, MeasurementStats};
 pub use store::ObjectStore;
 pub use variance::{variance_study, SearchVariance};

@@ -23,6 +23,11 @@
 //! schedule-dependent artifacts are wall-clock spans and *attribution*
 //! of injected faults between `quarantined` and first-discovery
 //! counters (never the fault's `+inf` value itself).
+//!
+//! Each search phase is a [`crate::search::SearchStrategy`] run by the
+//! shared [`crate::search::SearchDriver`]: the phase functions here
+//! only pick budgets and sub-seeds; proposing, evaluating, and winner
+//! materialization live in the driver (DESIGN.md §11).
 
 use crate::algorithms::{cfr, fr_search, greedy, random_search, GreedyOutcome};
 use crate::checkpoint::{CampaignCheckpoint, CheckpointError, CHECKPOINT_VERSION};

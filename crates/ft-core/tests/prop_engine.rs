@@ -2,10 +2,13 @@
 //! lossless encoding, and evaluating through `CvId` handles is
 //! observationally identical to the original `Cv`-based path.
 
-use ft_compiler::Compiler;
-use ft_core::EvalContext;
-use ft_flags::rng::rng_for;
-use ft_flags::{CvId, CvPool};
+use ft_compiler::{Compiler, FaultModel};
+use ft_core::{
+    Candidate, EvalContext, History, Observation, Proposal, SearchDriver, SearchStrategy,
+    TuningResult,
+};
+use ft_flags::rng::{derive_seed_idx, rng_for};
+use ft_flags::{Cv, CvId, CvPool};
 use ft_machine::Architecture;
 use ft_outline::outline_with_defaults;
 use ft_workloads::workload_by_name;
@@ -75,6 +78,97 @@ proptest! {
 
         prop_assert_eq!(via_ids.len(), via_cvs.len());
         for (a, b) in via_ids.iter().zip(&via_cvs) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// A one-shot strategy driven through [`SearchDriver`] observes
+    /// bit-identical times to calling `eval_uniform_resilient` on the
+    /// materialized CVs directly — clean and under the fault testbed,
+    /// on a fresh context per path (so neither path warms the caches
+    /// or the quarantine for the other).
+    #[test]
+    fn driver_uniform_matches_direct_resilient(
+        seed in any::<u64>(),
+        n in 1usize..10,
+        faulted in any::<bool>(),
+    ) {
+        let faults = if faulted {
+            FaultModel::testbed(0xFA17)
+        } else {
+            FaultModel::zero()
+        };
+        let cvs = {
+            let ctx = mk_ctx();
+            ctx.space().sample_many(n, &mut rng_for(seed, "prop-driver"))
+        };
+
+        let ctx_direct = mk_ctx().with_faults(faults);
+        let direct: Vec<f64> = cvs
+            .iter()
+            .enumerate()
+            .map(|(i, cv)| ctx_direct.eval_uniform_resilient(cv, derive_seed_idx(seed, i as u64)))
+            .collect();
+
+        struct OneShot {
+            cvs: Vec<Cv>,
+            seed: u64,
+            done: bool,
+            seen: Vec<f64>,
+        }
+        impl SearchStrategy for OneShot {
+            fn name(&self) -> &str {
+                "one-shot"
+            }
+            fn propose(&mut self, pool: &CvPool, _history: &History) -> Vec<Proposal> {
+                if self.done {
+                    return Vec::new();
+                }
+                self.done = true;
+                pool.intern_all(&self.cvs)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, id)| {
+                        Proposal::new(Candidate::Uniform(id), derive_seed_idx(self.seed, i as u64))
+                    })
+                    .collect()
+            }
+            fn observe(&mut self, _pool: &CvPool, results: &[Observation<'_>]) {
+                self.seen.extend(results.iter().map(|o| o.time));
+            }
+            fn finish(
+                &mut self,
+                _ctx: &EvalContext,
+                _pool: &CvPool,
+                history: &History,
+            ) -> TuningResult {
+                // No winner selection: under the testbed every proposal
+                // may legitimately fault, which the default finish
+                // treats as a bug. This property is about the observed
+                // times, not the winner.
+                TuningResult {
+                    algorithm: "one-shot".into(),
+                    best_time: 0.0,
+                    baseline_time: 0.0,
+                    assignment: Vec::new(),
+                    best_index: 0,
+                    history: Vec::new(),
+                    evaluations: history.len(),
+                }
+            }
+        }
+
+        let ctx_driver = mk_ctx().with_faults(faults);
+        let mut probe = OneShot {
+            cvs,
+            seed,
+            done: false,
+            seen: Vec::new(),
+        };
+        let r = SearchDriver::new(&ctx_driver).run(&mut probe);
+        prop_assert_eq!(r.evaluations, n);
+        prop_assert_eq!(probe.seen.len(), direct.len());
+        for (a, b) in probe.seen.iter().zip(&direct) {
             prop_assert_eq!(a.to_bits(), b.to_bits());
         }
     }

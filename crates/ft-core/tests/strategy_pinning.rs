@@ -1,0 +1,228 @@
+//! Per-strategy RNG-stream pinning for the `SearchStrategy` port.
+//!
+//! Each core strategy's `(evaluations, timeline digest, winner digest,
+//! best_time bits)` on the seed corpus was captured from the
+//! pre-`SearchDriver` implementations (the hand-rolled
+//! propose/measure/record loops). The port to interned `Candidate`s
+//! must leave every RNG stream — candidate sampling, per-candidate
+//! noise seeds, retry seeds — bit-identical, so these constants must
+//! never move. A second set pins the same streams under a nonzero
+//! fault model, where retry/quarantine seed derivation could drift
+//! silently without changing the clean path.
+
+use ft_compiler::{Compiler, FaultModel};
+use ft_core::{
+    cfr, cfr_adaptive, cfr_iterative, collect, fr_search, greedy, random_search, EvalContext,
+    TuningResult,
+};
+use ft_flags::rng::mix;
+use ft_machine::Architecture;
+use ft_outline::outline_with_defaults;
+use ft_workloads::workload_by_name;
+
+fn ctx(faults: Option<FaultModel>) -> EvalContext {
+    let arch = Architecture::broadwell();
+    let compiler = Compiler::icc(arch.target);
+    let w = workload_by_name("swim").expect("swim in suite");
+    let input = w.tuning_input(arch.name);
+    let ir = w.instantiate(input);
+    let (outlined, _) = outline_with_defaults(&ir, &compiler, &arch, 5, 11);
+    let ctx = EvalContext::new(outlined.ir, Compiler::icc(arch.target), arch, 5, 99);
+    match faults {
+        Some(f) => ctx.with_faults(f),
+        None => ctx,
+    }
+}
+
+fn digest_times(times: &[f64]) -> u64 {
+    let mut h = 0u64;
+    for t in times {
+        h = mix(h ^ t.to_bits());
+    }
+    h
+}
+
+fn digest_assignment(cvs: &[ft_flags::Cv]) -> u64 {
+    let mut h = 0u64;
+    for cv in cvs {
+        h = mix(h ^ cv.digest());
+    }
+    h
+}
+
+/// `(evaluations, timeline digest, winner digest, best-time bits)`.
+type Pin = (usize, u64, u64, u64);
+
+fn pin_of(r: &TuningResult) -> Pin {
+    (
+        r.evaluations,
+        digest_times(&r.history),
+        digest_assignment(&r.assignment),
+        r.best_time.to_bits(),
+    )
+}
+
+fn run_all(faults: Option<FaultModel>) -> Vec<(&'static str, Pin)> {
+    let ctx = ctx(faults);
+    let data = collect(&ctx, 40, 13);
+    let baseline = ctx.baseline_time(10);
+    let g = greedy(&ctx, &data, baseline);
+    vec![
+        ("random", pin_of(&random_search(&ctx, 40, 17))),
+        ("fr", pin_of(&fr_search(&ctx, 40, 18))),
+        ("greedy", pin_of(&g.realized)),
+        ("cfr", pin_of(&cfr(&ctx, &data, 8, 40, 19))),
+        (
+            "cfr-adaptive",
+            pin_of(&cfr_adaptive(&ctx, &data, 8, 40, 10, 20)),
+        ),
+        (
+            "cfr-iterative",
+            pin_of(&cfr_iterative(&ctx, &data, 8, 40, 2, 21)),
+        ),
+        ("collection", {
+            let mut bytes = Vec::new();
+            data.write_canonical(&mut bytes);
+            (data.k(), ft_core::canonical::digest(&bytes), 0, 0)
+        }),
+    ]
+}
+
+fn assert_pins(actual: &[(&'static str, Pin)], golden: &[(&str, usize, u64, u64, u64)]) {
+    for (name, (evals, tl, win, bits)) in actual {
+        println!("(\"{name}\", {evals}, 0x{tl:016X}, 0x{win:016X}, 0x{bits:016X}),");
+    }
+    assert_eq!(actual.len(), golden.len());
+    for ((name, (evals, tl, win, bits)), (gname, gevals, gtl, gwin, gbits)) in
+        actual.iter().zip(golden)
+    {
+        assert_eq!(name, gname);
+        assert_eq!(evals, gevals, "{name}: evaluation count drifted");
+        assert_eq!(tl, gtl, "{name}: timeline digest drifted");
+        assert_eq!(win, gwin, "{name}: winner digest drifted");
+        assert_eq!(bits, gbits, "{name}: best_time bits drifted");
+    }
+}
+
+#[test]
+fn clean_strategy_streams_are_pinned() {
+    assert_pins(&run_all(None), GOLDEN_CLEAN);
+}
+
+#[test]
+fn faulted_strategy_streams_are_pinned() {
+    // Rates high enough that compile failures, crashes, hangs and
+    // outliers all fire within a 40-candidate corpus, so the retry
+    // seed stream (`noise ^ SALT_RETRY`) is exercised and pinned too.
+    let faults = FaultModel::with_rates(0xFA17, 0.04, 0.02, 0.01, 0.02);
+    assert_pins(&run_all(Some(faults)), GOLDEN_FAULTED);
+}
+
+// Captured from the pre-SearchDriver implementations (swim/Broadwell,
+// icc, 5 steps, outline seed 11, noise root 99; collection K=40 seed
+// 13). Tuples: (name, evaluations, timeline digest, winner digest,
+// best_time bits). The collection row reuses the slots as
+// (K, canonical digest, 0, 0).
+const GOLDEN_CLEAN: &[(&str, usize, u64, u64, u64)] = &[
+    (
+        "random",
+        40,
+        0xE7CE6FB87178F856,
+        0x7009B1DB3DD8EC19,
+        0x40010C93EBB992AC,
+    ),
+    (
+        "fr",
+        40,
+        0x6334D464D52108A9,
+        0x8210C725728B6CED,
+        0x4001DC64BEAA2F35,
+    ),
+    (
+        "greedy",
+        1,
+        0x118452F28A0964CF,
+        0xADA35339357F6946,
+        0x400321BB1C6A7BD3,
+    ),
+    (
+        "cfr",
+        40,
+        0xAE614DA34D80C1EA,
+        0xDBAEA2F08FA726A4,
+        0x400122C119DFD704,
+    ),
+    (
+        "cfr-adaptive",
+        18,
+        0x5FF5AF7BAEA25170,
+        0x36D3AEC44796E58B,
+        0x40012EAD23FC540E,
+    ),
+    (
+        "cfr-iterative",
+        40,
+        0xB58113CEBDA5321B,
+        0x051B95E38E2EB2D8,
+        0x4000FE4EEE2A9E21,
+    ),
+    (
+        "collection",
+        40,
+        0x41995460076E3E62,
+        0x0000000000000000,
+        0x0000000000000000,
+    ),
+];
+
+const GOLDEN_FAULTED: &[(&str, usize, u64, u64, u64)] = &[
+    (
+        "random",
+        40,
+        0xD642F8FB129102D1,
+        0x7009B1DB3DD8EC19,
+        0x40010C93EBB992AC,
+    ),
+    (
+        "fr",
+        40,
+        0x44EBFA64607CD25F,
+        0x8210C725728B6CED,
+        0x4001DC64BEAA2F35,
+    ),
+    (
+        "greedy",
+        1,
+        0x118452F28A0964CF,
+        0xADA35339357F6946,
+        0x400321BB1C6A7BD3,
+    ),
+    (
+        "cfr",
+        40,
+        0x1838D2C3133D3426,
+        0x15DF72265B9CBC92,
+        0x4000F4A507B68221,
+    ),
+    (
+        "cfr-adaptive",
+        14,
+        0x940ACFD3E3D26209,
+        0xBFD78F86CD236CE5,
+        0x40021534A7EAA4A6,
+    ),
+    (
+        "cfr-iterative",
+        40,
+        0x23CEA34768DA6EC1,
+        0x147947A773AAFD77,
+        0x40011904E8A02FDB,
+    ),
+    (
+        "collection",
+        40,
+        0x2C27C6D9BCDDC876,
+        0x0000000000000000,
+        0x0000000000000000,
+    ),
+];

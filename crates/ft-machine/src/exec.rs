@@ -311,36 +311,41 @@ fn non_loop_time_per_step(m: &CompiledModule, arch: &Architecture, call_cost_s: 
     seconds_per_step / arch.scalar_speed / m.decisions.backend_quality + call_cost_s
 }
 
+/// Measured wall time of module `i` under this run's options.
+fn module_time(linked: &LinkedProgram, arch: &Architecture, opts: &ExecOptions, i: usize) -> f64 {
+    let m = &linked.modules[i];
+    let per_step = match m.module.kind {
+        ModuleKind::HotLoop(_) => {
+            loop_cost_per_step(
+                m,
+                arch,
+                linked.icache_factor,
+                linked.conflict_factor[i],
+                linked.combo_seed,
+            )
+            .total_s
+        }
+        ModuleKind::NonLoop { .. } => non_loop_time_per_step(m, arch, linked.call_cost_s),
+    };
+    let mut t = per_step * f64::from(opts.steps);
+    if opts.instrumented {
+        // Caliper annotation overhead: < 3 %, loop-specific.
+        let seed = ft_flags::rng::hash_label(&m.module.name);
+        t *= 1.0 + 0.015 * jitter(seed, "caliper-ovh", 0.3, 1.8);
+    }
+    if opts.sigma > 0.0 {
+        let seed = derive_seed_idx(opts.noise_seed, i as u64);
+        t = noise::noisy(t, seed, &m.module.name, opts.sigma);
+    }
+    t
+}
+
 /// Runs a linked executable and measures end-to-end and per-module
 /// times.
 pub fn execute(linked: &LinkedProgram, arch: &Architecture, opts: &ExecOptions) -> RunMeasurement {
-    let steps = f64::from(opts.steps);
     let mut per_module = Vec::with_capacity(linked.modules.len());
-    for (i, m) in linked.modules.iter().enumerate() {
-        let per_step = match m.module.kind {
-            ModuleKind::HotLoop(_) => {
-                loop_cost_per_step(
-                    m,
-                    arch,
-                    linked.icache_factor,
-                    linked.conflict_factor[i],
-                    linked.combo_seed,
-                )
-                .total_s
-            }
-            ModuleKind::NonLoop { .. } => non_loop_time_per_step(m, arch, linked.call_cost_s),
-        };
-        let mut t = per_step * steps;
-        if opts.instrumented {
-            // Caliper annotation overhead: < 3 %, loop-specific.
-            let seed = ft_flags::rng::hash_label(&m.module.name);
-            t *= 1.0 + 0.015 * jitter(seed, "caliper-ovh", 0.3, 1.8);
-        }
-        if opts.sigma > 0.0 {
-            let seed = derive_seed_idx(opts.noise_seed, i as u64);
-            t = noise::noisy(t, seed, &m.module.name, opts.sigma);
-        }
-        per_module.push(t);
+    for i in 0..linked.modules.len() {
+        per_module.push(module_time(linked, arch, opts, i));
     }
     let total_s: f64 = per_module.iter().sum();
     RunMeasurement {
@@ -348,6 +353,21 @@ pub fn execute(linked: &LinkedProgram, arch: &Architecture, opts: &ExecOptions) 
         per_module_s: per_module,
         steps: opts.steps,
     }
+}
+
+/// Runs a linked executable and measures only the end-to-end time —
+/// [`execute`] without the per-module vector.
+///
+/// The accumulation order matches `execute`'s push-then-sum exactly,
+/// so the returned f64 is bit-identical while allocating nothing.
+/// This is the hot path of batched candidate evaluation, where the
+/// per-module breakdown is discarded anyway.
+pub fn execute_total(linked: &LinkedProgram, arch: &Architecture, opts: &ExecOptions) -> f64 {
+    let mut total_s = 0.0;
+    for i in 0..linked.modules.len() {
+        total_s += module_time(linked, arch, opts, i);
+    }
+    total_s
 }
 
 /// Per-step cost breakdown for every hot loop of a linked executable

@@ -30,8 +30,9 @@ pub mod roofline;
 
 pub use arch::Architecture;
 pub use exec::{
-    breakdown, execute, execute_profiled, program_fingerprint, try_execute, try_execute_profiled,
-    ExecOptions, FaultQuarantine, LoopCost, RunMeasurement, RunOutcome, DEFAULT_HANG_CHARGE_FACTOR,
+    breakdown, execute, execute_profiled, execute_total, program_fingerprint, try_execute,
+    try_execute_profiled, ExecOptions, FaultQuarantine, LoopCost, RunMeasurement, RunOutcome,
+    DEFAULT_HANG_CHARGE_FACTOR,
 };
 pub use link::{link, LinkCache, LinkedProgram, LtoOverride};
 pub use roofline::{analyze as roofline_analyze, Bound, LoopRoofline};

@@ -61,6 +61,7 @@ fn main() {
             "--fault-crash" => cfg.fault_crash = parse_rate(it.next(), "--fault-crash"),
             "--fault-hang" => cfg.fault_hang = parse_rate(it.next(), "--fault-hang"),
             "--fault-outlier" => cfg.fault_outlier = parse_rate(it.next(), "--fault-outlier"),
+            "--cfr-iterative" => cfg.cfr_iterative = true,
             "--phase-parallel" => cfg.phase_parallel = true,
             "--cache-capacity" => cfg.cache_capacity = Some(parse(it.next(), "--cache-capacity")),
             "--no-shared-store" => shared_store = false,
@@ -160,13 +161,16 @@ fn print_help() {
         "repro — regenerate the FuncyTuner paper's tables and figures\n\n\
          usage: repro [ids...|all] [--full] [--compare] [--json DIR] [--md DIR] [--seed N] [--k N] [--x N]\n\
                 repro [ids...] [--fault-compile P] [--fault-crash P] [--fault-hang P] [--fault-outlier P]\n\
-                repro [ids...] [--phase-parallel]\n\
+                repro [ids...] [--cfr-iterative] [--phase-parallel]\n\
                 repro [ids...] [--cache-capacity N] [--no-shared-store]\n\
                 repro --list\n\n\
          Default is quick mode (reduced budget, minutes). --full runs the\n\
          paper's K=1000 protocol. The --fault-* probabilities inject\n\
          deterministic toolchain faults (seeded off --seed); the harness\n\
          retries, quarantines, and reports them in the overhead table.\n\
+         --cfr-iterative adds the iterative-CFR extension rows to the\n\
+         overhead table, including the variant that re-collects\n\
+         per-loop timers under its non-uniform incumbent.\n\
          --phase-parallel overlaps each campaign's phases on the DAG\n\
          scheduler; results are bit-identical to the serial schedule.\n\
          --cache-capacity bounds every object/link cache to N entries\n\

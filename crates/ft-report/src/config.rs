@@ -33,6 +33,10 @@ pub struct ReproConfig {
     /// Injected outlier-measurement probability per run.
     #[serde(default)]
     pub fault_outlier: f64,
+    /// Add the iterative-CFR extension rows (`CFR-iterative` and the
+    /// re-collecting `CFR-iter-recollect`) to the overhead table.
+    #[serde(default)]
+    pub cfr_iterative: bool,
     /// Run each campaign's phases overlapped on the DAG scheduler
     /// (results are bit-identical either way; only wall time differs).
     #[serde(default)]
@@ -65,6 +69,7 @@ impl ReproConfig {
             fault_crash: 0.0,
             fault_hang: 0.0,
             fault_outlier: 0.0,
+            cfr_iterative: false,
             phase_parallel: false,
             cache_capacity: None,
             store: None,
@@ -84,6 +89,7 @@ impl ReproConfig {
             fault_crash: 0.0,
             fault_hang: 0.0,
             fault_outlier: 0.0,
+            cfr_iterative: false,
             phase_parallel: false,
             cache_capacity: None,
             store: None,

@@ -789,6 +789,42 @@ fn overhead(cfg: &ReproConfig) -> Artifact {
         let c = ctx.cost();
         rows.push(row("CFR-adaptive", c, r.speedup(), c.machine_seconds));
     }
+    if cfg.cfr_iterative {
+        // Multi-round extension rows (opt-in: `--cfr-iterative`). The
+        // recollect variant additionally probes every pruned CV
+        // substituted into its current best assignment at each round
+        // boundary — per-loop evidence gathered under a non-uniform
+        // incumbent, visible here as extra runs over plain iterative.
+        let rounds = 4;
+        {
+            let ctx = fresh_ctx();
+            let data = collect(&ctx, cfg.k, derive_seed(cfg.seed, "oh-iter"));
+            let r = ft_core::cfr_iterative(
+                &ctx,
+                &data,
+                cfg.x,
+                cfg.k,
+                rounds,
+                derive_seed(cfg.seed, "oh-iter2"),
+            );
+            let c = ctx.cost();
+            rows.push(row("CFR-iterative", c, r.speedup(), c.machine_seconds));
+        }
+        {
+            let ctx = fresh_ctx();
+            let data = collect(&ctx, cfg.k, derive_seed(cfg.seed, "oh-rec"));
+            let r = ft_core::cfr_iterative_recollect(
+                &ctx,
+                &data,
+                cfg.x,
+                cfg.k,
+                rounds,
+                derive_seed(cfg.seed, "oh-rec2"),
+            );
+            let c = ctx.cost();
+            rows.push(row("CFR-iter-recollect", c, r.speedup(), c.machine_seconds));
+        }
+    }
     {
         let ctx = fresh_ctx();
         let r = opentuner_search(&ctx, cfg.opentuner_budget, derive_seed(cfg.seed, "oh-ot"));
@@ -862,6 +898,7 @@ fn overhead(cfg: &ReproConfig) -> Artifact {
             "CFR costs ~2x Random (collection + re-sampling) but per-loop objects are heavily reused".into(),
             "links/link reuses: whole-program links performed vs duplicate assignments served from the link cache (xild analogue)".into(),
             "fault columns (cfails/crashes/timeouts/retries/quarantined) are all zero unless --fault-* rates are set".into(),
+            "--cfr-iterative adds the multi-round extension rows; CFR-iter-recollect's extra runs are its per-round incumbent-substitution probes".into(),
             "obj evict/link evict: LRU cache evictions; nonzero only under --cache-capacity, and result-invariant either way".into(),
             "sched wall h: testbed occupancy under the row's schedule; the Campaign rows price the same bit-identical campaign serially vs at the phase DAG's critical path (baseline + max(collect, random, fr) + max(greedy, cfr))".into(),
         ],
@@ -1057,6 +1094,28 @@ mod tests {
         assert!(
             speedup >= 1.3,
             "overlap must shorten the campaign: {serial} / {overlapped} = {speedup}"
+        );
+    }
+
+    #[test]
+    fn overhead_table_gains_iterative_rows_behind_the_flag() {
+        let mut cfg = quick();
+        cfg.cfr_iterative = true;
+        let a = run_experiment("overhead", &cfg);
+        let t = a.as_table().unwrap();
+        assert_eq!(t.rows.len(), 10);
+        let runs = |name: &str| -> u64 {
+            t.rows.iter().find(|r| r[0] == name).unwrap()[1]
+                .parse()
+                .unwrap()
+        };
+        // The recollect variant pays for its per-round incumbent
+        // probes: strictly more runs than plain iterative CFR.
+        assert!(
+            runs("CFR-iter-recollect") > runs("CFR-iterative"),
+            "recollect probes must show up in the ledger: {} vs {}",
+            runs("CFR-iter-recollect"),
+            runs("CFR-iterative")
         );
     }
 
