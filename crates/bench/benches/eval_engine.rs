@@ -17,9 +17,13 @@ use ft_compiler::ObjectCache;
 use ft_core::EvalContext;
 use ft_flags::rng::{derive_seed_idx, rng_for};
 use ft_flags::{Cv, CvId, CvPool};
-use ft_machine::{execute, execute_total, link, Architecture, ExecOptions};
+use ft_machine::{
+    execute, execute_batch_total, execute_total, link, Architecture, BatchPlan, ExecOptions,
+    ExecShape, LinkedProgram,
+};
 use rand::Rng;
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// `FT_BENCH_SMOKE=1` shrinks the batch sizes so CI can smoke-test the
 /// harness (including the bit-equality asserts) in seconds.
@@ -178,5 +182,68 @@ fn exec_total_benches(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, engine_benches, exec_total_benches);
+/// `execute_total` vs `execute_batch_total`: the scalar run model
+/// against the lane-oriented batch executor, at batch widths spanning
+/// one rayon chunk (the driver executes 64-lane chunks). Both paths
+/// are asserted bit-identical per lane before timing, so the numbers
+/// compare equal work. `W` lanes are distinct mixed assignments —
+/// the worst case for the gather phase (no lane shares decisions).
+fn batch_exec_benches(c: &mut Criterion) {
+    let arch = Architecture::broadwell();
+    let ctx = bench_ctx("CloverLeaf", &arch);
+    let plan = BatchPlan::new(
+        &ctx.ir,
+        &ctx.arch,
+        ExecShape::of(&ExecOptions::new(ctx.steps, 0)),
+    );
+    let widths: Vec<usize> = if std::env::var_os("FT_BENCH_SMOKE").is_some() {
+        vec![4, 8]
+    } else {
+        vec![4, 8, 16, 64]
+    };
+    for w in widths {
+        let (pool, id_assignments, _) = assignment_inputs(&ctx, w);
+        let linked: Vec<Arc<LinkedProgram>> = id_assignments
+            .iter()
+            .map(|ids| ctx.linked_assignment_ids(&pool, ids))
+            .collect();
+        let lanes: Vec<(&LinkedProgram, u64)> = linked
+            .iter()
+            .enumerate()
+            .map(|(k, l)| (l.as_ref(), derive_seed_idx(ctx.noise_root, k as u64)))
+            .collect();
+        // Sanity: every lane must be bit-identical across paths.
+        let batch = execute_batch_total(&plan, &lanes);
+        for ((l, seed), b) in lanes.iter().zip(&batch) {
+            let scalar = execute_total(l, &ctx.arch, &plan.shape().options(*seed));
+            assert_eq!(
+                scalar.to_bits(),
+                b.to_bits(),
+                "scalar/batch divergence — bench is invalid"
+            );
+        }
+
+        let mut g = c.benchmark_group(format!("batch-exec/W{w}"));
+        g.throughput(Throughput::Elements(w as u64));
+        g.bench_function("execute_total", |b| {
+            b.iter(|| -> Vec<f64> {
+                lanes
+                    .iter()
+                    .map(|(l, seed)| execute_total(l, &ctx.arch, &plan.shape().options(*seed)))
+                    .collect()
+            })
+        });
+        g.bench_function("execute_batch_total", |b| {
+            b.iter(|| execute_batch_total(&plan, &lanes))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(
+    benches,
+    engine_benches,
+    exec_total_benches,
+    batch_exec_benches
+);
 criterion_main!(benches);

@@ -57,6 +57,17 @@ impl VecWidth {
             VecWidth::W512 => "512",
         }
     }
+
+    /// The jitter axis label for this width's true vector response,
+    /// `"true-vec-{bits}"`, without allocating per call.
+    pub fn true_vec_axis(self) -> &'static str {
+        match self {
+            VecWidth::Scalar => "true-vec-0",
+            VecWidth::W128 => "true-vec-128",
+            VecWidth::W256 => "true-vec-256",
+            VecWidth::W512 => "true-vec-512",
+        }
+    }
 }
 
 /// Instruction-selection strategy.
@@ -94,12 +105,7 @@ pub fn vector_efficiency(f: &LoopFeatures, width: VecWidth) -> f64 {
     let div_pen = (1.0 - f.divergence * (0.55 + 0.30 * wide)).max(0.10);
     let red_pen = if f.reduction { 0.85 } else { 1.0 };
     // Idiosyncratic true response of this loop to this width.
-    let idio = jitter(
-        f.response_seed,
-        &format!("true-vec-{}", width.bits()),
-        0.72,
-        1.25,
-    );
+    let idio = jitter(f.response_seed, width.true_vec_axis(), 0.72, 1.25);
     (lanes * friend * div_pen * red_pen * idio).max(0.30)
 }
 

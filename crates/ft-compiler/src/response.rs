@@ -13,15 +13,30 @@ use ft_flags::rng::{hash_label, mix};
 
 /// Uniform deterministic value in `[0, 1)` for `(seed, axis)`.
 pub fn unit(seed: u64, axis: &str) -> f64 {
-    let h = mix(seed ^ hash_label(axis));
+    unit_hashed(seed, hash_label(axis))
+}
+
+/// [`unit`] with the axis label pre-hashed through
+/// [`hash_label`]. Hot paths evaluating many seeds against one fixed
+/// axis hoist the hash once; bit-identical to `unit(seed, axis)`.
+#[inline]
+pub fn unit_hashed(seed: u64, axis_hash: u64) -> f64 {
+    let h = mix(seed ^ axis_hash);
     // 53 high bits -> [0, 1).
     (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// Uniform deterministic value in `[lo, hi)` for `(seed, axis)`.
 pub fn jitter(seed: u64, axis: &str, lo: f64, hi: f64) -> f64 {
+    jitter_hashed(seed, hash_label(axis), lo, hi)
+}
+
+/// [`jitter`] with the axis label pre-hashed through [`hash_label`];
+/// bit-identical to `jitter(seed, axis, lo, hi)`.
+#[inline]
+pub fn jitter_hashed(seed: u64, axis_hash: u64, lo: f64, hi: f64) -> f64 {
     debug_assert!(hi >= lo);
-    lo + unit(seed, axis) * (hi - lo)
+    lo + unit_hashed(seed, axis_hash) * (hi - lo)
 }
 
 /// Deterministic boolean with probability `p` for `(seed, axis)`.

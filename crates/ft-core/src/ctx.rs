@@ -8,9 +8,9 @@ use ft_compiler::{CompiledModule, Compiler, FaultModel, Module, ObjectCache, Pro
 use ft_flags::rng::derive_seed_idx;
 use ft_flags::{Cv, CvId, CvPool, FlagSpace};
 use ft_machine::{
-    execute, execute_profiled, execute_total, link, try_execute, try_execute_profiled,
-    Architecture, ExecOptions, FaultQuarantine, LinkCache, LinkedProgram, RunMeasurement,
-    RunOutcome,
+    execute, execute_batch_total, execute_profiled, execute_total, link, try_execute,
+    try_execute_profiled, Architecture, BatchPlan, ExecOptions, ExecShape, FaultQuarantine,
+    LinkCache, LinkedProgram, RunMeasurement, RunOutcome,
 };
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -164,6 +164,10 @@ pub struct EvalContext {
     /// measurement. Random, FR, and CFR all re-ask for the same
     /// 10-repeat baseline; measuring it once changes no value.
     baseline_memo: OnceLock<(u32, f64)>,
+    /// Memoized [`BatchPlan`] for this context's `(program, arch,
+    /// run-shape)` triple: every candidate of the zero-fault batched
+    /// evaluation path shares it.
+    batch_plan: OnceLock<BatchPlan>,
     /// Number of executions performed through this context.
     runs: AtomicU64,
     /// Simulated machine time spent in those executions, nanoseconds.
@@ -219,6 +223,7 @@ impl EvalContext {
             links: LinkCache::new(),
             store: None,
             baseline_memo: OnceLock::new(),
+            batch_plan: OnceLock::new(),
             runs: AtomicU64::new(0),
             machine_nanos: AtomicU64::new(0),
             faults: FaultModel::zero(),
@@ -504,6 +509,52 @@ impl EvalContext {
         assert_eq!(assignment.len(), self.ir.len(), "one CV per module");
         let digests: Vec<u64> = assignment.iter().map(|cv| cv.digest()).collect();
         self.link_digests(&digests, || self.compile_assignment_cached(assignment))
+    }
+
+    /// Interned-handle variant of [`EvalContext::linked_uniform`]: the
+    /// compile-and-link half of `eval_uniform_id_resilient`, split out
+    /// so the batch executor can run many linked candidates at once.
+    pub fn linked_uniform_id(&self, pool: &CvPool, id: CvId) -> Arc<LinkedProgram> {
+        let digests = vec![pool.digest(id); self.ir.len()];
+        self.link_digests(&digests, || self.compile_uniform(&pool.get(id)))
+    }
+
+    /// Interned-handle variant of [`EvalContext::linked_assignment`]:
+    /// the compile-and-link half of `eval_assignment_ids_resilient`.
+    pub fn linked_assignment_ids(&self, pool: &CvPool, ids: &[CvId]) -> Arc<LinkedProgram> {
+        assert_eq!(ids.len(), self.ir.len(), "one CV per module");
+        let digests = pool.digests(ids);
+        self.link_digests(&digests, || {
+            self.ir
+                .modules
+                .iter()
+                .zip(ids)
+                .map(|(m, id)| self.compile_module_owned(m, &pool.get(*id)))
+                .collect()
+        })
+    }
+
+    /// The lane-oriented execution plan for this context's `(program,
+    /// architecture, run-shape)` triple, built once on first use. The
+    /// shape matches `ExecOptions::new(self.steps, _)` — exactly what
+    /// the zero-fault, non-caliper evaluation paths run under.
+    pub fn batch_plan(&self) -> &BatchPlan {
+        self.batch_plan.get_or_init(|| {
+            let shape = ExecShape::of(&ExecOptions::new(self.steps, 0));
+            BatchPlan::new(&self.ir, &self.arch, shape)
+        })
+    }
+
+    /// Executes W already-linked candidates through the batch plan,
+    /// each under its own noise seed, charging the ledger one run per
+    /// lane. Per lane, the returned time is bit-identical to
+    /// `execute_total` under `ExecOptions::new(self.steps, seed)`.
+    pub fn execute_linked_batch(&self, lanes: &[(&LinkedProgram, u64)]) -> Vec<f64> {
+        let totals = execute_batch_total(self.batch_plan(), lanes);
+        for t in &totals {
+            self.charge_run(*t);
+        }
+        totals
     }
 
     /// The flag space being searched.

@@ -59,8 +59,8 @@ pub use importance::{flag_importance, FlagImportance};
 pub use pipeline::{Phase, PhaseSpan, ScheduleMode, ScheduleReport, Tuner, TuningRun};
 pub use result::TuningResult;
 pub use search::{
-    argmin_finite, strictly_better, Candidate, CollectionRequest, History, Observation, Proposal,
-    SearchDriver, SearchStrategy,
+    argmin_finite, strictly_better, Candidate, CollectionRequest, EvalMode, History, Observation,
+    Proposal, SearchDriver, SearchStrategy,
 };
 pub use stability::{measure_repeated, speedup_with_stats, MeasurementStats};
 pub use store::ObjectStore;

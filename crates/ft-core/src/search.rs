@@ -24,7 +24,9 @@ use crate::collection::{collect_candidates, MixedCollection};
 use crate::ctx::EvalContext;
 use crate::result::{best_so_far, TuningResult};
 use ft_flags::{Cv, CvId, CvPool};
+use ft_machine::LinkedProgram;
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// One search point, in interned form. Losing candidates never leave
 /// this representation; only the winner is materialized back to owned
@@ -147,10 +149,47 @@ pub trait SearchStrategy {
     }
 }
 
+/// How the driver executes an evaluation batch.
+///
+/// Both modes produce bit-identical times (pinned by the
+/// `batch_equivalence` suites and the unchanged golden digests); they
+/// differ only in throughput. `Batched` is the default; set
+/// `FT_EVAL_MODE=scalar` to force the historical per-candidate path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// Lane-oriented batch execution: link every proposal, then run
+    /// W-wide chunks through the context's precomputed
+    /// [`ft_machine::BatchPlan`]. Used for zero-fault contexts; a
+    /// fault-injecting context falls back to `Scalar` (retries and
+    /// quarantine are inherently per-candidate).
+    #[default]
+    Batched,
+    /// One resilient `execute_total` per candidate.
+    Scalar,
+}
+
+impl EvalMode {
+    /// The mode the `FT_EVAL_MODE` environment variable selects
+    /// (`scalar` forces the per-candidate path; anything else, or an
+    /// unset variable, keeps the batched default).
+    pub fn from_env() -> Self {
+        match std::env::var("FT_EVAL_MODE") {
+            Ok(v) if v.eq_ignore_ascii_case("scalar") => EvalMode::Scalar,
+            _ => EvalMode::Batched,
+        }
+    }
+}
+
+/// Lanes per `execute_batch_total` call: wide enough to amortize the
+/// gather and keep the arithmetic pass vectorized, small enough that
+/// chunks spread across the rayon pool.
+const BATCH_CHUNK: usize = 64;
+
 /// The single propose/evaluate/record loop behind every tuner.
 pub struct SearchDriver<'a> {
     ctx: &'a EvalContext,
     pool: CvPool,
+    eval_mode: EvalMode,
 }
 
 impl<'a> SearchDriver<'a> {
@@ -158,7 +197,15 @@ impl<'a> SearchDriver<'a> {
         SearchDriver {
             ctx,
             pool: CvPool::new(),
+            eval_mode: EvalMode::from_env(),
         }
+    }
+
+    /// Overrides the evaluation mode (tests pin Batched ≡ Scalar with
+    /// this; campaigns normally keep the env-selected default).
+    pub fn with_eval_mode(mut self, mode: EvalMode) -> Self {
+        self.eval_mode = mode;
+        self
     }
 
     /// The driver's intern pool (shared with the strategy through
@@ -176,11 +223,7 @@ impl<'a> SearchDriver<'a> {
                 break;
             }
             let start = history.len();
-            // Candidates are pure functions of their (digests, noise
-            // seed) inputs and the ledger counters are atomic, so a
-            // parallel batch is observationally identical to the
-            // sequential loop it replaces.
-            let times: Vec<f64> = proposals.par_iter().map(|p| self.evaluate(p)).collect();
+            let times = self.evaluate_batch(&proposals);
             for (p, t) in proposals.into_iter().zip(&times) {
                 history.push(p.candidate, *t);
             }
@@ -201,6 +244,48 @@ impl<'a> SearchDriver<'a> {
         }
         assert!(!history.is_empty(), "strategy proposed no candidates");
         strategy.finish(self.ctx, &self.pool, &history)
+    }
+
+    /// Evaluates one proposal batch. Candidates are pure functions of
+    /// their (digests, noise seed) inputs and the ledger counters are
+    /// atomic, so both routes are observationally identical to the
+    /// sequential loop they replace — and bit-identical to each other.
+    ///
+    /// The batched route only serves infallible contexts: compile
+    /// gates, retries, and quarantine are per-candidate control flow
+    /// that the lane kernel deliberately excludes, so a fault-injecting
+    /// context stays on the scalar path.
+    fn evaluate_batch(&self, proposals: &[Proposal]) -> Vec<f64> {
+        if self.eval_mode == EvalMode::Scalar || !self.ctx.faults().is_zero() {
+            return proposals.par_iter().map(|p| self.evaluate(p)).collect();
+        }
+        // Link phase: compile + link every proposal through the caches
+        // (deduplicated, single-flight), in parallel.
+        let linked: Vec<Arc<LinkedProgram>> = proposals
+            .par_iter()
+            .map(|p| match &p.candidate {
+                Candidate::Uniform(id) => self.ctx.linked_uniform_id(&self.pool, *id),
+                Candidate::PerLoop(ids) => self.ctx.linked_assignment_ids(&self.pool, ids),
+            })
+            .collect();
+        let lanes: Vec<(&LinkedProgram, u64)> = linked
+            .iter()
+            .zip(proposals)
+            .map(|(l, p)| (l.as_ref(), p.noise_seed))
+            .collect();
+        // Execute phase: W-wide lanes per chunk, chunks in parallel
+        // (by index range — a slice-level parallel chunk iterator is
+        // not needed for a read-only split).
+        let n_chunks = lanes.len().div_ceil(BATCH_CHUNK);
+        let chunked: Vec<Vec<f64>> = (0..n_chunks)
+            .into_par_iter()
+            .map(|c| {
+                let lo = c * BATCH_CHUNK;
+                let hi = (lo + BATCH_CHUNK).min(lanes.len());
+                self.ctx.execute_linked_batch(&lanes[lo..hi])
+            })
+            .collect();
+        chunked.into_iter().flatten().collect()
     }
 
     fn evaluate(&self, p: &Proposal) -> f64 {

@@ -1,0 +1,128 @@
+//! Driver-level equivalence of the two evaluation modes.
+//!
+//! `SearchDriver` routes zero-fault batches through the lane-oriented
+//! batch executor by default; `EvalMode::Scalar` forces the historical
+//! per-candidate path. The two must be observationally identical: same
+//! per-candidate times (bit-for-bit), same winner, same ledger run
+//! count. The strategy-pinning goldens hold the batched default to the
+//! pre-batch constants; this suite pins the two modes to each other
+//! in-process, including mixed uniform/per-loop rounds.
+
+use ft_compiler::{Compiler, FaultModel};
+use ft_core::{Candidate, EvalContext, EvalMode, History, Proposal, SearchDriver, SearchStrategy};
+use ft_flags::rng::{derive_seed_idx, rng_for};
+use ft_flags::CvPool;
+use ft_machine::Architecture;
+use ft_outline::outline_with_defaults;
+use ft_workloads::workload_by_name;
+
+fn ctx(faults: Option<FaultModel>) -> EvalContext {
+    let arch = Architecture::broadwell();
+    let compiler = Compiler::icc(arch.target);
+    let w = workload_by_name("swim").expect("swim in suite");
+    let ir = w.instantiate(w.tuning_input(arch.name));
+    let (outlined, _) = outline_with_defaults(&ir, &compiler, &arch, 5, 11);
+    let ctx = EvalContext::new(outlined.ir, Compiler::icc(arch.target), arch, 5, 99);
+    match faults {
+        Some(f) => ctx.with_faults(f),
+        None => ctx,
+    }
+}
+
+/// Three rounds mixing uniform and per-loop candidates — enough to
+/// cross the driver's chunking boundary and to hit the link cache with
+/// duplicates.
+struct MixedRounds {
+    round: usize,
+    modules: usize,
+}
+
+impl SearchStrategy for MixedRounds {
+    fn name(&self) -> &str {
+        "mixed-rounds"
+    }
+
+    fn propose(&mut self, pool: &CvPool, _history: &History) -> Vec<Proposal> {
+        if self.round == 3 {
+            return Vec::new();
+        }
+        let mut rng = rng_for(7 + self.round as u64, "mode-eq");
+        let space = ft_compiler::Compiler::icc(ft_machine::Architecture::broadwell().target);
+        let mut proposals = Vec::new();
+        for k in 0..70usize {
+            let noise = derive_seed_idx(0xE0_0E ^ self.round as u64, k as u64);
+            let candidate = if k % 3 == 0 {
+                Candidate::Uniform(pool.intern(&space.space().sample(&mut rng)))
+            } else if k % 3 == 1 {
+                // Duplicate an earlier uniform CV under a new seed.
+                Candidate::Uniform(pool.intern(&space.space().baseline()))
+            } else {
+                Candidate::PerLoop(
+                    (0..self.modules)
+                        .map(|_| pool.intern(&space.space().sample(&mut rng)))
+                        .collect(),
+                )
+            };
+            proposals.push(Proposal::new(candidate, noise));
+        }
+        self.round += 1;
+        proposals
+    }
+}
+
+fn run_mode(faults: Option<FaultModel>, mode: EvalMode) -> (Vec<f64>, u64, f64) {
+    let ctx = ctx(faults);
+    let mut strategy = MixedRounds {
+        round: 0,
+        modules: ctx.modules(),
+    };
+    let mut driver = SearchDriver::new(&ctx).with_eval_mode(mode);
+    let result = driver.run(&mut strategy);
+    let cost = ctx.cost();
+    (result.history, cost.runs, result.best_time)
+}
+
+#[test]
+fn batched_and_scalar_modes_are_bit_identical() {
+    let (h_batch, runs_batch, best_batch) = run_mode(None, EvalMode::Batched);
+    let (h_scalar, runs_scalar, best_scalar) = run_mode(None, EvalMode::Scalar);
+    assert_eq!(h_batch.len(), h_scalar.len());
+    for (k, (b, s)) in h_batch.iter().zip(&h_scalar).enumerate() {
+        assert_eq!(
+            b.to_bits(),
+            s.to_bits(),
+            "candidate {k}: batched {b} != scalar {s}"
+        );
+    }
+    assert_eq!(best_batch.to_bits(), best_scalar.to_bits());
+    assert_eq!(runs_batch, runs_scalar, "modes must charge the same runs");
+}
+
+#[test]
+fn faulted_context_falls_back_to_scalar_and_stays_pinned() {
+    // With fault injection the driver must take the per-candidate path
+    // in both modes (retries/quarantine are per-candidate), so the
+    // requested mode cannot matter.
+    let faults = FaultModel::with_rates(0xFA17, 0.04, 0.02, 0.01, 0.02);
+    let (h_batch, runs_batch, _) = run_mode(Some(faults), EvalMode::Batched);
+    let (h_scalar, runs_scalar, _) = run_mode(Some(faults), EvalMode::Scalar);
+    assert_eq!(h_batch.len(), h_scalar.len());
+    for (b, s) in h_batch.iter().zip(&h_scalar) {
+        assert_eq!(b.to_bits(), s.to_bits());
+    }
+    assert_eq!(runs_batch, runs_scalar);
+}
+
+#[test]
+fn env_override_selects_scalar() {
+    assert_eq!(EvalMode::default(), EvalMode::Batched);
+    // `from_env` reads the ambient environment; unless the CI
+    // batch-equivalence job exported FT_EVAL_MODE=scalar, it must give
+    // the batched default.
+    match std::env::var("FT_EVAL_MODE") {
+        Ok(v) if v.eq_ignore_ascii_case("scalar") => {
+            assert_eq!(EvalMode::from_env(), EvalMode::Scalar)
+        }
+        _ => assert_eq!(EvalMode::from_env(), EvalMode::Batched),
+    }
+}

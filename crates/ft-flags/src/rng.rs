@@ -41,7 +41,16 @@ pub fn hash_label(label: &str) -> u64 {
 
 /// Derives an independent sub-seed from a root seed and a label.
 pub fn derive_seed(root: u64, label: &str) -> u64 {
-    let mut s = root ^ hash_label(label);
+    derive_seed_hashed(root, hash_label(label))
+}
+
+/// [`derive_seed`] with the label already hashed through
+/// [`hash_label`]. Hot paths that derive many seeds against one fixed
+/// label hoist the hash once and call this instead; the result is
+/// bit-identical to `derive_seed(root, label)` by construction.
+#[inline]
+pub fn derive_seed_hashed(root: u64, label_hash: u64) -> u64 {
+    let mut s = root ^ label_hash;
     // Two rounds keep root and label bits well mixed even for small
     // integer roots.
     let a = splitmix64(&mut s);

@@ -10,11 +10,12 @@
 //! data-collection runs.
 
 use crate::arch::Architecture;
+use crate::batch;
 use crate::link::LinkedProgram;
 use crate::noise;
 use ft_caliper::Caliper;
-use ft_compiler::decisions::{vector_efficiency, CompiledModule, VecWidth};
-use ft_compiler::ir::{MemStride, ModuleKind};
+use ft_compiler::decisions::CompiledModule;
+use ft_compiler::ir::ModuleKind;
 use ft_compiler::response::jitter;
 use ft_compiler::FaultModel;
 use ft_flags::rng::derive_seed_idx;
@@ -165,6 +166,12 @@ impl LoopCost {
 }
 
 /// True per-step cost breakdown of one hot loop, before noise.
+///
+/// A thin wrapper over the shared per-module kernel: the
+/// candidate-invariant terms ([`batch::LoopInvariants`]) and the
+/// candidate's resolved decisions ([`batch::lane_for_module`]) feed the
+/// same branch-free [`batch::loop_cost_kernel`] the batch path runs per
+/// lane — scalar and batch costs are bit-identical by construction.
 fn loop_cost_per_step(
     m: &CompiledModule,
     arch: &Architecture,
@@ -173,131 +180,9 @@ fn loop_cost_per_step(
     combo_seed: u64,
 ) -> LoopCost {
     let f = m.features().expect("loop module");
-    let d = &m.decisions;
-    let iters = f.trip_count * f.invocations_per_step;
-
-    // --- Compute side --------------------------------------------------
-    let hw = arch.simd_efficiency(d.width.bits());
-    assert!(
-        d.width == VecWidth::Scalar || hw > 0.0,
-        "width {:?} unsupported on {}",
-        d.width,
-        arch.name
-    );
-    let vec_gain = if d.width == VecWidth::Scalar {
-        1.0
-    } else {
-        (vector_efficiency(f, d.width) * hw).max(0.25)
-    };
-    let fma = if arch.target.fma && d.width != VecWidth::Scalar {
-        1.0 + 0.15 * f.fp_fraction
-    } else {
-        1.0
-    };
-    let unroll = f64::from(d.unroll.max(1));
-    let loop_overhead_ops = 4.0 / unroll;
-    let ilp_eff = f.ilp
-        * (1.0 + 0.14 * unroll.ln())
-        * (if d.sw_pipelined { 1.05 } else { 1.0 })
-        * (if d.unroll_jam { 1.08 } else { 1.0 });
-    let ipc = ilp_eff.min(arch.issue_width);
-    let mut cycles_per_iter =
-        (f.ops_per_iter / (vec_gain * fma) + loop_overhead_ops) / ipc / d.backend_quality;
-    cycles_per_iter *= 1.0 + d.register_spill;
-    // Remainder iterations wasted by wide unroll/vector chunks.
-    let chunk = unroll * d.width.lanes();
-    cycles_per_iter *= 1.0 + (chunk - 1.0) / (2.0 * f.trip_count.max(1.0));
-    // Front-end pressure from the whole executable's hot code.
-    cycles_per_iter *= icache_factor;
-    // AVX-512 license throttling: 512-bit execution lowers the clock.
-    let freq = arch.freq_ghz
-        * if d.width == VecWidth::W512 {
-            arch.avx512_freq_factor
-        } else {
-            1.0
-        };
-    let serial_compute_s = iters * cycles_per_iter / (freq * 1e9);
-    let par = 1.0 / ((1.0 - f.parallel_fraction) + f.parallel_fraction / arch.parallel_capacity());
-    let compute_s = serial_compute_s / par;
-
-    // --- Memory side -----------------------------------------------------
-    let mut bytes = f.bytes_per_step();
-    let mut util = match f.stride {
-        MemStride::Unit => 1.0,
-        MemStride::Strided(k) => (1.0 / f64::from(k.max(1))).max(0.125),
-        MemStride::Indirect => 0.30,
-    };
-    match f.stride {
-        MemStride::Indirect | MemStride::Strided(_) => {
-            // Software prefetch is the big lever for irregular access
-            // (sparse solvers); the useful distance is loop-specific.
-            let per_level = 0.05 + 0.08 * ft_compiler::response::unit(f.response_seed, "pf-gain");
-            util *= 1.0 + per_level * f64::from(d.prefetch);
-        }
-        MemStride::Unit => {
-            // Streams mostly ride the hardware prefetcher; the software
-            // distance still helps or hurts a little, loop-specifically.
-            let slope = 0.06 * jitter(f.response_seed, "pf-unit", -0.5, 1.2);
-            util *= 1.0 + slope * (f64::from(d.prefetch) - 2.0);
-        }
-    }
-    // Layout transformation: loop-specific, small.
-    util *= 1.0
-        + 0.11
-            * jitter(
-                f.response_seed,
-                &format!("layout-{}", d.layout_version),
-                -1.0,
-                1.0,
-            );
-    let in_cache = f.working_set_mb < arch.llc_mb;
-    if d.streaming_stores {
-        // Suitability is graded: fully streaming write sets dodge the
-        // read-for-ownership traffic, cache-resident ones pay for the
-        // bypass.
-        let suit = ((f.streaming - 0.3) / 0.6).clamp(0.0, 1.0);
-        if in_cache {
-            bytes *= 1.0 + 0.35 * f.write_fraction;
-        } else {
-            bytes *= 1.0 - 0.42 * f.write_fraction * suit + 0.25 * f.write_fraction * (1.0 - suit);
-        }
-    }
-    let bw = arch.mem_bw_gbs * 1e9 * arch.numa_bw_factor() * if in_cache { 3.0 } else { 1.0 };
-    let mem_s = bytes / (bw * util);
-
-    // --- Combine ----------------------------------------------------------
-    let roofline = compute_s.max(mem_s) + 0.25 * compute_s.min(mem_s);
-    let mut t = roofline * conflict;
-    // Codegen "luck": the chaotic sensitivity of real code generation
-    // (register allocation, code placement, µop-cache alignment) to the
-    // exact flag combination *and* to the surrounding link context.
-    // Keyed by the loop, its CV, its final decisions, and the
-    // whole-program combination seed — so a per-loop time measured
-    // under one link context does NOT transfer exactly to another.
-    // This is the paper's inter-module dependence in its purest form.
-    let luck_seed = ft_flags::rng::mix(
-        f.response_seed
-            ^ m.cv_digest.rotate_left(17)
-            ^ combo_seed
-            ^ (u64::from(d.width.bits()) << 32)
-            ^ u64::from(d.unroll),
-    );
-    t *= 1.0 + 0.03 * (ft_compiler::response::unit(luck_seed, "codegen-luck") - 0.5) * 2.0;
-    // OpenMP fork/join + barrier per invocation.
-    let barrier =
-        5e-6 * (f64::from(arch.omp_threads) / 16.0) * if arch.numa_nodes > 2 { 1.5 } else { 1.0 };
-    t += f.invocations_per_step * barrier;
-    // Per-iteration out-calls, discounted by inlining.
-    t += iters
-        * f.calls_out
-        * 15e-9
-        * (1.0 - 0.3 * f64::from(d.inline_depth.min(2)) / 2.0 * d.inline_factor.min(2.0) / 2.0);
-    LoopCost {
-        compute_s,
-        memory_s: mem_s,
-        overhead_s: (t - roofline).max(0.0),
-        total_s: t,
-    }
+    let inv = batch::LoopInvariants::new(f, arch);
+    let lane = batch::lane_for_module(m, f, &inv, arch, icache_factor, conflict, combo_seed);
+    batch::loop_cost_kernel(&inv, &lane)
 }
 
 /// True per-step time of the non-loop module, before noise.
@@ -308,7 +193,11 @@ fn non_loop_time_per_step(m: &CompiledModule, arch: &Architecture, call_cost_s: 
     else {
         panic!("non-loop module expected");
     };
-    seconds_per_step / arch.scalar_speed / m.decisions.backend_quality + call_cost_s
+    batch::non_loop_kernel(
+        seconds_per_step / arch.scalar_speed,
+        m.decisions.backend_quality,
+        call_cost_s,
+    )
 }
 
 /// Measured wall time of module `i` under this run's options.
@@ -461,8 +350,10 @@ pub fn try_execute(
     }
     let fp = FaultModel::program_fingerprint(&digests);
     if faults.hangs(fp) {
+        // Only the end-to-end time is needed for the budget; skip the
+        // per-module vector (`execute_total` is bit-identical).
         let budget_s = timeout_s
-            .unwrap_or_else(|| execute(linked, arch, opts).total_s * DEFAULT_HANG_CHARGE_FACTOR);
+            .unwrap_or_else(|| execute_total(linked, arch, opts) * DEFAULT_HANG_CHARGE_FACTOR);
         return RunOutcome::Timeout { budget_s };
     }
     let meas = execute(linked, arch, opts);
@@ -593,6 +484,7 @@ pub fn try_execute_profiled(
 mod tests {
     use super::*;
     use crate::link::link;
+    use ft_compiler::ir::MemStride;
     use ft_compiler::{Compiler, LoopFeatures, Module, ProgramIr};
     use ft_flags::rng::rng_for;
 

@@ -1,0 +1,146 @@
+//! Cross-crate property test: the lane-oriented batch executor is
+//! bit-identical to the scalar path over random `(program, arch,
+//! steps, noise seed, sigma, fault-mask)` tuples.
+//!
+//! The grid suite in `ft-machine` pins the equivalence over a fixed
+//! sweep; this fuzzes the same claim end-to-end through the real
+//! toolchain — outlined workload programs as well as synthetic ones,
+//! every architecture model, arbitrary run shapes, and arbitrary lane
+//! masks.
+
+use funcytuner::compiler::{Compiler, LoopFeatures, Module, ProgramIr};
+use funcytuner::flags::rng::rng_for;
+use funcytuner::flags::Cv;
+use funcytuner::machine::{
+    execute_batch_total, execute_batch_total_masked, execute_total, link, Architecture, BatchPlan,
+    ExecOptions, ExecShape, LinkedProgram,
+};
+use funcytuner::outline::outline_with_defaults;
+use funcytuner::workloads::workload_by_name;
+use proptest::prelude::*;
+
+fn synthetic_program(n_loops: usize, seed: u64) -> ProgramIr {
+    let mut modules = Vec::new();
+    for i in 0..n_loops {
+        modules.push(Module::hot_loop(
+            i,
+            &format!("k{i}"),
+            LoopFeatures::synthetic(seed.wrapping_add(i as u64 * 17)),
+            &[1],
+        ));
+    }
+    modules.push(Module::non_loop(n_loops, 0.05, 3e4));
+    ProgramIr::new("prop-batch", modules, vec![])
+}
+
+/// A real outlined workload program (exercises call edges, shared
+/// structs, and non-synthetic feature distributions).
+fn workload_program(arch: &Architecture, seed: u64) -> ProgramIr {
+    let compiler = Compiler::icc(arch.target);
+    let w = workload_by_name("swim").expect("bench exists");
+    let ir = w.instantiate(w.tuning_input(arch.name));
+    let (outlined, _) = outline_with_defaults(&ir, &compiler, arch, 3, seed % 13);
+    outlined.ir
+}
+
+fn arch_for(sel: u8) -> Architecture {
+    let mut archs = Architecture::extended();
+    archs.remove(usize::from(sel) % archs.len())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Per-lane `to_bits` equality between `execute_batch_total` and W
+    /// scalar `execute_total` runs, and `+inf`/bit-equal behaviour of
+    /// the masked variant, over random tuples.
+    #[test]
+    fn batch_path_is_bit_identical_to_scalar(
+        seed in any::<u64>(),
+        arch_sel in any::<u8>(),
+        n in 2usize..7,
+        w in 1usize..10,
+        steps in 1u32..12,
+        noise_root in any::<u64>(),
+        sigma_sel in 0u8..3,
+        instrumented in any::<bool>(),
+        use_workload in any::<bool>(),
+        mask in any::<u16>(),
+    ) {
+        let arch = arch_for(arch_sel);
+        let ir = if use_workload {
+            workload_program(&arch, seed)
+        } else {
+            synthetic_program(n, seed)
+        };
+        let c = Compiler::icc(arch.target);
+        let mut rng = rng_for(seed, "prop-batch");
+        let linked: Vec<LinkedProgram> = (0..w)
+            .map(|k| {
+                let objects = if k % 2 == 0 {
+                    c.compile_program(&ir, &c.space().sample(&mut rng))
+                } else {
+                    let a: Vec<Cv> =
+                        (0..ir.len()).map(|_| c.space().sample(&mut rng)).collect();
+                    c.compile_mixed(&ir, &a)
+                };
+                link(objects, &ir, &arch)
+            })
+            .collect();
+        let shape = ExecShape {
+            steps,
+            sigma: [0.0, 0.006, 0.04][usize::from(sigma_sel)],
+            instrumented,
+        };
+        let plan = BatchPlan::new(&ir, &arch, shape);
+        let lanes: Vec<(&LinkedProgram, u64)> = linked
+            .iter()
+            .enumerate()
+            .map(|(k, l)| (l, noise_root.wrapping_add(k as u64 * 0x9E37_79B9)))
+            .collect();
+
+        let batch = execute_batch_total(&plan, &lanes);
+        let scalar: Vec<f64> = lanes
+            .iter()
+            .map(|(l, s)| execute_total(l, &arch, &plan.shape().options(*s)))
+            .collect();
+        for k in 0..w {
+            prop_assert_eq!(
+                scalar[k].to_bits(),
+                batch[k].to_bits(),
+                "lane {}: scalar {} != batch {} ({:?} on {})",
+                k, scalar[k], batch[k], shape, arch.name
+            );
+        }
+
+        // Fault-mask: knocked-out lanes score +inf, survivors keep
+        // their exact unmasked bits.
+        let masked_input: Vec<Option<(&LinkedProgram, u64)>> = lanes
+            .iter()
+            .enumerate()
+            .map(|(k, lane)| if mask & (1 << (k % 16)) != 0 { None } else { Some(*lane) })
+            .collect();
+        let masked = execute_batch_total_masked(&plan, &masked_input);
+        for k in 0..w {
+            if masked_input[k].is_none() {
+                prop_assert_eq!(masked[k], f64::INFINITY);
+            } else {
+                prop_assert_eq!(masked[k].to_bits(), batch[k].to_bits());
+            }
+        }
+    }
+
+    /// The options round-trip the plan shape: a plan built from
+    /// `ExecShape::of(opts)` re-issues `opts` for the same seed, so
+    /// scalar replays of batch lanes can never diverge by shape.
+    #[test]
+    fn shape_roundtrip(steps in 1u32..50, seed in any::<u64>(), instrumented in any::<bool>()) {
+        let opts = if instrumented {
+            ExecOptions::instrumented(steps, seed)
+        } else {
+            ExecOptions::new(steps, seed)
+        };
+        let shape = ExecShape::of(&opts);
+        prop_assert_eq!(shape.options(seed), opts);
+    }
+}
