@@ -1,0 +1,98 @@
+//! Checkpoint-cadence overhead: a supervised campaign (WAL journal,
+//! one fsynced checkpoint record per segment boundary) vs the same
+//! campaign run bare.
+//!
+//! The supervisor's claim is crash-safety *for free at this scale*:
+//! the campaign writes six checkpoint records (one per DAG segment)
+//! plus one terminal record, each a serialize + CRC frame + append +
+//! `sync_all`. Against a campaign that evaluates hundreds of
+//! candidates, that cadence must be noise. The bench gates on the
+//! supervised run being byte-identical to the bare run before timing
+//! anything, then times three shapes:
+//!
+//! * `bare` — `Tuner::run()`, no journal.
+//! * `supervised` — the full supervisor loop, fresh journal per
+//!   iteration (checkpoint serialization + fsync cadence included).
+//! * `journal-append` — the raw WAL append+fsync in isolation, per
+//!   1 KiB record, to price the floor.
+//!
+//! `FT_BENCH_SMOKE=1` drops K so CI can run the gate end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_core::journal::{temp_journal_path, Journal};
+use ft_core::{Supervisor, Tuner, TuningRun};
+use ft_machine::Architecture;
+use ft_workloads::{workload_by_name, Workload};
+
+fn k() -> usize {
+    if std::env::var_os("FT_BENCH_SMOKE").is_some() {
+        120
+    } else {
+        1000
+    }
+}
+
+const STEPS: u32 = 4;
+
+fn campaign(w: &Workload, arch: &Architecture, k: usize) -> TuningRun {
+    Tuner::new(w, arch)
+        .budget(k)
+        .focus(if k >= 1000 { 32 } else { 8 })
+        .seed(42)
+        .cap_steps(STEPS)
+        .run()
+}
+
+fn supervised(w: &Workload, arch: &Architecture, k: usize) -> TuningRun {
+    let path = temp_journal_path("bench-cadence");
+    let result = Supervisor::new(&path, || {
+        Tuner::new(w, arch)
+            .budget(k)
+            .focus(if k >= 1000 { 32 } else { 8 })
+            .seed(42)
+            .cap_steps(STEPS)
+    })
+    .run()
+    .expect("no chaos, must finish");
+    let _ = std::fs::remove_file(&path);
+    result.run
+}
+
+fn supervisor_cadence_benches(c: &mut Criterion) {
+    let arch = Architecture::broadwell();
+    let w = workload_by_name("CloverLeaf").expect("CloverLeaf in suite");
+    let k = k();
+
+    // Gate: supervision must not move the campaign's bytes.
+    let bare = campaign(&w, &arch, k);
+    let safe = supervised(&w, &arch, k);
+    assert_eq!(
+        bare.canonical_bytes(),
+        safe.canonical_bytes(),
+        "supervised campaign diverged — bench is invalid"
+    );
+    println!(
+        "supervisor-cadence/K{k}: digest {:016x} identical bare vs supervised",
+        bare.canonical_digest()
+    );
+
+    let mut g = c.benchmark_group(format!("supervisor/K{k}"));
+    g.sample_size(10);
+    g.bench_function("bare", |b| b.iter(|| campaign(&w, &arch, k)));
+    g.bench_function("supervised", |b| b.iter(|| supervised(&w, &arch, k)));
+    g.finish();
+
+    // The floor: a single checkpoint-sized append + fsync.
+    let record = vec![0xA5u8; 1024];
+    let path = temp_journal_path("bench-append");
+    let mut journal = Journal::create(&path).expect("create journal");
+    let mut g = c.benchmark_group("journal");
+    g.bench_function("append-1KiB-fsync", |b| {
+        b.iter(|| journal.append(&record).expect("append"))
+    });
+    g.finish();
+    let _ = std::fs::remove_file(&path);
+}
+
+criterion_group!(benches, supervisor_cadence_benches);
+criterion_main!(benches);

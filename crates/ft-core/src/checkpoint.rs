@@ -49,24 +49,68 @@ pub struct Checkpoint {
 }
 
 /// Why a checkpoint cannot be used with a context.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Each failure mode is its own variant so callers can branch on the
+/// cause (and `source()` hands the underlying serde error back intact)
+/// instead of grepping a formatted string. No `Eq`: the serde error it
+/// wraps only implements `PartialEq`.
+#[derive(Debug, Clone, PartialEq)]
 pub enum CheckpointError {
     /// Program/architecture/input mismatch.
     Mismatch(String),
-    /// (De)serialization failure.
-    Format(String),
+    /// Serializing a checkpoint to JSON failed.
+    Serialize {
+        /// The underlying serde error.
+        source: serde::Error,
+    },
+    /// The JSON could not be parsed as a checkpoint.
+    Deserialize {
+        /// The underlying serde error.
+        source: serde::Error,
+    },
+    /// The file's schema version is not one this build reads.
+    Version {
+        /// Version recorded in the file (0 for pre-versioning files).
+        found: u32,
+        /// The version this build writes and reads.
+        supported: u32,
+    },
+    /// The completed-phase list is structurally invalid (unknown
+    /// label, duplicate, out of canonical order, or inconsistent with
+    /// the phase results actually present).
+    Phases(String),
 }
 
 impl fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
-            CheckpointError::Format(m) => write!(f, "checkpoint format error: {m}"),
+            CheckpointError::Serialize { source } => {
+                write!(f, "checkpoint serialize error: {source}")
+            }
+            CheckpointError::Deserialize { source } => {
+                write!(f, "checkpoint parse error: {source}")
+            }
+            CheckpointError::Version { found, supported } => write!(
+                f,
+                "unsupported checkpoint version {found} (this build reads \
+                 version {supported}; re-collect or use a matching build)"
+            ),
+            CheckpointError::Phases(m) => write!(f, "checkpoint phase list invalid: {m}"),
         }
     }
 }
 
-impl std::error::Error for CheckpointError {}
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Serialize { source } | CheckpointError::Deserialize { source } => {
+                Some(source)
+            }
+            _ => None,
+        }
+    }
+}
 
 impl Checkpoint {
     /// Captures a collection from the context it was produced in.
@@ -114,14 +158,14 @@ impl Checkpoint {
 
     /// Serializes to JSON.
     pub fn to_json(&self) -> Result<String, CheckpointError> {
-        serde_json::to_string(self).map_err(|e| CheckpointError::Format(e.to_string()))
+        serde_json::to_string(self).map_err(|source| CheckpointError::Serialize { source })
     }
 
     /// Deserializes from JSON, refusing schema versions this build
     /// does not understand.
     pub fn from_json(json: &str) -> Result<Checkpoint, CheckpointError> {
         let cp: Checkpoint =
-            serde_json::from_str(json).map_err(|e| CheckpointError::Format(e.to_string()))?;
+            serde_json::from_str(json).map_err(|source| CheckpointError::Deserialize { source })?;
         check_version(cp.version)?;
         Ok(cp)
     }
@@ -130,10 +174,10 @@ impl Checkpoint {
 /// Shared version gate of both checkpoint kinds.
 fn check_version(version: u32) -> Result<(), CheckpointError> {
     if version != CHECKPOINT_VERSION {
-        return Err(CheckpointError::Format(format!(
-            "unsupported checkpoint version {version} (this build reads \
-             version {CHECKPOINT_VERSION}; re-collect or use a matching build)"
-        )));
+        return Err(CheckpointError::Version {
+            found: version,
+            supported: CHECKPOINT_VERSION,
+        });
     }
     Ok(())
 }
@@ -176,6 +220,16 @@ pub struct CampaignCheckpoint {
     pub bad_compiles: Vec<(usize, u64)>,
     /// Known-hanging program fingerprints.
     pub bad_programs: Vec<u64>,
+    /// Labels of the completed phases in canonical order, stamped by
+    /// the writer. Redundant with the `Option` result fields above —
+    /// which is the point: [`CampaignCheckpoint::from_json`] cross-
+    /// checks the list against the results actually present, so a
+    /// hand-edited or corrupted phase list fails loudly at load time
+    /// instead of as a confusing mismatch deep in a resume. Empty in
+    /// pre-PR-7 files (`#[serde(default)]`), where the check is
+    /// skipped.
+    #[serde(default)]
+    pub completed: Vec<String>,
 }
 
 impl CampaignCheckpoint {
@@ -207,17 +261,87 @@ impl CampaignCheckpoint {
             .collect()
     }
 
+    /// Labels of the completed phases in canonical order, as the
+    /// writer stamps them into [`CampaignCheckpoint::completed`].
+    pub fn completed_labels(&self) -> Vec<String> {
+        self.completed_phases()
+            .into_iter()
+            .map(|p| p.label().to_string())
+            .collect()
+    }
+
+    /// Validates the stamped phase list: every label known, no
+    /// duplicates, canonical order, consistent with the result fields
+    /// present, and closed under phase dependencies (a checkpoint
+    /// claiming Greedy without the collection it consumed is corrupt,
+    /// not resumable). An empty list (pre-PR-7 file) skips the
+    /// cross-check but still enforces dependency closure on the
+    /// results themselves.
+    pub fn validate_phases(&self) -> Result<(), CheckpointError> {
+        use crate::pipeline::Phase;
+        if !self.completed.is_empty() {
+            let mut last_index: Option<usize> = None;
+            for label in &self.completed {
+                let Some(index) = Phase::ALL.iter().position(|p| p.label() == label.as_str())
+                else {
+                    return Err(CheckpointError::Phases(format!(
+                        "unknown phase label {label:?}"
+                    )));
+                };
+                match last_index {
+                    Some(prev) if prev == index => {
+                        return Err(CheckpointError::Phases(format!(
+                            "duplicate phase {label:?}"
+                        )));
+                    }
+                    Some(prev) if prev > index => {
+                        return Err(CheckpointError::Phases(format!(
+                            "phase {label:?} out of canonical order (after {:?})",
+                            Phase::ALL[prev].label()
+                        )));
+                    }
+                    _ => {}
+                }
+                last_index = Some(index);
+            }
+            let derived = self.completed_labels();
+            if self.completed != derived {
+                return Err(CheckpointError::Phases(format!(
+                    "stamped list {:?} disagrees with the results present {derived:?}",
+                    self.completed
+                )));
+            }
+        }
+        // Dependency closure over the results themselves (holds for
+        // legacy files too): every completed phase's transitive
+        // requirements must also be completed.
+        let done = self.completed_phases();
+        for phase in &done {
+            for need in phase.requires() {
+                if !done.contains(&need) {
+                    return Err(CheckpointError::Phases(format!(
+                        "phase {:?} is recorded but its dependency {:?} is missing",
+                        phase.label(),
+                        need.label()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Serializes to JSON.
     pub fn to_json(&self) -> Result<String, CheckpointError> {
-        serde_json::to_string(self).map_err(|e| CheckpointError::Format(e.to_string()))
+        serde_json::to_string(self).map_err(|source| CheckpointError::Serialize { source })
     }
 
     /// Deserializes from JSON, refusing schema versions this build
-    /// does not understand.
+    /// does not understand and structurally invalid phase lists.
     pub fn from_json(json: &str) -> Result<CampaignCheckpoint, CheckpointError> {
         let cp: CampaignCheckpoint =
-            serde_json::from_str(json).map_err(|e| CheckpointError::Format(e.to_string()))?;
+            serde_json::from_str(json).map_err(|source| CheckpointError::Deserialize { source })?;
         check_version(cp.version)?;
+        cp.validate_phases()?;
         Ok(cp)
     }
 }
@@ -276,9 +400,11 @@ mod tests {
     }
 
     #[test]
-    fn garbage_json_is_a_format_error() {
+    fn garbage_json_is_a_typed_parse_error_with_a_source() {
         let err = Checkpoint::from_json("{not json").unwrap_err();
-        assert!(matches!(err, CheckpointError::Format(_)));
+        assert!(matches!(err, CheckpointError::Deserialize { .. }), "{err}");
+        // The serde cause is preserved, not flattened into a string.
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]
@@ -292,7 +418,8 @@ mod tests {
             CHECKPOINT_VERSION
         );
 
-        // A future (or corrupted) version number is a Format error...
+        // A future (or corrupted) version number is a Version error
+        // carrying both sides of the mismatch...
         let future = json.replacen(
             &format!("\"version\":{CHECKPOINT_VERSION}"),
             &format!("\"version\":{}", CHECKPOINT_VERSION + 1),
@@ -300,7 +427,14 @@ mod tests {
         );
         assert_ne!(future, json, "version field must be serialized");
         let err = Checkpoint::from_json(&future).unwrap_err();
-        assert!(matches!(err, CheckpointError::Format(_)), "{err}");
+        assert_eq!(
+            err,
+            CheckpointError::Version {
+                found: CHECKPOINT_VERSION + 1,
+                supported: CHECKPOINT_VERSION
+            },
+            "{err}"
+        );
         assert!(err.to_string().contains("version"));
 
         // ...and so is a pre-versioning file, which deserializes with
@@ -310,6 +444,94 @@ mod tests {
             fields.retain(|(k, _)| k.as_str() != "version");
         }
         let err = Checkpoint::from_json(&serde_json::to_string(&legacy).unwrap()).unwrap_err();
-        assert!(matches!(err, CheckpointError::Format(_)), "{err}");
+        assert!(
+            matches!(err, CheckpointError::Version { found: 0, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn campaign_phase_list_rejects_duplicates_order_and_unknowns() {
+        // Build a minimal valid campaign checkpoint by hand (baseline
+        // only) and then corrupt its stamped phase list field-by-field.
+        let base = CampaignCheckpoint {
+            version: CHECKPOINT_VERSION,
+            workload: "swim".to_string(),
+            arch: "broadwell".to_string(),
+            budget: 10,
+            focus: 3,
+            seed: 42,
+            steps_cap: Some(3),
+            faults: ft_compiler::FaultModel::zero(),
+            baseline_time: Some(1.0),
+            data: None,
+            random: None,
+            fr: None,
+            greedy: None,
+            cfr: None,
+            bad_compiles: Vec::new(),
+            bad_programs: Vec::new(),
+            completed: vec!["baseline".to_string()],
+        };
+        assert!(base.validate_phases().is_ok());
+        let json = base.to_json().unwrap();
+        assert!(CampaignCheckpoint::from_json(&json).is_ok());
+
+        let corrupt = |completed: Vec<&str>| {
+            let mut cp = base.clone();
+            cp.completed = completed.into_iter().map(String::from).collect();
+            CampaignCheckpoint::from_json(&cp.to_json().unwrap()).unwrap_err()
+        };
+
+        let err = corrupt(vec!["baseline", "baseline"]);
+        assert!(matches!(err, CheckpointError::Phases(_)), "{err}");
+        assert!(err.to_string().contains("duplicate"));
+
+        let stub_result = || crate::result::TuningResult {
+            algorithm: "stub".to_string(),
+            best_time: 1.0,
+            baseline_time: 1.0,
+            assignment: Vec::new(),
+            best_index: 0,
+            history: Vec::new(),
+            evaluations: 0,
+        };
+
+        // Out of canonical order (even if the set were right).
+        let mut cp = base.clone();
+        cp.random = Some(stub_result());
+        cp.completed = vec!["random".to_string(), "baseline".to_string()];
+        let err = CampaignCheckpoint::from_json(&cp.to_json().unwrap()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Phases(_)), "{err}");
+        assert!(err.to_string().contains("order"));
+
+        let err = corrupt(vec!["baseline", "warp-drive"]);
+        assert!(matches!(err, CheckpointError::Phases(_)), "{err}");
+        assert!(err.to_string().contains("unknown"));
+
+        // Stamped list inconsistent with the results present.
+        let err = corrupt(vec!["baseline", "random"]);
+        assert!(matches!(err, CheckpointError::Phases(_)), "{err}");
+        assert!(err.to_string().contains("disagrees"));
+
+        // A legacy file with no stamped list loads (dependency closure
+        // still holds: baseline alone is closed).
+        let mut cp = base.clone();
+        cp.completed = Vec::new();
+        assert!(CampaignCheckpoint::from_json(&cp.to_json().unwrap()).is_ok());
+
+        // Dependency closure is enforced even without a stamped list:
+        // a greedy result without the collection it consumed is
+        // corrupt.
+        let mut cp = base;
+        cp.completed = Vec::new();
+        cp.greedy = Some(crate::algorithms::GreedyOutcome {
+            realized: stub_result(),
+            independent_time: 1.0,
+            independent_speedup: 1.0,
+        });
+        let err = CampaignCheckpoint::from_json(&cp.to_json().unwrap()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Phases(_)), "{err}");
+        assert!(err.to_string().contains("dependency"));
     }
 }

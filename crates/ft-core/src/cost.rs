@@ -53,6 +53,11 @@ pub struct TuningCost {
     /// candidate was bad.
     #[serde(default)]
     pub quarantined: u64,
+    /// Times the fault-rate circuit breaker tripped (0 when no breaker
+    /// is installed). Diagnostic only: the breaker changes *how* runs
+    /// are scheduled and charged, never their measured values.
+    #[serde(default)]
+    pub breaker_trips: u64,
 }
 
 impl TuningCost {
@@ -72,6 +77,7 @@ impl TuningCost {
             timeouts: 0,
             retries: 0,
             quarantined: 0,
+            breaker_trips: 0,
         }
     }
 
@@ -92,6 +98,7 @@ impl TuningCost {
             timeouts: self.timeouts - earlier.timeouts,
             retries: self.retries - earlier.retries,
             quarantined: self.quarantined - earlier.quarantined,
+            breaker_trips: self.breaker_trips - earlier.breaker_trips,
         }
     }
 
@@ -115,6 +122,7 @@ impl TuningCost {
             timeouts: self.timeouts + other.timeouts,
             retries: self.retries + other.retries,
             quarantined: self.quarantined + other.quarantined,
+            breaker_trips: self.breaker_trips + other.breaker_trips,
         }
     }
 

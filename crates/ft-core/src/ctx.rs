@@ -1,6 +1,7 @@
 //! Evaluation context: the compile → link → execute pipeline every
 //! search algorithm measures through.
 
+use crate::breaker::CircuitBreaker;
 use crate::store::{self, ObjectStore};
 use ft_caliper::Caliper;
 use ft_compiler::lru::CacheCapacity;
@@ -177,6 +178,11 @@ pub struct EvalContext {
     faults: FaultModel,
     /// Retry/timeout policy of the resilient evaluation paths.
     resilience: ResilienceConfig,
+    /// Optional fault-rate circuit breaker (see [`crate::breaker`]).
+    /// `None` (the default) keeps the legacy behavior and ledger
+    /// bit-for-bit; installing one degrades gracefully under systemic
+    /// fault bursts without changing any measured value.
+    breaker: Option<CircuitBreaker>,
     /// Reference time (f64 bits; 0 = unset) from which timeout budgets
     /// are derived. Set once from the `-O3` baseline so budgets do not
     /// depend on the completion order of parallel batches.
@@ -228,6 +234,7 @@ impl EvalContext {
             machine_nanos: AtomicU64::new(0),
             faults: FaultModel::zero(),
             resilience: ResilienceConfig::default(),
+            breaker: None,
             timeout_ref_bits: AtomicU64::new(0),
             quarantine: FaultQuarantine::new(),
             ok_runs: AtomicU64::new(0),
@@ -254,6 +261,29 @@ impl EvalContext {
     pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
         self.resilience = resilience;
         self
+    }
+
+    /// Installs a fault-rate circuit breaker. While tripped, the
+    /// context disallows the batched fast path and widens its timeout
+    /// budget by the breaker's scale — both value-safe degradations
+    /// (the scalar path is bit-identical and hang outcomes are decided
+    /// by the fault model, not the budget).
+    pub fn with_breaker(mut self, config: crate::breaker::BreakerConfig) -> Self {
+        self.breaker = Some(CircuitBreaker::new(config));
+        self
+    }
+
+    /// The installed circuit breaker, if any.
+    pub fn breaker(&self) -> Option<&CircuitBreaker> {
+        self.breaker.as_ref()
+    }
+
+    /// Whether the batched evaluation fast path is currently allowed
+    /// (always, unless an installed breaker has tripped).
+    pub fn batched_allowed(&self) -> bool {
+        self.breaker
+            .as_ref()
+            .is_none_or(CircuitBreaker::allows_batched)
     }
 
     /// Bounds the context-owned caches: least-recently-used objects
@@ -326,12 +356,20 @@ impl EvalContext {
     }
 
     /// The current timeout budget in seconds, if a reference is set.
+    /// A tripped circuit breaker widens the budget by its scale — the
+    /// budget only decides what a (fault-model-decided) hang is
+    /// *charged*, so the widening changes the cost ledger, never a
+    /// measured value.
     pub fn timeout_budget(&self) -> Option<f64> {
         let bits = self.timeout_ref_bits.load(Ordering::Relaxed);
         if bits == 0 {
             None
         } else {
-            Some(f64::from_bits(bits) * self.resilience.timeout_factor)
+            let scale = self
+                .breaker
+                .as_ref()
+                .map_or(1.0, CircuitBreaker::timeout_scale);
+            Some(f64::from_bits(bits) * self.resilience.timeout_factor * scale)
         }
     }
 
@@ -665,6 +703,7 @@ impl EvalContext {
             timeouts: faults.timeouts,
             retries: faults.retries,
             quarantined: faults.quarantined,
+            breaker_trips: self.breaker.as_ref().map_or(0, CircuitBreaker::trips),
         }
     }
 
@@ -762,6 +801,9 @@ impl EvalContext {
                 ),
             };
             self.charge_run(total_s);
+            if let Some(b) = &self.breaker {
+                b.record(false);
+            }
             return total_s;
         }
         for (module, digest) in digests.iter().enumerate() {
@@ -808,11 +850,17 @@ impl EvalContext {
             match outcome {
                 RunOutcome::Ok(meas) => {
                     self.charge(&meas);
+                    if let Some(b) = &self.breaker {
+                        b.record(false);
+                    }
                     return meas.total_s;
                 }
                 RunOutcome::Crash { elapsed_s } => {
                     self.crashes.fetch_add(1, Ordering::Relaxed);
                     self.charge_failed(elapsed_s);
+                    if let Some(b) = &self.breaker {
+                        b.record(true);
+                    }
                     if attempt < self.resilience.max_retries {
                         self.retries.fetch_add(1, Ordering::Relaxed);
                     }
@@ -820,6 +868,9 @@ impl EvalContext {
                 RunOutcome::Timeout { budget_s } => {
                     self.timeouts.fetch_add(1, Ordering::Relaxed);
                     self.charge_failed(budget_s);
+                    if let Some(b) = &self.breaker {
+                        b.record(true);
+                    }
                     self.quarantine.ban_program(fp);
                     return f64::INFINITY;
                 }

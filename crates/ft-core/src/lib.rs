@@ -30,6 +30,7 @@
 //! used by the examples and the experiment harness.
 
 pub mod algorithms;
+pub mod breaker;
 pub mod canonical;
 pub mod checkpoint;
 pub mod collection;
@@ -39,15 +40,18 @@ pub mod critical;
 pub mod ctx;
 pub mod extensions;
 pub mod importance;
+pub mod journal;
 pub mod pipeline;
 pub mod result;
 pub mod search;
 pub mod stability;
 pub mod stats;
 pub mod store;
+pub mod supervisor;
 pub mod variance;
 
 pub use algorithms::{cfr, fr_search, greedy, random_search, GreedyOutcome};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use checkpoint::{CampaignCheckpoint, Checkpoint, CheckpointError, CHECKPOINT_VERSION};
 pub use collection::{collect, collect_candidates, CollectionData, MixedCollection};
 pub use convergence::Convergence;
@@ -56,6 +60,7 @@ pub use critical::critical_flags;
 pub use ctx::{CacheStats, EvalContext, FaultStats, ResilienceConfig};
 pub use extensions::{cfr_adaptive, cfr_iterative, cfr_iterative_recollect};
 pub use importance::{flag_importance, FlagImportance};
+pub use journal::{Journal, JournalError, Recovery, Tail};
 pub use pipeline::{Phase, PhaseSpan, ScheduleMode, ScheduleReport, Tuner, TuningRun};
 pub use result::TuningResult;
 pub use search::{
@@ -64,4 +69,7 @@ pub use search::{
 };
 pub use stability::{measure_repeated, speedup_with_stats, MeasurementStats};
 pub use store::ObjectStore;
+pub use supervisor::{
+    ChaosPolicy, Supervised, Supervisor, SupervisorConfig, SupervisorError, SupervisorReport,
+};
 pub use variance::{variance_study, SearchVariance};

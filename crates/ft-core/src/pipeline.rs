@@ -30,6 +30,7 @@
 //! materialization live in the driver (DESIGN.md §11).
 
 use crate::algorithms::{cfr, fr_search, greedy, random_search, GreedyOutcome};
+use crate::breaker::BreakerConfig;
 use crate::checkpoint::{CampaignCheckpoint, CheckpointError, CHECKPOINT_VERSION};
 use crate::collection::{collect, CollectionData};
 use crate::cost::TuningCost;
@@ -266,6 +267,7 @@ pub struct Tuner<'a> {
     interleave: Option<u64>,
     cache_capacity: CacheCapacity,
     store: Option<Arc<ObjectStore>>,
+    breaker: Option<BreakerConfig>,
 }
 
 impl<'a> Tuner<'a> {
@@ -285,6 +287,7 @@ impl<'a> Tuner<'a> {
             interleave: None,
             cache_capacity: CacheCapacity::Unbounded,
             store: None,
+            breaker: None,
         }
     }
 
@@ -372,6 +375,17 @@ impl<'a> Tuner<'a> {
         self
     }
 
+    /// Installs a fault-rate circuit breaker on the campaign's
+    /// evaluation context (see [`crate::breaker`]). Value-safe: the
+    /// breaker only reroutes evaluation (batched → per-candidate) and
+    /// widens timeout charging while tripped, so canonical digests are
+    /// unchanged whether or not it fires. Not part of the checkpoint
+    /// identity, for the same reason cache capacity is not.
+    pub fn breaker(mut self, config: BreakerConfig) -> Self {
+        self.breaker = Some(config);
+        self
+    }
+
     /// Runs profiling, outlining, collection and all four algorithms.
     pub fn run(self) -> TuningRun {
         match self.run_campaign(None, None) {
@@ -421,6 +435,24 @@ impl<'a> Tuner<'a> {
         match self.run_campaign(Some(checkpoint), None)? {
             CampaignOutcome::Finished(run) => Ok(*run),
             CampaignOutcome::Paused(_) => unreachable!("no stop phase requested"),
+        }
+    }
+
+    /// Resume *and* pause in one call: restores `checkpoint`, completes
+    /// every listed phase (plus dependency closure) that the checkpoint
+    /// does not already carry, and freezes the campaign again at that
+    /// join point. This is the supervisor's drive primitive — a
+    /// crash-safe campaign advances segment by segment, journaling the
+    /// checkpoint this returns after each step, so a kill between
+    /// segments loses at most one segment of work.
+    pub fn resume_until_phases(
+        self,
+        checkpoint: CampaignCheckpoint,
+        stop_after: &[Phase],
+    ) -> Result<CampaignCheckpoint, CheckpointError> {
+        match self.run_campaign(Some(checkpoint), Some(stop_after))? {
+            CampaignOutcome::Paused(cp) => Ok(*cp),
+            CampaignOutcome::Finished(_) => unreachable!("stop phase requested"),
         }
     }
 
@@ -489,11 +521,15 @@ impl<'a> Tuner<'a> {
         if let Some(store) = &self.store {
             ctx = ctx.with_shared_store(store.clone());
         }
+        if let Some(config) = self.breaker {
+            ctx = ctx.with_breaker(config);
+        }
         let ctx = ctx;
 
         let (mut data, mut random, mut fr, mut g, mut cfr_result) = (None, None, None, None, None);
         if let Some(cp) = from {
             self.validate(&cp)?;
+            cp.validate_phases()?;
             ctx.restore_quarantine(&cp.bad_compiles, &cp.bad_programs);
             data = cp.data;
             random = cp.random;
@@ -684,7 +720,7 @@ impl<'a> Tuner<'a> {
 
         if stop_after.is_some() {
             let (bad_compiles, bad_programs) = ctx.quarantine_snapshot();
-            return Ok(CampaignOutcome::Paused(Box::new(CampaignCheckpoint {
+            let mut cp = CampaignCheckpoint {
                 version: CHECKPOINT_VERSION,
                 workload: self.workload.meta.name.to_string(),
                 arch: self.arch.name.to_string(),
@@ -701,7 +737,10 @@ impl<'a> Tuner<'a> {
                 cfr: cfr_result,
                 bad_compiles,
                 bad_programs,
-            })));
+                completed: Vec::new(),
+            };
+            cp.completed = cp.completed_labels();
+            return Ok(CampaignOutcome::Paused(Box::new(cp)));
         }
 
         Ok(CampaignOutcome::Finished(Box::new(TuningRun {

@@ -256,7 +256,14 @@ impl<'a> SearchDriver<'a> {
     /// that the lane kernel deliberately excludes, so a fault-injecting
     /// context stays on the scalar path.
     fn evaluate_batch(&self, proposals: &[Proposal]) -> Vec<f64> {
-        if self.eval_mode == EvalMode::Scalar || !self.ctx.faults().is_zero() {
+        // A tripped circuit breaker also forces the scalar path: the
+        // per-candidate route isolates, retries, and charges each
+        // fault precisely, which is the breaker's whole point — and
+        // the two paths are bit-identical, so degrading is value-safe.
+        if self.eval_mode == EvalMode::Scalar
+            || !self.ctx.faults().is_zero()
+            || !self.ctx.batched_allowed()
+        {
             return proposals.par_iter().map(|p| self.evaluate(p)).collect();
         }
         // Link phase: compile + link every proposal through the caches

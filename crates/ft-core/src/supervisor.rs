@@ -1,0 +1,570 @@
+//! The campaign supervisor: run a tuning campaign as a restartable,
+//! journaled task that survives being killed at any instant.
+//!
+//! [`crate::Tuner::resume`] already proves that a campaign restored
+//! from a [`CampaignCheckpoint`] is bit-identical to an uninterrupted
+//! one. What was missing is the machinery that makes that guarantee
+//! *operational*: something has to write checkpoints durably as the
+//! campaign advances, notice that an attempt died, decide whether to
+//! retry, and refuse to spin forever on a campaign that dies every
+//! time. That is the [`Supervisor`]:
+//!
+//! * **Segmented advance.** The campaign is driven through a plan of
+//!   *segments* — cumulative phase targets walking the DAG (baseline,
+//!   collection, each search, the final joins). After each segment the
+//!   frozen [`CampaignCheckpoint`] is appended to a
+//!   [`crate::journal::Journal`] record, so a kill between segments
+//!   loses at most one segment of work.
+//! * **Chaos kill-points.** A [`ChaosPolicy`] injects deterministic,
+//!   seeded kills at every journal-record boundary — the in-process
+//!   analogue of `kill -9` (only the on-disk journal survives an
+//!   attempt; all in-memory campaign state is dropped). The chaos
+//!   harness uses this to prove recovery at *every* boundary.
+//! * **Bounded recovery.** Each attempt recovers from the journal's
+//!   last valid record and continues. Failed attempts back off
+//!   exponentially with seed-derived jitter (deterministic — the
+//!   delays are data, reproducible from the config). A campaign whose
+//!   attempts repeatedly die *without appending a single new record*
+//!   is poison: after [`SupervisorConfig::poison_threshold`]
+//!   consecutive no-progress attempts the supervisor appends a
+//!   diagnostic record and quarantines the campaign instead of
+//!   looping forever.
+//!
+//! The supervisor changes nothing about the values a campaign
+//! computes: it only decides *when* phases run and *where* their
+//! checkpoints persist. The chaos-recovery suite asserts
+//! `canonical_bytes()` equality between supervised-and-killed runs
+//! and plain `Tuner::run()` across fault models and schedule modes.
+
+use crate::checkpoint::{CampaignCheckpoint, CheckpointError};
+use crate::journal::{Journal, JournalError};
+use crate::pipeline::{Phase, Tuner, TuningRun};
+use ft_flags::rng::{derive_seed, splitmix64};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Record kind: an intermediate campaign checkpoint.
+pub const RECORD_CHECKPOINT: &str = "checkpoint";
+/// Record kind: the campaign completed; carries the final checkpoint
+/// and the canonical digest of the finished run.
+pub const RECORD_DONE: &str = "done";
+/// Record kind: the campaign was quarantined as poison; carries the
+/// diagnostic.
+pub const RECORD_POISONED: &str = "poisoned";
+
+/// One journal record of a supervised campaign. A single named struct
+/// (not an enum) so the vendored derive handles it; `kind` selects
+/// which optional fields are meaningful.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignRecord {
+    /// [`RECORD_CHECKPOINT`], [`RECORD_DONE`], or [`RECORD_POISONED`].
+    pub kind: String,
+    /// The frozen campaign state (checkpoint and done records).
+    #[serde(default)]
+    pub checkpoint: Option<CampaignCheckpoint>,
+    /// Canonical digest of the finished run, hex (done records).
+    #[serde(default)]
+    pub digest: Option<String>,
+    /// Why the campaign was quarantined (poisoned records).
+    #[serde(default)]
+    pub diagnostic: Option<String>,
+    /// The attempt that wrote this record (1-based).
+    #[serde(default)]
+    pub attempt: u32,
+}
+
+impl CampaignRecord {
+    fn checkpoint(cp: CampaignCheckpoint, attempt: u32) -> CampaignRecord {
+        CampaignRecord {
+            kind: RECORD_CHECKPOINT.to_string(),
+            checkpoint: Some(cp),
+            digest: None,
+            diagnostic: None,
+            attempt,
+        }
+    }
+
+    fn done(cp: CampaignCheckpoint, digest: u64, attempt: u32) -> CampaignRecord {
+        CampaignRecord {
+            kind: RECORD_DONE.to_string(),
+            checkpoint: Some(cp),
+            digest: Some(format!("{digest:016x}")),
+            diagnostic: None,
+            attempt,
+        }
+    }
+
+    fn poisoned(diagnostic: String, attempt: u32) -> CampaignRecord {
+        CampaignRecord {
+            kind: RECORD_POISONED.to_string(),
+            checkpoint: None,
+            digest: None,
+            diagnostic: Some(diagnostic),
+            attempt,
+        }
+    }
+
+    /// Serializes for a journal payload.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, CheckpointError> {
+        serde_json::to_string(self)
+            .map(String::into_bytes)
+            .map_err(|source| CheckpointError::Serialize { source })
+    }
+
+    /// Parses a journal payload (a CRC-valid frame whose JSON does not
+    /// parse is still a typed error, never a panic).
+    pub fn from_bytes(bytes: &[u8]) -> Result<CampaignRecord, CheckpointError> {
+        let text = std::str::from_utf8(bytes).map_err(|e| CheckpointError::Deserialize {
+            source: serde::Error::new(format!("record is not UTF-8: {e}")),
+        })?;
+        let record: CampaignRecord =
+            serde_json::from_str(text).map_err(|source| CheckpointError::Deserialize { source })?;
+        if let Some(cp) = &record.checkpoint {
+            cp.validate_phases()?;
+        }
+        Ok(record)
+    }
+}
+
+/// Retry/backoff/quarantine policy of a supervisor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// Hard bound on attempts (first run + recoveries). Exhausting it
+    /// is a typed error carrying the report, never a silent loop.
+    pub max_attempts: u32,
+    /// Consecutive attempts that die without appending one new record
+    /// before the campaign is quarantined as poison.
+    pub poison_threshold: u32,
+    /// Base backoff after the first consecutive failure, milliseconds.
+    /// Doubles per further consecutive failure. 0 disables waiting
+    /// (delays are still computed and reported as 0).
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling, milliseconds.
+    pub backoff_max_ms: u64,
+    /// Seed of the deterministic backoff jitter.
+    pub backoff_seed: u64,
+    /// Whether to actually sleep the computed delays. Tests keep this
+    /// off (the delays are asserted as data); the CLI turns it on.
+    pub sleep: bool,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_attempts: 20,
+            poison_threshold: 3,
+            backoff_base_ms: 50,
+            backoff_max_ms: 2_000,
+            backoff_seed: 0x0BAC_C0FF,
+            sleep: false,
+        }
+    }
+}
+
+/// Deterministic exponential backoff with seeded jitter: pure in
+/// `(config, consecutive_failures, attempt)`, so a supervisor's delay
+/// schedule is reproducible data, not wall-clock noise. The jitter is
+/// uniform in `[0, base/2]` at the current exponent, de-synchronizing
+/// co-scheduled supervisors without unbounded randomness.
+pub fn backoff_ms(config: &SupervisorConfig, consecutive_failures: u32, attempt: u32) -> u64 {
+    if consecutive_failures == 0 || config.backoff_base_ms == 0 {
+        return 0;
+    }
+    let exp = (consecutive_failures - 1).min(16);
+    let base = config
+        .backoff_base_ms
+        .saturating_mul(1 << exp)
+        .min(config.backoff_max_ms);
+    let mut state = derive_seed(config.backoff_seed, "supervisor-backoff") ^ u64::from(attempt);
+    let jitter = splitmix64(&mut state) % (base / 2 + 1);
+    (base + jitter).min(config.backoff_max_ms)
+}
+
+/// Seeded deterministic kill injection. A "kill" aborts the current
+/// attempt on the spot — every in-memory structure is dropped and only
+/// the journal survives, exactly the state a `kill -9` leaves behind.
+/// Kill-points sit at journal-record boundaries: before the segment
+/// that would write record `k` (equivalently, just after record `k`
+/// hit the disk), for `k` in `0..=segments`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosPolicy {
+    /// No injection (production).
+    Off,
+    /// Kill the first attempt that reaches the boundary where
+    /// `boundary` records exist, once. The recovery attempt sails
+    /// through — this is the chaos harness's per-boundary probe.
+    KillOnce {
+        /// Record count at which to kill.
+        boundary: usize,
+    },
+    /// Kill *every* attempt that reaches the boundary — a poison
+    /// campaign generator for the quarantine path.
+    KillAlways {
+        /// Record count at which to kill.
+        boundary: usize,
+    },
+    /// Seeded coin-flip at every boundary: kill with probability
+    /// `rate_percent`/100, at most `max_kills` times. Pure in
+    /// `(seed, attempt, boundary)`.
+    Seeded {
+        /// Root seed of the kill stream.
+        seed: u64,
+        /// Kill probability per boundary, percent (0–100).
+        rate_percent: u8,
+        /// Total kill budget across the campaign.
+        max_kills: u32,
+    },
+}
+
+impl ChaosPolicy {
+    /// Whether to kill at this boundary of this attempt.
+    fn should_kill(&self, kills_so_far: u32, attempt: u32, boundary: usize) -> bool {
+        match *self {
+            ChaosPolicy::Off => false,
+            ChaosPolicy::KillOnce { boundary: b } => kills_so_far == 0 && boundary == b,
+            ChaosPolicy::KillAlways { boundary: b } => boundary == b,
+            ChaosPolicy::Seeded {
+                seed,
+                rate_percent,
+                max_kills,
+            } => {
+                if kills_so_far >= max_kills {
+                    return false;
+                }
+                let mut state =
+                    derive_seed(seed, "chaos-kill") ^ (u64::from(attempt) << 32) ^ boundary as u64;
+                (splitmix64(&mut state) % 100) < u64::from(rate_percent.min(100))
+            }
+        }
+    }
+}
+
+/// What a supervisor did, for assertions and operator visibility.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SupervisorReport {
+    /// Attempts started (1 = never died).
+    pub attempts: u32,
+    /// Chaos kills injected.
+    pub kills: u32,
+    /// Journal records present when each attempt started (index 0 =
+    /// first attempt; a recovery attempt resumes from the last one).
+    pub resumed_from: Vec<usize>,
+    /// Records appended across all attempts (excluding the terminal
+    /// done/poisoned record).
+    pub checkpoints_written: usize,
+    /// Backoff delay computed after each failed attempt, milliseconds.
+    pub backoffs_ms: Vec<u64>,
+}
+
+/// A completed supervised campaign.
+pub struct Supervised {
+    /// The finished run — bit-identical to an unsupervised
+    /// `Tuner::run()` of the same configuration.
+    pub run: TuningRun,
+    /// What it took to get there.
+    pub report: SupervisorReport,
+}
+
+impl fmt::Debug for Supervised {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // TuningRun carries no Debug (it owns a whole EvalContext);
+        // the report plus the run's digest identify the outcome.
+        f.debug_struct("Supervised")
+            .field(
+                "digest",
+                &format_args!("{:016x}", self.run.canonical_digest()),
+            )
+            .field("report", &self.report)
+            .finish()
+    }
+}
+
+/// Why a supervised campaign did not complete.
+#[derive(Debug)]
+pub enum SupervisorError {
+    /// The journal could not be read or written.
+    Journal(JournalError),
+    /// A checkpoint failed to (de)serialize, validate, or resume.
+    Checkpoint(CheckpointError),
+    /// The campaign died `poison_threshold` consecutive times without
+    /// progress and was quarantined with a diagnostic record.
+    Poisoned {
+        /// The diagnostic written to the journal.
+        diagnostic: String,
+        /// The supervisor's trace up to quarantine.
+        report: SupervisorReport,
+    },
+    /// `max_attempts` attempts were used up (progress was still being
+    /// made, unlike `Poisoned` — raise the bound or inspect the
+    /// journal).
+    AttemptsExhausted {
+        /// The supervisor's trace.
+        report: SupervisorReport,
+    },
+}
+
+impl fmt::Display for SupervisorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SupervisorError::Journal(e) => write!(f, "supervisor journal failure: {e}"),
+            SupervisorError::Checkpoint(e) => write!(f, "supervisor checkpoint failure: {e}"),
+            SupervisorError::Poisoned { diagnostic, report } => write!(
+                f,
+                "campaign quarantined as poison after {} attempts: {diagnostic}",
+                report.attempts
+            ),
+            SupervisorError::AttemptsExhausted { report } => write!(
+                f,
+                "supervisor exhausted {} attempts without finishing",
+                report.attempts
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SupervisorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SupervisorError::Journal(e) => Some(e),
+            SupervisorError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<JournalError> for SupervisorError {
+    fn from(e: JournalError) -> Self {
+        SupervisorError::Journal(e)
+    }
+}
+
+impl From<CheckpointError> for SupervisorError {
+    fn from(e: CheckpointError) -> Self {
+        SupervisorError::Checkpoint(e)
+    }
+}
+
+/// The default segment plan: checkpoint after the baseline, after the
+/// collection, then after each search joins in — six records walking
+/// the DAG one phase at a time, including the mid-stage joins an
+/// overlapped schedule would checkpoint at.
+pub fn default_segments() -> Vec<Vec<Phase>> {
+    vec![
+        vec![Phase::Baseline],
+        vec![Phase::Collect],
+        vec![Phase::Collect, Phase::Random],
+        vec![Phase::Collect, Phase::Random, Phase::Fr],
+        vec![Phase::Collect, Phase::Random, Phase::Fr, Phase::Greedy],
+        Phase::ALL.to_vec(),
+    ]
+}
+
+/// Phases a segment target implies, including dependency closure.
+fn segment_phases(targets: &[Phase]) -> Vec<Phase> {
+    let mut need: Vec<Phase> = Vec::new();
+    for t in targets {
+        for p in t.requires().into_iter().chain([*t]) {
+            if !need.contains(&p) {
+                need.push(p);
+            }
+        }
+    }
+    need
+}
+
+/// Whether a checkpoint already covers a segment (every implied phase
+/// completed).
+fn segment_done(cp: &CampaignCheckpoint, targets: &[Phase]) -> bool {
+    let done = cp.completed_phases();
+    segment_phases(targets).iter().all(|p| done.contains(p))
+}
+
+/// Drives one campaign to completion through a journal, surviving
+/// kills at any record boundary. See the module docs for the state
+/// machine.
+pub struct Supervisor<'a> {
+    factory: Box<dyn Fn() -> Tuner<'a> + 'a>,
+    journal_path: PathBuf,
+    config: SupervisorConfig,
+    chaos: ChaosPolicy,
+    segments: Vec<Vec<Phase>>,
+}
+
+impl<'a> Supervisor<'a> {
+    /// A supervisor journaling to `journal_path`, building each
+    /// attempt's tuner with `factory`. The factory must return
+    /// identically-configured tuners — the checkpoint identity check
+    /// enforces it at resume time.
+    pub fn new(journal_path: &Path, factory: impl Fn() -> Tuner<'a> + 'a) -> Supervisor<'a> {
+        Supervisor {
+            factory: Box::new(factory),
+            journal_path: journal_path.to_path_buf(),
+            config: SupervisorConfig::default(),
+            chaos: ChaosPolicy::Off,
+            segments: default_segments(),
+        }
+    }
+
+    /// Overrides the retry/backoff/quarantine policy.
+    pub fn config(mut self, config: SupervisorConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Installs a chaos kill policy (tests and drills).
+    pub fn chaos(mut self, chaos: ChaosPolicy) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Overrides the checkpoint segment plan. Each entry is a
+    /// cumulative phase target (dependency closure implied); the plan
+    /// must end in a segment covering all phases.
+    pub fn segments(mut self, segments: Vec<Vec<Phase>>) -> Self {
+        assert!(
+            segments
+                .last()
+                .is_some_and(|s| segment_phases(s).len() == Phase::ALL.len()),
+            "the final segment must cover every phase"
+        );
+        self.segments = segments;
+        self
+    }
+
+    /// Runs the campaign to completion (or quarantine). Kill-aborted
+    /// attempts recover from the journal; the finished run is
+    /// bit-identical to an unsupervised `Tuner::run()`.
+    pub fn run(self) -> Result<Supervised, SupervisorError> {
+        let mut report = SupervisorReport::default();
+        let mut kills = 0u32;
+        let mut no_progress = 0u32;
+        for attempt in 1..=self.config.max_attempts {
+            report.attempts = attempt;
+            match self.attempt(attempt, &mut kills, &mut report)? {
+                Attempt::Finished(run) => {
+                    return Ok(Supervised { run: *run, report });
+                }
+                Attempt::Killed { progressed } => {
+                    report.kills = kills;
+                    if progressed {
+                        no_progress = 0;
+                    } else {
+                        no_progress += 1;
+                    }
+                    if no_progress >= self.config.poison_threshold {
+                        let diagnostic = format!(
+                            "{no_progress} consecutive attempts died before \
+                             appending a record (last attempt {attempt}, \
+                             {} records in journal)",
+                            report.resumed_from.last().copied().unwrap_or(0)
+                        );
+                        let (mut journal, _) = Journal::open_or_create(&self.journal_path)?;
+                        journal.append(
+                            &CampaignRecord::poisoned(diagnostic.clone(), attempt).to_bytes()?,
+                        )?;
+                        return Err(SupervisorError::Poisoned { diagnostic, report });
+                    }
+                    let delay = backoff_ms(&self.config, no_progress.max(1), attempt);
+                    report.backoffs_ms.push(delay);
+                    if self.config.sleep && delay > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(delay));
+                    }
+                }
+            }
+        }
+        Err(SupervisorError::AttemptsExhausted { report })
+    }
+
+    /// One attempt: recover, advance segment by segment, finish — or
+    /// die at a chaos kill-point.
+    fn attempt(
+        &self,
+        attempt: u32,
+        kills: &mut u32,
+        report: &mut SupervisorReport,
+    ) -> Result<Attempt, SupervisorError> {
+        let (mut journal, recovery) = Journal::open_or_create(&self.journal_path)?;
+        let mut records = recovery.records.len();
+        report.resumed_from.push(records);
+
+        let mut checkpoint: Option<CampaignCheckpoint> = None;
+        if let Some(last) = recovery.last() {
+            let record = CampaignRecord::from_bytes(last)?;
+            match record.kind.as_str() {
+                RECORD_POISONED => {
+                    let diagnostic = record
+                        .diagnostic
+                        .unwrap_or_else(|| "poisoned with no diagnostic".to_string());
+                    return Err(SupervisorError::Poisoned {
+                        diagnostic,
+                        report: report.clone(),
+                    });
+                }
+                RECORD_DONE => {
+                    // Already finished in an earlier life: rebuild the
+                    // run from the terminal checkpoint (everything is
+                    // restored; only the cheap baseline re-measures).
+                    let cp = record.checkpoint.ok_or(CheckpointError::Phases(
+                        "done record carries no checkpoint".to_string(),
+                    ))?;
+                    let run = (self.factory)().resume(cp)?;
+                    return Ok(Attempt::Finished(Box::new(run)));
+                }
+                _ => {
+                    checkpoint = record.checkpoint;
+                }
+            }
+        }
+
+        let start_records = records;
+        for segment in &self.segments {
+            if let Some(cp) = &checkpoint {
+                if segment_done(cp, segment) {
+                    continue;
+                }
+            }
+            if self.chaos.should_kill(*kills, attempt, records) {
+                *kills += 1;
+                return Ok(Attempt::Killed {
+                    progressed: records > start_records,
+                });
+            }
+            let next = match checkpoint.take() {
+                None => (self.factory)().run_until_phases(segment),
+                Some(cp) => (self.factory)().resume_until_phases(cp, segment)?,
+            };
+            journal.append(&CampaignRecord::checkpoint(next.clone(), attempt).to_bytes()?)?;
+            records += 1;
+            report.checkpoints_written += 1;
+            checkpoint = Some(next);
+        }
+
+        // The boundary after the last checkpoint record is a
+        // kill-point too: the done record is not yet durable.
+        if self.chaos.should_kill(*kills, attempt, records) {
+            *kills += 1;
+            return Ok(Attempt::Killed {
+                progressed: records > start_records,
+            });
+        }
+
+        let cp = checkpoint.expect("segment plan covers every phase");
+        let run = (self.factory)().resume(cp.clone())?;
+        let done = CampaignRecord::done(cp, run.canonical_digest(), attempt);
+        journal.append(&done.to_bytes()?)?;
+        // Compact the history down to the terminal record: recovery
+        // of a finished campaign needs only it, and the checkpoint
+        // prefix can be megabytes of collection data.
+        let payload = done.to_bytes()?;
+        journal.compact(&[&payload])?;
+        Ok(Attempt::Finished(Box::new(run)))
+    }
+}
+
+/// Outcome of one attempt. The finished run is boxed: a `TuningRun`
+/// is ~2 KiB of results and the kill variant is one byte.
+enum Attempt {
+    Finished(Box<TuningRun>),
+    Killed { progressed: bool },
+}

@@ -1,0 +1,194 @@
+//! Property-based corruption tests for the checkpoint journal.
+//!
+//! The WAL's recovery contract: for *any* byte-level damage — random
+//! truncation, bit flips anywhere in the file, arbitrary garbage
+//! appended — `Journal::recover` either lands on a valid record
+//! prefix (with a typed description of the torn tail) or returns a
+//! typed error. Never a panic, never a record that was not appended,
+//! never a silently partial record.
+
+use ft_core::journal::{temp_journal_path, Journal, JournalError, Tail, FRAME_HEADER, MAGIC};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+struct TempJournal(PathBuf);
+impl Drop for TempJournal {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Deterministic pseudo-random bytes (SplitMix64 stream) — the
+/// vendored proptest has no collection strategies, so byte payloads
+/// derive from a generated seed instead.
+fn bytes_from_seed(mut seed: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|_| {
+            seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z ^ (z >> 31)) as u8
+        })
+        .collect()
+}
+
+/// 0–5 records of 0–199 bytes each, all derived from one seed.
+fn records_from_seed(seed: u64) -> Vec<Vec<u8>> {
+    let count = (seed % 6) as usize;
+    (0..count)
+        .map(|i| {
+            let s = seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+            bytes_from_seed(s, (s >> 8) as usize % 200)
+        })
+        .collect()
+}
+
+/// Writes `records` through the real append path and returns the
+/// journal file's bytes plus its path.
+fn journal_with(label: &str, records: &[Vec<u8>]) -> (TempJournal, Vec<u8>) {
+    let t = TempJournal(temp_journal_path(label));
+    let mut j = Journal::create(&t.0).unwrap();
+    for r in records {
+        j.append(r).unwrap();
+    }
+    let bytes = std::fs::read(&t.0).unwrap();
+    (t, bytes)
+}
+
+/// Recovery must yield a prefix of the appended records (or a typed
+/// error for header damage) — and a re-open for append must repair to
+/// a journal that accepts further records. Panics on violation (the
+/// proptest macro surfaces the case seed).
+fn assert_recovers_to_prefix(t: &TempJournal, original: &[Vec<u8>]) {
+    match Journal::recover(&t.0) {
+        Ok(rec) => {
+            assert!(rec.records.len() <= original.len(), "invented records");
+            for (i, r) in rec.records.iter().enumerate() {
+                assert_eq!(r, &original[i], "record {i} not a faithful prefix");
+            }
+            // valid_len is consistent: header + sum of kept frames.
+            let expect: u64 = MAGIC.len() as u64
+                + rec
+                    .records
+                    .iter()
+                    .map(|r| (FRAME_HEADER + r.len()) as u64)
+                    .sum::<u64>();
+            assert_eq!(rec.valid_len, expect);
+            // Repair + append still works on the damaged file.
+            let kept = rec.records.clone();
+            let (mut j, reopened) = Journal::open_or_create(&t.0).unwrap();
+            assert_eq!(reopened.records, kept);
+            j.append(b"post-damage").unwrap();
+            let after = Journal::recover(&t.0).unwrap();
+            assert_eq!(after.records.len(), kept.len() + 1);
+            assert_eq!(after.records.last().unwrap(), b"post-damage");
+            assert_eq!(after.tail, Tail::Clean);
+        }
+        Err(JournalError::BadHeader { .. }) => {
+            // Header damage is a typed refusal — acceptable, as long
+            // as it is not a panic or fabricated data.
+        }
+        Err(e) => panic!("unexpected error kind: {e}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Truncation at any byte offset recovers the longest whole-record
+    /// prefix that survived the cut.
+    #[test]
+    fn truncation_recovers_a_prefix(seed in any::<u64>(), cut in 0usize..2000) {
+        let records = records_from_seed(seed);
+        let (t, bytes) = journal_with("prop-trunc", &records);
+        let cut = cut.min(bytes.len());
+        std::fs::write(&t.0, &bytes[..cut]).unwrap();
+
+        // Sharp check first (before the repair helper appends): the
+        // recovered count is exactly the records whose frames lie
+        // wholly before the cut (no CRC collisions are possible —
+        // truncation only shortens).
+        if cut >= MAGIC.len() {
+            let mut offset = MAGIC.len();
+            let mut whole = 0;
+            for r in &records {
+                offset += FRAME_HEADER + r.len();
+                if offset <= cut {
+                    whole += 1;
+                }
+            }
+            let rec = Journal::recover(&t.0).unwrap();
+            prop_assert_eq!(rec.records.len(), whole);
+            prop_assert_eq!(
+                matches!(rec.tail, Tail::Clean),
+                cut == bytes.len(),
+                "tail must be torn iff bytes were actually lost"
+            );
+        }
+        assert_recovers_to_prefix(&t, &records);
+    }
+
+    /// A single bit flip anywhere must not panic, invent records, or
+    /// corrupt a record silently: every recovered record is byte-equal
+    /// to one that was appended, at its original position. (CRC32
+    /// detects every single-bit error, so the flipped record is cut,
+    /// not accepted.)
+    #[test]
+    fn bit_flip_never_yields_a_corrupt_record(
+        seed in any::<u64>(),
+        pos in 0usize..2000,
+        bit in 0u8..8,
+    ) {
+        let records = records_from_seed(seed);
+        let (t, mut bytes) = journal_with("prop-flip", &records);
+        let len = bytes.len();
+        bytes[pos % len] ^= 1 << bit;
+        std::fs::write(&t.0, &bytes).unwrap();
+        assert_recovers_to_prefix(&t, &records);
+    }
+
+    /// Appended garbage never leaks into the recovered records: the
+    /// originals are intact and the junk is a torn tail (a garbage
+    /// suffix that parses as whole CRC-valid frames has odds ~2^-32
+    /// per frame; at these sizes it cannot occur deterministically).
+    #[test]
+    fn appended_garbage_is_a_torn_tail(
+        seed in any::<u64>(),
+        garbage_seed in any::<u64>(),
+        garbage_len in 1usize..100,
+    ) {
+        let records = records_from_seed(seed);
+        let (t, mut bytes) = journal_with("prop-garbage", &records);
+        bytes.extend_from_slice(&bytes_from_seed(garbage_seed, garbage_len));
+        std::fs::write(&t.0, &bytes).unwrap();
+        let rec = Journal::recover(&t.0).unwrap();
+        prop_assert_eq!(&rec.records, &records, "garbage leaked into records");
+        prop_assert!(matches!(rec.tail, Tail::Torn { .. }));
+        assert_recovers_to_prefix(&t, &records);
+    }
+
+    /// Compound damage: truncate, then flip a bit, then append junk.
+    /// The prefix property must hold through all of it.
+    #[test]
+    fn compound_damage_still_recovers_cleanly(
+        seed in any::<u64>(),
+        cut in 0usize..2000,
+        pos in 0usize..2000,
+        bit in 0u8..8,
+        garbage_seed in any::<u64>(),
+        garbage_len in 0usize..50,
+    ) {
+        let records = records_from_seed(seed);
+        let (t, bytes) = journal_with("prop-compound", &records);
+        let cut = cut.min(bytes.len());
+        let mut bytes = bytes[..cut].to_vec();
+        if !bytes.is_empty() {
+            let len = bytes.len();
+            bytes[pos % len] ^= 1 << bit;
+        }
+        bytes.extend_from_slice(&bytes_from_seed(garbage_seed, garbage_len));
+        std::fs::write(&t.0, &bytes).unwrap();
+        assert_recovers_to_prefix(&t, &records);
+    }
+}

@@ -235,11 +235,13 @@ fn mid_overlap_checkpoint_refuses_corruption_and_version_mismatch() {
     let cp = tuner(&w, &arch, FaultModel::zero()).run_until_phases(&[Phase::Collect, Phase::Fr]);
     let json = cp.to_json().unwrap();
 
-    // Garbage is a format error.
+    // Garbage is a typed parse error carrying the serde cause.
     let err = CampaignCheckpoint::from_json("{definitely not json").unwrap_err();
-    assert!(matches!(err, CheckpointError::Format(_)));
+    assert!(matches!(err, CheckpointError::Deserialize { .. }), "{err}");
+    assert!(std::error::Error::source(&err).is_some());
 
-    // A future schema version is refused...
+    // A future schema version is refused with both sides of the
+    // mismatch...
     let v = ft_core::CHECKPOINT_VERSION;
     let future = json.replacen(
         &format!("\"version\":{v}"),
@@ -248,12 +250,22 @@ fn mid_overlap_checkpoint_refuses_corruption_and_version_mismatch() {
     );
     assert_ne!(future, json, "version field must be serialized");
     let err = CampaignCheckpoint::from_json(&future).unwrap_err();
-    assert!(matches!(err, CheckpointError::Format(_)), "{err}");
+    assert!(
+        matches!(err, CheckpointError::Version { found, supported }
+            if found == v + 1 && supported == v),
+        "{err}"
+    );
     assert!(err.to_string().contains("version"));
 
-    // ...and so is a truncated file.
+    // ...and a truncated file is a parse error again.
     let err = CampaignCheckpoint::from_json(&json[..json.len() / 2]).unwrap_err();
-    assert!(matches!(err, CheckpointError::Format(_)));
+    assert!(matches!(err, CheckpointError::Deserialize { .. }), "{err}");
+
+    // A corrupted completed-phase list fails loudly at load time.
+    let tampered = json.replacen("\"completed\":[\"baseline\"", "\"completed\":[\"cfr\"", 1);
+    assert_ne!(tampered, json, "completed list must be serialized");
+    let err = CampaignCheckpoint::from_json(&tampered).unwrap_err();
+    assert!(matches!(err, CheckpointError::Phases(_)), "{err}");
 
     // A mid-overlap checkpoint still validates campaign identity on
     // resume, whatever the schedule.

@@ -28,6 +28,9 @@ struct Args {
     seed: u64,
     loop_name: Option<String>,
     out: Option<String>,
+    checkpoint_dir: Option<String>,
+    chaos_kill_seed: Option<u64>,
+    chaos_kill_rate: u32,
 }
 
 impl Args {
@@ -41,6 +44,9 @@ impl Args {
             seed: 42,
             loop_name: None,
             out: None,
+            checkpoint_dir: None,
+            chaos_kill_seed: None,
+            chaos_kill_rate: 25,
         };
         let mut it = argv[1..].iter();
         while let Some(a) = it.next() {
@@ -66,6 +72,24 @@ impl Args {
                 }
                 "--loop" => args.loop_name = Some(it.next().ok_or("--loop needs a name")?.clone()),
                 "--out" => args.out = Some(it.next().ok_or("--out needs a path")?.clone()),
+                "--checkpoint-dir" => {
+                    args.checkpoint_dir =
+                        Some(it.next().ok_or("--checkpoint-dir needs a path")?.clone())
+                }
+                "--chaos-kill-seed" => {
+                    args.chaos_kill_seed = Some(
+                        it.next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or("--chaos-kill-seed needs a number")?,
+                    )
+                }
+                "--chaos-kill-rate" => {
+                    args.chaos_kill_rate = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|r| *r <= 100)
+                        .ok_or("--chaos-kill-rate needs a percentage 0..=100")?
+                }
                 other if other.starts_with("--") => {
                     return Err(format!("unknown option {other}"));
                 }
@@ -120,6 +144,7 @@ fn main() {
         "optreport" => cmd_optreport(&args),
         "collect" => cmd_collect(&args),
         "search" => cmd_search(&args),
+        "supervise" => cmd_supervise(&args),
         other => Err(format!("unknown command {other}")),
     };
     if let Err(e) = result {
@@ -144,8 +169,10 @@ fn help() {
            tune-file <model.json>       tune a custom program model\n\
            optreport <bench> --loop L   O3-vs-CFR optimization reports\n\
            collect <bench> --out F      run the K-sample collection, checkpoint it\n\
-           search <checkpoint.json>     re-run CFR from a saved collection\n\n\
-         options: --arch A  --k N  --x N  --seed S  --loop NAME  --out PATH"
+           search <checkpoint.json>     re-run CFR from a saved collection\n\
+           supervise <bench>            crash-safe campaign under a WAL journal\n\n\
+         options: --arch A  --k N  --x N  --seed S  --loop NAME  --out PATH\n\
+                  --checkpoint-dir DIR  --chaos-kill-seed S  --chaos-kill-rate PCT"
     );
 }
 
@@ -605,6 +632,92 @@ fn cmd_search(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_supervise(args: &Args) -> Result<(), String> {
+    use funcytuner::tuning::{ChaosPolicy, Supervisor, SupervisorConfig};
+    let arch = args.architecture()?;
+    let w = args.workload()?;
+    let dir = std::path::PathBuf::from(
+        args.checkpoint_dir
+            .clone()
+            .unwrap_or_else(|| "ft-checkpoints".to_string()),
+    );
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let journal = dir.join(format!(
+        "{}-{}-seed{}.wal",
+        w.meta.name,
+        arch.name.replace(' ', "-").to_lowercase(),
+        args.seed
+    ));
+    let chaos = match args.chaos_kill_seed {
+        None => ChaosPolicy::Off,
+        Some(seed) => ChaosPolicy::Seeded {
+            seed,
+            rate_percent: args.chaos_kill_rate as u8,
+            max_kills: 16,
+        },
+    };
+    println!(
+        "supervising {} on {} (K = {}, X = {}, seed {})\n  journal: {}{}",
+        w.meta.name,
+        arch.name,
+        args.k,
+        args.x,
+        args.seed,
+        journal.display(),
+        match args.chaos_kill_seed {
+            Some(s) => format!(
+                "\n  chaos: seeded kills (seed {s}, {}% per boundary)",
+                args.chaos_kill_rate
+            ),
+            None => String::new(),
+        }
+    );
+    let supervised = Supervisor::new(&journal, || {
+        Tuner::new(&w, &arch)
+            .budget(args.k)
+            .focus(args.x)
+            .seed(args.seed)
+    })
+    .config(SupervisorConfig {
+        sleep: true,
+        ..SupervisorConfig::default()
+    })
+    .chaos(chaos)
+    .run()
+    .map_err(|e| e.to_string())?;
+    let report = &supervised.report;
+    println!(
+        "\ncampaign finished: {} attempt(s), {} chaos kill(s), {} checkpoint(s) written",
+        report.attempts, report.kills, report.checkpoints_written
+    );
+    if report.kills > 0 {
+        println!(
+            "  resumed from journal records {:?}, backoffs {:?} ms",
+            report.resumed_from, report.backoffs_ms
+        );
+    }
+    let run = &supervised.run;
+    println!(
+        "  canonical digest {:016x} (journal pins the same digest)",
+        run.canonical_digest()
+    );
+    println!("\n-O3 baseline: {:.2} s", run.baseline_time);
+    println!("{:<14} {:>9} {:>8}", "algorithm", "time (s)", "speedup");
+    for (name, t, s) in [
+        ("Random", run.random.best_time, run.random.speedup()),
+        ("FR", run.fr.best_time, run.fr.speedup()),
+        (
+            "G.realized",
+            run.greedy.realized.best_time,
+            run.greedy.realized.speedup(),
+        ),
+        ("CFR", run.cfr.best_time, run.cfr.speedup()),
+    ] {
+        println!("{name:<14} {t:>9.3} {s:>7.3}x");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -658,6 +771,20 @@ mod tests {
             let a = Args::parse(&argv(&format!("tune swim --arch {alias}"))).unwrap();
             assert_eq!(a.architecture().unwrap().name, name, "{alias}");
         }
+    }
+
+    #[test]
+    fn parse_supervise_options() {
+        let a = Args::parse(&argv(
+            "supervise swim --checkpoint-dir ckpt --chaos-kill-seed 99 --chaos-kill-rate 40",
+        ))
+        .unwrap();
+        assert_eq!(a.command, "supervise");
+        assert_eq!(a.checkpoint_dir.as_deref(), Some("ckpt"));
+        assert_eq!(a.chaos_kill_seed, Some(99));
+        assert_eq!(a.chaos_kill_rate, 40);
+        assert!(Args::parse(&argv("supervise swim --chaos-kill-rate 101")).is_err());
+        assert!(Args::parse(&argv("supervise swim --chaos-kill-seed nope")).is_err());
     }
 
     #[test]

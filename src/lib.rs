@@ -73,6 +73,10 @@ pub mod prelude {
     pub use ft_core::{
         cfr, cfr_adaptive, cfr_iterative, collect, fr_search, greedy, random_search,
     };
+    pub use ft_core::{
+        BreakerConfig, ChaosPolicy, CircuitBreaker, Journal, Supervisor, SupervisorConfig,
+        SupervisorError, SupervisorReport,
+    };
     pub use ft_core::{CacheStats, Convergence, MeasurementStats, ObjectStore, TuningCost};
     pub use ft_core::{EvalContext, ScheduleMode, Tuner, TuningResult, TuningRun};
     pub use ft_flags::{Cv, FlagSpace};

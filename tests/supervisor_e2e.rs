@@ -1,0 +1,100 @@
+//! End-to-end crash-safety workflows through the facade crate — the
+//! compositions `ftune supervise` drives: a supervised campaign under
+//! a seeded kill storm, replay of a finished journal, and the breaker
+//! degrading a faulty campaign without moving its canonical bytes.
+
+use funcytuner::compiler::FaultModel;
+use funcytuner::prelude::*;
+use funcytuner::tuning::journal::temp_journal_path;
+use std::path::PathBuf;
+
+struct TempJournal(PathBuf);
+impl Drop for TempJournal {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn tuner<'a>(w: &'a Workload, arch: &'a Architecture) -> Tuner<'a> {
+    Tuner::new(w, arch)
+        .budget(60)
+        .focus(8)
+        .seed(42)
+        .cap_steps(5)
+        .faults(FaultModel::testbed(0xE2E))
+}
+
+#[test]
+fn supervised_kill_storm_matches_the_plain_run_through_the_prelude() {
+    let arch = Architecture::broadwell();
+    let w = workload_by_name("swim").expect("swim in suite");
+    let reference = tuner(&w, &arch).run();
+
+    let j = TempJournal(temp_journal_path("e2e-storm"));
+    let supervised = Supervisor::new(&j.0, || tuner(&w, &arch))
+        .chaos(ChaosPolicy::Seeded {
+            seed: 0xE2E,
+            rate_percent: 35,
+            max_kills: 4,
+        })
+        .config(SupervisorConfig {
+            max_attempts: 30,
+            poison_threshold: 8,
+            ..SupervisorConfig::default()
+        })
+        .run()
+        .expect("storm converges");
+    assert_eq!(
+        reference.canonical_bytes(),
+        supervised.run.canonical_bytes(),
+        "kills={}",
+        supervised.report.kills
+    );
+    let cost = supervised.run.ctx.cost();
+    assert_eq!(cost.runs, supervised.run.ctx.fault_stats().charged_runs());
+
+    // Replaying the finished journal restores the result without
+    // redoing any search phase.
+    let again = Supervisor::new(&j.0, || tuner(&w, &arch))
+        .run()
+        .expect("done journal replays");
+    assert_eq!(
+        reference.canonical_bytes(),
+        again.run.canonical_bytes(),
+        "replay diverged"
+    );
+    assert_eq!(again.report.checkpoints_written, 0);
+    assert!(again.run.ctx.cost().runs <= 10, "replay redid searches");
+}
+
+#[test]
+fn breaker_degradation_never_moves_the_canonical_bytes() {
+    let arch = Architecture::broadwell();
+    let w = workload_by_name("swim").expect("swim in suite");
+    let reference = tuner(&w, &arch).run();
+
+    // A hair-trigger breaker: every completed window trips, so the
+    // campaign spends most of its life degraded (scalar path, widened
+    // timeout budgets) — and must still produce identical bytes,
+    // because everything the breaker changes is value-safe.
+    let degraded = tuner(&w, &arch)
+        .breaker(BreakerConfig {
+            window: 8,
+            trip_threshold: 0.0,
+            cooldown: 16,
+            probe: 4,
+            timeout_scale: 4.0,
+        })
+        .run();
+    assert_eq!(
+        reference.canonical_bytes(),
+        degraded.canonical_bytes(),
+        "breaker changed observable results"
+    );
+    let cost = degraded.ctx.cost();
+    assert!(
+        cost.breaker_trips >= 1,
+        "hair-trigger never tripped: {cost:?}"
+    );
+    assert_eq!(cost.runs, degraded.ctx.fault_stats().charged_runs());
+}
