@@ -1,0 +1,115 @@
+//! Distributed-plane overhead: a campaign sharded across in-process
+//! workers (the full byte protocol — canonical encode, CRC frame,
+//! decode, per-worker ledger merge) vs the same campaign run
+//! single-process.
+//!
+//! The plane's claim is *byte-identity at protocol cost only*: the
+//! wire adds encode/decode and per-shard thread dispatch, while the
+//! evaluation work is unchanged. The bench gates on the sharded run
+//! being byte-identical to the serial run before timing anything,
+//! then times three shapes:
+//!
+//! * `serial` — `Tuner::run()`, no plane.
+//! * `workers/2` and `workers/8` — the same campaign behind 2 and 8
+//!   in-process workers (real frames, no pipes — prices the protocol
+//!   and sharding, not the OS).
+//! * `codec` — the raw encode→frame→decode round trip of a
+//!   representative work batch, to price the wire floor per batch.
+//!
+//! Per-worker caches mean sharded runs repeat some compiles a serial
+//! run would memoize, so the honest expectation is a modest overhead
+//! locally; the plane pays off only when workers are real machines.
+//! `FT_BENCH_SMOKE=1` drops K so CI can run the gate end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_core::remote::{decode_frame, decode_message, encode_frame, encode_message};
+use ft_core::{Message, Tuner, TuningRun, WorkBatch, WorkItem};
+use ft_machine::Architecture;
+use ft_workloads::{workload_by_name, Workload};
+
+fn k() -> usize {
+    if std::env::var_os("FT_BENCH_SMOKE").is_some() {
+        120
+    } else {
+        1000
+    }
+}
+
+const STEPS: u32 = 4;
+
+fn campaign(w: &Workload, arch: &Architecture, k: usize, workers: usize) -> TuningRun {
+    let mut t = Tuner::new(w, arch)
+        .budget(k)
+        .focus(if k >= 1000 { 32 } else { 8 })
+        .seed(42)
+        .cap_steps(STEPS);
+    if workers > 0 {
+        t = t.workers(workers);
+    }
+    t.run()
+}
+
+/// A representative WORK frame: 64 per-loop items over 6 modules with
+/// a 16-definition preamble — roughly one random-phase shard.
+fn sample_batch() -> Vec<u8> {
+    let defs: Vec<(u64, Vec<u8>)> = (0..16u64)
+        .map(|i| (0x9E37 ^ i, (0..33).map(|j| ((i + j) % 4) as u8).collect()))
+        .collect();
+    let items: Vec<WorkItem> = (0..64u64)
+        .map(|i| WorkItem {
+            uniform: false,
+            digests: (0..6).map(|j| 0x9E37 ^ ((i + j) % 16)).collect(),
+            noise_seed: i,
+        })
+        .collect();
+    encode_frame(&encode_message(&Message::Work(WorkBatch {
+        seq: 1,
+        timeout_ref_bits: 0,
+        defs,
+        items,
+    })))
+}
+
+fn remote_plane_benches(c: &mut Criterion) {
+    let arch = Architecture::broadwell();
+    let w = workload_by_name("CloverLeaf").expect("CloverLeaf in suite");
+    let k = k();
+
+    // Gate: the plane must not move the campaign's bytes.
+    let serial = campaign(&w, &arch, k, 0);
+    for workers in [2usize, 8] {
+        let sharded = campaign(&w, &arch, k, workers);
+        assert_eq!(
+            serial.canonical_bytes(),
+            sharded.canonical_bytes(),
+            "{workers}-worker campaign diverged — bench is invalid"
+        );
+    }
+    println!(
+        "remote-plane/K{k}: digest {:016x} identical serial vs 2 vs 8 workers",
+        serial.canonical_digest()
+    );
+
+    let mut g = c.benchmark_group(format!("remote_plane/K{k}"));
+    g.sample_size(10);
+    g.bench_function("serial", |b| b.iter(|| campaign(&w, &arch, k, 0)));
+    g.bench_function("workers/2", |b| b.iter(|| campaign(&w, &arch, k, 2)));
+    g.bench_function("workers/8", |b| b.iter(|| campaign(&w, &arch, k, 8)));
+    g.finish();
+
+    let frame = sample_batch();
+    let mut g = c.benchmark_group("remote_plane/codec");
+    g.bench_function("encode+decode work batch", |b| {
+        b.iter(|| {
+            let (payload, _) = decode_frame(std::hint::black_box(&frame)).expect("own frame");
+            decode_message(payload).expect("own message")
+        })
+    });
+    g.bench_function("encode work batch", |b| {
+        b.iter(|| std::hint::black_box(sample_batch()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, remote_plane_benches);
+criterion_main!(benches);

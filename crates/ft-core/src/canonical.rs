@@ -41,6 +41,41 @@ pub fn write_f64s(out: &mut Vec<u8>, vs: &[f64]) {
     }
 }
 
+/// Reads a little-endian `u64` at `*pos`, advancing it. `None` when
+/// fewer than 8 bytes remain — decoders must treat that as typed
+/// truncation, never index past the buffer.
+pub fn read_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let bytes = buf.get(*pos..*pos + 8)?;
+    *pos += 8;
+    Some(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+}
+
+/// Reads an `f64` by exact bit pattern (inverse of [`write_f64`]).
+pub fn read_f64(buf: &[u8], pos: &mut usize) -> Option<f64> {
+    read_u64(buf, pos).map(f64::from_bits)
+}
+
+/// Reads a length-prefixed byte slice (inverse of [`write_bytes`]).
+/// The declared length is validated against the remaining buffer
+/// *before* any slicing or allocation, so a hostile length prefix can
+/// neither panic nor reserve unbounded memory.
+pub fn read_bytes<'a>(buf: &'a [u8], pos: &mut usize) -> Option<&'a [u8]> {
+    let len = read_u64(buf, pos)?;
+    let len = usize::try_from(len).ok()?;
+    if len > buf.len().saturating_sub(*pos) {
+        return None;
+    }
+    let bytes = &buf[*pos..*pos + len];
+    *pos += len;
+    Some(bytes)
+}
+
+/// Reads a length-prefixed UTF-8 string (inverse of [`write_str`]).
+/// Invalid UTF-8 is a decode failure, not a lossy conversion.
+pub fn read_str<'a>(buf: &'a [u8], pos: &mut usize) -> Option<&'a str> {
+    std::str::from_utf8(read_bytes(buf, pos)?).ok()
+}
+
 /// Folds an encoded buffer into a single `u64` (SplitMix64 over
 /// 8-byte chunks) — a compact fingerprint for logs and golden tests.
 pub fn digest(bytes: &[u8]) -> u64 {
@@ -81,6 +116,36 @@ mod tests {
         write_str(&mut b, "a");
         write_str(&mut b, "bc");
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn readers_invert_writers() {
+        let mut out = Vec::new();
+        write_u64(&mut out, 0xDEAD_BEEF_u64);
+        write_f64(&mut out, f64::INFINITY);
+        write_bytes(&mut out, &[1, 2, 3]);
+        write_str(&mut out, "swim");
+        let mut pos = 0;
+        assert_eq!(read_u64(&out, &mut pos), Some(0xDEAD_BEEF_u64));
+        assert_eq!(
+            read_f64(&out, &mut pos).map(f64::to_bits),
+            Some(f64::INFINITY.to_bits())
+        );
+        assert_eq!(read_bytes(&out, &mut pos), Some(&[1u8, 2, 3][..]));
+        assert_eq!(read_str(&out, &mut pos), Some("swim"));
+        assert_eq!(pos, out.len());
+        assert_eq!(read_u64(&out, &mut pos), None, "past the end");
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_refused_without_allocation() {
+        let mut out = Vec::new();
+        write_u64(&mut out, u64::MAX); // claims ~2^64 bytes follow
+        let mut pos = 0;
+        assert_eq!(read_bytes(&out, &mut pos), None);
+        // Truncation mid-prefix is also a clean refusal.
+        let mut pos = 0;
+        assert_eq!(read_bytes(&out[..4], &mut pos), None);
     }
 
     #[test]

@@ -202,6 +202,11 @@ pub struct EvalContext {
     retries: AtomicU64,
     /// Evaluations short-circuited by a quarantine list.
     quarantine_skips: AtomicU64,
+    /// When attached, [`crate::search::SearchDriver`] batches are
+    /// sharded across this plane's workers instead of evaluated
+    /// locally; the plane's merged worker ledger is folded into
+    /// [`EvalContext::cost`] and [`EvalContext::fault_stats`].
+    remote: Option<Arc<crate::remote::RemotePlane>>,
 }
 
 impl EvalContext {
@@ -243,6 +248,7 @@ impl EvalContext {
             timeouts: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             quarantine_skips: AtomicU64::new(0),
+            remote: None,
         }
     }
 
@@ -335,6 +341,23 @@ impl EvalContext {
         self.store.as_ref().map(|b| &b.store)
     }
 
+    /// Attaches a distributed evaluation plane: search-driver batches
+    /// are sharded across its workers, and the workers' merged ledger
+    /// is folded into [`EvalContext::cost`] / [`EvalContext::fault_stats`].
+    /// Baseline and collection probes stay local to this context.
+    /// Like cache capacity, the plane is a topology choice, not
+    /// checkpoint identity — every measured bit is worker-count
+    /// invariant (the `topology_equivalence` suite).
+    pub fn with_remote(mut self, plane: Arc<crate::remote::RemotePlane>) -> Self {
+        self.remote = Some(plane);
+        self
+    }
+
+    /// The attached distributed evaluation plane, if any.
+    pub fn remote_plane(&self) -> Option<&Arc<crate::remote::RemotePlane>> {
+        self.remote.as_ref()
+    }
+
     /// The installed fault model.
     pub fn faults(&self) -> &FaultModel {
         &self.faults
@@ -373,15 +396,31 @@ impl EvalContext {
         }
     }
 
-    /// Fault/recovery counters so far.
+    /// Fault/recovery counters so far (local work plus, when a remote
+    /// plane is attached, the merged worker deltas — the merge is the
+    /// same commutative [`FaultStats::merge`] the phase DAG uses).
     pub fn fault_stats(&self) -> FaultStats {
-        FaultStats {
+        let local = FaultStats {
             compile_failures: self.compile_failures.load(Ordering::Relaxed),
             crashes: self.crashes.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             quarantined: self.quarantine_skips.load(Ordering::Relaxed),
             ok_runs: self.ok_runs.load(Ordering::Relaxed),
+        };
+        match &self.remote {
+            None => local,
+            Some(plane) => {
+                let d = plane.ledger_totals();
+                local.merge(&FaultStats {
+                    compile_failures: d.compile_failures,
+                    crashes: d.crashes,
+                    timeouts: d.timeouts,
+                    retries: d.retries,
+                    quarantined: d.quarantined,
+                    ok_runs: d.ok_runs,
+                })
+            }
         }
     }
 
@@ -685,19 +724,46 @@ impl EvalContext {
             .fetch_add((seconds * 1e9) as u64, Ordering::Relaxed);
     }
 
+    /// This context's accumulated machine time in integer nanoseconds
+    /// — local executions only, never the attached plane's (it is the
+    /// unit workers ship in their ledger deltas, so the coordinator
+    /// can sum exactly and convert to seconds once).
+    pub fn machine_nanos_total(&self) -> u64 {
+        self.machine_nanos.load(Ordering::Relaxed)
+    }
+
+    /// The raw timeout-reference bits (0 = unset) — what the
+    /// coordinator stamps into every work batch so worker hang charges
+    /// match the serial run.
+    pub fn timeout_reference_bits(&self) -> u64 {
+        self.timeout_ref_bits.load(Ordering::Relaxed)
+    }
+
     /// Tuning-overhead ledger so far (see [`crate::cost::TuningCost`]).
+    /// With a remote plane attached, the workers' merged deltas are
+    /// folded in: fault counters arrive through the already-merged
+    /// [`EvalContext::fault_stats`], cache and run counters are added
+    /// here, and machine time is summed in integer nanoseconds before
+    /// the single conversion to seconds — so the merged total is
+    /// bit-identical to a serial run's.
     pub fn cost(&self) -> crate::cost::TuningCost {
         let stats = self.cache_stats();
         let faults = self.fault_stats();
+        let plane = self
+            .remote
+            .as_ref()
+            .map(|p| p.ledger_totals())
+            .unwrap_or_default();
+        let nanos = self.machine_nanos.load(Ordering::Relaxed) + plane.machine_nanos;
         crate::cost::TuningCost {
-            object_compiles: stats.object_misses,
-            object_reuses: stats.object_hits,
-            object_evictions: stats.object_evictions,
-            links: stats.link_misses,
-            link_reuses: stats.link_hits,
-            link_evictions: stats.link_evictions,
-            runs: self.runs.load(Ordering::Relaxed),
-            machine_seconds: self.machine_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            object_compiles: stats.object_misses + plane.object_compiles,
+            object_reuses: stats.object_hits + plane.object_reuses,
+            object_evictions: stats.object_evictions + plane.object_evictions,
+            links: stats.link_misses + plane.links,
+            link_reuses: stats.link_hits + plane.link_reuses,
+            link_evictions: stats.link_evictions + plane.link_evictions,
+            runs: self.runs.load(Ordering::Relaxed) + plane.runs,
+            machine_seconds: nanos as f64 * 1e-9,
             compile_failures: faults.compile_failures,
             crashes: faults.crashes,
             timeouts: faults.timeouts,

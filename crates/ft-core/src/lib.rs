@@ -42,6 +42,7 @@ pub mod extensions;
 pub mod importance;
 pub mod journal;
 pub mod pipeline;
+pub mod remote;
 pub mod result;
 pub mod search;
 pub mod stability;
@@ -62,10 +63,14 @@ pub use extensions::{cfr_adaptive, cfr_iterative, cfr_iterative_recollect};
 pub use importance::{flag_importance, FlagImportance};
 pub use journal::{Journal, JournalError, Recovery, Tail};
 pub use pipeline::{Phase, PhaseSpan, ScheduleMode, ScheduleReport, Tuner, TuningRun};
+pub use remote::{
+    BatchReply, FrameError, HelloSpec, InProcessTransport, LedgerDelta, Message, ProcessTransport,
+    RemoteError, RemotePlane, Transport, WireError, WorkBatch, WorkItem, Worker, WorkerFactory,
+};
 pub use result::TuningResult;
 pub use search::{
-    argmin_finite, strictly_better, Candidate, CollectionRequest, EvalMode, History, Observation,
-    Proposal, SearchDriver, SearchStrategy,
+    argmin_finite, evaluate_proposals, strictly_better, Candidate, CollectionRequest, EvalMode,
+    History, Observation, Proposal, SearchDriver, SearchStrategy,
 };
 pub use stability::{measure_repeated, speedup_with_stats, MeasurementStats};
 pub use store::ObjectStore;

@@ -35,8 +35,12 @@ use crate::checkpoint::{CampaignCheckpoint, CheckpointError, CHECKPOINT_VERSION}
 use crate::collection::{collect, CollectionData};
 use crate::cost::TuningCost;
 use crate::ctx::{EvalContext, ResilienceConfig};
+use crate::remote::{
+    HelloSpec, InProcessTransport, ProcessTransport, RemotePlane, Transport, WorkerFactory,
+};
 use crate::result::TuningResult;
 use crate::store::ObjectStore;
+use crate::supervisor::ChaosPolicy;
 use ft_compiler::lru::CacheCapacity;
 use ft_compiler::{Compiler, FaultModel, ProgramIr};
 use ft_flags::rng::{derive_seed, derive_seed_idx, splitmix64};
@@ -268,6 +272,9 @@ pub struct Tuner<'a> {
     cache_capacity: CacheCapacity,
     store: Option<Arc<ObjectStore>>,
     breaker: Option<BreakerConfig>,
+    workers: usize,
+    worker_exe: Option<std::path::PathBuf>,
+    worker_chaos: ChaosPolicy,
 }
 
 impl<'a> Tuner<'a> {
@@ -288,6 +295,9 @@ impl<'a> Tuner<'a> {
             cache_capacity: CacheCapacity::Unbounded,
             store: None,
             breaker: None,
+            workers: 0,
+            worker_exe: None,
+            worker_chaos: ChaosPolicy::Off,
         }
     }
 
@@ -383,6 +393,38 @@ impl<'a> Tuner<'a> {
     /// identity, for the same reason cache capacity is not.
     pub fn breaker(mut self, config: BreakerConfig) -> Self {
         self.breaker = Some(config);
+        self
+    }
+
+    /// Shards every search-driver evaluation batch across `n`
+    /// in-process workers behind the real CRC-framed byte protocol
+    /// (see [`crate::remote`]). Topology is *not* checkpoint identity:
+    /// every measured bit is worker-count invariant, proved by the
+    /// `topology_equivalence` suite. Baseline and collection probes
+    /// stay on the coordinator.
+    pub fn workers(mut self, n: usize) -> Self {
+        assert!(n >= 1, "a distributed plane needs at least one worker");
+        self.workers = n;
+        self.worker_exe = None;
+        self
+    }
+
+    /// Like [`Tuner::workers`], but each worker is a separate `exe
+    /// worker` child process speaking the same protocol over pipes
+    /// (the `ftune tune --workers N` path).
+    pub fn process_workers(mut self, n: usize, exe: impl Into<std::path::PathBuf>) -> Self {
+        assert!(n >= 1, "a distributed plane needs at least one worker");
+        self.workers = n;
+        self.worker_exe = Some(exe.into());
+        self
+    }
+
+    /// Installs a worker-kill chaos policy on the distributed plane
+    /// (no effect without [`Tuner::workers`]): workers die at
+    /// policy-selected batch boundaries and the coordinator must
+    /// respawn, re-sync, and resend — bit-identically.
+    pub fn worker_chaos(mut self, chaos: ChaosPolicy) -> Self {
+        self.worker_chaos = chaos;
         self
     }
 
@@ -523,6 +565,60 @@ impl<'a> Tuner<'a> {
         }
         if let Some(config) = self.breaker {
             ctx = ctx.with_breaker(config);
+        }
+        if self.workers > 0 {
+            // Each worker rebuilds the coordinator's exact evaluation
+            // inputs: same outlined IR, same noise root, same raw
+            // fault model (`with_faults` re-derives the baseline
+            // exemption from the identical flag space), same retry
+            // policy. Caches and quarantines are per-worker — they
+            // memoize pure functions, so they cannot change a bit.
+            let factory: WorkerFactory = match &self.worker_exe {
+                None => {
+                    let ir = outlined.ir.clone();
+                    let arch = self.arch.clone();
+                    let target = self.arch.target;
+                    let steps = input.steps;
+                    let noise_root = derive_seed(self.seed, "noise");
+                    let faults = self.faults;
+                    let resilience = self.resilience;
+                    Arc::new(move |_w| {
+                        let wctx = EvalContext::new(
+                            ir.clone(),
+                            Compiler::icc(target),
+                            arch.clone(),
+                            steps,
+                            noise_root,
+                        )
+                        .with_faults(faults)
+                        .with_resilience(resilience);
+                        Ok(Box::new(InProcessTransport::new(wctx)) as Box<dyn Transport>)
+                    })
+                }
+                Some(exe) => {
+                    let exe = exe.clone();
+                    let spec = HelloSpec {
+                        workload: self.workload.meta.name.to_string(),
+                        arch: self.arch.name.to_string(),
+                        steps_cap: u64::from(input.steps),
+                        seed: self.seed,
+                        fault_seed: self.faults.seed,
+                        fault_compile: self.faults.compile_failure,
+                        fault_crash: self.faults.crash,
+                        fault_hang: self.faults.hang,
+                        fault_outlier: self.faults.outlier,
+                        max_retries: u64::from(self.resilience.max_retries),
+                        timeout_factor: self.resilience.timeout_factor,
+                    };
+                    let modules = outlined.ir.len() as u64;
+                    Arc::new(move |_w| {
+                        ProcessTransport::spawn(&exe, &spec, modules)
+                            .map(|t| Box::new(t) as Box<dyn Transport>)
+                    })
+                }
+            };
+            let plane = RemotePlane::new(self.workers, factory).with_chaos(self.worker_chaos);
+            ctx = ctx.with_remote(Arc::new(plane));
         }
         let ctx = ctx;
 

@@ -1,0 +1,1387 @@
+//! The distributed evaluation plane: candidate batches sharded across
+//! worker processes, byte-identical to a single-process run.
+//!
+//! A campaign's dominant cost is the K-candidate evaluation loop. This
+//! module splits that loop across N workers while keeping every
+//! history bit, winner digest, and execution-ledger count equal to the
+//! serial run — the `topology_equivalence` suite holds it to
+//! `canonical_bytes()` equality for any worker count, both fault
+//! models, both schedule modes, and worker kills at every batch
+//! boundary. The proof rests on three substrate properties:
+//!
+//! * **Measured times are pure.** A candidate's end-to-end time is a
+//!   function of its per-module CV digests and its noise seed; which
+//!   process (and which cache) evaluates it cannot change the bits.
+//!   Compile failures and hangs are deterministic per digest /
+//!   fingerprint, and crash retries re-roll from the caller's seed —
+//!   so `ok_runs`, `crashes`, and `retries` are topology-invariant
+//!   too. Only *attribution* between `timeouts`/`compile_failures`
+//!   and `quarantined` can shift (per-worker quarantines discover the
+//!   same deterministic fault independently), exactly the caveat the
+//!   overlapped scheduler already documents.
+//! * **Deterministic assignment.** Candidate `k` of a batch always
+//!   goes to shard `k mod N`, and replies are scattered back by
+//!   candidate index — reply arrival order is structurally
+//!   irrelevant.
+//! * **Commutative merges.** Workers return ledger *deltas* as plain
+//!   `u64` counters (machine time as integer nanoseconds, the same
+//!   unit the context accumulates internally), folded into the
+//!   coordinator's ledger with wrapping-free additions that commute.
+//!
+//! The wire protocol reuses the [`crate::canonical`] byte encoding
+//! (LE `u64`s, bit-pattern `f64`s, length-prefixed byte strings)
+//! inside the [`crate::journal`] frame discipline: every frame is
+//! `[len u32][crc32 u32][payload]`, so truncation, bit flips, and
+//! reordered or duplicated frames decode to a typed error or a
+//! faithful value — never a panic, never a silent wrong value
+//! (`remote_protocol` proptests, mirroring `journal_corruption`).
+//!
+//! Worker kills reuse the supervisor's [`ChaosPolicy`] kill-point
+//! machinery with the batch sequence number as the boundary: a killed
+//! worker drops its transport, caches, and quarantine; the
+//! coordinator respawns it through the factory, re-syncs the CV
+//! definitions it lost, and resends the batch. Because evaluation is
+//! pure, the retried shard returns the same bits.
+
+use crate::canonical::{read_bytes, read_u64, write_bytes, write_u64};
+use crate::ctx::EvalContext;
+use crate::journal::crc32;
+use crate::search::{evaluate_proposals, Candidate, EvalMode, Proposal};
+use crate::supervisor::ChaosPolicy;
+use ft_flags::{Cv, CvId, CvPool};
+use std::collections::{HashMap, HashSet};
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Protocol version carried in every hello; a mismatch is a typed
+/// refusal, not a guess.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Frame header: `[u32 payload len][u32 crc32]`, both little-endian —
+/// the same discipline as the WAL journal.
+pub const FRAME_HEADER: usize = 8;
+
+/// Ceiling on a single frame's payload. Far above any real batch
+/// (a 1000-candidate per-loop batch with full CV definitions is a few
+/// hundred KiB); a corrupt length beyond it is insane, not large.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Consecutive respawn attempts per shard dispatch before the
+/// coordinator gives up. Each attempt is a fresh worker; a batch that
+/// cannot survive this many is a systemic failure, not a flaky
+/// worker.
+pub const RESPAWN_LIMIT: u32 = 8;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Why a frame could not be lifted off the byte stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer than [`FRAME_HEADER`] bytes remain.
+    ShortHeader,
+    /// The declared payload length exceeds [`MAX_FRAME_BYTES`].
+    LengthInsane,
+    /// The declared payload runs past the available bytes.
+    LengthOverrun,
+    /// The payload does not match its CRC32.
+    CrcMismatch,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::ShortHeader => write!(f, "short frame header"),
+            FrameError::LengthInsane => write!(f, "frame length exceeds {MAX_FRAME_BYTES}"),
+            FrameError::LengthOverrun => write!(f, "frame length overruns the buffer"),
+            FrameError::CrcMismatch => write!(f, "frame CRC mismatch"),
+        }
+    }
+}
+
+/// Why a CRC-valid payload could not be decoded into a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The byte stream ended inside a field.
+    Truncated {
+        /// Offset at which the field started.
+        at: usize,
+    },
+    /// An unknown message kind tag.
+    UnknownKind(u64),
+    /// A field decoded but its value is impossible (bad CV values,
+    /// digest mismatch, unknown digest, wrong protocol version, ...).
+    BadValue(&'static str),
+    /// Bytes left over after a complete message.
+    Trailing {
+        /// Count of unconsumed bytes.
+        extra: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { at } => write!(f, "message truncated at byte {at}"),
+            WireError::UnknownKind(k) => write!(f, "unknown message kind {k}"),
+            WireError::BadValue(what) => write!(f, "invalid field: {what}"),
+            WireError::Trailing { extra } => write!(f, "{extra} trailing bytes after message"),
+        }
+    }
+}
+
+/// Transport- and protocol-level failures seen by the coordinator and
+/// the worker serve loop.
+#[derive(Debug)]
+pub enum RemoteError {
+    /// Frame-level damage on the stream.
+    Frame(FrameError),
+    /// A CRC-valid frame whose payload does not decode.
+    Wire(WireError),
+    /// The underlying pipe/process failed.
+    Io(std::io::Error),
+    /// The peer vanished (EOF mid-conversation, dead child).
+    WorkerDied(String),
+    /// The peer answered with the wrong message for the protocol
+    /// state (e.g. a reply for a different batch sequence).
+    Protocol(String),
+}
+
+impl std::fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RemoteError::Frame(e) => write!(f, "frame error: {e}"),
+            RemoteError::Wire(e) => write!(f, "wire error: {e}"),
+            RemoteError::Io(e) => write!(f, "io error: {e}"),
+            RemoteError::WorkerDied(w) => write!(f, "worker died: {w}"),
+            RemoteError::Protocol(w) => write!(f, "protocol violation: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+impl From<FrameError> for RemoteError {
+    fn from(e: FrameError) -> Self {
+        RemoteError::Frame(e)
+    }
+}
+
+impl From<WireError> for RemoteError {
+    fn from(e: WireError) -> Self {
+        RemoteError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for RemoteError {
+    fn from(e: std::io::Error) -> Self {
+        RemoteError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------------
+
+/// Wraps a payload in the journal frame discipline:
+/// `[u32 len][u32 crc32][payload]`.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= MAX_FRAME_BYTES, "frame payload too large");
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Lifts one frame off the front of `buf`: returns the payload slice
+/// and the total bytes consumed. Damage is a typed [`FrameError`];
+/// nothing is sliced before the length is validated against the
+/// buffer.
+pub fn decode_frame(buf: &[u8]) -> Result<(&[u8], usize), FrameError> {
+    if buf.len() < FRAME_HEADER {
+        return Err(FrameError::ShortHeader);
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::LengthInsane);
+    }
+    if buf.len() - FRAME_HEADER < len {
+        return Err(FrameError::LengthOverrun);
+    }
+    let payload = &buf[FRAME_HEADER..FRAME_HEADER + len];
+    if crc32(payload) != crc {
+        return Err(FrameError::CrcMismatch);
+    }
+    Ok((payload, FRAME_HEADER + len))
+}
+
+/// Decodes a stream of concatenated frames into the longest valid
+/// payload prefix, plus the typed reason the scan stopped (if it did
+/// not consume everything). The prefix property mirrors the WAL's
+/// recovery contract and is what the corruption proptests pin.
+pub fn decode_frames(buf: &[u8]) -> (Vec<&[u8]>, Option<FrameError>) {
+    let mut payloads = Vec::new();
+    let mut pos = 0;
+    while pos < buf.len() {
+        match decode_frame(&buf[pos..]) {
+            Ok((payload, consumed)) => {
+                payloads.push(payload);
+                pos += consumed;
+            }
+            Err(e) => return (payloads, Some(e)),
+        }
+    }
+    (payloads, None)
+}
+
+/// Writes one frame to a stream (header + payload, no flush policy —
+/// callers flush at message boundaries).
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), RemoteError> {
+    w.write_all(&encode_frame(payload))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame from a stream. `Ok(None)` is a clean EOF at a
+/// frame boundary; EOF inside a frame is [`RemoteError::WorkerDied`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, RemoteError> {
+    let mut header = [0u8; FRAME_HEADER];
+    let mut got = 0;
+    while got < FRAME_HEADER {
+        match r.read(&mut header[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => return Err(RemoteError::WorkerDied("EOF inside frame header".into())),
+            n => got += n,
+        }
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_BYTES {
+        return Err(RemoteError::Frame(FrameError::LengthInsane));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|_| RemoteError::WorkerDied("EOF inside frame payload".into()))?;
+    if crc32(&payload) != crc {
+        return Err(RemoteError::Frame(FrameError::CrcMismatch));
+    }
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+const MSG_HELLO: u64 = 1;
+const MSG_HELLO_ACK: u64 = 2;
+const MSG_WORK: u64 = 3;
+const MSG_REPLY: u64 = 4;
+const MSG_SHUTDOWN: u64 = 5;
+
+/// Everything a process worker needs to rebuild the coordinator's
+/// evaluation context bit-for-bit: the same workload instantiation,
+/// outline seed, noise root derivation, fault model, and retry
+/// policy. (In-process workers skip the hello and receive a built
+/// context directly.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct HelloSpec {
+    /// Workload name (resolved via the suite registry).
+    pub workload: String,
+    /// Architecture name (resolved via the CLI's arch table).
+    pub arch: String,
+    /// Per-run time-step cap; `u64::MAX` means uncapped.
+    pub steps_cap: u64,
+    /// The tuner's root seed (outline and noise seeds derive from it).
+    pub seed: u64,
+    /// Fault-model fields (the exempt digest is re-derived worker-side
+    /// from the flag space, exactly as `with_faults` does).
+    pub fault_seed: u64,
+    pub fault_compile: f64,
+    pub fault_crash: f64,
+    pub fault_hang: f64,
+    pub fault_outlier: f64,
+    /// Resilience policy.
+    pub max_retries: u64,
+    pub timeout_factor: f64,
+}
+
+/// One candidate of a work batch, as interned digests. The worker
+/// resolves each digest against the CV definitions it has been sent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkItem {
+    /// `true` = uniform candidate (one digest applied to every
+    /// module); `false` = per-loop (one digest per module).
+    pub uniform: bool,
+    /// CV digests (1 for uniform, module-count for per-loop).
+    pub digests: Vec<u64>,
+    /// The proposal's noise seed, verbatim.
+    pub noise_seed: u64,
+}
+
+/// A shard's slice of one evaluation batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkBatch {
+    /// Global batch sequence (coordinator-assigned; echoed in the
+    /// reply so a duplicated or reordered frame cannot be mistaken
+    /// for the answer).
+    pub seq: u64,
+    /// The coordinator's timeout reference (f64 bits; 0 = unset),
+    /// re-applied before evaluation so hang charging matches the
+    /// serial run.
+    pub timeout_ref_bits: u64,
+    /// CV definitions this worker has not been sent yet:
+    /// `(digest, raw value indices)`. Content-addressed — a respawned
+    /// worker simply receives the full set again.
+    pub defs: Vec<(u64, Vec<u8>)>,
+    /// The candidates, in shard order.
+    pub items: Vec<WorkItem>,
+}
+
+/// Worker-side ledger movement for one batch: plain `u64` counters
+/// whose coordinator-side merge is exact and commutative (machine
+/// time stays in integer nanoseconds, the unit [`EvalContext`]
+/// accumulates internally, so no float summation order can perturb
+/// the merged total).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LedgerDelta {
+    pub runs: u64,
+    pub machine_nanos: u64,
+    pub ok_runs: u64,
+    pub compile_failures: u64,
+    pub crashes: u64,
+    pub timeouts: u64,
+    pub retries: u64,
+    pub quarantined: u64,
+    pub object_compiles: u64,
+    pub object_reuses: u64,
+    pub object_evictions: u64,
+    pub links: u64,
+    pub link_reuses: u64,
+    pub link_evictions: u64,
+}
+
+impl LedgerDelta {
+    /// Snapshot of a context's lifetime ledger in delta form.
+    pub fn totals_of(ctx: &EvalContext) -> LedgerDelta {
+        let cost = ctx.cost();
+        let faults = ctx.fault_stats();
+        LedgerDelta {
+            runs: cost.runs,
+            machine_nanos: ctx.machine_nanos_total(),
+            ok_runs: faults.ok_runs,
+            compile_failures: faults.compile_failures,
+            crashes: faults.crashes,
+            timeouts: faults.timeouts,
+            retries: faults.retries,
+            quarantined: faults.quarantined,
+            object_compiles: cost.object_compiles,
+            object_reuses: cost.object_reuses,
+            object_evictions: cost.object_evictions,
+            links: cost.links,
+            link_reuses: cost.link_reuses,
+            link_evictions: cost.link_evictions,
+        }
+    }
+
+    /// Field-wise `self - earlier` (counters are monotone).
+    pub fn since(&self, earlier: &LedgerDelta) -> LedgerDelta {
+        LedgerDelta {
+            runs: self.runs - earlier.runs,
+            machine_nanos: self.machine_nanos - earlier.machine_nanos,
+            ok_runs: self.ok_runs - earlier.ok_runs,
+            compile_failures: self.compile_failures - earlier.compile_failures,
+            crashes: self.crashes - earlier.crashes,
+            timeouts: self.timeouts - earlier.timeouts,
+            retries: self.retries - earlier.retries,
+            quarantined: self.quarantined - earlier.quarantined,
+            object_compiles: self.object_compiles - earlier.object_compiles,
+            object_reuses: self.object_reuses - earlier.object_reuses,
+            object_evictions: self.object_evictions - earlier.object_evictions,
+            links: self.links - earlier.links,
+            link_reuses: self.link_reuses - earlier.link_reuses,
+            link_evictions: self.link_evictions - earlier.link_evictions,
+        }
+    }
+
+    fn write(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.runs,
+            self.machine_nanos,
+            self.ok_runs,
+            self.compile_failures,
+            self.crashes,
+            self.timeouts,
+            self.retries,
+            self.quarantined,
+            self.object_compiles,
+            self.object_reuses,
+            self.object_evictions,
+            self.links,
+            self.link_reuses,
+            self.link_evictions,
+        ] {
+            write_u64(out, v);
+        }
+    }
+
+    fn read(buf: &[u8], pos: &mut usize) -> Result<LedgerDelta, WireError> {
+        let mut next = || take_u64(buf, pos);
+        Ok(LedgerDelta {
+            runs: next()?,
+            machine_nanos: next()?,
+            ok_runs: next()?,
+            compile_failures: next()?,
+            crashes: next()?,
+            timeouts: next()?,
+            retries: next()?,
+            quarantined: next()?,
+            object_compiles: next()?,
+            object_reuses: next()?,
+            object_evictions: next()?,
+            links: next()?,
+            link_reuses: next()?,
+            link_evictions: next()?,
+        })
+    }
+}
+
+/// A worker's answer to one [`WorkBatch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReply {
+    /// Echo of the batch sequence.
+    pub seq: u64,
+    /// Measured times as f64 bit patterns, in item order (`+inf`
+    /// survives exactly; nothing is rounded through text).
+    pub time_bits: Vec<u64>,
+    /// The worker ledger's movement across this batch.
+    pub ledger: LedgerDelta,
+}
+
+/// Every protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    Hello(HelloSpec),
+    HelloAck {
+        /// Module count of the worker's rebuilt context, for a
+        /// coordinator-side sanity check before any work is sent.
+        modules: u64,
+    },
+    Work(WorkBatch),
+    Reply(BatchReply),
+    Shutdown,
+}
+
+fn take_u64(buf: &[u8], pos: &mut usize) -> Result<u64, WireError> {
+    let at = *pos;
+    read_u64(buf, pos).ok_or(WireError::Truncated { at })
+}
+
+fn take_f64(buf: &[u8], pos: &mut usize) -> Result<f64, WireError> {
+    take_u64(buf, pos).map(f64::from_bits)
+}
+
+fn take_bytes<'a>(buf: &'a [u8], pos: &mut usize) -> Result<&'a [u8], WireError> {
+    let at = *pos;
+    read_bytes(buf, pos).ok_or(WireError::Truncated { at })
+}
+
+/// Encodes a message payload (frame it with [`encode_frame`] before
+/// putting it on a stream).
+pub fn encode_message(msg: &Message) -> Vec<u8> {
+    let mut out = Vec::new();
+    match msg {
+        Message::Hello(spec) => {
+            write_u64(&mut out, MSG_HELLO);
+            write_u64(&mut out, PROTOCOL_VERSION);
+            write_bytes(&mut out, spec.workload.as_bytes());
+            write_bytes(&mut out, spec.arch.as_bytes());
+            write_u64(&mut out, spec.steps_cap);
+            write_u64(&mut out, spec.seed);
+            write_u64(&mut out, spec.fault_seed);
+            write_u64(&mut out, spec.fault_compile.to_bits());
+            write_u64(&mut out, spec.fault_crash.to_bits());
+            write_u64(&mut out, spec.fault_hang.to_bits());
+            write_u64(&mut out, spec.fault_outlier.to_bits());
+            write_u64(&mut out, spec.max_retries);
+            write_u64(&mut out, spec.timeout_factor.to_bits());
+        }
+        Message::HelloAck { modules } => {
+            write_u64(&mut out, MSG_HELLO_ACK);
+            write_u64(&mut out, *modules);
+        }
+        Message::Work(batch) => {
+            write_u64(&mut out, MSG_WORK);
+            write_u64(&mut out, batch.seq);
+            write_u64(&mut out, batch.timeout_ref_bits);
+            write_u64(&mut out, batch.defs.len() as u64);
+            for (digest, values) in &batch.defs {
+                write_u64(&mut out, *digest);
+                write_bytes(&mut out, values);
+            }
+            write_u64(&mut out, batch.items.len() as u64);
+            for item in &batch.items {
+                write_u64(&mut out, u64::from(item.uniform));
+                write_u64(&mut out, item.digests.len() as u64);
+                for d in &item.digests {
+                    write_u64(&mut out, *d);
+                }
+                write_u64(&mut out, item.noise_seed);
+            }
+        }
+        Message::Reply(reply) => {
+            write_u64(&mut out, MSG_REPLY);
+            write_u64(&mut out, reply.seq);
+            write_u64(&mut out, reply.time_bits.len() as u64);
+            for bits in &reply.time_bits {
+                write_u64(&mut out, *bits);
+            }
+            reply.ledger.write(&mut out);
+        }
+        Message::Shutdown => {
+            write_u64(&mut out, MSG_SHUTDOWN);
+        }
+    }
+    out
+}
+
+/// Decodes a message payload. Every failure is typed; claimed counts
+/// are never trusted for allocation (each element is read — and
+/// bounds-checked — before it is pushed, so a hostile count dies on
+/// truncation, not OOM).
+pub fn decode_message(buf: &[u8]) -> Result<Message, WireError> {
+    let mut pos = 0;
+    let msg = match take_u64(buf, &mut pos)? {
+        MSG_HELLO => {
+            let version = take_u64(buf, &mut pos)?;
+            if version != PROTOCOL_VERSION {
+                return Err(WireError::BadValue("protocol version"));
+            }
+            let workload = std::str::from_utf8(take_bytes(buf, &mut pos)?)
+                .map_err(|_| WireError::BadValue("workload name not UTF-8"))?
+                .to_string();
+            let arch = std::str::from_utf8(take_bytes(buf, &mut pos)?)
+                .map_err(|_| WireError::BadValue("arch name not UTF-8"))?
+                .to_string();
+            Message::Hello(HelloSpec {
+                workload,
+                arch,
+                steps_cap: take_u64(buf, &mut pos)?,
+                seed: take_u64(buf, &mut pos)?,
+                fault_seed: take_u64(buf, &mut pos)?,
+                fault_compile: take_f64(buf, &mut pos)?,
+                fault_crash: take_f64(buf, &mut pos)?,
+                fault_hang: take_f64(buf, &mut pos)?,
+                fault_outlier: take_f64(buf, &mut pos)?,
+                max_retries: take_u64(buf, &mut pos)?,
+                timeout_factor: take_f64(buf, &mut pos)?,
+            })
+        }
+        MSG_HELLO_ACK => Message::HelloAck {
+            modules: take_u64(buf, &mut pos)?,
+        },
+        MSG_WORK => {
+            let seq = take_u64(buf, &mut pos)?;
+            let timeout_ref_bits = take_u64(buf, &mut pos)?;
+            let n_defs = take_u64(buf, &mut pos)?;
+            let mut defs = Vec::new();
+            for _ in 0..n_defs {
+                let digest = take_u64(buf, &mut pos)?;
+                let values = take_bytes(buf, &mut pos)?.to_vec();
+                defs.push((digest, values));
+            }
+            let n_items = take_u64(buf, &mut pos)?;
+            let mut items = Vec::new();
+            for _ in 0..n_items {
+                let uniform = match take_u64(buf, &mut pos)? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::BadValue("uniform tag")),
+                };
+                let n_digests = take_u64(buf, &mut pos)?;
+                let mut digests = Vec::new();
+                for _ in 0..n_digests {
+                    digests.push(take_u64(buf, &mut pos)?);
+                }
+                let noise_seed = take_u64(buf, &mut pos)?;
+                items.push(WorkItem {
+                    uniform,
+                    digests,
+                    noise_seed,
+                });
+            }
+            Message::Work(WorkBatch {
+                seq,
+                timeout_ref_bits,
+                defs,
+                items,
+            })
+        }
+        MSG_REPLY => {
+            let seq = take_u64(buf, &mut pos)?;
+            let n_times = take_u64(buf, &mut pos)?;
+            let mut time_bits = Vec::new();
+            for _ in 0..n_times {
+                time_bits.push(take_u64(buf, &mut pos)?);
+            }
+            let ledger = LedgerDelta::read(buf, &mut pos)?;
+            Message::Reply(BatchReply {
+                seq,
+                time_bits,
+                ledger,
+            })
+        }
+        MSG_SHUTDOWN => Message::Shutdown,
+        other => return Err(WireError::UnknownKind(other)),
+    };
+    if pos != buf.len() {
+        return Err(WireError::Trailing {
+            extra: buf.len() - pos,
+        });
+    }
+    Ok(msg)
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------------
+
+/// Worker-side state: its own evaluation context (caches, quarantine,
+/// ledger), a local intern pool, and the digest → id map built from
+/// the CV definitions the coordinator has sent.
+pub struct Worker {
+    ctx: EvalContext,
+    pool: CvPool,
+    ids: HashMap<u64, CvId>,
+    eval_mode: EvalMode,
+    last: LedgerDelta,
+}
+
+impl Worker {
+    /// Wraps a built context. The evaluation mode follows the same
+    /// `FT_EVAL_MODE` selection as the coordinator — both modes are
+    /// bit-identical, so this is throughput-only.
+    pub fn new(ctx: EvalContext) -> Self {
+        Worker {
+            ctx,
+            pool: CvPool::new(),
+            ids: HashMap::new(),
+            eval_mode: EvalMode::from_env(),
+            last: LedgerDelta::default(),
+        }
+    }
+
+    /// Module count of the wrapped context (for the hello ack).
+    pub fn modules(&self) -> usize {
+        self.ctx.modules()
+    }
+
+    /// Evaluates one batch: registers new CV definitions, resolves
+    /// each item to an interned candidate, runs them through the
+    /// exact driver batch path, and returns time bits plus the ledger
+    /// delta. Invalid frames (bad CV values, digest mismatches,
+    /// unknown digests, wrong arity) are typed errors, never panics.
+    pub fn work(&mut self, batch: &WorkBatch) -> Result<BatchReply, WireError> {
+        if batch.timeout_ref_bits != 0 {
+            self.ctx
+                .set_timeout_reference(f64::from_bits(batch.timeout_ref_bits));
+        }
+        for (digest, values) in &batch.defs {
+            let cv = Cv::checked(self.ctx.space(), values.clone())
+                .ok_or(WireError::BadValue("CV values do not fit the flag space"))?;
+            if cv.digest() != *digest {
+                return Err(WireError::BadValue("CV digest mismatch"));
+            }
+            let id = self.pool.intern(&cv);
+            self.ids.insert(*digest, id);
+        }
+        let modules = self.ctx.modules();
+        let mut proposals = Vec::with_capacity(batch.items.len());
+        for item in &batch.items {
+            let resolve = |d: &u64| self.ids.get(d).copied();
+            let candidate = if item.uniform {
+                if item.digests.len() != 1 {
+                    return Err(WireError::BadValue("uniform item needs exactly 1 digest"));
+                }
+                Candidate::Uniform(
+                    resolve(&item.digests[0]).ok_or(WireError::BadValue("unknown CV digest"))?,
+                )
+            } else {
+                if item.digests.len() != modules {
+                    return Err(WireError::BadValue("per-loop item arity != module count"));
+                }
+                let ids: Option<Vec<CvId>> = item.digests.iter().map(resolve).collect();
+                Candidate::PerLoop(ids.ok_or(WireError::BadValue("unknown CV digest"))?)
+            };
+            proposals.push(Proposal::new(candidate, item.noise_seed));
+        }
+        let times = evaluate_proposals(&self.ctx, &self.pool, &proposals, self.eval_mode);
+        let now = LedgerDelta::totals_of(&self.ctx);
+        let ledger = now.since(&self.last);
+        self.last = now;
+        Ok(BatchReply {
+            seq: batch.seq,
+            time_bits: times.iter().map(|t| t.to_bits()).collect(),
+            ledger,
+        })
+    }
+}
+
+/// Drives a worker over a framed byte stream (the `ftune worker`
+/// loop): expects a hello first, answers every work batch, exits
+/// cleanly on shutdown or EOF. `build` turns the hello spec into the
+/// worker's evaluation context (the CLI resolves workload and
+/// architecture names there; tests can inject anything).
+pub fn serve<R, W, F>(rx: &mut R, tx: &mut W, build: F) -> Result<(), RemoteError>
+where
+    R: Read,
+    W: Write,
+    F: FnOnce(&HelloSpec) -> Result<EvalContext, String>,
+{
+    let hello = match read_frame(rx)? {
+        None => return Ok(()),
+        Some(payload) => decode_message(&payload)?,
+    };
+    let spec = match hello {
+        Message::Hello(spec) => spec,
+        other => {
+            return Err(RemoteError::Protocol(format!(
+                "expected hello, got {other:?}"
+            )))
+        }
+    };
+    let ctx = build(&spec).map_err(RemoteError::WorkerDied)?;
+    let mut worker = Worker::new(ctx);
+    write_frame(
+        tx,
+        &encode_message(&Message::HelloAck {
+            modules: worker.modules() as u64,
+        }),
+    )?;
+    while let Some(payload) = read_frame(rx)? {
+        match decode_message(&payload)? {
+            Message::Work(batch) => {
+                let reply = worker.work(&batch)?;
+                write_frame(tx, &encode_message(&Message::Reply(reply)))?;
+            }
+            Message::Shutdown => return Ok(()),
+            other => {
+                return Err(RemoteError::Protocol(format!(
+                    "expected work or shutdown, got {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Transports
+// ---------------------------------------------------------------------------
+
+/// One request/response exchange with a worker. The protocol is
+/// strictly synchronous per worker (concurrency comes from sharding
+/// across workers), so a transport is just a framed round trip.
+pub trait Transport: Send {
+    /// Ships an encoded frame and returns the complete reply frame
+    /// (header + payload). The caller verifies it with
+    /// [`decode_frame`] — the one CRC checkpoint every transport
+    /// shares.
+    fn roundtrip(&mut self, frame: &[u8]) -> Result<Vec<u8>, RemoteError>;
+}
+
+/// An in-process worker behind the real byte protocol: every request
+/// is encoded, CRC-framed, decoded, evaluated, and re-encoded — the
+/// exact bytes a pipe would carry, without the process boundary. The
+/// test suites run on this; the CLI swaps in [`ProcessTransport`].
+pub struct InProcessTransport {
+    worker: Worker,
+}
+
+impl InProcessTransport {
+    pub fn new(ctx: EvalContext) -> Self {
+        InProcessTransport {
+            worker: Worker::new(ctx),
+        }
+    }
+}
+
+impl Transport for InProcessTransport {
+    fn roundtrip(&mut self, frame: &[u8]) -> Result<Vec<u8>, RemoteError> {
+        let (payload, _) = decode_frame(frame)?;
+        let reply = match decode_message(payload)? {
+            Message::Work(batch) => Message::Reply(self.worker.work(&batch)?),
+            Message::Hello(_) => Message::HelloAck {
+                modules: self.worker.modules() as u64,
+            },
+            other => {
+                return Err(RemoteError::Protocol(format!(
+                    "in-process worker got {other:?}"
+                )))
+            }
+        };
+        Ok(encode_frame(&encode_message(&reply)))
+    }
+}
+
+/// A worker child process (`ftune worker`) over stdin/stdout pipes.
+pub struct ProcessTransport {
+    child: std::process::Child,
+    stdin: std::process::ChildStdin,
+    stdout: std::process::ChildStdout,
+}
+
+impl ProcessTransport {
+    /// Spawns `exe worker`, performs the hello handshake, and checks
+    /// the worker rebuilt a context with the expected module count.
+    pub fn spawn(
+        exe: &std::path::Path,
+        spec: &HelloSpec,
+        expect_modules: u64,
+    ) -> Result<Self, RemoteError> {
+        let mut child = std::process::Command::new(exe)
+            .arg("worker")
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()?;
+        let mut stdin = child.stdin.take().expect("piped stdin");
+        let mut stdout = child.stdout.take().expect("piped stdout");
+        write_frame(&mut stdin, &encode_message(&Message::Hello(spec.clone())))?;
+        let ack = read_frame(&mut stdout)?
+            .ok_or_else(|| RemoteError::WorkerDied("worker exited before hello ack".into()))?;
+        match decode_message(&ack)? {
+            Message::HelloAck { modules } if modules == expect_modules => Ok(ProcessTransport {
+                child,
+                stdin,
+                stdout,
+            }),
+            Message::HelloAck { modules } => Err(RemoteError::Protocol(format!(
+                "worker rebuilt {modules} modules, coordinator has {expect_modules}"
+            ))),
+            other => Err(RemoteError::Protocol(format!(
+                "expected hello ack, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Transport for ProcessTransport {
+    fn roundtrip(&mut self, frame: &[u8]) -> Result<Vec<u8>, RemoteError> {
+        self.stdin.write_all(frame)?;
+        self.stdin.flush()?;
+        // Return the reply *frame* verbatim (header + payload), CRC
+        // unverified: the coordinator's `decode_frame` is the single
+        // point of verification for every transport, so pipe damage
+        // and in-process damage take the identical typed path.
+        let mut header = [0u8; FRAME_HEADER];
+        let mut got = 0;
+        while got < FRAME_HEADER {
+            match self.stdout.read(&mut header[got..])? {
+                0 => return Err(RemoteError::WorkerDied("worker exited mid-batch".into())),
+                n => got += n,
+            }
+        }
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(RemoteError::Frame(FrameError::LengthInsane));
+        }
+        let mut reply = vec![0u8; FRAME_HEADER + len];
+        reply[..FRAME_HEADER].copy_from_slice(&header);
+        self.stdout
+            .read_exact(&mut reply[FRAME_HEADER..])
+            .map_err(|_| RemoteError::WorkerDied("worker exited inside a reply frame".into()))?;
+        Ok(reply)
+    }
+}
+
+impl Drop for ProcessTransport {
+    fn drop(&mut self) {
+        let _ = write_frame(&mut self.stdin, &encode_message(&Message::Shutdown));
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+/// Builds (or rebuilds, after a kill) the transport for worker `i`.
+pub type WorkerFactory =
+    Arc<dyn Fn(usize) -> Result<Box<dyn Transport>, RemoteError> + Send + Sync>;
+
+#[derive(Default)]
+struct PlaneLedger {
+    runs: AtomicU64,
+    machine_nanos: AtomicU64,
+    ok_runs: AtomicU64,
+    compile_failures: AtomicU64,
+    crashes: AtomicU64,
+    timeouts: AtomicU64,
+    retries: AtomicU64,
+    quarantined: AtomicU64,
+    object_compiles: AtomicU64,
+    object_reuses: AtomicU64,
+    object_evictions: AtomicU64,
+    links: AtomicU64,
+    link_reuses: AtomicU64,
+    link_evictions: AtomicU64,
+}
+
+impl PlaneLedger {
+    fn apply(&self, d: &LedgerDelta) {
+        self.runs.fetch_add(d.runs, Ordering::Relaxed);
+        self.machine_nanos
+            .fetch_add(d.machine_nanos, Ordering::Relaxed);
+        self.ok_runs.fetch_add(d.ok_runs, Ordering::Relaxed);
+        self.compile_failures
+            .fetch_add(d.compile_failures, Ordering::Relaxed);
+        self.crashes.fetch_add(d.crashes, Ordering::Relaxed);
+        self.timeouts.fetch_add(d.timeouts, Ordering::Relaxed);
+        self.retries.fetch_add(d.retries, Ordering::Relaxed);
+        self.quarantined.fetch_add(d.quarantined, Ordering::Relaxed);
+        self.object_compiles
+            .fetch_add(d.object_compiles, Ordering::Relaxed);
+        self.object_reuses
+            .fetch_add(d.object_reuses, Ordering::Relaxed);
+        self.object_evictions
+            .fetch_add(d.object_evictions, Ordering::Relaxed);
+        self.links.fetch_add(d.links, Ordering::Relaxed);
+        self.link_reuses.fetch_add(d.link_reuses, Ordering::Relaxed);
+        self.link_evictions
+            .fetch_add(d.link_evictions, Ordering::Relaxed);
+    }
+
+    fn totals(&self) -> LedgerDelta {
+        LedgerDelta {
+            runs: self.runs.load(Ordering::Relaxed),
+            machine_nanos: self.machine_nanos.load(Ordering::Relaxed),
+            ok_runs: self.ok_runs.load(Ordering::Relaxed),
+            compile_failures: self.compile_failures.load(Ordering::Relaxed),
+            crashes: self.crashes.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            object_compiles: self.object_compiles.load(Ordering::Relaxed),
+            object_reuses: self.object_reuses.load(Ordering::Relaxed),
+            object_evictions: self.object_evictions.load(Ordering::Relaxed),
+            links: self.links.load(Ordering::Relaxed),
+            link_reuses: self.link_reuses.load(Ordering::Relaxed),
+            link_evictions: self.link_evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Slot {
+    transport: Option<Box<dyn Transport>>,
+    /// CV digests this worker is known to hold (cleared on respawn,
+    /// so a fresh worker receives the full definition set again).
+    known: HashSet<u64>,
+}
+
+/// The coordinator side of the plane: N worker slots, the shard
+/// assignment, kill/respawn recovery, and the merged remote ledger.
+/// Attach to a context with [`EvalContext::with_remote`]; every
+/// [`crate::search::SearchDriver`] batch then routes through
+/// [`RemotePlane::evaluate`].
+pub struct RemotePlane {
+    slots: Vec<Mutex<Slot>>,
+    factory: WorkerFactory,
+    chaos: ChaosPolicy,
+    kills: AtomicU32,
+    spawns: AtomicU64,
+    batches: AtomicU64,
+    ledger: PlaneLedger,
+}
+
+impl RemotePlane {
+    /// A plane with `workers` lazily-spawned slots.
+    pub fn new(workers: usize, factory: WorkerFactory) -> Self {
+        assert!(workers >= 1, "a plane needs at least one worker");
+        RemotePlane {
+            slots: (0..workers)
+                .map(|_| {
+                    Mutex::new(Slot {
+                        transport: None,
+                        known: HashSet::new(),
+                    })
+                })
+                .collect(),
+            factory,
+            chaos: ChaosPolicy::Off,
+            kills: AtomicU32::new(0),
+            spawns: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            ledger: PlaneLedger::default(),
+        }
+    }
+
+    /// Installs a worker-kill chaos policy, reusing the supervisor's
+    /// kill-point machinery with the batch sequence as the boundary
+    /// and the worker index as the attempt.
+    pub fn with_chaos(mut self, chaos: ChaosPolicy) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Batches dispatched so far.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Chaos kills injected so far.
+    pub fn kills(&self) -> u32 {
+        self.kills.load(Ordering::Relaxed)
+    }
+
+    /// Worker (re)spawns performed so far (first spawns included).
+    pub fn spawns(&self) -> u64 {
+        self.spawns.load(Ordering::Relaxed)
+    }
+
+    /// The merged remote ledger (all workers, all batches).
+    pub fn ledger_totals(&self) -> LedgerDelta {
+        self.ledger.totals()
+    }
+
+    /// The deterministic candidate-index → shard assignment.
+    pub fn shard_of(&self, index: usize) -> usize {
+        index % self.slots.len()
+    }
+
+    /// Evaluates one proposal batch across the workers and returns
+    /// times in proposal order. Candidates are sharded by index,
+    /// dispatched concurrently (one thread per non-empty shard), and
+    /// scattered back by index — arrival order cannot reorder
+    /// results. A worker that dies (chaos kill, transport error,
+    /// corrupt reply) is respawned and its shard resent; evaluation
+    /// purity makes the retry return the same bits.
+    pub fn evaluate(
+        &self,
+        pool: &CvPool,
+        proposals: &[Proposal],
+        timeout_ref_bits: u64,
+    ) -> Vec<f64> {
+        if proposals.is_empty() {
+            return Vec::new();
+        }
+        let seq = self.batches.fetch_add(1, Ordering::SeqCst);
+        let n = self.slots.len();
+        let mut shards: Vec<Vec<(usize, &Proposal)>> = (0..n).map(|_| Vec::new()).collect();
+        for (k, p) in proposals.iter().enumerate() {
+            shards[k % n].push((k, p));
+        }
+        let mut times = vec![0.0f64; proposals.len()];
+        if n == 1 {
+            for (k, bits) in self.run_shard(0, seq, pool, &shards[0], timeout_ref_bits) {
+                times[k] = f64::from_bits(bits);
+            }
+            return times;
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = shards
+                .iter()
+                .enumerate()
+                .filter(|(_, shard)| !shard.is_empty())
+                .map(|(w, shard)| {
+                    s.spawn(move || self.run_shard(w, seq, pool, shard, timeout_ref_bits))
+                })
+                .collect();
+            for h in handles {
+                for (k, bits) in h.join().expect("shard dispatch thread panicked") {
+                    times[k] = f64::from_bits(bits);
+                }
+            }
+        });
+        times
+    }
+
+    fn run_shard(
+        &self,
+        w: usize,
+        seq: u64,
+        pool: &CvPool,
+        shard: &[(usize, &Proposal)],
+        timeout_ref_bits: u64,
+    ) -> Vec<(usize, u64)> {
+        let mut slot = self.slots[w].lock().expect("worker slot poisoned");
+        // Chaos kill at this batch boundary: the worker dies holding
+        // its warm caches and quarantine; all of that state drops and
+        // the dispatch below respawns a cold one.
+        let kills = self.kills.load(Ordering::SeqCst);
+        if self.chaos.should_kill(kills, w as u32, seq as usize)
+            && self
+                .kills
+                .compare_exchange(kills, kills + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        {
+            slot.transport = None;
+            slot.known.clear();
+        }
+        // Interned wire form: digests per item, plus the definitions
+        // this worker has not seen (first occurrence keeps the id for
+        // the value lookup).
+        let mut digest_ids: HashMap<u64, CvId> = HashMap::new();
+        let mut items = Vec::with_capacity(shard.len());
+        for (_, p) in shard {
+            let (uniform, ids): (bool, Vec<CvId>) = match &p.candidate {
+                Candidate::Uniform(id) => (true, vec![*id]),
+                Candidate::PerLoop(ids) => (false, ids.clone()),
+            };
+            let digests: Vec<u64> = ids
+                .iter()
+                .map(|id| {
+                    let d = pool.digest(*id);
+                    digest_ids.entry(d).or_insert(*id);
+                    d
+                })
+                .collect();
+            items.push(WorkItem {
+                uniform,
+                digests,
+                noise_seed: p.noise_seed,
+            });
+        }
+        let mut attempts = 0u32;
+        loop {
+            if slot.transport.is_none() {
+                match (self.factory)(w) {
+                    Ok(t) => {
+                        slot.transport = Some(t);
+                        slot.known.clear();
+                        self.spawns.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        attempts += 1;
+                        assert!(
+                            attempts <= RESPAWN_LIMIT,
+                            "worker {w} failed to spawn after {RESPAWN_LIMIT} attempts: {e}"
+                        );
+                        continue;
+                    }
+                }
+            }
+            let defs: Vec<(u64, Vec<u8>)> = digest_ids
+                .iter()
+                .filter(|(d, _)| !slot.known.contains(*d))
+                .map(|(d, id)| (*d, pool.get(*id).values().to_vec()))
+                .collect();
+            let batch = Message::Work(WorkBatch {
+                seq,
+                timeout_ref_bits,
+                defs,
+                items: items.clone(),
+            });
+            let frame = encode_frame(&encode_message(&batch));
+            let outcome = slot
+                .transport
+                .as_mut()
+                .expect("transport just ensured")
+                .roundtrip(&frame)
+                .and_then(|reply| {
+                    let (payload, _) = decode_frame(&reply)?;
+                    match decode_message(payload)? {
+                        Message::Reply(r) if r.seq == seq && r.time_bits.len() == items.len() => {
+                            Ok(r)
+                        }
+                        Message::Reply(r) => Err(RemoteError::Protocol(format!(
+                            "reply for seq {} ({} times) to batch seq {seq} ({} items)",
+                            r.seq,
+                            r.time_bits.len(),
+                            items.len()
+                        ))),
+                        other => Err(RemoteError::Protocol(format!(
+                            "expected reply, got {other:?}"
+                        ))),
+                    }
+                });
+            match outcome {
+                Ok(reply) => {
+                    for d in digest_ids.keys() {
+                        slot.known.insert(*d);
+                    }
+                    self.ledger.apply(&reply.ledger);
+                    return shard.iter().map(|(k, _)| *k).zip(reply.time_bits).collect();
+                }
+                Err(e) => {
+                    // A dead or incoherent worker: drop it (its
+                    // partial work was never merged, so nothing is
+                    // double-counted) and resend to a fresh one.
+                    slot.transport = None;
+                    slot.known.clear();
+                    attempts += 1;
+                    assert!(
+                        attempts <= RESPAWN_LIMIT,
+                        "worker {w} failed batch seq {seq} after {RESPAWN_LIMIT} respawns: {e}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_batch() -> WorkBatch {
+        WorkBatch {
+            seq: 7,
+            timeout_ref_bits: 2.5f64.to_bits(),
+            defs: vec![(0xABCD, vec![0, 1, 2]), (0x1234, vec![3, 0, 0])],
+            items: vec![
+                WorkItem {
+                    uniform: true,
+                    digests: vec![0xABCD],
+                    noise_seed: 42,
+                },
+                WorkItem {
+                    uniform: false,
+                    digests: vec![0xABCD, 0x1234, 0xABCD],
+                    noise_seed: 43,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        let msgs = [
+            Message::Hello(HelloSpec {
+                workload: "swim".into(),
+                arch: "broadwell".into(),
+                steps_cap: 5,
+                seed: 42,
+                fault_seed: 0xFA17,
+                fault_compile: 0.02,
+                fault_crash: 0.01,
+                fault_hang: 0.005,
+                fault_outlier: 0.01,
+                max_retries: 2,
+                timeout_factor: 20.0,
+            }),
+            Message::HelloAck { modules: 9 },
+            Message::Work(sample_batch()),
+            Message::Reply(BatchReply {
+                seq: 7,
+                time_bits: vec![1.5f64.to_bits(), f64::INFINITY.to_bits()],
+                ledger: LedgerDelta {
+                    runs: 3,
+                    machine_nanos: 1_000_000,
+                    ok_runs: 2,
+                    timeouts: 1,
+                    ..LedgerDelta::default()
+                },
+            }),
+            Message::Shutdown,
+        ];
+        for msg in &msgs {
+            let payload = encode_message(msg);
+            assert_eq!(&decode_message(&payload).unwrap(), msg);
+            let framed = encode_frame(&payload);
+            let (got, consumed) = decode_frame(&framed).unwrap();
+            assert_eq!(got, payload.as_slice());
+            assert_eq!(consumed, framed.len());
+        }
+    }
+
+    #[test]
+    fn infinity_survives_the_wire() {
+        let reply = Message::Reply(BatchReply {
+            seq: 0,
+            time_bits: vec![f64::INFINITY.to_bits(), (-0.0f64).to_bits()],
+            ledger: LedgerDelta::default(),
+        });
+        match decode_message(&encode_message(&reply)).unwrap() {
+            Message::Reply(r) => {
+                assert_eq!(f64::from_bits(r.time_bits[0]), f64::INFINITY);
+                assert!(f64::from_bits(r.time_bits[1]).is_sign_negative());
+            }
+            other => panic!("expected reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_typed_not_a_panic() {
+        let payload = encode_message(&Message::Work(sample_batch()));
+        for cut in 0..payload.len() {
+            match decode_message(&payload[..cut]) {
+                Err(WireError::Truncated { .. }) | Err(WireError::BadValue(_)) => {}
+                Ok(m) => panic!("cut at {cut} silently decoded: {m:?}"),
+                Err(e) => panic!("cut at {cut}: unexpected error {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_refused() {
+        let mut payload = encode_message(&Message::Shutdown);
+        payload.push(0);
+        assert_eq!(
+            decode_message(&payload),
+            Err(WireError::Trailing { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn frame_crc_catches_payload_damage() {
+        let payload = encode_message(&Message::HelloAck { modules: 3 });
+        let mut framed = encode_frame(&payload);
+        let last = framed.len() - 1;
+        framed[last] ^= 0x40;
+        assert_eq!(decode_frame(&framed).unwrap_err(), FrameError::CrcMismatch);
+    }
+
+    #[test]
+    fn frame_stream_decodes_to_a_prefix() {
+        let a = encode_frame(&encode_message(&Message::Shutdown));
+        let b = encode_frame(&encode_message(&Message::HelloAck { modules: 1 }));
+        let mut stream = [a.clone(), b.clone()].concat();
+        let (all, tail) = decode_frames(&stream);
+        assert_eq!(all.len(), 2);
+        assert_eq!(tail, None);
+        stream.truncate(a.len() + b.len() - 3);
+        let (prefix, tail) = decode_frames(&stream);
+        assert_eq!(prefix.len(), 1);
+        assert_eq!(tail, Some(FrameError::LengthOverrun));
+    }
+
+    #[test]
+    fn insane_length_is_refused_before_allocation() {
+        let mut framed = encode_frame(&[1, 2, 3]);
+        framed[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_frame(&framed).unwrap_err(), FrameError::LengthInsane);
+    }
+
+    #[test]
+    fn ledger_delta_since_inverts_accumulation() {
+        let a = LedgerDelta {
+            runs: 10,
+            machine_nanos: 500,
+            ok_runs: 8,
+            crashes: 1,
+            timeouts: 1,
+            ..LedgerDelta::default()
+        };
+        let b = LedgerDelta {
+            runs: 25,
+            machine_nanos: 1_500,
+            ok_runs: 20,
+            crashes: 3,
+            timeouts: 2,
+            ..LedgerDelta::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.runs, 15);
+        assert_eq!(d.machine_nanos, 1_000);
+        assert_eq!(d.ok_runs + d.crashes + d.timeouts, d.runs);
+    }
+}

@@ -246,66 +246,81 @@ impl<'a> SearchDriver<'a> {
         strategy.finish(self.ctx, &self.pool, &history)
     }
 
-    /// Evaluates one proposal batch. Candidates are pure functions of
-    /// their (digests, noise seed) inputs and the ledger counters are
-    /// atomic, so both routes are observationally identical to the
-    /// sequential loop they replace — and bit-identical to each other.
-    ///
-    /// The batched route only serves infallible contexts: compile
-    /// gates, retries, and quarantine are per-candidate control flow
-    /// that the lane kernel deliberately excludes, so a fault-injecting
-    /// context stays on the scalar path.
+    /// Evaluates one proposal batch, routing to the distributed plane
+    /// when the context has one attached (`ftune tune --workers N`),
+    /// and through [`evaluate_proposals`] locally otherwise. Both
+    /// routes are bit-identical: the plane's workers run the same
+    /// `evaluate_proposals` on the same (digests, noise seed) inputs,
+    /// and candidates are pure functions of those inputs.
     fn evaluate_batch(&self, proposals: &[Proposal]) -> Vec<f64> {
-        // A tripped circuit breaker also forces the scalar path: the
-        // per-candidate route isolates, retries, and charges each
-        // fault precisely, which is the breaker's whole point — and
-        // the two paths are bit-identical, so degrading is value-safe.
-        if self.eval_mode == EvalMode::Scalar
-            || !self.ctx.faults().is_zero()
-            || !self.ctx.batched_allowed()
-        {
-            return proposals.par_iter().map(|p| self.evaluate(p)).collect();
+        if let Some(plane) = self.ctx.remote_plane() {
+            return plane.evaluate(&self.pool, proposals, self.ctx.timeout_reference_bits());
         }
-        // Link phase: compile + link every proposal through the caches
-        // (deduplicated, single-flight), in parallel.
-        let linked: Vec<Arc<LinkedProgram>> = proposals
-            .par_iter()
-            .map(|p| match &p.candidate {
-                Candidate::Uniform(id) => self.ctx.linked_uniform_id(&self.pool, *id),
-                Candidate::PerLoop(ids) => self.ctx.linked_assignment_ids(&self.pool, ids),
-            })
-            .collect();
-        let lanes: Vec<(&LinkedProgram, u64)> = linked
-            .iter()
-            .zip(proposals)
-            .map(|(l, p)| (l.as_ref(), p.noise_seed))
-            .collect();
-        // Execute phase: W-wide lanes per chunk, chunks in parallel
-        // (by index range — a slice-level parallel chunk iterator is
-        // not needed for a read-only split).
-        let n_chunks = lanes.len().div_ceil(BATCH_CHUNK);
-        let chunked: Vec<Vec<f64>> = (0..n_chunks)
-            .into_par_iter()
-            .map(|c| {
-                let lo = c * BATCH_CHUNK;
-                let hi = (lo + BATCH_CHUNK).min(lanes.len());
-                self.ctx.execute_linked_batch(&lanes[lo..hi])
-            })
-            .collect();
-        chunked.into_iter().flatten().collect()
+        evaluate_proposals(self.ctx, &self.pool, proposals, self.eval_mode)
     }
+}
 
-    fn evaluate(&self, p: &Proposal) -> f64 {
-        match &p.candidate {
-            Candidate::Uniform(id) => {
-                self.ctx
-                    .eval_uniform_id_resilient(&self.pool, *id, p.noise_seed)
-            }
-            Candidate::PerLoop(ids) => {
-                self.ctx
-                    .eval_assignment_ids_resilient(&self.pool, ids, p.noise_seed)
-            }
-        }
+/// Evaluates a proposal batch against a context — the single local
+/// evaluation routine shared by the in-process driver and the remote
+/// plane's workers (which is what makes a worker's bits identical to a
+/// serial run by construction). Candidates are pure functions of their
+/// (digests, noise seed) inputs and the ledger counters are atomic, so
+/// both routes are observationally identical to the sequential loop
+/// they replace — and bit-identical to each other.
+///
+/// The batched route only serves infallible contexts: compile gates,
+/// retries, and quarantine are per-candidate control flow that the
+/// lane kernel deliberately excludes, so a fault-injecting context
+/// stays on the scalar path.
+pub fn evaluate_proposals(
+    ctx: &EvalContext,
+    pool: &CvPool,
+    proposals: &[Proposal],
+    mode: EvalMode,
+) -> Vec<f64> {
+    // A tripped circuit breaker also forces the scalar path: the
+    // per-candidate route isolates, retries, and charges each
+    // fault precisely, which is the breaker's whole point — and
+    // the two paths are bit-identical, so degrading is value-safe.
+    if mode == EvalMode::Scalar || !ctx.faults().is_zero() || !ctx.batched_allowed() {
+        return proposals
+            .par_iter()
+            .map(|p| evaluate_one(ctx, pool, p))
+            .collect();
+    }
+    // Link phase: compile + link every proposal through the caches
+    // (deduplicated, single-flight), in parallel.
+    let linked: Vec<Arc<LinkedProgram>> = proposals
+        .par_iter()
+        .map(|p| match &p.candidate {
+            Candidate::Uniform(id) => ctx.linked_uniform_id(pool, *id),
+            Candidate::PerLoop(ids) => ctx.linked_assignment_ids(pool, ids),
+        })
+        .collect();
+    let lanes: Vec<(&LinkedProgram, u64)> = linked
+        .iter()
+        .zip(proposals)
+        .map(|(l, p)| (l.as_ref(), p.noise_seed))
+        .collect();
+    // Execute phase: W-wide lanes per chunk, chunks in parallel
+    // (by index range — a slice-level parallel chunk iterator is
+    // not needed for a read-only split).
+    let n_chunks = lanes.len().div_ceil(BATCH_CHUNK);
+    let chunked: Vec<Vec<f64>> = (0..n_chunks)
+        .into_par_iter()
+        .map(|c| {
+            let lo = c * BATCH_CHUNK;
+            let hi = (lo + BATCH_CHUNK).min(lanes.len());
+            ctx.execute_linked_batch(&lanes[lo..hi])
+        })
+        .collect();
+    chunked.into_iter().flatten().collect()
+}
+
+fn evaluate_one(ctx: &EvalContext, pool: &CvPool, p: &Proposal) -> f64 {
+    match &p.candidate {
+        Candidate::Uniform(id) => ctx.eval_uniform_id_resilient(pool, *id, p.noise_seed),
+        Candidate::PerLoop(ids) => ctx.eval_assignment_ids_resilient(pool, ids, p.noise_seed),
     }
 }
 

@@ -218,8 +218,11 @@ pub enum ChaosPolicy {
 }
 
 impl ChaosPolicy {
-    /// Whether to kill at this boundary of this attempt.
-    fn should_kill(&self, kills_so_far: u32, attempt: u32, boundary: usize) -> bool {
+    /// Whether to kill at this boundary of this attempt. Shared with
+    /// the distributed plane, which reuses the same kill-point
+    /// machinery with the batch sequence as the boundary and the
+    /// worker index as the attempt (see [`crate::remote::RemotePlane`]).
+    pub fn should_kill(&self, kills_so_far: u32, attempt: u32, boundary: usize) -> bool {
         match *self {
             ChaosPolicy::Off => false,
             ChaosPolicy::KillOnce { boundary: b } => kills_so_far == 0 && boundary == b,

@@ -9,7 +9,10 @@
 //! in-process, including mixed uniform/per-loop rounds.
 
 use ft_compiler::{Compiler, FaultModel};
-use ft_core::{Candidate, EvalContext, EvalMode, History, Proposal, SearchDriver, SearchStrategy};
+use ft_core::{
+    BreakerConfig, Candidate, EvalContext, EvalMode, History, Proposal, SearchDriver,
+    SearchStrategy,
+};
 use ft_flags::rng::{derive_seed_idx, rng_for};
 use ft_flags::CvPool;
 use ft_machine::Architecture;
@@ -109,6 +112,56 @@ fn faulted_context_falls_back_to_scalar_and_stays_pinned() {
     assert_eq!(h_batch.len(), h_scalar.len());
     for (b, s) in h_batch.iter().zip(&h_scalar) {
         assert_eq!(b.to_bits(), s.to_bits());
+    }
+    assert_eq!(runs_batch, runs_scalar);
+}
+
+#[test]
+fn breaker_tripped_campaign_is_mode_invariant_and_surfaces_trips() {
+    // Faults heavy enough to trip an aggressive breaker mid-campaign.
+    // Both modes take the per-candidate path under faults, but until
+    // now nothing pinned the breaker ledger across them: a tripped
+    // breaker widens timeouts, which feeds back into hang charging, so
+    // a mode that tripped at a different run index would silently
+    // diverge. Assert the trips themselves — not just the times — are
+    // identical, and that `breaker_trips` actually surfaces in the
+    // cost ledger of both modes.
+    let faults = FaultModel::with_rates(0x10AD, 0.02, 0.30, 0.20, 0.02);
+    let breaker = BreakerConfig {
+        window: 16,
+        trip_threshold: 0.25,
+        cooldown: 24,
+        probe: 8,
+        timeout_scale: 2.0,
+    };
+    let run = |mode: EvalMode| {
+        let ctx = ctx(Some(faults)).with_breaker(breaker);
+        let mut strategy = MixedRounds {
+            round: 0,
+            modules: ctx.modules(),
+        };
+        let mut driver = SearchDriver::new(&ctx).with_eval_mode(mode);
+        let result = driver.run(&mut strategy);
+        let cost = ctx.cost();
+        (result.history, cost.runs, cost.breaker_trips)
+    };
+    let (h_batch, runs_batch, trips_batch) = run(EvalMode::Batched);
+    let (h_scalar, runs_scalar, trips_scalar) = run(EvalMode::Scalar);
+    assert!(
+        trips_batch > 0,
+        "fixture must actually trip the breaker (got 0 trips)"
+    );
+    assert_eq!(
+        trips_batch, trips_scalar,
+        "breaker trips must surface identically in both modes"
+    );
+    assert_eq!(h_batch.len(), h_scalar.len());
+    for (k, (b, s)) in h_batch.iter().zip(&h_scalar).enumerate() {
+        assert_eq!(
+            b.to_bits(),
+            s.to_bits(),
+            "candidate {k} diverged under a tripped breaker"
+        );
     }
     assert_eq!(runs_batch, runs_scalar);
 }

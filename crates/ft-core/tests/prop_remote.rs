@@ -1,0 +1,118 @@
+//! Cross-crate property test for the distributed plane: for *random*
+//! campaign shapes — seed, budget, fault model, worker count, batch
+//! granularity (via the focus width) — the sharded run must be
+//! byte-identical to the single-process run and its merged ledger
+//! must balance (`runs == ok_runs + crashes + timeouts`).
+//!
+//! This is the generalization of the hand-picked topology matrix in
+//! `topology_equivalence.rs`: no tuple of knobs may break equivalence.
+
+use ft_compiler::FaultModel;
+use ft_core::{ScheduleMode, Tuner};
+use ft_machine::Architecture;
+use ft_workloads::{workload_by_name, Workload};
+use proptest::prelude::*;
+
+fn arch_for(pick: u64) -> Architecture {
+    match pick % 3 {
+        0 => Architecture::broadwell(),
+        1 => Architecture::skylake_avx512(),
+        _ => Architecture::sandy_bridge(),
+    }
+}
+
+fn campaign<'a>(
+    w: &'a Workload,
+    arch: &'a Architecture,
+    seed: u64,
+    budget: usize,
+    focus: usize,
+    faults: FaultModel,
+    mode: ScheduleMode,
+) -> Tuner<'a> {
+    Tuner::new(w, arch)
+        .budget(budget)
+        .focus(focus)
+        .seed(seed)
+        .cap_steps(4)
+        .faults(faults)
+        .schedule(mode)
+}
+
+proptest! {
+    // Each case runs two full campaigns; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn any_campaign_shape_is_worker_count_invariant(
+        seed in any::<u64>(),
+        budget in 20usize..70,
+        focus in 4usize..10,
+        fault_pick in 0u8..3,
+        arch_pick in any::<u64>(),
+        workers_pick in 0usize..4,
+        mode_pick in 0u8..2,
+    ) {
+        let workers = [1usize, 2, 3, 8][workers_pick];
+        let faults = match fault_pick {
+            0 => FaultModel::zero(),
+            1 => FaultModel::testbed(seed ^ 0xFA17),
+            _ => FaultModel::with_rates(seed ^ 0xBEEF, 0.05, 0.03, 0.02, 0.02),
+        };
+        let mode = if mode_pick == 0 { ScheduleMode::Serial } else { ScheduleMode::Overlapped };
+        let arch = arch_for(arch_pick);
+        let w = workload_by_name("swim").expect("swim in suite");
+
+        let reference = campaign(&w, &arch, seed, budget, focus, faults, mode).run();
+        let run = campaign(&w, &arch, seed, budget, focus, faults, mode)
+            .workers(workers)
+            .run();
+
+        // Headline: byte-identical outcome regardless of topology.
+        prop_assert_eq!(
+            reference.canonical_digest(),
+            run.canonical_digest(),
+            "digest diverged: workers={}", workers
+        );
+        prop_assert_eq!(
+            reference.canonical_bytes(),
+            run.canonical_bytes(),
+            "bytes diverged: workers={}", workers
+        );
+
+        // Ledger balance on both sides of the comparison.
+        for (name, r) in [("reference", &reference), ("distributed", &run)] {
+            let cost = r.ctx.cost();
+            let stats = r.ctx.fault_stats();
+            prop_assert_eq!(
+                cost.runs,
+                stats.ok_runs + stats.crashes + stats.timeouts,
+                "{} ledger out of balance: {:?} vs {:?}", name, cost, stats
+            );
+        }
+
+        // Worker-side work actually happened and was merged: the
+        // plane's merged ledger is a sub-ledger of the context's.
+        let plane = run.ctx.remote_plane().expect("plane attached");
+        prop_assert!(plane.batches() > 0);
+        let remote = plane.ledger_totals();
+        prop_assert!(remote.runs > 0, "no evaluation went through the wire");
+        prop_assert!(remote.runs <= run.ctx.cost().runs);
+        prop_assert_eq!(
+            remote.ok_runs + remote.crashes + remote.timeouts,
+            remote.runs,
+            "merged remote ledger out of balance"
+        );
+
+        // Exactly topology-invariant counters.
+        let (rs, ds) = (reference.ctx.fault_stats(), run.ctx.fault_stats());
+        prop_assert_eq!(rs.ok_runs, ds.ok_runs);
+        prop_assert_eq!(rs.crashes, ds.crashes);
+        prop_assert_eq!(rs.retries, ds.retries);
+        prop_assert_eq!(
+            rs.compile_failures + rs.timeouts + rs.quarantined,
+            ds.compile_failures + ds.timeouts + ds.quarantined,
+            "fault attribution sum not conserved"
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! Worker-death chaos for the distributed plane, at the transport
+//! layer: workers that die mid-batch, return corrupt bytes, replay
+//! stale replies, or refuse to spawn at all. Every recoverable
+//! failure must be retried to *byte-identity* with an unharmed run
+//! (a fresh worker re-receives the full definition set and evaluation
+//! is pure, so the retry returns the same bits); the unrecoverable
+//! one must die loudly at the respawn limit, never hang or lie.
+
+use ft_compiler::Compiler;
+use ft_core::remote::RemotePlane;
+use ft_core::{
+    Candidate, ChaosPolicy, EvalContext, History, InProcessTransport, Proposal, RemoteError,
+    ScheduleMode, SearchDriver, SearchStrategy, Transport, Tuner, WorkerFactory,
+};
+use ft_flags::rng::{derive_seed_idx, rng_for};
+use ft_flags::CvPool;
+use ft_machine::Architecture;
+use ft_outline::outline_with_defaults;
+use ft_workloads::workload_by_name;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn ctx() -> EvalContext {
+    let arch = Architecture::broadwell();
+    let compiler = Compiler::icc(arch.target);
+    let w = workload_by_name("swim").expect("swim in suite");
+    let ir = w.instantiate(w.tuning_input(arch.name));
+    let (outlined, _) = outline_with_defaults(&ir, &compiler, &arch, 5, 11);
+    EvalContext::new(outlined.ir, Compiler::icc(arch.target), arch, 5, 99)
+}
+
+/// Two rounds of mixed uniform/per-loop candidates — enough batches
+/// for a mid-campaign failure to land between two of them.
+struct TwoRounds {
+    round: usize,
+    modules: usize,
+}
+
+impl SearchStrategy for TwoRounds {
+    fn name(&self) -> &str {
+        "two-rounds"
+    }
+
+    fn propose(&mut self, pool: &CvPool, _history: &History) -> Vec<Proposal> {
+        if self.round == 2 {
+            return Vec::new();
+        }
+        let mut rng = rng_for(5 + self.round as u64, "remote-chaos");
+        let space = Compiler::icc(Architecture::broadwell().target);
+        let mut proposals = Vec::new();
+        for k in 0..30usize {
+            let noise = derive_seed_idx(0xD15C ^ self.round as u64, k as u64);
+            let candidate = if k % 2 == 0 {
+                Candidate::Uniform(pool.intern(&space.space().sample(&mut rng)))
+            } else {
+                Candidate::PerLoop(
+                    (0..self.modules)
+                        .map(|_| pool.intern(&space.space().sample(&mut rng)))
+                        .collect(),
+                )
+            };
+            proposals.push(Proposal::new(candidate, noise));
+        }
+        self.round += 1;
+        proposals
+    }
+}
+
+fn drive(ctx: &EvalContext) -> (Vec<f64>, f64) {
+    let mut strategy = TwoRounds {
+        round: 0,
+        modules: ctx.modules(),
+    };
+    let mut driver = SearchDriver::new(ctx);
+    let result = driver.run(&mut strategy);
+    (result.history, result.best_time)
+}
+
+fn assert_same_bits(reference: &(Vec<f64>, f64), run: &(Vec<f64>, f64), label: &str) {
+    assert_eq!(reference.0.len(), run.0.len(), "{label}: history length");
+    for (k, (r, d)) in reference.0.iter().zip(&run.0).enumerate() {
+        assert_eq!(
+            r.to_bits(),
+            d.to_bits(),
+            "{label}: candidate {k}: {r} vs {d}"
+        );
+    }
+    assert_eq!(reference.1.to_bits(), run.1.to_bits(), "{label}: best time");
+}
+
+/// A transport that fails its `fail_at`-th roundtrip in a
+/// configurable way, then behaves (until the plane drops it).
+struct Hostile {
+    inner: InProcessTransport,
+    calls: usize,
+    fail_at: usize,
+    mode: HostileMode,
+    stash: Option<Vec<u8>>,
+}
+
+#[derive(Clone, Copy)]
+enum HostileMode {
+    /// Die mid-batch (transport error).
+    Die,
+    /// Return bytes that are not a valid frame.
+    Garbage,
+    /// Return a valid frame whose payload is cut short.
+    TornFrame,
+    /// Replay the previous batch's reply (stale `seq`).
+    StaleReplay,
+}
+
+impl Transport for Hostile {
+    fn roundtrip(&mut self, frame: &[u8]) -> Result<Vec<u8>, RemoteError> {
+        let n = self.calls;
+        self.calls += 1;
+        if n == self.fail_at {
+            match self.mode {
+                HostileMode::Die => {
+                    return Err(RemoteError::WorkerDied("injected mid-batch death".into()))
+                }
+                HostileMode::Garbage => return Ok(vec![0xFF; 24]),
+                HostileMode::TornFrame => {
+                    let good = self.inner.roundtrip(frame)?;
+                    return Ok(good[..good.len() / 2].to_vec());
+                }
+                HostileMode::StaleReplay => {
+                    if let Some(stale) = self.stash.clone() {
+                        return Ok(stale);
+                    }
+                    // No previous reply to replay yet; garbage works.
+                    return Ok(vec![0xEE; 24]);
+                }
+            }
+        }
+        let reply = self.inner.roundtrip(frame)?;
+        self.stash = Some(reply.clone());
+        Ok(reply)
+    }
+}
+
+/// A 2-worker plane whose *first-spawned* transport turns hostile on
+/// its `fail_at`-th roundtrip; every respawn is clean.
+fn hostile_plane(mode: HostileMode, fail_at: usize) -> RemotePlane {
+    let spawned = Arc::new(AtomicUsize::new(0));
+    let factory: WorkerFactory = Arc::new(move |_w| {
+        let inner = InProcessTransport::new(ctx());
+        if spawned.fetch_add(1, Ordering::SeqCst) == 0 {
+            Ok(Box::new(Hostile {
+                inner,
+                calls: 0,
+                fail_at,
+                mode,
+                stash: None,
+            }))
+        } else {
+            Ok(Box::new(inner))
+        }
+    });
+    RemotePlane::new(2, factory)
+}
+
+#[test]
+fn every_hostile_failure_mode_is_retried_to_byte_identity() {
+    let reference = drive(&ctx());
+    for (name, mode) in [
+        ("die-mid-batch", HostileMode::Die),
+        ("garbage-reply", HostileMode::Garbage),
+        ("torn-frame", HostileMode::TornFrame),
+        ("stale-seq-replay", HostileMode::StaleReplay),
+    ] {
+        // fail_at 1: the hostile worker answers its first batch
+        // honestly (warming its caches and the coordinator's `known`
+        // set), then sabotages the second — the hard case, because
+        // the respawned worker must be re-sent definitions the
+        // coordinator already considered delivered.
+        let plane = hostile_plane(mode, 1);
+        let distributed = ctx().with_remote(Arc::new(plane));
+        let run = drive(&distributed);
+        assert_same_bits(&reference, &run, name);
+        let plane = distributed.remote_plane().expect("plane");
+        assert_eq!(
+            plane.spawns(),
+            3,
+            "{name}: two initial spawns plus exactly one respawn"
+        );
+        assert_eq!(plane.kills(), 0, "{name}: no chaos-policy kills involved");
+    }
+}
+
+#[test]
+fn first_contact_failure_is_retried_to_byte_identity() {
+    // fail_at 0: the worker dies on the very first roundtrip, before
+    // it ever held a definition.
+    let reference = drive(&ctx());
+    let plane = hostile_plane(HostileMode::Die, 0);
+    let distributed = ctx().with_remote(Arc::new(plane));
+    let run = drive(&distributed);
+    assert_same_bits(&reference, &run, "die-on-first-contact");
+    assert_eq!(distributed.remote_plane().expect("plane").spawns(), 3);
+}
+
+#[test]
+fn chaos_policy_kill_always_at_a_boundary_converges() {
+    // ChaosPolicy reuse at the Tuner level: KillAlways fires at batch
+    // seq 1 on every campaign; the CAS on the kill counter ensures one
+    // worker dies there, is respawned cold, and the run converges.
+    let arch = Architecture::broadwell();
+    let w = workload_by_name("swim").expect("swim in suite");
+    fn base<'a>(w: &'a ft_workloads::Workload, arch: &'a Architecture) -> Tuner<'a> {
+        Tuner::new(w, arch)
+            .budget(60)
+            .focus(8)
+            .seed(42)
+            .cap_steps(5)
+            .schedule(ScheduleMode::Serial)
+    }
+    let reference = base(&w, &arch).run();
+    let run = base(&w, &arch)
+        .workers(2)
+        .worker_chaos(ChaosPolicy::KillAlways { boundary: 1 })
+        .run();
+    let plane = run.ctx.remote_plane().expect("plane");
+    assert!(plane.kills() >= 1, "KillAlways must fire");
+    assert_eq!(reference.canonical_bytes(), run.canonical_bytes());
+}
+
+#[test]
+fn a_worker_that_never_spawns_dies_loudly_at_the_respawn_limit() {
+    // An unrecoverable plane must panic with a diagnostic, not hang
+    // or return fabricated times.
+    let factory: WorkerFactory = Arc::new(|w| {
+        Err(RemoteError::WorkerDied(format!(
+            "worker {w} refused to start"
+        )))
+    });
+    let plane = RemotePlane::new(1, factory);
+    let pool = CvPool::new();
+    let space = Compiler::icc(Architecture::broadwell().target);
+    let id = pool.intern(&space.space().baseline());
+    let proposals = vec![Proposal::new(Candidate::Uniform(id), 5)];
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        plane.evaluate(&pool, &proposals, 0)
+    }));
+    let err = outcome.expect_err("must not fabricate results");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("refused to start") || msg.contains("failed"),
+        "diagnostic must name the cause: {msg}"
+    );
+}
+
+#[test]
+fn a_worker_that_always_fails_batches_dies_loudly_at_the_respawn_limit() {
+    // Every spawn produces a transport that dies on its first batch:
+    // fail_at is 0 and the plane replaces it after each failure.
+    let factory: WorkerFactory = Arc::new(|_w| {
+        Ok(Box::new(Hostile {
+            inner: InProcessTransport::new(ctx()),
+            calls: 0,
+            fail_at: 0,
+            mode: HostileMode::Die,
+            stash: None,
+        }) as Box<dyn Transport>)
+    });
+    let plane = RemotePlane::new(1, factory);
+    let pool = CvPool::new();
+    let space = Compiler::icc(Architecture::broadwell().target);
+    let id = pool.intern(&space.space().baseline());
+    let proposals = vec![Proposal::new(Candidate::Uniform(id), 5)];
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        plane.evaluate(&pool, &proposals, 0)
+    }));
+    assert!(outcome.is_err(), "must hit the respawn limit, not loop");
+    assert!(
+        plane.spawns() > 1,
+        "it did keep respawning before giving up"
+    );
+}

@@ -1,0 +1,433 @@
+//! Property-based corruption tests for the distributed-plane wire
+//! protocol, mirroring the WAL's `journal_corruption` contract.
+//!
+//! For *any* byte-level damage to a frame or a frame stream — random
+//! truncation, bit flips anywhere, reordered or duplicated frames,
+//! hostile length prefixes and element counts — the codec either
+//! returns a typed error or a faithful value/prefix. Never a panic,
+//! never an allocation driven by an untrusted count, never a silently
+//! wrong message.
+
+use ft_compiler::Compiler;
+use ft_core::remote::{decode_frame, decode_frames, decode_message, encode_frame, encode_message};
+use ft_core::{
+    BatchReply, EvalContext, FrameError, HelloSpec, LedgerDelta, Message, WireError, WorkBatch,
+    WorkItem, Worker,
+};
+use ft_machine::Architecture;
+use ft_outline::outline_with_defaults;
+use ft_workloads::workload_by_name;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random stream (SplitMix64) — the vendored
+/// proptest has no collection strategies, so structured payloads
+/// derive from a generated seed instead.
+struct Stream(u64);
+
+impl Stream {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next() as u8).collect()
+    }
+
+    fn string(&mut self, max: usize) -> String {
+        let len = self.next() as usize % max;
+        (0..len)
+            .map(|_| char::from(b'a' + (self.next() % 26) as u8))
+            .collect()
+    }
+}
+
+/// One structurally valid message of every kind, derived from a seed.
+/// Non-finite floats are deliberately common (`+inf` is the score of a
+/// quarantined candidate and must survive the wire exactly).
+fn message_from_seed(seed: u64) -> Message {
+    let mut s = Stream(seed);
+    let f = |bits: u64| -> f64 {
+        match bits % 5 {
+            0 => f64::INFINITY,
+            1 => f64::NEG_INFINITY,
+            2 => -0.0,
+            _ => f64::from_bits(bits >> 2) % 1e12,
+        }
+    };
+    match seed % 5 {
+        0 => Message::Hello(HelloSpec {
+            workload: s.string(12),
+            arch: s.string(12),
+            steps_cap: s.next(),
+            seed: s.next(),
+            fault_seed: s.next(),
+            fault_compile: f(s.next()),
+            fault_crash: f(s.next()),
+            fault_hang: f(s.next()),
+            fault_outlier: f(s.next()),
+            max_retries: s.next(),
+            timeout_factor: f(s.next()),
+        }),
+        1 => Message::HelloAck { modules: s.next() },
+        2 => {
+            let n_defs = (s.next() % 4) as usize;
+            let defs = (0..n_defs)
+                .map(|_| {
+                    let len = (s.next() % 40) as usize;
+                    (s.next(), s.bytes(len))
+                })
+                .collect();
+            let n_items = (s.next() % 6) as usize;
+            let items = (0..n_items)
+                .map(|_| {
+                    let uniform = s.next().is_multiple_of(2);
+                    let arity = if uniform { 1 } else { (s.next() % 8) as usize };
+                    WorkItem {
+                        uniform,
+                        digests: (0..arity).map(|_| s.next()).collect(),
+                        noise_seed: s.next(),
+                    }
+                })
+                .collect();
+            Message::Work(WorkBatch {
+                seq: s.next(),
+                timeout_ref_bits: s.next(),
+                defs,
+                items,
+            })
+        }
+        3 => {
+            let n = (s.next() % 10) as usize;
+            Message::Reply(BatchReply {
+                seq: s.next(),
+                time_bits: (0..n)
+                    .map(|_| {
+                        if s.next().is_multiple_of(4) {
+                            f64::INFINITY.to_bits()
+                        } else {
+                            s.next()
+                        }
+                    })
+                    .collect(),
+                ledger: LedgerDelta {
+                    runs: s.next(),
+                    machine_nanos: s.next(),
+                    ok_runs: s.next(),
+                    compile_failures: s.next(),
+                    crashes: s.next(),
+                    timeouts: s.next(),
+                    retries: s.next(),
+                    quarantined: s.next(),
+                    object_compiles: s.next(),
+                    object_reuses: s.next(),
+                    object_evictions: s.next(),
+                    links: s.next(),
+                    link_reuses: s.next(),
+                    link_evictions: s.next(),
+                },
+            })
+        }
+        _ => Message::Shutdown,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated message survives encode → frame → deframe →
+    /// decode bit-for-bit (floats compare by bit pattern via
+    /// `PartialEq` on the bit-carrying representation).
+    #[test]
+    fn every_message_round_trips_through_a_frame(seed in any::<u64>()) {
+        let msg = message_from_seed(seed);
+        let framed = encode_frame(&encode_message(&msg));
+        let (payload, consumed) = decode_frame(&framed).expect("own frame decodes");
+        prop_assert_eq!(consumed, framed.len());
+        prop_assert_eq!(decode_message(payload).expect("own payload decodes"), msg);
+    }
+
+    /// Truncating a framed message at any byte offset is a typed
+    /// refusal at the frame layer, and truncating the *payload* at any
+    /// offset is a typed `WireError` at the message layer — never a
+    /// panic, never a partial message.
+    #[test]
+    fn truncation_is_typed_at_both_layers(seed in any::<u64>(), cut in 0usize..4000) {
+        let msg = message_from_seed(seed);
+        let payload = encode_message(&msg);
+        let framed = encode_frame(&payload);
+        let fcut = cut.min(framed.len().saturating_sub(1));
+        prop_assert!(decode_frame(&framed[..fcut]).is_err(), "cut frame accepted");
+        let pcut = cut.min(payload.len().saturating_sub(1));
+        match decode_message(&payload[..pcut]) {
+            Err(WireError::Truncated { .. } | WireError::BadValue(_)
+                | WireError::UnknownKind(_) | WireError::Trailing { .. }) => {}
+            Ok(m) => {
+                // A prefix that still decodes must be the empty-tail
+                // case: the whole message fit before the cut. Since we
+                // cut strictly inside the payload, this cannot happen —
+                // the trailing-bytes check would have fired otherwise.
+                prop_assert!(pcut == payload.len(), "partial decode invented {m:?}");
+            }
+        }
+    }
+
+    /// A single bit flip anywhere in a framed message is either caught
+    /// (typed error — CRC32 detects all single-bit damage in the
+    /// payload, and header damage dies on length/CRC checks) or the
+    /// decoded message is byte-faithful. Silent corruption is the one
+    /// outcome that must be impossible.
+    #[test]
+    fn bit_flip_is_caught_or_harmless(seed in any::<u64>(), pos in 0usize..4000, bit in 0u8..8) {
+        let msg = message_from_seed(seed);
+        let mut framed = encode_frame(&encode_message(&msg));
+        let len = framed.len();
+        framed[pos % len] ^= 1 << bit;
+        match decode_frame(&framed) {
+            Err(_) => {}
+            Ok((payload, _)) => match decode_message(payload) {
+                Err(_) => {}
+                Ok(decoded) => prop_assert_eq!(decoded, msg, "silent corruption"),
+            },
+        }
+    }
+
+    /// A stream of concatenated frames decodes to the longest valid
+    /// prefix under truncation — exactly the WAL recovery contract.
+    #[test]
+    fn frame_stream_truncation_yields_a_faithful_prefix(
+        seed in any::<u64>(),
+        count in 1usize..6,
+        cut in 0usize..8000,
+    ) {
+        let messages: Vec<Message> =
+            (0..count).map(|i| message_from_seed(seed ^ (i as u64) << 17)).collect();
+        let payloads: Vec<Vec<u8>> = messages.iter().map(encode_message).collect();
+        let mut stream = Vec::new();
+        for p in &payloads {
+            stream.extend_from_slice(&encode_frame(p));
+        }
+        let cut = cut.min(stream.len());
+        // Expected: exactly the frames lying wholly before the cut,
+        // with an error iff the cut fell strictly inside a frame.
+        let mut offset = 0;
+        let mut whole = 0;
+        for p in &payloads {
+            offset += 8 + p.len();
+            if offset <= cut {
+                whole += 1;
+            }
+        }
+        let on_boundary = {
+            let mut at = 0;
+            let mut hit = cut == 0;
+            for p in &payloads {
+                at += 8 + p.len();
+                hit |= at == cut;
+            }
+            hit
+        };
+        let (decoded, err) = decode_frames(&stream[..cut]);
+        prop_assert_eq!(decoded.len(), whole, "not the whole-frame prefix");
+        for (i, d) in decoded.iter().enumerate() {
+            prop_assert_eq!(*d, payloads[i].as_slice(), "frame {} not faithful", i);
+        }
+        prop_assert_eq!(err.is_none(), on_boundary,
+            "error must be reported iff the cut tore a frame");
+    }
+
+    /// Reordered and duplicated frames decode faithfully at the frame
+    /// layer (frames are self-delimiting); misdelivery is detected one
+    /// layer up by the `seq` echo, which the codec must preserve.
+    #[test]
+    fn reordered_and_duplicated_frames_are_detectable_by_seq(a in any::<u64>(), b in any::<u64>()) {
+        let ra = Message::Reply(BatchReply {
+            seq: a, time_bits: vec![a ^ 1], ledger: LedgerDelta::default(),
+        });
+        let rb = Message::Reply(BatchReply {
+            seq: b, time_bits: vec![b ^ 2], ledger: LedgerDelta::default(),
+        });
+        let (fa, fb) = (encode_frame(&encode_message(&ra)), encode_frame(&encode_message(&rb)));
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&fb);
+        stream.extend_from_slice(&fa);
+        stream.extend_from_slice(&fa);
+        let (decoded, err) = decode_frames(&stream);
+        prop_assert!(err.is_none());
+        prop_assert_eq!(decoded.len(), 3);
+        let seqs: Vec<u64> = decoded.iter().map(|p| match decode_message(p).unwrap() {
+            Message::Reply(r) => r.seq,
+            other => panic!("not a reply: {other:?}"),
+        }).collect();
+        prop_assert_eq!(seqs, vec![b, a, a], "seq echo lost — misdelivery undetectable");
+    }
+
+    /// Arbitrary garbage bytes never panic either decoder, and a
+    /// hostile element count dies on truncation, not allocation: the
+    /// decode of a short buffer claiming 2^60 items must return
+    /// `Truncated` immediately.
+    #[test]
+    fn garbage_and_hostile_counts_are_typed_refusals(seed in any::<u64>(), len in 0usize..300) {
+        let mut s = Stream(seed);
+        let garbage = s.bytes(len);
+        let _ = decode_frame(&garbage);
+        let _ = decode_message(&garbage);
+        // Work message claiming an absurd def count.
+        let mut hostile = Vec::new();
+        ft_core::canonical::write_u64(&mut hostile, 3); // MSG_WORK
+        ft_core::canonical::write_u64(&mut hostile, seed); // seq
+        ft_core::canonical::write_u64(&mut hostile, 0); // timeout bits
+        ft_core::canonical::write_u64(&mut hostile, 1 << 60); // def count
+        match decode_message(&hostile) {
+            Err(WireError::Truncated { .. }) => {}
+            other => prop_assert!(false, "hostile count not refused: {other:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker-facing malice: a real worker fed damaged batches.
+// ---------------------------------------------------------------------------
+
+fn worker() -> Worker {
+    let arch = Architecture::broadwell();
+    let compiler = Compiler::icc(arch.target);
+    let w = workload_by_name("swim").expect("swim in suite");
+    let ir = w.instantiate(w.tuning_input(arch.name));
+    let (outlined, _) = outline_with_defaults(&ir, &compiler, &arch, 5, 11);
+    Worker::new(EvalContext::new(
+        outlined.ir,
+        Compiler::icc(arch.target),
+        arch,
+        5,
+        99,
+    ))
+}
+
+fn baseline_def() -> (u64, Vec<u8>) {
+    let space = Compiler::icc(Architecture::broadwell().target);
+    let cv = space.space().baseline();
+    (cv.digest(), cv.values().to_vec())
+}
+
+#[test]
+fn replaying_the_same_batch_returns_identical_time_bits() {
+    // Duplicated delivery of a whole batch must be *detectable* (seq)
+    // but also *harmless*: evaluation is a pure function of (digests,
+    // noise seed), so a replay returns the same bits.
+    let mut w = worker();
+    let (digest, values) = baseline_def();
+    let batch = WorkBatch {
+        seq: 7,
+        timeout_ref_bits: 0,
+        defs: vec![(digest, values)],
+        items: vec![WorkItem {
+            uniform: true,
+            digests: vec![digest],
+            noise_seed: 0xABCD,
+        }],
+    };
+    let first = w.work(&batch).expect("valid batch");
+    let replay = w.work(&batch).expect("replay");
+    assert_eq!(first.seq, 7);
+    assert_eq!(first.time_bits, replay.time_bits, "replay diverged");
+    assert!(
+        replay.ledger.runs > 0,
+        "replay was evaluated, not silently skipped"
+    );
+}
+
+#[test]
+fn worker_rejects_malformed_batches_with_typed_errors() {
+    let mut w = worker();
+    let (digest, values) = baseline_def();
+    // A digest that lies about its values.
+    let lying = WorkBatch {
+        seq: 0,
+        timeout_ref_bits: 0,
+        defs: vec![(digest ^ 1, values.clone())],
+        items: vec![],
+    };
+    assert!(matches!(
+        w.work(&lying),
+        Err(WireError::BadValue("CV digest mismatch"))
+    ));
+    // Values that do not fit the flag space.
+    let misfit = WorkBatch {
+        seq: 0,
+        timeout_ref_bits: 0,
+        defs: vec![(digest, vec![255; 3])],
+        items: vec![],
+    };
+    assert!(matches!(w.work(&misfit), Err(WireError::BadValue(_))));
+    // An item naming a digest that was never defined.
+    let unknown = WorkBatch {
+        seq: 0,
+        timeout_ref_bits: 0,
+        defs: vec![],
+        items: vec![WorkItem {
+            uniform: true,
+            digests: vec![0xDEAD],
+            noise_seed: 1,
+        }],
+    };
+    assert!(matches!(
+        w.work(&unknown),
+        Err(WireError::BadValue("unknown CV digest"))
+    ));
+    // A per-loop item with the wrong arity.
+    let wrong_arity = WorkBatch {
+        seq: 0,
+        timeout_ref_bits: 0,
+        defs: vec![(digest, values)],
+        items: vec![WorkItem {
+            uniform: false,
+            digests: vec![digest],
+            noise_seed: 1,
+        }],
+    };
+    if w.modules() != 1 {
+        assert!(matches!(
+            w.work(&wrong_arity),
+            Err(WireError::BadValue("per-loop item arity != module count"))
+        ));
+    }
+    // The worker is still healthy after every refusal.
+    let (digest, values) = baseline_def();
+    let ok = WorkBatch {
+        seq: 9,
+        timeout_ref_bits: 0,
+        defs: vec![(digest, values)],
+        items: vec![WorkItem {
+            uniform: true,
+            digests: vec![digest],
+            noise_seed: 2,
+        }],
+    };
+    assert!(w.work(&ok).is_ok(), "typed refusal must not poison state");
+}
+
+#[test]
+fn frame_error_and_wire_error_display_are_stable() {
+    // The CLI prints these to stderr on worker death; keep them
+    // human-readable and non-empty.
+    for e in [
+        FrameError::ShortHeader,
+        FrameError::LengthInsane,
+        FrameError::LengthOverrun,
+        FrameError::CrcMismatch,
+    ] {
+        assert!(!e.to_string().is_empty());
+    }
+    for e in [
+        WireError::Truncated { at: 3 },
+        WireError::UnknownKind(42),
+        WireError::BadValue("x"),
+        WireError::Trailing { extra: 9 },
+    ] {
+        assert!(!e.to_string().is_empty());
+    }
+}

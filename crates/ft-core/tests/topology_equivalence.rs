@@ -1,0 +1,229 @@
+//! The topology-equivalence harness: the headline proof that the
+//! distributed evaluation plane is *byte-identical* to a
+//! single-process run.
+//!
+//! For each fault model × schedule mode, the reference is a plain
+//! `Tuner::run()` — no plane, no workers. Against it:
+//!
+//! 1. The same campaign sharded across 1, 2, and 8 in-process workers
+//!    (behind the real CRC-framed byte protocol) must produce
+//!    byte-equal `canonical_bytes()` — every history bit, winner
+//!    digest, baseline, and collection value.
+//! 2. A worker killed at *every* batch boundary in turn
+//!    ([`ChaosPolicy::KillOnce`] reused with the batch sequence as
+//!    the boundary) must be respawned, re-synced, and resent — and
+//!    still converge to the reference bytes.
+//! 3. A seeded kill storm across 8 workers must converge likewise.
+//! 4. A WAL-supervised campaign (supervisor chaos kills the whole
+//!    coordinator, plane chaos kills individual workers) must recover
+//!    through both layers to the same bytes.
+//!
+//! Ledger contract: `runs == ok_runs + crashes + timeouts` always;
+//! `ok_runs`/`crashes`/`retries` are exactly topology-invariant; under
+//! injected faults only the *attribution* among `compile_failures`,
+//! `timeouts`, and `quarantined` may shift (per-worker quarantines
+//! rediscover the same deterministic fault), and their sum is
+//! conserved. Under the zero model the full execution ledger — run
+//! count and machine seconds to the bit — is worker-count invariant.
+
+use ft_compiler::FaultModel;
+use ft_core::{ChaosPolicy, ScheduleMode, Supervisor, Tuner, TuningRun};
+use ft_machine::Architecture;
+use ft_workloads::{workload_by_name, Workload};
+
+fn swim() -> Workload {
+    workload_by_name("swim").expect("swim in suite")
+}
+
+fn tuner<'a>(
+    w: &'a Workload,
+    arch: &'a Architecture,
+    faults: FaultModel,
+    mode: ScheduleMode,
+) -> Tuner<'a> {
+    Tuner::new(w, arch)
+        .budget(60)
+        .focus(8)
+        .seed(42)
+        .cap_steps(5)
+        .faults(faults)
+        .schedule(mode)
+}
+
+fn fault_models() -> [(&'static str, FaultModel); 2] {
+    [
+        ("zero", FaultModel::zero()),
+        ("testbed", FaultModel::testbed(0xFA17)),
+    ]
+}
+
+fn schedules() -> [(&'static str, ScheduleMode); 2] {
+    [
+        ("serial", ScheduleMode::Serial),
+        ("overlapped", ScheduleMode::Overlapped),
+    ]
+}
+
+fn assert_bytes_equal(a: &TuningRun, b: &TuningRun, label: &str) {
+    assert_eq!(
+        a.canonical_digest(),
+        b.canonical_digest(),
+        "{label}: canonical digests diverged"
+    );
+    assert_eq!(
+        a.canonical_bytes(),
+        b.canonical_bytes(),
+        "{label}: canonical bytes diverged"
+    );
+}
+
+fn assert_ledger_balances(run: &TuningRun, label: &str) {
+    let cost = run.ctx.cost();
+    let stats = run.ctx.fault_stats();
+    assert_eq!(
+        cost.runs,
+        stats.charged_runs(),
+        "{label}: ledger out of balance: {cost:?} vs {stats:?}"
+    );
+}
+
+/// The cross-topology ledger contract (see module docs): exact
+/// invariance where the substrate guarantees it, conservation where
+/// only attribution may move.
+fn assert_ledger_matches(reference: &TuningRun, run: &TuningRun, zero_faults: bool, label: &str) {
+    let (rs, ds) = (reference.ctx.fault_stats(), run.ctx.fault_stats());
+    assert_eq!(rs.ok_runs, ds.ok_runs, "{label}: ok_runs");
+    assert_eq!(rs.crashes, ds.crashes, "{label}: crashes");
+    assert_eq!(rs.retries, ds.retries, "{label}: retries");
+    assert_eq!(
+        rs.compile_failures + rs.timeouts + rs.quarantined,
+        ds.compile_failures + ds.timeouts + ds.quarantined,
+        "{label}: fault attribution must conserve its sum: {rs:?} vs {ds:?}"
+    );
+    if zero_faults {
+        let (rc, dc) = (reference.ctx.cost(), run.ctx.cost());
+        assert_eq!(rc.runs, dc.runs, "{label}: runs");
+        assert_eq!(
+            rc.machine_seconds.to_bits(),
+            dc.machine_seconds.to_bits(),
+            "{label}: machine seconds must merge bit-exactly \
+             ({} vs {})",
+            rc.machine_seconds,
+            dc.machine_seconds
+        );
+    }
+}
+
+#[test]
+fn serial_is_byte_identical_to_1_2_and_8_workers() {
+    let arch = Architecture::broadwell();
+    let w = swim();
+    for (fname, faults) in fault_models() {
+        for (sname, mode) in schedules() {
+            let reference = tuner(&w, &arch, faults, mode).run();
+            for workers in [1usize, 2, 8] {
+                let label = format!("faults={fname} schedule={sname} workers={workers}");
+                let run = tuner(&w, &arch, faults, mode).workers(workers).run();
+                let plane = run.ctx.remote_plane().expect("plane attached");
+                assert_eq!(plane.workers(), workers, "{label}");
+                assert!(plane.batches() > 0, "{label}: no batch went remote");
+                assert_eq!(plane.kills(), 0, "{label}: no chaos configured");
+                assert!(
+                    plane.ledger_totals().runs > 0,
+                    "{label}: workers did no work"
+                );
+                assert_bytes_equal(&reference, &run, &label);
+                assert_ledger_balances(&run, &label);
+                assert_ledger_matches(&reference, &run, fname == "zero", &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn worker_killed_at_every_batch_boundary_resumes_byte_identically() {
+    let arch = Architecture::broadwell();
+    let w = swim();
+    for (fname, faults) in fault_models() {
+        for (sname, mode) in schedules() {
+            let reference = tuner(&w, &arch, faults, mode).run();
+            // Probe how many batches this campaign dispatches, then
+            // kill a worker at each boundary in turn.
+            let probe = tuner(&w, &arch, faults, mode).workers(2).run();
+            let probe_plane = probe.ctx.remote_plane().expect("plane");
+            let (batches, probe_spawns) = (probe_plane.batches(), probe_plane.spawns());
+            assert!(batches > 0, "campaign dispatched no batches");
+            for boundary in 0..batches {
+                let label = format!("faults={fname} schedule={sname} kill@batch{boundary}");
+                let run = tuner(&w, &arch, faults, mode)
+                    .workers(2)
+                    .worker_chaos(ChaosPolicy::KillOnce {
+                        boundary: boundary as usize,
+                    })
+                    .run();
+                let plane = run.ctx.remote_plane().expect("plane");
+                assert_eq!(plane.kills(), 1, "{label}: exactly one injected kill");
+                // The killed worker was respawned (a kill before its
+                // first spawn costs nothing; after, exactly one more).
+                assert!(
+                    plane.spawns() >= probe_spawns && plane.spawns() <= probe_spawns + 1,
+                    "{label}: spawns {} vs unkilled {probe_spawns}",
+                    plane.spawns()
+                );
+                assert_bytes_equal(&reference, &run, &label);
+                assert_ledger_balances(&run, &label);
+                assert_ledger_matches(&reference, &run, fname == "zero", &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_kill_storm_across_8_workers_converges_to_the_reference_bytes() {
+    let arch = Architecture::broadwell();
+    let w = swim();
+    for (fname, faults) in fault_models() {
+        let label = format!("faults={fname} storm");
+        let reference = tuner(&w, &arch, faults, ScheduleMode::Serial).run();
+        let run = tuner(&w, &arch, faults, ScheduleMode::Serial)
+            .workers(8)
+            .worker_chaos(ChaosPolicy::Seeded {
+                seed: 0xC0A5,
+                rate_percent: 60,
+                max_kills: 12,
+            })
+            .run();
+        let plane = run.ctx.remote_plane().expect("plane");
+        assert!(plane.kills() > 0, "{label}: the storm must actually kill");
+        assert_bytes_equal(&reference, &run, &label);
+        assert_ledger_balances(&run, &label);
+        assert_ledger_matches(&reference, &run, fname == "zero", &label);
+    }
+}
+
+#[test]
+fn wal_supervised_campaign_recovers_through_both_chaos_layers() {
+    // Supervisor chaos kills the whole coordinator between journal
+    // records (dropping the plane and every worker with it); plane
+    // chaos kills individual workers at batch boundaries. Recovery
+    // must compose: resume from the WAL, rebuild the plane, respawn
+    // workers — same bytes.
+    let arch = Architecture::broadwell();
+    let w = swim();
+    let faults = FaultModel::testbed(0xFA17);
+    let reference = tuner(&w, &arch, faults, ScheduleMode::Serial).run();
+    let path = ft_core::journal::temp_journal_path("remote-wal");
+    let supervised = Supervisor::new(&path, || {
+        tuner(&w, &arch, faults, ScheduleMode::Serial)
+            .workers(2)
+            .worker_chaos(ChaosPolicy::KillOnce { boundary: 1 })
+    })
+    .chaos(ChaosPolicy::KillOnce { boundary: 2 })
+    .run()
+    .expect("supervised distributed campaign must converge");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(supervised.report.kills, 1, "coordinator killed once");
+    assert_eq!(supervised.report.attempts, 2, "one recovery attempt");
+    assert_bytes_equal(&reference, &supervised.run, "wal+workers");
+    assert_ledger_balances(&supervised.run, "wal+workers");
+}

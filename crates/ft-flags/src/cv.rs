@@ -33,6 +33,22 @@ impl Cv {
         Cv { values }
     }
 
+    /// Builds a CV from raw value indices that may come from an
+    /// untrusted source (e.g. a decoded wire frame): returns `None`
+    /// instead of panicking when the length or any value index does
+    /// not fit `space`.
+    pub fn checked(space: &FlagSpace, values: Vec<u8>) -> Option<Self> {
+        if values.len() != space.len() {
+            return None;
+        }
+        for (i, v) in values.iter().enumerate() {
+            if (*v as usize) >= space.flag(i).arity() {
+                return None;
+            }
+        }
+        Some(Cv { values })
+    }
+
     /// The `-O3` baseline vector (every flag at its default value).
     pub fn baseline(space: &FlagSpace) -> Self {
         Cv {
@@ -146,6 +162,17 @@ mod tests {
         assert_eq!(cv2.get(id), 2);
         assert_eq!(cv2.hamming(&cv), 1);
         assert_eq!(cv2.active_flags(), 1);
+    }
+
+    #[test]
+    fn checked_refuses_what_new_panics_on() {
+        let sp = FlagSpace::icc();
+        assert!(Cv::checked(&sp, vec![0; sp.len()]).is_some());
+        assert!(Cv::checked(&sp, vec![0; sp.len() + 1]).is_none());
+        assert!(Cv::checked(&sp, vec![0; sp.len().saturating_sub(1)]).is_none());
+        let mut bad = vec![0u8; sp.len()];
+        bad[0] = 200; // beyond any flag's arity
+        assert!(Cv::checked(&sp, bad).is_none());
     }
 
     #[test]

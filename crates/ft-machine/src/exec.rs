@@ -385,6 +385,16 @@ pub fn try_execute(
 /// deterministic fault); only which counter the `+inf` is attributed
 /// to can shift, which is why equivalence checks compare results, not
 /// attribution.
+///
+/// The same caveat extends across *process* boundaries: each worker
+/// of a distributed evaluation plane owns its own quarantine, so a
+/// deterministic fault a single-process run discovers once (one
+/// `timeout`/`compile_failure`, then `quarantined` skips) may be
+/// rediscovered by several workers independently. Values stay
+/// byte-identical, `ok_runs`/`crashes`/`retries` stay exactly equal,
+/// and the sum `compile_failures + timeouts + quarantined` is
+/// conserved — only the split can move. The topology-equivalence
+/// suite pins exactly this contract.
 #[derive(Debug, Default)]
 pub struct FaultQuarantine {
     /// `(module, CV digest)` pairs whose compilation ICEs.

@@ -31,6 +31,7 @@ struct Args {
     checkpoint_dir: Option<String>,
     chaos_kill_seed: Option<u64>,
     chaos_kill_rate: u32,
+    workers: usize,
 }
 
 impl Args {
@@ -47,6 +48,7 @@ impl Args {
             checkpoint_dir: None,
             chaos_kill_seed: None,
             chaos_kill_rate: 25,
+            workers: 0,
         };
         let mut it = argv[1..].iter();
         while let Some(a) = it.next() {
@@ -89,6 +91,13 @@ impl Args {
                         .and_then(|s| s.parse().ok())
                         .filter(|r| *r <= 100)
                         .ok_or("--chaos-kill-rate needs a percentage 0..=100")?
+                }
+                "--workers" => {
+                    args.workers = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|w| *w >= 1)
+                        .ok_or("--workers needs a count >= 1")?
                 }
                 other if other.starts_with("--") => {
                     return Err(format!("unknown option {other}"));
@@ -145,6 +154,7 @@ fn main() {
         "collect" => cmd_collect(&args),
         "search" => cmd_search(&args),
         "supervise" => cmd_supervise(&args),
+        "worker" => cmd_worker(),
         other => Err(format!("unknown command {other}")),
     };
     if let Err(e) = result {
@@ -170,9 +180,11 @@ fn help() {
            optreport <bench> --loop L   O3-vs-CFR optimization reports\n\
            collect <bench> --out F      run the K-sample collection, checkpoint it\n\
            search <checkpoint.json>     re-run CFR from a saved collection\n\
-           supervise <bench>            crash-safe campaign under a WAL journal\n\n\
+           supervise <bench>            crash-safe campaign under a WAL journal\n\
+           worker                       evaluation worker (spawned by tune --workers)\n\n\
          options: --arch A  --k N  --x N  --seed S  --loop NAME  --out PATH\n\
-                  --checkpoint-dir DIR  --chaos-kill-seed S  --chaos-kill-rate PCT"
+                  --checkpoint-dir DIR  --chaos-kill-seed S  --chaos-kill-rate PCT\n\
+                  --workers N (shard tune evaluations across N worker processes)"
     );
 }
 
@@ -229,11 +241,27 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
         "tuning {} on {} with K = {}, X = {} (seed {})...",
         w.meta.name, arch.name, args.k, args.x, args.seed
     );
-    let run = Tuner::new(&w, &arch)
+    let mut tuner = Tuner::new(&w, &arch)
         .budget(args.k)
         .focus(args.x)
-        .seed(args.seed)
-        .run();
+        .seed(args.seed);
+    if args.workers > 0 {
+        let exe = std::env::current_exe().map_err(|e| format!("cannot locate ftune: {e}"))?;
+        println!(
+            "sharding evaluations across {} worker processes",
+            args.workers
+        );
+        tuner = tuner.process_workers(args.workers, exe);
+    }
+    let run = tuner.run();
+    if let Some(plane) = run.ctx.remote_plane() {
+        println!(
+            "distributed plane: {} workers, {} batches, {} spawns",
+            plane.workers(),
+            plane.batches(),
+            plane.spawns()
+        );
+    }
     println!("\n-O3 baseline: {:.2} s", run.baseline_time);
     println!("{:<14} {:>9} {:>8}", "algorithm", "time (s)", "speedup");
     for (name, t, s) in [
@@ -716,6 +744,77 @@ fn cmd_supervise(args: &Args) -> Result<(), String> {
         println!("{name:<14} {t:>9.3} {s:>7.3}x");
     }
     Ok(())
+}
+
+/// Resolves a hello-spec architecture string: accepts both the CLI
+/// aliases and the display names a coordinator stamps into the spec
+/// (`Architecture::broadwell().name == "Broadwell"`, etc.).
+fn arch_for_spec(name: &str) -> Result<Architecture, String> {
+    match name.to_lowercase().as_str() {
+        "opteron" | "amd" => Ok(Architecture::opteron()),
+        "sandybridge" | "sandy-bridge" | "sandy bridge" | "snb" => Ok(Architecture::sandy_bridge()),
+        "broadwell" | "bdw" => Ok(Architecture::broadwell()),
+        "skylake" | "skylake-512" | "skx" | "avx512" => Ok(Architecture::skylake_avx512()),
+        other => Err(format!("worker: unknown architecture {other}")),
+    }
+}
+
+/// Rebuilds the coordinator's evaluation context from a hello spec —
+/// the exact recipe `Tuner::run_campaign` uses, so the worker's
+/// digests, noise streams, and fault rolls are bit-identical.
+fn worker_context(spec: &funcytuner::tuning::remote::HelloSpec) -> Result<EvalContext, String> {
+    use funcytuner::flags::rng::derive_seed;
+    let w = workload_by_name(&spec.workload)
+        .ok_or_else(|| format!("worker: unknown benchmark {}", spec.workload))?;
+    let arch = arch_for_spec(&spec.arch)?;
+    let mut input = w.tuning_input(arch.name).clone();
+    input.steps = input
+        .steps
+        .min(u32::try_from(spec.steps_cap).unwrap_or(u32::MAX));
+    let raw_ir = w.instantiate(&input);
+    let compiler = Compiler::icc(arch.target);
+    let (outlined, _) = outline_with_defaults(
+        &raw_ir,
+        &compiler,
+        &arch,
+        input.steps,
+        derive_seed(spec.seed, "outline"),
+    );
+    let faults = funcytuner::compiler::FaultModel {
+        seed: spec.fault_seed,
+        compile_failure: spec.fault_compile,
+        crash: spec.fault_crash,
+        hang: spec.fault_hang,
+        outlier: spec.fault_outlier,
+        exempt_digest: None, // with_faults re-derives the baseline exemption
+    };
+    let resilience = funcytuner::tuning::ResilienceConfig {
+        max_retries: u32::try_from(spec.max_retries)
+            .map_err(|_| "worker: max_retries out of range".to_string())?,
+        timeout_factor: spec.timeout_factor,
+    };
+    Ok(EvalContext::new(
+        outlined.ir,
+        compiler,
+        arch,
+        input.steps,
+        derive_seed(spec.seed, "noise"),
+    )
+    .with_faults(faults)
+    .with_resilience(resilience))
+}
+
+/// The `ftune worker` loop: frames on stdin, frames on stdout, built
+/// for being spawned by `ftune tune --workers N` (or any coordinator
+/// speaking the `ft_core::remote` protocol). Prints nothing — stdout
+/// belongs to the protocol.
+fn cmd_worker() -> Result<(), String> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut rx = stdin.lock();
+    let mut tx = stdout.lock();
+    funcytuner::tuning::remote::serve(&mut rx, &mut tx, worker_context)
+        .map_err(|e| format!("worker: {e}"))
 }
 
 #[cfg(test)]
