@@ -1,0 +1,140 @@
+//! Multi-tenant daemon throughput: N campaigns served concurrently on
+//! one shared object store vs the same N campaigns run back-to-back
+//! serially.
+//!
+//! The daemon's claim is *tenancy equivalence at durability cost
+//! only*: interleaving tenants must not move a byte of any tenant's
+//! result, and the price of serving them is the WAL checkpoint
+//! cadence — every segment re-measures the baseline and re-freezes a
+//! checkpoint, which dominates at smoke budgets and amortizes as
+//! campaigns grow. The win the store counters price is dedup: the
+//! serial baseline recompiles every object per campaign, the daemon
+//! computes each distinct object once for the whole population. The
+//! bench gates on byte-identity (every tenant's digest vs its solo
+//! run) before timing anything, then times:
+//!
+//! * `serial/N` — N campaigns run one after another, each on a fresh
+//!   private store (the no-daemon baseline).
+//! * `server/N` — the same N campaigns as daemon tenants, 4 executor
+//!   threads, one shared store.
+//!
+//! at populations of 4 and 16 tenants. `FT_BENCH_SMOKE=1` drops the
+//! budget so CI can run the gate end to end; `results/server_bench.md`
+//! records a smoke-mode run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_core::{CampaignSpec, ObjectStore, ServerConfig, TenantOutcome, TuningServer};
+use std::sync::Arc;
+
+fn k() -> usize {
+    if std::env::var_os("FT_BENCH_SMOKE").is_some() {
+        30
+    } else {
+        120
+    }
+}
+
+/// Tenant population: distinct seeds over one workload, so the store
+/// dedups the shared baseline/collection work across tenants.
+fn population(n: usize) -> Vec<(String, CampaignSpec)> {
+    (0..n)
+        .map(|i| {
+            let mut s = CampaignSpec::new("swim", "broadwell");
+            s.budget = k();
+            s.focus = 8;
+            s.seed = 40 + (i as u64 % 4);
+            s.steps_cap = Some(4);
+            (format!("tenant-{i}"), s)
+        })
+        .collect()
+}
+
+fn solo_digest(spec: &CampaignSpec) -> u64 {
+    let w = ft_workloads::workload_by_name(&spec.workload).expect("workload");
+    let arch = ft_core::server::arch_by_name(&spec.arch).expect("arch");
+    spec.build_tuner(&w, &arch).run().canonical_digest()
+}
+
+/// Serves the population once; returns per-tenant digests plus the
+/// store-wide (computes, hits) dedup counters.
+fn serve(tenants: &[(String, CampaignSpec)], threads: usize) -> (Vec<(String, u64)>, (u64, u64)) {
+    let dir = ft_core::journal::temp_journal_path("bench-server");
+    let store = Arc::new(ObjectStore::new());
+    let mut server = TuningServer::new(
+        ServerConfig::new(&dir)
+            .threads(threads)
+            .max_in_flight(tenants.len().max(1))
+            .shared_store(store.clone()),
+    )
+    .expect("server dir");
+    for (name, spec) in tenants {
+        server
+            .submit(name.clone(), spec.clone())
+            .expect("admission");
+    }
+    let report = server.run();
+    let _ = std::fs::remove_dir_all(&dir);
+    let stats = store.object_stats();
+    let digests = report
+        .tenants
+        .into_iter()
+        .map(|t| match t.outcome {
+            TenantOutcome::Done { digest, .. } => (t.name, digest),
+            other => panic!("tenant {} did not finish: {other:?}", t.name),
+        })
+        .collect();
+    (digests, (stats.computes, stats.hits))
+}
+
+fn server_throughput(c: &mut Criterion) {
+    // Gate: the daemon must not move any tenant's bytes.
+    let gate = population(4);
+    let (served, _) = serve(&gate, 4);
+    for ((name, spec), (sname, digest)) in gate.iter().zip(&served) {
+        assert_eq!(name, sname);
+        assert_eq!(
+            solo_digest(spec),
+            *digest,
+            "tenant {name}: daemon moved the campaign's bytes — not benchmarking a lie"
+        );
+    }
+
+    let mut group = c.benchmark_group("server_throughput");
+    group.sample_size(10);
+    for n in [4usize, 16] {
+        let tenants = population(n);
+        // Price the dedup: distinct objects the daemon computed for
+        // the whole population vs what N private stores recompute.
+        let serial_computes: u64 = tenants
+            .iter()
+            .map(|(_, spec)| {
+                let w = ft_workloads::workload_by_name(&spec.workload).expect("workload");
+                let arch = ft_core::server::arch_by_name(&spec.arch).expect("arch");
+                spec.build_tuner(&w, &arch).run().ctx.cost().object_compiles
+            })
+            .sum();
+        let (_, (server_computes, server_hits)) = serve(&tenants, 4);
+        println!(
+            "[server-throughput] {n} tenants: serial compiles {serial_computes} objects, \
+             daemon computes {server_computes} ({server_hits} store hits) — \
+             {:.1}x compile dedup",
+            serial_computes as f64 / server_computes.max(1) as f64
+        );
+
+        group.bench_function(format!("serial/{n}"), |b| {
+            b.iter(|| {
+                tenants
+                    .iter()
+                    .map(|(_, spec)| solo_digest(std::hint::black_box(spec)))
+                    .collect::<Vec<_>>()
+            })
+        });
+        group.bench_function(format!("server/{n}"), |b| {
+            b.iter(|| serve(std::hint::black_box(&tenants), 4))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, server_throughput);
+criterion_main!(benches);

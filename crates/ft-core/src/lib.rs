@@ -45,6 +45,7 @@ pub mod pipeline;
 pub mod remote;
 pub mod result;
 pub mod search;
+pub mod server;
 pub mod stability;
 pub mod stats;
 pub mod store;
@@ -62,7 +63,9 @@ pub use ctx::{CacheStats, EvalContext, FaultStats, ResilienceConfig};
 pub use extensions::{cfr_adaptive, cfr_iterative, cfr_iterative_recollect};
 pub use importance::{flag_importance, FlagImportance};
 pub use journal::{Journal, JournalError, Recovery, Tail};
-pub use pipeline::{Phase, PhaseSpan, ScheduleMode, ScheduleReport, Tuner, TuningRun};
+pub use pipeline::{
+    PausedCampaign, Phase, PhaseSpan, ScheduleMode, ScheduleReport, Tuner, TuningRun,
+};
 pub use remote::{
     BatchReply, FrameError, HelloSpec, InProcessTransport, LedgerDelta, Message, ProcessTransport,
     RemoteError, RemotePlane, Transport, WireError, WorkBatch, WorkItem, Worker, WorkerFactory,
@@ -71,6 +74,10 @@ pub use result::TuningResult;
 pub use search::{
     argmin_finite, evaluate_proposals, strictly_better, Candidate, CollectionRequest, EvalMode,
     History, Observation, Proposal, SearchDriver, SearchStrategy,
+};
+pub use server::{
+    arch_by_name, AdmissionError, CampaignSpec, ProgressEvent, ServerConfig, ServerReport,
+    TenantOutcome, TenantReport, TuningServer, SPEC_VERSION,
 };
 pub use stability::{measure_repeated, speedup_with_stats, MeasurementStats};
 pub use store::ObjectStore;

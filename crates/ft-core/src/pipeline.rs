@@ -34,7 +34,7 @@ use crate::breaker::BreakerConfig;
 use crate::checkpoint::{CampaignCheckpoint, CheckpointError, CHECKPOINT_VERSION};
 use crate::collection::{collect, CollectionData};
 use crate::cost::TuningCost;
-use crate::ctx::{EvalContext, ResilienceConfig};
+use crate::ctx::{EvalContext, FaultStats, ResilienceConfig};
 use crate::remote::{
     HelloSpec, InProcessTransport, ProcessTransport, RemotePlane, Transport, WorkerFactory,
 };
@@ -457,8 +457,17 @@ impl<'a> Tuner<'a> {
     /// schedule: their results are simply absent and recompute on
     /// resume.
     pub fn run_until_phases(self, stop_after: &[Phase]) -> CampaignCheckpoint {
+        self.run_until_phases_costed(stop_after).checkpoint
+    }
+
+    /// [`Tuner::run_until_phases`] plus the ledger: returns the
+    /// checkpoint together with the exact [`TuningCost`] and
+    /// [`FaultStats`] this call charged. The multi-tenant server uses
+    /// this to bill each tenant segment by segment — the plain variant
+    /// discards the ledger with the evaluation context.
+    pub fn run_until_phases_costed(self, stop_after: &[Phase]) -> PausedCampaign {
         match self.run_campaign(None, Some(stop_after)) {
-            Ok(CampaignOutcome::Paused(cp)) => *cp,
+            Ok(CampaignOutcome::Paused(paused)) => *paused,
             Ok(CampaignOutcome::Finished(_)) => unreachable!("stop phase requested"),
             Err(e) => unreachable!("no checkpoint to mismatch: {e}"),
         }
@@ -492,8 +501,20 @@ impl<'a> Tuner<'a> {
         checkpoint: CampaignCheckpoint,
         stop_after: &[Phase],
     ) -> Result<CampaignCheckpoint, CheckpointError> {
+        Ok(self
+            .resume_until_phases_costed(checkpoint, stop_after)?
+            .checkpoint)
+    }
+
+    /// [`Tuner::resume_until_phases`] plus the ledger charged by this
+    /// segment alone (see [`Tuner::run_until_phases_costed`]).
+    pub fn resume_until_phases_costed(
+        self,
+        checkpoint: CampaignCheckpoint,
+        stop_after: &[Phase],
+    ) -> Result<PausedCampaign, CheckpointError> {
         match self.run_campaign(Some(checkpoint), Some(stop_after))? {
-            CampaignOutcome::Paused(cp) => Ok(*cp),
+            CampaignOutcome::Paused(paused) => Ok(*paused),
             CampaignOutcome::Finished(_) => unreachable!("stop phase requested"),
         }
     }
@@ -836,7 +857,11 @@ impl<'a> Tuner<'a> {
                 completed: Vec::new(),
             };
             cp.completed = cp.completed_labels();
-            return Ok(CampaignOutcome::Paused(Box::new(cp)));
+            return Ok(CampaignOutcome::Paused(Box::new(PausedCampaign {
+                checkpoint: cp,
+                cost: ctx.cost(),
+                faults: ctx.fault_stats(),
+            })));
         }
 
         Ok(CampaignOutcome::Finished(Box::new(TuningRun {
@@ -894,7 +919,21 @@ enum CampaignOutcome {
     /// All phases ran (or were restored); the complete run.
     Finished(Box<TuningRun>),
     /// Stopped at the requested phase boundary.
-    Paused(Box<CampaignCheckpoint>),
+    Paused(Box<PausedCampaign>),
+}
+
+/// A campaign frozen at a phase boundary, with the ledger the pausing
+/// call charged. `cost`/`faults` cover *this call only* (including the
+/// re-measured baseline), not the campaign's cumulative history — a
+/// caller driving a campaign segment by segment sums them.
+#[derive(Debug, Clone)]
+pub struct PausedCampaign {
+    /// The resumable campaign state.
+    pub checkpoint: CampaignCheckpoint,
+    /// The cost ledger charged by the pausing call.
+    pub cost: TuningCost,
+    /// The fault attribution of the pausing call.
+    pub faults: FaultStats,
 }
 
 /// Everything produced by one tuning run.

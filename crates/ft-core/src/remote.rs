@@ -119,6 +119,16 @@ pub enum WireError {
         /// Count of unconsumed bytes.
         extra: usize,
     },
+    /// The peer speaks a different protocol revision. A dedicated
+    /// variant (not [`WireError::BadValue`]) so a worker can exit with
+    /// a clean, typed handshake failure instead of a generic decode
+    /// error — and so version skew is distinguishable from corruption.
+    Version {
+        /// The version the peer announced.
+        found: u64,
+        /// The version this build speaks.
+        supported: u64,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -128,6 +138,10 @@ impl std::fmt::Display for WireError {
             WireError::UnknownKind(k) => write!(f, "unknown message kind {k}"),
             WireError::BadValue(what) => write!(f, "invalid field: {what}"),
             WireError::Trailing { extra } => write!(f, "{extra} trailing bytes after message"),
+            WireError::Version { found, supported } => write!(
+                f,
+                "protocol version mismatch: peer speaks {found}, supported {supported}"
+            ),
         }
     }
 }
@@ -558,7 +572,10 @@ pub fn decode_message(buf: &[u8]) -> Result<Message, WireError> {
         MSG_HELLO => {
             let version = take_u64(buf, &mut pos)?;
             if version != PROTOCOL_VERSION {
-                return Err(WireError::BadValue("protocol version"));
+                return Err(WireError::Version {
+                    found: version,
+                    supported: PROTOCOL_VERSION,
+                });
             }
             let workload = std::str::from_utf8(take_bytes(buf, &mut pos)?)
                 .map_err(|_| WireError::BadValue("workload name not UTF-8"))?
@@ -1319,6 +1336,23 @@ mod tests {
                 Err(e) => panic!("cut at {cut}: unexpected error {e}"),
             }
         }
+    }
+
+    #[test]
+    fn hello_version_skew_is_a_typed_version_error() {
+        // A hello from a peer one protocol revision ahead: the version
+        // check fires before any other field is read, so a 16-byte
+        // payload suffices.
+        let mut payload = Vec::new();
+        crate::canonical::write_u64(&mut payload, MSG_HELLO);
+        crate::canonical::write_u64(&mut payload, PROTOCOL_VERSION + 1);
+        assert_eq!(
+            decode_message(&payload),
+            Err(WireError::Version {
+                found: PROTOCOL_VERSION + 1,
+                supported: PROTOCOL_VERSION,
+            })
+        );
     }
 
     #[test]

@@ -75,7 +75,9 @@ pub struct CampaignRecord {
 }
 
 impl CampaignRecord {
-    fn checkpoint(cp: CampaignCheckpoint, attempt: u32) -> CampaignRecord {
+    /// A mid-campaign checkpoint record (the WAL schema shared by
+    /// `ftune supervise` and the multi-tenant server).
+    pub fn checkpoint(cp: CampaignCheckpoint, attempt: u32) -> CampaignRecord {
         CampaignRecord {
             kind: RECORD_CHECKPOINT.to_string(),
             checkpoint: Some(cp),
@@ -85,7 +87,9 @@ impl CampaignRecord {
         }
     }
 
-    fn done(cp: CampaignCheckpoint, digest: u64, attempt: u32) -> CampaignRecord {
+    /// A terminal success record carrying the final checkpoint and the
+    /// campaign's canonical digest.
+    pub fn done(cp: CampaignCheckpoint, digest: u64, attempt: u32) -> CampaignRecord {
         CampaignRecord {
             kind: RECORD_DONE.to_string(),
             checkpoint: Some(cp),
@@ -95,7 +99,9 @@ impl CampaignRecord {
         }
     }
 
-    fn poisoned(diagnostic: String, attempt: u32) -> CampaignRecord {
+    /// A terminal poison record: the campaign is quarantined with a
+    /// durable diagnostic and must be refused on every future attempt.
+    pub fn poisoned(diagnostic: String, attempt: u32) -> CampaignRecord {
         CampaignRecord {
             kind: RECORD_POISONED.to_string(),
             checkpoint: None,
@@ -364,7 +370,7 @@ pub fn default_segments() -> Vec<Vec<Phase>> {
 }
 
 /// Phases a segment target implies, including dependency closure.
-fn segment_phases(targets: &[Phase]) -> Vec<Phase> {
+pub fn segment_phases(targets: &[Phase]) -> Vec<Phase> {
     let mut need: Vec<Phase> = Vec::new();
     for t in targets {
         for p in t.requires().into_iter().chain([*t]) {
@@ -377,8 +383,9 @@ fn segment_phases(targets: &[Phase]) -> Vec<Phase> {
 }
 
 /// Whether a checkpoint already covers a segment (every implied phase
-/// completed).
-fn segment_done(cp: &CampaignCheckpoint, targets: &[Phase]) -> bool {
+/// completed). Shared by the supervisor's attempt loop and the
+/// multi-tenant server's per-tenant segment cursor.
+pub fn segment_done(cp: &CampaignCheckpoint, targets: &[Phase]) -> bool {
     let done = cp.completed_phases();
     segment_phases(targets).iter().all(|p| done.contains(p))
 }

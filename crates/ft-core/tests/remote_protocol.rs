@@ -164,7 +164,8 @@ proptest! {
         let pcut = cut.min(payload.len().saturating_sub(1));
         match decode_message(&payload[..pcut]) {
             Err(WireError::Truncated { .. } | WireError::BadValue(_)
-                | WireError::UnknownKind(_) | WireError::Trailing { .. }) => {}
+                | WireError::UnknownKind(_) | WireError::Trailing { .. }
+                | WireError::Version { .. }) => {}
             Ok(m) => {
                 // A prefix that still decodes must be the empty-tail
                 // case: the whole message fit before the cut. Since we
@@ -427,6 +428,10 @@ fn frame_error_and_wire_error_display_are_stable() {
         WireError::UnknownKind(42),
         WireError::BadValue("x"),
         WireError::Trailing { extra: 9 },
+        WireError::Version {
+            found: 2,
+            supported: 1,
+        },
     ] {
         assert!(!e.to_string().is_empty());
     }

@@ -1,0 +1,207 @@
+//! Chaos drills for the tuning daemon: the service must survive being
+//! killed at arbitrary WAL-append boundaries, refuse what it must
+//! refuse with *typed* errors, and never panic.
+//!
+//! 1. A seeded kill storm: restart the daemon generation after
+//!    generation under `ChaosPolicy::Seeded` until every tenant
+//!    settles; each life resumes all tenants from their journals, and
+//!    every finished campaign is byte-equal to its solo run.
+//! 2. A poisoned tenant WAL is refused at admission with its durable
+//!    diagnostic — and stays refused after a daemon restart.
+//! 3. Admission overflow past `max_in_flight + queue_capacity` is a
+//!    typed `QueueFull`; queued tenants are promoted as slots free and
+//!    still finish byte-identically.
+
+use ft_compiler::FaultModel;
+use ft_core::supervisor::CampaignRecord;
+use ft_core::{
+    AdmissionError, CampaignSpec, ChaosPolicy, Journal, ObjectStore, ProgressEvent, ServerConfig,
+    TenantOutcome, TuningRun, TuningServer,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn spec(seed: u64, budget: usize) -> CampaignSpec {
+    let mut s = CampaignSpec::new("swim", "broadwell");
+    s.budget = budget;
+    s.focus = 8;
+    s.seed = seed;
+    s.steps_cap = Some(5);
+    s.with_fault_model(FaultModel::testbed(0xFA17))
+}
+
+fn solo(spec: &CampaignSpec) -> TuningRun {
+    let workload = ft_workloads::workload_by_name(&spec.workload).expect("workload in suite");
+    let arch = ft_core::server::arch_by_name(&spec.arch).expect("known arch");
+    spec.build_tuner(&workload, &arch).run()
+}
+
+fn temp_dir(label: &str) -> PathBuf {
+    ft_core::journal::temp_journal_path(label)
+}
+
+#[test]
+fn a_seeded_kill_storm_across_daemon_lives_converges_to_solo_bytes() {
+    let tenants = [
+        ("storm-a", spec(42, 60)),
+        ("storm-b", spec(99, 40)),
+        ("storm-c", spec(7, 60)),
+    ];
+    let solos: Vec<TuningRun> = tenants.iter().map(|(_, s)| solo(s)).collect();
+    let dir = temp_dir("server-kill-storm");
+    let store = Arc::new(ObjectStore::new());
+
+    let mut kills = 0u32;
+    let mut resumes = 0usize;
+    let mut generation = 1u32;
+    let final_report = loop {
+        assert!(
+            generation <= 40,
+            "storm did not converge within 40 daemon lives"
+        );
+        let mut server = TuningServer::new(
+            ServerConfig::new(&dir)
+                .threads(4)
+                .generation(generation)
+                .chaos(ChaosPolicy::Seeded {
+                    seed: 0xD00D,
+                    rate_percent: 40,
+                    max_kills: 3,
+                })
+                .shared_store(store.clone()),
+        )
+        .expect("server dir");
+        for (name, spec) in &tenants {
+            server.submit(*name, spec.clone()).expect("admission");
+        }
+        let report = server.run();
+        kills += report.kills;
+        resumes += report
+            .tenants
+            .iter()
+            .filter(|t| {
+                t.events
+                    .iter()
+                    .any(|e| matches!(e, ProgressEvent::Resumed { records } if *records > 0))
+            })
+            .count();
+        for t in &report.tenants {
+            // A life may end in Killed, but never in quarantine: a
+            // daemon death must not corrupt any tenant's journal.
+            assert!(
+                !matches!(t.outcome, TenantOutcome::Poisoned { .. }),
+                "tenant {} poisoned by chaos: {:?}",
+                t.name,
+                t.outcome
+            );
+            assert_eq!(
+                t.cost.runs,
+                t.faults.charged_runs(),
+                "tenant {} ledger out of balance under chaos",
+                t.name
+            );
+        }
+        if report.all_settled() {
+            break report;
+        }
+        generation += 1;
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert!(kills > 0, "the storm must actually kill the daemon");
+    assert!(
+        resumes > 0,
+        "later lives must resume journaled progress, not restart from scratch"
+    );
+    for ((name, _), reference) in tenants.iter().zip(&solos) {
+        let t = final_report.tenant(name).expect("tenant reported");
+        match &t.outcome {
+            TenantOutcome::Done { run, .. } => {
+                assert_eq!(
+                    reference.canonical_bytes(),
+                    run.canonical_bytes(),
+                    "tenant {name}: bytes diverged after {generation} daemon lives"
+                );
+            }
+            other => panic!("tenant {name}: expected Done, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn a_poisoned_wal_is_refused_with_its_diagnostic_and_stays_refused() {
+    let dir = temp_dir("server-poisoned");
+    std::fs::create_dir_all(&dir).expect("dir");
+    let wal = dir.join("tenant-cursed.wal");
+    let mut journal = Journal::create(&wal).expect("journal");
+    let record = CampaignRecord::poisoned("synthetic corruption for the drill".to_string(), 1);
+    journal
+        .append(&record.to_bytes().expect("encodes"))
+        .expect("append");
+    drop(journal);
+
+    for life in 1..=2u32 {
+        let mut server = TuningServer::new(ServerConfig::new(&dir).generation(life)).expect("dir");
+        match server.submit("cursed", spec(42, 60)) {
+            Err(AdmissionError::Poisoned { tenant, diagnostic }) => {
+                assert_eq!(tenant, "cursed");
+                assert!(
+                    diagnostic.contains("synthetic corruption"),
+                    "life {life}: diagnostic lost: {diagnostic:?}"
+                );
+            }
+            other => panic!("life {life}: expected typed Poisoned refusal, got {other:?}"),
+        }
+        // A healthy sibling is unaffected by the quarantined WAL.
+        server.submit("healthy", spec(7, 40)).expect("admission");
+        let report = server.run();
+        assert!(matches!(
+            report.tenant("healthy").expect("reported").outcome,
+            TenantOutcome::Done { .. }
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn admission_overflow_is_a_typed_queue_full_and_queued_tenants_still_finish() {
+    let dir = temp_dir("server-admission-queue");
+    let mut server = TuningServer::new(
+        ServerConfig::new(&dir)
+            .threads(2)
+            .max_in_flight(1)
+            .queue_capacity(1),
+    )
+    .expect("dir");
+    let first = spec(42, 60);
+    let second = spec(99, 40);
+    let solos = [solo(&first), solo(&second)];
+    server.submit("q-first", first).expect("in-flight slot");
+    server.submit("q-second", second).expect("queue slot");
+    match server.submit("q-third", spec(7, 60)) {
+        Err(AdmissionError::QueueFull { capacity }) => assert_eq!(capacity, 1),
+        other => panic!("expected typed QueueFull, got {other:?}"),
+    }
+
+    let report = server.run();
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(report.tenants.len(), 2, "the rejected tenant never ran");
+    for (name, reference) in ["q-first", "q-second"].iter().zip(&solos) {
+        let t = report.tenant(name).expect("tenant reported");
+        match &t.outcome {
+            TenantOutcome::Done { run, .. } => assert_eq!(
+                reference.canonical_bytes(),
+                run.canonical_bytes(),
+                "tenant {name}: bytes diverged through the admission queue"
+            ),
+            other => panic!("tenant {name}: expected Done, got {other:?}"),
+        }
+    }
+    let waited = report.tenant("q-second").expect("reported");
+    assert!(
+        waited.events.contains(&ProgressEvent::Enqueued)
+            && waited.events.contains(&ProgressEvent::Promoted),
+        "queued tenant must record Enqueued then Promoted: {:?}",
+        waited.events
+    );
+}

@@ -32,6 +32,14 @@ struct Args {
     chaos_kill_seed: Option<u64>,
     chaos_kill_rate: u32,
     workers: usize,
+    tenant: Option<String>,
+    spool: Option<String>,
+    threads: usize,
+    max_in_flight: usize,
+    queue: usize,
+    run_cap: Option<u64>,
+    steps: Option<u32>,
+    fault_seed: Option<u64>,
 }
 
 impl Args {
@@ -49,6 +57,14 @@ impl Args {
             chaos_kill_seed: None,
             chaos_kill_rate: 25,
             workers: 0,
+            tenant: None,
+            spool: None,
+            threads: 4,
+            max_in_flight: 8,
+            queue: 16,
+            run_cap: None,
+            steps: None,
+            fault_seed: None,
         };
         let mut it = argv[1..].iter();
         while let Some(a) = it.next() {
@@ -99,6 +115,50 @@ impl Args {
                         .filter(|w| *w >= 1)
                         .ok_or("--workers needs a count >= 1")?
                 }
+                "--tenant" => args.tenant = Some(it.next().ok_or("--tenant needs a name")?.clone()),
+                "--spool" => args.spool = Some(it.next().ok_or("--spool needs a path")?.clone()),
+                "--threads" => {
+                    args.threads = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|t| *t >= 1)
+                        .ok_or("--threads needs a count >= 1")?
+                }
+                "--max-in-flight" => {
+                    args.max_in_flight = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|n| *n >= 1)
+                        .ok_or("--max-in-flight needs a count >= 1")?
+                }
+                "--queue" => {
+                    args.queue = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--queue needs a count")?
+                }
+                "--run-cap" => {
+                    args.run_cap = Some(
+                        it.next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or("--run-cap needs a number")?,
+                    )
+                }
+                "--steps" => {
+                    args.steps = Some(
+                        it.next()
+                            .and_then(|s| s.parse().ok())
+                            .filter(|s| *s >= 1)
+                            .ok_or("--steps needs a count >= 1")?,
+                    )
+                }
+                "--fault-seed" => {
+                    args.fault_seed = Some(
+                        it.next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or("--fault-seed needs a number")?,
+                    )
+                }
                 other if other.starts_with("--") => {
                     return Err(format!("unknown option {other}"));
                 }
@@ -109,15 +169,12 @@ impl Args {
     }
 
     fn architecture(&self) -> Result<Architecture, String> {
-        match self.arch.to_lowercase().as_str() {
-            "opteron" | "amd" => Ok(Architecture::opteron()),
-            "sandybridge" | "sandy-bridge" | "snb" => Ok(Architecture::sandy_bridge()),
-            "broadwell" | "bdw" => Ok(Architecture::broadwell()),
-            "skylake" | "skx" | "avx512" => Ok(Architecture::skylake_avx512()),
-            other => Err(format!(
-                "unknown architecture {other} (opteron|sandybridge|broadwell|skylake)"
-            )),
-        }
+        funcytuner::tuning::server::arch_by_name(&self.arch).ok_or_else(|| {
+            format!(
+                "unknown architecture {} (opteron|sandybridge|broadwell|skylake)",
+                self.arch
+            )
+        })
     }
 
     fn workload(&self) -> Result<Workload, String> {
@@ -154,6 +211,8 @@ fn main() {
         "collect" => cmd_collect(&args),
         "search" => cmd_search(&args),
         "supervise" => cmd_supervise(&args),
+        "submit" => cmd_submit(&args),
+        "serve" => cmd_serve(&args),
         "worker" => cmd_worker(),
         other => Err(format!("unknown command {other}")),
     };
@@ -181,10 +240,14 @@ fn help() {
            collect <bench> --out F      run the K-sample collection, checkpoint it\n\
            search <checkpoint.json>     re-run CFR from a saved collection\n\
            supervise <bench>            crash-safe campaign under a WAL journal\n\
+           submit <bench>               spool a campaign for the daemon (--tenant, --spool)\n\
+           serve                        run every spooled campaign as a multi-tenant daemon\n\
            worker                       evaluation worker (spawned by tune --workers)\n\n\
          options: --arch A  --k N  --x N  --seed S  --loop NAME  --out PATH\n\
                   --checkpoint-dir DIR  --chaos-kill-seed S  --chaos-kill-rate PCT\n\
-                  --workers N (shard tune evaluations across N worker processes)"
+                  --workers N (shard tune evaluations across N worker processes)\n\
+                  --tenant NAME  --spool DIR  --steps N  --run-cap N  --fault-seed S\n\
+                  --threads N  --max-in-flight N  --queue N (serve admission bounds)"
     );
 }
 
@@ -746,17 +809,137 @@ fn cmd_supervise(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `ftune submit <bench> --tenant NAME --spool DIR [...]`: encode a
+/// campaign spec in the canonical wire format and spool it for a
+/// later `ftune serve`. The client half of the campaign service.
+fn cmd_submit(args: &Args) -> Result<(), String> {
+    use funcytuner::tuning::CampaignSpec;
+    let tenant = args.tenant.as_ref().ok_or("submit needs --tenant NAME")?;
+    let spool = args.spool.as_ref().ok_or("submit needs --spool DIR")?;
+    let bench = args.bench.as_ref().ok_or("missing benchmark name")?;
+    // Resolve both names now so a typo fails at submission, not at
+    // the daemon's admission check hours later.
+    args.workload()?;
+    args.architecture()?;
+    let mut spec = CampaignSpec::new(bench.clone(), args.arch.clone());
+    spec.budget = args.k;
+    spec.focus = args.x;
+    spec.seed = args.seed;
+    spec.steps_cap = args.steps;
+    spec.run_cap = args.run_cap;
+    if let Some(seed) = args.fault_seed {
+        spec = spec.with_fault_model(funcytuner::compiler::FaultModel::testbed(seed));
+    }
+    std::fs::create_dir_all(spool).map_err(|e| format!("create {spool}: {e}"))?;
+    let path = std::path::Path::new(spool).join(format!("{tenant}.campaign"));
+    std::fs::write(&path, spec.encode()).map_err(|e| format!("write {}: {e}", path.display()))?;
+    println!(
+        "campaign spooled: tenant {tenant} -> {}\n  {} on {} (K = {}, X = {}, seed {}{})",
+        path.display(),
+        bench,
+        args.arch,
+        args.k,
+        args.x,
+        args.seed,
+        match args.run_cap {
+            Some(cap) => format!(", run cap {cap}"),
+            None => String::new(),
+        }
+    );
+    println!("run it with: ftune serve --spool {spool}");
+    Ok(())
+}
+
+/// `ftune serve --spool DIR`: run every spooled campaign as a tenant
+/// of one daemon life — shared dedup store, per-tenant WAL journals,
+/// bounded admission. Re-running resumes unfinished tenants.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use funcytuner::tuning::{CampaignSpec, ServerConfig, TenantOutcome, TuningServer};
+    let spool = args.spool.as_ref().ok_or("serve needs --spool DIR")?;
+    let dir = args
+        .checkpoint_dir
+        .clone()
+        .unwrap_or_else(|| format!("{spool}/checkpoints"));
+    let mut submissions: Vec<std::path::PathBuf> = std::fs::read_dir(spool)
+        .map_err(|e| format!("read {spool}: {e}"))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "campaign"))
+        .collect();
+    submissions.sort();
+    if submissions.is_empty() {
+        return Err(format!(
+            "no .campaign files in {spool}; spool one with `ftune submit`"
+        ));
+    }
+    let mut server = TuningServer::new(
+        ServerConfig::new(&dir)
+            .threads(args.threads)
+            .max_in_flight(args.max_in_flight)
+            .queue_capacity(args.queue),
+    )
+    .map_err(|e| format!("create {dir}: {e}"))?
+    .on_event(std::sync::Arc::new(|tenant, event| {
+        println!("  [{tenant}] {event:?}");
+    }));
+    let mut admitted = 0usize;
+    for path in &submissions {
+        let tenant = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("tenant")
+            .to_string();
+        match std::fs::read(path)
+            .map_err(|e| format!("{e}"))
+            .and_then(|bytes| CampaignSpec::decode(&bytes).map_err(|e| format!("{e}")))
+        {
+            Err(e) => println!("  [{tenant}] rejected: {e}"),
+            Ok(spec) => match server.submit(&tenant, spec) {
+                Ok(()) => admitted += 1,
+                Err(e) => println!("  [{tenant}] rejected: {e}"),
+            },
+        }
+    }
+    println!(
+        "serving {admitted} campaign(s) on {} executor thread(s), journals in {dir}",
+        args.threads
+    );
+    let report = server.run();
+    println!("\ndaemon life {} finished:", report.generation);
+    for t in &report.tenants {
+        match &t.outcome {
+            TenantOutcome::Done { run, digest } => println!(
+                "  {:<16} done: CFR {:.3}x, digest {digest:016x}, {} runs charged, \
+                 store {} hits / {} computes",
+                t.name,
+                run.cfr.speedup(),
+                t.charged_runs,
+                t.object_hits,
+                t.object_misses
+            ),
+            TenantOutcome::BudgetExhausted { .. } => println!(
+                "  {:<16} budget exhausted after {} charged runs \
+                 (resubmit with a higher --run-cap to continue)",
+                t.name, t.charged_runs
+            ),
+            TenantOutcome::Poisoned { diagnostic } => {
+                println!("  {:<16} poisoned: {diagnostic}", t.name)
+            }
+            TenantOutcome::Killed => println!(
+                "  {:<16} interrupted (re-run `ftune serve` to resume from its journal)",
+                t.name
+            ),
+        }
+    }
+    Ok(())
+}
+
 /// Resolves a hello-spec architecture string: accepts both the CLI
 /// aliases and the display names a coordinator stamps into the spec
 /// (`Architecture::broadwell().name == "Broadwell"`, etc.).
 fn arch_for_spec(name: &str) -> Result<Architecture, String> {
-    match name.to_lowercase().as_str() {
-        "opteron" | "amd" => Ok(Architecture::opteron()),
-        "sandybridge" | "sandy-bridge" | "sandy bridge" | "snb" => Ok(Architecture::sandy_bridge()),
-        "broadwell" | "bdw" => Ok(Architecture::broadwell()),
-        "skylake" | "skylake-512" | "skx" | "avx512" => Ok(Architecture::skylake_avx512()),
-        other => Err(format!("worker: unknown architecture {other}")),
-    }
+    funcytuner::tuning::server::arch_by_name(name)
+        .ok_or_else(|| format!("worker: unknown architecture {name}"))
 }
 
 /// Rebuilds the coordinator's evaluation context from a hello spec —
@@ -884,6 +1067,33 @@ mod tests {
         assert_eq!(a.chaos_kill_rate, 40);
         assert!(Args::parse(&argv("supervise swim --chaos-kill-rate 101")).is_err());
         assert!(Args::parse(&argv("supervise swim --chaos-kill-seed nope")).is_err());
+    }
+
+    #[test]
+    fn parse_submit_and_serve_options() {
+        let a = Args::parse(&argv(
+            "submit swim --tenant team-a --spool spool --run-cap 500 --steps 4 --fault-seed 7",
+        ))
+        .unwrap();
+        assert_eq!(a.command, "submit");
+        assert_eq!(a.tenant.as_deref(), Some("team-a"));
+        assert_eq!(a.spool.as_deref(), Some("spool"));
+        assert_eq!(a.run_cap, Some(500));
+        assert_eq!(a.steps, Some(4));
+        assert_eq!(a.fault_seed, Some(7));
+
+        let a = Args::parse(&argv(
+            "serve --spool spool --threads 8 --max-in-flight 2 --queue 3",
+        ))
+        .unwrap();
+        assert_eq!(a.command, "serve");
+        assert_eq!(a.threads, 8);
+        assert_eq!(a.max_in_flight, 2);
+        assert_eq!(a.queue, 3);
+
+        assert!(Args::parse(&argv("serve --threads 0")).is_err());
+        assert!(Args::parse(&argv("submit swim --run-cap nope")).is_err());
+        assert!(Args::parse(&argv("submit swim --steps 0")).is_err());
     }
 
     #[test]

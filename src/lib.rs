@@ -73,6 +73,7 @@ pub mod prelude {
     pub use ft_core::{
         cfr, cfr_adaptive, cfr_iterative, collect, fr_search, greedy, random_search,
     };
+    pub use ft_core::{AdmissionError, CampaignSpec, ServerConfig, TenantOutcome, TuningServer};
     pub use ft_core::{
         BreakerConfig, ChaosPolicy, CircuitBreaker, Journal, Supervisor, SupervisorConfig,
         SupervisorError, SupervisorReport,

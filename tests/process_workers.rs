@@ -160,6 +160,57 @@ fn a_worker_child_refuses_an_unknown_workload() {
 }
 
 #[test]
+fn a_worker_child_exits_cleanly_on_a_protocol_version_mismatch() {
+    use funcytuner::tuning::canonical::write_u64;
+    use funcytuner::tuning::remote::PROTOCOL_VERSION;
+    use std::io::Write;
+
+    // Hand-craft a hello frame from a future protocol revision (the
+    // version word is checked before any other hello field, so the
+    // truncated spec never matters).
+    let mut payload = Vec::new();
+    write_u64(&mut payload, 1); // MSG_HELLO
+    write_u64(&mut payload, PROTOCOL_VERSION + 1);
+    let frame = encode_frame(&payload);
+
+    let mut child = Command::new(ftune())
+        .arg("worker")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("worker spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(&frame)
+        .expect("frame written");
+    let out = child.wait_with_output().expect("worker exits");
+
+    assert!(
+        !out.status.success(),
+        "a version-skewed hello must not be accepted"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("protocol version mismatch"),
+        "stderr must carry the typed diagnostic:\n{stderr}"
+    );
+    assert!(
+        stderr.contains(&format!(
+            "peer speaks {}, supported {PROTOCOL_VERSION}",
+            PROTOCOL_VERSION + 1
+        )),
+        "diagnostic must name both versions:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "version skew must exit cleanly, not panic:\n{stderr}"
+    );
+}
+
+#[test]
 fn cli_tune_with_workers_flag_reports_the_plane() {
     let out = Command::new(ftune())
         .args(["tune", "swim", "--k", "25", "--x", "6", "--workers", "2"])
