@@ -20,8 +20,8 @@
 
 use ft_core::result::{best_so_far, TuningResult};
 use ft_core::{
-    strictly_better, Candidate, EvalContext, History, Observation, Proposal, SearchDriver,
-    SearchStrategy,
+    pareto_points, strictly_better, Candidate, EvalContext, History, Objective, Observation,
+    Proposal, Score, SearchDriver, SearchStrategy,
 };
 use ft_flags::rng::derive_seed_idx;
 use ft_flags::{Cv, CvId, CvPool, FlagSpace};
@@ -34,8 +34,9 @@ pub fn combined_elimination(ctx: &EvalContext, seed: u64) -> TuningResult {
     let mut strategy = CeStrategy {
         space: ctx.space().clone(),
         seed,
+        objective: ctx.objective(),
         base: ctx.space().baseline(),
-        base_time: f64::INFINITY,
+        base_score: Score::faulted(),
         best_seen: None,
         phase: CePhase::ProposeBase,
     };
@@ -76,11 +77,15 @@ enum CePhase {
 struct CeStrategy {
     space: FlagSpace,
     seed: u64,
+    /// RIPs and incumbent updates run on this objective's scalar key;
+    /// under [`Objective::Time`] every key *is* the measured time, so
+    /// the state machine is bit-identical to the historical CE.
+    objective: Objective,
     base: Cv,
-    base_time: f64,
-    /// The best *finite* configuration seen, so a faulted final base
-    /// still yields a usable winner.
-    best_seen: Option<(CvId, f64)>,
+    base_score: Score,
+    /// The best configuration with a *finite* key seen, so a faulted
+    /// final base still yields a usable winner.
+    best_seen: Option<(CvId, Score)>,
     phase: CePhase,
 }
 
@@ -92,9 +97,17 @@ impl CeStrategy {
         derive_seed_idx(self.seed, (done + 1 + i) as u64)
     }
 
-    fn note(&mut self, id: CvId, t: f64) {
-        if t.is_finite() && self.best_seen.is_none_or(|(_, bt)| strictly_better(t, bt)) {
-            self.best_seen = Some((id, t));
+    fn base_key(&self) -> f64 {
+        self.objective.key(self.base_score)
+    }
+
+    fn note(&mut self, id: CvId, s: Score) {
+        if self.objective.key(s).is_finite()
+            && self
+                .best_seen
+                .is_none_or(|(_, b)| self.objective.improves(s, b))
+        {
+            self.best_seen = Some((id, s));
         }
     }
 }
@@ -168,8 +181,8 @@ impl SearchStrategy for CeStrategy {
         };
         match std::mem::replace(&mut self.phase, CePhase::Done) {
             CePhase::ObserveBase => {
-                self.base_time = results[0].time;
-                self.note(id_of(&results[0]), results[0].time);
+                self.base_score = results[0].score();
+                self.note(id_of(&results[0]), results[0].score());
                 self.phase = CePhase::ProposeSweep;
             }
             CePhase::ObserveSweep { plan } => {
@@ -179,14 +192,15 @@ impl SearchStrategy for CeStrategy {
                 // NaN-blind.
                 let mut candidates: Vec<(usize, u8, f64)> = Vec::new();
                 let mut best_alt: Option<(u8, f64)> = None;
+                let base_key = self.base_key();
                 for (i, &(id, v)) in plan.iter().enumerate() {
-                    let t = results[i].time;
-                    self.note(id_of(&results[i]), t);
-                    // A faulted candidate (+inf) never improves; a
+                    let t = self.objective.key(results[i].score());
+                    self.note(id_of(&results[i]), results[i].score());
+                    // A faulted candidate (+inf key) never improves; a
                     // faulted base makes any finite alternative an
                     // improvement.
-                    let rip = if t.is_finite() && self.base_time.is_finite() {
-                        (t - self.base_time) / self.base_time
+                    let rip = if t.is_finite() && base_key.is_finite() {
+                        (t - base_key) / base_key
                     } else if t.is_finite() {
                         -1.0
                     } else {
@@ -218,8 +232,8 @@ impl SearchStrategy for CeStrategy {
                 };
             }
             CePhase::ObserveNewBase { rest } => {
-                self.base_time = results[0].time;
-                self.note(id_of(&results[0]), results[0].time);
+                self.base_score = results[0].score();
+                self.note(id_of(&results[0]), results[0].score());
                 self.phase = if rest.is_empty() {
                     CePhase::ProposeSweep
                 } else {
@@ -227,12 +241,12 @@ impl SearchStrategy for CeStrategy {
                 };
             }
             CePhase::ObserveRecheck { rest, pos, trial } => {
-                let t = results[0].time;
-                self.note(id_of(&results[0]), t);
+                let s = results[0].score();
+                self.note(id_of(&results[0]), s);
                 // The old `t < base_time` was NaN-blind too.
-                if strictly_better(t, self.base_time) {
+                if self.objective.improves(s, self.base_score) {
                     self.base = trial;
-                    self.base_time = t;
+                    self.base_score = s;
                 }
                 self.phase = if pos + 1 == rest.len() {
                     CePhase::ProposeSweep
@@ -248,20 +262,29 @@ impl SearchStrategy for CeStrategy {
         // If the final base happens to be faulted (crash storms at high
         // injection rates), fall back to the best finite configuration
         // CE actually measured.
-        let (base_id, best_time) = if self.base_time.is_finite() {
-            (pool.intern(&self.base), self.base_time)
+        let (base_id, best) = if self.base_key().is_finite() {
+            (pool.intern(&self.base), self.base_score)
         } else {
             self.best_seen
                 .expect("CE measured at least one finite configuration")
         };
+        let front = if self.objective == Objective::Pareto {
+            pareto_points(ctx, pool, history)
+        } else {
+            Vec::new()
+        };
         TuningResult {
             algorithm: "CE".into(),
-            best_time,
+            best_time: best.time,
             baseline_time: ctx.baseline_time(10),
             assignment: pool.materialize(&vec![base_id; ctx.modules()]),
             best_index: 0,
             history: best_so_far(history.times()),
             evaluations: history.len(),
+            objective: self.objective,
+            best_code_bytes: best.code_bytes,
+            scores: history.scores().to_vec(),
+            front,
         }
     }
 }

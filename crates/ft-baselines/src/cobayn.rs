@@ -22,7 +22,10 @@
 
 use ft_compiler::{Compiler, LoopFeatures, MemStride, ProgramIr};
 use ft_core::result::{best_so_far, TuningResult};
-use ft_core::{Candidate, EvalContext, History, Proposal, SearchDriver, SearchStrategy};
+use ft_core::{
+    pareto_points, Candidate, EvalContext, History, Objective, Proposal, SearchDriver,
+    SearchStrategy,
+};
 use ft_flags::rng::{derive_seed, derive_seed_idx, rng_for};
 use ft_flags::{Cv, CvPool, FlagSpace};
 use ft_machine::Architecture;
@@ -244,15 +247,17 @@ impl Cobayn {
             k,
             seed,
             noise_root: ctx.noise_root,
+            objective: ctx.objective(),
             phase: 0,
         };
         SearchDriver::new(ctx).run(&mut strategy)
     }
 }
 
-/// Winner selection over the first `k` sampled times — the literal
-/// pre-driver `min_by` (its tie handling and raw `best_index` are
-/// pinned by the golden stream tests).
+/// Winner selection over the first `k` sampled objective keys — the
+/// literal pre-driver `min_by` (its tie handling and raw `best_index`
+/// are pinned by the golden stream tests; under [`Objective::Time`]
+/// every key is the sampled time, so nothing moves).
 fn cobayn_best(times: &[f64]) -> (usize, f64) {
     times
         .iter()
@@ -269,9 +274,20 @@ struct CobaynTune {
     k: usize,
     seed: u64,
     noise_root: u64,
+    objective: Objective,
     /// 0 = sample batch pending, 1 = batch observed (maybe fallback),
     /// 2 = fallback proposed.
     phase: u8,
+}
+
+impl CobaynTune {
+    /// The objective key of each of the first `k` sampled candidates.
+    fn keys(&self, history: &History) -> Vec<f64> {
+        history.scores()[..self.k]
+            .iter()
+            .map(|s| self.objective.key(*s))
+            .collect()
+    }
 }
 
 impl SearchStrategy for CobaynTune {
@@ -296,8 +312,8 @@ impl SearchStrategy for CobaynTune {
             }
             1 => {
                 self.phase = 2;
-                let (_, best_time) = cobayn_best(&history.times()[..self.k]);
-                if best_time.is_finite() {
+                let (_, best_key) = cobayn_best(&self.keys(history));
+                if best_key.is_finite() {
                     return Vec::new();
                 }
                 // Every sampled CV faulted (+inf): measure the
@@ -314,20 +330,29 @@ impl SearchStrategy for CobaynTune {
 
     fn finish(&mut self, ctx: &EvalContext, pool: &CvPool, history: &History) -> TuningResult {
         let times = &history.times()[..self.k];
-        let (best_index, best_time) = cobayn_best(times);
-        let (best, best_time) = if best_time.is_finite() {
-            (history.candidate(best_index), best_time)
+        let (best_index, best_key) = cobayn_best(&self.keys(history));
+        let (best, best_score) = if best_key.is_finite() {
+            (history.candidate(best_index), history.scores()[best_index])
         } else {
-            (history.candidate(self.k), history.times()[self.k])
+            (history.candidate(self.k), history.scores()[self.k])
+        };
+        let front = if self.objective == Objective::Pareto {
+            pareto_points(ctx, pool, history)
+        } else {
+            Vec::new()
         };
         TuningResult {
             algorithm: self.label.to_string(),
-            best_time,
+            best_time: best_score.time,
             baseline_time: ctx.baseline_time(10),
             assignment: ft_core::search::materialize_candidate(ctx, pool, best),
             best_index,
             history: best_so_far(times),
             evaluations: self.k,
+            objective: self.objective,
+            best_code_bytes: best_score.code_bytes,
+            scores: history.scores().to_vec(),
+            front,
         }
     }
 }

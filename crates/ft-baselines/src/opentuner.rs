@@ -17,8 +17,8 @@
 
 use ft_core::result::{best_so_far, TuningResult};
 use ft_core::{
-    strictly_better, Candidate, EvalContext, History, Observation, Proposal, SearchDriver,
-    SearchStrategy,
+    pareto_points, Candidate, EvalContext, History, Objective, Observation, Proposal, Score,
+    SearchDriver, SearchStrategy,
 };
 use ft_flags::rng::{derive_seed_idx, rng_for};
 use ft_flags::{Cv, CvId, CvPool, FlagSpace};
@@ -29,7 +29,12 @@ use rand::Rng;
 struct SearchState {
     space: FlagSpace,
     best_id: CvId,
+    /// The incumbent's measured *time* — what the techniques' internal
+    /// arithmetic (annealing deltas, fault penalties) runs on.
     best_time: f64,
+    /// The incumbent's full score; the bandit's "new global best"
+    /// signal compares scores under the search objective.
+    best_score: Score,
 }
 
 impl SearchState {
@@ -356,6 +361,7 @@ pub fn opentuner_search(ctx: &EvalContext, budget: usize, seed: u64) -> TuningRe
         .collect(),
         state: None,
         space: ctx.space().clone(),
+        objective: ctx.objective(),
         rng: rng_for(seed, "opentuner"),
         seed,
         budget,
@@ -370,6 +376,7 @@ struct OtStrategy {
     /// `None` until the baseline trial (trial 0) has been observed.
     state: Option<SearchState>,
     space: FlagSpace,
+    objective: Objective,
     rng: StdRng,
     seed: u64,
     budget: usize,
@@ -419,6 +426,7 @@ impl SearchStrategy for OtStrategy {
 
     fn observe(&mut self, pool: &CvPool, results: &[Observation<'_>]) {
         let time = results[0].time;
+        let score = results[0].score();
         let Candidate::Uniform(id) = results[0].candidate else {
             unreachable!("OpenTuner proposes only uniform candidates")
         };
@@ -427,11 +435,12 @@ impl SearchStrategy for OtStrategy {
                 space: self.space.clone(),
                 best_id: *id,
                 best_time: time,
+                best_score: score,
             });
             return;
         };
         let pick = self.pending_pick.expect("an arm proposed this trial");
-        let improved = strictly_better(time, state.best_time);
+        let improved = self.objective.improves(score, state.best_score);
         // Techniques do arithmetic on observed times (centroids,
         // annealing deltas); feed them a large finite penalty instead
         // of the +inf a faulted trial scores as.
@@ -445,20 +454,30 @@ impl SearchStrategy for OtStrategy {
         self.arms[pick].uses += 1;
         if improved {
             state.best_time = time;
+            state.best_score = score;
             state.best_id = *id;
         }
     }
 
     fn finish(&mut self, ctx: &EvalContext, pool: &CvPool, history: &History) -> TuningResult {
         let state = self.state.as_ref().expect("baseline trial was observed");
+        let front = if self.objective == Objective::Pareto {
+            pareto_points(ctx, pool, history)
+        } else {
+            Vec::new()
+        };
         TuningResult {
             algorithm: "OpenTuner".into(),
-            best_time: state.best_time,
+            best_time: state.best_score.time,
             baseline_time: ctx.baseline_time(10),
             assignment: pool.materialize(&vec![state.best_id; ctx.modules()]),
             best_index: 0,
             history: best_so_far(history.times()),
             evaluations: self.budget,
+            objective: self.objective,
+            best_code_bytes: state.best_score.code_bytes,
+            scores: history.scores().to_vec(),
+            front,
         }
     }
 }

@@ -2,6 +2,7 @@
 //! (§4.2.1): `-prof-gen` instrumented build → profiling run on the
 //! tuning input → `-O3 -prof-use` recompilation.
 
+use ft_compiler::lru::CacheWeight;
 use ft_compiler::{CompiledModule, PgoError, PgoProfile};
 use ft_core::result::TuningResult;
 use ft_core::EvalContext;
@@ -40,6 +41,10 @@ pub fn pgo_tune(ctx: &EvalContext, seed: u64) -> PgoOutcome {
                     best_index: 0,
                     history: vec![t],
                     evaluations: 1,
+                    objective: ctx.objective(),
+                    best_code_bytes: f64::INFINITY,
+                    scores: Vec::new(),
+                    front: Vec::new(),
                 },
                 failure: Some(format!("instrumentation run failed for {program}")),
                 profiling_run_s: 0.0,
@@ -98,6 +103,10 @@ pub fn pgo_tune(ctx: &EvalContext, seed: u64) -> PgoOutcome {
                         best_index: 0,
                         history: vec![t],
                         evaluations: 2,
+                        objective: ctx.objective(),
+                        best_code_bytes: linked.weight_bytes(),
+                        scores: Vec::new(),
+                        front: Vec::new(),
                     },
                     failure: None,
                     profiling_run_s,
@@ -113,6 +122,10 @@ pub fn pgo_tune(ctx: &EvalContext, seed: u64) -> PgoOutcome {
                         best_index: 0,
                         history: vec![t],
                         evaluations: 2,
+                        objective: ctx.objective(),
+                        best_code_bytes: f64::INFINITY,
+                        scores: Vec::new(),
+                        front: Vec::new(),
                     },
                     failure: Some("profile-optimized build faulted; shipping -O3".into()),
                     profiling_run_s,

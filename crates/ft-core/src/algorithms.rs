@@ -2,11 +2,13 @@
 
 use crate::collection::CollectionData;
 use crate::ctx::EvalContext;
+use crate::objective::Objective;
 use crate::result::TuningResult;
 use crate::search::{
-    materialize_candidate, strictly_better, Candidate, History, Proposal, SearchDriver,
-    SearchStrategy,
+    materialize_candidate, pareto_points, strictly_better, Candidate, History, Proposal,
+    SearchDriver, SearchStrategy,
 };
+use ft_compiler::lru::CacheWeight;
 use ft_flags::rng::{derive_seed_idx, rng_for};
 use ft_flags::{Cv, CvId, CvPool};
 use rand::Rng;
@@ -192,7 +194,10 @@ impl SearchStrategy for GreedyStrategy<'_> {
     }
 
     fn finish(&mut self, ctx: &EvalContext, pool: &CvPool, history: &History) -> TuningResult {
-        let mut time = history.times()[0];
+        let objective = ctx.objective();
+        let score = history.scores()[0];
+        let mut time = score.time;
+        let mut code_bytes = score.code_bytes;
         let assignment;
         if time.is_finite() {
             assignment = materialize_candidate(ctx, pool, history.candidate(0));
@@ -211,6 +216,7 @@ impl SearchStrategy for GreedyStrategy<'_> {
                 .expect("every collected CV faulted: no fallback for greedy");
             assignment = vec![self.data.cvs[k].clone(); self.modules];
             time = *t;
+            code_bytes = ctx.linked_assignment(&assignment).weight_bytes();
         }
         TuningResult {
             algorithm: "G.realized".into(),
@@ -220,6 +226,14 @@ impl SearchStrategy for GreedyStrategy<'_> {
             best_index: 0,
             history: vec![time],
             evaluations: 1,
+            objective,
+            best_code_bytes: code_bytes,
+            scores: history.scores().to_vec(),
+            front: if objective == Objective::Pareto {
+                pareto_points(ctx, pool, history)
+            } else {
+                Vec::new()
+            },
         }
     }
 }

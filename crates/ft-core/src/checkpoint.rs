@@ -22,10 +22,15 @@ use ft_compiler::FaultModel;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Current on-disk schema version of both checkpoint kinds. Files
-/// written before versioning deserialize with version 0 (the
-/// `#[serde(default)]`), which the loaders refuse.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Current on-disk schema version of both checkpoint kinds.
+///
+/// Version history: 0 = pre-versioning files (refused), 1 = the
+/// pre-objective schema, 2 = campaigns carry the tuning objective and
+/// results carry score timelines. The loaders read the version off the
+/// parsed JSON *before* deserializing the struct, so a version-1 file
+/// is refused with a typed [`CheckpointError::Version`] — it is never
+/// silently completed with a defaulted objective.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// A persisted collection plus its provenance.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -162,12 +167,16 @@ impl Checkpoint {
     }
 
     /// Deserializes from JSON, refusing schema versions this build
-    /// does not understand.
+    /// does not understand. The version is read off the parsed value
+    /// before the struct is deserialized, so a skewed file fails as a
+    /// [`CheckpointError::Version`] rather than a missing-field (or —
+    /// worse — defaulted-field) deserialization.
     pub fn from_json(json: &str) -> Result<Checkpoint, CheckpointError> {
-        let cp: Checkpoint =
+        let value: serde::Value =
             serde_json::from_str(json).map_err(|source| CheckpointError::Deserialize { source })?;
-        check_version(cp.version)?;
-        Ok(cp)
+        check_version(version_field(&value)?)?;
+        Checkpoint::deserialize_value(&value)
+            .map_err(|source| CheckpointError::Deserialize { source })
     }
 }
 
@@ -180,6 +189,26 @@ fn check_version(version: u32) -> Result<(), CheckpointError> {
         });
     }
     Ok(())
+}
+
+/// Reads the schema version off a parsed checkpoint object — the gate
+/// both loaders run *before* full deserialization. A missing field is
+/// version 0 (a pre-versioning file), matching the old
+/// `#[serde(default)]` behavior.
+fn version_field(value: &serde::Value) -> Result<u32, CheckpointError> {
+    let serde::Value::Object(fields) = value else {
+        return Err(CheckpointError::Deserialize {
+            source: serde::Error::new("checkpoint is not a JSON object"),
+        });
+    };
+    match fields.iter().find(|(k, _)| k.as_str() == "version") {
+        None => Ok(0),
+        Some((_, serde::Value::U64(n))) if u32::try_from(*n).is_ok() => Ok(*n as u32),
+        Some((_, serde::Value::I64(n))) if u32::try_from(*n).is_ok() => Ok(*n as u32),
+        Some(_) => Err(CheckpointError::Deserialize {
+            source: serde::Error::new("checkpoint version is not a u32"),
+        }),
+    }
 }
 
 /// A whole tuning campaign frozen mid-phase: the configuration that
@@ -204,6 +233,12 @@ pub struct CampaignCheckpoint {
     pub steps_cap: Option<u32>,
     /// The injected-fault model (all-zero for a clean campaign).
     pub faults: FaultModel,
+    /// The tuning objective — checkpoint identity like the seed: a
+    /// resume must optimize the same thing the original campaign did.
+    /// The `#[serde(default)]` never masks a pre-objective file: the
+    /// version gate in [`CampaignCheckpoint::from_json`] fires first.
+    #[serde(default)]
+    pub objective: crate::objective::Objective,
     /// `-O3` baseline time, if the baseline phase completed.
     pub baseline_time: Option<f64>,
     /// Figure-4 collection, if completed.
@@ -336,11 +371,16 @@ impl CampaignCheckpoint {
     }
 
     /// Deserializes from JSON, refusing schema versions this build
-    /// does not understand and structurally invalid phase lists.
+    /// does not understand and structurally invalid phase lists. The
+    /// version gate runs before struct deserialization: a version-1
+    /// (pre-objective) file is a typed [`CheckpointError::Version`],
+    /// never a campaign with a silently defaulted objective.
     pub fn from_json(json: &str) -> Result<CampaignCheckpoint, CheckpointError> {
-        let cp: CampaignCheckpoint =
+        let value: serde::Value =
             serde_json::from_str(json).map_err(|source| CheckpointError::Deserialize { source })?;
-        check_version(cp.version)?;
+        check_version(version_field(&value)?)?;
+        let cp = CampaignCheckpoint::deserialize_value(&value)
+            .map_err(|source| CheckpointError::Deserialize { source })?;
         cp.validate_phases()?;
         Ok(cp)
     }
@@ -451,6 +491,53 @@ mod tests {
     }
 
     #[test]
+    fn pre_objective_campaign_checkpoint_is_a_typed_version_error() {
+        // Forge a version-1 file: the pre-objective schema had no
+        // `objective` field. Because `#[serde(default)]` would happily
+        // fill one in, the loader must gate on the version *before*
+        // deserializing — a v1 campaign is a Version{1, 2} refusal,
+        // never a resumed campaign with a silently defaulted objective.
+        let cp = CampaignCheckpoint {
+            version: CHECKPOINT_VERSION,
+            workload: "swim".to_string(),
+            arch: "broadwell".to_string(),
+            budget: 10,
+            focus: 3,
+            seed: 42,
+            steps_cap: Some(3),
+            faults: ft_compiler::FaultModel::zero(),
+            objective: crate::objective::Objective::Time,
+            baseline_time: Some(1.0),
+            data: None,
+            random: None,
+            fr: None,
+            greedy: None,
+            cfr: None,
+            bad_compiles: Vec::new(),
+            bad_programs: Vec::new(),
+            completed: vec!["baseline".to_string()],
+        };
+        let mut v1: serde::Value = serde_json::from_str(&cp.to_json().unwrap()).unwrap();
+        if let serde::Value::Object(fields) = &mut v1 {
+            fields.retain(|(k, _)| k.as_str() != "objective");
+            for (k, v) in fields.iter_mut() {
+                if k.as_str() == "version" {
+                    *v = serde::Value::U64(1);
+                }
+            }
+        }
+        let err = CampaignCheckpoint::from_json(&serde_json::to_string(&v1).unwrap()).unwrap_err();
+        assert_eq!(
+            err,
+            CheckpointError::Version {
+                found: 1,
+                supported: CHECKPOINT_VERSION
+            },
+            "{err}"
+        );
+    }
+
+    #[test]
     fn campaign_phase_list_rejects_duplicates_order_and_unknowns() {
         // Build a minimal valid campaign checkpoint by hand (baseline
         // only) and then corrupt its stamped phase list field-by-field.
@@ -463,6 +550,7 @@ mod tests {
             seed: 42,
             steps_cap: Some(3),
             faults: ft_compiler::FaultModel::zero(),
+            objective: crate::objective::Objective::Time,
             baseline_time: Some(1.0),
             data: None,
             random: None,
@@ -495,6 +583,10 @@ mod tests {
             best_index: 0,
             history: Vec::new(),
             evaluations: 0,
+            objective: crate::objective::Objective::Time,
+            best_code_bytes: f64::INFINITY,
+            scores: Vec::new(),
+            front: Vec::new(),
         };
 
         // Out of canonical order (even if the set were right).

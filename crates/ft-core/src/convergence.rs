@@ -92,6 +92,10 @@ mod tests {
             best_index: 0,
             history,
             evaluations: history_raw.len(),
+            objective: crate::objective::Objective::Time,
+            best_code_bytes: f64::INFINITY,
+            scores: Vec::new(),
+            front: Vec::new(),
         }
     }
 

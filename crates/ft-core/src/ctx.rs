@@ -2,9 +2,10 @@
 //! search algorithm measures through.
 
 use crate::breaker::CircuitBreaker;
+use crate::objective::{Objective, Score};
 use crate::store::{self, ObjectStore};
 use ft_caliper::Caliper;
-use ft_compiler::lru::CacheCapacity;
+use ft_compiler::lru::{CacheCapacity, CacheWeight};
 use ft_compiler::{CompiledModule, Compiler, FaultModel, Module, ObjectCache, ProgramIr};
 use ft_flags::rng::derive_seed_idx;
 use ft_flags::{Cv, CvId, CvPool, FlagSpace};
@@ -207,6 +208,11 @@ pub struct EvalContext {
     /// locally; the plane's merged worker ledger is folded into
     /// [`EvalContext::cost`] and [`EvalContext::fault_stats`].
     remote: Option<Arc<crate::remote::RemotePlane>>,
+    /// What the searches driven through this context optimize. The
+    /// default [`Objective::Time`] reproduces every pre-objective
+    /// golden value bit-for-bit; measurement itself never depends on
+    /// the objective — only winner selection and reporting do.
+    objective: Objective,
 }
 
 impl EvalContext {
@@ -249,7 +255,22 @@ impl EvalContext {
             retries: AtomicU64::new(0),
             quarantine_skips: AtomicU64::new(0),
             remote: None,
+            objective: Objective::Time,
         }
+    }
+
+    /// Sets the tuning objective. Measurement is objective-independent
+    /// (every candidate is always scored on both time and code bytes);
+    /// the objective decides comparisons, winner selection, and what
+    /// [`crate::result::TuningResult`] reports.
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// The tuning objective searches through this context optimize.
+    pub fn objective(&self) -> Objective {
+        self.objective
     }
 
     /// Installs a fault model. The flag space's `-O3` baseline CV is
@@ -845,6 +866,27 @@ impl EvalContext {
     where
         F: FnOnce() -> Vec<CompiledModule>,
     {
+        self.eval_digests_scored(digests, noise_seed, compile, caliper)
+            .time
+    }
+
+    /// The scored funnel behind [`EvalContext::eval_digests_resilient`]
+    /// — one code path, so time bits cannot drift between the scalar
+    /// and scored views. A successful run pairs its end-to-end time
+    /// with the linked executable's modeled size
+    /// ([`LinkedProgram::weight_bytes`], a pure function of the digest
+    /// assignment); an unusable candidate is [`Score::faulted`] (both
+    /// coordinates `+inf`), so it loses under every objective.
+    fn eval_digests_scored<F>(
+        &self,
+        digests: &[u64],
+        noise_seed: u64,
+        compile: F,
+        caliper: Option<&Caliper>,
+    ) -> Score
+    where
+        F: FnOnce() -> Vec<CompiledModule>,
+    {
         if self.faults.is_zero() {
             let linked = self.link_digests(digests, compile);
             let total_s = match caliper {
@@ -870,23 +912,23 @@ impl EvalContext {
             if let Some(b) = &self.breaker {
                 b.record(false);
             }
-            return total_s;
+            return Score::new(total_s, linked.weight_bytes());
         }
         for (module, digest) in digests.iter().enumerate() {
             if self.quarantine.compile_is_bad(module, *digest) {
                 self.quarantine_skips.fetch_add(1, Ordering::Relaxed);
-                return f64::INFINITY;
+                return Score::faulted();
             }
             if self.faults.compile_fails(module, *digest) {
                 self.compile_failures.fetch_add(1, Ordering::Relaxed);
                 self.quarantine.ban_compile(module, *digest);
-                return f64::INFINITY;
+                return Score::faulted();
             }
         }
         let fp = FaultModel::program_fingerprint(digests);
         if self.quarantine.program_is_bad(fp) {
             self.quarantine_skips.fetch_add(1, Ordering::Relaxed);
-            return f64::INFINITY;
+            return Score::faulted();
         }
         let linked = self.link_digests(digests, compile);
         let budget = self.timeout_budget();
@@ -919,7 +961,7 @@ impl EvalContext {
                     if let Some(b) = &self.breaker {
                         b.record(false);
                     }
-                    return meas.total_s;
+                    return Score::new(meas.total_s, linked.weight_bytes());
                 }
                 RunOutcome::Crash { elapsed_s } => {
                     self.crashes.fetch_add(1, Ordering::Relaxed);
@@ -938,14 +980,14 @@ impl EvalContext {
                         b.record(true);
                     }
                     self.quarantine.ban_program(fp);
-                    return f64::INFINITY;
+                    return Score::faulted();
                 }
                 RunOutcome::CompileError { .. } => {
                     unreachable!("compile faults are gated before linking")
                 }
             }
         }
-        f64::INFINITY
+        Score::faulted()
     }
 
     /// Fault-aware [`EvalContext::eval_uniform`]: end-to-end time, or
@@ -997,11 +1039,42 @@ impl EvalContext {
     /// compile calls, same noise seed — bit-identical times without
     /// materializing the `Cv` out of the pool.
     pub fn eval_uniform_id_resilient(&self, pool: &CvPool, id: CvId, noise_seed: u64) -> f64 {
+        self.eval_uniform_id_scored(pool, id, noise_seed).time
+    }
+
+    /// Scored [`EvalContext::eval_uniform_id_resilient`]: the same
+    /// funnel call, so the time coordinate is bit-identical — plus the
+    /// linked executable's code bytes.
+    pub fn eval_uniform_id_scored(&self, pool: &CvPool, id: CvId, noise_seed: u64) -> Score {
         let digests = vec![pool.digest(id); self.ir.len()];
-        self.eval_digests_resilient(
+        self.eval_digests_scored(
             &digests,
             noise_seed,
             || self.compile_uniform(&pool.get(id)),
+            None,
+        )
+    }
+
+    /// Scored [`EvalContext::eval_assignment_ids_resilient`].
+    pub fn eval_assignment_ids_scored(
+        &self,
+        pool: &CvPool,
+        ids: &[CvId],
+        noise_seed: u64,
+    ) -> Score {
+        assert_eq!(ids.len(), self.ir.len(), "one CV per module");
+        let digests = pool.digests(ids);
+        self.eval_digests_scored(
+            &digests,
+            noise_seed,
+            || {
+                self.ir
+                    .modules
+                    .iter()
+                    .zip(ids)
+                    .map(|(m, id)| self.compile_module_owned(m, &pool.get(*id)))
+                    .collect()
+            },
             None,
         )
     }

@@ -27,10 +27,10 @@
 
 use crate::collection::{CollectionData, MixedCollection};
 use crate::ctx::EvalContext;
+use crate::objective::{Objective, Score};
 use crate::result::TuningResult;
 use crate::search::{
-    strictly_better, Candidate, CollectionRequest, History, Observation, Proposal, SearchDriver,
-    SearchStrategy,
+    Candidate, CollectionRequest, History, Observation, Proposal, SearchDriver, SearchStrategy,
 };
 use ft_flags::rng::{derive_seed, derive_seed_idx, rng_for};
 use ft_flags::{CvId, CvPool};
@@ -60,8 +60,9 @@ pub fn cfr_adaptive(
         patience,
         rng: rng_for(seed, "cfr-adaptive"),
         noise_root: ctx.noise_root,
+        objective: ctx.objective(),
         next: 0,
-        best_time: f64::INFINITY,
+        best: Score::faulted(),
         stale: 0,
         stopped: false,
     };
@@ -79,8 +80,9 @@ struct CfrAdaptive<'d> {
     patience: usize,
     rng: StdRng,
     noise_root: u64,
+    objective: Objective,
     next: usize,
-    best_time: f64,
+    best: Score,
     stale: usize,
     stopped: bool,
 }
@@ -108,9 +110,9 @@ impl SearchStrategy for CfrAdaptive<'_> {
     }
 
     fn observe(&mut self, _pool: &CvPool, results: &[Observation<'_>]) {
-        let t = results[0].time;
-        if strictly_better(t, self.best_time) {
-            self.best_time = t;
+        let s = results[0].score();
+        if self.objective.improves(s, self.best) {
+            self.best = s;
             self.stale = 0;
         } else {
             self.stale += 1;
@@ -142,6 +144,7 @@ pub fn cfr_iterative(
         rounds,
         rng: rng_for(seed, "cfr-iterative"),
         noise_root: ctx.noise_root,
+        objective: ctx.objective(),
         round: 0,
         picks: Vec::new(),
     };
@@ -158,6 +161,7 @@ struct CfrIterative<'d> {
     rounds: usize,
     rng: StdRng,
     noise_root: u64,
+    objective: Objective,
     round: usize,
     /// This round's per-candidate CV indices (into `data.cvs`), kept
     /// for the re-focusing step in `observe`.
@@ -202,9 +206,13 @@ impl SearchStrategy for CfrIterative<'_> {
             return;
         }
         // Re-focus: rank each module's candidate CVs by the mean
-        // end-to-end time of the candidates that used them, keep the
-        // best half (at least 1).
-        let times: Vec<f64> = results.iter().map(|o| o.time).collect();
+        // objective key of the candidates that used them (under the
+        // default time objective this is exactly the historical
+        // mean-time ranking), keep the best half (at least 1).
+        let times: Vec<f64> = results
+            .iter()
+            .map(|o| self.objective.key(o.score()))
+            .collect();
         let mut next = Vec::with_capacity(self.pruned.len());
         for (j, cands) in self.pruned.iter().enumerate() {
             let mut scored: Vec<(usize, f64)> = cands
@@ -259,6 +267,7 @@ pub fn cfr_iterative_recollect(
         rounds,
         rng: rng_for(seed, "cfr-iter-recollect"),
         noise_root: ctx.noise_root,
+        objective: ctx.objective(),
         seed,
         round: 0,
         incumbent: None,
@@ -274,10 +283,11 @@ struct CfrIterativeRecollect<'d> {
     rounds: usize,
     rng: StdRng,
     noise_root: u64,
+    objective: Objective,
     seed: u64,
     round: usize,
-    /// Best assignment (and its time) seen so far, in interned form.
-    incumbent: Option<(Vec<CvId>, f64)>,
+    /// Best assignment (and its score) seen so far, in interned form.
+    incumbent: Option<(Vec<CvId>, Score)>,
     /// `(module, CV index into data.cvs)` for every probe candidate in
     /// the outstanding collection request, in request order.
     probe_plan: Vec<(usize, usize)>,
@@ -311,12 +321,15 @@ impl SearchStrategy for CfrIterativeRecollect<'_> {
     fn observe(&mut self, _pool: &CvPool, results: &[Observation<'_>]) {
         self.round += 1;
         for o in results {
-            let incumbent_time = self.incumbent.as_ref().map_or(f64::INFINITY, |(_, t)| *t);
-            if strictly_better(o.time, incumbent_time) {
+            let incumbent_score = self
+                .incumbent
+                .as_ref()
+                .map_or(Score::faulted(), |(_, s)| *s);
+            if self.objective.improves(o.score(), incumbent_score) {
                 let Candidate::PerLoop(ids) = o.candidate else {
                     unreachable!("recollect proposes only per-loop candidates")
                 };
-                self.incumbent = Some((ids.clone(), o.time));
+                self.incumbent = Some((ids.clone(), o.score()));
             }
         }
     }

@@ -1,0 +1,222 @@
+//! The one frame codec: `[u32 len][u32 crc32][payload]`, both integers
+//! little-endian, CRC-32/IEEE over the payload.
+//!
+//! The WAL journal and the distributed wire protocol grew the same
+//! frame discipline independently — same header, same CRC polynomial,
+//! same 64 MiB insanity guard, same four failure modes. This module is
+//! the single implementation both delegate to, so the byte layout can
+//! never drift between the durable and the networked path: a journal
+//! record and a wire frame with the same payload are the same bytes,
+//! and the `frame_layout_is_pinned` test holds the codec to a
+//! hand-written reference encoding.
+//!
+//! [`crate::journal`] maps [`FrameError`] onto its torn-tail recovery
+//! contract (`TornReason` is this error, re-exported);
+//! [`crate::remote`] uses it directly.
+
+/// Per-frame overhead: 4-byte length + 4-byte CRC.
+pub const FRAME_HEADER: usize = 8;
+
+/// Ceiling on a single frame's payload. Far above any real record or
+/// batch; a length beyond it is corruption (a flipped bit in a length
+/// field must not make a reader allocate gigabytes).
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
+// ---------------------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32/IEEE of `bytes` (the checksum zlib, PNG, and gzip use).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(*b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Why a frame could not be lifted off a byte buffer. The journal's
+/// recovery scan re-exports this as `TornReason` — the failure modes
+/// of a torn WAL tail and a damaged wire frame are identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer than [`FRAME_HEADER`] bytes remain.
+    ShortHeader,
+    /// The declared payload length exceeds [`MAX_FRAME_BYTES`].
+    LengthInsane,
+    /// The declared payload runs past the available bytes.
+    LengthOverrun,
+    /// The payload does not match its CRC32.
+    CrcMismatch,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::ShortHeader => write!(f, "short frame header"),
+            FrameError::LengthInsane => write!(f, "frame length exceeds {MAX_FRAME_BYTES}"),
+            FrameError::LengthOverrun => write!(f, "frame length overruns the buffer"),
+            FrameError::CrcMismatch => write!(f, "frame CRC mismatch"),
+        }
+    }
+}
+
+/// Appends one frame for `payload` to `out`.
+pub fn append_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    assert!(payload.len() <= MAX_FRAME_BYTES, "frame payload too large");
+    out.reserve(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Wraps a payload in one frame: `[u32 len][u32 crc32][payload]`.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    append_frame(&mut out, payload);
+    out
+}
+
+/// Lifts one frame off the front of `buf`: returns the payload slice
+/// and the total bytes consumed. Damage is a typed [`FrameError`];
+/// nothing is sliced before the length is validated against the
+/// buffer. The checks run in the order the journal's recovery scan
+/// always made them: header, insane length, overrun, CRC.
+pub fn decode_frame(buf: &[u8]) -> Result<(&[u8], usize), FrameError> {
+    if buf.len() < FRAME_HEADER {
+        return Err(FrameError::ShortHeader);
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::LengthInsane);
+    }
+    if buf.len() - FRAME_HEADER < len {
+        return Err(FrameError::LengthOverrun);
+    }
+    let payload = &buf[FRAME_HEADER..FRAME_HEADER + len];
+    if crc32(payload) != crc {
+        return Err(FrameError::CrcMismatch);
+    }
+    Ok((payload, FRAME_HEADER + len))
+}
+
+/// Decodes a stream of concatenated frames into the longest valid
+/// payload prefix, plus the typed reason the scan stopped (if it did
+/// not consume everything). The prefix property is the WAL recovery
+/// contract, shared verbatim by the wire protocol's corruption
+/// proptests.
+pub fn decode_frames(buf: &[u8]) -> (Vec<&[u8]>, Option<FrameError>) {
+    let mut payloads = Vec::new();
+    let mut pos = 0;
+    while pos < buf.len() {
+        match decode_frame(&buf[pos..]) {
+            Ok((payload, consumed)) => {
+                payloads.push(payload);
+                pos += consumed;
+            }
+            Err(e) => return (payloads, Some(e)),
+        }
+    }
+    (payloads, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The standard check vector of CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_layout_is_pinned() {
+        // The exact bytes both the journal and the wire have always
+        // written: LE length, LE CRC, payload. This is the corpus
+        // compatibility lock — existing WAL files and captured wire
+        // streams must keep decoding after the codec extraction.
+        let payload = b"keep-me";
+        let mut reference = Vec::new();
+        reference.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        reference.extend_from_slice(&crc32(payload).to_le_bytes());
+        reference.extend_from_slice(payload);
+        assert_eq!(encode_frame(payload), reference);
+        let (got, consumed) = decode_frame(&reference).unwrap();
+        assert_eq!(got, payload);
+        assert_eq!(consumed, reference.len());
+    }
+
+    #[test]
+    fn append_and_encode_agree() {
+        let mut streamed = Vec::new();
+        append_frame(&mut streamed, b"a");
+        append_frame(&mut streamed, b"");
+        append_frame(&mut streamed, &[0xFF; 100]);
+        let concatenated: Vec<u8> = [
+            encode_frame(b"a"),
+            encode_frame(b""),
+            encode_frame(&[0xFF; 100]),
+        ]
+        .concat();
+        assert_eq!(streamed, concatenated);
+        let (payloads, tail) = decode_frames(&streamed);
+        assert_eq!(payloads, vec![b"a".as_slice(), b"", &[0xFF; 100]]);
+        assert_eq!(tail, None);
+    }
+
+    #[test]
+    fn each_failure_mode_is_typed() {
+        assert_eq!(decode_frame(&[1, 2, 3]), Err(FrameError::ShortHeader));
+
+        let mut insane = encode_frame(b"x");
+        insane[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_frame(&insane), Err(FrameError::LengthInsane));
+
+        let truncated = encode_frame(b"hello-world");
+        assert_eq!(
+            decode_frame(&truncated[..truncated.len() - 2]),
+            Err(FrameError::LengthOverrun)
+        );
+
+        let mut flipped = encode_frame(b"hello-world");
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x10;
+        assert_eq!(decode_frame(&flipped), Err(FrameError::CrcMismatch));
+    }
+
+    #[test]
+    fn stream_decode_stops_at_first_damage() {
+        let mut stream = encode_frame(b"good");
+        let bad_at = stream.len();
+        stream.extend_from_slice(&encode_frame(b"doomed"));
+        stream[bad_at + FRAME_HEADER] ^= 1;
+        let (payloads, tail) = decode_frames(&stream);
+        assert_eq!(payloads, vec![b"good".as_slice()]);
+        assert_eq!(tail, Some(FrameError::CrcMismatch));
+    }
+}

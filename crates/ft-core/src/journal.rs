@@ -24,58 +24,26 @@
 //! The journal stores opaque byte payloads; the campaign-level record
 //! schema lives in [`crate::supervisor`].
 
+use crate::framing::{append_frame, decode_frame};
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+
+/// The frame codec itself (CRC table, header layout, insanity guard)
+/// lives in [`crate::framing`], shared with the wire protocol; these
+/// re-exports keep the journal's historical API surface.
+pub use crate::framing::{crc32, FRAME_HEADER};
 
 /// Magic prefix of every journal file: `FTWAL`, a format version
 /// byte, and two reserved zero bytes. Bumping the version byte
 /// invalidates old files explicitly instead of misparsing them.
 pub const MAGIC: [u8; 8] = *b"FTWAL\x01\x00\x00";
 
-/// Per-record frame overhead: 4-byte length + 4-byte CRC.
-pub const FRAME_HEADER: usize = 8;
-
 /// Records larger than this are refused at append time and treated as
-/// corruption at recovery time (a flipped bit in a length field must
-/// not make the scanner allocate gigabytes).
-pub const MAX_RECORD_BYTES: usize = 64 << 20;
-
-// ---------------------------------------------------------------------
-// CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
-// ---------------------------------------------------------------------
-
-const fn crc_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-}
-
-static CRC_TABLE: [u32; 256] = crc_table();
-
-/// CRC-32/IEEE of `bytes` (the checksum zlib, PNG, and gzip use).
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
-    for b in bytes {
-        c = CRC_TABLE[((c ^ u32::from(*b)) & 0xFF) as usize] ^ (c >> 8);
-    }
-    !c
-}
+/// corruption at recovery time (the shared
+/// [`crate::framing::MAX_FRAME_BYTES`] guard).
+pub const MAX_RECORD_BYTES: usize = crate::framing::MAX_FRAME_BYTES;
 
 // ---------------------------------------------------------------------
 // Errors
@@ -152,20 +120,10 @@ pub enum Tail {
     },
 }
 
-/// The specific check the first invalid frame failed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TornReason {
-    /// Fewer than [`FRAME_HEADER`] bytes remained.
-    ShortHeader,
-    /// The length field points past the end of the file (a torn write,
-    /// or a bit flip in the length itself).
-    LengthOverrun,
-    /// The length field exceeds [`MAX_RECORD_BYTES`].
-    LengthInsane,
-    /// The payload's CRC-32 does not match the frame header (torn
-    /// payload write or bit flip).
-    CrcMismatch,
-}
+/// The specific check the first invalid frame failed — the shared
+/// [`crate::framing::FrameError`], under the name the recovery
+/// contract has always used.
+pub use crate::framing::FrameError as TornReason;
 
 /// The result of scanning a journal: every valid record, in append
 /// order, plus where (and why) the scan stopped.
@@ -276,9 +234,7 @@ impl Journal {
             });
         }
         let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(payload).to_le_bytes());
-        frame.extend_from_slice(payload);
+        append_frame(&mut frame, payload);
         self.file
             .write_all(&frame)
             .map_err(|e| io_err("append record", e))?;
@@ -309,9 +265,7 @@ impl Journal {
                     bytes: payload.len(),
                 });
             }
-            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-            bytes.extend_from_slice(&crc32(payload).to_le_bytes());
-            bytes.extend_from_slice(payload);
+            append_frame(&mut bytes, payload);
         }
         write_atomic(&self.path, &bytes)?;
         self.file = OpenOptions::new()
@@ -356,33 +310,22 @@ fn scan(path: &Path, bytes: &[u8]) -> Result<Recovery, JournalError> {
                 tail: Tail::Clean,
             });
         }
-        let torn = |reason: TornReason, records: Vec<Vec<u8>>| {
-            Ok(Recovery {
-                records,
-                valid_len: pos as u64,
-                tail: Tail::Torn {
-                    offset: pos as u64,
-                    reason,
-                },
-            })
-        };
-        if bytes.len() - pos < FRAME_HEADER {
-            return torn(TornReason::ShortHeader, records);
+        match decode_frame(&bytes[pos..]) {
+            Ok((payload, consumed)) => {
+                records.push(payload.to_vec());
+                pos += consumed;
+            }
+            Err(reason) => {
+                return Ok(Recovery {
+                    records,
+                    valid_len: pos as u64,
+                    tail: Tail::Torn {
+                        offset: pos as u64,
+                        reason,
+                    },
+                })
+            }
         }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
-        if len > MAX_RECORD_BYTES {
-            return torn(TornReason::LengthInsane, records);
-        }
-        if bytes.len() - pos - FRAME_HEADER < len {
-            return torn(TornReason::LengthOverrun, records);
-        }
-        let payload = &bytes[pos + FRAME_HEADER..pos + FRAME_HEADER + len];
-        if crc32(payload) != crc {
-            return torn(TornReason::CrcMismatch, records);
-        }
-        records.push(payload.to_vec());
-        pos += FRAME_HEADER + len;
     }
 }
 

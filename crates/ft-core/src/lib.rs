@@ -39,8 +39,10 @@ pub mod cost;
 pub mod critical;
 pub mod ctx;
 pub mod extensions;
+pub mod framing;
 pub mod importance;
 pub mod journal;
+pub mod objective;
 pub mod pipeline;
 pub mod remote;
 pub mod result;
@@ -61,8 +63,12 @@ pub use cost::TuningCost;
 pub use critical::critical_flags;
 pub use ctx::{CacheStats, EvalContext, FaultStats, ResilienceConfig};
 pub use extensions::{cfr_adaptive, cfr_iterative, cfr_iterative_recollect};
+pub use framing::{
+    append_frame, crc32, decode_frame, decode_frames, encode_frame, FRAME_HEADER, MAX_FRAME_BYTES,
+};
 pub use importance::{flag_importance, FlagImportance};
 pub use journal::{Journal, JournalError, Recovery, Tail};
+pub use objective::{pareto_front, Objective, Score};
 pub use pipeline::{
     PausedCampaign, Phase, PhaseSpan, ScheduleMode, ScheduleReport, Tuner, TuningRun,
 };
@@ -70,10 +76,11 @@ pub use remote::{
     BatchReply, FrameError, HelloSpec, InProcessTransport, LedgerDelta, Message, ProcessTransport,
     RemoteError, RemotePlane, Transport, WireError, WorkBatch, WorkItem, Worker, WorkerFactory,
 };
-pub use result::TuningResult;
+pub use result::{ParetoPoint, TuningResult};
 pub use search::{
-    argmin_finite, evaluate_proposals, strictly_better, Candidate, CollectionRequest, EvalMode,
-    History, Observation, Proposal, SearchDriver, SearchStrategy,
+    argmin_finite, evaluate_proposals, evaluate_proposals_scored, pareto_points, strictly_better,
+    Candidate, CollectionRequest, EvalMode, History, Observation, Proposal, SearchDriver,
+    SearchStrategy,
 };
 pub use server::{
     arch_by_name, AdmissionError, CampaignSpec, ProgressEvent, ServerConfig, ServerReport,

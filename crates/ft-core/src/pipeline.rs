@@ -35,6 +35,7 @@ use crate::checkpoint::{CampaignCheckpoint, CheckpointError, CHECKPOINT_VERSION}
 use crate::collection::{collect, CollectionData};
 use crate::cost::TuningCost;
 use crate::ctx::{EvalContext, FaultStats, ResilienceConfig};
+use crate::objective::Objective;
 use crate::remote::{
     HelloSpec, InProcessTransport, ProcessTransport, RemotePlane, Transport, WorkerFactory,
 };
@@ -266,6 +267,7 @@ pub struct Tuner<'a> {
     seed: u64,
     steps_cap: Option<u32>,
     faults: FaultModel,
+    objective: Objective,
     resilience: ResilienceConfig,
     schedule: ScheduleMode,
     interleave: Option<u64>,
@@ -289,6 +291,7 @@ impl<'a> Tuner<'a> {
             seed: 42,
             steps_cap: None,
             faults: FaultModel::zero(),
+            objective: Objective::Time,
             resilience: ResilienceConfig::default(),
             schedule: ScheduleMode::default(),
             interleave: None,
@@ -334,6 +337,15 @@ impl<'a> Tuner<'a> {
     /// bit-identical to the infallible toolchain.
     pub fn faults(mut self, faults: FaultModel) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Selects what the campaign optimizes (see [`Objective`]). The
+    /// default [`Objective::Time`] is the paper's setting and keeps
+    /// every value bit-identical to the pre-objective pipeline; the
+    /// objective is checkpoint identity, like the seed.
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
         self
     }
 
@@ -546,6 +558,9 @@ impl<'a> Tuner<'a> {
         if cp.faults != self.faults {
             return mismatch("fault model", &cp.faults, &self.faults);
         }
+        if cp.objective != self.objective {
+            return mismatch("objective", &cp.objective, &self.objective);
+        }
         Ok(())
     }
 
@@ -580,6 +595,7 @@ impl<'a> Tuner<'a> {
         )
         .with_faults(self.faults)
         .with_resilience(self.resilience)
+        .with_objective(self.objective)
         .with_cache_capacity(self.cache_capacity);
         if let Some(store) = &self.store {
             ctx = ctx.with_shared_store(store.clone());
@@ -603,6 +619,7 @@ impl<'a> Tuner<'a> {
                     let noise_root = derive_seed(self.seed, "noise");
                     let faults = self.faults;
                     let resilience = self.resilience;
+                    let objective = self.objective;
                     Arc::new(move |_w| {
                         let wctx = EvalContext::new(
                             ir.clone(),
@@ -612,7 +629,8 @@ impl<'a> Tuner<'a> {
                             noise_root,
                         )
                         .with_faults(faults)
-                        .with_resilience(resilience);
+                        .with_resilience(resilience)
+                        .with_objective(objective);
                         Ok(Box::new(InProcessTransport::new(wctx)) as Box<dyn Transport>)
                     })
                 }
@@ -630,6 +648,7 @@ impl<'a> Tuner<'a> {
                         fault_outlier: self.faults.outlier,
                         max_retries: u64::from(self.resilience.max_retries),
                         timeout_factor: self.resilience.timeout_factor,
+                        objective: self.objective,
                     };
                     let modules = outlined.ir.len() as u64;
                     Arc::new(move |_w| {
@@ -846,6 +865,7 @@ impl<'a> Tuner<'a> {
                 seed: self.seed,
                 steps_cap: self.steps_cap,
                 faults: self.faults,
+                objective: self.objective,
                 baseline_time: Some(baseline_time),
                 data,
                 random,

@@ -45,8 +45,9 @@
 
 use crate::canonical::{read_bytes, read_u64, write_bytes, write_u64};
 use crate::ctx::EvalContext;
-use crate::journal::crc32;
-use crate::search::{evaluate_proposals, Candidate, EvalMode, Proposal};
+use crate::framing::crc32;
+use crate::objective::{Objective, Score};
+use crate::search::{evaluate_proposals_scored, Candidate, EvalMode, Proposal};
 use crate::supervisor::ChaosPolicy;
 use ft_flags::{Cv, CvId, CvPool};
 use std::collections::{HashMap, HashSet};
@@ -55,17 +56,16 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Protocol version carried in every hello; a mismatch is a typed
-/// refusal, not a guess.
-pub const PROTOCOL_VERSION: u64 = 1;
+/// refusal, not a guess. Version 2 added the campaign objective to the
+/// hello and per-candidate code-size bits to every reply — a version-1
+/// peer decodes to [`WireError::Version`], never to a defaulted
+/// objective.
+pub const PROTOCOL_VERSION: u64 = 2;
 
-/// Frame header: `[u32 payload len][u32 crc32]`, both little-endian —
-/// the same discipline as the WAL journal.
-pub const FRAME_HEADER: usize = 8;
-
-/// Ceiling on a single frame's payload. Far above any real batch
-/// (a 1000-candidate per-loop batch with full CV definitions is a few
-/// hundred KiB); a corrupt length beyond it is insane, not large.
-pub const MAX_FRAME_BYTES: usize = 64 << 20;
+/// The shared frame codec (see [`crate::framing`]): the wire uses the
+/// exact discipline of the WAL journal, re-exported here under the
+/// names this module has always had.
+pub use crate::framing::{FRAME_HEADER, MAX_FRAME_BYTES};
 
 /// Consecutive respawn attempts per shard dispatch before the
 /// coordinator gives up. Each attempt is a fresh worker; a batch that
@@ -77,29 +77,9 @@ pub const RESPAWN_LIMIT: u32 = 8;
 // Errors
 // ---------------------------------------------------------------------------
 
-/// Why a frame could not be lifted off the byte stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FrameError {
-    /// Fewer than [`FRAME_HEADER`] bytes remain.
-    ShortHeader,
-    /// The declared payload length exceeds [`MAX_FRAME_BYTES`].
-    LengthInsane,
-    /// The declared payload runs past the available bytes.
-    LengthOverrun,
-    /// The payload does not match its CRC32.
-    CrcMismatch,
-}
-
-impl std::fmt::Display for FrameError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            FrameError::ShortHeader => write!(f, "short frame header"),
-            FrameError::LengthInsane => write!(f, "frame length exceeds {MAX_FRAME_BYTES}"),
-            FrameError::LengthOverrun => write!(f, "frame length overruns the buffer"),
-            FrameError::CrcMismatch => write!(f, "frame CRC mismatch"),
-        }
-    }
-}
+/// Why a frame could not be lifted off the byte stream — the shared
+/// [`crate::framing::FrameError`].
+pub use crate::framing::FrameError;
 
 /// Why a CRC-valid payload could not be decoded into a message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -196,61 +176,10 @@ impl From<std::io::Error> for RemoteError {
 }
 
 // ---------------------------------------------------------------------------
-// Frame codec
+// Frame codec — one implementation, shared with the WAL journal.
 // ---------------------------------------------------------------------------
 
-/// Wraps a payload in the journal frame discipline:
-/// `[u32 len][u32 crc32][payload]`.
-pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
-    assert!(payload.len() <= MAX_FRAME_BYTES, "frame payload too large");
-    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&crc32(payload).to_le_bytes());
-    out.extend_from_slice(payload);
-    out
-}
-
-/// Lifts one frame off the front of `buf`: returns the payload slice
-/// and the total bytes consumed. Damage is a typed [`FrameError`];
-/// nothing is sliced before the length is validated against the
-/// buffer.
-pub fn decode_frame(buf: &[u8]) -> Result<(&[u8], usize), FrameError> {
-    if buf.len() < FRAME_HEADER {
-        return Err(FrameError::ShortHeader);
-    }
-    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")) as usize;
-    let crc = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
-    if len > MAX_FRAME_BYTES {
-        return Err(FrameError::LengthInsane);
-    }
-    if buf.len() - FRAME_HEADER < len {
-        return Err(FrameError::LengthOverrun);
-    }
-    let payload = &buf[FRAME_HEADER..FRAME_HEADER + len];
-    if crc32(payload) != crc {
-        return Err(FrameError::CrcMismatch);
-    }
-    Ok((payload, FRAME_HEADER + len))
-}
-
-/// Decodes a stream of concatenated frames into the longest valid
-/// payload prefix, plus the typed reason the scan stopped (if it did
-/// not consume everything). The prefix property mirrors the WAL's
-/// recovery contract and is what the corruption proptests pin.
-pub fn decode_frames(buf: &[u8]) -> (Vec<&[u8]>, Option<FrameError>) {
-    let mut payloads = Vec::new();
-    let mut pos = 0;
-    while pos < buf.len() {
-        match decode_frame(&buf[pos..]) {
-            Ok((payload, consumed)) => {
-                payloads.push(payload);
-                pos += consumed;
-            }
-            Err(e) => return (payloads, Some(e)),
-        }
-    }
-    (payloads, None)
-}
+pub use crate::framing::{decode_frame, decode_frames, encode_frame};
 
 /// Writes one frame to a stream (header + payload, no flush policy —
 /// callers flush at message boundaries).
@@ -321,6 +250,11 @@ pub struct HelloSpec {
     /// Resilience policy.
     pub max_retries: u64,
     pub timeout_factor: f64,
+    /// What the campaign optimizes. Workers never select winners, but
+    /// the objective is part of the campaign identity, so a worker
+    /// whose coordinator tunes a different objective must know (and a
+    /// pre-objective peer must fail the version gate, not default).
+    pub objective: Objective,
 }
 
 /// One candidate of a work batch, as interned digests. The worker
@@ -471,6 +405,10 @@ pub struct BatchReply {
     /// Measured times as f64 bit patterns, in item order (`+inf`
     /// survives exactly; nothing is rounded through text).
     pub time_bits: Vec<u64>,
+    /// Modeled executable sizes as f64 bit patterns, in item order
+    /// (the [`Score::code_bytes`] component; `+inf` for faulted
+    /// candidates). Same arity as `time_bits`.
+    pub code_bits: Vec<u64>,
     /// The worker ledger's movement across this batch.
     pub ledger: LedgerDelta,
 }
@@ -503,6 +441,19 @@ fn take_bytes<'a>(buf: &'a [u8], pos: &mut usize) -> Result<&'a [u8], WireError>
     read_bytes(buf, pos).ok_or(WireError::Truncated { at })
 }
 
+fn take_objective(buf: &[u8], pos: &mut usize) -> Result<Objective, WireError> {
+    let tag = take_u64(buf, pos)?;
+    let w = take_f64(buf, pos)?;
+    match tag {
+        0 => Ok(Objective::Time),
+        1 => Ok(Objective::CodeBytes),
+        2 if w.is_finite() && (0.0..=1.0).contains(&w) => Ok(Objective::Weighted { w }),
+        2 => Err(WireError::BadValue("objective weight outside [0, 1]")),
+        3 => Ok(Objective::Pareto),
+        _ => Err(WireError::BadValue("unknown objective tag")),
+    }
+}
+
 /// Encodes a message payload (frame it with [`encode_frame`] before
 /// putting it on a stream).
 pub fn encode_message(msg: &Message) -> Vec<u8> {
@@ -522,6 +473,7 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             write_u64(&mut out, spec.fault_outlier.to_bits());
             write_u64(&mut out, spec.max_retries);
             write_u64(&mut out, spec.timeout_factor.to_bits());
+            spec.objective.write_canonical(&mut out);
         }
         Message::HelloAck { modules } => {
             write_u64(&mut out, MSG_HELLO_ACK);
@@ -551,6 +503,10 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             write_u64(&mut out, reply.seq);
             write_u64(&mut out, reply.time_bits.len() as u64);
             for bits in &reply.time_bits {
+                write_u64(&mut out, *bits);
+            }
+            write_u64(&mut out, reply.code_bits.len() as u64);
+            for bits in &reply.code_bits {
                 write_u64(&mut out, *bits);
             }
             reply.ledger.write(&mut out);
@@ -595,6 +551,7 @@ pub fn decode_message(buf: &[u8]) -> Result<Message, WireError> {
                 fault_outlier: take_f64(buf, &mut pos)?,
                 max_retries: take_u64(buf, &mut pos)?,
                 timeout_factor: take_f64(buf, &mut pos)?,
+                objective: take_objective(buf, &mut pos)?,
             })
         }
         MSG_HELLO_ACK => Message::HelloAck {
@@ -644,10 +601,16 @@ pub fn decode_message(buf: &[u8]) -> Result<Message, WireError> {
             for _ in 0..n_times {
                 time_bits.push(take_u64(buf, &mut pos)?);
             }
+            let n_codes = take_u64(buf, &mut pos)?;
+            let mut code_bits = Vec::new();
+            for _ in 0..n_codes {
+                code_bits.push(take_u64(buf, &mut pos)?);
+            }
             let ledger = LedgerDelta::read(buf, &mut pos)?;
             Message::Reply(BatchReply {
                 seq,
                 time_bits,
+                code_bits,
                 ledger,
             })
         }
@@ -735,13 +698,14 @@ impl Worker {
             };
             proposals.push(Proposal::new(candidate, item.noise_seed));
         }
-        let times = evaluate_proposals(&self.ctx, &self.pool, &proposals, self.eval_mode);
+        let scores = evaluate_proposals_scored(&self.ctx, &self.pool, &proposals, self.eval_mode);
         let now = LedgerDelta::totals_of(&self.ctx);
         let ledger = now.since(&self.last);
         self.last = now;
         Ok(BatchReply {
             seq: batch.seq,
-            time_bits: times.iter().map(|t| t.to_bits()).collect(),
+            time_bits: scores.iter().map(|s| s.time.to_bits()).collect(),
+            code_bits: scores.iter().map(|s| s.code_bytes.to_bits()).collect(),
             ledger,
         })
     }
@@ -1075,7 +1039,7 @@ impl RemotePlane {
     }
 
     /// Evaluates one proposal batch across the workers and returns
-    /// times in proposal order. Candidates are sharded by index,
+    /// scores in proposal order. Candidates are sharded by index,
     /// dispatched concurrently (one thread per non-empty shard), and
     /// scattered back by index — arrival order cannot reorder
     /// results. A worker that dies (chaos kill, transport error,
@@ -1086,7 +1050,7 @@ impl RemotePlane {
         pool: &CvPool,
         proposals: &[Proposal],
         timeout_ref_bits: u64,
-    ) -> Vec<f64> {
+    ) -> Vec<Score> {
         if proposals.is_empty() {
             return Vec::new();
         }
@@ -1096,12 +1060,12 @@ impl RemotePlane {
         for (k, p) in proposals.iter().enumerate() {
             shards[k % n].push((k, p));
         }
-        let mut times = vec![0.0f64; proposals.len()];
+        let mut scores = vec![Score::faulted(); proposals.len()];
         if n == 1 {
-            for (k, bits) in self.run_shard(0, seq, pool, &shards[0], timeout_ref_bits) {
-                times[k] = f64::from_bits(bits);
+            for (k, score) in self.run_shard(0, seq, pool, &shards[0], timeout_ref_bits) {
+                scores[k] = score;
             }
-            return times;
+            return scores;
         }
         std::thread::scope(|s| {
             let handles: Vec<_> = shards
@@ -1113,12 +1077,12 @@ impl RemotePlane {
                 })
                 .collect();
             for h in handles {
-                for (k, bits) in h.join().expect("shard dispatch thread panicked") {
-                    times[k] = f64::from_bits(bits);
+                for (k, score) in h.join().expect("shard dispatch thread panicked") {
+                    scores[k] = score;
                 }
             }
         });
-        times
+        scores
     }
 
     fn run_shard(
@@ -1128,7 +1092,7 @@ impl RemotePlane {
         pool: &CvPool,
         shard: &[(usize, &Proposal)],
         timeout_ref_bits: u64,
-    ) -> Vec<(usize, u64)> {
+    ) -> Vec<(usize, Score)> {
         let mut slot = self.slots[w].lock().expect("worker slot poisoned");
         // Chaos kill at this batch boundary: the worker dies holding
         // its warm caches and quarantine; all of that state drops and
@@ -1206,13 +1170,18 @@ impl RemotePlane {
                 .and_then(|reply| {
                     let (payload, _) = decode_frame(&reply)?;
                     match decode_message(payload)? {
-                        Message::Reply(r) if r.seq == seq && r.time_bits.len() == items.len() => {
+                        Message::Reply(r)
+                            if r.seq == seq
+                                && r.time_bits.len() == items.len()
+                                && r.code_bits.len() == items.len() =>
+                        {
                             Ok(r)
                         }
                         Message::Reply(r) => Err(RemoteError::Protocol(format!(
-                            "reply for seq {} ({} times) to batch seq {seq} ({} items)",
+                            "reply for seq {} ({} times, {} codes) to batch seq {seq} ({} items)",
                             r.seq,
                             r.time_bits.len(),
+                            r.code_bits.len(),
                             items.len()
                         ))),
                         other => Err(RemoteError::Protocol(format!(
@@ -1226,7 +1195,17 @@ impl RemotePlane {
                         slot.known.insert(*d);
                     }
                     self.ledger.apply(&reply.ledger);
-                    return shard.iter().map(|(k, _)| *k).zip(reply.time_bits).collect();
+                    return shard
+                        .iter()
+                        .map(|(k, _)| *k)
+                        .zip(
+                            reply
+                                .time_bits
+                                .iter()
+                                .zip(&reply.code_bits)
+                                .map(|(t, c)| Score::new(f64::from_bits(*t), f64::from_bits(*c))),
+                        )
+                        .collect();
                 }
                 Err(e) => {
                     // A dead or incoherent worker: drop it (its
@@ -1284,12 +1263,14 @@ mod tests {
                 fault_outlier: 0.01,
                 max_retries: 2,
                 timeout_factor: 20.0,
+                objective: Objective::Weighted { w: 0.25 },
             }),
             Message::HelloAck { modules: 9 },
             Message::Work(sample_batch()),
             Message::Reply(BatchReply {
                 seq: 7,
                 time_bits: vec![1.5f64.to_bits(), f64::INFINITY.to_bits()],
+                code_bits: vec![4096.0f64.to_bits(), f64::INFINITY.to_bits()],
                 ledger: LedgerDelta {
                     runs: 3,
                     machine_nanos: 1_000_000,
@@ -1315,6 +1296,7 @@ mod tests {
         let reply = Message::Reply(BatchReply {
             seq: 0,
             time_bits: vec![f64::INFINITY.to_bits(), (-0.0f64).to_bits()],
+            code_bits: vec![f64::INFINITY.to_bits(), 0.0f64.to_bits()],
             ledger: LedgerDelta::default(),
         });
         match decode_message(&encode_message(&reply)).unwrap() {
@@ -1352,6 +1334,57 @@ mod tests {
                 found: PROTOCOL_VERSION + 1,
                 supported: PROTOCOL_VERSION,
             })
+        );
+    }
+
+    #[test]
+    fn pre_objective_hello_is_refused_with_a_typed_version_error() {
+        // A v1 hello (the pre-objective wire format) never decodes to a
+        // defaulted objective: the version gate fires first, typed.
+        let mut payload = Vec::new();
+        crate::canonical::write_u64(&mut payload, MSG_HELLO);
+        crate::canonical::write_u64(&mut payload, 1);
+        crate::canonical::write_bytes(&mut payload, b"swim");
+        crate::canonical::write_bytes(&mut payload, b"broadwell");
+        assert_eq!(
+            decode_message(&payload),
+            Err(WireError::Version {
+                found: 1,
+                supported: PROTOCOL_VERSION,
+            })
+        );
+    }
+
+    #[test]
+    fn hello_with_a_bad_objective_word_is_refused() {
+        let spec = HelloSpec {
+            workload: "swim".into(),
+            arch: "broadwell".into(),
+            steps_cap: 5,
+            seed: 42,
+            fault_seed: 0,
+            fault_compile: 0.0,
+            fault_crash: 0.0,
+            fault_hang: 0.0,
+            fault_outlier: 0.0,
+            max_retries: 2,
+            timeout_factor: 20.0,
+            objective: Objective::Time,
+        };
+        let mut payload = encode_message(&Message::Hello(spec));
+        // The objective word is the final 16 bytes: tag u64 + weight
+        // f64 bits. Forge an unknown tag, then an out-of-range weight.
+        let tag_at = payload.len() - 16;
+        payload[tag_at..tag_at + 8].copy_from_slice(&99u64.to_le_bytes());
+        assert_eq!(
+            decode_message(&payload),
+            Err(WireError::BadValue("unknown objective tag"))
+        );
+        payload[tag_at..tag_at + 8].copy_from_slice(&2u64.to_le_bytes());
+        payload[tag_at + 8..].copy_from_slice(&7.5f64.to_bits().to_le_bytes());
+        assert_eq!(
+            decode_message(&payload),
+            Err(WireError::BadValue("objective weight outside [0, 1]"))
         );
     }
 

@@ -1,7 +1,23 @@
 //! Tuning outcomes.
 
+use crate::objective::{Objective, Score};
 use ft_flags::Cv;
 use serde::{Deserialize, Serialize};
+
+/// One point of a Pareto front: a non-dominated candidate, materialized
+/// for reporting. Points are ordered by ascending time (descending
+/// code bytes) — see [`crate::objective::pareto_front`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// Index of the candidate within the evaluation order.
+    pub index: usize,
+    /// End-to-end seconds.
+    pub time: f64,
+    /// Modeled executable size, bytes.
+    pub code_bytes: f64,
+    /// The candidate's per-module CV assignment.
+    pub assignment: Vec<Cv>,
+}
 
 /// The outcome of one search algorithm on one (program, architecture,
 /// input) triple.
@@ -23,6 +39,26 @@ pub struct TuningResult {
     pub history: Vec<f64>,
     /// Total candidate executions performed.
     pub evaluations: usize,
+    /// What this search optimized. [`Objective::Time`] is the paper's
+    /// setting and the default everywhere.
+    #[serde(default)]
+    pub objective: Objective,
+    /// Modeled executable size of the winning assignment, bytes
+    /// (`+inf` when the winner's score was never tracked — bespoke
+    /// baseline finishes that predate the scored timeline).
+    #[serde(default)]
+    pub best_code_bytes: f64,
+    /// Raw per-candidate (time, code bytes) timeline, in evaluation
+    /// order. Empty for strategies with bespoke finishes that only
+    /// track the time curve.
+    #[serde(default)]
+    pub scores: Vec<Score>,
+    /// The dominance front over [`TuningResult::scores`] — populated
+    /// only under [`Objective::Pareto`], where the "winner" is this
+    /// whole trade-off curve (plus the fastest point as the scalar
+    /// `assignment` for backward-compatible reporting).
+    #[serde(default)]
+    pub front: Vec<ParetoPoint>,
 }
 
 impl TuningResult {
@@ -35,6 +71,12 @@ impl TuningResult {
     /// [`crate::canonical`]): every float by bit pattern, every CV by
     /// raw flag bytes. Used by the phase-equivalence harness to compare
     /// results across schedules without JSON's `inf → null` loss.
+    ///
+    /// Under the default [`Objective::Time`] the encoding is exactly
+    /// the pre-objective one — every golden digest stays valid. A
+    /// non-time objective appends the objective word, the winner's
+    /// code bytes, the score timeline, and the front, all by bit
+    /// pattern.
     pub fn write_canonical(&self, out: &mut Vec<u8>) {
         use crate::canonical::{write_bytes, write_f64, write_f64s, write_str, write_u64};
         write_str(out, &self.algorithm);
@@ -47,6 +89,24 @@ impl TuningResult {
         write_u64(out, self.best_index as u64);
         write_f64s(out, &self.history);
         write_u64(out, self.evaluations as u64);
+        if self.objective.extends_canonical() {
+            self.objective.write_canonical(out);
+            write_f64(out, self.best_code_bytes);
+            write_u64(out, self.scores.len() as u64);
+            for s in &self.scores {
+                s.write_canonical(out);
+            }
+            write_u64(out, self.front.len() as u64);
+            for p in &self.front {
+                write_u64(out, p.index as u64);
+                write_f64(out, p.time);
+                write_f64(out, p.code_bytes);
+                write_u64(out, p.assignment.len() as u64);
+                for cv in &p.assignment {
+                    write_bytes(out, cv.values());
+                }
+            }
+        }
     }
 
     /// Number of evaluations after which the search was within
@@ -87,7 +147,35 @@ mod tests {
             best_index: 0,
             history,
             evaluations: times.len(),
+            objective: Objective::Time,
+            best_code_bytes: f64::INFINITY,
+            scores: Vec::new(),
+            front: Vec::new(),
         }
+    }
+
+    #[test]
+    fn canonical_bytes_extend_only_off_the_time_objective() {
+        // The pre-objective encoding is the Time encoding, verbatim:
+        // a result that records scores but optimizes time must encode
+        // to exactly the bytes the legacy struct produced.
+        let mut r = result(&[5.0, 4.0]);
+        let mut legacy = Vec::new();
+        r.write_canonical(&mut legacy);
+        r.scores = vec![Score::new(5.0, 100.0), Score::new(4.0, 90.0)];
+        r.best_code_bytes = 90.0;
+        let mut with_scores = Vec::new();
+        r.write_canonical(&mut with_scores);
+        assert_eq!(legacy, with_scores, "Time encoding must not grow");
+        r.objective = Objective::Pareto;
+        let mut pareto = Vec::new();
+        r.write_canonical(&mut pareto);
+        assert!(pareto.len() > legacy.len());
+        assert_eq!(
+            &pareto[..legacy.len()],
+            &legacy[..],
+            "extension is a suffix"
+        );
     }
 
     #[test]

@@ -22,7 +22,9 @@
 
 use crate::collection::{collect_candidates, MixedCollection};
 use crate::ctx::EvalContext;
-use crate::result::{best_so_far, TuningResult};
+use crate::objective::{pareto_front, Objective, Score};
+use crate::result::{best_so_far, ParetoPoint, TuningResult};
+use ft_compiler::lru::CacheWeight;
 use ft_flags::{Cv, CvId, CvPool};
 use ft_machine::LinkedProgram;
 use rayon::prelude::*;
@@ -70,6 +72,17 @@ pub struct Observation<'a> {
     /// End-to-end seconds; `+inf` marks a candidate the resilient
     /// harness gave up on.
     pub time: f64,
+    /// Modeled executable size of the linked candidate; `+inf` for a
+    /// faulted one (it produced nothing to measure).
+    pub code_bytes: f64,
+}
+
+impl Observation<'_> {
+    /// The observation as a [`Score`] (what objective-aware strategies
+    /// compare through).
+    pub fn score(&self) -> Score {
+        Score::new(self.time, self.code_bytes)
+    }
 }
 
 /// A strategy's request for per-loop timers (the Figure-4 collection
@@ -86,6 +99,7 @@ pub struct CollectionRequest {
 pub struct History {
     candidates: Vec<Candidate>,
     times: Vec<f64>,
+    scores: Vec<Score>,
 }
 
 impl History {
@@ -102,13 +116,20 @@ impl History {
         &self.times
     }
 
+    /// Every observed [`Score`], in evaluation order. Same length as
+    /// [`History::times`]; `scores()[i].time == times()[i]` always.
+    pub fn scores(&self) -> &[Score] {
+        &self.scores
+    }
+
     pub fn candidate(&self, index: usize) -> &Candidate {
         &self.candidates[index]
     }
 
-    fn push(&mut self, candidate: Candidate, time: f64) {
+    fn push(&mut self, candidate: Candidate, score: Score) {
         self.candidates.push(candidate);
-        self.times.push(time);
+        self.times.push(score.time);
+        self.scores.push(score);
     }
 }
 
@@ -223,17 +244,18 @@ impl<'a> SearchDriver<'a> {
                 break;
             }
             let start = history.len();
-            let times = self.evaluate_batch(&proposals);
-            for (p, t) in proposals.into_iter().zip(&times) {
-                history.push(p.candidate, *t);
+            let scores = self.evaluate_batch(&proposals);
+            for (p, s) in proposals.into_iter().zip(&scores) {
+                history.push(p.candidate, *s);
             }
-            let observations: Vec<Observation<'_>> = times
+            let observations: Vec<Observation<'_>> = scores
                 .iter()
                 .enumerate()
-                .map(|(i, t)| Observation {
+                .map(|(i, s)| Observation {
                     index: start + i,
                     candidate: history.candidate(start + i),
-                    time: *t,
+                    time: s.time,
+                    code_bytes: s.code_bytes,
                 })
                 .collect();
             strategy.observe(&self.pool, &observations);
@@ -248,15 +270,15 @@ impl<'a> SearchDriver<'a> {
 
     /// Evaluates one proposal batch, routing to the distributed plane
     /// when the context has one attached (`ftune tune --workers N`),
-    /// and through [`evaluate_proposals`] locally otherwise. Both
-    /// routes are bit-identical: the plane's workers run the same
-    /// `evaluate_proposals` on the same (digests, noise seed) inputs,
-    /// and candidates are pure functions of those inputs.
-    fn evaluate_batch(&self, proposals: &[Proposal]) -> Vec<f64> {
+    /// and through [`evaluate_proposals_scored`] locally otherwise.
+    /// Both routes are bit-identical: the plane's workers run the same
+    /// [`evaluate_proposals_scored`] on the same (digests, noise seed)
+    /// inputs, and candidates are pure functions of those inputs.
+    fn evaluate_batch(&self, proposals: &[Proposal]) -> Vec<Score> {
         if let Some(plane) = self.ctx.remote_plane() {
             return plane.evaluate(&self.pool, proposals, self.ctx.timeout_reference_bits());
         }
-        evaluate_proposals(self.ctx, &self.pool, proposals, self.eval_mode)
+        evaluate_proposals_scored(self.ctx, &self.pool, proposals, self.eval_mode)
     }
 }
 
@@ -278,6 +300,24 @@ pub fn evaluate_proposals(
     proposals: &[Proposal],
     mode: EvalMode,
 ) -> Vec<f64> {
+    evaluate_proposals_scored(ctx, pool, proposals, mode)
+        .into_iter()
+        .map(|s| s.time)
+        .collect()
+}
+
+/// The scored batch evaluator behind [`evaluate_proposals`] — the one
+/// code path, so the time coordinates are bit-identical to the
+/// time-only view by construction. Each candidate's `code_bytes` is
+/// its linked executable's modeled size, a pure function of the digest
+/// assignment (no extra cache traffic: the batched route already holds
+/// the linked programs, the scalar route reads it inside the funnel).
+pub fn evaluate_proposals_scored(
+    ctx: &EvalContext,
+    pool: &CvPool,
+    proposals: &[Proposal],
+    mode: EvalMode,
+) -> Vec<Score> {
     // A tripped circuit breaker also forces the scalar path: the
     // per-candidate route isolates, retries, and charges each
     // fault precisely, which is the breaker's whole point — and
@@ -285,7 +325,7 @@ pub fn evaluate_proposals(
     if mode == EvalMode::Scalar || !ctx.faults().is_zero() || !ctx.batched_allowed() {
         return proposals
             .par_iter()
-            .map(|p| evaluate_one(ctx, pool, p))
+            .map(|p| evaluate_one_scored(ctx, pool, p))
             .collect();
     }
     // Link phase: compile + link every proposal through the caches
@@ -314,13 +354,18 @@ pub fn evaluate_proposals(
             ctx.execute_linked_batch(&lanes[lo..hi])
         })
         .collect();
-    chunked.into_iter().flatten().collect()
+    chunked
+        .into_iter()
+        .flatten()
+        .zip(&linked)
+        .map(|(t, l)| Score::new(t, l.weight_bytes()))
+        .collect()
 }
 
-fn evaluate_one(ctx: &EvalContext, pool: &CvPool, p: &Proposal) -> f64 {
+fn evaluate_one_scored(ctx: &EvalContext, pool: &CvPool, p: &Proposal) -> Score {
     match &p.candidate {
-        Candidate::Uniform(id) => ctx.eval_uniform_id_resilient(pool, *id, p.noise_seed),
-        Candidate::PerLoop(ids) => ctx.eval_assignment_ids_resilient(pool, ids, p.noise_seed),
+        Candidate::Uniform(id) => ctx.eval_uniform_id_scored(pool, *id, p.noise_seed),
+        Candidate::PerLoop(ids) => ctx.eval_assignment_ids_scored(pool, ids, p.noise_seed),
     }
 }
 
@@ -334,22 +379,56 @@ pub fn materialize_candidate(ctx: &EvalContext, pool: &CvPool, c: &Candidate) ->
     }
 }
 
-/// The default winner selection shared by the CFR-family strategies.
+/// The Pareto front of a score timeline, materialized into the
+/// reportable points a [`TuningResult`] carries. A pure function of
+/// the (candidate, score) history — front membership cannot depend on
+/// evaluation schedule, worker count, or resume boundaries.
+pub fn pareto_points(ctx: &EvalContext, pool: &CvPool, history: &History) -> Vec<ParetoPoint> {
+    pareto_front(history.scores())
+        .into_iter()
+        .map(|i| {
+            let s = history.scores()[i];
+            ParetoPoint {
+                index: i,
+                time: s.time,
+                code_bytes: s.code_bytes,
+                assignment: materialize_candidate(ctx, pool, history.candidate(i)),
+            }
+        })
+        .collect()
+}
+
+/// The default winner selection shared by the CFR-family strategies:
+/// the context objective's scalarized argmin over the score timeline
+/// (under [`Objective::Time`] this is exactly the historical
+/// [`argmin_finite`] over times), plus the dominance front when the
+/// objective is [`Objective::Pareto`].
 pub fn default_finish(
     name: &str,
     ctx: &EvalContext,
     pool: &CvPool,
     history: &History,
 ) -> TuningResult {
-    let (best_index, best_time) = argmin_finite(history.times());
+    let objective = ctx.objective();
+    let (best_index, _key) = objective.select(history.scores());
+    let best = history.scores()[best_index];
+    let front = if objective == Objective::Pareto {
+        pareto_points(ctx, pool, history)
+    } else {
+        Vec::new()
+    };
     TuningResult {
         algorithm: name.into(),
-        best_time,
+        best_time: best.time,
         baseline_time: ctx.baseline_time(10),
         assignment: materialize_candidate(ctx, pool, history.candidate(best_index)),
         best_index,
         history: best_so_far(history.times()),
         evaluations: history.len(),
+        objective,
+        best_code_bytes: best.code_bytes,
+        scores: history.scores().to_vec(),
+        front,
     }
 }
 

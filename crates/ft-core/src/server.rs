@@ -53,6 +53,7 @@
 use crate::checkpoint::{CampaignCheckpoint, CheckpointError};
 use crate::ctx::FaultStats;
 use crate::journal::{Journal, JournalError};
+use crate::objective::Objective;
 use crate::pipeline::{Tuner, TuningRun};
 use crate::remote::WireError;
 use crate::store::ObjectStore;
@@ -70,8 +71,11 @@ use std::sync::{Arc, Condvar, Mutex};
 
 /// Revision tag leading every encoded [`CampaignSpec`]. Bumped when
 /// the spec schema changes; a mismatch decodes to the typed
-/// [`WireError::Version`], never a scrambled spec.
-pub const SPEC_VERSION: u64 = 1;
+/// [`WireError::Version`], never a scrambled spec. Version 2 added the
+/// tuning objective word — the gate fires before any field is read, so
+/// a version-1 spec can never decode with a silently defaulted
+/// objective.
+pub const SPEC_VERSION: u64 = 2;
 
 /// A tenant's campaign submission: everything the daemon needs to
 /// rebuild the exact [`Tuner`] the tenant would run alone.
@@ -105,6 +109,8 @@ pub struct CampaignSpec {
     /// start another segment once the tenant's raw run count reaches
     /// this, and the billed charge is clamped to it.
     pub run_cap: Option<u64>,
+    /// What the campaign optimizes (see [`Objective`]).
+    pub objective: Objective,
 }
 
 impl CampaignSpec {
@@ -124,6 +130,7 @@ impl CampaignSpec {
             fault_hang: 0.0,
             fault_outlier: 0.0,
             run_cap: None,
+            objective: Objective::Time,
         }
     }
 
@@ -158,7 +165,8 @@ impl CampaignSpec {
             .budget(self.budget)
             .focus(self.focus)
             .seed(self.seed)
-            .faults(self.fault_model());
+            .faults(self.fault_model())
+            .objective(self.objective);
         if let Some(cap) = self.steps_cap {
             tuner = tuner.cap_steps(cap);
         }
@@ -186,6 +194,7 @@ impl CampaignSpec {
         write_f64(&mut out, self.fault_outlier);
         write_u64(&mut out, u64::from(self.run_cap.is_some()));
         write_u64(&mut out, self.run_cap.unwrap_or(0));
+        self.objective.write_canonical(&mut out);
         out
     }
 
@@ -242,6 +251,8 @@ impl CampaignSpec {
             1 => Some(cap_raw),
             _ => return Err(WireError::BadValue("run cap flag")),
         };
+        let objective = Objective::read_canonical(buf, &mut pos)
+            .ok_or(WireError::BadValue("objective word"))?;
         if pos != buf.len() {
             return Err(WireError::Trailing {
                 extra: buf.len() - pos,
@@ -260,6 +271,7 @@ impl CampaignSpec {
             fault_hang,
             fault_outlier,
             run_cap,
+            objective,
         })
     }
 }
@@ -1127,6 +1139,39 @@ mod tests {
                 found: 9,
                 supported: SPEC_VERSION,
             })
+        );
+    }
+
+    #[test]
+    fn pre_objective_spec_is_refused_before_any_field_is_read() {
+        // Forge a version-1 spec: version word 1, body without the
+        // trailing objective word. The version gate must fire first —
+        // a typed Version error, never a spec with a defaulted
+        // objective (or a garbled field read).
+        let mut bytes = spec().encode();
+        bytes.truncate(bytes.len() - 16); // drop the objective word
+        bytes[..8].copy_from_slice(&1u64.to_le_bytes());
+        assert_eq!(
+            CampaignSpec::decode(&bytes),
+            Err(WireError::Version {
+                found: 1,
+                supported: SPEC_VERSION,
+            })
+        );
+    }
+
+    #[test]
+    fn hostile_objective_weight_is_refused() {
+        let mut s = spec();
+        s.objective = Objective::Weighted { w: 0.5 };
+        let mut bytes = s.encode();
+        // Overwrite the weight (the final f64) with an out-of-range
+        // value; the decoder must refuse, not clamp.
+        let n = bytes.len();
+        bytes[n - 8..].copy_from_slice(&7.5f64.to_bits().to_le_bytes());
+        assert_eq!(
+            CampaignSpec::decode(&bytes),
+            Err(WireError::BadValue("objective word"))
         );
     }
 

@@ -1,0 +1,376 @@
+//! The objective-equivalence harness: the proof that threading a
+//! first-class [`Objective`] through every layer changed *nothing*
+//! under the paper's time objective, and that the new objectives are
+//! exactly as deterministic and topology-invariant as the old one.
+//!
+//! 1. **Time byte-identity.** A campaign built with no objective at
+//!    all and one built with an explicit `Objective::Time` produce the
+//!    same `canonical_bytes()` — the golden digests and RNG-pinning
+//!    tuples of every pre-objective suite are untouched, because under
+//!    `Time` the objective key *is* the measured time (faulted = +inf
+//!    included) and `extends_canonical()` is false.
+//! 2. **Off-time determinism.** Every non-default objective is run
+//!    twice and must be byte-identical to itself, stamp the result
+//!    with the objective, and report a finite winner code size.
+//! 3. **Winner semantics.** `code-bytes` picks the smallest finite
+//!    executable; `weighted:1` reproduces the time winner exactly;
+//!    `weighted:0` the size winner.
+//! 4. **Pareto topology/tenancy/chaos equivalence.** The dominance
+//!    front is a pure function of the (candidate, score) history, so a
+//!    Pareto campaign sharded across 1/2/8 workers, overlapped
+//!    schedules, a worker kill + respawn, a WAL coordinator kill, and
+//!    a multi-tenant daemon must all converge to the serial reference
+//!    bytes — front membership and order included.
+//! 5. **Front laws** (property tests): permutation invariance, no
+//!    dominated member, and degeneration to `argmin_finite` when every
+//!    candidate has the same size.
+
+use ft_compiler::FaultModel;
+use ft_core::{
+    pareto_front, CampaignSpec, ChaosPolicy, Objective, ScheduleMode, Score, Supervisor,
+    TenantOutcome, Tuner, TuningRun, TuningServer,
+};
+use ft_machine::Architecture;
+use ft_workloads::{workload_by_name, Workload};
+use proptest::prelude::*;
+
+fn swim() -> Workload {
+    workload_by_name("swim").expect("swim in suite")
+}
+
+fn tuner<'a>(w: &'a Workload, arch: &'a Architecture, objective: Objective) -> Tuner<'a> {
+    Tuner::new(w, arch)
+        .budget(60)
+        .focus(8)
+        .seed(42)
+        .cap_steps(5)
+        .objective(objective)
+}
+
+fn assert_bytes_equal(a: &TuningRun, b: &TuningRun, label: &str) {
+    assert_eq!(
+        a.canonical_digest(),
+        b.canonical_digest(),
+        "{label}: canonical digests diverged"
+    );
+    assert_eq!(
+        a.canonical_bytes(),
+        b.canonical_bytes(),
+        "{label}: canonical bytes diverged"
+    );
+}
+
+fn assert_fronts_equal(a: &TuningRun, b: &TuningRun, label: &str) {
+    let pts = |r: &TuningRun| -> Vec<(usize, u64, u64)> {
+        r.cfr
+            .front
+            .iter()
+            .map(|p| (p.index, p.time.to_bits(), p.code_bytes.to_bits()))
+            .collect()
+    };
+    assert_eq!(pts(a), pts(b), "{label}: Pareto fronts diverged");
+}
+
+#[test]
+fn the_time_objective_is_byte_identical_to_the_pre_objective_default() {
+    let arch = Architecture::broadwell();
+    let w = swim();
+    // No .objective() call at all — the pre-refactor construction.
+    let implicit = Tuner::new(&w, &arch)
+        .budget(60)
+        .focus(8)
+        .seed(42)
+        .cap_steps(5)
+        .run();
+    let explicit = tuner(&w, &arch, Objective::Time).run();
+    assert_bytes_equal(&implicit, &explicit, "default vs explicit Time");
+    for r in [&implicit.cfr, &explicit.cfr] {
+        assert_eq!(r.objective, Objective::Time);
+        assert!(
+            r.front.is_empty(),
+            "Time must not compute a front ({} points)",
+            r.front.len()
+        );
+        assert!(r.best_code_bytes.is_finite(), "winner size still surfaced");
+    }
+    // The score timeline is the same measurement stream the pre-
+    // objective stack recorded as plain times.
+    assert_eq!(implicit.cfr.scores.len(), implicit.cfr.evaluations);
+    for s in &implicit.cfr.scores {
+        assert_eq!(
+            s.time.is_finite(),
+            s.code_bytes.is_finite(),
+            "faulted scores must fault both components"
+        );
+    }
+}
+
+#[test]
+fn every_off_time_objective_is_deterministic_and_stamps_its_result() {
+    let arch = Architecture::broadwell();
+    let w = swim();
+    for objective in [
+        Objective::CodeBytes,
+        Objective::Weighted { w: 0.5 },
+        Objective::Pareto,
+    ] {
+        let label = format!("objective={objective}");
+        let a = tuner(&w, &arch, objective).run();
+        let b = tuner(&w, &arch, objective).run();
+        assert_bytes_equal(&a, &b, &label);
+        assert_eq!(a.cfr.objective, objective, "{label}: result not stamped");
+        assert!(
+            a.cfr.best_code_bytes.is_finite() && a.cfr.best_code_bytes > 0.0,
+            "{label}: winner size missing"
+        );
+        assert_eq!(
+            a.cfr.scores.len(),
+            a.cfr.evaluations,
+            "{label}: score timeline incomplete"
+        );
+    }
+}
+
+#[test]
+fn code_bytes_and_weighted_winners_obey_their_objective() {
+    let arch = Architecture::broadwell();
+    let w = swim();
+    let time = tuner(&w, &arch, Objective::Time).run();
+    let size = tuner(&w, &arch, Objective::CodeBytes).run();
+    let w1 = tuner(&w, &arch, Objective::Weighted { w: 1.0 }).run();
+    let w0 = tuner(&w, &arch, Objective::Weighted { w: 0.0 }).run();
+
+    // The size winner is the minimum finite code_bytes in its own
+    // timeline, and no bigger than the time winner's executable.
+    let min_size = size
+        .cfr
+        .scores
+        .iter()
+        .filter(|s| s.is_finite())
+        .map(|s| s.code_bytes)
+        .fold(f64::INFINITY, f64::min);
+    assert_eq!(
+        size.cfr.best_code_bytes.to_bits(),
+        min_size.to_bits(),
+        "code-bytes winner is not the smallest executable"
+    );
+    assert!(size.cfr.best_code_bytes <= time.cfr.best_code_bytes);
+
+    // The measurement stream is objective-invariant (same candidates,
+    // same noise), so the degenerate weightings reproduce the pure
+    // winners bit-for-bit.
+    assert_eq!(
+        w1.cfr.best_time.to_bits(),
+        time.cfr.best_time.to_bits(),
+        "weighted:1 must reproduce the time winner"
+    );
+    assert_eq!(
+        w0.cfr.best_code_bytes.to_bits(),
+        size.cfr.best_code_bytes.to_bits(),
+        "weighted:0 must reproduce the size winner"
+    );
+}
+
+#[test]
+fn pareto_front_is_schedule_worker_count_and_chaos_invariant() {
+    let arch = Architecture::broadwell();
+    let w = swim();
+    for faults in [FaultModel::zero(), FaultModel::testbed(0xFA17)] {
+        let reference = tuner(&w, &arch, Objective::Pareto).faults(faults).run();
+        assert!(
+            !reference.cfr.front.is_empty(),
+            "a finished Pareto campaign must report a front"
+        );
+        // The reported winner is the time-fastest front point, so the
+        // trajectory — and with it every equivalence below — stays
+        // time-driven.
+        assert_eq!(
+            reference.cfr.front[0].time.to_bits(),
+            reference.cfr.best_time.to_bits(),
+            "front head must be the reported winner"
+        );
+        for mode in [ScheduleMode::Serial, ScheduleMode::Overlapped] {
+            for workers in [1usize, 2, 8] {
+                let label = format!("workers={workers} mode={mode:?}");
+                let run = tuner(&w, &arch, Objective::Pareto)
+                    .faults(faults)
+                    .schedule(mode)
+                    .workers(workers)
+                    .run();
+                assert_bytes_equal(&reference, &run, &label);
+                assert_fronts_equal(&reference, &run, &label);
+            }
+        }
+        // A worker killed at a batch boundary must respawn and still
+        // converge to the same front.
+        let killed = tuner(&w, &arch, Objective::Pareto)
+            .faults(faults)
+            .workers(2)
+            .worker_chaos(ChaosPolicy::KillOnce { boundary: 1 })
+            .run();
+        assert!(
+            killed.ctx.remote_plane().expect("plane").kills() == 1,
+            "kill must fire"
+        );
+        assert_bytes_equal(&reference, &killed, "worker kill");
+        assert_fronts_equal(&reference, &killed, "worker kill");
+    }
+}
+
+#[test]
+fn pareto_campaign_survives_a_wal_coordinator_kill_byte_identically() {
+    let arch = Architecture::broadwell();
+    let w = swim();
+    let reference = tuner(&w, &arch, Objective::Pareto).run();
+    let path = ft_core::journal::temp_journal_path("objective-wal");
+    let supervised = Supervisor::new(&path, || tuner(&w, &arch, Objective::Pareto))
+        .chaos(ChaosPolicy::KillOnce { boundary: 2 })
+        .run()
+        .expect("supervised Pareto campaign must converge");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(supervised.report.kills, 1, "coordinator killed once");
+    assert_bytes_equal(&reference, &supervised.run, "wal resume");
+    assert_fronts_equal(&reference, &supervised.run, "wal resume");
+}
+
+#[test]
+fn a_pareto_tenant_on_the_daemon_matches_its_solo_run() {
+    let mut spec = CampaignSpec::new("swim", "broadwell");
+    spec.budget = 60;
+    spec.focus = 8;
+    spec.seed = 42;
+    spec.steps_cap = Some(5);
+    spec.objective = Objective::Pareto;
+    // The wire format round-trips the objective (v2 carries it).
+    let spec = CampaignSpec::decode(&spec.encode()).expect("spec round-trips");
+    assert_eq!(spec.objective, Objective::Pareto);
+
+    let workload = workload_by_name(&spec.workload).expect("workload in suite");
+    let arch = ft_core::server::arch_by_name(&spec.arch).expect("known arch");
+    let solo = spec.build_tuner(&workload, &arch).run();
+    assert!(!solo.cfr.front.is_empty(), "solo front must be non-empty");
+
+    let dir = ft_core::journal::temp_journal_path("objective-tenancy");
+    let mut server =
+        TuningServer::new(ft_core::ServerConfig::new(&dir)).expect("server dir creates");
+    server.submit("pareto-tenant", spec).expect("admitted");
+    let report = server.run();
+    let _ = std::fs::remove_dir_all(&dir);
+    let tenant = &report.tenants[0];
+    match &tenant.outcome {
+        TenantOutcome::Done { run, digest } => {
+            assert_eq!(*digest, solo.canonical_digest(), "daemon digest diverged");
+            assert_bytes_equal(&solo, run, "daemon vs solo");
+            assert_fronts_equal(&solo, run, "daemon vs solo");
+        }
+        other => panic!("tenant did not finish: {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Front laws (satellite property tests).
+// ---------------------------------------------------------------------------
+
+/// Deterministic score sets from a seed (SplitMix64): a mix of finite
+/// points on a coarse grid (so dominance and exact duplicates both
+/// actually occur) and faulted `+inf` entries.
+fn scores_from_seed(seed: u64, n: usize) -> Vec<Score> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    (0..n)
+        .map(|_| {
+            if next() % 8 == 0 {
+                Score::faulted()
+            } else {
+                Score::new(
+                    (next() % 16) as f64 + 1.0,
+                    ((next() % 16) as f64 + 1.0) * 1e3,
+                )
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Front membership is invariant under permutation of the
+    /// evaluation order: rotating and reversing the score list selects
+    /// the same set of (time, code) points.
+    #[test]
+    fn front_is_permutation_invariant(seed in any::<u64>(), n in 1usize..40, rot in 0usize..40) {
+        let scores = scores_from_seed(seed, n);
+        let members = |s: &[Score]| -> Vec<(u64, u64)> {
+            // The front sorts by (time, code) bits, so equal member
+            // sets render as equal sorted lists.
+            pareto_front(s).into_iter().map(|i| s[i].bits()).collect()
+        };
+        let reference = members(&scores);
+        let mut rotated = scores.clone();
+        rotated.rotate_left(rot % n);
+        prop_assert_eq!(&members(&rotated), &reference, "rotation changed the front");
+        let mut reversed = scores;
+        reversed.reverse();
+        prop_assert_eq!(&members(&reversed), &reference, "reversal changed the front");
+    }
+
+    /// No front member is dominated by any finite score, every member
+    /// is finite, and membership is exactly the non-dominated set (a
+    /// finite point off the front is dominated or a duplicate).
+    #[test]
+    fn front_has_no_dominated_member_and_misses_none(seed in any::<u64>(), n in 1usize..40) {
+        let scores = scores_from_seed(seed, n);
+        let front = pareto_front(&scores);
+        for &i in &front {
+            prop_assert!(scores[i].is_finite(), "faulted score on the front");
+            for (j, o) in scores.iter().enumerate() {
+                if j != i && o.is_finite() {
+                    prop_assert!(!o.dominates(&scores[i]),
+                        "front member {} dominated by {}", i, j);
+                }
+            }
+        }
+        for (i, s) in scores.iter().enumerate() {
+            if !s.is_finite() || front.contains(&i) {
+                continue;
+            }
+            let excluded_rightly = scores.iter().enumerate().any(|(j, o)| {
+                j != i && o.is_finite()
+                    && (o.dominates(s) || (j < i && o.bits() == s.bits()))
+            });
+            prop_assert!(excluded_rightly, "non-dominated point {} missing from front", i);
+        }
+    }
+
+    /// When every candidate has the same executable size the front
+    /// degenerates to the single time winner — exactly
+    /// `argmin_finite` over the times.
+    #[test]
+    fn front_degenerates_to_argmin_finite_when_sizes_are_equal(
+        seed in any::<u64>(),
+        n in 1usize..40,
+    ) {
+        let mut scores = scores_from_seed(seed, n);
+        for s in &mut scores {
+            if s.is_finite() {
+                s.code_bytes = 4096.0;
+            }
+        }
+        let front = pareto_front(&scores);
+        let times: Vec<f64> = scores.iter().map(|s| s.time).collect();
+        if times.iter().any(|t| t.is_finite()) {
+            let (best, best_time) = ft_core::argmin_finite(&times);
+            prop_assert_eq!(front.len(), 1, "equal sizes must collapse the front");
+            prop_assert_eq!(front[0], best, "front winner != argmin_finite winner");
+            prop_assert_eq!(scores[front[0]].time.to_bits(), best_time.to_bits());
+        } else {
+            prop_assert!(front.is_empty(), "all-faulted history has no front");
+        }
+    }
+}

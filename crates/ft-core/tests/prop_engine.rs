@@ -154,6 +154,10 @@ proptest! {
                     best_index: 0,
                     history: Vec::new(),
                     evaluations: history.len(),
+                    objective: _ctx.objective(),
+                    best_code_bytes: f64::INFINITY,
+                    scores: Vec::new(),
+                    front: Vec::new(),
                 }
             }
         }

@@ -71,6 +71,14 @@ fn message_from_seed(seed: u64) -> Message {
             fault_outlier: f(s.next()),
             max_retries: s.next(),
             timeout_factor: f(s.next()),
+            objective: match s.next() % 4 {
+                0 => ft_core::Objective::Time,
+                1 => ft_core::Objective::CodeBytes,
+                2 => ft_core::Objective::Weighted {
+                    w: (s.next() % 1000) as f64 / 1000.0,
+                },
+                _ => ft_core::Objective::Pareto,
+            },
         }),
         1 => Message::HelloAck { modules: s.next() },
         2 => {
@@ -113,6 +121,7 @@ fn message_from_seed(seed: u64) -> Message {
                         }
                     })
                     .collect(),
+                code_bits: (0..n).map(|_| s.next()).collect(),
                 ledger: LedgerDelta {
                     runs: s.next(),
                     machine_nanos: s.next(),
@@ -246,10 +255,12 @@ proptest! {
     #[test]
     fn reordered_and_duplicated_frames_are_detectable_by_seq(a in any::<u64>(), b in any::<u64>()) {
         let ra = Message::Reply(BatchReply {
-            seq: a, time_bits: vec![a ^ 1], ledger: LedgerDelta::default(),
+            seq: a, time_bits: vec![a ^ 1], code_bits: vec![a ^ 3],
+            ledger: LedgerDelta::default(),
         });
         let rb = Message::Reply(BatchReply {
-            seq: b, time_bits: vec![b ^ 2], ledger: LedgerDelta::default(),
+            seq: b, time_bits: vec![b ^ 2], code_bits: vec![b ^ 4],
+            ledger: LedgerDelta::default(),
         });
         let (fa, fb) = (encode_frame(&encode_message(&ra)), encode_frame(&encode_message(&rb)));
         let mut stream = Vec::new();

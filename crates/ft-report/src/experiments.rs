@@ -33,6 +33,7 @@ pub fn all_ids() -> &'static [&'static str] {
         "overhead",
         "convergence",
         "variance",
+        "pareto",
     ]
 }
 
@@ -60,6 +61,7 @@ pub fn run_experiment(id: &str, cfg: &ReproConfig) -> Artifact {
         "overhead" => overhead(cfg),
         "convergence" => convergence(cfg),
         "variance" => variance(cfg),
+        "pareto" => pareto(cfg),
         other => panic!("unknown experiment id {other:?}; see all_ids()"),
     }
 }
@@ -722,7 +724,12 @@ fn overhead(cfg: &ReproConfig) -> Artifact {
     // `sched_s`: modeled machine-seconds the approach occupies the
     // testbed under its schedule. Single-algorithm rows have no phase
     // DAG to overlap, so it equals their machine time.
-    let row = |name: &str, cost: ft_core::TuningCost, speedup: f64, sched_s: f64| -> Vec<String> {
+    let row = |name: &str,
+               cost: ft_core::TuningCost,
+               speedup: f64,
+               code_bytes: f64,
+               sched_s: f64|
+     -> Vec<String> {
         vec![
             name.to_string(),
             cost.runs.to_string(),
@@ -735,6 +742,11 @@ fn overhead(cfg: &ReproConfig) -> Artifact {
             format!("{:.2}", cost.machine_hours()),
             format!("{:.2}", sched_s / 3600.0),
             format!("{speedup:.3}x"),
+            if code_bytes.is_finite() {
+                format!("{code_bytes:.0}")
+            } else {
+                "-".to_string()
+            },
             cost.compile_failures.to_string(),
             cost.crashes.to_string(),
             cost.timeouts.to_string(),
@@ -750,13 +762,25 @@ fn overhead(cfg: &ReproConfig) -> Artifact {
         let ctx = fresh_ctx();
         let r = random_search(&ctx, cfg.k, derive_seed(cfg.seed, "oh-random"));
         let c = ctx.cost();
-        rows.push(row("Random", c, r.speedup(), c.machine_seconds));
+        rows.push(row(
+            "Random",
+            c,
+            r.speedup(),
+            r.best_code_bytes,
+            c.machine_seconds,
+        ));
     }
     {
         let ctx = fresh_ctx();
         let r = fr_search(&ctx, cfg.k, derive_seed(cfg.seed, "oh-fr"));
         let c = ctx.cost();
-        rows.push(row("FR", c, r.speedup(), c.machine_seconds));
+        rows.push(row(
+            "FR",
+            c,
+            r.speedup(),
+            r.best_code_bytes,
+            c.machine_seconds,
+        ));
     }
     {
         let ctx = fresh_ctx();
@@ -764,14 +788,26 @@ fn overhead(cfg: &ReproConfig) -> Artifact {
         let data = collect(&ctx, cfg.k, derive_seed(cfg.seed, "oh-g"));
         let g = greedy(&ctx, &data, baseline);
         let c = ctx.cost();
-        rows.push(row("G", c, g.realized.speedup(), c.machine_seconds));
+        rows.push(row(
+            "G",
+            c,
+            g.realized.speedup(),
+            g.realized.best_code_bytes,
+            c.machine_seconds,
+        ));
     }
     {
         let ctx = fresh_ctx();
         let data = collect(&ctx, cfg.k, derive_seed(cfg.seed, "oh-cfr"));
         let r = cfr(&ctx, &data, cfg.x, cfg.k, derive_seed(cfg.seed, "oh-cfr2"));
         let c = ctx.cost();
-        rows.push(row("CFR", c, r.speedup(), c.machine_seconds));
+        rows.push(row(
+            "CFR",
+            c,
+            r.speedup(),
+            r.best_code_bytes,
+            c.machine_seconds,
+        ));
     }
     {
         // Early-stopping extension: the §4.3 convergence observation
@@ -787,7 +823,13 @@ fn overhead(cfg: &ReproConfig) -> Artifact {
             derive_seed(cfg.seed, "oh-ada2"),
         );
         let c = ctx.cost();
-        rows.push(row("CFR-adaptive", c, r.speedup(), c.machine_seconds));
+        rows.push(row(
+            "CFR-adaptive",
+            c,
+            r.speedup(),
+            r.best_code_bytes,
+            c.machine_seconds,
+        ));
     }
     if cfg.cfr_iterative {
         // Multi-round extension rows (opt-in: `--cfr-iterative`). The
@@ -808,7 +850,13 @@ fn overhead(cfg: &ReproConfig) -> Artifact {
                 derive_seed(cfg.seed, "oh-iter2"),
             );
             let c = ctx.cost();
-            rows.push(row("CFR-iterative", c, r.speedup(), c.machine_seconds));
+            rows.push(row(
+                "CFR-iterative",
+                c,
+                r.speedup(),
+                r.best_code_bytes,
+                c.machine_seconds,
+            ));
         }
         {
             let ctx = fresh_ctx();
@@ -822,14 +870,26 @@ fn overhead(cfg: &ReproConfig) -> Artifact {
                 derive_seed(cfg.seed, "oh-rec2"),
             );
             let c = ctx.cost();
-            rows.push(row("CFR-iter-recollect", c, r.speedup(), c.machine_seconds));
+            rows.push(row(
+                "CFR-iter-recollect",
+                c,
+                r.speedup(),
+                r.best_code_bytes,
+                c.machine_seconds,
+            ));
         }
     }
     {
         let ctx = fresh_ctx();
         let r = opentuner_search(&ctx, cfg.opentuner_budget, derive_seed(cfg.seed, "oh-ot"));
         let c = ctx.cost();
-        rows.push(row("OpenTuner", c, r.speedup(), c.machine_seconds));
+        rows.push(row(
+            "OpenTuner",
+            c,
+            r.speedup(),
+            r.best_code_bytes,
+            c.machine_seconds,
+        ));
     }
     {
         // The full campaign (Baseline → Collect/Random/FR → G/CFR) run
@@ -860,11 +920,18 @@ fn overhead(cfg: &ReproConfig) -> Artifact {
             .schedule
             .machine_critical_path_s()
             .expect("serial campaign attributes every phase");
-        rows.push(row("Campaign (serial)", c, run.cfr.speedup(), serial_s));
+        rows.push(row(
+            "Campaign (serial)",
+            c,
+            run.cfr.speedup(),
+            run.cfr.best_code_bytes,
+            serial_s,
+        ));
         rows.push(row(
             "Campaign (overlapped)",
             c,
             run.cfr.speedup(),
+            run.cfr.best_code_bytes,
             critical_s,
         ));
     }
@@ -884,6 +951,7 @@ fn overhead(cfg: &ReproConfig) -> Artifact {
             "machine hours".into(),
             "sched wall h".into(),
             "speedup".into(),
+            "winner code B".into(),
             "cfails".into(),
             "crashes".into(),
             "timeouts".into(),
@@ -897,11 +965,68 @@ fn overhead(cfg: &ReproConfig) -> Artifact {
             "paper §4.3: ~1.5 days Random/G, 2 days OpenTuner, 3 days CFR, 1 week COBAYN per benchmark".into(),
             "CFR costs ~2x Random (collection + re-sampling) but per-loop objects are heavily reused".into(),
             "links/link reuses: whole-program links performed vs duplicate assignments served from the link cache (xild analogue)".into(),
+            "winner code B: the modeled executable size of each approach's winning assignment (the link cache's CacheWeight)".into(),
             "fault columns (cfails/crashes/timeouts/retries/quarantined) are all zero unless --fault-* rates are set".into(),
             "--cfr-iterative adds the multi-round extension rows; CFR-iter-recollect's extra runs are its per-round incumbent-substitution probes".into(),
             "obj evict/link evict: LRU cache evictions; nonzero only under --cache-capacity, and result-invariant either way".into(),
             "sched wall h: testbed occupancy under the row's schedule; the Campaign rows price the same bit-identical campaign serially vs at the phase DAG's critical path (baseline + max(collect, random, fr) + max(greedy, cfr))".into(),
         ],
+    })
+}
+
+/// Objective extension (beyond the paper): tune under
+/// [`Objective::Pareto`] and report the time / code-size dominance
+/// front the campaign discovered. The paper optimizes wall time only;
+/// this experiment shows the same per-loop search surfacing the
+/// trade-off curve instead of a single winner.
+fn pareto(cfg: &ReproConfig) -> Artifact {
+    use ft_core::{Objective, Tuner};
+    let arch = Architecture::broadwell();
+    let mut rows = Vec::new();
+    let mut notes = Vec::new();
+    for bench in ["CloverLeaf", "swim", "AMG"] {
+        let w = workload_by_name(bench).expect("known benchmark");
+        let mut tuner = Tuner::new(&w, &arch)
+            .budget(cfg.k)
+            .focus(cfg.x)
+            .seed(derive_seed(cfg.seed, &format!("pareto-{bench}")))
+            .objective(Objective::Pareto);
+        if let Some(cap) = cfg.steps_cap {
+            tuner = tuner.cap_steps(cap);
+        }
+        let run = tuner.run();
+        let front = &run.cfr.front;
+        notes.push(format!(
+            "{bench}: {} non-dominated candidate(s) among {} CFR evaluations",
+            front.len(),
+            run.cfr.evaluations
+        ));
+        for p in front {
+            rows.push(vec![
+                bench.to_string(),
+                p.index.to_string(),
+                format!("{:.3}", p.time),
+                format!("{:.0}", p.code_bytes),
+                format!("{:.3}x", run.baseline_time / p.time),
+            ]);
+        }
+    }
+    notes.push(
+        "every row is non-dominated: no other evaluated candidate is both faster and smaller"
+            .into(),
+    );
+    Artifact::Table(TableData {
+        id: "pareto".into(),
+        title: "Time / code-size Pareto fronts under --objective pareto (Broadwell)".into(),
+        header: vec![
+            "benchmark".into(),
+            "candidate".into(),
+            "time (s)".into(),
+            "code (B)".into(),
+            "speedup".into(),
+        ],
+        rows,
+        notes,
     })
 }
 
@@ -1007,11 +1132,12 @@ mod tests {
     #[test]
     fn registry_knows_every_paper_artifact() {
         let ids = all_ids();
-        assert_eq!(ids.len(), 18);
+        assert_eq!(ids.len(), 19);
         assert!(ids.contains(&"fig5b"));
         assert!(ids.contains(&"table3"));
         assert!(ids.contains(&"ablation-x"));
         assert!(ids.contains(&"ablation-faults"));
+        assert!(ids.contains(&"pareto"));
     }
 
     #[test]
@@ -1161,12 +1287,63 @@ mod tests {
     fn overhead_table_has_zero_fault_columns_by_default() {
         let a = run_experiment("overhead", &quick());
         let t = a.as_table().unwrap();
-        assert_eq!(t.header.len(), 18);
+        assert_eq!(t.header.len(), 19);
         for r in &t.rows {
-            // Fault columns (11..16) and the eviction columns (16..18)
+            // Fault columns (12..17) and the eviction columns (17..19)
             // are all zero in the default unbounded, fault-free config.
-            for cell in &r[11..] {
+            for cell in &r[12..] {
                 assert_eq!(cell, "0", "{}: clean run counted a fault {r:?}", r[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn overhead_table_prices_the_winner_code_size() {
+        let a = run_experiment("overhead", &quick());
+        let t = a.as_table().unwrap();
+        assert_eq!(t.header[11], "winner code B");
+        for r in &t.rows {
+            let bytes: f64 = r[11].parse().unwrap();
+            assert!(
+                bytes.is_finite() && bytes > 0.0,
+                "{}: missing winner code size {r:?}",
+                r[0]
+            );
+        }
+    }
+
+    #[test]
+    fn pareto_experiment_surfaces_a_tradeoff_front() {
+        let mut c = quick();
+        c.k = 60;
+        c.x = 8;
+        let a = run_experiment("pareto", &c);
+        let t = a.as_table().unwrap();
+        assert!(!t.rows.is_empty());
+        // At least one workload must expose a genuine trade-off: two or
+        // more non-dominated candidates on its front.
+        let count = |bench: &str| t.rows.iter().filter(|r| r[0] == bench).count();
+        let widest = ["CloverLeaf", "swim", "AMG"]
+            .iter()
+            .map(|b| count(b))
+            .max()
+            .unwrap();
+        assert!(
+            widest >= 2,
+            "no workload produced a multi-point front: {:?}",
+            t.notes
+        );
+        // Front rows are sorted by time and strictly trade off size.
+        for bench in ["CloverLeaf", "swim", "AMG"] {
+            let pts: Vec<(f64, f64)> = t
+                .rows
+                .iter()
+                .filter(|r| r[0] == bench)
+                .map(|r| (r[2].parse().unwrap(), r[3].parse().unwrap()))
+                .collect();
+            for w in pts.windows(2) {
+                assert!(w[0].0 < w[1].0, "{bench}: front not sorted by time");
+                assert!(w[0].1 > w[1].1, "{bench}: slower point must be smaller");
             }
         }
     }

@@ -15,7 +15,7 @@
 
 use funcytuner::machine::roofline;
 use funcytuner::prelude::*;
-use funcytuner::tuning::{collect, critical_flags, random_search};
+use funcytuner::tuning::{collect, critical_flags, random_search, Objective};
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +40,7 @@ struct Args {
     run_cap: Option<u64>,
     steps: Option<u32>,
     fault_seed: Option<u64>,
+    objective: Objective,
 }
 
 impl Args {
@@ -65,6 +66,7 @@ impl Args {
             run_cap: None,
             steps: None,
             fault_seed: None,
+            objective: Objective::Time,
         };
         let mut it = argv[1..].iter();
         while let Some(a) = it.next() {
@@ -159,6 +161,12 @@ impl Args {
                             .ok_or("--fault-seed needs a number")?,
                     )
                 }
+                "--objective" => {
+                    args.objective = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--objective needs time | code-bytes | weighted:W | pareto")?
+                }
                 other if other.starts_with("--") => {
                     return Err(format!("unknown option {other}"));
                 }
@@ -244,6 +252,7 @@ fn help() {
            serve                        run every spooled campaign as a multi-tenant daemon\n\
            worker                       evaluation worker (spawned by tune --workers)\n\n\
          options: --arch A  --k N  --x N  --seed S  --loop NAME  --out PATH\n\
+                  --objective O (time | code-bytes | weighted:W | pareto winner selection)\n\
                   --checkpoint-dir DIR  --chaos-kill-seed S  --chaos-kill-rate PCT\n\
                   --workers N (shard tune evaluations across N worker processes)\n\
                   --tenant NAME  --spool DIR  --steps N  --run-cap N  --fault-seed S\n\
@@ -301,13 +310,14 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
     let arch = args.architecture()?;
     let w = args.workload()?;
     println!(
-        "tuning {} on {} with K = {}, X = {} (seed {})...",
-        w.meta.name, arch.name, args.k, args.x, args.seed
+        "tuning {} on {} with K = {}, X = {} (seed {}, objective {})...",
+        w.meta.name, arch.name, args.k, args.x, args.seed, args.objective
     );
     let mut tuner = Tuner::new(&w, &arch)
         .budget(args.k)
         .focus(args.x)
-        .seed(args.seed);
+        .seed(args.seed)
+        .objective(args.objective);
     if args.workers > 0 {
         let exe = std::env::current_exe().map_err(|e| format!("cannot locate ftune: {e}"))?;
         println!(
@@ -343,6 +353,19 @@ fn cmd_tune(args: &Args) -> Result<(), String> {
         ),
     ] {
         println!("{name:<14} {t:>9.3} {s:>7.3}x");
+    }
+    if run.cfr.best_code_bytes.is_finite() {
+        println!(
+            "\nCFR winner: {:.3} s, {:.0} code bytes",
+            run.cfr.best_time, run.cfr.best_code_bytes
+        );
+    }
+    if args.objective == Objective::Pareto && !run.cfr.front.is_empty() {
+        println!("\nPareto front (non-dominated candidates):");
+        println!("{:<7} {:>9} {:>12}", "index", "time (s)", "code (B)");
+        for p in &run.cfr.front {
+            println!("{:<7} {:>9.3} {:>12.0}", p.index, p.time, p.code_bytes);
+        }
     }
     println!(
         "\nCFR converged within {} of {} evaluations",
@@ -827,6 +850,7 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
     spec.seed = args.seed;
     spec.steps_cap = args.steps;
     spec.run_cap = args.run_cap;
+    spec.objective = args.objective;
     if let Some(seed) = args.fault_seed {
         spec = spec.with_fault_model(funcytuner::compiler::FaultModel::testbed(seed));
     }
@@ -834,13 +858,14 @@ fn cmd_submit(args: &Args) -> Result<(), String> {
     let path = std::path::Path::new(spool).join(format!("{tenant}.campaign"));
     std::fs::write(&path, spec.encode()).map_err(|e| format!("write {}: {e}", path.display()))?;
     println!(
-        "campaign spooled: tenant {tenant} -> {}\n  {} on {} (K = {}, X = {}, seed {}{})",
+        "campaign spooled: tenant {tenant} -> {}\n  {} on {} (K = {}, X = {}, seed {}, objective {}{})",
         path.display(),
         bench,
         args.arch,
         args.k,
         args.x,
         args.seed,
+        args.objective,
         match args.run_cap {
             Some(cap) => format!(", run cap {cap}"),
             None => String::new(),
@@ -984,7 +1009,8 @@ fn worker_context(spec: &funcytuner::tuning::remote::HelloSpec) -> Result<EvalCo
         derive_seed(spec.seed, "noise"),
     )
     .with_faults(faults)
-    .with_resilience(resilience))
+    .with_resilience(resilience)
+    .with_objective(spec.objective))
 }
 
 /// The `ftune worker` loop: frames on stdin, frames on stdout, built
@@ -1094,6 +1120,21 @@ mod tests {
         assert!(Args::parse(&argv("serve --threads 0")).is_err());
         assert!(Args::parse(&argv("submit swim --run-cap nope")).is_err());
         assert!(Args::parse(&argv("submit swim --steps 0")).is_err());
+    }
+
+    #[test]
+    fn parse_objective_options() {
+        let a = Args::parse(&argv("tune swim")).unwrap();
+        assert_eq!(a.objective, Objective::Time);
+        let a = Args::parse(&argv("tune swim --objective pareto")).unwrap();
+        assert_eq!(a.objective, Objective::Pareto);
+        let a = Args::parse(&argv("tune swim --objective code-bytes")).unwrap();
+        assert_eq!(a.objective, Objective::CodeBytes);
+        let a = Args::parse(&argv("tune swim --objective weighted:0.25")).unwrap();
+        assert_eq!(a.objective, Objective::Weighted { w: 0.25 });
+        assert!(Args::parse(&argv("tune swim --objective bogus")).is_err());
+        assert!(Args::parse(&argv("tune swim --objective weighted:1.5")).is_err());
+        assert!(Args::parse(&argv("tune swim --objective")).is_err());
     }
 
     #[test]

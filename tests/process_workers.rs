@@ -103,6 +103,7 @@ fn a_worker_child_rebuilds_the_exact_context_from_the_hello_spec() {
         fault_outlier: faults.outlier,
         max_retries: 2,
         timeout_factor: 20.0,
+        objective: funcytuner::tuning::Objective::Time,
     };
     let mut remote =
         ProcessTransport::spawn(&ftune(), &spec, modules).expect("worker child must handshake");
@@ -152,6 +153,7 @@ fn a_worker_child_refuses_an_unknown_workload() {
         fault_outlier: 0.0,
         max_retries: 2,
         timeout_factor: 20.0,
+        objective: funcytuner::tuning::Objective::Time,
     };
     assert!(
         ProcessTransport::spawn(&ftune(), &spec, 1).is_err(),
